@@ -1,0 +1,370 @@
+(* The benchmark harness: regenerates every table and figure in the
+   paper's evaluation (§4.2) from the simulation, prints the same
+   rows/series the paper reports, and runs a Bechamel microbenchmark
+   suite over the hot primitives.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe fig3        # one figure
+     dune exec bench/main.exe -- --quick  # reduced trial counts
+
+   Figures: fig3 fig4 fig5 fig6 fig7; tables/ablations: guards,
+   ablation-policy, ablation-opt; microbenchmarks: bechamel. *)
+
+open Carat_kop
+
+let line = String.make 72 '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let quick = ref false
+
+let trials () = if !quick then 9 else 41
+let packets () = if !quick then 150 else 600
+
+(* ------------------------------------------------------------------ *)
+
+let print_throughput_figure ~title ~expect (r : Experiments.throughput_result)
+    =
+  section title;
+  let cdfs =
+    List.map
+      (fun s -> (s.Experiments.label, Stats.Cdf.of_samples s.Experiments.pps))
+      r.Experiments.series
+  in
+  print_string
+    (Stats.Cdf.render
+       ~title:
+         (Printf.sprintf "CDF of packet launch throughput (%s, %dB packets)"
+          r.Experiments.machine_name r.Experiments.packet_size)
+       ~unit_label:"pps" cdfs);
+  print_newline ();
+  (* paper-style medians and relative change *)
+  let medians =
+    List.map
+      (fun (label, cdf) -> (label, Stats.Cdf.quantile cdf 0.5))
+      cdfs
+  in
+  List.iter
+    (fun (label, med) -> Printf.printf "  median %-10s %10.0f pps\n" label med)
+    medians;
+  (match
+     (List.assoc_opt "carat" medians, List.assoc_opt "baseline" medians)
+   with
+  | Some c, Some b ->
+    Printf.printf "  relative change of median: %+.2f%%\n"
+      ((b -. c) /. b *. 100.0)
+  | _ -> ());
+  Printf.printf "  paper: %s\n" expect
+
+let run_fig3 () =
+  print_throughput_figure
+    ~title:"Figure 3: throughput CDF on the slow R415, two regions"
+    ~expect:"median changes by about 1,000 pps, a relative change of <0.8%"
+    (Experiments.fig3 ~trials:(trials ()) ~packets:(packets ()) ())
+
+let run_fig4 () =
+  print_throughput_figure
+    ~title:"Figure 4: throughput CDF on the faster R350, two regions"
+    ~expect:"effect even smaller, almost unmeasurable (<0.1%)"
+    (Experiments.fig4 ~trials:(trials ()) ~packets:(packets ()) ())
+
+let run_fig5 () =
+  let r = Experiments.fig5 ~trials:(trials ()) ~packets:(packets ()) () in
+  print_throughput_figure
+    ~title:"Figure 5: effect of the number of policy regions (R350)"
+    ~expect:"n has a small but significant effect; worst case still <1%"
+    r;
+  (* extra: per-n medians vs baseline *)
+  let med s = Stats.Summary.median s.Experiments.pps in
+  (match
+     List.find_opt (fun s -> s.Experiments.label = "baseline") r.Experiments.series
+   with
+  | Some base ->
+    let b = med base in
+    List.iter
+      (fun s ->
+        if s.Experiments.label <> "baseline" then
+          Printf.printf "  %-10s median %8.0f pps  (%+.2f%% vs baseline)\n"
+            s.Experiments.label (med s)
+            ((b -. med s) /. b *. 100.0))
+      r.Experiments.series
+  | None -> ())
+
+let run_fig6 () =
+  section "Figure 6: throughput slowdown vs packet size (R350, two regions)";
+  let pts =
+    Experiments.fig6
+      ~trials:(if !quick then 5 else 15)
+      ~packets:(if !quick then 120 else 500)
+      ()
+  in
+  Printf.printf "  %8s %14s %14s %10s\n" "size" "baseline pps" "carat pps"
+    "slowdown";
+  List.iter
+    (fun p ->
+      Printf.printf "  %8d %14.0f %14.0f %10.4f\n" p.Experiments.size
+        p.Experiments.baseline_pps p.Experiments.carat_pps
+        p.Experiments.slowdown)
+    pts;
+  (* simple shape visual *)
+  print_newline ();
+  List.iter
+    (fun p ->
+      let over = int_of_float ((p.Experiments.slowdown -. 1.0) *. 4000.0) in
+      let over = max 0 (min 40 over) in
+      Printf.printf "  %5dB |%s\n" p.Experiments.size (String.make over '#'))
+    pts;
+  print_endline
+    "  paper: impact largely independent of size; to the extent it varies\n\
+    \  (max ~2.5%) it concentrates on small packets"
+
+let run_fig7 () =
+  section "Figure 7: sendmsg latency histogram (R350, two regions, 128B)";
+  let r = Experiments.fig7 ~packets:(if !quick then 2500 else 8000) () in
+  let all =
+    Array.append r.Experiments.base_latencies r.Experiments.carat_latencies
+  in
+  let lo = 400.0 in
+  let hi = 1300.0 in
+  ignore all;
+  let h_of xs =
+    Stats.Hist.of_samples ~lo ~hi ~bins:18 (Array.map float_of_int xs)
+  in
+  print_string
+    (Stats.Hist.render ~title:"latency (cycles); outliers hidden, as in the paper"
+       ~unit_label:"cyc"
+       [
+         ("Base", h_of r.Experiments.base_latencies);
+         ("Carat", h_of r.Experiments.carat_latencies);
+       ]);
+  Printf.printf
+    "\n  medians including outliers: carat=%.0f cycles, baseline=%.0f cycles\n"
+    r.Experiments.carat_median r.Experiments.base_median;
+  print_endline
+    "  paper: 694 (CARAT KOP) vs 686 (baseline) cycles, within measurement noise"
+
+let run_guards () =
+  section "Transform accounting (paper §4: e1000e ~19k LoC, pass ~200 LoC)";
+  let t = Experiments.transform_accounting () in
+  Printf.printf "  driver functions:            %6d\n" t.Experiments.functions;
+  Printf.printf "  KIR instructions:            %6d\n" t.Experiments.kir_instructions;
+  Printf.printf "  KIR text lines (the '.kir'): %6d\n" t.Experiments.kir_text_lines;
+  Printf.printf "  loads+stores:                %6d\n" t.Experiments.memory_ops;
+  Printf.printf "  guards inserted:             %6d  (exactly one per load/store)\n"
+    t.Experiments.guards_inserted;
+  Printf.printf "  module signature:            %s\n" t.Experiments.signature;
+  print_endline
+    "  source-code changes required in the driver: 0 (as in the paper)"
+
+let run_ablation_policy () =
+  section
+    "Ablation: policy structures (paper §3.1/§4.2 speculation, measured)";
+  let pts =
+    Experiments.policy_structure_bench ~checks:(if !quick then 1500 else 6000) ()
+  in
+  Printf.printf "  %-14s %8s %10s %18s %22s\n" "structure" "regions"
+    "rule at" "cycles/check" "entries scanned/check";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-14s %8d %10s %18.1f %22.2f\n" p.Experiments.structure
+        p.Experiments.regions
+        (Experiments.placement_to_string p.Experiments.placement)
+        p.Experiments.cycles_per_check
+        p.Experiments.entries_scanned_per_check)
+    pts;
+  print_endline
+    "\n  expected shape: linear is cheapest at small n and degrades linearly;\n\
+    \  sorted/splay pay branch misses; the caches win once they are warm"
+
+let run_ablation_opt () =
+  section "Ablation: unoptimized guards (paper) vs CARAT-CAKE-style optimization";
+  let rows =
+    Experiments.guard_optimization_ablation
+      ~trials:(if !quick then 5 else 11)
+      ~packets:(if !quick then 150 else 500)
+      ()
+  in
+  Printf.printf "  %-36s %8s %10s %12s %12s %10s\n" "technique" "static"
+    "checks/pkt" "checks/diag" "mean pps" "sendmsg";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-36s %8d %10.1f %12.1f %12.0f %10.0f\n"
+        r.Experiments.technique r.Experiments.static_guards
+        r.Experiments.checks_per_packet r.Experiments.checks_per_eeprom_read
+        r.Experiments.pps_mean r.Experiments.sendmsg_median)
+    rows;
+  print_endline
+    "\n  the paper's bet, quantified: on a driver hot path the optimizer\n\
+    \  finds little to remove, so unoptimized guarding is already cheap"
+
+let run_mechanism () =
+  section
+    "Ablation: which machine mechanism makes guards cheap? (§4.2's claim)";
+  let pts =
+    Experiments.mechanism_sensitivity
+      ~trials:(if !quick then 5 else 9)
+      ~packets:(if !quick then 150 else 300)
+      ()
+  in
+  Printf.printf "  %-26s %14s %14s %12s\n" "machine variant" "baseline pps"
+    "carat pps" "overhead";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-26s %14.0f %14.0f %11.2f%%\n" p.Experiments.variant
+        p.Experiments.baseline_pps p.Experiments.carat_pps
+        p.Experiments.overhead_pct)
+    pts;
+  print_endline
+    "\n  the paper credits caching + branch prediction + speculation. The\n\
+    \  knockouts show speculation and core width dominate; the guard's\n\
+    \  branches are monotone, so even a tiny predictor learns them -- the\n\
+    \  predictor only matters for log-time policy structures (see the\n\
+    \  policy-structure ablation), which is why the paper's linear table\n\
+    \  is the right default";
+  ignore pts
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the hot simulator
+   primitives, one Test.make per reproduced table/figure plus core
+   primitives. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* policy check: the guard's inner loop, per structure *)
+  let guard_test kind n =
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+    let engine = Policy.Engine.create ~kind ~capacity:64 kernel in
+    Policy.Engine.set_policy engine
+      (Policy.Region.padding (n - 1)
+      @ [
+          Policy.Region.v ~tag:"kernel" ~base:Kernel.Layout.kernel_base
+            ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:Policy.Region.prot_rw ();
+        ]);
+    let addr = Kernel.Layout.direct_map_base + 0x400 in
+    Test.make
+      ~name:
+        (Printf.sprintf "guard/%s/n=%d" (Policy.Engine.kind_to_string kind) n)
+      (Staged.stage (fun () ->
+           ignore (Policy.Engine.check engine ~addr ~size:8 ~flags:1)))
+  in
+  (* fig3/4: one full guarded sendmsg through the whole stack *)
+  let sendmsg_test name machine technique =
+    let config =
+      { Testbed.default_config with machine; technique; module_scale = 1 }
+    in
+    let tb = Testbed.create ~config () in
+    let k = tb.Testbed.kernel in
+    let ub = Kernel.map_user k ~size:2048 in
+    Kernel.write_string k ~addr:ub (Net.Frame.build ~seq:0 ~size:128 ());
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Net.Netstack.sendmsg tb.Testbed.stack ~user_buf:ub ~len:128)))
+  in
+  (* guard injection pass over the full driver (tab-guards) *)
+  let inject_test =
+    Test.make ~name:"pass/guard-injection(e1000e)"
+      (Staged.stage (fun () ->
+           let m = Nic.Driver_gen.generate () in
+           ignore
+             (Passes.Guard_injection.run Passes.Guard_injection.default_config
+                m)))
+  in
+  let parse_test =
+    let text = Kir.Printer.to_string (Nic.Driver_gen.generate ()) in
+    Test.make ~name:"kir/parse(e1000e)"
+      (Staged.stage (fun () -> ignore (Kir.Parser.parse_string text)))
+  in
+  let sign_test =
+    let m = Nic.Driver_gen.generate () in
+    Test.make ~name:"pass/sign(e1000e)"
+      (Staged.stage (fun () ->
+           ignore (Passes.Signing.keyed_tag ~key:"k" (Passes.Signing.signable_text m))))
+  in
+  Test.make_grouped ~name:"carat-kop"
+    [
+      sendmsg_test "fig3/sendmsg-carat-r415" Machine.Presets.r415 Testbed.Carat;
+      sendmsg_test "fig4/sendmsg-carat-r350" Machine.Presets.r350 Testbed.Carat;
+      sendmsg_test "fig4/sendmsg-base-r350" Machine.Presets.r350 Testbed.Baseline;
+      guard_test Policy.Engine.Linear 2;
+      guard_test Policy.Engine.Linear 64;
+      guard_test Policy.Engine.Sorted 64;
+      guard_test Policy.Engine.Splay 64;
+      guard_test Policy.Engine.Cached 64;
+      guard_test Policy.Engine.Bloom 64;
+      inject_test;
+      parse_test;
+      sign_test;
+    ]
+
+let run_bechamel () =
+  section "Bechamel microbenchmarks (wall-clock of simulator primitives)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (if !quick then 0.2 else 0.5))
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "  %-44s %14s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, result) ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "  %-44s %14.1f\n" name est
+      | _ -> Printf.printf "  %-44s %14s\n" name "n/a")
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let all_figs =
+  [
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("guards", run_guards);
+    ("ablation-policy", run_ablation_policy);
+    ("ablation-opt", run_ablation_opt);
+    ("ablation-mechanism", run_mechanism);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  print_endline banner;
+  print_endline
+    "regenerating the paper's evaluation from the simulation (seeded,\n\
+     deterministic); absolute numbers are model estimates — shapes and\n\
+     relative effects are the reproduction target";
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) all_figs
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name all_figs with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown target %s; known: %s\n" name
+            (String.concat " " (List.map fst all_figs));
+          exit 1)
+      names

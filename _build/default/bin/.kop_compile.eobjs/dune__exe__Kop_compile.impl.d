@@ -1,0 +1,1 @@
+bin/kop_compile.ml: Arg Carat_kop Cmd Cmdliner Kir List Nic Passes Printf Term

@@ -1,0 +1,1 @@
+bin/kop_compile.mli:

@@ -1,0 +1,1 @@
+bin/kop_run.ml: Arg Array Carat_kop Cmd Cmdliner Kernel Kir List Machine Policy Printf String Term Vm

@@ -1,0 +1,1 @@
+bin/policy_manager.ml: Arg Carat_kop Cmd Cmdliner Kernel List Machine Policy Printf Sys Term

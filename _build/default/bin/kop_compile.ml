@@ -1,0 +1,138 @@
+(* kop-compile: the CARAT KOP "compiler" driver (paper §3.3) — the
+   wrapper that runs the guard-injection pass pipeline over a module and
+   signs the result.
+
+     kop_compile input.kir -o output.kir [--optimize] [--strict]
+                 [--exempt-stack] [--key KEY] [--signer NAME] [--stats]
+     kop_compile --emit-driver [--scale N] [--rogue] -o e1000e.kir
+
+   --emit-driver writes the generated e1000e driver source, which is how
+   you get a realistic input module to play with. *)
+
+open Cmdliner
+open Carat_kop
+
+let compile input output optimize strict exempt_stack key signer stats
+    emit_driver scale rogue no_transform =
+  try
+    let m =
+      if emit_driver then
+        Nic.Driver_gen.generate ~module_scale:scale ~with_rogue:rogue ()
+      else begin
+        match input with
+        | Some path -> Kir.Parser.parse_file path
+        | None ->
+          prerr_endline "kop_compile: need an input file (or --emit-driver)";
+          exit 2
+      end
+    in
+    let remarks =
+      if emit_driver && no_transform then []
+      else if no_transform then
+        Passes.Pass.run_pipeline_checked
+          (Passes.Pipeline.baseline_sign ~key ~signer ())
+          m
+      else begin
+        let config =
+          { Passes.Guard_injection.default_config with exempt_stack }
+        in
+        let pipeline =
+          if optimize then Passes.Pipeline.kop_optimized ~key ~signer ~config ()
+          else Passes.Pipeline.kop_default ~key ~signer ~config ()
+        in
+        let pipeline =
+          if strict then
+            List.map
+              (fun (p : Passes.Pass.t) ->
+                if p.Passes.Pass.name = "attest" then Passes.Attest.pass ~strict:true ()
+                else p)
+              pipeline
+          else pipeline
+        in
+        Passes.Pass.run_pipeline_checked pipeline m
+      end
+    in
+    if stats then begin
+      Printf.eprintf "module %s:\n" m.Kir.Types.m_name;
+      Printf.eprintf "  functions:        %d\n" (List.length m.Kir.Types.funcs);
+      Printf.eprintf "  instructions:     %d\n" (Kir.Types.module_instr_count m);
+      Printf.eprintf "  loads+stores:     %d\n" (Kir.Types.module_memory_op_count m);
+      Printf.eprintf "  guards:           %d\n" (Passes.Guard_injection.count_guards m);
+      List.iter
+        (fun (pass, r) ->
+          List.iter
+            (fun (k, v) -> Printf.eprintf "  [%s] %s = %s\n" pass k v)
+            r.Passes.Pass.remarks)
+        remarks
+    end;
+    let text = Kir.Printer.to_string m in
+    (match output with
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc
+    | None -> print_string text);
+    0
+  with
+  | Kir.Parser.Parse_error (line, msg) ->
+    Printf.eprintf "kop_compile: parse error at line %d: %s\n" line msg;
+    1
+  | Passes.Pass.Pass_failed (pass, reason) ->
+    Printf.eprintf "kop_compile: pass '%s' refused the module: %s\n" pass reason;
+    1
+  | Kir.Verify.Invalid msg ->
+    Printf.eprintf "kop_compile: invalid module: %s\n" msg;
+    1
+
+let input =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT.kir")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUTPUT")
+
+let optimize =
+  Arg.(value & flag & info [ "optimize" ]
+    ~doc:"Run the CARAT-CAKE-style guard optimizations (redundant-guard \
+          elimination and loop hoisting). The paper's compiler does not.")
+
+let strict =
+  Arg.(value & flag & info [ "strict" ]
+    ~doc:"Reject indirect calls during attestation, not only inline asm.")
+
+let exempt_stack =
+  Arg.(value & flag & info [ "exempt-stack" ]
+    ~doc:"Skip guards on provably frame-local (alloca-derived) accesses.")
+
+let key =
+  Arg.(value & opt string Passes.Pipeline.default_key & info [ "key" ]
+    ~doc:"Signing key (the kernel must be configured with the same key).")
+
+let signer =
+  Arg.(value & opt string Passes.Pipeline.default_signer & info [ "signer" ])
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print transform statistics.")
+
+let emit_driver =
+  Arg.(value & flag & info [ "emit-driver" ]
+    ~doc:"Generate the simulated e1000e driver as the input module.")
+
+let scale =
+  Arg.(value & opt int 12 & info [ "scale" ] ~doc:"Driver padding scale.")
+
+let rogue =
+  Arg.(value & flag & info [ "rogue" ]
+    ~doc:"Include the driver's debug peek/poke backdoor entry points.")
+
+let no_transform =
+  Arg.(value & flag & info [ "no-transform" ]
+    ~doc:"Only sign (baseline build); with --emit-driver, emit untransformed.")
+
+let cmd =
+  let doc = "transform a KIR kernel module with CARAT KOP guard injection" in
+  Cmd.v
+    (Cmd.info "kop_compile" ~doc)
+    Term.(
+      const compile $ input $ output $ optimize $ strict $ exempt_stack $ key
+      $ signer $ stats $ emit_driver $ scale $ rogue $ no_transform)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,151 @@
+(* kop-run: boot a simulated kernel, install the policy module with a
+   policy file, insert a (signed) KIR module, and call an entry point —
+   the insmod-and-poke loop of kernel-module development, on the bench.
+
+     kop_run module.kir --policy policy.kop --call sum_region \
+             --args 0x1100000000000000,64 [--machine r350]
+             [--no-enforce] [--log] [--stats]
+
+   Exit codes: 0 success, 4 kernel panic (e.g. guard violation),
+   1 other errors. *)
+
+open Cmdliner
+open Carat_kop
+
+let run module_path policy_path call args machine_name no_enforce show_log
+    stats trace =
+  let machine =
+    match Machine.Presets.by_name machine_name with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "kop_run: unknown machine %s (r415|r350)\n" machine_name;
+      exit 2
+  in
+  try
+    let m = Kir.Parser.parse_file module_path in
+    let kernel = Kernel.create ~require_signature:(not no_enforce) machine in
+    let vm = Vm.Interp.install kernel in
+    if trace > 0 then begin
+      let remaining = ref trace in
+      Vm.Interp.set_tracer vm
+        (Some
+           (fun ev ->
+             if !remaining > 0 then begin
+               decr remaining;
+               Printf.eprintf "  [trace %6d] @%s %s: %s\n"
+                 ev.Vm.Interp.ev_step ev.Vm.Interp.ev_func
+                 ev.Vm.Interp.ev_block ev.Vm.Interp.ev_instr
+             end))
+    end;
+    let pm =
+      Policy.Policy_module.install ~on_deny:Policy.Policy_module.Panic kernel
+    in
+    (match policy_path with
+    | Some path ->
+      Policy.Policy_file.apply (Policy.Policy_file.load path)
+        (Policy.Policy_module.engine pm)
+    | None -> Policy.Policy_module.set_policy pm Policy.Region.kernel_only);
+    let dump_log () =
+      if show_log then
+        List.iter
+          (fun l -> Printf.eprintf "  [klog] %s\n" l)
+          (Kernel.Klog.tail (Kernel.log kernel) 32)
+    in
+    match Kernel.insmod kernel m with
+    | Error e ->
+      Printf.eprintf "kop_run: insmod rejected: %s\n"
+        (Kernel.load_error_to_string e);
+      dump_log ();
+      1
+    | Ok _lm -> (
+      Printf.printf "module %s inserted\n" m.Kir.Types.m_name;
+      let finish code =
+        if stats then begin
+          let st = Policy.Engine.stats (Policy.Policy_module.engine pm) in
+          Printf.eprintf "guard checks: %d (allowed %d, denied %d)\n"
+            st.Policy.Engine.checks st.Policy.Engine.allowed
+            st.Policy.Engine.denied;
+          Printf.eprintf "cycles: %d\n"
+            (Machine.Model.cycles (Kernel.machine kernel))
+        end;
+        dump_log ();
+        code
+      in
+      match call with
+      | None -> finish 0
+      | Some symbol -> (
+        let argv =
+          match args with
+          | "" -> [||]
+          | s ->
+            Array.of_list
+              (List.map
+                 (fun w ->
+                   match int_of_string_opt (String.trim w) with
+                   | Some v -> v
+                   | None ->
+                     Printf.eprintf "kop_run: bad argument %s\n" w;
+                     exit 2)
+                 (String.split_on_char ',' s))
+        in
+        try
+          let r = Kernel.call_symbol kernel symbol argv in
+          Printf.printf "%s(%s) = %d (0x%x)\n" symbol args r r;
+          finish 0
+        with
+        | Kernel.Panic info ->
+          Printf.eprintf "KERNEL PANIC: %s\n" info.Kernel.reason;
+          List.iter (fun l -> Printf.eprintf "  | %s\n" l) info.Kernel.log_tail;
+          ignore (finish 0);
+          4
+        | Vm.Interp.Vm_error msg ->
+          Printf.eprintf "kop_run: VM error: %s\n" msg;
+          finish 1
+        | Kernel.Fault { addr; size; what } ->
+          Printf.eprintf
+            "kop_run: unhandled %s fault at 0x%x (%d bytes) — kernel oops\n"
+            what addr size;
+          ignore (finish 0);
+          5))
+  with
+  | Kir.Parser.Parse_error (line, msg) ->
+    Printf.eprintf "kop_run: parse error at line %d: %s\n" line msg;
+    1
+  | Policy.Policy_file.Parse_error (line, msg) ->
+    Printf.eprintf "kop_run: policy parse error at line %d: %s\n" line msg;
+    1
+
+let module_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODULE.kir")
+
+let policy_arg =
+  Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"POLICY.kop")
+
+let call_arg =
+  Arg.(value & opt (some string) None & info [ "call" ] ~docv:"SYMBOL")
+
+let args_arg =
+  Arg.(value & opt string "" & info [ "args" ] ~docv:"A,B,…"
+    ~doc:"Comma-separated integer arguments (0x… accepted).")
+
+let machine_arg = Arg.(value & opt string "r350" & info [ "machine" ])
+
+let no_enforce =
+  Arg.(value & flag & info [ "no-enforce" ]
+    ~doc:"Accept unsigned/untransformed modules (today's permissive kernel).")
+
+let log_arg = Arg.(value & flag & info [ "log" ] ~doc:"Dump the kernel log.")
+let stats_arg = Arg.(value & flag & info [ "stats" ])
+
+let trace_arg =
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
+    ~doc:"Print the first N interpreted instructions to stderr.")
+
+let cmd =
+  let doc = "insert a KIR module into a simulated CARAT KOP kernel and call it" in
+  Cmd.v (Cmd.info "kop_run" ~doc)
+    Term.(
+      const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
+      $ no_enforce $ log_arg $ stats_arg $ trace_arg)
+
+let () = exit (Cmd.eval' cmd)

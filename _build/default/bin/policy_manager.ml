@@ -1,0 +1,174 @@
+(* policy-manager: the paper's operator tool (§3.1, Figure 1) — "a root
+   user can communicate with the policy module through an ioctl system
+   call to add or remove regions from the table".
+
+   The simulated analogue edits policy files and can exercise them
+   against a live simulated kernel through the real /dev/carat ioctl
+   path:
+
+     policy_manager init  -o policy.kop            # two-region default
+     policy_manager add   policy.kop --base 0x… --len 0x… --prot rw --tag t
+     policy_manager remove policy.kop --base 0x…
+     policy_manager list  policy.kop
+     policy_manager check policy.kop --addr 0x… --size 8 --write
+     policy_manager push  policy.kop               # load into a simulated
+                                                   # kernel via ioctls and
+                                                   # report the table *)
+
+open Cmdliner
+open Carat_kop
+
+let load_or_empty path =
+  if Sys.file_exists path then Policy.Policy_file.load path
+  else { Policy.Policy_file.default_allow = false; regions = [] }
+
+let cmd_init output =
+  let t = Policy.Policy_file.kernel_only in
+  (match output with
+  | Some path -> Policy.Policy_file.save path t
+  | None -> print_string (Policy.Policy_file.to_string t));
+  0
+
+let cmd_add file base len prot tag prepend =
+  let t = load_or_empty file in
+  let prot = Policy.Policy_file.prot_of_string 0 prot in
+  let r = Policy.Region.v ~tag ~base ~len ~prot () in
+  let regions =
+    if prepend then r :: t.Policy.Policy_file.regions
+    else t.Policy.Policy_file.regions @ [ r ]
+  in
+  if List.length regions > Policy.Linear_table.default_capacity then begin
+    Printf.eprintf "policy_manager: table is limited to %d regions\n"
+      Policy.Linear_table.default_capacity;
+    1
+  end
+  else begin
+    Policy.Policy_file.save file { t with Policy.Policy_file.regions };
+    0
+  end
+
+let cmd_remove file base =
+  let t = load_or_empty file in
+  let regions =
+    List.filter (fun r -> r.Policy.Region.base <> base) t.Policy.Policy_file.regions
+  in
+  if List.length regions = List.length t.Policy.Policy_file.regions then begin
+    Printf.eprintf "policy_manager: no region with base 0x%x\n" base;
+    1
+  end
+  else begin
+    Policy.Policy_file.save file { t with Policy.Policy_file.regions };
+    0
+  end
+
+let cmd_list file =
+  let t = Policy.Policy_file.load file in
+  Printf.printf "default: %s\n"
+    (if t.Policy.Policy_file.default_allow then "allow" else "deny");
+  List.iteri
+    (fun i r -> Printf.printf "%2d. %s\n" i (Policy.Region.to_string r))
+    t.Policy.Policy_file.regions;
+  0
+
+let cmd_check file addr size write =
+  let t = Policy.Policy_file.load file in
+  let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  let engine = Policy.Engine.create kernel in
+  Policy.Policy_file.apply t engine;
+  let flags =
+    if write then Policy.Region.prot_write else Policy.Region.prot_read
+  in
+  (match Policy.Engine.check engine ~addr ~size ~flags with
+  | Policy.Engine.Allowed (Some r) ->
+    Printf.printf "ALLOWED by %s\n" (Policy.Region.to_string r);
+    0
+  | Policy.Engine.Allowed None ->
+    Printf.printf "ALLOWED by default-allow\n";
+    0
+  | Policy.Engine.Denied (Some r) ->
+    Printf.printf "DENIED: matched %s but permissions are insufficient\n"
+      (Policy.Region.to_string r);
+    3
+  | Policy.Engine.Denied None ->
+    Printf.printf "DENIED: no matching region (default deny)\n";
+    3)
+
+let cmd_push file =
+  (* exercise the real ioctl path against a simulated kernel, exactly as
+     the tool in Figure 1 does *)
+  let t = Policy.Policy_file.load file in
+  let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  let pm =
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Log_only kernel
+  in
+  let arg = Kernel.map_user kernel ~size:32 in
+  let rc = ref 0 in
+  ignore
+    (Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_set_default
+       ~arg:(if t.Policy.Policy_file.default_allow then 1 else 0));
+  List.iter
+    (fun (r : Policy.Region.t) ->
+      Kernel.write kernel ~addr:arg ~size:8 r.Policy.Region.base;
+      Kernel.write kernel ~addr:(arg + 8) ~size:8 r.Policy.Region.len;
+      Kernel.write kernel ~addr:(arg + 16) ~size:8 r.Policy.Region.prot;
+      let res =
+        Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_add ~arg
+      in
+      if res <> 0 then begin
+        Printf.eprintf "ioctl add failed for %s\n" (Policy.Region.to_string r);
+        rc := 1
+      end)
+    t.Policy.Policy_file.regions;
+  let n =
+    Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_count ~arg:0
+  in
+  Printf.printf "pushed %d region(s) via /dev/carat; kernel table:\n" n;
+  List.iteri
+    (fun i r -> Printf.printf "%2d. %s\n" i (Policy.Region.to_string r))
+    (Policy.Engine.regions (Policy.Policy_module.engine pm));
+  !rc
+
+(* -- cmdliner wiring -- *)
+
+let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"POLICY")
+let out_arg = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT")
+let base_arg = Arg.(required & opt (some int) None & info [ "base" ])
+let len_arg = Arg.(required & opt (some int) None & info [ "len" ])
+let prot_arg = Arg.(value & opt string "rw" & info [ "prot" ])
+let tag_arg = Arg.(value & opt string "" & info [ "tag" ])
+let prepend_arg =
+  Arg.(value & flag & info [ "prepend" ]
+    ~doc:"Insert before existing rules (first match wins).")
+let addr_arg = Arg.(required & opt (some int) None & info [ "addr" ])
+let size_arg = Arg.(value & opt int 8 & info [ "size" ])
+let write_arg = Arg.(value & flag & info [ "write" ])
+
+let init_cmd =
+  Cmd.v (Cmd.info "init" ~doc:"write the canonical two-region policy")
+    Term.(const cmd_init $ out_arg)
+
+let add_cmd =
+  Cmd.v (Cmd.info "add" ~doc:"append a region rule")
+    Term.(const cmd_add $ file_arg $ base_arg $ len_arg $ prot_arg $ tag_arg $ prepend_arg)
+
+let remove_cmd =
+  Cmd.v (Cmd.info "remove" ~doc:"remove the rule with the given base")
+    Term.(const cmd_remove $ file_arg $ base_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"print the rules") Term.(const cmd_list $ file_arg)
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"evaluate one access against the policy")
+    Term.(const cmd_check $ file_arg $ addr_arg $ size_arg $ write_arg)
+
+let push_cmd =
+  Cmd.v (Cmd.info "push" ~doc:"load the policy into a simulated kernel via ioctl")
+    Term.(const cmd_push $ file_arg)
+
+let () =
+  let doc = "manage CARAT KOP memory-access policies (firewall rules)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "policy_manager" ~doc)
+          [ init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd ]))

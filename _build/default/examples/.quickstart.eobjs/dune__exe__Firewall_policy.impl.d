@@ -1,0 +1,1 @@
+examples/firewall_policy.ml: Carat_kop Kernel Kir Machine Passes Policy Printf Vm

@@ -1,0 +1,1 @@
+examples/heartbeat.ml: Carat_kop Kernel Kernsvc Kir Machine Option Passes Policy Printf Vm

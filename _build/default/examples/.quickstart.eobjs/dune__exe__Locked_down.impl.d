@@ -1,0 +1,1 @@
+examples/locked_down.ml: Carat_kop Kernel Kernsvc Kir List Machine Option Passes Policy Printf Vm

@@ -1,0 +1,1 @@
+examples/locked_down.mli:

@@ -1,0 +1,1 @@
+examples/malicious_module.ml: Carat_kop Kernel Kir List Machine Passes Policy Printf Vm

@@ -1,0 +1,1 @@
+examples/nic_protection.ml: Carat_kop Kir List Machine Net Nic Passes Policy Printf Stats Testbed

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Carat_kop Kernel Kir List Machine Passes Policy Printf Vm

@@ -1,0 +1,143 @@
+(* Everything §5 of the paper sketches as future work, running together:
+   a "monitoring" module locked down on four axes —
+
+     1. memory regions   — may read the stats queue, not the secrets file
+     2. file metadata    — the kernfs inode table is off-limits
+     3. privileged ops   — may use rdtsc, may NOT use wrmsr/cli
+     4. control flow     — indirect calls only to its own handler
+
+   The module is transformed with the extended pipeline
+   (guard_intrinsics + guard_cfi on top of the paper's memory guards).
+
+   Run with: dune exec examples/locked_down.exe *)
+
+open Carat_kop
+open Kir.Types
+
+(* The "monitoring" module: mostly legitimate, with several sharp edges
+   an operator would want fenced. *)
+let make_monitor () =
+  let b = Kir.Builder.create "hpc_monitor" in
+  List.iter
+    (fun (name, arity) -> Kir.Builder.declare_extern b name ~arity)
+    [ ("mq_recv", 3); ("kmalloc", 1) ];
+  (* sample(): timestamp via rdtsc and drain one stats message *)
+  ignore (Kir.Builder.start_func b "sample" ~params:[ ("%qid", I64) ] ~ret:(Some I64));
+  let t0 =
+    match Kir.Builder.intrinsic b ~want_result:true "rdtsc" [] with
+    | Some v -> v
+    | None -> assert false
+  in
+  let buf =
+    match Kir.Builder.call b "kmalloc" [ Imm 64 ] with
+    | Some v -> v
+    | None -> assert false
+  in
+  ignore (Kir.Builder.call b "mq_recv" [ Reg "%qid"; buf; Imm 64 ]);
+  let first = Kir.Builder.load b I8 buf in
+  let sum = Kir.Builder.add b I64 t0 first in
+  Kir.Builder.ret b (Some sum);
+  (* handler(x): the only legitimate indirect-call target *)
+  ignore (Kir.Builder.start_func b "handler" ~params:[ ("%x", I64) ] ~ret:(Some I64));
+  let d = Kir.Builder.mul b I64 (Reg "%x") (Imm 3) in
+  Kir.Builder.ret b (Some d);
+  (* dispatch(fp, x): calls through a function pointer *)
+  ignore
+    (Kir.Builder.start_func b "dispatch"
+       ~params:[ ("%fp", I64); ("%x", I64) ]
+       ~ret:(Some I64));
+  Kir.Builder.emit b
+    (Callind { dst = Some "%r"; fn = Reg "%fp"; args = [ Reg "%x" ] });
+  Kir.Builder.ret b (Some (Reg "%r"));
+  (* overclock(): the "performance tweak" that writes an MSR *)
+  ignore (Kir.Builder.start_func b "overclock" ~params:[] ~ret:(Some I64));
+  ignore (Kir.Builder.intrinsic b "wrmsr" [ Imm 0x199; Imm 0xFFFF ]);
+  Kir.Builder.ret b (Some (Imm 0));
+  (* snoop(addr): reads arbitrary kernel memory *)
+  ignore (Kir.Builder.start_func b "snoop" ~params:[ ("%a", I64) ] ~ret:(Some I64));
+  let v = Kir.Builder.load b I64 (Reg "%a") in
+  Kir.Builder.ret b (Some v);
+  Kir.Builder.modul b
+
+let expect label outcome f =
+  let result = try ignore (f ()); `Ok with Kernel.Panic _ -> `Panic in
+  let shown = match result with `Ok -> "ran" | `Panic -> "PANIC" in
+  Printf.printf "  %-56s %s %s\n" label shown
+    (if result = outcome then "[as expected]" else "[UNEXPECTED]");
+  if result <> outcome then exit 1
+
+(* one fresh locked-down kernel per probe (a panic kills the kernel) *)
+let build () =
+  let k = Kernel.create Machine.Presets.r350 in
+  let vm = Vm.Interp.install k in
+  let pm = Policy.Policy_module.install k in
+  let fs = Kernsvc.Kernfs.create k in
+  let mq = Kernsvc.Msgq.create k in
+  (* kernel objects *)
+  let secret =
+    Kernsvc.Kernfs.create_file fs ~name:"/etc/shadow"
+      ~mode:Kernsvc.Kernfs.mode_read ~capacity:64
+  in
+  Kernsvc.Kernfs.write_contents fs ~ino:secret "root:$6$salt$hash";
+  let stats_q = Kernsvc.Msgq.create_queue mq ~capacity:8 ~slot_size:48 in
+  ignore (Kernsvc.Msgq.send mq stats_q "load:0.42");
+  (* the module, compiled with ALL the extensions *)
+  let m = make_monitor () in
+  ignore (Passes.Pipeline.compile ~guard_intrinsics:true ~guard_cfi:true m);
+  (match Kernel.insmod k m with
+  | Ok _ -> ()
+  | Error e -> failwith (Kernel.load_error_to_string e));
+  (* axis 1+2: memory policy (first match wins) *)
+  Policy.Policy_module.set_policy pm
+    [
+      Kernsvc.Kernfs.metadata_region fs (* inodes: no access *);
+      Kernsvc.Kernfs.data_region fs ~ino:secret ~prot:0 (* secrets: none *);
+      Kernsvc.Msgq.queue_region stats_q ~prot:Policy.Region.prot_read;
+      Policy.Region.v ~tag:"module-stack" ~base:vm.Vm.Interp.stack_base
+        ~len:vm.Vm.Interp.stack_size ~prot:Policy.Region.prot_rw ();
+      Policy.Region.v ~tag:"module-area" ~base:Kernel.Layout.module_base
+        ~len:Kernel.Layout.module_area_size ~prot:Policy.Region.prot_rw ();
+      Policy.Region.v ~tag:"kernel-rest" ~base:Kernel.Layout.kernel_base
+        ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:Policy.Region.prot_rw ();
+    ];
+  (* axis 3: intrinsic permissions *)
+  Policy.Policy_module.allow_intrinsics pm [ "rdtsc" ];
+  (* axis 4: CFI allow-list *)
+  Policy.Policy_module.set_cfi_allowlist pm [ "handler" ];
+  (k, pm, fs, stats_q, secret)
+
+let () =
+  print_endline "a monitoring module, locked down on four axes\n";
+
+  let k, _, _, q, _ = build () in
+  expect "sample(): rdtsc + drain stats queue" `Ok (fun () ->
+      Kernel.call_symbol k "sample" [| q.Kernsvc.Msgq.qid |]);
+
+  let k, _, _, _, _ = build () in
+  let handler = Option.get (Kernel.symbol_address k "handler") in
+  expect "dispatch through the declared handler" `Ok (fun () ->
+      Kernel.call_symbol k "dispatch" [| handler; 7 |]);
+
+  print_endline "";
+  let k, _, fs, _, secret = build () in
+  expect "snoop() on the secrets file data" `Panic (fun () ->
+      let inode = Kernsvc.Kernfs.inode_vaddr fs secret in
+      let data = Kernel.read k ~addr:(inode + 32) ~size:8 in
+      Kernel.call_symbol k "snoop" [| data |]);
+
+  let k, _, fs, _, secret = build () in
+  expect "snoop() on the inode table (file metadata)" `Panic (fun () ->
+      Kernel.call_symbol k "snoop"
+        [| Kernsvc.Kernfs.inode_vaddr fs secret |]);
+
+  let k, _, _, _, _ = build () in
+  expect "overclock(): wrmsr without a grant" `Panic (fun () ->
+      Kernel.call_symbol k "overclock" [||]);
+
+  let k, _, _, _, _ = build () in
+  let printk = Option.get (Kernel.symbol_address k "printk") in
+  expect "dispatch to a kernel function off the allow-list" `Panic
+    (fun () -> Kernel.call_symbol k "dispatch" [| printk; 7 |]);
+
+  print_endline "\nthe same module, policy-fenced: useful work runs, every";
+  print_endline "escape hatch the paper lists in §5 is closed."

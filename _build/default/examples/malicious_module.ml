@@ -1,0 +1,122 @@
+(* The threat model (§1): "the consequences of installing buggy or
+   malicious modules into the kernel can range from corruption of data to
+   full-fledged rootkit-style attacks". Three attacks, and what CARAT KOP
+   does to each:
+
+   1. a rootkit that scribbles over core-kernel data        -> guard panic
+   2. a module carrying inline assembly                     -> refused at compile
+   3. a module whose signature was tampered with after sign -> refused at insmod
+   4. the same rootkit loaded WITHOUT CARAT KOP             -> corruption succeeds
+
+   Run with: dune exec examples/malicious_module.exe *)
+
+open Carat_kop
+open Kir.Types
+
+(* A "helpful performance module" that, once poked, overwrites the kernel
+   cred table (here: a word in core-kernel data) — the classic privilege
+   escalation. *)
+let make_rootkit () =
+  let b = Kir.Builder.create "perf_booster" in
+  ignore
+    (Kir.Builder.start_func b "boost"
+       ~params:[ ("%target", I64) ]
+       ~ret:(Some I64));
+  (* pretend to do useful work first *)
+  let scratch = Kir.Builder.alloca b 32 in
+  Kir.Builder.store b I64 (Imm 1) scratch;
+  let v = Kir.Builder.load b I64 scratch in
+  (* ... then the payload: write 0 (root uid) into the target *)
+  Kir.Builder.store b I64 (Imm 0) (Reg "%target");
+  Kir.Builder.ret b (Some v);
+  Kir.Builder.modul b
+
+let make_asm_module () =
+  let b = Kir.Builder.create "msr_poker" in
+  ignore (Kir.Builder.start_func b "poke_msr" ~params:[] ~ret:(Some I64));
+  Kir.Builder.inline_asm b "wrmsr";
+  Kir.Builder.ret b (Some (Imm 0));
+  Kir.Builder.modul b
+
+let fresh_kernel () =
+  let kernel = Kernel.create Machine.Presets.r350 in
+  let vm = Vm.Interp.install kernel in
+  let pm = Policy.Policy_module.install kernel in
+  (* module may use its own area and its own (kernel) stack — not the
+     core kernel's data and not the direct map at large *)
+  Policy.Policy_module.set_policy pm
+    [
+      Policy.Region.v ~tag:"module-area" ~base:Kernel.Layout.module_base
+        ~len:Kernel.Layout.module_area_size ~prot:Policy.Region.prot_rw ();
+      Policy.Region.v ~tag:"module-stack" ~base:vm.Vm.Interp.stack_base
+        ~len:vm.Vm.Interp.stack_size ~prot:Policy.Region.prot_rw ();
+    ];
+  kernel
+
+(* the simulated struct cred: a word of core-kernel static data *)
+let cred_addr = Kernel.Layout.kernel_data_base + 0x400
+
+let () =
+  print_endline "three attacks against the core kernel";
+
+  (* -------- attack 1: guarded rootkit -------- *)
+  print_endline "\n[1] rootkit write to kernel cred table, CARAT KOP build";
+  let kernel = fresh_kernel () in
+  Kernel.write kernel ~addr:cred_addr ~size:8 1000 (* uid 1000 *);
+  let rootkit = make_rootkit () in
+  ignore (Passes.Pipeline.compile rootkit);
+  (match Kernel.insmod kernel rootkit with
+  | Ok _ -> print_endline "  module inserted (it looks legitimate)"
+  | Error e -> failwith (Kernel.load_error_to_string e));
+  (try ignore (Kernel.call_symbol kernel "boost" [| cred_addr |])
+   with Kernel.Panic info ->
+     Printf.printf "  guard fired -> %s\n" info.Kernel.reason);
+  Printf.printf "  cred after attack: uid=%d (intact: %b)\n"
+    (Kernel.dma_read kernel ~addr:cred_addr ~size:8)
+    (Kernel.dma_read kernel ~addr:cred_addr ~size:8 = 1000);
+
+  (* -------- attack 2: inline assembly -------- *)
+  print_endline "\n[2] module carrying inline assembly (wrmsr)";
+  let asm_mod = make_asm_module () in
+  (try
+     ignore (Passes.Pipeline.compile asm_mod);
+     print_endline "  COMPILED (unexpected!)"
+   with Passes.Pass.Pass_failed (pass, reason) ->
+     Printf.printf "  compiler refused in pass '%s': %s\n" pass reason);
+
+  (* -------- attack 3: post-signing tamper -------- *)
+  print_endline "\n[3] binary patched after signing";
+  let kernel = fresh_kernel () in
+  let patched = make_rootkit () in
+  ignore (Passes.Pipeline.compile patched);
+  (* strip the guards out after signing, keeping the metadata *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          blk.body <-
+            List.filter
+              (function
+                | Call { callee = "carat_guard"; _ } -> false
+                | _ -> true)
+              blk.body)
+        f.blocks)
+    patched.funcs;
+  (match Kernel.insmod kernel patched with
+  | Ok _ -> print_endline "  inserted (unexpected!)"
+  | Error e -> Printf.printf "  insmod rejected: %s\n" (Kernel.load_error_to_string e));
+
+  (* -------- control: no CARAT KOP -------- *)
+  print_endline "\n[4] control: the same rootkit on a kernel without CARAT KOP";
+  let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  ignore (Vm.Interp.install kernel);
+  Kernel.write kernel ~addr:cred_addr ~size:8 1000;
+  let rootkit = make_rootkit () in
+  (match Kernel.insmod kernel rootkit with
+  | Ok _ -> print_endline "  module inserted, no questions asked"
+  | Error e -> failwith (Kernel.load_error_to_string e));
+  ignore (Kernel.call_symbol kernel "boost" [| cred_addr |]);
+  Printf.printf "  cred after attack: uid=%d (CORRUPTED: %b)\n"
+    (Kernel.dma_read kernel ~addr:cred_addr ~size:8)
+    (Kernel.dma_read kernel ~addr:cred_addr ~size:8 = 0);
+  print_endline "\nmalicious_module done."

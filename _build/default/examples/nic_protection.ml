@@ -1,0 +1,84 @@
+(* The paper's headline scenario (§4): the e1000e network driver compiled
+   with and without CARAT KOP, sending raw Ethernet frames. Shows the A/B
+   throughput and sendmsg latency, the guard accounting, and that the
+   transmitted bytes are identical under both builds (DMA is unguarded
+   and unchanged).
+
+   Run with: dune exec examples/nic_protection.exe *)
+
+open Carat_kop
+
+let run_technique technique =
+  let config =
+    {
+      Testbed.default_config with
+      machine = Machine.Presets.r350;
+      technique;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  (* warm up caches and predictor, then measure *)
+  ignore
+    (Testbed.run_pktgen tb
+       { Net.Pktgen.default_config with count = 200; size = 128; seed = 42 });
+  let r =
+    Testbed.run_pktgen tb
+      { Net.Pktgen.default_config with count = 2000; size = 128; seed = 7 }
+  in
+  (tb, r)
+
+let () =
+  print_endline "e1000e under CARAT KOP vs baseline (R350 model, 128B frames)";
+  print_endline "";
+
+  let tb_base, r_base = run_technique Testbed.Baseline in
+  let tb_carat, r_carat = run_technique Testbed.Carat in
+
+  let lat xs = Stats.Summary.of_ints xs in
+  let lb = lat r_base.Net.Pktgen.latencies in
+  let lc = lat r_carat.Net.Pktgen.latencies in
+
+  Printf.printf "baseline: %8.0f pps   sendmsg median %5.0f cycles\n"
+    r_base.Net.Pktgen.pps lb.Stats.Summary.median;
+  Printf.printf "carat:    %8.0f pps   sendmsg median %5.0f cycles\n"
+    r_carat.Net.Pktgen.pps lc.Stats.Summary.median;
+  Printf.printf "overhead: %+.2f%% throughput, %+.0f cycles latency\n"
+    ((r_base.Net.Pktgen.pps /. r_carat.Net.Pktgen.pps -. 1.0) *. 100.0)
+    (lc.Stats.Summary.median -. lb.Stats.Summary.median);
+  print_endline "";
+
+  (* guard accounting on the protected build *)
+  let m = tb_carat.Testbed.driver_kir in
+  Printf.printf "driver: %d KIR instructions, %d functions\n"
+    (Kir.Types.module_instr_count m)
+    (List.length m.Kir.Types.funcs);
+  Printf.printf "guards injected: %s (one per load/store, no optimization)\n"
+    (match Kir.Types.meta_find m Passes.Guard_injection.meta_guard_count with
+    | Some v -> v
+    | None -> "?");
+  let st =
+    Policy.Engine.stats
+      (Policy.Policy_module.engine tb_carat.Testbed.policy_module)
+  in
+  Printf.printf "guard checks executed: %d (denied: %d)\n"
+    st.Policy.Engine.checks st.Policy.Engine.denied;
+  print_endline "";
+
+  (* both devices saw the same traffic *)
+  Printf.printf "frames on the wire: baseline=%d carat=%d\n"
+    (Nic.Device.tx_frames (Testbed.device tb_base))
+    (Nic.Device.tx_frames (Testbed.device tb_carat));
+  (match
+     ( Nic.Device.recent_frames (Testbed.device tb_base),
+       Nic.Device.recent_frames (Testbed.device tb_carat) )
+   with
+  | fb :: _, fc :: _ ->
+    Printf.printf "last frame matches byte-for-byte: %b\n"
+      (fb.Nic.Device.data = fc.Nic.Device.data);
+    (match Net.Frame.ethertype_of fb.Nic.Device.data with
+    | Some et -> Printf.printf "ethertype on the wire: 0x%04x\n" et
+    | None -> ())
+  | _ -> print_endline "no frames captured");
+  print_endline "";
+  print_endline "the driver ran restricted to the two-region policy; the";
+  print_endline "performance cost of that protection is the numbers above."

@@ -1,0 +1,1 @@
+lib/core/carat_kop.ml: Experiments Kernel Kernsvc Kir Machine Net Nic Passes Policy Stats Testbed Vm

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Kernel Kir List Machine Net Nic Passes Policy Stats String Testbed

@@ -1,0 +1,1 @@
+lib/core/testbed.ml: Kernel Kir Machine Net Nic Passes Policy Vm

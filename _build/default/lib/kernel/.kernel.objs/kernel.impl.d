@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Char Hashtbl Kir Klog Layout List Machine Memory Passes Printf String

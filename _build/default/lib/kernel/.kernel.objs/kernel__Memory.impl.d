@@ -1,0 +1,1 @@
+lib/kernel/memory.ml: Bytes Char String

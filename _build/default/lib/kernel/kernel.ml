@@ -1,0 +1,579 @@
+(** The simulated core kernel: address space, symbol table, module loader
+    with load-time signature validation, character devices (ioctl), and
+    panic semantics.
+
+    The kernel is "core" in the paper's sense: it is trusted, its own code
+    is never guarded, and it is what CARAT KOP protects. Kernel modules
+    written in KIR execute through a pluggable [runner] (installed by the
+    VM layer, keeping the library dependency graph acyclic) and access
+    memory through {!read} and {!write}, which translate virtual
+    addresses, dispatch MMIO, and charge the machine cost model. *)
+
+(* Re-exported submodules: [kernel.ml] is the library's entry module, so
+   these aliases are how users reach the layout constants, the physical
+   memory, and the log. *)
+module Layout = Layout
+module Memory = Memory
+module Klog = Klog
+
+type panic_info = { reason : string; log_tail : string list }
+
+exception Panic of panic_info
+
+type mmio_region = {
+  mmio_name : string;
+  mmio_virt : int;
+  mmio_size : int;
+  mmio_read : int -> int -> int;  (** offset, size -> value *)
+  mmio_write : int -> int -> int -> unit;  (** offset, size, value *)
+}
+
+type mapping = { map_virt : int; map_size : int; map_phys : int }
+
+type loaded_module = {
+  lm_name : string;
+  lm_kir : Kir.Types.modul;
+  lm_globals : (string * int) list;  (** global name -> virtual address *)
+  mutable lm_state : [ `Live | `Dead ];
+  mutable lm_locks_held : int;
+}
+
+type symbol =
+  | Native of (t -> int array -> int)
+  | Kir_func of loaded_module * Kir.Types.func
+  | Data of int
+
+and t = {
+  mem : Memory.t;
+  phys_size : int;
+  machine : Machine.Model.t;
+  rng : Machine.Rng.t;
+  log : Klog.t;
+  symbols : (string, symbol) Hashtbl.t;
+  mutable modules : loaded_module list;
+  devices : (string, t -> cmd:int -> arg:int -> int) Hashtbl.t;
+  mutable mmio : mmio_region list;
+  mutable mappings : mapping list;
+  mutable kmalloc_next : int;  (** physical bump pointer *)
+  mutable module_virt_next : int;
+  mutable user_virt_next : int;
+  mutable current_module : loaded_module option;
+  mutable panicked : panic_info option;
+  mutable require_signature : bool;
+  signing_key : string;
+  runner : (t -> loaded_module -> Kir.Types.func -> int array -> int) option ref;
+  addr_to_symbol : (int, string) Hashtbl.t;
+      (** reverse map for synthetic function addresses (indirect calls) *)
+  overlapped_natives : (string, unit) Hashtbl.t;
+      (** natives whose whole invocation (call overhead included) is
+          off the critical path and discounted by speculative overlap —
+          the guard function is the canonical case *)
+  (* privileged machine state reachable only through intrinsics *)
+  msrs : (int, int) Hashtbl.t;
+  mutable irqs_enabled : bool;
+}
+
+type load_error =
+  | Verification_failed of string
+  | Signature_rejected of Passes.Signing.verify_error
+  | Symbol_collision of string
+  | Unresolved_import of string
+  | Kernel_is_panicked
+
+let load_error_to_string = function
+  | Verification_failed s -> "IR verification failed: " ^ s
+  | Signature_rejected e ->
+    "signature rejected: " ^ Passes.Signing.verify_error_to_string e
+  | Symbol_collision s -> "symbol collision on " ^ s
+  | Unresolved_import s -> "unresolved import " ^ s
+  | Kernel_is_panicked -> "kernel has panicked"
+
+exception Fault of { addr : int; size : int; what : string }
+
+(* ------------------------------------------------------------------ *)
+
+let panic t reason =
+  let info = { reason; log_tail = Klog.tail t.log 16 } in
+  Klog.log t.log Klog.Crit "Kernel panic - not syncing: %s" reason;
+  t.panicked <- Some info;
+  raise (Panic info)
+
+let check_alive t = if t.panicked <> None then panic t "action on dead kernel"
+
+(* ------------------------------------------------------------------ *)
+(* address translation *)
+
+let kernel_image_phys_size = Layout.kernel_text_size + Layout.kernel_data_size
+
+let translate t addr size :
+    [ `Phys of int | `Mmio of mmio_region * int | `Fault ] =
+  if addr >= Layout.direct_map_base && addr + size <= Layout.direct_map_base + t.phys_size
+  then `Phys (addr - Layout.direct_map_base)
+  else if
+    addr >= Layout.kernel_text_base
+    && addr + size <= Layout.kernel_data_base + Layout.kernel_data_size
+  then `Phys (addr - Layout.kernel_text_base)
+  else begin
+    match
+      List.find_opt
+        (fun m -> addr >= m.map_virt && addr + size <= m.map_virt + m.map_size)
+        t.mappings
+    with
+    | Some m -> `Phys (m.map_phys + (addr - m.map_virt))
+    | None -> (
+      match
+        List.find_opt
+          (fun r ->
+            addr >= r.mmio_virt && addr + size <= r.mmio_virt + r.mmio_size)
+          t.mmio
+      with
+      | Some r -> `Mmio (r, addr - r.mmio_virt)
+      | None -> `Fault)
+  end
+
+(** Read simulated memory at a virtual address, charging machine cost.
+    This is the path taken by all CPU-side accesses, guarded or not. *)
+let read t ~addr ~size =
+  match translate t addr size with
+  | `Phys p ->
+    Machine.Model.load t.machine addr size;
+    Memory.read t.mem p ~size
+  | `Mmio (r, off) ->
+    Machine.Model.mmio t.machine;
+    r.mmio_read off size
+  | `Fault -> raise (Fault { addr; size; what = "read" })
+
+let write t ~addr ~size v =
+  match translate t addr size with
+  | `Phys p ->
+    Machine.Model.store t.machine addr size;
+    Memory.write t.mem p ~size v
+  | `Mmio (r, off) ->
+    Machine.Model.mmio_write t.machine;
+    r.mmio_write off size v
+  | `Fault -> raise (Fault { addr; size; what = "write" })
+
+(** Cost-free, translation-only access used by DMA engines: devices reach
+    physical memory behind the CPU's back (and behind the guards — the
+    paper's point about DMA not being checked). *)
+let dma_read t ~addr ~size =
+  match translate t addr size with
+  | `Phys p -> Memory.read t.mem p ~size
+  | `Mmio (r, off) -> r.mmio_read off size
+  | `Fault -> raise (Fault { addr; size; what = "dma_read" })
+
+let dma_write t ~addr ~size v =
+  match translate t addr size with
+  | `Phys p -> Memory.write t.mem p ~size v
+  | `Mmio (r, off) -> r.mmio_write off size v
+  | `Fault -> raise (Fault { addr; size; what = "dma_write" })
+
+let read_string t ~addr ~len =
+  match translate t addr len with
+  | `Phys p -> Memory.read_string t.mem ~src:p ~len
+  | _ -> raise (Fault { addr; size = len; what = "read_string" })
+
+let write_string t ~addr s =
+  match translate t addr (String.length s) with
+  | `Phys p -> Memory.blit_string t.mem ~dst:p s
+  | _ ->
+    raise (Fault { addr; size = String.length s; what = "write_string" })
+
+(* ------------------------------------------------------------------ *)
+(* allocation *)
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+(** Allocate [size] bytes of physical memory; returns the physical
+    address. There is no free: module lifetimes in the simulation are
+    short and leak-free accounting is not the point. *)
+let kmalloc_phys t ~size =
+  let p = align_up t.kmalloc_next 64 in
+  if p + size > t.phys_size then panic t "out of physical memory (kmalloc)";
+  t.kmalloc_next <- p + size;
+  p
+
+(** Allocate kernel heap memory; returns the direct-map virtual address
+    (as Linux's kmalloc does). *)
+let kmalloc t ~size =
+  Layout.direct_map_of_phys (kmalloc_phys t ~size)
+
+(** Map [size] bytes into the module area, backed by fresh physical
+    memory; returns the module-area virtual address. *)
+let module_alloc t ~size =
+  let phys = kmalloc_phys t ~size in
+  let virt = align_up t.module_virt_next 64 in
+  if virt + size > Layout.module_base + Layout.module_area_size then
+    panic t "module area exhausted";
+  t.module_virt_next <- virt + size;
+  t.mappings <- { map_virt = virt; map_size = size; map_phys = phys } :: t.mappings;
+  virt
+
+(** Map a user-space buffer (for the user-level test tool). *)
+let map_user t ~size =
+  let phys = kmalloc_phys t ~size in
+  let virt = align_up t.user_virt_next 4096 in
+  t.user_virt_next <- virt + size;
+  t.mappings <- { map_virt = virt; map_size = size; map_phys = phys } :: t.mappings;
+  virt
+
+(** Map a device's register BAR into the MMIO window; returns its virtual
+    base (what ioremap would return). *)
+let ioremap t ~name ~size ~read:mmio_read ~write:mmio_write =
+  let used =
+    List.fold_left (fun acc r -> max acc (r.mmio_virt + r.mmio_size)) Layout.mmio_base t.mmio
+  in
+  let virt = align_up used 4096 in
+  if virt + size > Layout.mmio_base + Layout.mmio_area_size then
+    panic t "MMIO window exhausted";
+  let r = { mmio_name = name; mmio_virt = virt; mmio_size = size; mmio_read; mmio_write } in
+  t.mmio <- r :: t.mmio;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* symbols *)
+
+let register_symbol t name sym =
+  if Hashtbl.mem t.symbols name then Error (Symbol_collision name)
+  else begin
+    Hashtbl.replace t.symbols name sym;
+    Ok ()
+  end
+
+let register_native ?(overlapped = false) t name fn =
+  Hashtbl.replace t.symbols name (Native fn);
+  if overlapped then Hashtbl.replace t.overlapped_natives name ()
+  else Hashtbl.remove t.overlapped_natives name
+
+let lookup_symbol t name = Hashtbl.find_opt t.symbols name
+
+(** Address of a data symbol or function "address" for [Sym] operands.
+    Functions get synthetic addresses in the text range so that taking a
+    function's address and comparing it works. *)
+let symbol_address t name =
+  match lookup_symbol t name with
+  | Some (Data addr) -> Some addr
+  | Some (Kir_func _) | Some (Native _) ->
+    (* synthetic, stable text address derived from the name *)
+    let h = Hashtbl.hash name land 0xFFFFF in
+    let addr = Layout.kernel_text_base + (h * 16) in
+    Hashtbl.replace t.addr_to_symbol addr name;
+    Some addr
+  | None -> None
+
+(** Inverse of {!symbol_address} for function symbols whose address has
+    been taken; used to resolve indirect calls. *)
+let symbol_of_address t addr = Hashtbl.find_opt t.addr_to_symbol addr
+
+(** Invoke a symbol as a function with machine call-overhead accounting.
+    KIR functions go through the installed runner. *)
+let call_symbol t name (args : int array) : int =
+  check_alive t;
+  match lookup_symbol t name with
+  | Some (Native fn) ->
+    if Hashtbl.mem t.overlapped_natives name then
+      Machine.Model.with_overlap t.machine (fun () ->
+          Machine.Model.call t.machine;
+          fn t args)
+    else begin
+      Machine.Model.call t.machine;
+      fn t args
+    end
+  | Some (Kir_func (lm, f)) -> (
+    Machine.Model.call t.machine;
+    if lm.lm_state = `Dead then
+      panic t (Printf.sprintf "call into unloaded module %s" lm.lm_name);
+    match !(t.runner) with
+    | Some run ->
+      let saved = t.current_module in
+      t.current_module <- Some lm;
+      let r =
+        try run t lm f args
+        with e ->
+          t.current_module <- saved;
+          raise e
+      in
+      t.current_module <- saved;
+      r
+    | None -> panic t "no KIR runner installed")
+  | Some (Data _) ->
+    panic t (Printf.sprintf "call to data symbol %s" name)
+  | None -> panic t (Printf.sprintf "call to missing symbol %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* module loading (insmod / rmmod) *)
+
+let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
+  if t.panicked <> None then Error Kernel_is_panicked
+  else begin
+    let verdict =
+      if t.require_signature then
+        match Passes.Signing.verify ~key:t.signing_key km with
+        | Ok () -> Ok ()
+        | Error e -> Error (Signature_rejected e)
+      else Ok ()
+    in
+    match verdict with
+    | Error e ->
+      Klog.log t.log Klog.Err "insmod %s: %s" km.Kir.Types.m_name
+        (load_error_to_string e);
+      Error e
+    | Ok () -> (
+      match Kir.Verify.check_module km with
+      | _ :: _ as errs ->
+        let msg = Kir.Verify.error_to_string (List.hd errs) in
+        Klog.log t.log Klog.Err "insmod %s: %s" km.Kir.Types.m_name msg;
+        Error (Verification_failed msg)
+      | [] ->
+        (* imports must resolve before anything is published *)
+        let missing =
+          List.find_opt
+            (fun (name, _) -> not (Hashtbl.mem t.symbols name))
+            km.Kir.Types.externs
+        in
+        (match missing with
+        | Some (name, _) ->
+          Klog.log t.log Klog.Err "insmod %s: unresolved import %s"
+            km.Kir.Types.m_name name;
+          Error (Unresolved_import name)
+        | None ->
+          let collision =
+            List.find_opt
+              (fun (f : Kir.Types.func) -> Hashtbl.mem t.symbols f.f_name)
+              km.Kir.Types.funcs
+          in
+          (match collision with
+          | Some f -> Error (Symbol_collision f.Kir.Types.f_name)
+          | None ->
+            (* allocate and initialize globals *)
+            let globals =
+              List.map
+                (fun (g : Kir.Types.global) ->
+                  let virt = module_alloc t ~size:g.g_size in
+                  (match g.g_init with
+                  | Some init -> write_string t ~addr:virt init
+                  | None -> ());
+                  (g.g_name, virt))
+                km.Kir.Types.globals
+            in
+            let lm =
+              {
+                lm_name = km.Kir.Types.m_name;
+                lm_kir = km;
+                lm_globals = globals;
+                lm_state = `Live;
+                lm_locks_held = 0;
+              }
+            in
+            List.iter
+              (fun (name, addr) ->
+                Hashtbl.replace t.symbols name (Data addr))
+              globals;
+            List.iter
+              (fun (f : Kir.Types.func) ->
+                Hashtbl.replace t.symbols f.f_name (Kir_func (lm, f)))
+              km.Kir.Types.funcs;
+            t.modules <- lm :: t.modules;
+            Klog.printk t.log "module %s loaded (%d functions, %d globals)%s"
+              lm.lm_name
+              (List.length km.Kir.Types.funcs)
+              (List.length globals)
+              (if Kir.Types.meta_find km Passes.Guard_injection.meta_guarded
+                  = Some "true"
+               then " [CARAT KOP protected]"
+               else "");
+            (* run the module init if present *)
+            (match Kir.Types.find_func km "init_module" with
+            | Some _ -> ignore (call_symbol t "init_module" [||])
+            | None -> ());
+            Ok lm)))
+  end
+
+type unload_error = Locks_held of int | Already_dead
+
+(** Remove a module. Refuses when the module still holds kernel locks —
+    the paper's §3.1 discussion of why forcefully ejecting a running
+    module can deadlock the system. *)
+let rmmod t (lm : loaded_module) : (unit, unload_error) result =
+  if lm.lm_state = `Dead then Error Already_dead
+  else if lm.lm_locks_held > 0 then begin
+    Klog.log t.log Klog.Warn
+      "rmmod %s refused: module holds %d lock(s); forced unload would deadlock"
+      lm.lm_name lm.lm_locks_held;
+    Error (Locks_held lm.lm_locks_held)
+  end
+  else begin
+    (match Kir.Types.find_func lm.lm_kir "cleanup_module" with
+    | Some _ -> ignore (call_symbol t "cleanup_module" [||])
+    | None -> ());
+    List.iter
+      (fun (f : Kir.Types.func) -> Hashtbl.remove t.symbols f.f_name)
+      lm.lm_kir.Kir.Types.funcs;
+    List.iter (fun (name, _) -> Hashtbl.remove t.symbols name) lm.lm_globals;
+    lm.lm_state <- `Dead;
+    t.modules <- List.filter (fun m -> m != lm) t.modules;
+    Klog.printk t.log "module %s unloaded" lm.lm_name;
+    Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* privileged intrinsics *)
+
+(** The privileged builtins a module can reach without inline assembly
+    (paper §5: "any privileged intrinsic or builtin is useable from
+    inside of a CARAT KOP protected module"). Executing one is always
+    possible — the question the [Intrinsic_guard] extension answers is
+    whether the policy lets a given module do so. *)
+let known_intrinsics =
+  [ "rdtsc"; "rdmsr"; "wrmsr"; "cli"; "sti"; "invlpg"; "pause"; "hlt" ]
+
+let intrinsic_id name =
+  let rec go i = function
+    | [] -> None
+    | n :: _ when n = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 known_intrinsics
+
+let intrinsic_name id = List.nth_opt known_intrinsics id
+
+let read_msr t msr = try Hashtbl.find t.msrs msr with Not_found -> 0
+let irqs_enabled t = t.irqs_enabled
+
+(** Execute a privileged intrinsic with kernel-level effect. *)
+let exec_intrinsic t ~iname ~(args : int array) : int =
+  Machine.Model.add_cycles t.machine 24 (* serializing-ish cost *);
+  match (iname, args) with
+  | "rdtsc", _ -> Machine.Model.cycles t.machine
+  | "rdmsr", [| msr |] -> read_msr t msr
+  | "wrmsr", [| msr; v |] ->
+    Hashtbl.replace t.msrs msr v;
+    Klog.log t.log Klog.Debug "wrmsr 0x%x <- 0x%x" msr v;
+    0
+  | "cli", _ ->
+    t.irqs_enabled <- false;
+    0
+  | "sti", _ ->
+    t.irqs_enabled <- true;
+    0
+  | "invlpg", [| _addr |] -> 0 (* TLB not modelled; cost already charged *)
+  | "pause", _ -> 0
+  | "hlt", _ ->
+    if t.irqs_enabled then 0
+    else panic t "hlt with interrupts disabled: core parked forever"
+  | _ ->
+    panic t
+      (Printf.sprintf "unknown or malformed intrinsic %s/%d" iname
+         (Array.length args))
+
+(* ------------------------------------------------------------------ *)
+(* character devices & ioctl *)
+
+let register_device t name handler = Hashtbl.replace t.devices name handler
+
+(** User-space ioctl entry point; charges a syscall crossing. *)
+let ioctl t ~dev ~cmd ~arg =
+  check_alive t;
+  Machine.Model.syscall t.machine;
+  match Hashtbl.find_opt t.devices dev with
+  | Some handler -> handler t ~cmd ~arg
+  | None ->
+    Klog.log t.log Klog.Warn "ioctl on missing device %s" dev;
+    -1 (* -ENODEV in spirit *)
+
+(* ------------------------------------------------------------------ *)
+(* native kernel API exposed to modules *)
+
+let install_core_natives t =
+  register_native t "printk" (fun t args ->
+      match args with
+      | [| addr; len |] ->
+        Klog.printk t.log "%s" (read_string t ~addr ~len);
+        0
+      | _ -> panic t "printk: bad arguments");
+  register_native t "memcpy" (fun t args ->
+      match args with
+      | [| dst; src; len |] ->
+        Machine.Model.memcpy t.machine ~dst ~src len;
+        (match (translate t src len, translate t dst len) with
+        | `Phys ps, `Phys pd -> Memory.blit t.mem ~src:ps ~dst:pd ~len
+        | _ -> raise (Fault { addr = src; size = len; what = "memcpy" }));
+        dst
+      | _ -> panic t "memcpy: bad arguments");
+  register_native t "memset" (fun t args ->
+      match args with
+      | [| dst; byte; len |] ->
+        Machine.Model.memcpy t.machine ~dst ~src:dst len;
+        (match translate t dst len with
+        | `Phys pd -> Memory.fill t.mem ~dst:pd ~len (Char.chr (byte land 0xff))
+        | _ -> raise (Fault { addr = dst; size = len; what = "memset" }));
+        dst
+      | _ -> panic t "memset: bad arguments");
+  register_native t "kmalloc" (fun t args ->
+      match args with
+      | [| size |] -> kmalloc t ~size
+      | _ -> panic t "kmalloc: bad arguments");
+  register_native t "spin_lock" (fun t _args ->
+      (match t.current_module with
+      | Some lm -> lm.lm_locks_held <- lm.lm_locks_held + 1
+      | None -> ());
+      Machine.Model.add_cycles t.machine 18;
+      0);
+  register_native t "spin_unlock" (fun t _args ->
+      (match t.current_module with
+      | Some lm when lm.lm_locks_held > 0 ->
+        lm.lm_locks_held <- lm.lm_locks_held - 1
+      | _ -> ());
+      Machine.Model.add_cycles t.machine 14;
+      0);
+  register_native t "ndelay" (fun t args ->
+      match args with
+      | [| n |] ->
+        Machine.Model.add_cycles t.machine
+          (int_of_float (float_of_int n *. t.machine.Machine.Model.p.freq_ghz));
+        0
+      | _ -> panic t "ndelay: bad arguments");
+  register_native t "get_cycles" (fun t _ -> Machine.Model.cycles t.machine)
+
+(* ------------------------------------------------------------------ *)
+
+let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
+    ?(signing_key = Passes.Pipeline.default_key) ?(seed = 42)
+    (mparams : Machine.Model.params) : t =
+  let t =
+    {
+      mem = Memory.create ~size:phys_size;
+      phys_size;
+      machine = Machine.Model.create mparams;
+      rng = Machine.Rng.create seed;
+      log = Klog.create ();
+      symbols = Hashtbl.create 256;
+      modules = [];
+      devices = Hashtbl.create 8;
+      mmio = [];
+      mappings = [];
+      kmalloc_next = kernel_image_phys_size;
+      module_virt_next = Layout.module_base;
+      user_virt_next = Layout.user_base;
+      current_module = None;
+      panicked = None;
+      require_signature;
+      signing_key;
+      runner = ref None;
+      addr_to_symbol = Hashtbl.create 64;
+      overlapped_natives = Hashtbl.create 4;
+      msrs = Hashtbl.create 16;
+      irqs_enabled = true;
+    }
+  in
+  install_core_natives t;
+  Klog.printk t.log "kernel boot: %s, %d MiB RAM, signature enforcement %s"
+    mparams.Machine.Model.name (phys_size / 1024 / 1024)
+    (if require_signature then "on" else "off");
+  t
+
+let set_runner t run = t.runner := Some run
+let machine t = t.machine
+let log t = t.log
+let signing_key t = t.signing_key
+let set_require_signature t b = t.require_signature <- b

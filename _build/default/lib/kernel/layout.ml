@@ -1,0 +1,48 @@
+(** Simulated kernel address-space layout.
+
+    Linux on x86-64 splits the canonical address space into a user "low
+    half" and a kernel "high half", with all of physical memory remapped
+    at a fixed offset (the direct map) and modules in a separate vmalloc
+    range. We reproduce that structure inside OCaml's 63-bit native-int
+    range (DESIGN.md documents the substitution): the kernel half starts
+    at [kernel_base] instead of 0xffff800000000000.
+
+    The two-region policy the paper uses for most experiments ("kernel
+    addresses are allowed, user addresses are disallowed") is expressed
+    directly against these constants. *)
+
+(* user half *)
+let user_base = 0x0000_0000_0000_1000
+let user_top = 0x0FFF_FFFF_FFFF_FFFF
+
+(* kernel half *)
+let kernel_base = 0x1000_0000_0000_0000
+
+(* kernel image: text then static data *)
+let kernel_text_base = kernel_base
+let kernel_text_size = 0x0020_0000 (* 2 MiB of core-kernel text *)
+let kernel_data_base = kernel_text_base + kernel_text_size
+let kernel_data_size = 0x0020_0000
+
+(* direct map of all physical memory ("high half" remap) *)
+let direct_map_base = 0x1100_0000_0000_0000
+
+(* module / vmalloc area *)
+let module_base = 0x1200_0000_0000_0000
+let module_area_size = 0x1000_0000
+
+(* MMIO window where device BARs get ioremap'd *)
+let mmio_base = 0x1300_0000_0000_0000
+let mmio_area_size = 0x1000_0000
+
+let is_user_addr a = a >= user_base && a <= user_top
+let is_kernel_addr a = a >= kernel_base
+let is_module_addr a = a >= module_base && a < module_base + module_area_size
+let is_mmio_addr a = a >= mmio_base && a < mmio_base + mmio_area_size
+
+let direct_map_of_phys phys = direct_map_base + phys
+
+let phys_of_direct_map virt =
+  if virt < direct_map_base then
+    invalid_arg "phys_of_direct_map: not a direct-map address"
+  else virt - direct_map_base

@@ -1,0 +1,55 @@
+(** Simulated physical memory: a flat byte array with little-endian
+    integer accessors, as DRAM behind the direct map. *)
+
+type t = { bytes : Bytes.t; size : int }
+
+exception Bad_phys_access of { addr : int; size : int }
+
+let create ~size = { bytes = Bytes.make size '\000'; size }
+
+let check t addr size =
+  if addr < 0 || size < 0 || addr + size > t.size then
+    raise (Bad_phys_access { addr; size })
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.bytes addr)
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.set t.bytes addr (Char.chr (v land 0xff))
+
+(** Little-endian load of [size] ∈ {1,2,4,8} bytes. 8-byte loads are
+    truncated to OCaml's 63-bit int range (top bit lost — documented
+    simulator restriction). *)
+let read t addr ~size =
+  check t addr size;
+  let rec go acc i =
+    if i = size then acc
+    else
+      go (acc lor (Char.code (Bytes.get t.bytes (addr + i)) lsl (8 * i))) (i + 1)
+  in
+  go 0 0 land max_int
+
+let write t addr ~size v =
+  check t addr size;
+  for i = 0 to size - 1 do
+    Bytes.set t.bytes (addr + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let blit_string t ~dst s =
+  check t dst (String.length s);
+  Bytes.blit_string s 0 t.bytes dst (String.length s)
+
+let blit t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.bytes src t.bytes dst len
+
+let read_string t ~src ~len =
+  check t src len;
+  Bytes.sub_string t.bytes src len
+
+let fill t ~dst ~len c =
+  check t dst len;
+  Bytes.fill t.bytes dst len c

@@ -1,0 +1,1 @@
+lib/kernsvc/kernfs.ml: Kernel List Policy String

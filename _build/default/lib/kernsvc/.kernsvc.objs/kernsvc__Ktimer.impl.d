@@ -1,0 +1,1 @@
+lib/kernsvc/ktimer.ml: Kernel List Machine

@@ -1,0 +1,1 @@
+lib/kernsvc/msgq.ml: Kernel List Policy Printf String

@@ -1,0 +1,162 @@
+(** A miniature in-kernel filesystem — the substrate for the paper's §5
+    file-protection extension: "CARAT KOP's memory guarding mechanism
+    could be extended to restrict kernel module access to files by
+    safeguarding memory regions associated with file system metadata or
+    inodes".
+
+    The design puts everything a module could corrupt into *addressable
+    kernel memory*, so region policies can protect it:
+    - the {b inode table}: a fixed array of 64-byte on-"disk" inodes
+      (mode, size, uid, nlink, data pointer) in kernel heap memory;
+    - per-file {b data extents}, separately allocated.
+
+    Modules are expected to go through the exported VFS API
+    ([vfs_read]/[vfs_write]/[vfs_getattr]/[vfs_chmod] natives — core
+    kernel code, hence unguarded). A module that instead pokes the inode
+    table directly (the classic rootkit move: clear the setuid bit check,
+    resurrect an unlinked inode) hits a memory guard, if the operator's
+    policy excludes the metadata region. *)
+
+let inode_size = 64
+let max_inodes = 64
+
+(* inode field offsets *)
+let off_mode = 0
+let off_size = 8
+let off_uid = 16
+let off_nlink = 24
+let off_data = 32
+let off_capacity = 40
+
+(* mode bits *)
+let mode_read = 0o4
+let mode_write = 0o2
+let mode_setuid = 0o4000
+
+type t = {
+  kernel : Kernel.t;
+  table_vaddr : int;
+  mutable names : (string * int) list;  (** file name -> inode number *)
+  mutable next_ino : int;
+}
+
+exception No_such_file of string
+exception Fs_error of string
+
+let create kernel : t =
+  let table_vaddr = Kernel.kmalloc kernel ~size:(max_inodes * inode_size) in
+  let t = { kernel; table_vaddr; names = []; next_ino = 1 } in
+  (* natives: the legitimate VFS entry points (core kernel, unguarded) *)
+  Kernel.register_native kernel "vfs_read" (fun k args ->
+      match args with
+      | [| ino; off; dst; len |] ->
+        let inode = table_vaddr + (ino * inode_size) in
+        let size = Kernel.read k ~addr:(inode + off_size) ~size:8 in
+        let mode = Kernel.read k ~addr:(inode + off_mode) ~size:8 in
+        if mode land mode_read = 0 then -1
+        else begin
+          let data = Kernel.read k ~addr:(inode + off_data) ~size:8 in
+          let n = max 0 (min len (size - off)) in
+          if n > 0 then
+            ignore (Kernel.call_symbol k "memcpy" [| dst; data + off; n |]);
+          n
+        end
+      | _ -> Kernel.panic k "vfs_read: bad arguments");
+  Kernel.register_native kernel "vfs_write" (fun k args ->
+      match args with
+      | [| ino; off; src; len |] ->
+        let inode = table_vaddr + (ino * inode_size) in
+        let mode = Kernel.read k ~addr:(inode + off_mode) ~size:8 in
+        let capacity = Kernel.read k ~addr:(inode + off_capacity) ~size:8 in
+        if mode land mode_write = 0 then -1
+        else if off + len > capacity then -1
+        else begin
+          let data = Kernel.read k ~addr:(inode + off_data) ~size:8 in
+          if len > 0 then
+            ignore (Kernel.call_symbol k "memcpy" [| data + off; src; len |]);
+          let size = Kernel.read k ~addr:(inode + off_size) ~size:8 in
+          if off + len > size then
+            Kernel.write k ~addr:(inode + off_size) ~size:8 (off + len);
+          len
+        end
+      | _ -> Kernel.panic k "vfs_write: bad arguments");
+  Kernel.register_native kernel "vfs_getattr" (fun k args ->
+      match args with
+      | [| ino; which |] ->
+        let inode = table_vaddr + (ino * inode_size) in
+        let off =
+          match which with
+          | 0 -> off_mode
+          | 1 -> off_size
+          | 2 -> off_uid
+          | 3 -> off_nlink
+          | _ -> off_mode
+        in
+        Kernel.read k ~addr:(inode + off) ~size:8
+      | _ -> Kernel.panic k "vfs_getattr: bad arguments");
+  Kernel.register_native kernel "vfs_chmod" (fun k args ->
+      match args with
+      | [| ino; mode |] ->
+        (* the API refuses to set setuid from module context; that is
+           exactly the bit a rootkit wants, and exactly why it would try
+           direct inode writes instead *)
+        let inode = table_vaddr + (ino * inode_size) in
+        let masked = mode land lnot mode_setuid in
+        Kernel.write k ~addr:(inode + off_mode) ~size:8 masked;
+        0
+      | _ -> Kernel.panic k "vfs_chmod: bad arguments");
+  t
+
+let inode_vaddr t ino = t.table_vaddr + (ino * inode_size)
+
+let lookup t name =
+  match List.assoc_opt name t.names with
+  | Some ino -> ino
+  | None -> raise (No_such_file name)
+
+(** Create a file with a data extent of [capacity] bytes. *)
+let create_file t ~name ~mode ~capacity : int =
+  if t.next_ino >= max_inodes then raise (Fs_error "inode table full");
+  if List.mem_assoc name t.names then raise (Fs_error ("exists: " ^ name));
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  let data = Kernel.kmalloc t.kernel ~size:capacity in
+  let inode = inode_vaddr t ino in
+  Kernel.write t.kernel ~addr:(inode + off_mode) ~size:8 mode;
+  Kernel.write t.kernel ~addr:(inode + off_size) ~size:8 0;
+  Kernel.write t.kernel ~addr:(inode + off_uid) ~size:8 0;
+  Kernel.write t.kernel ~addr:(inode + off_nlink) ~size:8 1;
+  Kernel.write t.kernel ~addr:(inode + off_data) ~size:8 data;
+  Kernel.write t.kernel ~addr:(inode + off_capacity) ~size:8 capacity;
+  t.names <- (name, ino) :: t.names;
+  ino
+
+(** Kernel-side write of file contents (e.g. populating /etc/shadow). *)
+let write_contents t ~ino s =
+  let inode = inode_vaddr t ino in
+  let data = Kernel.read t.kernel ~addr:(inode + off_data) ~size:8 in
+  Kernel.write_string t.kernel ~addr:data s;
+  Kernel.write t.kernel ~addr:(inode + off_size) ~size:8 (String.length s)
+
+let read_contents t ~ino =
+  let inode = inode_vaddr t ino in
+  let data = Kernel.read t.kernel ~addr:(inode + off_data) ~size:8 in
+  let size = Kernel.read t.kernel ~addr:(inode + off_size) ~size:8 in
+  Kernel.read_string t.kernel ~addr:data ~len:size
+
+let mode_of t ~ino =
+  Kernel.read t.kernel ~addr:(inode_vaddr t ino + off_mode) ~size:8
+
+(** The region covering all inode metadata — what a file-protection
+    policy excludes from module access. *)
+let metadata_region t =
+  Policy.Region.v ~tag:"kernfs-inode-table" ~base:t.table_vaddr
+    ~len:(max_inodes * inode_size) ~prot:0 ()
+
+(** The region covering one file's data extent, with the given module
+    permissions. *)
+let data_region t ~ino ~prot =
+  let inode = inode_vaddr t ino in
+  let data = Kernel.read t.kernel ~addr:(inode + off_data) ~size:8 in
+  let capacity = Kernel.read t.kernel ~addr:(inode + off_capacity) ~size:8 in
+  Policy.Region.v ~tag:"kernfs-data" ~base:data ~len:capacity ~prot ()

@@ -1,0 +1,105 @@
+(** Kernel timers with module callbacks — the substrate behind the HPC
+    modules the paper's introduction motivates: "fast timer delivery for
+    heartbeat scheduling" (the Rainey et al. heartbeat work the paper
+    cites as its own deployment experience).
+
+    A module arms a timer by passing the *address* of one of its
+    functions ([timer_arm(fn, delay_cycles, period_cycles)] native); when
+    simulated time passes the deadline, the kernel invokes the callback —
+    kernel-to-module control transfer, exactly how real timer callbacks
+    re-enter module code. Callbacks of protected modules therefore run
+    fully guarded, and a callback that violates policy panics the kernel
+    from interrupt context, which the tests pin down.
+
+    Timers are driven by {!run_pending} (the timer-interrupt analogue),
+    typically called by a workload loop after advancing the clock. *)
+
+type timer = {
+  id : int;
+  target : string;  (** resolved callback symbol *)
+  mutable deadline : int;  (** cycles *)
+  period : int;  (** 0 = one-shot *)
+  mutable cancelled : bool;
+  mutable fires : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mutable timers : timer list;
+  mutable next_id : int;
+  mutable total_fires : int;
+}
+
+let create kernel : t =
+  let t = { kernel; timers = []; next_id = 1; total_fires = 0 } in
+  Kernel.register_native kernel "timer_arm" (fun k args ->
+      match args with
+      | [| fn_addr; delay; period |] -> (
+        match Kernel.symbol_of_address k fn_addr with
+        | None -> -1 (* not a function the kernel knows *)
+        | Some target ->
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let now = Machine.Model.cycles (Kernel.machine k) in
+          t.timers <-
+            {
+              id;
+              target;
+              deadline = now + max 0 delay;
+              period = max 0 period;
+              cancelled = false;
+              fires = 0;
+            }
+            :: t.timers;
+          id)
+      | _ -> Kernel.panic k "timer_arm: bad arguments");
+  Kernel.register_native kernel "timer_cancel" (fun k args ->
+      match args with
+      | [| id |] -> (
+        match List.find_opt (fun tm -> tm.id = id && not tm.cancelled) t.timers with
+        | Some tm ->
+          tm.cancelled <- true;
+          0
+        | None -> -1)
+      | _ -> Kernel.panic k "timer_cancel: bad arguments");
+  t
+
+let active t = List.filter (fun tm -> not tm.cancelled) t.timers
+
+(** Fire every timer whose deadline has passed, in deadline order (the
+    timer softirq). Each firing charges interrupt entry/exit and calls
+    the armed function with the timer id. Periodic timers re-arm
+    themselves; at most [max_fires] callbacks run per invocation (budget
+    against runaway periodic timers). Returns the number fired. *)
+let run_pending ?(max_fires = 64) t : int =
+  let machine = Kernel.machine t.kernel in
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue && !fired < max_fires do
+    let now = Machine.Model.cycles machine in
+    let due =
+      List.filter (fun tm -> (not tm.cancelled) && tm.deadline <= now) t.timers
+    in
+    match List.sort (fun a b -> compare a.deadline b.deadline) due with
+    | [] -> continue := false
+    | tm :: _ ->
+      incr fired;
+      tm.fires <- tm.fires + 1;
+      t.total_fires <- t.total_fires + 1;
+      if tm.period > 0 then tm.deadline <- tm.deadline + tm.period
+      else tm.cancelled <- true;
+      (* interrupt entry/exit *)
+      Machine.Model.add_cycles machine 110;
+      ignore (Kernel.call_symbol t.kernel tm.target [| tm.id |])
+  done;
+  (* drop dead one-shots *)
+  t.timers <- List.filter (fun tm -> not tm.cancelled) t.timers;
+  !fired
+
+let total_fires t = t.total_fires
+
+(** Advance simulated time and deliver everything that becomes due —
+    convenience for tests and examples. *)
+let advance t ~cycles =
+  Machine.Model.add_cycles (Kernel.machine t.kernel) cycles;
+  run_pending t

@@ -1,0 +1,125 @@
+(** In-kernel message queues — the substrate for the paper's §5 IPC
+    extension: "for inter-process communication, the system could enforce
+    policies by guarding memory regions linked to IPC mechanisms, such as
+    message queues or shared memory segments".
+
+    A queue is a contiguous kernel-memory object: a 32-byte header (head,
+    tail, capacity, slot size) followed by fixed-size slots, each holding
+    a length word and the payload. Producers and consumers are supposed to
+    use the [mq_send]/[mq_recv] natives (core kernel, unguarded); a module
+    that reads another subsystem's queue memory directly — snooping
+    messages it was never granted — trips a memory guard under a policy
+    that excludes the queue region. *)
+
+let header_size = 32
+let off_head = 0
+let off_tail = 8
+let off_capacity = 16
+let off_slot_size = 24
+
+type queue = {
+  qid : int;
+  base : int;  (** header vaddr *)
+  capacity : int;  (** number of slots *)
+  slot_size : int;  (** payload bytes per slot (plus an 8-byte length) *)
+}
+
+type t = { kernel : Kernel.t; mutable queues : queue list; mutable next : int }
+
+exception Mq_error of string
+
+let slot_vaddr q i = q.base + header_size + (i * (q.slot_size + 8))
+
+let find t qid =
+  match List.find_opt (fun q -> q.qid = qid) t.queues with
+  | Some q -> q
+  | None -> raise (Mq_error (Printf.sprintf "no queue %d" qid))
+
+let create kernel : t =
+  let t = { kernel; queues = []; next = 1 } in
+  (* natives: the legitimate IPC entry points *)
+  Kernel.register_native kernel "mq_send" (fun k args ->
+      match args with
+      | [| qid; src; len |] -> (
+        match List.find_opt (fun q -> q.qid = qid) t.queues with
+        | None -> -1
+        | Some q ->
+          if len > q.slot_size || len < 0 then -1
+          else begin
+            let head = Kernel.read k ~addr:(q.base + off_head) ~size:8 in
+            let tail = Kernel.read k ~addr:(q.base + off_tail) ~size:8 in
+            if tail - head >= q.capacity then -1 (* full *)
+            else begin
+              let slot = slot_vaddr q (tail mod q.capacity) in
+              Kernel.write k ~addr:slot ~size:8 len;
+              if len > 0 then
+                ignore (Kernel.call_symbol k "memcpy" [| slot + 8; src; len |]);
+              Kernel.write k ~addr:(q.base + off_tail) ~size:8 (tail + 1);
+              len
+            end
+          end)
+      | _ -> Kernel.panic k "mq_send: bad arguments");
+  Kernel.register_native kernel "mq_recv" (fun k args ->
+      match args with
+      | [| qid; dst; maxlen |] -> (
+        match List.find_opt (fun q -> q.qid = qid) t.queues with
+        | None -> -1
+        | Some q ->
+          let head = Kernel.read k ~addr:(q.base + off_head) ~size:8 in
+          let tail = Kernel.read k ~addr:(q.base + off_tail) ~size:8 in
+          if head >= tail then -1 (* empty *)
+          else begin
+            let slot = slot_vaddr q (head mod q.capacity) in
+            let len = Kernel.read k ~addr:slot ~size:8 in
+            let n = min len maxlen in
+            if n > 0 then
+              ignore (Kernel.call_symbol k "memcpy" [| dst; slot + 8; n |]);
+            Kernel.write k ~addr:(q.base + off_head) ~size:8 (head + 1);
+            n
+          end)
+      | _ -> Kernel.panic k "mq_recv: bad arguments");
+  Kernel.register_native kernel "mq_depth" (fun k args ->
+      match args with
+      | [| qid |] -> (
+        match List.find_opt (fun q -> q.qid = qid) t.queues with
+        | None -> -1
+        | Some q ->
+          let head = Kernel.read k ~addr:(q.base + off_head) ~size:8 in
+          let tail = Kernel.read k ~addr:(q.base + off_tail) ~size:8 in
+          tail - head)
+      | _ -> Kernel.panic k "mq_depth: bad arguments");
+  t
+
+(** Create a queue of [capacity] slots of [slot_size] payload bytes. *)
+let create_queue t ~capacity ~slot_size : queue =
+  if capacity <= 0 || slot_size <= 0 then
+    raise (Mq_error "bad queue geometry");
+  let bytes = header_size + (capacity * (slot_size + 8)) in
+  let base = Kernel.kmalloc t.kernel ~size:bytes in
+  let q = { qid = t.next; base; capacity; slot_size } in
+  t.next <- t.next + 1;
+  Kernel.write t.kernel ~addr:(base + off_head) ~size:8 0;
+  Kernel.write t.kernel ~addr:(base + off_tail) ~size:8 0;
+  Kernel.write t.kernel ~addr:(base + off_capacity) ~size:8 capacity;
+  Kernel.write t.kernel ~addr:(base + off_slot_size) ~size:8 slot_size;
+  t.queues <- q :: t.queues;
+  q
+
+(** Kernel-side send/recv for tests and seeding. *)
+let send t q s =
+  let tmp = Kernel.kmalloc t.kernel ~size:(String.length s + 8) in
+  Kernel.write_string t.kernel ~addr:tmp s;
+  Kernel.call_symbol t.kernel "mq_send" [| q.qid; tmp; String.length s |]
+
+let recv t q ~maxlen =
+  let tmp = Kernel.kmalloc t.kernel ~size:maxlen in
+  let n = Kernel.call_symbol t.kernel "mq_recv" [| q.qid; tmp; maxlen |] in
+  if n < 0 then None else Some (Kernel.read_string t.kernel ~addr:tmp ~len:n)
+
+let depth t q = Kernel.call_symbol t.kernel "mq_depth" [| q.qid |]
+
+(** The whole queue object (header + slots) as a policy region. *)
+let queue_region q ~prot =
+  Policy.Region.v ~tag:(Printf.sprintf "msgq-%d" q.qid) ~base:q.base
+    ~len:(header_size + (q.capacity * (q.slot_size + 8)))
+    ~prot ()

@@ -1,0 +1,1 @@
+lib/kir/cfg.ml: Array Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/kir/parser.ml: List Printer Printf String Types

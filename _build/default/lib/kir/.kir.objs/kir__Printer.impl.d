@@ -1,0 +1,1 @@
+lib/kir/printer.ml: Buffer Char List Printf String Types

@@ -1,0 +1,1 @@
+lib/kir/types.ml: List

@@ -1,0 +1,1 @@
+lib/kir/verify.ml: Hashtbl List Printf String Types

@@ -1,0 +1,223 @@
+(** Imperative construction of KIR modules, in the style of LLVM's
+    [IRBuilder]. A builder holds a current module, function and insertion
+    block; [instr]s are appended to the insertion block and fresh register
+    names are generated on demand.
+
+    {[
+      let b = Builder.create "demo" in
+      let f = Builder.start_func b "sum" ~params:[ ("%n", I64) ] ~ret:(Some I64) in
+      ignore f;
+      let acc = Builder.add b I64 (Reg "%n") (Imm 1) in
+      Builder.ret b (Some acc)
+    ]} *)
+
+open Types
+
+type t = {
+  m : modul;
+  mutable cur_func : func option;
+  mutable cur_block : block option;
+  mutable next_reg : int;
+  mutable next_label : int;
+}
+
+let create ?(meta = []) name =
+  {
+    m = { m_name = name; globals = []; funcs = []; externs = []; meta };
+    cur_func = None;
+    cur_block = None;
+    next_reg = 0;
+    next_label = 0;
+  }
+
+let modul b = b.m
+
+let fresh_reg ?(hint = "t") b =
+  let r = Printf.sprintf "%%%s%d" hint b.next_reg in
+  b.next_reg <- b.next_reg + 1;
+  r
+
+let fresh_label ?(hint = "L") b =
+  let l = Printf.sprintf "%s%d" hint b.next_label in
+  b.next_label <- b.next_label + 1;
+  l
+
+let declare_extern b name ~arity =
+  if not (List.mem_assoc name b.m.externs) then
+    b.m.externs <- b.m.externs @ [ (name, arity) ]
+
+let declare_global b ?(writable = true) ?init name ~size =
+  let g = { g_name = name; g_size = size; g_init = init; g_writable = writable } in
+  b.m.globals <- b.m.globals @ [ g ];
+  g
+
+let cur_func_exn b =
+  match b.cur_func with
+  | Some f -> f
+  | None -> invalid_arg "Builder: no current function"
+
+let cur_block_exn b =
+  match b.cur_block with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no current block"
+
+(** Begin a new function and its entry block; subsequent instructions are
+    appended there. *)
+let start_func b name ~params ~ret =
+  let entry = { b_label = "entry"; body = []; term = Unreachable } in
+  let f = { f_name = name; params; ret_ty = ret; blocks = [ entry ] } in
+  b.m.funcs <- b.m.funcs @ [ f ];
+  b.cur_func <- Some f;
+  b.cur_block <- Some entry;
+  f
+
+(** Create (but do not switch to) a new block in the current function. *)
+let new_block b ?hint () =
+  let f = cur_func_exn b in
+  let lbl = fresh_label ?hint b in
+  let blk = { b_label = lbl; body = []; term = Unreachable } in
+  f.blocks <- f.blocks @ [ blk ];
+  blk
+
+let position_at b blk = b.cur_block <- Some blk
+
+let emit b i =
+  let blk = cur_block_exn b in
+  blk.body <- blk.body @ [ i ]
+
+let set_term b t =
+  let blk = cur_block_exn b in
+  blk.term <- t
+
+(* -- instruction helpers; each returns the destination register -- *)
+
+let binop b op ty a v =
+  let dst = fresh_reg b in
+  emit b (Binop { dst; op; ty; a; b = v });
+  Reg dst
+
+let add b ty a v = binop b Add ty a v
+let sub b ty a v = binop b Sub ty a v
+let mul b ty a v = binop b Mul ty a v
+let and_ b ty a v = binop b And ty a v
+let or_ b ty a v = binop b Or ty a v
+let xor b ty a v = binop b Xor ty a v
+let shl b ty a v = binop b Shl ty a v
+let lshr b ty a v = binop b Lshr ty a v
+
+let icmp b cond ty a v =
+  let dst = fresh_reg ~hint:"c" b in
+  emit b (Icmp { dst; cond; ty; a; b = v });
+  Reg dst
+
+let load b ty addr =
+  let dst = fresh_reg ~hint:"v" b in
+  emit b (Load { dst; ty; addr });
+  Reg dst
+
+let store b ty v addr = emit b (Store { ty; v; addr })
+
+let alloca b size =
+  let dst = fresh_reg ~hint:"p" b in
+  emit b (Alloca { dst; size });
+  Reg dst
+
+let gep b base idx ~scale =
+  let dst = fresh_reg ~hint:"a" b in
+  emit b (Gep { dst; base; idx; scale });
+  Reg dst
+
+let mov b ty src =
+  let dst = fresh_reg b in
+  emit b (Mov { dst; ty; src });
+  Reg dst
+
+(** Re-assign an existing register (KIR is not SSA). *)
+let mov_to b dst ty src = emit b (Mov { dst; ty; src })
+
+let call b ?(want_result = true) callee args =
+  if want_result then begin
+    let dst = fresh_reg ~hint:"r" b in
+    emit b (Call { dst = Some dst; callee; args });
+    Some (Reg dst)
+  end
+  else begin
+    emit b (Call { dst = None; callee; args });
+    None
+  end
+
+let call_unit b callee args = ignore (call b ~want_result:false callee args)
+
+let select b cond if_true if_false =
+  let dst = fresh_reg ~hint:"s" b in
+  emit b (Select { dst; cond; if_true; if_false });
+  Reg dst
+
+let inline_asm b s = emit b (Inline_asm s)
+
+let intrinsic b ?(want_result = false) iname args =
+  if want_result then begin
+    let dst = fresh_reg ~hint:"q" b in
+    emit b (Intrinsic { dst = Some dst; iname; args });
+    Some (Reg dst)
+  end
+  else begin
+    emit b (Intrinsic { dst = None; iname; args });
+    None
+  end
+
+(* -- terminators -- *)
+
+let ret b v = set_term b (Ret v)
+let br b blk = set_term b (Br blk.b_label)
+
+let cond_br b cond ~if_true ~if_false =
+  set_term b (Cond_br { cond; if_true = if_true.b_label; if_false = if_false.b_label })
+
+let switch b v cases ~default =
+  set_term b
+    (Switch
+       {
+         v;
+         cases = List.map (fun (k, blk) -> (k, blk.b_label)) cases;
+         default = default.b_label;
+       })
+
+(** Structured counted loop: emits
+    [for i = init; i <cond> limit; i += step { body i }] and leaves the
+    builder positioned in the exit block. [body] receives the induction
+    register as a value. *)
+let for_loop b ?(cond = Slt) ~init ~limit ~step body =
+  let i = fresh_reg ~hint:"i" b in
+  emit b (Mov { dst = i; ty = I64; src = init });
+  let head = new_block b ~hint:"loop_head" () in
+  let bodyb = new_block b ~hint:"loop_body" () in
+  let exit = new_block b ~hint:"loop_exit" () in
+  br b head;
+  position_at b head;
+  let c = icmp b cond I64 (Reg i) limit in
+  cond_br b c ~if_true:bodyb ~if_false:exit;
+  position_at b bodyb;
+  body (Reg i);
+  let i' = add b I64 (Reg i) step in
+  emit b (Mov { dst = i; ty = I64; src = i' });
+  br b head;
+  position_at b exit
+
+(** if/else with both branches joining into a fresh block, where the
+    builder ends up positioned. *)
+let if_then_else b cond ~then_ ~else_ =
+  let tb = new_block b ~hint:"then" () in
+  let eb = new_block b ~hint:"else" () in
+  let join = new_block b ~hint:"join" () in
+  cond_br b cond ~if_true:tb ~if_false:eb;
+  position_at b tb;
+  then_ ();
+  br b join;
+  position_at b eb;
+  else_ ();
+  br b join;
+  position_at b join
+
+let if_then b cond ~then_ =
+  if_then_else b cond ~then_ ~else_:(fun () -> ())

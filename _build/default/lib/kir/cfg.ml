@@ -1,0 +1,86 @@
+(** Control-flow graph view over a KIR function: successor/predecessor
+    maps, reverse postorder, and reachability. Used by the analysis passes
+    (dominators, natural loops) that power the optional guard
+    optimizations. *)
+
+open Types
+
+type t = {
+  func : func;
+  blocks : block array;
+  index : (label, int) Hashtbl.t;
+  succ : int list array;
+  pred : int list array;
+}
+
+let of_func (f : func) : t =
+  let blocks = Array.of_list f.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i b -> Hashtbl.replace index b.b_label i) blocks;
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let ss =
+        List.filter_map
+          (fun l -> Hashtbl.find_opt index l)
+          (successors b.term)
+      in
+      (* dedupe while keeping order: a switch may target a label twice *)
+      let ss =
+        List.fold_left (fun acc s -> if List.mem s acc then acc else acc @ [ s ]) [] ss
+      in
+      succ.(i) <- ss;
+      List.iter (fun s -> pred.(s) <- pred.(s) @ [ i ]) ss)
+    blocks;
+  { func = f; blocks; index; succ; pred }
+
+let n_blocks g = Array.length g.blocks
+let block g i = g.blocks.(i)
+let entry _g = 0
+
+let index_of g lbl =
+  match Hashtbl.find_opt g.index lbl with
+  | Some i -> i
+  | None -> invalid_arg ("Cfg.index_of: unknown label " ^ lbl)
+
+(** Depth-first postorder from the entry block; unreachable blocks are
+    excluded. *)
+let postorder g =
+  let n = n_blocks g in
+  if n = 0 then []
+  else begin
+    let seen = Array.make n false in
+    let order = ref [] in
+    let rec dfs i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter dfs g.succ.(i);
+        order := i :: !order
+      end
+    in
+    dfs 0;
+    List.rev !order
+  end
+
+let reverse_postorder g = List.rev (postorder g)
+
+let reachable g =
+  let n = n_blocks g in
+  let seen = Array.make n false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs g.succ.(i)
+    end
+  in
+  if n > 0 then dfs 0;
+  seen
+
+(** Blocks never reached from entry; candidates for dead-code removal. *)
+let unreachable_blocks g =
+  let seen = reachable g in
+  let out = ref [] in
+  Array.iteri (fun i b -> if not seen.(i) then out := b :: !out) g.blocks;
+  List.rev !out

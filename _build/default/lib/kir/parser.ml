@@ -1,0 +1,432 @@
+(** Parser for the canonical textual form emitted by {!Printer}.
+
+    The format is line-oriented; a small hand-written lexer tokenizes each
+    line. [parse_string] raises [Parse_error (line, msg)] on malformed
+    input. Round-trip with the printer is property-tested. *)
+
+open Types
+
+exception Parse_error of int * string
+
+type token =
+  | Ident of string
+  | Regtok of string
+  | Symtok of string
+  | Int of int
+  | Str of string
+  | Punct of char
+
+let lex_line lineno s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (lineno, msg)) in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '.'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = ';' then i := n (* comment to end of line *)
+    else if c = '%' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      toks := Regtok (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else if c = '@' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      toks := Symtok (String.sub s (!i + 1) (!j - !i - 1)) :: !toks;
+      i := !j
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      if !j >= n then fail "unterminated string";
+      toks := Str (Printer.unescape (String.sub s (!i + 1) (!j - !i - 1))) :: !toks;
+      i := !j + 1
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      let text = String.sub s !i (!j - !i) in
+      (match int_of_string_opt text with
+      | Some v -> toks := Int v :: !toks
+      | None -> fail ("bad integer: " ^ text));
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else
+      match c with
+      | '=' | '(' | ')' | ',' | ':' | '[' | ']' | '{' | '}' | '/' ->
+        toks := Punct c :: !toks;
+        incr i
+      | _ -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+
+type cursor = { mutable toks : token list; line : int }
+
+let fail cur msg = raise (Parse_error (cur.line, msg))
+
+let next cur =
+  match cur.toks with
+  | [] -> fail cur "unexpected end of line"
+  | t :: rest ->
+    cur.toks <- rest;
+    t
+
+let peek cur = match cur.toks with [] -> None | t :: _ -> Some t
+
+let expect_punct cur c =
+  match next cur with
+  | Punct c' when c' = c -> ()
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let expect_ident cur s =
+  match next cur with
+  | Ident s' when s' = s -> ()
+  | _ -> fail cur ("expected keyword " ^ s)
+
+let parse_ty cur =
+  match next cur with
+  | Ident "i8" -> I8
+  | Ident "i16" -> I16
+  | Ident "i32" -> I32
+  | Ident "i64" -> I64
+  | Ident "ptr" -> Ptr
+  | _ -> fail cur "expected type"
+
+let parse_value cur =
+  match next cur with
+  | Regtok r -> Reg r
+  | Int n -> Imm n
+  | Symtok s -> Sym s
+  | _ -> fail cur "expected value"
+
+let binop_of_string = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "sdiv" -> Some Sdiv | "srem" -> Some Srem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor | "shl" -> Some Shl
+  | "lshr" -> Some Lshr | "ashr" -> Some Ashr
+  | _ -> None
+
+let cond_of_string = function
+  | "eq" -> Some Eq | "ne" -> Some Ne | "slt" -> Some Slt
+  | "sle" -> Some Sle | "sgt" -> Some Sgt | "sge" -> Some Sge
+  | "ult" -> Some Ult | "ule" -> Some Ule | "ugt" -> Some Ugt
+  | "uge" -> Some Uge
+  | _ -> None
+
+let parse_args cur =
+  expect_punct cur '(';
+  let rec go acc =
+    match peek cur with
+    | Some (Punct ')') ->
+      ignore (next cur);
+      List.rev acc
+    | _ ->
+      let v = parse_value cur in
+      (match peek cur with
+      | Some (Punct ',') -> ignore (next cur)
+      | _ -> ());
+      go (v :: acc)
+  in
+  go []
+
+(** Parse one instruction or terminator line. *)
+let parse_instr_line cur : [ `Instr of instr | `Term of terminator ] =
+  match next cur with
+  | Ident "ret" -> (
+    match peek cur with
+    | None -> `Term (Ret None)
+    | Some _ -> `Term (Ret (Some (parse_value cur))))
+  | Ident "br" -> (
+    match next cur with
+    | Ident l -> `Term (Br l)
+    | _ -> fail cur "expected label")
+  | Ident "brc" ->
+    let cond = parse_value cur in
+    expect_punct cur ',';
+    let t = match next cur with Ident l -> l | _ -> fail cur "label" in
+    expect_punct cur ',';
+    let f = match next cur with Ident l -> l | _ -> fail cur "label" in
+    `Term (Cond_br { cond; if_true = t; if_false = f })
+  | Ident "switch" ->
+    let v = parse_value cur in
+    expect_punct cur '[';
+    let rec cases acc =
+      match peek cur with
+      | Some (Punct ']') ->
+        ignore (next cur);
+        List.rev acc
+      | _ ->
+        let k = match next cur with Int k -> k | _ -> fail cur "case int" in
+        expect_punct cur ':';
+        let l = match next cur with Ident l -> l | _ -> fail cur "label" in
+        (match peek cur with
+        | Some (Punct ',') -> ignore (next cur)
+        | _ -> ());
+        cases ((k, l) :: acc)
+    in
+    let cs = cases [] in
+    expect_ident cur "default";
+    let d = match next cur with Ident l -> l | _ -> fail cur "label" in
+    `Term (Switch { v; cases = cs; default = d })
+  | Ident "unreachable" -> `Term Unreachable
+  | Ident "store" ->
+    let ty = parse_ty cur in
+    let v = parse_value cur in
+    expect_punct cur ',';
+    let addr = parse_value cur in
+    `Instr (Store { ty; v; addr })
+  | Ident "call" -> (
+    match next cur with
+    | Symtok callee ->
+      let args = parse_args cur in
+      `Instr (Call { dst = None; callee; args })
+    | _ -> fail cur "expected function symbol")
+  | Ident "callind" ->
+    let fn = parse_value cur in
+    let args = parse_args cur in
+    `Instr (Callind { dst = None; fn; args })
+  | Ident "asm" -> (
+    match next cur with
+    | Str s -> `Instr (Inline_asm s)
+    | _ -> fail cur "expected string")
+  | Ident "intrinsic" -> (
+    match next cur with
+    | Ident iname ->
+      let args = parse_args cur in
+      `Instr (Intrinsic { dst = None; iname; args })
+    | _ -> fail cur "expected intrinsic name")
+  | Regtok dst -> (
+    expect_punct cur '=';
+    match next cur with
+    | Ident "icmp" ->
+      let cond =
+        match next cur with
+        | Ident c -> (
+          match cond_of_string c with
+          | Some c -> c
+          | None -> fail cur ("bad condition " ^ c))
+        | _ -> fail cur "condition"
+      in
+      let ty = parse_ty cur in
+      let a = parse_value cur in
+      expect_punct cur ',';
+      let b = parse_value cur in
+      `Instr (Icmp { dst; cond; ty; a; b })
+    | Ident "load" ->
+      let ty = parse_ty cur in
+      expect_punct cur ',';
+      let addr = parse_value cur in
+      `Instr (Load { dst; ty; addr })
+    | Ident "alloca" -> (
+      match next cur with
+      | Int size -> `Instr (Alloca { dst; size })
+      | _ -> fail cur "alloca size")
+    | Ident "gep" ->
+      let base = parse_value cur in
+      expect_punct cur ',';
+      let idx = parse_value cur in
+      expect_punct cur ',';
+      let scale =
+        match next cur with Int s -> s | _ -> fail cur "gep scale"
+      in
+      `Instr (Gep { dst; base; idx; scale })
+    | Ident "mov" ->
+      let ty = parse_ty cur in
+      let src = parse_value cur in
+      `Instr (Mov { dst; ty; src })
+    | Ident "call" -> (
+      match next cur with
+      | Symtok callee ->
+        let args = parse_args cur in
+        `Instr (Call { dst = Some dst; callee; args })
+      | _ -> fail cur "function symbol")
+    | Ident "callind" ->
+      let fn = parse_value cur in
+      let args = parse_args cur in
+      `Instr (Callind { dst = Some dst; fn; args })
+    | Ident "intrinsic" -> (
+      match next cur with
+      | Ident iname ->
+        let args = parse_args cur in
+        `Instr (Intrinsic { dst = Some dst; iname; args })
+      | _ -> fail cur "expected intrinsic name")
+    | Ident "select" ->
+      let cond = parse_value cur in
+      expect_punct cur ',';
+      let if_true = parse_value cur in
+      expect_punct cur ',';
+      let if_false = parse_value cur in
+      `Instr (Select { dst; cond; if_true; if_false })
+    | Ident op -> (
+      match binop_of_string op with
+      | Some op ->
+        let ty = parse_ty cur in
+        let a = parse_value cur in
+        expect_punct cur ',';
+        let b = parse_value cur in
+        `Instr (Binop { dst; op; ty; a; b })
+      | None -> fail cur ("unknown opcode " ^ op))
+    | _ -> fail cur "expected opcode")
+  | _ -> fail cur "expected instruction"
+
+(* ------------------------------------------------------------------ *)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let m =
+    { m_name = ""; globals = []; funcs = []; externs = []; meta = [] }
+  in
+  let named = ref false in
+  let cur_func : func option ref = ref None in
+  let cur_block : block option ref = ref None in
+  let finish_func () =
+    cur_func := None;
+    cur_block := None
+  in
+  let lineno = ref 0 in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let toks = lex_line !lineno raw in
+      if toks <> [] then begin
+        let cur = { toks; line = !lineno } in
+        match (!cur_func, peek cur) with
+        | None, Some (Ident "module") ->
+          ignore (next cur);
+          (match next cur with
+          | Str s ->
+            if !named then fail cur "duplicate module line";
+            named := true;
+            (* m_name is immutable; rebuild below via functional update *)
+            ignore s
+          | _ -> fail cur "module name string");
+          (* store name via meta slot, patched at the end *)
+          (match lex_line !lineno raw with
+          | [ Ident _; Str s ] -> m.meta <- ("__name", s) :: m.meta
+          | _ -> ())
+        | None, Some (Ident "meta") ->
+          ignore (next cur);
+          let k = match next cur with Str k -> k | _ -> fail cur "key" in
+          expect_punct cur '=';
+          let v = match next cur with Str v -> v | _ -> fail cur "value" in
+          m.meta <- m.meta @ [ (k, v) ]
+        | None, Some (Ident "extern") ->
+          ignore (next cur);
+          let name =
+            match next cur with Symtok s -> s | _ -> fail cur "symbol"
+          in
+          expect_punct cur '/';
+          let arity =
+            match next cur with Int n -> n | _ -> fail cur "arity"
+          in
+          m.externs <- m.externs @ [ (name, arity) ]
+        | None, Some (Ident "global") ->
+          ignore (next cur);
+          let name =
+            match next cur with Symtok s -> s | _ -> fail cur "symbol"
+          in
+          let writable =
+            match next cur with
+            | Ident "rw" -> true
+            | Ident "ro" -> false
+            | _ -> fail cur "rw/ro"
+          in
+          let size =
+            match next cur with Int n -> n | _ -> fail cur "size"
+          in
+          let init =
+            match peek cur with
+            | Some (Str s) -> Some s
+            | _ -> None
+          in
+          m.globals <-
+            m.globals
+            @ [ { g_name = name; g_size = size; g_init = init; g_writable = writable } ]
+        | None, Some (Ident "func") ->
+          ignore (next cur);
+          let name =
+            match next cur with Symtok s -> s | _ -> fail cur "symbol"
+          in
+          expect_punct cur '(';
+          let rec params acc =
+            match peek cur with
+            | Some (Punct ')') ->
+              ignore (next cur);
+              List.rev acc
+            | _ ->
+              let r =
+                match next cur with Regtok r -> r | _ -> fail cur "param reg"
+              in
+              expect_punct cur ':';
+              let ty = parse_ty cur in
+              (match peek cur with
+              | Some (Punct ',') -> ignore (next cur)
+              | _ -> ());
+              params ((r, ty) :: acc)
+          in
+          let ps = params [] in
+          expect_punct cur ':';
+          let ret =
+            match next cur with
+            | Ident "void" -> None
+            | Ident "i8" -> Some I8
+            | Ident "i16" -> Some I16
+            | Ident "i32" -> Some I32
+            | Ident "i64" -> Some I64
+            | Ident "ptr" -> Some Ptr
+            | _ -> fail cur "return type"
+          in
+          expect_punct cur '{';
+          let f = { f_name = name; params = ps; ret_ty = ret; blocks = [] } in
+          m.funcs <- m.funcs @ [ f ];
+          cur_func := Some f
+        | None, _ -> fail cur "expected top-level declaration"
+        | Some f, tok -> (
+          match tok with
+          | Some (Punct '}') -> finish_func ()
+          | Some (Ident l) when List.tl cur.toks = [ Punct ':' ] ->
+            let blk = { b_label = l; body = []; term = Unreachable } in
+            f.blocks <- f.blocks @ [ blk ];
+            cur_block := Some blk
+          | _ -> (
+            let blk =
+              match !cur_block with
+              | Some b -> b
+              | None -> fail cur "instruction outside block"
+            in
+            match parse_instr_line cur with
+            | `Instr i -> blk.body <- blk.body @ [ i ]
+            | `Term t -> blk.term <- t))
+      end)
+    lines;
+  if !cur_func <> None then
+    raise (Parse_error (!lineno, "unterminated function"));
+  let name =
+    match List.assoc_opt "__name" m.meta with Some s -> s | None -> ""
+  in
+  {
+    m with
+    m_name = name;
+    meta = List.filter (fun (k, _) -> k <> "__name") m.meta;
+  }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text

@@ -1,0 +1,170 @@
+(** Canonical textual form of KIR modules.
+
+    The printed form is stable and deterministic: the signing pass hashes
+    it, and [Parser] reads it back (round-trip is property-tested). *)
+
+open Types
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let string_of_cond = function
+  | Eq -> "eq" | Ne -> "ne" | Slt -> "slt" | Sle -> "sle"
+  | Sgt -> "sgt" | Sge -> "sge" | Ult -> "ult" | Ule -> "ule"
+  | Ugt -> "ugt" | Uge -> "uge"
+
+let string_of_value = function
+  | Reg r -> r
+  | Imm n -> string_of_int n
+  | Sym s -> "@" ^ s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\22"
+      | '\\' -> Buffer.add_string buf "\\5c"
+      | c when Char.code c >= 32 && Char.code c < 127 -> Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "\\%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  let rec go i =
+    if i < n then
+      (* a backslash must be followed by exactly two hex digits; anything
+         else (malformed or truncated input) is kept literally — the
+         function is total so the parser can reject bad input with a
+         proper error instead of crashing *)
+      if i + 2 < n + 1 && s.[i] = '\\' && i + 2 <= n
+         && is_hex s.[i + 1] && is_hex s.[i + 2]
+      then begin
+        let code = int_of_string ("0x" ^ String.sub s (i + 1) 2) in
+        Buffer.add_char buf (Char.chr code);
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let args_to_string args = String.concat ", " (List.map string_of_value args)
+
+let string_of_instr = function
+  | Binop { dst; op; ty; a; b } ->
+    Printf.sprintf "%s = %s %s %s, %s" dst (string_of_binop op)
+      (string_of_ty ty) (string_of_value a) (string_of_value b)
+  | Icmp { dst; cond; ty; a; b } ->
+    Printf.sprintf "%s = icmp %s %s %s, %s" dst (string_of_cond cond)
+      (string_of_ty ty) (string_of_value a) (string_of_value b)
+  | Load { dst; ty; addr } ->
+    Printf.sprintf "%s = load %s, %s" dst (string_of_ty ty)
+      (string_of_value addr)
+  | Store { ty; v; addr } ->
+    Printf.sprintf "store %s %s, %s" (string_of_ty ty) (string_of_value v)
+      (string_of_value addr)
+  | Alloca { dst; size } -> Printf.sprintf "%s = alloca %d" dst size
+  | Gep { dst; base; idx; scale } ->
+    Printf.sprintf "%s = gep %s, %s, %d" dst (string_of_value base)
+      (string_of_value idx) scale
+  | Mov { dst; ty; src } ->
+    Printf.sprintf "%s = mov %s %s" dst (string_of_ty ty)
+      (string_of_value src)
+  | Call { dst = Some d; callee; args } ->
+    Printf.sprintf "%s = call @%s(%s)" d callee (args_to_string args)
+  | Call { dst = None; callee; args } ->
+    Printf.sprintf "call @%s(%s)" callee (args_to_string args)
+  | Callind { dst = Some d; fn; args } ->
+    Printf.sprintf "%s = callind %s(%s)" d (string_of_value fn)
+      (args_to_string args)
+  | Callind { dst = None; fn; args } ->
+    Printf.sprintf "callind %s(%s)" (string_of_value fn) (args_to_string args)
+  | Select { dst; cond; if_true; if_false } ->
+    Printf.sprintf "%s = select %s, %s, %s" dst (string_of_value cond)
+      (string_of_value if_true) (string_of_value if_false)
+  | Inline_asm s -> Printf.sprintf "asm \"%s\"" (escape s)
+  | Intrinsic { dst = Some d; iname; args } ->
+    Printf.sprintf "%s = intrinsic %s(%s)" d iname (args_to_string args)
+  | Intrinsic { dst = None; iname; args } ->
+    Printf.sprintf "intrinsic %s(%s)" iname (args_to_string args)
+
+let string_of_term = function
+  | Ret None -> "ret"
+  | Ret (Some v) -> Printf.sprintf "ret %s" (string_of_value v)
+  | Br l -> Printf.sprintf "br %s" l
+  | Cond_br { cond; if_true; if_false } ->
+    Printf.sprintf "brc %s, %s, %s" (string_of_value cond) if_true if_false
+  | Switch { v; cases; default } ->
+    let cs =
+      String.concat ", "
+        (List.map (fun (k, l) -> Printf.sprintf "%d: %s" k l) cases)
+    in
+    Printf.sprintf "switch %s [%s] default %s" (string_of_value v) cs default
+  | Unreachable -> "unreachable"
+
+let pp_block buf blk =
+  Buffer.add_string buf (blk.b_label ^ ":\n");
+  List.iter
+    (fun i -> Buffer.add_string buf ("  " ^ string_of_instr i ^ "\n"))
+    blk.body;
+  Buffer.add_string buf ("  " ^ string_of_term blk.term ^ "\n")
+
+let pp_func buf f =
+  let params =
+    String.concat ", "
+      (List.map (fun (r, ty) -> r ^ ": " ^ string_of_ty ty) f.params)
+  in
+  let ret =
+    match f.ret_ty with None -> "void" | Some ty -> string_of_ty ty
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "func @%s(%s) : %s {\n" f.f_name params ret);
+  List.iter (pp_block buf) f.blocks;
+  Buffer.add_string buf "}\n"
+
+let pp_global buf g =
+  let mode = if g.g_writable then "rw" else "ro" in
+  (match g.g_init with
+  | None ->
+    Buffer.add_string buf
+      (Printf.sprintf "global @%s %s %d\n" g.g_name mode g.g_size)
+  | Some init ->
+    Buffer.add_string buf
+      (Printf.sprintf "global @%s %s %d \"%s\"\n" g.g_name mode g.g_size
+         (escape init)))
+
+(** Print the whole module. [with_meta:false] yields the signable body:
+    everything except the metadata section (the signature cannot cover
+    itself). *)
+let to_string ?(with_meta = true) m =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "module \"%s\"\n" (escape m.m_name));
+  if with_meta then
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "meta \"%s\" = \"%s\"\n" (escape k) (escape v)))
+      (List.sort compare m.meta);
+  List.iter
+    (fun (name, arity) ->
+      Buffer.add_string buf (Printf.sprintf "extern @%s/%d\n" name arity))
+    m.externs;
+  List.iter (pp_global buf) m.globals;
+  List.iter (pp_func buf) m.funcs;
+  Buffer.contents buf
+
+let func_to_string f =
+  let buf = Buffer.create 512 in
+  pp_func buf f;
+  Buffer.contents buf

@@ -1,0 +1,164 @@
+(** Core type definitions for KIR, the kernel intermediate representation.
+
+    KIR is a small, typed, LLVM-like three-address code over an unbounded
+    set of virtual registers. It is deliberately *not* SSA: the CARAT KOP
+    transform only needs to find loads and stores and insert calls before
+    them, and a mutable-register IR keeps both the interpreter and the
+    passes simple. Functions are lists of labeled basic blocks; the first
+    block is the entry block. *)
+
+type ty = I8 | I16 | I32 | I64 | Ptr
+
+let size_of_ty = function I8 -> 1 | I16 -> 2 | I32 -> 4 | I64 -> 8 | Ptr -> 8
+
+let string_of_ty = function
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Ptr -> "ptr"
+
+type reg = string
+type label = string
+
+(** Operand values. [Sym s] denotes the link-time address of a global or
+    function named [s]; it is resolved by the module loader. *)
+type value = Reg of reg | Imm of int | Sym of string
+
+type access = Read | Write
+
+let string_of_access = function Read -> "read" | Write -> "write"
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Lshr | Ashr
+
+type cond = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+type instr =
+  | Binop of { dst : reg; op : binop; ty : ty; a : value; b : value }
+  | Icmp of { dst : reg; cond : cond; ty : ty; a : value; b : value }
+  | Load of { dst : reg; ty : ty; addr : value }
+  | Store of { ty : ty; v : value; addr : value }
+  | Alloca of { dst : reg; size : int }
+      (** Reserves [size] bytes in the current frame; yields their address. *)
+  | Gep of { dst : reg; base : value; idx : value; scale : int }
+      (** dst <- base + idx * scale. Address arithmetic, no memory access. *)
+  | Mov of { dst : reg; ty : ty; src : value }
+  | Call of { dst : reg option; callee : string; args : value list }
+  | Callind of { dst : reg option; fn : value; args : value list }
+  | Select of { dst : reg; cond : value; if_true : value; if_false : value }
+  | Inline_asm of string
+      (** Opaque assembly. The attestation pass rejects modules containing
+          this, exactly as CARAT KOP's compiler refuses to certify them. *)
+  | Intrinsic of { dst : reg option; iname : string; args : value list }
+      (** A privileged compiler builtin (rdmsr, wrmsr, cli, ...). Unlike
+          [Inline_asm], the compiler can see these: the paper's §5 notes
+          that "instrumentation and wrappers to these builtins could be
+          added during compilation, such that a guard is injected" — the
+          [Intrinsic_guard] pass implements exactly that. *)
+
+type terminator =
+  | Ret of value option
+  | Br of label
+  | Cond_br of { cond : value; if_true : label; if_false : label }
+  | Switch of { v : value; cases : (int * label) list; default : label }
+  | Unreachable
+
+type block = {
+  b_label : label;
+  mutable body : instr list;
+  mutable term : terminator;
+}
+
+type func = {
+  f_name : string;
+  params : (reg * ty) list;
+  ret_ty : ty option;
+  mutable blocks : block list;
+}
+
+(** A global data object owned by the module. [g_init] holds initial bytes
+    (zero-filled to [g_size] at load time). *)
+type global = {
+  g_name : string;
+  g_size : int;
+  g_init : string option;
+  g_writable : bool;
+}
+
+type modul = {
+  m_name : string;
+  mutable globals : global list;
+  mutable funcs : func list;
+  mutable externs : (string * int) list;  (** imported symbol, arity *)
+  mutable meta : (string * string) list;
+      (** free-form key/value metadata: signature, attestation marks,
+          transform provenance. *)
+}
+
+let find_func m name = List.find_opt (fun f -> f.f_name = name) m.funcs
+let find_block f lbl = List.find_opt (fun b -> b.b_label = lbl) f.blocks
+
+let entry_block f =
+  match f.blocks with
+  | [] -> invalid_arg ("entry_block: function " ^ f.f_name ^ " has no blocks")
+  | b :: _ -> b
+
+let meta_find m key = List.assoc_opt key m.meta
+
+let meta_set m key v =
+  m.meta <- (key, v) :: List.remove_assoc key m.meta
+
+(** Registers written by an instruction, if any. *)
+let def_of_instr = function
+  | Binop { dst; _ } | Icmp { dst; _ } | Load { dst; _ }
+  | Alloca { dst; _ } | Gep { dst; _ } | Mov { dst; _ }
+  | Select { dst; _ } ->
+    Some dst
+  | Call { dst; _ } | Callind { dst; _ } | Intrinsic { dst; _ } -> dst
+  | Store _ | Inline_asm _ -> None
+
+(** Operand values read by an instruction. *)
+let uses_of_instr = function
+  | Binop { a; b; _ } | Icmp { a; b; _ } -> [ a; b ]
+  | Load { addr; _ } -> [ addr ]
+  | Store { v; addr; _ } -> [ v; addr ]
+  | Alloca _ | Inline_asm _ -> []
+  | Gep { base; idx; _ } -> [ base; idx ]
+  | Mov { src; _ } -> [ src ]
+  | Call { args; _ } | Intrinsic { args; _ } -> args
+  | Callind { fn; args; _ } -> fn :: args
+  | Select { cond; if_true; if_false; _ } -> [ cond; if_true; if_false ]
+
+let uses_of_term = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Br _ | Unreachable -> []
+  | Cond_br { cond; _ } -> [ cond ]
+  | Switch { v; _ } -> [ v ]
+
+(** Successor labels of a terminator, in branch order. *)
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cond_br { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Switch { cases; default; _ } -> List.map snd cases @ [ default ]
+
+let instr_count f =
+  List.fold_left (fun n b -> n + List.length b.body + 1) 0 f.blocks
+
+let module_instr_count m =
+  List.fold_left (fun n f -> n + instr_count f) 0 m.funcs
+
+(** Loads and stores in a function, for static accounting. *)
+let memory_op_count f =
+  let in_block b =
+    List.fold_left
+      (fun n i ->
+        match i with Load _ | Store _ -> n + 1 | _ -> n)
+      0 b.body
+  in
+  List.fold_left (fun n b -> n + in_block b) 0 f.blocks
+
+let module_memory_op_count m =
+  List.fold_left (fun n f -> n + memory_op_count f) 0 m.funcs

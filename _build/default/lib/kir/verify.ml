@@ -1,0 +1,122 @@
+(** Structural verifier for KIR modules.
+
+    The loader refuses modules that do not verify. Checks:
+    - block labels are unique within a function; branch targets exist
+    - direct call targets resolve to a module function or declared extern,
+      with matching arity
+    - [Sym] operands resolve to a global or function
+    - registers are defined before use along straight-line block order
+      (parameters and any register defined in a preceding block count as
+      defined — a conservative, flow-insensitive rule)
+    - functions have at least one block; alloca sizes are positive *)
+
+open Types
+
+type error = { in_func : string; message : string }
+
+let errf in_func fmt = Printf.ksprintf (fun message -> { in_func; message }) fmt
+
+let check_func (m : modul) (f : func) : error list =
+  let errs = ref [] in
+  let push e = errs := e :: !errs in
+  if f.blocks = [] then push (errf f.f_name "function has no blocks");
+  (* label table *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem labels b.b_label then
+        push (errf f.f_name "duplicate label %s" b.b_label)
+      else Hashtbl.add labels b.b_label ())
+    f.blocks;
+  let check_target l =
+    if not (Hashtbl.mem labels l) then
+      push (errf f.f_name "branch to unknown label %s" l)
+  in
+  (* symbol tables *)
+  let global_names = List.map (fun g -> g.g_name) m.globals in
+  let func_names = List.map (fun fn -> fn.f_name) m.funcs in
+  let check_sym s =
+    if (not (List.mem s global_names)) && not (List.mem s func_names) then
+      push (errf f.f_name "unresolved symbol @%s" s)
+  in
+  let callee_arity name =
+    match find_func m name with
+    | Some fn -> Some (List.length fn.params)
+    | None -> List.assoc_opt name m.externs
+  in
+  (* defined registers, accumulated across blocks in order *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (r, _) -> Hashtbl.replace defined r ()) f.params;
+  let check_value = function
+    | Imm _ -> ()
+    | Sym s -> check_sym s
+    | Reg r ->
+      if not (Hashtbl.mem defined r) then
+        push (errf f.f_name "use of undefined register %s" r)
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          List.iter check_value (uses_of_instr i);
+          (match i with
+          | Alloca { size; _ } when size <= 0 ->
+            push (errf f.f_name "alloca with non-positive size %d" size)
+          | Call { callee; args; _ } -> (
+            match callee_arity callee with
+            | None -> push (errf f.f_name "call to unknown function @%s" callee)
+            | Some n when n <> List.length args ->
+              push
+                (errf f.f_name "call to @%s with %d args, expected %d" callee
+                   (List.length args) n)
+            | Some _ -> ())
+          | _ -> ());
+          match def_of_instr i with
+          | Some r -> Hashtbl.replace defined r ()
+          | None -> ())
+        b.body;
+      List.iter check_value (uses_of_term b.term);
+      List.iter check_target (successors b.term))
+    f.blocks;
+  List.rev !errs
+
+let check_module (m : modul) : error list =
+  let errs = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.f_name then
+        errs := [ errf f.f_name "duplicate function definition" ] @ !errs
+      else Hashtbl.add seen f.f_name ())
+    m.funcs;
+  let gseen = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem gseen g.g_name then
+        errs := [ errf "" "duplicate global @%s" g.g_name ] @ !errs
+      else Hashtbl.add gseen g.g_name ();
+      if g.g_size <= 0 then
+        errs := [ errf "" "global @%s has non-positive size" g.g_name ] @ !errs;
+      match g.g_init with
+      | Some init when String.length init > g.g_size ->
+        errs :=
+          [ errf "" "global @%s initializer larger than size" g.g_name ]
+          @ !errs
+      | _ -> ())
+    m.globals;
+  List.concat (List.rev !errs :: List.map (check_func m) m.funcs)
+
+let is_valid m = check_module m = []
+
+let error_to_string e =
+  if e.in_func = "" then e.message
+  else Printf.sprintf "in @%s: %s" e.in_func e.message
+
+exception Invalid of string
+
+(** Raise {!Invalid} with a readable report if the module fails checks. *)
+let check_exn m =
+  match check_module m with
+  | [] -> ()
+  | errs ->
+    raise (Invalid (String.concat "; " (List.map error_to_string errs)))

@@ -1,0 +1,1 @@
+lib/machine/predictor.ml: Bytes Char

@@ -1,0 +1,42 @@
+(** Deterministic splitmix-style PRNG.
+
+    Every stochastic component in the simulation (cache perturbation,
+    interrupt jitter, descheduling) draws from an explicitly seeded
+    generator so that experiments are exactly reproducible; trials differ
+    only in their seed. Works on OCaml's 63-bit native ints. *)
+
+type t = { mutable state : int }
+
+let create seed = { state = (seed lxor 0x35eb9d6a4c9e21d1) land max_int }
+
+let golden = 0x1e3779b97f4a7c15 land max_int
+
+(** Next raw 62-bit value. *)
+let next t =
+  t.state <- (t.state + golden) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14602d6bc4b5533 land max_int in
+  (z lxor (z lsr 31)) land max_int
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+(** Uniform float in [0, 1). *)
+let float t = float_of_int (next t land 0xFFFFFFFFFFFF) /. 281474976710656.0
+
+(** Bernoulli draw with probability [p]. *)
+let flip t p = float t < p
+
+(** Geometric-ish jitter: mean [mean], clipped at [max]. Used for
+    interrupt arrival noise. *)
+let jitter t ~mean ~max:max_v =
+  let u = float t in
+  let v = int_of_float (-.(float_of_int mean) *. log (1.0 -. u +. 1e-12)) in
+  if v > max_v then max_v else if v < 0 then 0 else v
+
+(** Derive an independent stream: same sequence every time for the same
+    (parent seed, tag). *)
+let split t ~tag = create ((next t lxor (tag * 0x9e3779b9)) land max_int)

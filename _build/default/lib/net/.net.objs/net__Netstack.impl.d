@@ -1,0 +1,1 @@
+lib/net/netstack.ml: Array Kernel Machine Nic

@@ -1,0 +1,1 @@
+lib/net/pktgen.ml: Array Frame Kernel Machine Netstack

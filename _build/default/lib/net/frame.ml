@@ -1,0 +1,54 @@
+(** Raw Ethernet frame construction, as the paper's user-level tool does:
+    "a user-level tool that sends raw Ethernet packets to a fake
+    destination". *)
+
+type mac = int * int * int * int * int * int
+
+let broadcast : mac = (0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+let fake_destination : mac = (0x02, 0x00, 0x00, 0xde, 0xad, 0x01)
+let source : mac = (0x02, 0x00, 0x00, 0xbe, 0xef, 0x02)
+
+let ethertype_experimental = 0x88B5 (* IEEE 802 local experimental *)
+
+let header_size = 14
+let min_size = 64
+let max_size = 1500
+
+let mac_to_string (a, b, c, d, e, f) =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" a b c d e f
+
+(** Build a [size]-byte frame: 14-byte header + payload stamped with a
+    sequence number and filled with a deterministic pattern. *)
+let build ?(dst = fake_destination) ?(src = source)
+    ?(ethertype = ethertype_experimental) ~seq ~size () =
+  if size < header_size then invalid_arg "Frame.build: size below header";
+  let buf = Bytes.make size '\000' in
+  let set_mac off (a, b, c, d, e, f) =
+    List.iteri
+      (fun i v -> Bytes.set buf (off + i) (Char.chr v))
+      [ a; b; c; d; e; f ]
+  in
+  set_mac 0 dst;
+  set_mac 6 src;
+  Bytes.set buf 12 (Char.chr ((ethertype lsr 8) land 0xff));
+  Bytes.set buf 13 (Char.chr (ethertype land 0xff));
+  (* 4-byte sequence number, then pattern fill *)
+  if size >= header_size + 4 then
+    for i = 0 to 3 do
+      Bytes.set buf (header_size + i) (Char.chr ((seq lsr (8 * i)) land 0xff))
+    done;
+  for i = header_size + 4 to size - 1 do
+    Bytes.set buf i (Char.chr ((i * 13 + seq) land 0xff))
+  done;
+  Bytes.to_string buf
+
+let seq_of frame =
+  if String.length frame < header_size + 4 then None
+  else begin
+    let b i = Char.code frame.[header_size + i] in
+    Some (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+  end
+
+let ethertype_of frame =
+  if String.length frame < header_size then None
+  else Some ((Char.code frame.[12] lsl 8) lor Char.code frame.[13])

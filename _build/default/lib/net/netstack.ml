@@ -1,0 +1,164 @@
+(** A thin kernel network-core layer between the user-level tool and the
+    driver: the [sendmsg] path.
+
+    Per packet, mirroring what a raw-socket send does in Linux:
+    - syscall crossing (charged by {!Kernel.ioctl}-style syscall cost)
+    - socket-layer bookkeeping (touches the sock structure in kernel
+      memory — real loads/stores through the cache model)
+    - skb allocation from a pool and the *unguarded core-kernel copy* of
+      the user payload into it (this is the packet-size-dependent part of
+      the baseline path)
+    - the driver's [e1000e_xmit_frame], interpreted KIR — the only part
+      whose memory accesses are guarded in a protected build
+    - on ring-full: block, let the device drain, pay a descheduling
+      penalty — the source of the paper's >10M-cycle latency outliers.
+
+    Device completion interrupts are modelled by a [Device.sync] before
+    each transmit attempt. *)
+
+type t = {
+  kernel : Kernel.t;
+  device : Nic.Device.t;
+  xmit_symbol : string;
+  sock_vaddr : int;  (** simulated struct sock / socket bookkeeping *)
+  skb_pool : int array;
+  skb_size : int;
+  mutable next_skb : int;
+  noise : Machine.Rng.t;
+  mutable interrupt_prob : float;
+  mutable interrupt_mean_cycles : int;
+  mutable deschedule_mean_cycles : int;
+      (** typical wakeup latency after blocking on a full ring *)
+  mutable major_deschedule_prob : float;
+      (** chance the scheduler runs something else for milliseconds —
+          the paper's >10M-cycle outliers *)
+  mutable busy_retries : int;
+  mutable deschedules : int;
+  mutable sent : int;
+}
+
+let sock_size = 512
+let default_pool = 64
+
+let create ?(xmit_symbol = "e1000e_xmit_frame") ?(skb_size = 2048)
+    ?(pool = default_pool) ?(noise_seed = 1234) kernel device =
+  {
+    kernel;
+    device;
+    xmit_symbol;
+    sock_vaddr = Kernel.kmalloc kernel ~size:sock_size;
+    skb_pool =
+      Array.init pool (fun _ -> Kernel.kmalloc kernel ~size:skb_size);
+    skb_size;
+    next_skb = 0;
+    noise = Machine.Rng.create noise_seed;
+    interrupt_prob = 0.004;
+    interrupt_mean_cycles = 12_000;
+    deschedule_mean_cycles = 8_000;
+    major_deschedule_prob = 0.004;
+    busy_retries = 0;
+    deschedules = 0;
+    sent = 0;
+  }
+
+(** Bring the interface up: run the driver's probe with a TX ring of
+    [ring_entries] (must be a power of two). *)
+let bring_up t ~ring_entries =
+  assert (ring_entries land (ring_entries - 1) = 0);
+  let rc =
+    Kernel.call_symbol t.kernel "e1000e_probe"
+      [| Nic.Device.mmio_base t.device; ring_entries |]
+  in
+  if rc <> 0 then failwith "bring_up: probe failed"
+
+let set_noise t ~interrupt_prob ~interrupt_mean ~deschedule_mean =
+  t.interrupt_prob <- interrupt_prob;
+  t.interrupt_mean_cycles <- interrupt_mean;
+  t.deschedule_mean_cycles <- deschedule_mean
+
+(** Interrupt servicing: when the device has a cause latched, run the
+    driver's handler (which cleans the TX ring). This happens on its own
+    — between syscalls, from the tool's perspective — so the measured
+    sendmsg window does not include completion processing, exactly as on
+    real hardware with MSI interrupts. *)
+let poll_interrupts t =
+  Nic.Device.sync t.device;
+  if Nic.Device.pending_interrupt t.device then begin
+    (* interrupt entry/exit cost on the CPU *)
+    Machine.Model.add_cycles (Kernel.machine t.kernel) 120;
+    ignore (Kernel.call_symbol t.kernel "e1000e_irq_handler" [||])
+  end
+
+(* socket-layer bookkeeping: a handful of hot sock fields *)
+let touch_sock t =
+  let k = t.kernel in
+  let wmem = Kernel.read k ~addr:(t.sock_vaddr + 16) ~size:8 in
+  Kernel.write k ~addr:(t.sock_vaddr + 16) ~size:8 (wmem + 1);
+  ignore (Kernel.read k ~addr:(t.sock_vaddr + 64) ~size:8);
+  ignore (Kernel.read k ~addr:(t.sock_vaddr + 128) ~size:8);
+  Kernel.write k ~addr:(t.sock_vaddr + 192) ~size:8 t.sent;
+  Machine.Model.retire (Kernel.machine k) 120
+
+exception Send_failed of string
+
+(** The sendmsg syscall: copy [len] bytes from the user buffer at
+    [user_buf] and hand them to the driver. Returns bytes sent. Blocks
+    (simulated) while the ring is full. *)
+let sendmsg t ~user_buf ~len =
+  let k = t.kernel in
+  let machine = Kernel.machine k in
+  Machine.Model.syscall machine;
+  touch_sock t;
+  (* skb alloc + core-kernel copy of the payload (unguarded) *)
+  let skb = t.skb_pool.(t.next_skb) in
+  t.next_skb <- (t.next_skb + 1) mod Array.length t.skb_pool;
+  Machine.Model.retire machine 40;
+  ignore (Kernel.call_symbol k "memcpy" [| skb; user_buf; len |]);
+  (* the device keeps draining in the background *)
+  Nic.Device.sync t.device;
+  (* per-call syscall-path noise: TLB pressure, pipeline replay, minor
+     contention — the spread of the paper's Figure 7 histogram *)
+  Machine.Model.add_cycles machine
+    (Machine.Rng.jitter t.noise ~mean:70 ~max:900);
+  (* occasional unrelated interrupt during the syscall *)
+  if Machine.Rng.flip t.noise t.interrupt_prob then
+    Machine.Model.add_cycles machine
+      (Machine.Rng.jitter t.noise ~mean:t.interrupt_mean_cycles
+         ~max:(20 * t.interrupt_mean_cycles));
+  let rec attempt tries =
+    if tries > 1000 then raise (Send_failed "ring never drained");
+    let rc = Kernel.call_symbol k t.xmit_symbol [| skb; len |] in
+    if rc = 0 then ()
+    else begin
+      (* ring full: block until the device frees a slot; the task is
+         descheduled, which is where the huge latency outliers come
+         from *)
+      t.busy_retries <- t.busy_retries + 1;
+      t.deschedules <- t.deschedules + 1;
+      let wake = Nic.Device.next_completion_cycle t.device in
+      let now = Machine.Model.cycles machine in
+      let sleep = max 0 (wake - now) in
+      let penalty =
+        Machine.Rng.jitter t.noise ~mean:t.deschedule_mean_cycles
+          ~max:(6 * t.deschedule_mean_cycles)
+        +
+        if Machine.Rng.flip t.noise t.major_deschedule_prob then
+          Machine.Rng.jitter t.noise ~mean:4_000_000 ~max:16_000_000
+        else 0
+      in
+      Machine.Model.add_cycles machine (sleep + penalty);
+      (* the TX-completion interrupt is what woke us: service it so the
+         driver's next_to_clean advances *)
+      poll_interrupts t;
+      attempt (tries + 1)
+    end
+  in
+  attempt 0;
+  t.sent <- t.sent + 1;
+  (* syscall return path *)
+  Machine.Model.retire machine 60;
+  len
+
+let sent t = t.sent
+let busy_retries t = t.busy_retries
+let deschedules t = t.deschedules

@@ -1,0 +1,1 @@
+lib/nic/device.ml: Array Hashtbl Kernel List Machine Regs String

@@ -1,0 +1,1 @@
+lib/nic/driver_gen.ml: Char Kir List Printf Regs String

@@ -1,0 +1,315 @@
+(** Behavioural model of the NIC.
+
+    The device owns a register BAR (mapped into the kernel's MMIO window)
+    and a DMA engine. On a TDT doorbell it walks the TX descriptor ring,
+    DMA-reads each descriptor and its buffer from simulated physical
+    memory — through {!Kernel.dma_read}, i.e. *without* CPU cost and
+    *without* guards, reproducing the paper's point that the overwhelming
+    amount of data transfer is unchecked DMA — and delivers the frame to a
+    packet sink.
+
+    Draining is modelled in simulated time: each frame occupies the 1 Gb/s
+    wire for (bytes + preamble/IFG overhead) * 8 ns, converted to CPU
+    cycles. [sync] lazily advances the device up to the current CPU clock,
+    writing back DD status bits and TDH exactly as the hardware's
+    writeback would; it stands in for the interrupt path. An optional
+    stall process (flow-control pauses) produces the ring-full episodes
+    behind the paper's latency outliers. *)
+
+type frame = { data : string; at_cycle : int }
+
+type t = {
+  kernel : Kernel.t;
+  name : string;
+  regs : (int, int) Hashtbl.t;
+  mutable mmio_base : int;
+  (* DMA/drain state *)
+  mutable tx_ring_base : int;  (** virtual (direct-map) ring address *)
+  mutable tx_ring_entries : int;
+  mutable tdh : int;
+  mutable tdt : int;
+  mutable busy_until : int;  (** device cycle at which the wire frees up *)
+  mutable post_times : int array;
+      (** cycle at which each ring slot was posted (doorbell time): a
+          frame cannot occupy the wire before it exists *)
+  mutable link_up : bool;
+  (* RX state *)
+  mutable rx_ring_base : int;
+  mutable rx_ring_entries : int;
+  mutable rdh : int;  (** next slot the device fills *)
+  mutable rdt : int;  (** first slot NOT available to the device *)
+  mutable rx_frames : int;
+  mutable rx_bytes : int;
+  mutable rx_dropped : int;
+  (* stall (flow-control pause) process *)
+  mutable stall_prob : float;  (** per-frame probability of a pause *)
+  mutable stall_cycles : int;
+  rng : Machine.Rng.t;
+  (* sink *)
+  mutable tx_frames : int;
+  mutable tx_bytes : int;
+  mutable recent : frame list;  (** newest first, bounded *)
+  recent_cap : int;
+}
+
+let gbit_per_s = 1.0 (* line rate *)
+
+(** Wire time of a frame in CPU cycles: (preamble 8 + frame + IFG 12 +
+    FCS 4) bytes at line rate. *)
+let wire_cycles t bytes =
+  let ns = float_of_int (bytes + 24) *. 8.0 /. gbit_per_s in
+  int_of_float (ns *. (Kernel.machine t.kernel).Machine.Model.p.freq_ghz)
+
+let reg_read t off = try Hashtbl.find t.regs off with Not_found -> 0
+let reg_write t off v = Hashtbl.replace t.regs off v
+
+let now t = Machine.Model.cycles (Kernel.machine t.kernel)
+
+let ring_configured t = t.tx_ring_base <> 0 && t.tx_ring_entries > 0
+
+(** Advance the device: complete every descriptor whose wire time has
+    passed by [upto], writing DD back into the ring via DMA. *)
+let sync ?upto t =
+  let upto = match upto with Some c -> c | None -> now t in
+  let continue = ref (ring_configured t && reg_read t Regs.tctl land Regs.tctl_en <> 0) in
+  while !continue && t.tdh <> t.tdt do
+    let desc = t.tx_ring_base + (t.tdh * Regs.desc_size) in
+    let buf = Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_addr_off) ~size:8 in
+    let len =
+      Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_len_off) ~size:2
+    in
+    let posted =
+      if Array.length t.post_times > t.tdh then t.post_times.(t.tdh) else 0
+    in
+    let start = max t.busy_until posted in
+    (* random flow-control pause before this frame *)
+    let pause =
+      if t.stall_prob > 0.0 && Machine.Rng.flip t.rng t.stall_prob then
+        t.stall_cycles
+      else 0
+    in
+    let finish = start + pause + wire_cycles t len in
+    if finish > upto then continue := false
+    else begin
+      (* DMA the payload out and deliver to the sink *)
+      let data =
+        if len > 0 && buf <> 0 then Kernel.read_string t.kernel ~addr:buf ~len
+        else ""
+      in
+      t.tx_frames <- t.tx_frames + 1;
+      t.tx_bytes <- t.tx_bytes + len;
+      t.recent <-
+        { data; at_cycle = finish }
+        :: (if List.length t.recent >= t.recent_cap then
+              List.filteri (fun i _ -> i < t.recent_cap - 1) t.recent
+            else t.recent);
+      t.busy_until <- finish;
+      (* status writeback: set DD *)
+      let sta =
+        Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_sta_off) ~size:1
+      in
+      Kernel.dma_write t.kernel ~addr:(desc + Regs.desc_sta_off) ~size:1
+        (sta lor Regs.sta_dd);
+      t.tdh <- (t.tdh + 1) mod t.tx_ring_entries;
+      reg_write t Regs.icr (reg_read t Regs.icr lor Regs.icr_txdw)
+    end
+  done
+
+(** Earliest cycle by which at least one more descriptor will complete —
+    where a blocked sender should wake up. *)
+let next_completion_cycle t =
+  if t.tdh = t.tdt then now t
+  else begin
+    let desc = t.tx_ring_base + (t.tdh * Regs.desc_size) in
+    let len =
+      Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_len_off) ~size:2
+    in
+    let posted =
+      if Array.length t.post_times > t.tdh then t.post_times.(t.tdh) else 0
+    in
+    max (max t.busy_until posted) (now t) + wire_cycles t len
+  end
+
+let handle_read t off size =
+  ignore size;
+  if off = Regs.tdh then begin
+    sync t;
+    t.tdh
+  end
+  else if off = Regs.tdt then t.tdt
+  else if off = Regs.rdh then t.rdh
+  else if off = Regs.rdt then t.rdt
+  else if off = Regs.status then
+    reg_read t Regs.status lor (if t.link_up then Regs.status_lu else 0)
+  else if off = Regs.icr then begin
+    (* read-to-clear *)
+    let v = reg_read t Regs.icr in
+    reg_write t Regs.icr 0;
+    v
+  end
+  else reg_read t off
+
+let handle_write t off size v =
+  ignore size;
+  if off = Regs.tdt then begin
+    if ring_configured t then begin
+      let now_c = now t in
+      let v = v mod t.tx_ring_entries in
+      (* stamp the post time of every newly published slot *)
+      let i = ref t.tdt in
+      while !i <> v do
+        t.post_times.(!i) <- now_c;
+        i := (!i + 1) mod t.tx_ring_entries
+      done;
+      t.tdt <- v;
+      reg_write t Regs.tdt t.tdt;
+      sync t
+    end
+  end
+  else if off = Regs.tdbal then begin
+    reg_write t off v;
+    t.tx_ring_base <- v
+  end
+  else if off = Regs.tdlen then begin
+    reg_write t off v;
+    t.tx_ring_entries <- v / Regs.desc_size;
+    t.post_times <- Array.make (max 1 t.tx_ring_entries) 0
+  end
+  else if off = Regs.tdh then begin
+    t.tdh <- v;
+    reg_write t off v
+  end
+  else if off = Regs.rdbal then begin
+    reg_write t off v;
+    t.rx_ring_base <- v
+  end
+  else if off = Regs.rdlen then begin
+    reg_write t off v;
+    t.rx_ring_entries <- v / Regs.desc_size
+  end
+  else if off = Regs.rdh then begin
+    t.rdh <- v;
+    reg_write t off v
+  end
+  else if off = Regs.rdt then begin
+    if t.rx_ring_entries > 0 then t.rdt <- v mod t.rx_ring_entries
+    else t.rdt <- v;
+    reg_write t off t.rdt
+  end
+  else if off = Regs.ctrl && v land Regs.ctrl_rst <> 0 then begin
+    (* device reset *)
+    Hashtbl.reset t.regs;
+    t.tdh <- 0;
+    t.tdt <- 0;
+    t.tx_ring_base <- 0;
+    t.tx_ring_entries <- 0;
+    t.post_times <- [||];
+    t.busy_until <- 0
+  end
+  else reg_write t off v
+
+(** Create the device and map its BAR; returns the device. The driver
+    learns the BAR's virtual base from [mmio_base]. *)
+let create ?(name = "e1000e-sim") ?(stall_prob = 0.0)
+    ?(stall_cycles = 2_000_000) ?(seed = 7) kernel =
+  let t =
+    {
+      kernel;
+      name;
+      regs = Hashtbl.create 64;
+      mmio_base = 0;
+      tx_ring_base = 0;
+      tx_ring_entries = 0;
+      tdh = 0;
+      tdt = 0;
+      busy_until = 0;
+      post_times = [||];
+      link_up = true;
+      rx_ring_base = 0;
+      rx_ring_entries = 0;
+      rdh = 0;
+      rdt = 0;
+      rx_frames = 0;
+      rx_bytes = 0;
+      rx_dropped = 0;
+      stall_prob;
+      stall_cycles;
+      rng = Machine.Rng.create seed;
+      tx_frames = 0;
+      tx_bytes = 0;
+      recent = [];
+      recent_cap = 32;
+    }
+  in
+  let region =
+    Kernel.ioremap kernel ~name ~size:Regs.bar_size
+      ~read:(fun off size -> handle_read t off size)
+      ~write:(fun off size v -> handle_write t off size v)
+  in
+  t.mmio_base <- region.Kernel.mmio_virt;
+  t
+
+let mmio_base t = t.mmio_base
+
+(** True when the device has an interrupt cause latched (e.g. TX
+    writeback). The kernel checks this cheaply (MSI delivery) before
+    running the driver's handler, which is what clears ICR. *)
+let pending_interrupt t =
+  sync t;
+  reg_read t Regs.icr <> 0
+
+let tx_frames t = t.tx_frames
+let tx_bytes t = t.tx_bytes
+let recent_frames t = t.recent
+let set_stall t ~prob ~cycles =
+  t.stall_prob <- prob;
+  t.stall_cycles <- cycles
+let set_link t up = t.link_up <- up
+
+(* ------------------------------------------------------------------ *)
+(* receive side *)
+
+let rx_configured t =
+  t.rx_ring_base <> 0 && t.rx_ring_entries > 0
+  && reg_read t Regs.rctl land Regs.rctl_en <> 0
+
+(** Deliver an incoming frame from the (simulated) wire: DMA the payload
+    into the next posted receive buffer, write back length and
+    DD|EOP status, advance RDH and latch an RX interrupt cause. Frames
+    arriving with no buffer available are dropped, like hardware without
+    flow control. Returns true if delivered. *)
+let rx_inject t (data : string) : bool =
+  if (not (rx_configured t)) || not t.link_up then begin
+    t.rx_dropped <- t.rx_dropped + 1;
+    false
+  end
+  else if t.rdh = t.rdt then begin
+    (* no buffers posted *)
+    t.rx_dropped <- t.rx_dropped + 1;
+    false
+  end
+  else begin
+    let desc = t.rx_ring_base + (t.rdh * Regs.desc_size) in
+    let buf =
+      Kernel.dma_read t.kernel ~addr:(desc + Regs.rxd_addr_off) ~size:8
+    in
+    let len = String.length data in
+    Kernel.write_string t.kernel ~addr:buf data;
+    Kernel.dma_write t.kernel ~addr:(desc + Regs.rxd_len_off) ~size:2 len;
+    Kernel.dma_write t.kernel ~addr:(desc + Regs.rxd_sta_off) ~size:1
+      (Regs.sta_dd lor Regs.sta_eop);
+    t.rdh <- (t.rdh + 1) mod t.rx_ring_entries;
+    t.rx_frames <- t.rx_frames + 1;
+    t.rx_bytes <- t.rx_bytes + len;
+    reg_write t Regs.icr (reg_read t Regs.icr lor Regs.icr_rxt0);
+    true
+  end
+
+let rx_frames t = t.rx_frames
+let rx_dropped t = t.rx_dropped
+
+(** Free descriptor slots as the device sees them right now. *)
+let free_slots t =
+  sync t;
+  if not (ring_configured t) then 0
+  else (t.tdh - t.tdt - 1 + t.tx_ring_entries) mod t.tx_ring_entries

@@ -1,0 +1,68 @@
+(** Register map of the simulated Intel 1 Gbit/s NIC ("e1000e"-class,
+    82574L-flavoured). Offsets follow the real device where it matters to
+    the driver code; only the subset the driver touches is implemented. *)
+
+let ctrl = 0x0000
+let status = 0x0008
+let icr = 0x00C0 (* interrupt cause read (read-to-clear) *)
+let ims = 0x00D0 (* interrupt mask set *)
+let imc = 0x00D8 (* interrupt mask clear *)
+let tctl = 0x0400 (* transmit control *)
+let tdbal = 0x3800 (* TX descriptor base address low *)
+let tdbah = 0x3804
+let tdlen = 0x3808 (* TX descriptor ring length, bytes *)
+let tdh = 0x3810 (* TX descriptor head (device-owned) *)
+let tdt = 0x3818 (* TX descriptor tail (driver doorbell) *)
+let rctl = 0x0100
+let rdbal = 0x2800
+let rdbah = 0x2804
+let rdlen = 0x2808
+let rdh = 0x2810
+let rdt = 0x2818
+let scratch = 0x5B00 (* diagnostic scratch register (self-test) *)
+
+(* CTRL bits *)
+let ctrl_rst = 1 lsl 26
+
+(* STATUS bits *)
+let status_lu = 1 lsl 1 (* link up *)
+
+(* TCTL bits *)
+let tctl_en = 1 lsl 1
+
+(* ICR bits *)
+let icr_txdw = 1 lsl 0 (* transmit descriptor written back *)
+let icr_lsc = 1 lsl 2 (* link status change *)
+let icr_rxt0 = 1 lsl 7 (* receiver timer: frames delivered *)
+
+(* RCTL bits *)
+let rctl_en = 1 lsl 1
+
+(* legacy TX descriptor layout (16 bytes) *)
+let desc_size = 16
+let desc_addr_off = 0 (* u64 buffer address *)
+let desc_len_off = 8 (* u16 length *)
+let desc_cso_off = 10
+let desc_cmd_off = 11 (* u8 command *)
+let desc_sta_off = 12 (* u8 status *)
+let desc_css_off = 13
+let desc_special_off = 14
+
+(* descriptor command bits *)
+let cmd_eop = 0x01
+let cmd_ifcs = 0x02
+let cmd_rs = 0x08
+
+(* descriptor status bits *)
+let sta_dd = 0x01 (* descriptor done *)
+let sta_eop = 0x02 (* end of packet (RX) *)
+
+(* legacy RX descriptor layout (16 bytes) *)
+let rxd_addr_off = 0 (* u64 buffer address *)
+let rxd_len_off = 8 (* u16 length *)
+let rxd_csum_off = 10
+let rxd_sta_off = 12 (* u8 status *)
+let rxd_err_off = 13
+let rxd_special_off = 14
+
+let bar_size = 0x6000

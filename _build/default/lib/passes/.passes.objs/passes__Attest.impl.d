@@ -1,0 +1,1 @@
+lib/passes/attest.ml: Kir List Pass

@@ -1,0 +1,1 @@
+lib/passes/cfi_guard.ml: Kir List Pass

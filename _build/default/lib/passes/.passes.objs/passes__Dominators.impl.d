@@ -1,0 +1,1 @@
+lib/passes/dominators.ml: Array Kir List

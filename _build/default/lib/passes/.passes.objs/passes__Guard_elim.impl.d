@@ -1,0 +1,1 @@
+lib/passes/guard_elim.ml: Guard_injection Hashtbl Kir List Pass Printf

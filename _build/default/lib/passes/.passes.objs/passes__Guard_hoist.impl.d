@@ -1,0 +1,1 @@
+lib/passes/guard_hoist.ml: Array Guard_injection Hashtbl Kir List Loops Pass

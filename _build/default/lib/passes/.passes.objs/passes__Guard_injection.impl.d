@@ -1,0 +1,1 @@
+lib/passes/guard_injection.ml: Hashtbl Kir List Pass

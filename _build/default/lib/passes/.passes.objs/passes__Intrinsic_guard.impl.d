@@ -1,0 +1,1 @@
+lib/passes/intrinsic_guard.ml: Kir List Pass

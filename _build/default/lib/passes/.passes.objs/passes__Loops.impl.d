@@ -1,0 +1,1 @@
+lib/passes/loops.ml: Array Dominators Hashtbl Kir List

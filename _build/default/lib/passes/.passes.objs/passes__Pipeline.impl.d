@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Attest Cfi_guard Dce Guard_elim Guard_hoist Guard_injection Intrinsic_guard Pass Signing

@@ -1,0 +1,1 @@
+lib/passes/signing.ml: Attest Cfi_guard Char Guard_injection Intrinsic_guard Kir List Pass Printf String

@@ -1,0 +1,77 @@
+(** Compiler attestation (§2, §5 of the paper).
+
+    The CARAT KOP compilation process asserts, as part of what gets
+    signed, that the module "does not include any problematic elements
+    such as inline or separate assembly". This pass scans for such
+    elements and either fails compilation or records the findings:
+
+    - {b inline assembly} ([Inline_asm]) — always fatal: the compiler
+      cannot see through it, so guards cannot be certified;
+    - {b indirect calls} ([Callind]) — control-flow escape hatches. The
+      paper notes CARAT KOP does not yet provide CFI (§5), so these are
+      allowed by default but counted and recorded in metadata, and a
+      strict mode can reject them. *)
+
+open Kir.Types
+
+type finding = { in_func : string; what : string }
+
+type report = {
+  inline_asm : finding list;
+  indirect_calls : finding list;
+  intrinsics : finding list;
+}
+
+let scan (m : modul) : report =
+  let asm = ref [] and ind = ref [] and intr = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Inline_asm s ->
+                asm := { in_func = f.f_name; what = s } :: !asm
+              | Callind _ ->
+                ind := { in_func = f.f_name; what = "indirect call" } :: !ind
+              | Intrinsic { iname; _ } ->
+                intr := { in_func = f.f_name; what = iname } :: !intr
+              | _ -> ())
+            b.body)
+        f.blocks)
+    m.funcs;
+  {
+    inline_asm = List.rev !asm;
+    indirect_calls = List.rev !ind;
+    intrinsics = List.rev !intr;
+  }
+
+let meta_noasm = "carat.kop.attest.noasm"
+let meta_indirect = "carat.kop.attest.indirect_calls"
+let meta_intrinsics = "carat.kop.attest.intrinsics"
+
+let run ~strict (m : modul) : Pass.result =
+  let r = scan m in
+  (match r.inline_asm with
+  | [] -> ()
+  | { in_func; what } :: _ ->
+    Pass.fail "attest" "inline assembly in @%s (%S); module cannot be certified"
+      in_func what);
+  if strict && r.indirect_calls <> [] then begin
+    let f = List.hd r.indirect_calls in
+    Pass.fail "attest" "indirect call in @%s rejected in strict mode" f.in_func
+  end;
+  meta_set m meta_noasm "true";
+  meta_set m meta_indirect (string_of_int (List.length r.indirect_calls));
+  meta_set m meta_intrinsics (string_of_int (List.length r.intrinsics));
+  {
+    changed = true;
+    remarks =
+      [
+        ("indirect_calls", string_of_int (List.length r.indirect_calls));
+        ("intrinsics", string_of_int (List.length r.intrinsics));
+      ];
+  }
+
+let pass ?(strict = false) () = Pass.make "attest" (run ~strict)

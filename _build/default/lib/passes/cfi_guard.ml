@@ -1,0 +1,84 @@
+(** Control-flow-integrity guarding for indirect calls — the other §5
+    extension: "CARAT KOP also does not prevent control-flow attacks,
+    where a module might call an arbitrary function in the kernel ...
+    Incorporating guarded modules into the CARAT KOP compilation flow
+    would help CARAT KOP make assurances about control flow integrity".
+
+    The pass inserts, before every [Callind], a call to
+    [carat_cfi_guard(target)]. The policy module checks the target
+    address against its allow-list of call targets (populated by the
+    operator per module, typically from the module's own exports plus
+    the kernel API it legitimately needs). *)
+
+open Kir.Types
+
+let guard_symbol = "carat_cfi_guard"
+let meta_guarded = "carat.kop.cfi_guarded"
+let meta_count = "carat.kop.cfi_guards"
+
+let run (m : modul) : Pass.result =
+  if meta_find m meta_guarded = Some "true" then
+    Pass.fail "cfi-guard" "module %s already CFI-guarded" m.m_name;
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          blk.body <-
+            List.concat_map
+              (fun i ->
+                match i with
+                | Callind { fn; _ } ->
+                  incr count;
+                  [
+                    Call { dst = None; callee = guard_symbol; args = [ fn ] };
+                    i;
+                  ]
+                | i -> [ i ])
+              blk.body)
+        f.blocks)
+    m.funcs;
+  if !count > 0 && not (List.mem_assoc guard_symbol m.externs) then
+    m.externs <- m.externs @ [ (guard_symbol, 1) ];
+  meta_set m meta_guarded "true";
+  meta_set m meta_count (string_of_int !count);
+  {
+    Pass.changed = !count > 0;
+    remarks = [ ("cfi_guards", string_of_int !count) ];
+  }
+
+let pass () = Pass.make "cfi-guard" run
+
+let count_guards (m : modul) =
+  let in_block b =
+    List.fold_left
+      (fun n i ->
+        match i with
+        | Call { callee; _ } when callee = guard_symbol -> n + 1
+        | _ -> n)
+      0 b.body
+  in
+  List.fold_left
+    (fun n f -> n + List.fold_left (fun n b -> n + in_block b) 0 f.blocks)
+    0 m.funcs
+
+(** Every indirect call is immediately preceded by a CFI guard on the
+    same target operand. *)
+let fully_guarded (m : modul) : bool =
+  let block_ok b =
+    let rec go prev body =
+      match body with
+      | [] -> true
+      | (Callind { fn; _ } as i) :: rest ->
+        let ok =
+          match prev with
+          | Some (Call { callee; args = [ t ]; _ }) ->
+            callee = guard_symbol && t = fn
+          | _ -> false
+        in
+        ok && go (Some i) rest
+      | i :: rest -> go (Some i) rest
+    in
+    go None b.body
+  in
+  List.for_all (fun f -> List.for_all block_ok f.blocks) m.funcs

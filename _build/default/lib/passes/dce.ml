@@ -1,0 +1,26 @@
+(** Unreachable-block elimination. A hygiene pass: the driver generator
+    and the structured-control-flow builder can leave join blocks that are
+    never reached; removing them keeps static instruction counts honest
+    for the [tab-guards] accounting. *)
+
+open Kir.Types
+
+let run (m : modul) : Pass.result =
+  let removed = ref 0 in
+  List.iter
+    (fun f ->
+      let cfg = Kir.Cfg.of_func f in
+      let dead = Kir.Cfg.unreachable_blocks cfg in
+      if dead <> [] then begin
+        removed := !removed + List.length dead;
+        let dead_labels = List.map (fun b -> b.b_label) dead in
+        f.blocks <-
+          List.filter (fun b -> not (List.mem b.b_label dead_labels)) f.blocks
+      end)
+    m.funcs;
+  {
+    Pass.changed = !removed > 0;
+    remarks = [ ("blocks_removed", string_of_int !removed) ];
+  }
+
+let pass () = Pass.make "dce" run

@@ -1,0 +1,70 @@
+(** Dominator computation over a {!Kir.Cfg}, using the Cooper-Harvey-
+    Kennedy iterative algorithm on reverse postorder. Powers natural-loop
+    detection for the guard-hoisting optimization. *)
+
+type t = {
+  cfg : Kir.Cfg.t;
+  idom : int array;  (** immediate dominator; entry maps to itself,
+                         unreachable blocks to -1 *)
+  rpo_number : int array;
+}
+
+let compute (cfg : Kir.Cfg.t) : t =
+  let n = Kir.Cfg.n_blocks cfg in
+  let rpo = Kir.Cfg.reverse_postorder cfg in
+  let rpo_number = Array.make n (-1) in
+  List.iteri (fun k i -> rpo_number.(i) <- k) rpo;
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_number.(!a) > rpo_number.(!b) do a := idom.(!a) done;
+        while rpo_number.(!b) > rpo_number.(!a) do b := idom.(!b) done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun i ->
+          if i <> 0 then begin
+            let preds =
+              List.filter (fun p -> idom.(p) <> -1) cfg.Kir.Cfg.pred.(i)
+            in
+            match preds with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(i) <> new_idom then begin
+                idom.(i) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done
+  end;
+  { cfg; idom; rpo_number }
+
+(** [dominates t a b] is true iff block [a] dominates block [b]. Every
+    block dominates itself. *)
+let dominates t a b =
+  if a = b then true
+  else begin
+    let rec up x = if x = a then true else if x = t.idom.(x) then false else up t.idom.(x) in
+    if t.idom.(b) = -1 then false else up t.idom.(b)
+  end
+
+let idom t i = if i = 0 then None else if t.idom.(i) = -1 then None else Some t.idom.(i)
+
+(** Children lists of the dominator tree, indexed by block. *)
+let dom_tree t =
+  let n = Array.length t.idom in
+  let children = Array.make n [] in
+  for i = n - 1 downto 1 do
+    let d = t.idom.(i) in
+    if d <> -1 && d <> i then children.(d) <- i :: children.(d)
+  done;
+  children

@@ -1,0 +1,105 @@
+(** Redundant-guard elimination — the first of the CARAT-CAKE-style guard
+    optimizations that the paper deliberately leaves out of CARAT KOP
+    (§3.3) but speculates about. We implement it for the ablation
+    benchmark [abl-opt].
+
+    Within a basic block, a guard call [carat_guard(a, s, fl)] is
+    redundant if an earlier guard in the same block already covered the
+    same address *value* with at least the same size and a superset of
+    the access flags, provided no non-guard call intervened (a call could
+    reach the policy module and change the table; dropping the later
+    guard would then be unsound).
+
+    "Same address value" is decided by local value numbering: [mov] and
+    [gep] chains are resolved symbolically, so two guards whose addresses
+    are recomputed through different registers (e.g. two [gep adapter,
+    40] sequences) still deduplicate. Every other definition gets a fresh
+    opaque number, which also makes register redefinition safe. *)
+
+open Kir.Types
+
+type seen = { size : int; flags : int }
+
+(* symbolic value for local value numbering *)
+type sym_value =
+  | V_imm of int
+  | V_sym of string
+  | V_gep of sym_value * sym_value * int
+  | V_opaque of int
+
+let rec sym_to_key = function
+  | V_imm n -> "i" ^ string_of_int n
+  | V_sym s -> "s" ^ s
+  | V_gep (b, i, s) ->
+    Printf.sprintf "g(%s,%s,%d)" (sym_to_key b) (sym_to_key i) s
+  | V_opaque n -> "o" ^ string_of_int n
+
+let run ~guard_symbol (m : modul) : Pass.result =
+  let removed = ref 0 in
+  let fresh = ref 0 in
+  let next_opaque () =
+    incr fresh;
+    V_opaque !fresh
+  in
+  let process_block b =
+    let values : (reg, sym_value) Hashtbl.t = Hashtbl.create 32 in
+    let value_of = function
+      | Imm n -> V_imm n
+      | Sym s -> V_sym s
+      | Reg r -> (
+        match Hashtbl.find_opt values r with
+        | Some v -> v
+        | None ->
+          let v = next_opaque () in
+          Hashtbl.replace values r v;
+          v)
+    in
+    let seen : (string, seen) Hashtbl.t = Hashtbl.create 16 in
+    let keep i =
+      match i with
+      | Call { callee; args = [ addr; Imm size; Imm flags ]; dst = None }
+        when callee = guard_symbol -> (
+        let key = sym_to_key (value_of addr) in
+        match Hashtbl.find_opt seen key with
+        | Some prev when prev.size >= size && prev.flags land flags = flags ->
+          incr removed;
+          false
+        | _ ->
+          let merged =
+            match Hashtbl.find_opt seen key with
+            | Some prev ->
+              { size = max prev.size size; flags = prev.flags lor flags }
+            | None -> { size; flags }
+          in
+          Hashtbl.replace seen key merged;
+          true)
+      | Call _ | Callind _ ->
+        (* unknown call: conservatively forget guard coverage (the policy
+           could have changed); value numbering stays valid *)
+        Hashtbl.reset seen;
+        (match def_of_instr i with
+        | Some r -> Hashtbl.replace values r (next_opaque ())
+        | None -> ());
+        true
+      | Mov { dst; src; _ } ->
+        Hashtbl.replace values dst (value_of src);
+        true
+      | Gep { dst; base; idx; scale } ->
+        Hashtbl.replace values dst (V_gep (value_of base, value_of idx, scale));
+        true
+      | _ ->
+        (match def_of_instr i with
+        | Some r -> Hashtbl.replace values r (next_opaque ())
+        | None -> ());
+        true
+    in
+    b.body <- List.filter keep b.body
+  in
+  List.iter (fun f -> List.iter process_block f.blocks) m.funcs;
+  {
+    Pass.changed = !removed > 0;
+    remarks = [ ("guards_removed", string_of_int !removed) ];
+  }
+
+let pass ?(guard_symbol = Guard_injection.guard_symbol_default) () =
+  Pass.make "guard-elim" (run ~guard_symbol)

@@ -1,0 +1,91 @@
+(** Loop-invariant guard hoisting — the second CARAT-CAKE-style guard
+    optimization, implemented for the [abl-opt] ablation.
+
+    A guard inside a natural loop whose address operand is loop-invariant
+    (an [Imm]/[Sym], or a register never redefined inside the loop) fires
+    identically on every iteration. If the loop has a unique preheader
+    (single outside predecessor whose only successor is the header), the
+    guard can run once there instead. Hoisting moves the guard *earlier*,
+    so the policy check still precedes every guarded access; it is only
+    performed when no call inside the loop could mutate the policy
+    (conservatively: no non-guard calls in the loop at all). *)
+
+open Kir.Types
+
+let regs_defined_in_blocks blocks =
+  let defined = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match def_of_instr i with
+          | Some r -> Hashtbl.replace defined r ()
+          | None -> ())
+        b.body)
+    blocks;
+  defined
+
+let run ~guard_symbol (m : modul) : Pass.result =
+  let hoisted = ref 0 in
+  let process_func f =
+    let cfg = Kir.Cfg.of_func f in
+    let linfo = Loops.compute cfg in
+    List.iter
+      (fun (l : Loops.loop) ->
+        match Loops.outside_preds linfo l with
+        | [ p ] when cfg.Kir.Cfg.succ.(p) = [ l.Loops.header ] ->
+          let pre = Kir.Cfg.block cfg p in
+          let loop_blocks = List.map (Kir.Cfg.block cfg) l.Loops.body in
+          let defined = regs_defined_in_blocks loop_blocks in
+          let invariant = function
+            | Imm _ | Sym _ -> true
+            | Reg r -> not (Hashtbl.mem defined r)
+          in
+          let has_foreign_call =
+            List.exists
+              (fun b ->
+                List.exists
+                  (function
+                    | Call { callee; _ } -> callee <> guard_symbol
+                    | Callind _ -> true
+                    | _ -> false)
+                  b.body)
+              loop_blocks
+          in
+          if not has_foreign_call then begin
+            (* collect hoistable guards, dedupe by (addr,size,flags) *)
+            let moved = Hashtbl.create 8 in
+            List.iter
+              (fun b ->
+                let keep i =
+                  match i with
+                  | Call
+                      {
+                        callee;
+                        args = [ addr; Imm size; Imm flags ];
+                        dst = None;
+                      }
+                    when callee = guard_symbol && invariant addr ->
+                    let key = (addr, size, flags) in
+                    if not (Hashtbl.mem moved key) then begin
+                      Hashtbl.replace moved key ();
+                      pre.body <- pre.body @ [ i ]
+                    end;
+                    incr hoisted;
+                    false
+                  | _ -> true
+                in
+                b.body <- List.filter keep b.body)
+              loop_blocks
+          end
+        | _ -> ())
+      linfo.Loops.loops
+  in
+  List.iter process_func m.funcs;
+  {
+    Pass.changed = !hoisted > 0;
+    remarks = [ ("guards_hoisted", string_of_int !hoisted) ];
+  }
+
+let pass ?(guard_symbol = Guard_injection.guard_symbol_default) () =
+  Pass.make "guard-hoist" (run ~guard_symbol)

@@ -1,0 +1,61 @@
+(** Natural-loop detection from back edges (an edge [t -> h] where [h]
+    dominates [t]). A loop is its header plus every block that can reach
+    the back-edge tail without passing through the header. Nested loops
+    sharing a header are merged, as is conventional. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** includes the header *)
+  back_edges : (int * int) list;
+}
+
+type t = { cfg : Kir.Cfg.t; loops : loop list }
+
+let compute (cfg : Kir.Cfg.t) : t =
+  let dom = Dominators.compute cfg in
+  let n = Kir.Cfg.n_blocks cfg in
+  let back_edges = ref [] in
+  for t = 0 to n - 1 do
+    List.iter
+      (fun h -> if Dominators.dominates dom h t then back_edges := (t, h) :: !back_edges)
+      cfg.Kir.Cfg.succ.(t)
+  done;
+  (* group back edges by header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (t, h) ->
+      let prev = try Hashtbl.find by_header h with Not_found -> [] in
+      Hashtbl.replace by_header h ((t, h) :: prev))
+    !back_edges;
+  let loops =
+    Hashtbl.fold
+      (fun header edges acc ->
+        let in_loop = Array.make n false in
+        in_loop.(header) <- true;
+        let rec pull t =
+          if not in_loop.(t) then begin
+            in_loop.(t) <- true;
+            List.iter pull cfg.Kir.Cfg.pred.(t)
+          end
+        in
+        List.iter (fun (t, _) -> pull t) edges;
+        let body = ref [] in
+        for i = n - 1 downto 0 do
+          if in_loop.(i) then body := i :: !body
+        done;
+        { header; body = !body; back_edges = edges } :: acc)
+      by_header []
+  in
+  let loops = List.sort (fun a b -> compare a.header b.header) loops in
+  { cfg; loops }
+
+let in_loop l i = List.mem i l.body
+
+(** Blocks outside the loop that branch to its header. If there is exactly
+    one and it has the header as unique successor, it can serve as a
+    preheader for hoisted guards. *)
+let outside_preds t l =
+  List.filter (fun p -> not (in_loop l p)) t.cfg.Kir.Cfg.pred.(l.header)
+
+let loop_depth t i =
+  List.length (List.filter (fun l -> in_loop l i) t.loops)

@@ -1,0 +1,39 @@
+(** Minimal pass manager. A pass is a named in-place transformation over a
+    KIR module; pipelines run passes in order and collect remarks (free-
+    form key/value observations such as "guards inserted: 412"). Mirrors
+    the paper's setup where the CARAT KOP "compiler" is an LLVM pass
+    invoked by a wrapper script around clang. *)
+
+type result = { changed : bool; remarks : (string * string) list }
+
+let unchanged = { changed = false; remarks = [] }
+
+type t = { name : string; run : Kir.Types.modul -> result }
+
+let make name run = { name; run }
+
+exception Pass_failed of string * string
+(** [Pass_failed (pass_name, reason)]: the pass refused the module (e.g.
+    attestation found inline assembly). *)
+
+let fail pass_name fmt =
+  Printf.ksprintf (fun reason -> raise (Pass_failed (pass_name, reason))) fmt
+
+(** Run a pipeline over [m], returning per-pass results in order. The
+    module is mutated in place. *)
+let run_pipeline (pipeline : t list) (m : Kir.Types.modul) :
+    (string * result) list =
+  List.map (fun p -> (p.name, p.run m)) pipeline
+
+(** Like {!run_pipeline} but verifies the module after each pass, raising
+    {!Kir.Verify.Invalid} as soon as a pass breaks structural validity.
+    Used by tests and by the [kop_compile] driver. *)
+let run_pipeline_checked (pipeline : t list) (m : Kir.Types.modul) :
+    (string * result) list =
+  Kir.Verify.check_exn m;
+  List.map
+    (fun p ->
+      let r = (p.name, p.run m) in
+      Kir.Verify.check_exn m;
+      r)
+    pipeline

@@ -1,0 +1,56 @@
+(** Canonical pass pipelines.
+
+    [kop_default] is the paper's compiler: attest, inject a guard before
+    every load/store with no optimization, sign.
+
+    [kop_optimized] adds the CARAT-CAKE-style guard optimizations the
+    paper deliberately omits (redundant-guard elimination and loop-
+    invariant hoisting); used by the [abl-opt] ablation.
+
+    [baseline] only signs — the untransformed module for A/B runs. *)
+
+let default_key = "kop-vendor-key"
+let default_signer = "kop-ocaml"
+
+(* §5 extensions, off by default to stay faithful to the paper's
+   prototype: intrinsic guarding and indirect-call (CFI) guarding *)
+let extension_passes ~guard_intrinsics ~guard_cfi =
+  (if guard_intrinsics then [ Intrinsic_guard.pass () ] else [])
+  @ if guard_cfi then [ Cfi_guard.pass () ] else []
+
+let kop_default ?(key = default_key) ?(signer = default_signer)
+    ?(config = Guard_injection.default_config) ?(guard_intrinsics = false)
+    ?(guard_cfi = false) () =
+  [ Dce.pass (); Attest.pass (); Guard_injection.pass ~config () ]
+  @ extension_passes ~guard_intrinsics ~guard_cfi
+  @ [ Signing.pass ~key ~signer () ]
+
+let kop_optimized ?(key = default_key) ?(signer = default_signer)
+    ?(config = Guard_injection.default_config) ?(guard_intrinsics = false)
+    ?(guard_cfi = false) () =
+  [
+    Dce.pass ();
+    Attest.pass ();
+    Guard_injection.pass ~config ();
+    Guard_elim.pass ~guard_symbol:config.Guard_injection.guard_symbol ();
+    Guard_hoist.pass ~guard_symbol:config.Guard_injection.guard_symbol ();
+  ]
+  @ extension_passes ~guard_intrinsics ~guard_cfi
+  @ [ Signing.pass ~key ~signer () ]
+
+(** Sign without transforming: used for baseline modules so that the
+    loader accepts them in permissive mode while A/B tests can still
+    detect that no guarding was asserted. *)
+let baseline_sign ?(key = default_key) ?(signer = default_signer) () =
+  [ Dce.pass (); Signing.pass ~key ~signer () ]
+
+(** Compile (transform + sign) a module in place, returning the pass
+    remarks. This is the "wrapper script around clang" entry point. *)
+let compile ?(optimize = false) ?key ?signer ?config ?guard_intrinsics
+    ?guard_cfi m =
+  let pipeline =
+    if optimize then
+      kop_optimized ?key ?signer ?config ?guard_intrinsics ?guard_cfi ()
+    else kop_default ?key ?signer ?config ?guard_intrinsics ?guard_cfi ()
+  in
+  Pass.run_pipeline_checked pipeline m

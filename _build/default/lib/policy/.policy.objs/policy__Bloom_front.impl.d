@@ -1,0 +1,1 @@
+lib/policy/bloom_front.ml: Bytes Char Hashtbl Kernel Linear_table Machine Region Structure

@@ -1,0 +1,1 @@
+lib/policy/engine.ml: Bloom_front Hashtbl Kernel Linear_table List Lookup_cache Machine Rb_tree Region Sorted_table Splay_tree Structure

@@ -1,0 +1,1 @@
+lib/policy/linear_table.ml: Array Hashtbl Kernel Machine Printf Region Structure

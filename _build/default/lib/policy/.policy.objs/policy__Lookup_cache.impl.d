@@ -1,0 +1,1 @@
+lib/policy/lookup_cache.ml: Array Hashtbl Kernel Linear_table Machine Region Structure

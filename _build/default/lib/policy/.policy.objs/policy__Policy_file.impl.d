@@ -1,0 +1,1 @@
+lib/policy/policy_file.ml: Buffer Engine List Printf Region String

@@ -1,0 +1,1 @@
+lib/policy/policy_module.ml: Engine Hashtbl Kernel Linear_table List Machine Passes Printf Region

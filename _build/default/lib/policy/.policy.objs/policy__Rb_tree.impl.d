@@ -1,0 +1,1 @@
+lib/policy/rb_tree.ml: Hashtbl Kernel List Machine Printf Region Structure

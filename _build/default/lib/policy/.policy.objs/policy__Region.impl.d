@@ -1,0 +1,1 @@
+lib/policy/region.ml: Kernel List Passes Printf

@@ -1,0 +1,1 @@
+lib/policy/splay_tree.ml: Hashtbl Kernel List Machine Printf Region Structure

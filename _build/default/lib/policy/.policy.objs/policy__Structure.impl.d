@@ -1,0 +1,1 @@
+lib/policy/structure.ml: Kernel Region

@@ -1,0 +1,123 @@
+(** The policy engine: a region structure plus the permission-check logic
+    and counters. One engine backs one policy module instance.
+
+    Check semantics (§3.1): walk the structure for the first region
+    containing the accessed byte range; if found, the access is allowed
+    iff the region's protection flags include every requested flag; if no
+    region matches, the default action applies. The paper's evaluated
+    configuration is the 64-entry linear table with default deny. *)
+
+type kind = Linear | Sorted | Splay | Rbtree | Bloom | Cached
+
+let kind_to_string = function
+  | Linear -> "linear"
+  | Sorted -> "sorted"
+  | Splay -> "splay"
+  | Rbtree -> "rbtree"
+  | Bloom -> "bloom+linear"
+  | Cached -> "cached+linear"
+
+let all_kinds = [ Linear; Sorted; Splay; Rbtree; Bloom; Cached ]
+
+type stats = {
+  mutable checks : int;
+  mutable allowed : int;
+  mutable denied : int;
+  mutable entries_scanned : int;
+}
+
+type verdict =
+  | Allowed of Region.t option
+      (** matching region, or [None] under default-allow *)
+  | Denied of Region.t option
+      (** region that matched but lacked permissions, or [None] when
+          nothing matched under default-deny *)
+
+type t = {
+  kernel : Kernel.t;
+  instance : Structure.instance;
+  mutable default_allow : bool;
+  stats : stats;
+}
+
+let make_instance kernel kind ~capacity : Structure.instance =
+  match kind with
+  | Linear ->
+    Structure.I ((module Linear_table), Linear_table.create kernel ~capacity)
+  | Sorted ->
+    Structure.I ((module Sorted_table), Sorted_table.create kernel ~capacity)
+  | Splay ->
+    Structure.I ((module Splay_tree), Splay_tree.create kernel ~capacity)
+  | Rbtree ->
+    Structure.I ((module Rb_tree), Rb_tree.create kernel ~capacity)
+  | Bloom ->
+    Structure.I ((module Bloom_front), Bloom_front.create kernel ~capacity)
+  | Cached ->
+    Structure.I ((module Lookup_cache), Lookup_cache.create kernel ~capacity)
+
+let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
+    ?(default_allow = false) kernel =
+  {
+    kernel;
+    instance = make_instance kernel kind ~capacity;
+    default_allow;
+    stats = { checks = 0; allowed = 0; denied = 0; entries_scanned = 0 };
+  }
+
+let add_region t r = Structure.add t.instance r
+let remove_region t ~base = Structure.remove t.instance ~base
+let clear t = Structure.clear t.instance
+let count t = Structure.count t.instance
+let regions t = Structure.regions t.instance
+let stats t = t.stats
+let structure_name t = Structure.name t.instance
+
+let reset_stats t =
+  t.stats.checks <- 0;
+  t.stats.allowed <- 0;
+  t.stats.denied <- 0;
+  t.stats.entries_scanned <- 0
+
+(** Load a whole policy (clearing the current one); errors abort. *)
+let set_policy t rs =
+  clear t;
+  List.iter
+    (fun r ->
+      match add_region t r with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Engine.set_policy: " ^ e))
+    rs
+
+(** The permissions check at the heart of [carat_guard]. Charges the
+    guard-body prologue plus whatever the structure walk costs. *)
+let check t ~addr ~size ~flags : verdict =
+  let machine = Kernel.machine t.kernel in
+  (* prologue: argument marshalling, flag mask, bounds set-up *)
+  Machine.Model.retire machine 4;
+  let out = Structure.lookup t.instance ~addr ~size in
+  t.stats.checks <- t.stats.checks + 1;
+  t.stats.entries_scanned <- t.stats.entries_scanned + out.Structure.scanned;
+  match out.Structure.matched with
+  | Some r ->
+    Machine.Model.retire machine 2;
+    let ok = Region.permits r ~flags in
+    Machine.Model.branch machine
+      ~pc:(Hashtbl.hash ("perm", Region.prot_to_string r.Region.prot))
+      ~taken:ok;
+    if ok then begin
+      t.stats.allowed <- t.stats.allowed + 1;
+      Allowed (Some r)
+    end
+    else begin
+      t.stats.denied <- t.stats.denied + 1;
+      Denied (Some r)
+    end
+  | None ->
+    if t.default_allow then begin
+      t.stats.allowed <- t.stats.allowed + 1;
+      Allowed None
+    end
+    else begin
+      t.stats.denied <- t.stats.denied + 1;
+      Denied None
+    end

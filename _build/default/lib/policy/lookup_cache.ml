@@ -1,0 +1,89 @@
+(** A small most-recently-matched cache in front of the linear table — the
+    structure CARAT CAKE uses ("a simple cache over the region data
+    structure", §4.2). The cached entries are exact regions, so unlike the
+    Bloom front-end this accelerator is sound: a cache hit re-validates
+    containment against the real region. *)
+
+type slot = { mutable region : Region.t option; vaddr : int }
+
+type t = {
+  kernel : Kernel.t;
+  inner : Linear_table.t;
+  slots : slot array;
+  mutable next_fill : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let name = "cached+linear"
+let default_ways = 2
+
+let create kernel ~capacity =
+  let slots =
+    Array.init default_ways (fun _ ->
+        { region = None; vaddr = Kernel.kmalloc kernel ~size:24 })
+  in
+  {
+    kernel;
+    inner = Linear_table.create kernel ~capacity;
+    slots;
+    next_fill = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let invalidate t = Array.iter (fun s -> s.region <- None) t.slots
+
+let add t r =
+  invalidate t;
+  Linear_table.add t.inner r
+
+let remove t ~base =
+  invalidate t;
+  Linear_table.remove t.inner ~base
+
+let clear t =
+  invalidate t;
+  Linear_table.clear t.inner
+
+let count t = Linear_table.count t.inner
+let regions t = Linear_table.regions t.inner
+
+let lookup t ~addr ~size : Structure.outcome =
+  let machine = Kernel.machine t.kernel in
+  let rec probe i =
+    if i >= Array.length t.slots then None
+    else begin
+      let s = t.slots.(i) in
+      ignore (Kernel.read t.kernel ~addr:s.vaddr ~size:8);
+      Machine.Model.retire machine 2;
+      let hit =
+        match s.region with
+        | Some r -> Region.contains r ~addr ~size
+        | None -> false
+      in
+      Machine.Model.branch machine
+        ~pc:(Hashtbl.hash ("rcache", s.vaddr))
+        ~taken:hit;
+      if hit then s.region else probe (i + 1)
+    end
+  in
+  match probe 0 with
+  | Some r ->
+    t.hits <- t.hits + 1;
+    { Structure.matched = Some r; scanned = 1 }
+  | None ->
+    t.misses <- t.misses + 1;
+    let out = Linear_table.lookup t.inner ~addr ~size in
+    (match out.Structure.matched with
+    | Some r ->
+      let s = t.slots.(t.next_fill) in
+      s.region <- Some r;
+      Kernel.write t.kernel ~addr:s.vaddr ~size:8 r.Region.base;
+      t.next_fill <- (t.next_fill + 1) mod Array.length t.slots
+    | None -> ());
+    out
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

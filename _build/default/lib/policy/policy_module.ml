@@ -1,0 +1,245 @@
+(** The CARAT KOP policy module (§3.1): a kernel module that exports the
+    single symbol [carat_guard] and owns the region table, configured by
+    root through an ioctl on [/dev/carat].
+
+    Protected modules transformed by the compiler call [carat_guard(addr,
+    size, access_flags)] before every load/store; this module compares
+    the access against the policy and, on a violation, logs it and causes
+    a kernel panic — the paper's argued-for hard stop for HPC (§3.1):
+    wrong policy, buggy module, or attack all warrant halting the node. *)
+
+type on_deny =
+  | Panic  (** the paper's behaviour *)
+  | Log_only  (** record and continue — used by tests and red-team runs *)
+
+type t = {
+  kernel : Kernel.t;
+  engine : Engine.t;
+  mutable on_deny : on_deny;
+  mutable violations : (int * int * int) list;
+      (** (addr, size, flags) of denied accesses, newest first *)
+  (* §5 extensions *)
+  mutable intrinsic_allowed : int;
+      (** bitmap over the kernel's intrinsic registry; bit i set = the
+          intrinsic with id i is permitted *)
+  mutable intrinsic_violations : int list;  (** denied intrinsic ids *)
+  mutable cfi_targets : (int, unit) Hashtbl.t;
+      (** allow-list of indirect-call target addresses *)
+  mutable cfi_default_allow : bool;
+  mutable cfi_violations : int list;  (** denied target addresses *)
+}
+
+let device_name = "carat"
+
+(* ioctl command numbers, shared with the policy-manager tool *)
+let ioctl_add = 1
+let ioctl_remove = 2
+let ioctl_clear = 3
+let ioctl_count = 4
+let ioctl_set_default = 5
+let ioctl_stats_checks = 6
+let ioctl_stats_denied = 7
+(* §5 extensions *)
+let ioctl_set_intrinsics = 8 (* arg = permission bitmap *)
+let ioctl_get_intrinsics = 9
+let ioctl_cfi_allow = 10 (* arg = target address to allow *)
+let ioctl_cfi_default = 11 (* arg <> 0 = default allow *)
+
+let guard_symbol = Passes.Guard_injection.guard_symbol_default
+let intrinsic_guard_symbol = Passes.Intrinsic_guard.guard_symbol
+let cfi_guard_symbol = Passes.Cfi_guard.guard_symbol
+
+let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
+  t.violations <- (addr, size, flags) :: t.violations;
+  let what =
+    if flags land Region.prot_write <> 0 then "write" else "read"
+  in
+  Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Err
+    "CARAT KOP: forbidden %s of %d bytes at 0x%x%s" what size addr
+    (match matched with
+    | Some r -> Printf.sprintf " (region %s lacks permission)" (Region.to_string r)
+    | None -> " (no matching region)");
+  match t.on_deny with
+  | Panic ->
+    Kernel.panic t.kernel
+      (Printf.sprintf "CARAT KOP guard violation at 0x%x" addr)
+  | Log_only -> ()
+
+let guard t ~addr ~size ~flags =
+  match Engine.check t.engine ~addr ~size ~flags with
+  | Engine.Allowed _ -> ()
+  | Engine.Denied matched -> handle_deny t ~addr ~size ~flags matched
+
+(** The §5 intrinsic guard: consult "a different policy table" — here a
+    permission bitmap over the intrinsic registry. *)
+let intrinsic_guard t ~id =
+  Machine.Model.retire (Kernel.machine t.kernel) 3;
+  if t.intrinsic_allowed land (1 lsl id) = 0 then begin
+    t.intrinsic_violations <- id :: t.intrinsic_violations;
+    let name =
+      match Kernel.intrinsic_name id with Some n -> n | None -> "?"
+    in
+    Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Err
+      "CARAT KOP: forbidden privileged intrinsic %s (id %d)" name id;
+    match t.on_deny with
+    | Panic ->
+      Kernel.panic t.kernel
+        (Printf.sprintf "CARAT KOP intrinsic violation (%s)" name)
+    | Log_only -> ()
+  end
+
+(** The §5 CFI guard: the indirect-call target must be on the operator's
+    allow-list. *)
+let cfi_guard t ~target =
+  Machine.Model.retire (Kernel.machine t.kernel) 3;
+  let ok = t.cfi_default_allow || Hashtbl.mem t.cfi_targets target in
+  if not ok then begin
+    t.cfi_violations <- target :: t.cfi_violations;
+    let where =
+      match Kernel.symbol_of_address t.kernel target with
+      | Some n -> Printf.sprintf "@%s (0x%x)" n target
+      | None -> Printf.sprintf "0x%x" target
+    in
+    Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Err
+      "CARAT KOP: forbidden indirect call to %s" where;
+    match t.on_deny with
+    | Panic ->
+      Kernel.panic t.kernel
+        (Printf.sprintf "CARAT KOP CFI violation (target %s)" where)
+    | Log_only -> ()
+  end
+
+(* ioctl argument block: base(8) len(8) prot(8) at a user address *)
+let read_region_arg t ~arg =
+  let base = Kernel.read t.kernel ~addr:arg ~size:8 in
+  let len = Kernel.read t.kernel ~addr:(arg + 8) ~size:8 in
+  let prot = Kernel.read t.kernel ~addr:(arg + 16) ~size:8 in
+  (base, len, prot)
+
+let handle_ioctl t _kernel ~cmd ~arg =
+  if cmd = ioctl_add then begin
+    let base, len, prot = read_region_arg t ~arg in
+    if len <= 0 then -1
+    else begin
+      match
+        Engine.add_region t.engine
+          (Region.v ~tag:"ioctl" ~base ~len ~prot ())
+      with
+      | Ok () -> 0
+      | Error e ->
+        Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Warn "carat ioctl add: %s" e;
+        -1
+    end
+  end
+  else if cmd = ioctl_remove then begin
+    let base = Kernel.read t.kernel ~addr:arg ~size:8 in
+    if Engine.remove_region t.engine ~base then 0 else -1
+  end
+  else if cmd = ioctl_clear then begin
+    Engine.clear t.engine;
+    0
+  end
+  else if cmd = ioctl_count then Engine.count t.engine
+  else if cmd = ioctl_set_default then begin
+    t.engine.Engine.default_allow <- arg <> 0;
+    0
+  end
+  else if cmd = ioctl_stats_checks then (Engine.stats t.engine).Engine.checks
+  else if cmd = ioctl_stats_denied then (Engine.stats t.engine).Engine.denied
+  else if cmd = ioctl_set_intrinsics then begin
+    t.intrinsic_allowed <- arg;
+    0
+  end
+  else if cmd = ioctl_get_intrinsics then t.intrinsic_allowed
+  else if cmd = ioctl_cfi_allow then begin
+    Hashtbl.replace t.cfi_targets arg ();
+    0
+  end
+  else if cmd = ioctl_cfi_default then begin
+    t.cfi_default_allow <- arg <> 0;
+    0
+  end
+  else -1
+
+(** Insert the policy module into [kernel]: registers [carat_guard] and
+    [/dev/carat]. Must happen before any protected module is inserted
+    (their import of [carat_guard] will not resolve otherwise). *)
+let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
+    ?(default_allow = false) ?(on_deny = Panic) kernel : t =
+  let engine = Engine.create ~kind ~capacity ~default_allow kernel in
+  let t =
+    {
+      kernel;
+      engine;
+      on_deny;
+      violations = [];
+      intrinsic_allowed = 0;
+      intrinsic_violations = [];
+      cfi_targets = Hashtbl.create 16;
+      (* CFI allow-lists are opt-in: an operator who does not configure
+         one keeps today's behaviour for indirect calls *)
+      cfi_default_allow = true;
+      cfi_violations = [];
+    }
+  in
+  (* the guard's whole invocation — call included — is off the critical
+     path of the surrounding module code, so an OoO core overlaps most
+     of it (§4.2's explanation of the R350's near-zero cost); the kernel
+     applies the machine's speculative-overlap discount to natives
+     registered as overlapped *)
+  Kernel.register_native ~overlapped:true kernel guard_symbol (fun _k args ->
+      (match args with
+      | [| addr; size; flags |] -> guard t ~addr ~size ~flags
+      | _ -> Kernel.panic kernel "carat_guard: bad arguments");
+      0);
+  Kernel.register_native ~overlapped:true kernel intrinsic_guard_symbol
+    (fun _k args ->
+      (match args with
+      | [| id |] -> intrinsic_guard t ~id
+      | _ -> Kernel.panic kernel "carat_intrinsic_guard: bad arguments");
+      0);
+  Kernel.register_native ~overlapped:true kernel cfi_guard_symbol
+    (fun _k args ->
+      (match args with
+      | [| target |] -> cfi_guard t ~target
+      | _ -> Kernel.panic kernel "carat_cfi_guard: bad arguments");
+      0);
+  Kernel.register_device kernel device_name (handle_ioctl t);
+  Kernel.Klog.printk (Kernel.log kernel)
+    "CARAT KOP policy module loaded (structure=%s, capacity=%d, default=%s)"
+    (Engine.kind_to_string kind) capacity
+    (if default_allow then "allow" else "deny");
+  t
+
+let engine t = t.engine
+let set_on_deny t a = t.on_deny <- a
+let violations t = t.violations
+let intrinsic_violations t = t.intrinsic_violations
+let cfi_violations t = t.cfi_violations
+
+(** Permit the named intrinsics (kernel-side convenience; the user-space
+    path is [ioctl_set_intrinsics]). Unknown names are ignored. *)
+let allow_intrinsics t names =
+  List.iter
+    (fun n ->
+      match Kernel.intrinsic_id n with
+      | Some id -> t.intrinsic_allowed <- t.intrinsic_allowed lor (1 lsl id)
+      | None -> ())
+    names
+
+let forbid_all_intrinsics t = t.intrinsic_allowed <- 0
+
+(** Switch CFI to allow-list mode with the given permitted symbols. *)
+let set_cfi_allowlist t symbols =
+  Hashtbl.reset t.cfi_targets;
+  t.cfi_default_allow <- false;
+  List.iter
+    (fun name ->
+      match Kernel.symbol_address t.kernel name with
+      | Some addr -> Hashtbl.replace t.cfi_targets addr ()
+      | None -> ())
+    symbols
+
+(** Convenience: load a whole policy from the kernel side (tests and
+    experiment harnesses; the user-space path is the ioctl). *)
+let set_policy t rs = Engine.set_policy t.engine rs

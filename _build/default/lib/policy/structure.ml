@@ -1,0 +1,45 @@
+(** Common interface for policy region structures.
+
+    Every implementation stores its entries in *simulated kernel memory*
+    and performs its probes through {!Kernel.read}/{!Kernel.write}, so the
+    cost of a policy lookup is mechanistic: the linear table is
+    prefetch-friendly and branch-predictable, binary search has data-
+    dependent branches, the splay tree chases pointers, the Bloom filter
+    scatters probes. This is how the repo reproduces the paper's §3.1/§4.2
+    discussion of structure trade-offs rather than asserting it. *)
+
+type outcome = {
+  matched : Region.t option;  (** first region containing the range *)
+  scanned : int;  (** entries (or nodes/probes) examined *)
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Kernel.t -> capacity:int -> t
+
+  val add : t -> Region.t -> (unit, string) result
+  (** Append/insert a rule. Implementations that cannot represent
+      overlapping regions (sorted table, splay tree — the trade-off the
+      paper calls out) return [Error] on overlap. *)
+
+  val remove : t -> base:int -> bool
+  val clear : t -> unit
+  val count : t -> int
+  val regions : t -> Region.t list
+
+  val lookup : t -> addr:int -> size:int -> outcome
+  (** Find the first/best region containing [addr, addr+size), charging
+      machine cost for every probe. *)
+end
+
+type instance = I : (module S with type t = 'a) * 'a -> instance
+
+let name (I ((module M), _)) = M.name
+let add (I ((module M), t)) r = M.add t r
+let remove (I ((module M), t)) ~base = M.remove t ~base
+let clear (I ((module M), t)) = M.clear t
+let count (I ((module M), t)) = M.count t
+let regions (I ((module M), t)) = M.regions t
+let lookup (I ((module M), t)) ~addr ~size = M.lookup t ~addr ~size

@@ -1,0 +1,1 @@
+lib/stats/cdf.ml: Array Buffer Bytes Float List Printf

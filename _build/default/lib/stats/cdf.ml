@@ -1,0 +1,98 @@
+(** Empirical CDFs, including ASCII rendering for the figure harness (the
+    paper's Figures 3-5 are throughput CDFs). *)
+
+type t = { points : (float * float) array }
+(** (value, cumulative fraction), sorted ascending by value *)
+
+let of_samples (xs : float array) : t =
+  let n = Array.length xs in
+  if n = 0 then { points = [||] }
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    {
+      points =
+        Array.mapi
+          (fun i x -> (x, float_of_int (i + 1) /. float_of_int n))
+          sorted;
+    }
+  end
+
+(** Fraction of samples <= v. *)
+let at (t : t) v =
+  let n = Array.length t.points in
+  if n = 0 then nan
+  else begin
+    (* binary search for the rightmost point with value <= v *)
+    let lo = ref 0 and hi = ref (n - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) <= v then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best < 0 then 0.0 else snd t.points.(!best)
+  end
+
+(** Value at cumulative fraction q (inverse CDF). *)
+let quantile (t : t) q =
+  let n = Array.length t.points in
+  if n = 0 then nan
+  else begin
+    let rec go i =
+      if i >= n then fst t.points.(n - 1)
+      else if snd t.points.(i) >= q then fst t.points.(i)
+      else go (i + 1)
+    in
+    go 0
+  end
+
+(** Render one or more CDFs as an ASCII plot: rows are cumulative
+    percentage ticks, each series gets a distinct mark at the value where
+    it crosses that percentage. *)
+let render ~title ~unit_label (series : (string * t) list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let values =
+    List.concat_map
+      (fun (_, t) -> Array.to_list (Array.map fst t.points))
+      series
+  in
+  match values with
+  | [] -> Buffer.contents buf
+  | _ ->
+    let vmin = List.fold_left min infinity values in
+    let vmax = List.fold_left max neg_infinity values in
+    let width = 64 in
+    let col v =
+      if vmax <= vmin then 0
+      else
+        int_of_float
+          (float_of_int (width - 1) *. (v -. vmin) /. (vmax -. vmin))
+    in
+    let marks = [| '*'; 'o'; '+'; 'x'; '#' |] in
+    List.iter
+      (fun pct ->
+        let q = float_of_int pct /. 100.0 in
+        let line = Bytes.make width ' ' in
+        List.iteri
+          (fun si (_, t) ->
+            let v = quantile t q in
+            if Float.is_finite v then
+              Bytes.set line (col v) marks.(si mod Array.length marks))
+          series;
+        Buffer.add_string buf
+          (Printf.sprintf "%3d%% |%s|\n" pct (Bytes.to_string line)))
+      [ 95; 90; 75; 50; 25; 10; 5 ];
+    Buffer.add_string buf
+      (Printf.sprintf "      %-18.4g%38.4g %s\n" vmin vmax unit_label);
+    List.iteri
+      (fun si (name, t) ->
+        Buffer.add_string buf
+          (Printf.sprintf "      %c %s (median %.4g)\n"
+             marks.(si mod Array.length marks)
+             name (quantile t 0.5)))
+      series;
+    Buffer.contents buf

@@ -1,0 +1,75 @@
+(** Fixed-width histograms with ASCII rendering (the paper's Figure 7 is
+    a latency histogram with outliers hidden). *)
+
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable below : int;
+  mutable above : int;  (** outliers outside [lo, hi) *)
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Hist.create: hi must exceed lo";
+  if bins <= 0 then invalid_arg "Hist.create: need at least one bin";
+  { lo; hi; bins = Array.make bins 0; below = 0; above = 0 }
+
+let add t x =
+  if x < t.lo then t.below <- t.below + 1
+  else if x >= t.hi then t.above <- t.above + 1
+  else begin
+    let n = Array.length t.bins in
+    let i =
+      int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    let i = if i >= n then n - 1 else i in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let of_samples ~lo ~hi ~bins xs =
+  let t = create ~lo ~hi ~bins in
+  Array.iter (fun x -> add t x) xs;
+  t
+
+let total t = Array.fold_left ( + ) (t.below + t.above) t.bins
+let outliers t = t.below + t.above
+let counts t = Array.copy t.bins
+
+let bin_bounds t i =
+  let n = Array.length t.bins in
+  let w = (t.hi -. t.lo) /. float_of_int n in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+(** Render several histograms over the same binning side by side. *)
+let render ~title ~unit_label (series : (string * t) list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  match series with
+  | [] -> Buffer.contents buf
+  | (_, first) :: _ ->
+    let nbins = Array.length first.bins in
+    let peak =
+      List.fold_left
+        (fun acc (_, t) -> Array.fold_left max acc t.bins)
+        1 series
+    in
+    let width = 30 in
+    for i = 0 to nbins - 1 do
+      let lo, _ = bin_bounds first i in
+      Buffer.add_string buf (Printf.sprintf "%10.0f %s |" lo unit_label);
+      List.iter
+        (fun (_, t) ->
+          let c = t.bins.(i) in
+          let bar = c * width / peak in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %6d |" width (String.make bar '#') c))
+        series;
+      Buffer.add_char buf '\n'
+    done;
+    List.iter
+      (fun (name, t) ->
+        Buffer.add_string buf
+          (Printf.sprintf "      %s: %d samples, %d outliers hidden\n" name
+             (total t) (outliers t)))
+      series;
+    Buffer.contents buf

@@ -1,0 +1,84 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p5 : float;
+  p25 : float;
+  p75 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let empty =
+  {
+    n = 0;
+    mean = nan;
+    stddev = nan;
+    min = nan;
+    max = nan;
+    median = nan;
+    p5 = nan;
+    p25 = nan;
+    p75 = nan;
+    p95 = nan;
+    p99 = nan;
+  }
+
+(** Interpolated percentile (q in [0,1]) of a *sorted* array. *)
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let of_array (xs : float array) : t =
+  let n = Array.length xs in
+  if n = 0 then empty
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let mean = sum /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+      /. float_of_int (max 1 (n - 1))
+    in
+    {
+      n;
+      mean;
+      stddev = sqrt var;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      median = percentile_sorted sorted 0.5;
+      p5 = percentile_sorted sorted 0.05;
+      p25 = percentile_sorted sorted 0.25;
+      p75 = percentile_sorted sorted 0.75;
+      p95 = percentile_sorted sorted 0.95;
+      p99 = percentile_sorted sorted 0.99;
+    }
+  end
+
+let of_ints (xs : int array) = of_array (Array.map float_of_int xs)
+
+let percentile (xs : float array) q =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
+
+let median xs = percentile xs 0.5
+
+let to_string ?(unit_label = "") s =
+  Printf.sprintf
+    "n=%d mean=%.1f%s sd=%.1f median=%.1f%s p5=%.1f p95=%.1f min=%.1f max=%.1f"
+    s.n s.mean unit_label s.stddev s.median unit_label s.p5 s.p95 s.min s.max

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Arith Array Hashtbl Kernel Kir List Machine Printf

@@ -1,0 +1,63 @@
+(** Width-aware integer semantics for the interpreter. KIR values live in
+    OCaml's native 63-bit ints; operations are evaluated at the
+    instruction's declared width with two's-complement wrap-around, then
+    stored zero-extended (like machine registers holding narrow values). *)
+
+open Kir.Types
+
+let mask_of = function
+  | I8 -> 0xFF
+  | I16 -> 0xFFFF
+  | I32 -> 0xFFFFFFFF
+  | I64 | Ptr -> -1 (* all bits: native representation is kept as-is *)
+
+let truncate ty v =
+  match ty with I64 | Ptr -> v | _ -> v land mask_of ty
+
+(** Interpret a zero-extended stored value as signed at width [ty]. *)
+let to_signed ty v =
+  match ty with
+  | I8 -> if v land 0x80 <> 0 then v - 0x100 else v land 0xFF
+  | I16 -> if v land 0x8000 <> 0 then v - 0x10000 else v land 0xFFFF
+  | I32 ->
+    if v land 0x80000000 <> 0 then (v land 0xFFFFFFFF) - 0x100000000
+    else v land 0xFFFFFFFF
+  | I64 | Ptr -> v (* 63-bit native; already signed *)
+
+exception Division_by_zero
+
+let binop ty op a b =
+  let wrap v = truncate ty v in
+  match op with
+  | Add -> wrap (a + b)
+  | Sub -> wrap (a - b)
+  | Mul -> wrap (a * b)
+  | Sdiv ->
+    if b = 0 then raise Division_by_zero
+    else wrap (to_signed ty a / to_signed ty b)
+  | Srem ->
+    if b = 0 then raise Division_by_zero
+    else wrap (to_signed ty a mod to_signed ty b)
+  | And -> wrap (a land b)
+  | Or -> wrap (a lor b)
+  | Xor -> wrap (a lxor b)
+  | Shl -> if b >= 64 then 0 else wrap (a lsl (b land 63))
+  | Lshr -> if b >= 64 then 0 else wrap (truncate ty a lsr (b land 63))
+  | Ashr ->
+    if b >= 64 then if to_signed ty a < 0 then mask_of ty else 0
+    else wrap (to_signed ty a asr (b land 63))
+
+let compare_values ty cond a b =
+  let sa = to_signed ty a and sb = to_signed ty b in
+  let ua = truncate ty a and ub = truncate ty b in
+  match cond with
+  | Eq -> ua = ub
+  | Ne -> ua <> ub
+  | Slt -> sa < sb
+  | Sle -> sa <= sb
+  | Sgt -> sa > sb
+  | Sge -> sa >= sb
+  | Ult -> ua < ub
+  | Ule -> ua <= ub
+  | Ugt -> ua > ub
+  | Uge -> ua >= ub

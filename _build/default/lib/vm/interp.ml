@@ -1,0 +1,220 @@
+(** The KIR interpreter ("the CPU" running module code).
+
+    Executes one function call at a time over the kernel's simulated
+    memory, charging the machine cost model per instruction: ALU ops
+    retire at issue width, loads/stores go through the cache hierarchy,
+    conditional branches go through the branch predictor (keyed by a
+    stable per-site identifier), and calls pay the call overhead.
+
+    The interpreter itself is untrusted-module context: every load/store
+    *the module's code performs* happens here. Guards are ordinary calls
+    injected in the instruction stream, so they pay exactly the costs the
+    paper describes (call overhead + the policy walk inside the guard). *)
+
+open Kir.Types
+
+exception Vm_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Vm_error m)) fmt
+
+type trace_event = {
+  ev_func : string;
+  ev_block : string;
+  ev_instr : string;  (** printed instruction, or "-> label" / "ret" *)
+  ev_step : int;
+}
+
+type state = {
+  kernel : Kernel.t;
+  stack_base : int;
+  stack_size : int;
+  mutable sp : int;  (** grows upward from [stack_base] *)
+  mutable steps : int;
+  max_steps : int;
+  mutable tracer : (trace_event -> unit) option;
+      (** when set, receives every interpreted instruction — the
+          [kop_run --trace] debugging aid. Tracing has zero effect on the
+          simulated cost model (it is tooling, not workload). *)
+}
+
+(** Stable identifier for a branch site, fed to the branch predictor. *)
+let branch_site f blk which =
+  Hashtbl.hash (f.f_name, blk.b_label, which)
+
+let value_of st (lm : Kernel.loaded_module) frame = function
+  | Imm n -> n
+  | Reg r -> (
+    match Hashtbl.find_opt frame r with
+    | Some v -> v
+    | None -> error "read of unset register %s" r)
+  | Sym s -> (
+    (* module-local globals first, then kernel symbols *)
+    match List.assoc_opt s lm.Kernel.lm_globals with
+    | Some addr -> addr
+    | None -> (
+      match Kernel.symbol_address st.kernel s with
+      | Some addr -> addr
+      | None -> error "unresolved symbol @%s" s))
+
+let exec_func st (lm : Kernel.loaded_module) (f : func) (args : int array) :
+    int =
+  if Array.length args <> List.length f.params then
+    error "call to @%s with %d args, expected %d" f.f_name (Array.length args)
+      (List.length f.params);
+  let frame : (reg, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri (fun i (r, _ty) -> Hashtbl.replace frame r args.(i)) f.params;
+  let saved_sp = st.sp in
+  let machine = Kernel.machine st.kernel in
+  let v = value_of st lm frame in
+  let set r x = Hashtbl.replace frame r x in
+  let trace blk what =
+    match st.tracer with
+    | Some fn ->
+      fn
+        {
+          ev_func = f.f_name;
+          ev_block = blk.b_label;
+          ev_instr = what;
+          ev_step = st.steps;
+        }
+    | None -> ()
+  in
+  let rec run_block (blk : block) : int =
+    (* count the block entry itself so that instruction-free loops still
+       burn budget *)
+    st.steps <- st.steps + 1;
+    if st.steps > st.max_steps then
+      error "instruction budget exceeded (%d)" st.max_steps;
+    List.iter
+      (fun i ->
+        st.steps <- st.steps + 1;
+        if st.steps > st.max_steps then
+          error "instruction budget exceeded (%d)" st.max_steps;
+        if st.tracer <> None then trace blk (Kir.Printer.string_of_instr i);
+        match i with
+        | Binop { dst; op; ty; a; b } ->
+          Machine.Model.retire machine 1;
+          let r =
+            try Arith.binop ty op (v a) (v b)
+            with Arith.Division_by_zero ->
+              Kernel.panic st.kernel
+                (Printf.sprintf "divide error in @%s" f.f_name)
+          in
+          set dst r
+        | Icmp { dst; cond; ty; a; b } ->
+          Machine.Model.retire machine 1;
+          set dst (if Arith.compare_values ty cond (v a) (v b) then 1 else 0)
+        | Load { dst; ty; addr } ->
+          let a = v addr in
+          set dst (Kernel.read st.kernel ~addr:a ~size:(size_of_ty ty))
+        | Store { ty; v = sv; addr } ->
+          let a = v addr in
+          Kernel.write st.kernel ~addr:a ~size:(size_of_ty ty) (v sv)
+        | Alloca { dst; size } ->
+          Machine.Model.retire machine 1;
+          let aligned = (size + 15) land lnot 15 in
+          if st.sp + aligned > st.stack_base + st.stack_size then
+            Kernel.panic st.kernel
+              (Printf.sprintf "kernel stack overflow in @%s" f.f_name);
+          set dst st.sp;
+          st.sp <- st.sp + aligned
+        | Gep { dst; base; idx; scale } ->
+          Machine.Model.retire machine 1;
+          set dst (v base + (v idx * scale))
+        | Mov { dst; ty; src } ->
+          Machine.Model.retire machine 1;
+          set dst (Arith.truncate ty (v src))
+        | Call { dst; callee; args } ->
+          let argv = Array.of_list (List.map v args) in
+          Machine.Model.retire machine (List.length args);
+          let r = Kernel.call_symbol st.kernel callee argv in
+          (match dst with Some d -> set d r | None -> ())
+        | Callind { dst; fn; args } -> (
+          let target = v fn in
+          match Kernel.symbol_of_address st.kernel target with
+          | None ->
+            Kernel.panic st.kernel
+              (Printf.sprintf "indirect call to non-text address 0x%x" target)
+          | Some name ->
+            let argv = Array.of_list (List.map v args) in
+            Machine.Model.retire machine (1 + List.length args);
+            let r = Kernel.call_symbol st.kernel name argv in
+            (match dst with Some d -> set d r | None -> ()))
+        | Select { dst; cond; if_true; if_false } ->
+          Machine.Model.retire machine 1;
+          set dst (if v cond <> 0 then v if_true else v if_false)
+        | Intrinsic { dst; iname; args } ->
+          let argv = Array.of_list (List.map v args) in
+          let r = Kernel.exec_intrinsic st.kernel ~iname ~args:argv in
+          (match dst with Some d -> set d r | None -> ())
+        | Inline_asm s ->
+          (* Executing un-attested assembly from module context is exactly
+             what the certification forbids; a signed module can never
+             reach here (the attest pass fails compilation). *)
+          Kernel.panic st.kernel
+            (Printf.sprintf "inline assembly %S executed in module %s" s
+               lm.Kernel.lm_name))
+      blk.body;
+    if st.tracer <> None then
+      trace blk (Kir.Printer.string_of_term blk.term);
+    match blk.term with
+    | Ret None -> 0
+    | Ret (Some rv) -> v rv
+    | Br l -> jump l
+    | Cond_br { cond; if_true; if_false } ->
+      let taken = v cond <> 0 in
+      Machine.Model.branch machine ~pc:(branch_site f blk 0) ~taken;
+      jump (if taken then if_true else if_false)
+    | Switch { v = sv; cases; default } ->
+      let x = v sv in
+      Machine.Model.branch machine ~pc:(branch_site f blk 1)
+        ~taken:(List.mem_assoc x cases);
+      jump (match List.assoc_opt x cases with Some l -> l | None -> default)
+    | Unreachable ->
+      Kernel.panic st.kernel
+        (Printf.sprintf "unreachable executed in @%s" f.f_name)
+  and jump l =
+    match find_block f l with
+    | Some blk -> run_block blk
+    | None -> error "jump to unknown label %s in @%s" l f.f_name
+  in
+  let result = run_block (entry_block f) in
+  st.sp <- saved_sp;
+  result
+
+(** Create an interpreter bound to [kernel] and install it as the
+    kernel's KIR runner. Returns the state for inspection. *)
+let install ?(stack_size = 64 * 1024) ?(max_steps = 200_000_000) kernel =
+  let stack_base = Kernel.kmalloc kernel ~size:stack_size in
+  let st =
+    {
+      kernel;
+      stack_base;
+      stack_size;
+      sp = stack_base;
+      steps = 0;
+      max_steps;
+      tracer = None;
+    }
+  in
+  Kernel.set_runner kernel (fun _k lm f args -> exec_func st lm f args);
+  st
+
+(** Total instructions interpreted so far (not cycles). *)
+let steps st = st.steps
+
+(** Install (or clear) an instruction tracer. *)
+let set_tracer st fn = st.tracer <- fn
+
+(** Trace into a bounded in-memory ring; returns the accessor. *)
+let trace_to_buffer ?(capacity = 10_000) st =
+  let buf = ref [] in
+  let n = ref 0 in
+  set_tracer st
+    (Some
+       (fun ev ->
+         if !n < capacity then begin
+           buf := ev :: !buf;
+           incr n
+         end));
+  fun () -> List.rev !buf

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Buffer Carat_kop Filename List Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Carat_kop Experiments Kir List Machine Net Nic Passes Policy Testbed

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Carat_kop Kernel Kir List Machine Nic Option Passes Policy String Vm

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Carat_kop Kernel Kir List Machine Net Nic Passes Policy Testbed Vm

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Carat_kop Char Kernel Kir List Machine Option Passes Result Vm

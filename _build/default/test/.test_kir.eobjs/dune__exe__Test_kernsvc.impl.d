@@ -1,0 +1,1 @@
+test/test_kernsvc.ml: Alcotest Carat_kop Char Kernel Kernsvc Kir List Machine Option Passes Policy Printf String Vm

@@ -1,0 +1,1 @@
+test/test_kir.ml: Alcotest Array Bytes Carat_kop Char Kir List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Carat_kop Char Kernel Machine Net Nic QCheck QCheck_alcotest Stats String Vm

@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Carat_kop Kernel Kir List Machine Net Nic Option Passes Vm

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Carat_kop Gen Kir List Option Passes QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Carat_kop Kernel List Machine Policy Printf QCheck QCheck_alcotest Result String

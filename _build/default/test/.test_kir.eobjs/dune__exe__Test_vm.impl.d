@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Carat_kop Gen Kernel Kir List Machine Option Passes QCheck QCheck_alcotest String Vm

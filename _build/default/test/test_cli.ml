@@ -1,0 +1,174 @@
+(* CLI tools: kop_compile, policy_manager, kop_run — exercised as real
+   subprocesses over temp files, covering the workflows the README
+   documents. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* binaries are declared as test deps in dune; when run by `dune
+   runtest` the cwd is the test build directory and ../bin works, while
+   `dune exec` starts from the workspace root *)
+let resolve name =
+  let candidates =
+    [
+      Filename.concat "../bin" name;
+      Filename.concat "_build/default/bin" name;
+      Filename.concat "bin" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "cannot locate %s (cwd %s)" name (Sys.getcwd ())
+
+let kop_compile = resolve "kop_compile.exe"
+let policy_manager = resolve "policy_manager.exe"
+let kop_run = resolve "kop_run.exe"
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let sh fmt =
+  Printf.ksprintf
+    (fun cmd ->
+      let code = Sys.command (cmd ^ " >/dev/null 2>&1") in
+      code)
+    fmt
+
+let sh_out fmt =
+  Printf.ksprintf
+    (fun cmd ->
+      let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+      let buf = Buffer.create 256 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      let code =
+        match Unix.close_process_in ic with
+        | Unix.WEXITED n -> n
+        | _ -> -1
+      in
+      (code, Buffer.contents buf))
+    fmt
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_compile_emit_driver () =
+  let out = tmp "cli_driver.kir" in
+  checki "emits" 0 (sh "%s --emit-driver --scale 1 -o %s" kop_compile out);
+  checkb "file exists" true (Sys.file_exists out);
+  (* output parses back and is transformed + signed *)
+  let m = Carat_kop.Kir.Parser.parse_file out in
+  checkb "guarded" true
+    (Carat_kop.Kir.Types.meta_find m "carat.kop.guarded" = Some "true");
+  checkb "verifies" true
+    (Carat_kop.Passes.Signing.verify
+       ~key:Carat_kop.Passes.Pipeline.default_key m
+    = Ok ())
+
+let test_compile_rejects_asm () =
+  let src = tmp "cli_asm.kir" in
+  let oc = open_out src in
+  output_string oc
+    "module \"bad\"\nfunc @f() : void {\nentry:\n  asm \"cli\"\n  ret\n}\n";
+  close_out oc;
+  checkb "refused" true (sh "%s %s -o /dev/null" kop_compile src <> 0)
+
+let test_compile_no_transform () =
+  let out = tmp "cli_base.kir" in
+  checki "baseline build" 0
+    (sh "%s --emit-driver --scale 1 --no-transform -o %s" kop_compile out);
+  let m = Carat_kop.Kir.Parser.parse_file out in
+  checki "no guards" 0 (Carat_kop.Passes.Guard_injection.count_guards m)
+
+let test_policy_manager_lifecycle () =
+  let pol = tmp "cli_policy.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  checki "add" 0
+    (sh "%s add %s --base 0x2000 --len 0x1000 --prot r- --tag win --prepend"
+       policy_manager pol);
+  let code, out = sh_out "%s list %s" policy_manager pol in
+  checki "list ok" 0 code;
+  checkb "shows window" true (contains out "win");
+  checkb "window first" true (contains out " 0. [0x2000");
+  (* check: allowed inside, denied outside *)
+  checki "inside allowed" 0
+    (sh "%s check %s --addr 0x2100 --size 8" policy_manager pol);
+  checki "write to r- denied" 3
+    (sh "%s check %s --addr 0x2100 --size 8 --write" policy_manager pol);
+  checki "remove" 0 (sh "%s remove %s --base 0x2000" policy_manager pol);
+  checki "remove again fails" 1 (sh "%s remove %s --base 0x2000" policy_manager pol)
+
+let test_policy_manager_push () =
+  let pol = tmp "cli_policy2.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  let code, out = sh_out "%s push %s" policy_manager pol in
+  checki "push ok" 0 code;
+  checkb "two regions pushed" true (contains out "pushed 2 region")
+
+let test_kop_run_happy_and_panic () =
+  let drv = tmp "cli_run.kir" in
+  let pol = tmp "cli_run.kop" in
+  checki "emit" 0
+    (sh "%s --emit-driver --scale 1 --rogue -o %s" kop_compile drv);
+  checki "policy" 0 (sh "%s init -o %s" policy_manager pol);
+  (* a benign call *)
+  let code, out =
+    sh_out "%s %s --policy %s --call e1000e_eeprom_read --args 1" kop_run drv
+      pol
+  in
+  checki "runs" 0 code;
+  checkb "prints result" true (contains out "e1000e_eeprom_read(1) =");
+  (* the rogue backdoor against user memory: exit code 4 = panic *)
+  let code, out =
+    sh_out "%s %s --policy %s --call e1000e_debug_peek --args 0x2000" kop_run
+      drv pol
+  in
+  checki "panics" 4 code;
+  checkb "says so" true (contains out "KERNEL PANIC")
+
+let test_kop_run_rejects_unsigned () =
+  let drv = tmp "cli_unsigned.kir" in
+  (* emit WITHOUT transform or signature *)
+  checki "emit raw" 0
+    (sh "%s --emit-driver --scale 1 --no-transform -o %s" kop_compile drv);
+  (* strip even the baseline signature by regenerating meta-free *)
+  let m = Carat_kop.Kir.Parser.parse_file drv in
+  m.Carat_kop.Kir.Types.meta <- [];
+  let oc = open_out drv in
+  output_string oc (Carat_kop.Kir.Printer.to_string m);
+  close_out oc;
+  let code, out = sh_out "%s %s --call e1000e_eeprom_read --args 1" kop_run drv in
+  checki "rejected" 1 code;
+  checkb "reason shown" true (contains out "insmod rejected");
+  (* --no-enforce lets it through, like today's kernels *)
+  let code, _ =
+    sh_out "%s %s --no-enforce --call e1000e_eeprom_read --args 1" kop_run drv
+  in
+  checki "permissive mode" 0 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "kop_compile",
+        [
+          Alcotest.test_case "emit driver" `Quick test_compile_emit_driver;
+          Alcotest.test_case "rejects asm" `Quick test_compile_rejects_asm;
+          Alcotest.test_case "no-transform" `Quick test_compile_no_transform;
+        ] );
+      ( "policy_manager",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_policy_manager_lifecycle;
+          Alcotest.test_case "push via ioctl" `Quick test_policy_manager_push;
+        ] );
+      ( "kop_run",
+        [
+          Alcotest.test_case "run and panic" `Quick test_kop_run_happy_and_panic;
+          Alcotest.test_case "signature gate" `Quick test_kop_run_rejects_unsigned;
+        ] );
+    ]

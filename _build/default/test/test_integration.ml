@@ -1,0 +1,199 @@
+(* Integration: end-to-end scenarios across the whole stack — the threat
+   model, live policy manipulation during traffic, unload semantics, and
+   cross-technique invariants. *)
+
+open Carat_kop
+open Kir.Types
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- protection scenarios ---------- *)
+
+let test_violation_during_nic_run_panics () =
+  (* a policy that forgets the MMIO window: the very first doorbell
+     write trips a guard and the kernel halts *)
+  let config =
+    {
+      Testbed.default_config with
+      technique = Testbed.Carat;
+      module_scale = 1;
+      policy =
+        [
+          (* direct map + module area + kernel image, but NO mmio *)
+          Policy.Region.v ~tag:"dm" ~base:Kernel.Layout.direct_map_base
+            ~len:0x1_0000_0000 ~prot:Policy.Region.prot_rw ();
+          Policy.Region.v ~tag:"img" ~base:Kernel.Layout.kernel_base
+            ~len:0x1000_0000 ~prot:Policy.Region.prot_rw ();
+          Policy.Region.v ~tag:"mod" ~base:Kernel.Layout.module_base
+            ~len:Kernel.Layout.module_area_size ~prot:Policy.Region.prot_rw ();
+        ];
+    }
+  in
+  match Testbed.create ~config () with
+  | exception Kernel.Panic _ -> () (* probe's first MMIO write *)
+  | tb -> (
+    match Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 5 } with
+    | exception Kernel.Panic _ -> ()
+    | _ -> Alcotest.fail "MMIO went unguarded")
+
+let test_rogue_driver_entry_caught () =
+  let config =
+    { Testbed.default_config with technique = Testbed.Carat; with_rogue = true;
+      module_scale = 1 }
+  in
+  let tb = Testbed.create ~config () in
+  let k = tb.Testbed.kernel in
+  (* normal operation works *)
+  let r = Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 } in
+  checki "traffic ok" 10 r.Net.Pktgen.sent;
+  (* the backdoor reads user memory: guard panic *)
+  let user = Kernel.map_user k ~size:64 in
+  match Kernel.call_symbol k "e1000e_debug_peek" [| user |] with
+  | exception Kernel.Panic _ ->
+    checkb "violation logged" true
+      (Kernel.Klog.contains (Kernel.log k) "CARAT KOP: forbidden")
+  | _ -> Alcotest.fail "backdoor read user memory"
+
+let test_baseline_rogue_unprotected () =
+  (* the same backdoor on a baseline build reads anything: the control *)
+  let config =
+    { Testbed.default_config with technique = Testbed.Baseline;
+      with_rogue = true; module_scale = 1 }
+  in
+  let tb = Testbed.create ~config () in
+  let k = tb.Testbed.kernel in
+  let user = Kernel.map_user k ~size:64 in
+  Kernel.write k ~addr:user ~size:8 0x5EC2E7;
+  checki "secret exfiltrated" 0x5EC2E7
+    (Kernel.call_symbol k "e1000e_debug_peek" [| user |])
+
+let test_policy_window_first_match () =
+  (* cleaner variant of the above: window rule inserted before the deny
+     rule makes the access legal *)
+  let k = Kernel.create Machine.Presets.r350 in
+  ignore (Vm.Interp.install k);
+  let pm = Policy.Policy_module.install k in
+  let b = Kir.Builder.create "reader" in
+  ignore (Kir.Builder.start_func b "peek" ~params:[ ("%a", I64) ] ~ret:(Some I64));
+  let v = Kir.Builder.load b I64 (Reg "%a") in
+  Kir.Builder.ret b (Some v);
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Pipeline.compile m);
+  (match Kernel.insmod k m with Ok _ -> () | Error e ->
+    Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e));
+  let u = Kernel.map_user k ~size:4096 in
+  Kernel.write k ~addr:u ~size:8 99;
+  Policy.Policy_module.set_policy pm
+    (Policy.Region.v ~tag:"window" ~base:u ~len:4096
+       ~prot:Policy.Region.prot_read ()
+    :: Policy.Region.kernel_only);
+  checki "window read ok" 99 (Kernel.call_symbol k "peek" [| u |]);
+  (* narrowing it again restores the panic *)
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  match Kernel.call_symbol k "peek" [| u |] with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "narrowed policy did not bite"
+
+let test_unload_driver_cleanly () =
+  let tb = Testbed.create ~config:{ Testbed.default_config with module_scale = 1 } () in
+  ignore (Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 });
+  (match Kernel.rmmod tb.Testbed.kernel (Testbed.driver tb) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "clean unload refused");
+  checkb "cleanup logged" true
+    (Kernel.Klog.contains (Kernel.log tb.Testbed.kernel) "driver unloaded")
+
+let test_log_only_mode_counts_violations () =
+  let k = Kernel.create Machine.Presets.r350 in
+  ignore (Vm.Interp.install k);
+  let pm =
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Log_only k
+  in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  let b = Kir.Builder.create "spray" in
+  ignore (Kir.Builder.start_func b "spray" ~params:[ ("%a", I64) ] ~ret:None);
+  Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Imm 8) ~step:(Imm 1) (fun i ->
+      let a = Kir.Builder.gep b (Reg "%a") i ~scale:8 in
+      Kir.Builder.store b I64 (Imm 0) a);
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Pipeline.compile m);
+  (match Kernel.insmod k m with Ok _ -> () | Error _ -> assert false);
+  let u = Kernel.map_user k ~size:4096 in
+  ignore (Kernel.call_symbol k "spray" [| u |]);
+  checki "all eight writes recorded" 8
+    (List.length (Policy.Policy_module.violations pm))
+
+(* ---------- cross-technique invariants ---------- *)
+
+let test_guard_count_matches_runtime_checks () =
+  (* per packet, the number of runtime checks is identical across
+     packets in steady state (same path) *)
+  let tb = Testbed.create ~config:{ Testbed.default_config with module_scale = 1 } () in
+  let st = Policy.Engine.stats (Policy.Policy_module.engine tb.Testbed.policy_module) in
+  (* first batch includes one-time probe guards; compare later batches *)
+  ignore (Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 });
+  let c1 = st.Policy.Engine.checks in
+  ignore (Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 });
+  let c2 = st.Policy.Engine.checks in
+  ignore (Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 });
+  let c3 = st.Policy.Engine.checks in
+  checkb "steady per-packet guard count" true (c2 - c1 > 0);
+  checki "exactly repeatable" (c2 - c1) (c3 - c2)
+
+let test_optimized_driver_still_protected () =
+  let config =
+    { Testbed.default_config with technique = Testbed.Carat;
+      optimize_guards = true; with_rogue = true; module_scale = 1 }
+  in
+  let tb = Testbed.create ~config () in
+  let k = tb.Testbed.kernel in
+  let r = Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 20 } in
+  checki "traffic flows" 20 r.Net.Pktgen.sent;
+  let user = Kernel.map_user k ~size:64 in
+  match Kernel.call_symbol k "e1000e_debug_peek" [| user |] with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "optimization dropped a required guard"
+
+let test_kir_file_round_trip_through_compile () =
+  (* print -> parse -> compile -> load -> run: the .kir file workflow the
+     CLI tools use *)
+  let m0 = Nic.Driver_gen.generate ~module_scale:1 () in
+  let text = Kir.Printer.to_string m0 in
+  let m = Kir.Parser.parse_string text in
+  ignore (Passes.Pipeline.compile m);
+  let k = Kernel.create Machine.Presets.r350 in
+  ignore (Vm.Interp.install k);
+  let pm = Policy.Policy_module.install k in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  let dev = Nic.Device.create k in
+  (match Kernel.insmod k m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e));
+  checki "probe through parsed module" 0
+    (Kernel.call_symbol k "e1000e_probe" [| Nic.Device.mmio_base dev; 64 |]);
+  let buf = Kernel.kmalloc k ~size:2048 in
+  Kernel.write_string k ~addr:buf (Net.Frame.build ~seq:1 ~size:64 ());
+  checki "xmit through parsed module" 0
+    (Kernel.call_symbol k "e1000e_xmit_frame" [| buf; 64 |])
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "protection",
+        [
+          Alcotest.test_case "mmio hole panics" `Quick test_violation_during_nic_run_panics;
+          Alcotest.test_case "rogue entry caught" `Quick test_rogue_driver_entry_caught;
+          Alcotest.test_case "baseline control" `Quick test_baseline_rogue_unprotected;
+          Alcotest.test_case "policy window first-match" `Quick test_policy_window_first_match;
+          Alcotest.test_case "log-only counting" `Quick test_log_only_mode_counts_violations;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "clean unload" `Quick test_unload_driver_cleanly;
+          Alcotest.test_case "steady guard rate" `Quick test_guard_count_matches_runtime_checks;
+          Alcotest.test_case "optimized still protected" `Quick test_optimized_driver_still_protected;
+          Alcotest.test_case "kir file round trip" `Quick test_kir_file_round_trip_through_compile;
+        ] );
+    ]

@@ -1,0 +1,423 @@
+(* Kernel sim: memory, layout, translation, allocation, symbols, module
+   loading, ioctl devices, panic, klog. *)
+
+open Carat_kop
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let fresh ?(require_signature = false) () =
+  Kernel.create ~require_signature Machine.Presets.r350
+
+(* ---------- physical memory ---------- *)
+
+let test_memory_rw () =
+  let m = Kernel.Memory.create ~size:4096 in
+  Kernel.Memory.write m 0 ~size:8 0x1122334455667788;
+  checki "read back" 0x1122334455667788 (Kernel.Memory.read m 0 ~size:8);
+  checki "little endian low byte" 0x88 (Kernel.Memory.read_u8 m 0);
+  checki "partial read" 0x7788 (Kernel.Memory.read m 0 ~size:2)
+
+let test_memory_bounds () =
+  let m = Kernel.Memory.create ~size:64 in
+  (match Kernel.Memory.read m 60 ~size:8 with
+  | exception Kernel.Memory.Bad_phys_access _ -> ()
+  | _ -> Alcotest.fail "oob read");
+  match Kernel.Memory.write m (-1) ~size:1 0 with
+  | exception Kernel.Memory.Bad_phys_access _ -> ()
+  | _ -> Alcotest.fail "negative write"
+
+let test_memory_blit () =
+  let m = Kernel.Memory.create ~size:128 in
+  Kernel.Memory.blit_string m ~dst:10 "hello";
+  Alcotest.(check string) "read_string" "hello"
+    (Kernel.Memory.read_string m ~src:10 ~len:5);
+  Kernel.Memory.blit m ~src:10 ~dst:20 ~len:5;
+  Alcotest.(check string) "copied" "hello"
+    (Kernel.Memory.read_string m ~src:20 ~len:5);
+  Kernel.Memory.fill m ~dst:10 ~len:5 'x';
+  Alcotest.(check string) "filled" "xxxxx"
+    (Kernel.Memory.read_string m ~src:10 ~len:5)
+
+(* ---------- layout ---------- *)
+
+let test_layout_predicates () =
+  checkb "user" true (Kernel.Layout.is_user_addr 0x5000);
+  checkb "not user" false (Kernel.Layout.is_user_addr Kernel.Layout.kernel_base);
+  checkb "kernel" true (Kernel.Layout.is_kernel_addr Kernel.Layout.direct_map_base);
+  checkb "module" true (Kernel.Layout.is_module_addr Kernel.Layout.module_base);
+  checkb "mmio" true (Kernel.Layout.is_mmio_addr Kernel.Layout.mmio_base);
+  checki "direct map round trip" 0x1234
+    (Kernel.Layout.phys_of_direct_map (Kernel.Layout.direct_map_of_phys 0x1234))
+
+(* ---------- virtual access ---------- *)
+
+let test_direct_map_access () =
+  let k = fresh () in
+  let va = Kernel.kmalloc k ~size:64 in
+  Kernel.write k ~addr:va ~size:8 0xABCD;
+  checki "read back" 0xABCD (Kernel.read k ~addr:va ~size:8);
+  (* the same bytes are visible through DMA (no cost, same phys) *)
+  checki "dma view" 0xABCD (Kernel.dma_read k ~addr:va ~size:8)
+
+let test_kernel_image_access () =
+  let k = fresh () in
+  let va = Kernel.Layout.kernel_data_base + 0x100 in
+  Kernel.write k ~addr:va ~size:4 0x42;
+  checki "image data" 0x42 (Kernel.read k ~addr:va ~size:4)
+
+let test_fault_on_unmapped () =
+  let k = fresh () in
+  match Kernel.read k ~addr:0x0DEA_D000_0000_0000 ~size:8 with
+  | exception Kernel.Fault _ -> ()
+  | _ -> Alcotest.fail "unmapped read succeeded"
+
+let test_user_mapping () =
+  let k = fresh () in
+  let ua = Kernel.map_user k ~size:4096 in
+  checkb "in user half" true (Kernel.Layout.is_user_addr ua);
+  Kernel.write k ~addr:ua ~size:8 77;
+  checki "user rw" 77 (Kernel.read k ~addr:ua ~size:8)
+
+let test_module_alloc_distinct () =
+  let k = fresh () in
+  let a = Kernel.module_alloc k ~size:128 in
+  let b = Kernel.module_alloc k ~size:128 in
+  checkb "distinct" true (a <> b);
+  checkb "module area" true (Kernel.Layout.is_module_addr a);
+  Kernel.write k ~addr:a ~size:8 1;
+  Kernel.write k ~addr:b ~size:8 2;
+  checki "no aliasing" 1 (Kernel.read k ~addr:a ~size:8)
+
+let test_kmalloc_alignment () =
+  let k = fresh () in
+  let a = Kernel.kmalloc k ~size:10 in
+  let b = Kernel.kmalloc k ~size:10 in
+  checki "64B aligned" 0 (a land 63);
+  checki "64B aligned 2" 0 (b land 63);
+  checkb "no overlap" true (b >= a + 10)
+
+let test_out_of_memory_panics () =
+  let k = Kernel.create ~require_signature:false ~phys_size:(8 * 1024 * 1024)
+      Machine.Presets.r350 in
+  match Kernel.kmalloc k ~size:(32 * 1024 * 1024) with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "oom not detected"
+
+(* ---------- mmio ---------- *)
+
+let test_ioremap_dispatch () =
+  let k = fresh () in
+  let last_write = ref (0, 0, 0) in
+  let r =
+    Kernel.ioremap k ~name:"dev" ~size:4096
+      ~read:(fun off size -> off * 100 + size)
+      ~write:(fun off size v -> last_write := (off, size, v))
+  in
+  let base = r.Kernel.mmio_virt in
+  checkb "in mmio window" true (Kernel.Layout.is_mmio_addr base);
+  checki "read handler" (8 * 100 + 4) (Kernel.read k ~addr:(base + 8) ~size:4);
+  Kernel.write k ~addr:(base + 16) ~size:4 0xBEEF;
+  Alcotest.(check (triple int int int)) "write handler" (16, 4, 0xBEEF) !last_write
+
+let test_mmio_costs_more_than_ram () =
+  let k = fresh () in
+  let r = Kernel.ioremap k ~name:"d" ~size:64 ~read:(fun _ _ -> 0)
+      ~write:(fun _ _ _ -> ()) in
+  let heap = Kernel.kmalloc k ~size:64 in
+  ignore (Kernel.read k ~addr:heap ~size:8) (* warm *);
+  let m = Kernel.machine k in
+  let c0 = Machine.Model.cycles m in
+  ignore (Kernel.read k ~addr:heap ~size:8);
+  let ram = Machine.Model.cycles m - c0 in
+  let c1 = Machine.Model.cycles m in
+  ignore (Kernel.read k ~addr:r.Kernel.mmio_virt ~size:4);
+  let mmio = Machine.Model.cycles m - c1 in
+  checkb "mmio slower" true (mmio > ram + 50)
+
+(* ---------- symbols ---------- *)
+
+let test_native_symbols () =
+  let k = fresh () in
+  Kernel.register_native k "triple" (fun _ args -> args.(0) * 3);
+  checki "native call" 21 (Kernel.call_symbol k "triple" [| 7 |])
+
+let test_symbol_address_stability () =
+  let k = fresh () in
+  Kernel.register_native k "f" (fun _ _ -> 0);
+  let a1 = Option.get (Kernel.symbol_address k "f") in
+  let a2 = Option.get (Kernel.symbol_address k "f") in
+  checki "stable" a1 a2;
+  Alcotest.(check (option string)) "reverse map" (Some "f")
+    (Kernel.symbol_of_address k a1);
+  checkb "missing symbol" true (Kernel.symbol_address k "nope" = None)
+
+let test_call_missing_symbol_panics () =
+  let k = fresh () in
+  match Kernel.call_symbol k "ghost" [||] with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "missing symbol call"
+
+(* ---------- module loading ---------- *)
+
+let tiny_module ?(name = "tiny") () =
+  let b = Kir.Builder.create name in
+  ignore (Kir.Builder.declare_global b "state" ~size:16);
+  ignore (Kir.Builder.start_func b "ping" ~params:[] ~ret:(Some Kir.Types.I64));
+  Kir.Builder.ret b (Some (Kir.Types.Imm 1));
+  Kir.Builder.modul b
+
+let test_insmod_basic () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  (match Kernel.insmod k (tiny_module ()) with
+  | Ok lm ->
+    Alcotest.(check string) "name" "tiny" lm.Kernel.lm_name;
+    checki "ping" 1 (Kernel.call_symbol k "ping" [||]);
+    checkb "logged" true (Kernel.Klog.contains (Kernel.log k) "module tiny loaded")
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e))
+
+let test_insmod_requires_signature () =
+  let k = fresh ~require_signature:true () in
+  match Kernel.insmod k (tiny_module ()) with
+  | Error (Kernel.Signature_rejected Passes.Signing.Unsigned) -> ()
+  | Ok _ -> Alcotest.fail "unsigned module accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Kernel.load_error_to_string e)
+
+let test_insmod_signed_ok () =
+  let k = fresh ~require_signature:true () in
+  ignore (Vm.Interp.install k);
+  Kernel.register_native k "carat_guard" (fun _ _ -> 0);
+  let m = tiny_module () in
+  ignore (Passes.Pipeline.compile m);
+  match Kernel.insmod k m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "signed rejected: %s" (Kernel.load_error_to_string e)
+
+let test_insmod_unresolved_import () =
+  let k = fresh () in
+  let b = Kir.Builder.create "needy" in
+  Kir.Builder.declare_extern b "does_not_exist" ~arity:0;
+  ignore (Kir.Builder.start_func b "f" ~params:[] ~ret:None);
+  Kir.Builder.call_unit b "does_not_exist" [];
+  Kir.Builder.ret b None;
+  match Kernel.insmod k (Kir.Builder.modul b) with
+  | Error (Kernel.Unresolved_import "does_not_exist") -> ()
+  | Ok _ -> Alcotest.fail "unresolved import accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Kernel.load_error_to_string e)
+
+let test_insmod_symbol_collision () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  (match Kernel.insmod k (tiny_module ()) with Ok _ -> () | Error _ -> assert false);
+  match Kernel.insmod k (tiny_module ~name:"tiny2" ()) with
+  | Error (Kernel.Symbol_collision _) -> ()
+  | Ok _ -> Alcotest.fail "collision accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Kernel.load_error_to_string e)
+
+let test_insmod_invalid_ir () =
+  let k = fresh () in
+  let m = tiny_module () in
+  (* corrupt: jump to a missing label *)
+  (match m.Kir.Types.funcs with
+  | f :: _ -> f.Kir.Types.blocks <-
+      [ { Kir.Types.b_label = "entry"; body = []; term = Kir.Types.Br "gone" } ]
+  | [] -> ());
+  match Kernel.insmod k m with
+  | Error (Kernel.Verification_failed _) -> ()
+  | Ok _ -> Alcotest.fail "invalid IR accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Kernel.load_error_to_string e)
+
+let test_insmod_runs_init () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  let b = Kir.Builder.create "initful" in
+  ignore (Kir.Builder.declare_global b "flag" ~size:8);
+  ignore (Kir.Builder.start_func b "init_module" ~params:[] ~ret:(Some Kir.Types.I64));
+  Kir.Builder.store b Kir.Types.I64 (Kir.Types.Imm 123) (Kir.Types.Sym "flag");
+  Kir.Builder.ret b (Some (Kir.Types.Imm 0));
+  (match Kernel.insmod k (Kir.Builder.modul b) with
+  | Ok lm ->
+    let addr = List.assoc "flag" lm.Kernel.lm_globals in
+    checki "init ran" 123 (Kernel.read k ~addr ~size:8)
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e))
+
+let test_global_init_and_writability () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  let b = Kir.Builder.create "gmod" in
+  ignore (Kir.Builder.declare_global b "data" ~size:8 ~init:"AB");
+  ignore (Kir.Builder.start_func b "f" ~params:[] ~ret:None);
+  Kir.Builder.ret b None;
+  (match Kernel.insmod k (Kir.Builder.modul b) with
+  | Ok lm ->
+    let addr = List.assoc "data" lm.Kernel.lm_globals in
+    checki "init byte 0" (Char.code 'A') (Kernel.read k ~addr ~size:1);
+    checki "init byte 1" (Char.code 'B') (Kernel.read k ~addr:(addr + 1) ~size:1);
+    checki "zero filled" 0 (Kernel.read k ~addr:(addr + 2) ~size:1)
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e))
+
+let test_rmmod () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  let lm = Result.get_ok (Kernel.insmod k (tiny_module ())) in
+  checkb "unloads" true (Kernel.rmmod k lm = Ok ());
+  (match Kernel.call_symbol k "ping" [||] with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "symbol survived rmmod");
+  checkb "double unload" true (Kernel.rmmod k lm = Error Kernel.Already_dead)
+
+let test_rmmod_refused_with_locks () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  let b = Kir.Builder.create "locky" in
+  Kir.Builder.declare_extern b "spin_lock" ~arity:1;
+  ignore (Kir.Builder.start_func b "grab" ~params:[] ~ret:(Some Kir.Types.I64));
+  Kir.Builder.call_unit b "spin_lock" [ Kir.Types.Imm 0 ];
+  Kir.Builder.ret b (Some (Kir.Types.Imm 0));
+  let lm = Result.get_ok (Kernel.insmod k (Kir.Builder.modul b)) in
+  ignore (Kernel.call_symbol k "grab" [||]);
+  (match Kernel.rmmod k lm with
+  | Error (Kernel.Locks_held 1) -> ()
+  | _ -> Alcotest.fail "unload with held lock allowed");
+  checkb "warned" true
+    (Kernel.Klog.contains (Kernel.log k) "forced unload would deadlock")
+
+(* ---------- natives ---------- *)
+
+let test_native_memcpy_memset () =
+  let k = fresh () in
+  let a = Kernel.kmalloc k ~size:64 and b = Kernel.kmalloc k ~size:64 in
+  Kernel.write_string k ~addr:a "carat-kop";
+  ignore (Kernel.call_symbol k "memcpy" [| b; a; 9 |]);
+  Alcotest.(check string) "memcpy" "carat-kop" (Kernel.read_string k ~addr:b ~len:9);
+  ignore (Kernel.call_symbol k "memset" [| b; Char.code '!'; 4 |]);
+  Alcotest.(check string) "memset" "!!!!t-kop" (Kernel.read_string k ~addr:b ~len:9)
+
+let test_native_get_cycles_monotone () =
+  let k = fresh () in
+  let c1 = Kernel.call_symbol k "get_cycles" [||] in
+  Machine.Model.add_cycles (Kernel.machine k) 100;
+  let c2 = Kernel.call_symbol k "get_cycles" [||] in
+  checkb "monotone" true (c2 > c1)
+
+let test_native_ndelay () =
+  let k = fresh () in
+  let m = Kernel.machine k in
+  let c0 = Machine.Model.cycles m in
+  ignore (Kernel.call_symbol k "ndelay" [| 1000 |]);
+  let dt = Machine.Model.cycles m - c0 in
+  (* 1000 ns at 2.8 GHz = 2800 cycles *)
+  checkb "delay about right" true (dt > 2500 && dt < 3500)
+
+(* ---------- devices & ioctl ---------- *)
+
+let test_ioctl_dispatch () =
+  let k = fresh () in
+  Kernel.register_device k "widget" (fun _ ~cmd ~arg -> cmd * 10 + arg);
+  checki "dispatched" 42 (Kernel.ioctl k ~dev:"widget" ~cmd:4 ~arg:2);
+  checki "missing device" (-1) (Kernel.ioctl k ~dev:"nope" ~cmd:0 ~arg:0)
+
+let test_ioctl_charges_syscall () =
+  let k = fresh () in
+  Kernel.register_device k "w" (fun _ ~cmd:_ ~arg:_ -> 0);
+  let m = Kernel.machine k in
+  let c0 = Machine.Model.cycles m in
+  ignore (Kernel.ioctl k ~dev:"w" ~cmd:1 ~arg:0);
+  checkb "syscall cost" true
+    (Machine.Model.cycles m - c0
+    >= Machine.Presets.r350.Machine.Model.syscall_overhead)
+
+(* ---------- panic & log ---------- *)
+
+let test_panic_carries_log_tail () =
+  let k = fresh () in
+  Kernel.Klog.printk (Kernel.log k) "something happened";
+  (match Kernel.panic k "test reason" with
+  | exception Kernel.Panic info ->
+    checkb "reason" true (info.Kernel.reason = "test reason");
+    checkb "tail present" true (List.length info.Kernel.log_tail > 0)
+  | _ -> Alcotest.fail "no exception");
+  (* kernel is dead now *)
+  (match Kernel.call_symbol k "get_cycles" [||] with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "dead kernel accepted a call");
+  match Kernel.insmod k (tiny_module ()) with
+  | Error Kernel.Kernel_is_panicked -> ()
+  | _ -> Alcotest.fail "dead kernel accepted insmod"
+
+let test_klog_ring () =
+  let log = Kernel.Klog.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Kernel.Klog.printk log "entry %d" i
+  done;
+  checki "bounded" 4 (List.length (Kernel.Klog.entries log));
+  checkb "has newest" true (Kernel.Klog.contains log "entry 10");
+  checkb "dropped oldest" false (Kernel.Klog.contains log "entry 2");
+  let tail = Kernel.Klog.tail log 2 in
+  Alcotest.(check (list string)) "tail order" [ "entry 9"; "entry 10" ] tail;
+  Kernel.Klog.clear log;
+  checki "cleared" 0 (List.length (Kernel.Klog.entries log))
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "blit" `Quick test_memory_blit;
+        ] );
+      ( "layout",
+        [ Alcotest.test_case "predicates" `Quick test_layout_predicates ] );
+      ( "address-space",
+        [
+          Alcotest.test_case "direct map" `Quick test_direct_map_access;
+          Alcotest.test_case "kernel image" `Quick test_kernel_image_access;
+          Alcotest.test_case "fault unmapped" `Quick test_fault_on_unmapped;
+          Alcotest.test_case "user mapping" `Quick test_user_mapping;
+          Alcotest.test_case "module allocs" `Quick test_module_alloc_distinct;
+          Alcotest.test_case "kmalloc alignment" `Quick test_kmalloc_alignment;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory_panics;
+        ] );
+      ( "mmio",
+        [
+          Alcotest.test_case "ioremap dispatch" `Quick test_ioremap_dispatch;
+          Alcotest.test_case "mmio cost" `Quick test_mmio_costs_more_than_ram;
+        ] );
+      ( "symbols",
+        [
+          Alcotest.test_case "native" `Quick test_native_symbols;
+          Alcotest.test_case "addresses" `Quick test_symbol_address_stability;
+          Alcotest.test_case "missing panics" `Quick test_call_missing_symbol_panics;
+        ] );
+      ( "modules",
+        [
+          Alcotest.test_case "insmod basic" `Quick test_insmod_basic;
+          Alcotest.test_case "unsigned rejected" `Quick test_insmod_requires_signature;
+          Alcotest.test_case "signed accepted" `Quick test_insmod_signed_ok;
+          Alcotest.test_case "unresolved import" `Quick test_insmod_unresolved_import;
+          Alcotest.test_case "symbol collision" `Quick test_insmod_symbol_collision;
+          Alcotest.test_case "invalid IR" `Quick test_insmod_invalid_ir;
+          Alcotest.test_case "init_module runs" `Quick test_insmod_runs_init;
+          Alcotest.test_case "global init" `Quick test_global_init_and_writability;
+          Alcotest.test_case "rmmod" `Quick test_rmmod;
+          Alcotest.test_case "rmmod lock refusal" `Quick test_rmmod_refused_with_locks;
+        ] );
+      ( "natives",
+        [
+          Alcotest.test_case "memcpy/memset" `Quick test_native_memcpy_memset;
+          Alcotest.test_case "get_cycles" `Quick test_native_get_cycles_monotone;
+          Alcotest.test_case "ndelay" `Quick test_native_ndelay;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "ioctl dispatch" `Quick test_ioctl_dispatch;
+          Alcotest.test_case "ioctl syscall cost" `Quick test_ioctl_charges_syscall;
+        ] );
+      ( "panic",
+        [
+          Alcotest.test_case "panic flow" `Quick test_panic_carries_log_tail;
+          Alcotest.test_case "klog ring" `Quick test_klog_ring;
+        ] );
+    ]

@@ -1,0 +1,544 @@
+(* KIR: types, builder, printer/parser round-trip, verifier, CFG. *)
+
+open Carat_kop
+open Kir.Types
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- helpers ---------- *)
+
+(* a small well-formed module used by many cases *)
+let sample_module () =
+  let b = Kir.Builder.create "sample" in
+  Kir.Builder.declare_extern b "printk" ~arity:2;
+  ignore (Kir.Builder.declare_global b "counter" ~size:8);
+  ignore
+    (Kir.Builder.declare_global b "msg" ~writable:false ~init:"hi\n" ~size:4);
+  ignore
+    (Kir.Builder.start_func b "bump"
+       ~params:[ ("%delta", I64) ]
+       ~ret:(Some I64));
+  let v = Kir.Builder.load b I64 (Sym "counter") in
+  let v' = Kir.Builder.add b I64 v (Reg "%delta") in
+  Kir.Builder.store b I64 v' (Sym "counter");
+  Kir.Builder.ret b (Some v');
+  ignore (Kir.Builder.start_func b "init_module" ~params:[] ~ret:(Some I64));
+  Kir.Builder.call_unit b "printk" [ Sym "msg"; Imm 3 ];
+  Kir.Builder.ret b (Some (Imm 0));
+  Kir.Builder.modul b
+
+(* random KIR generator for round-trip properties *)
+let gen_module =
+  let open QCheck.Gen in
+  let gen_ty = oneofl [ I8; I16; I32; I64; Ptr ] in
+  let gen_binop =
+    oneofl [ Add; Sub; Mul; Sdiv; Srem; And; Or; Xor; Shl; Lshr; Ashr ]
+  in
+  let gen_cond =
+    oneofl [ Eq; Ne; Slt; Sle; Sgt; Sge; Ult; Ule; Ugt; Uge ]
+  in
+  let gen_reg = map (Printf.sprintf "%%r%d") (int_bound 9) in
+  let gen_value =
+    frequency
+      [
+        (4, map (fun r -> Reg r) gen_reg);
+        (3, map (fun n -> Imm (n - 500)) (int_bound 1000));
+        (1, return (Sym "g0"));
+      ]
+  in
+  let gen_instr =
+    frequency
+      [
+        ( 3,
+          map
+            (fun (dst, op, ty, a, b) -> Binop { dst; op; ty; a; b })
+            (tup5 gen_reg gen_binop gen_ty gen_value gen_value) );
+        ( 2,
+          map
+            (fun (dst, cond, ty, a, b) -> Icmp { dst; cond; ty; a; b })
+            (tup5 gen_reg gen_cond gen_ty gen_value gen_value) );
+        ( 2,
+          map
+            (fun (dst, ty, addr) -> Load { dst; ty; addr })
+            (tup3 gen_reg gen_ty gen_value) );
+        ( 2,
+          map
+            (fun (ty, v, addr) -> Store { ty; v; addr })
+            (tup3 gen_ty gen_value gen_value) );
+        ( 1,
+          map
+            (fun (dst, size) -> Alloca { dst; size = size + 1 })
+            (tup2 gen_reg (int_bound 63)) );
+        ( 1,
+          map
+            (fun (dst, base, idx, scale) -> Gep { dst; base; idx; scale })
+            (tup4 gen_reg gen_value gen_value (int_range 1 16)) );
+        ( 1,
+          map
+            (fun (dst, ty, src) -> Mov { dst; ty; src })
+            (tup3 gen_reg gen_ty gen_value) );
+        ( 1,
+          map
+            (fun (dst, cond, a, b) ->
+              Select { dst; cond; if_true = a; if_false = b })
+            (tup4 gen_reg gen_value gen_value gen_value) );
+        (1, map (fun args -> Call { dst = None; callee = "ext"; args })
+             (list_size (int_bound 3) gen_value));
+        (1, map (fun s -> Inline_asm s) (string_size ~gen:printable (int_bound 8)));
+      ]
+  in
+  let gen_blocks =
+    let* n_blocks = int_range 1 4 in
+    let labels = List.init n_blocks (Printf.sprintf "b%d") in
+    let gen_term =
+      frequency
+        [
+          (2, map (fun v -> Ret (Some v)) gen_value);
+          (1, return (Ret None));
+          (2, map (fun l -> Br l) (oneofl labels));
+          ( 2,
+            map
+              (fun (c, a, b) -> Cond_br { cond = c; if_true = a; if_false = b })
+              (tup3 gen_value (oneofl labels) (oneofl labels)) );
+          ( 1,
+            map
+              (fun (v, k, l, d) ->
+                Switch { v; cases = [ (k, l) ]; default = d })
+              (tup4 gen_value (int_bound 10) (oneofl labels) (oneofl labels))
+          );
+          (1, return Unreachable);
+        ]
+    in
+    flatten_l
+      (List.map
+         (fun lbl ->
+           let* body = list_size (int_bound 6) gen_instr in
+           let* term = gen_term in
+           return { b_label = lbl; body; term })
+         labels)
+  in
+  let* blocks = gen_blocks in
+  let* extra_meta = oneofl [ []; [ ("k", "v with spaces") ]; [ ("a", "1"); ("b", "\"quoted\"") ] ] in
+  return
+    {
+      m_name = "fuzz";
+      globals =
+        [
+          { g_name = "g0"; g_size = 16; g_init = Some "ab\000c"; g_writable = true };
+        ];
+      funcs =
+        [
+          {
+            f_name = "f";
+            params = [ ("%r0", I64); ("%r1", Ptr) ];
+            ret_ty = Some I64;
+            blocks;
+          };
+        ];
+      externs = [ ("ext", 3) ];
+      meta = extra_meta;
+    }
+
+(* ---------- cases ---------- *)
+
+let test_ty_sizes () =
+  checki "i8" 1 (size_of_ty I8);
+  checki "i16" 2 (size_of_ty I16);
+  checki "i32" 4 (size_of_ty I32);
+  checki "i64" 8 (size_of_ty I64);
+  checki "ptr" 8 (size_of_ty Ptr)
+
+let test_def_use () =
+  let i = Binop { dst = "%x"; op = Add; ty = I64; a = Reg "%a"; b = Imm 1 } in
+  check (Alcotest.option Alcotest.string) "def" (Some "%x") (def_of_instr i);
+  checki "uses" 2 (List.length (uses_of_instr i));
+  let s = Store { ty = I8; v = Reg "%v"; addr = Reg "%p" } in
+  check (Alcotest.option Alcotest.string) "store def" None (def_of_instr s);
+  checki "store uses" 2 (List.length (uses_of_instr s))
+
+let test_successors () =
+  checki "ret" 0 (List.length (successors (Ret None)));
+  check
+    (Alcotest.list Alcotest.string)
+    "br" [ "a" ]
+    (successors (Br "a"));
+  check
+    (Alcotest.list Alcotest.string)
+    "condbr" [ "t"; "f" ]
+    (successors (Cond_br { cond = Imm 1; if_true = "t"; if_false = "f" }));
+  check
+    (Alcotest.list Alcotest.string)
+    "switch" [ "x"; "y"; "d" ]
+    (successors (Switch { v = Imm 0; cases = [ (1, "x"); (2, "y") ]; default = "d" }))
+
+let test_meta () =
+  let m = sample_module () in
+  meta_set m "k" "v1";
+  check (Alcotest.option Alcotest.string) "set" (Some "v1") (meta_find m "k");
+  meta_set m "k" "v2";
+  check (Alcotest.option Alcotest.string) "update" (Some "v2") (meta_find m "k");
+  checki "no dup" 1
+    (List.length (List.filter (fun (k, _) -> k = "k") m.meta))
+
+let test_counts () =
+  let m = sample_module () in
+  checkb "has instrs" true (module_instr_count m > 4);
+  checki "memory ops" 2 (module_memory_op_count m)
+
+let test_builder_entry () =
+  let m = sample_module () in
+  let f = Option.get (find_func m "bump") in
+  check Alcotest.string "entry label" "entry" (entry_block f).b_label;
+  checkb "find missing" true (find_func m "nope" = None)
+
+let test_builder_loop_structure () =
+  let b = Kir.Builder.create "loops" in
+  ignore (Kir.Builder.start_func b "f" ~params:[] ~ret:(Some I64));
+  Kir.Builder.mov_to b "%acc" I64 (Imm 0);
+  Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Imm 10) ~step:(Imm 1)
+    (fun i ->
+      let s = Kir.Builder.add b I64 (Reg "%acc") i in
+      Kir.Builder.mov_to b "%acc" I64 s);
+  Kir.Builder.ret b (Some (Reg "%acc"));
+  let m = Kir.Builder.modul b in
+  Kir.Verify.check_exn m;
+  let f = Option.get (find_func m "f") in
+  checkb "loop has >= 4 blocks" true (List.length f.blocks >= 4)
+
+let test_printer_stable () =
+  let m1 = sample_module () in
+  let m2 = sample_module () in
+  check Alcotest.string "deterministic print" (Kir.Printer.to_string m1)
+    (Kir.Printer.to_string m2)
+
+let test_printer_meta_excluded () =
+  let m = sample_module () in
+  meta_set m "secret" "x";
+  let with_meta = Kir.Printer.to_string m in
+  let without = Kir.Printer.to_string ~with_meta:false m in
+  checkb "meta printed" true
+    (String.length with_meta > String.length without);
+  checkb "body has no meta" false
+    (let re = "secret" in
+     let len = String.length re in
+     let rec go i =
+       i + len <= String.length without
+       && (String.sub without i len = re || go (i + 1))
+     in
+     go 0)
+
+let test_escape_roundtrip () =
+  let cases = [ "plain"; "with \"quotes\""; "back\\slash"; "\x00\x01\xff"; "" ] in
+  List.iter
+    (fun s ->
+      check Alcotest.string "escape/unescape" s
+        (Kir.Printer.unescape (Kir.Printer.escape s)))
+    cases
+
+let test_parse_simple () =
+  let text =
+    {|module "t"
+meta "a" = "b"
+extern @guard/3
+global @g rw 8
+func @f(%x: i64) : i64 {
+entry:
+  %y = add i64 %x, 1
+  %z = load i64, @g
+  store i64 %y, @g
+  brc %y, yes, no
+yes:
+  ret %z
+no:
+  ret 0
+}
+|}
+  in
+  let m = Kir.Parser.parse_string text in
+  check Alcotest.string "name" "t" m.m_name;
+  checki "externs" 1 (List.length m.externs);
+  checki "globals" 1 (List.length m.globals);
+  checki "funcs" 1 (List.length m.funcs);
+  let f = Option.get (find_func m "f") in
+  checki "blocks" 3 (List.length f.blocks);
+  checki "body" 3 (List.length (entry_block f).body);
+  Kir.Verify.check_exn m
+
+let test_parse_errors () =
+  let bad = [ "func @f() : i64 {"; "module"; "global @g xx 8"; "zzz" ] in
+  List.iter
+    (fun text ->
+      match Kir.Parser.parse_string text with
+      | exception Kir.Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    bad
+
+let test_roundtrip_sample () =
+  let m = sample_module () in
+  meta_set m "k space" "v\"x";
+  let text = Kir.Printer.to_string m in
+  let m' = Kir.Parser.parse_string text in
+  check Alcotest.string "reprint equal" text (Kir.Printer.to_string m')
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"printer/parser round-trip" ~count:200
+    (QCheck.make gen_module) (fun m ->
+      let text = Kir.Printer.to_string m in
+      let m' = Kir.Parser.parse_string text in
+      String.equal text (Kir.Printer.to_string m'))
+
+(* robustness: mutated module text either parses or raises Parse_error —
+   never crashes with anything else *)
+let prop_parser_robust =
+  QCheck.Test.make ~name:"parser never crashes on mutated input" ~count:300
+    QCheck.(triple (make gen_module) (int_bound 2000) (int_bound 255))
+    (fun (m, pos, byte) ->
+      let text = Kir.Printer.to_string m in
+      let n = String.length text in
+      let mutated =
+        if n = 0 then text
+        else begin
+          let b = Bytes.of_string text in
+          Bytes.set b (pos mod n) (Char.chr byte);
+          Bytes.to_string b
+        end
+      in
+      match Kir.Parser.parse_string mutated with
+      | _ -> true
+      | exception Kir.Parser.Parse_error _ -> true)
+
+let prop_parser_truncation =
+  QCheck.Test.make ~name:"parser never crashes on truncated input" ~count:200
+    QCheck.(pair (make gen_module) (int_bound 5000))
+    (fun (m, cut) ->
+      let text = Kir.Printer.to_string m in
+      let cut = cut mod max 1 (String.length text) in
+      match Kir.Parser.parse_string (String.sub text 0 cut) with
+      | _ -> true
+      | exception Kir.Parser.Parse_error _ -> true)
+
+let test_verify_ok () =
+  checkb "sample valid" true (Kir.Verify.is_valid (sample_module ()))
+
+let test_verify_catches () =
+  let mk blocks funcs globals externs =
+    { m_name = "v"; globals; funcs; externs; meta = [] } |> fun m ->
+    ignore blocks;
+    m
+  in
+  (* unknown label *)
+  let f_badlabel =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks = [ { b_label = "entry"; body = []; term = Br "nowhere" } ];
+    }
+  in
+  checkb "bad label" false (Kir.Verify.is_valid (mk () [ f_badlabel ] [] []));
+  (* undefined register *)
+  let f_undef =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks =
+        [ { b_label = "entry"; body = []; term = Ret (Some (Reg "%x")) } ];
+    }
+  in
+  checkb "undef reg" false (Kir.Verify.is_valid (mk () [ f_undef ] [] []));
+  (* unknown callee *)
+  let f_badcall =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks =
+        [
+          {
+            b_label = "entry";
+            body = [ Call { dst = None; callee = "ghost"; args = [] } ];
+            term = Ret None;
+          };
+        ];
+    }
+  in
+  checkb "bad call" false (Kir.Verify.is_valid (mk () [ f_badcall ] [] []));
+  (* arity mismatch *)
+  let f_arity =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks =
+        [
+          {
+            b_label = "entry";
+            body = [ Call { dst = None; callee = "ext"; args = [ Imm 1 ] } ];
+            term = Ret None;
+          };
+        ];
+    }
+  in
+  checkb "arity" false
+    (Kir.Verify.is_valid (mk () [ f_arity ] [] [ ("ext", 2) ]));
+  (* duplicate label *)
+  let f_dup =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks =
+        [
+          { b_label = "a"; body = []; term = Ret None };
+          { b_label = "a"; body = []; term = Ret None };
+        ];
+    }
+  in
+  checkb "dup label" false (Kir.Verify.is_valid (mk () [ f_dup ] [] []));
+  (* empty function *)
+  let f_empty = { f_name = "f"; params = []; ret_ty = None; blocks = [] } in
+  checkb "no blocks" false (Kir.Verify.is_valid (mk () [ f_empty ] [] []));
+  (* bad global initializer *)
+  checkb "init too large" false
+    (Kir.Verify.is_valid
+       (mk () []
+          [ { g_name = "g"; g_size = 2; g_init = Some "abcd"; g_writable = true } ]
+          []));
+  (* unresolved symbol operand *)
+  let f_sym =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks =
+        [ { b_label = "entry"; body = []; term = Ret (Some (Sym "gone")) } ];
+    }
+  in
+  checkb "bad sym" false (Kir.Verify.is_valid (mk () [ f_sym ] [] []))
+
+let test_verify_params_count_as_defs () =
+  let f =
+    {
+      f_name = "f";
+      params = [ ("%p", I64) ];
+      ret_ty = Some I64;
+      blocks =
+        [ { b_label = "entry"; body = []; term = Ret (Some (Reg "%p")) } ];
+    }
+  in
+  checkb "param use ok" true
+    (Kir.Verify.is_valid
+       { m_name = ""; globals = []; funcs = [ f ]; externs = []; meta = [] })
+
+let test_cfg_basic () =
+  let m = sample_module () in
+  let f = Option.get (find_func m "bump") in
+  let g = Kir.Cfg.of_func f in
+  checki "blocks" 1 (Kir.Cfg.n_blocks g);
+  checki "no succs" 0 (List.length g.Kir.Cfg.succ.(0))
+
+let test_cfg_diamond () =
+  let b = Kir.Builder.create "d" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%c", I64) ] ~ret:(Some I64));
+  Kir.Builder.if_then_else b (Reg "%c")
+    ~then_:(fun () -> ())
+    ~else_:(fun () -> ());
+  Kir.Builder.ret b (Some (Imm 0));
+  let f = Option.get (find_func (Kir.Builder.modul b) "f") in
+  let g = Kir.Cfg.of_func f in
+  checki "4 blocks" 4 (Kir.Cfg.n_blocks g);
+  checki "entry has 2 succs" 2 (List.length g.Kir.Cfg.succ.(0));
+  let rpo = Kir.Cfg.reverse_postorder g in
+  checki "rpo covers all" 4 (List.length rpo);
+  checki "rpo starts at entry" 0 (List.hd rpo);
+  checki "no unreachable" 0 (List.length (Kir.Cfg.unreachable_blocks g))
+
+let test_cfg_unreachable () =
+  let f =
+    {
+      f_name = "f";
+      params = [];
+      ret_ty = None;
+      blocks =
+        [
+          { b_label = "entry"; body = []; term = Ret None };
+          { b_label = "island"; body = []; term = Ret None };
+        ];
+    }
+  in
+  let g = Kir.Cfg.of_func f in
+  checki "island found" 1 (List.length (Kir.Cfg.unreachable_blocks g));
+  check Alcotest.string "island label" "island"
+    (List.hd (Kir.Cfg.unreachable_blocks g)).b_label
+
+let test_cfg_switch_dedup () =
+  let f =
+    {
+      f_name = "f";
+      params = [ ("%v", I64) ];
+      ret_ty = None;
+      blocks =
+        [
+          {
+            b_label = "entry";
+            body = [];
+            term =
+              Switch
+                { v = Reg "%v"; cases = [ (1, "a"); (2, "a") ]; default = "a" };
+          };
+          { b_label = "a"; body = []; term = Ret None };
+        ];
+    }
+  in
+  let g = Kir.Cfg.of_func f in
+  checki "dedup succ" 1 (List.length g.Kir.Cfg.succ.(0));
+  checki "single pred" 1 (List.length g.Kir.Cfg.pred.(1))
+
+let () =
+  Alcotest.run "kir"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "type sizes" `Quick test_ty_sizes;
+          Alcotest.test_case "def/use" `Quick test_def_use;
+          Alcotest.test_case "successors" `Quick test_successors;
+          Alcotest.test_case "meta" `Quick test_meta;
+          Alcotest.test_case "counts" `Quick test_counts;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "entry block" `Quick test_builder_entry;
+          Alcotest.test_case "loop structure" `Quick test_builder_loop_structure;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "deterministic" `Quick test_printer_stable;
+          Alcotest.test_case "meta excluded" `Quick test_printer_meta_excluded;
+          Alcotest.test_case "escape round-trip" `Quick test_escape_roundtrip;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple module" `Quick test_parse_simple;
+          Alcotest.test_case "rejects garbage" `Quick test_parse_errors;
+          Alcotest.test_case "sample round-trip" `Quick test_roundtrip_sample;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parser_robust;
+          QCheck_alcotest.to_alcotest prop_parser_truncation;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "valid module" `Quick test_verify_ok;
+          Alcotest.test_case "catches defects" `Quick test_verify_catches;
+          Alcotest.test_case "params are defs" `Quick test_verify_params_count_as_defs;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "single block" `Quick test_cfg_basic;
+          Alcotest.test_case "diamond" `Quick test_cfg_diamond;
+          Alcotest.test_case "unreachable" `Quick test_cfg_unreachable;
+          Alcotest.test_case "switch dedup" `Quick test_cfg_switch_dedup;
+        ] );
+    ]

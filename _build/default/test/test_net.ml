@@ -1,0 +1,188 @@
+(* Net: frame construction, the sendmsg path, pktgen measurement. *)
+
+open Carat_kop
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let setup ?(ring = 64) ?(stall_prob = 0.0) () =
+  let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  ignore (Vm.Interp.install k);
+  let dev = Nic.Device.create ~stall_prob k in
+  (match Kernel.insmod k (Nic.Driver_gen.generate ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e));
+  let stack = Net.Netstack.create k dev in
+  Net.Netstack.bring_up stack ~ring_entries:ring;
+  (k, dev, stack)
+
+(* ---------- frames ---------- *)
+
+let test_frame_layout () =
+  let f = Net.Frame.build ~seq:5 ~size:128 () in
+  checki "size" 128 (String.length f);
+  Alcotest.(check (option int)) "seq" (Some 5) (Net.Frame.seq_of f);
+  Alcotest.(check (option int)) "ethertype" (Some Net.Frame.ethertype_experimental)
+    (Net.Frame.ethertype_of f);
+  (* destination mac in the first six bytes *)
+  checki "dst first byte" 0x02 (Char.code f.[0])
+
+let test_frame_min_size () =
+  match Net.Frame.build ~seq:0 ~size:10 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undersized frame accepted"
+
+let test_frame_custom_fields () =
+  let f =
+    Net.Frame.build ~dst:Net.Frame.broadcast ~ethertype:0x0800 ~seq:1 ~size:64 ()
+  in
+  checki "broadcast" 0xff (Char.code f.[0]);
+  Alcotest.(check (option int)) "ethertype" (Some 0x0800) (Net.Frame.ethertype_of f)
+
+let prop_frame_seq_roundtrip =
+  QCheck.Test.make ~name:"frame sequence round-trips" ~count:200
+    QCheck.(pair (int_bound 0xFFFFFF) (int_range 64 1500))
+    (fun (seq, size) ->
+      Net.Frame.seq_of (Net.Frame.build ~seq ~size ()) = Some seq)
+
+let test_mac_to_string () =
+  Alcotest.(check string) "format" "ff:ff:ff:ff:ff:ff"
+    (Net.Frame.mac_to_string Net.Frame.broadcast)
+
+(* ---------- netstack ---------- *)
+
+let test_sendmsg_delivers_payload () =
+  let k, dev, stack = setup () in
+  let frame = Net.Frame.build ~seq:42 ~size:200 () in
+  let ub = Kernel.map_user k ~size:2048 in
+  Kernel.write_string k ~addr:ub frame;
+  checki "bytes sent" 200 (Net.Netstack.sendmsg stack ~user_buf:ub ~len:200);
+  Machine.Model.add_cycles (Kernel.machine k) 1_000_000;
+  Nic.Device.sync dev;
+  (match Nic.Device.recent_frames dev with
+  | f :: _ ->
+    Alcotest.(check string) "payload survived the stack" frame f.Nic.Device.data
+  | [] -> Alcotest.fail "nothing on the wire");
+  checki "sent counter" 1 (Net.Netstack.sent stack)
+
+let test_sendmsg_blocks_on_tiny_ring () =
+  let k, _, stack = setup ~ring:4 () in
+  let ub = Kernel.map_user k ~size:2048 in
+  Kernel.write_string k ~addr:ub (Net.Frame.build ~seq:0 ~size:1500 ());
+  (* flood: more packets than ring slots without giving time *)
+  for _ = 1 to 12 do
+    ignore (Net.Netstack.sendmsg stack ~user_buf:ub ~len:1500)
+  done;
+  checkb "blocked at least once" true (Net.Netstack.busy_retries stack > 0);
+  checki "all eventually sent" 12 (Net.Netstack.sent stack)
+
+let test_sendmsg_charges_cycles () =
+  let k, _, stack = setup () in
+  let ub = Kernel.map_user k ~size:2048 in
+  Kernel.write_string k ~addr:ub (Net.Frame.build ~seq:0 ~size:128 ());
+  let m = Kernel.machine k in
+  let c0 = Machine.Model.cycles m in
+  ignore (Net.Netstack.sendmsg stack ~user_buf:ub ~len:128);
+  let dt = Machine.Model.cycles m - c0 in
+  checkb "at least the syscall cost" true
+    (dt >= Machine.Presets.r350.Machine.Model.syscall_overhead);
+  checkb "not absurd" true (dt < 100_000)
+
+(* ---------- pktgen ---------- *)
+
+let test_pktgen_counts () =
+  let _, dev, stack = setup () in
+  let r =
+    Net.Pktgen.run stack
+      { Net.Pktgen.default_config with count = 50; size = 128 }
+  in
+  checki "sent" 50 r.Net.Pktgen.sent;
+  checki "latencies recorded" 50 (Array.length r.Net.Pktgen.latencies);
+  checkb "cycles positive" true (r.Net.Pktgen.cycles > 0);
+  checkb "pps positive" true (r.Net.Pktgen.pps > 0.0);
+  Machine.Model.add_cycles (Kernel.machine stack.Net.Netstack.kernel) 10_000_000;
+  Nic.Device.sync dev;
+  checki "frames on the wire" 50 (Nic.Device.tx_frames dev)
+
+let test_pktgen_latency_reasonable () =
+  let _, _, stack = setup () in
+  ignore
+    (Net.Pktgen.run stack
+       { Net.Pktgen.default_config with count = 100; size = 128 });
+  let r =
+    Net.Pktgen.run stack
+      { Net.Pktgen.default_config with count = 200; size = 128 }
+  in
+  let med =
+    Stats.Summary.median (Array.map float_of_int r.Net.Pktgen.latencies)
+  in
+  (* the paper reports ~686 cycles; the model should be in that band *)
+  checkb "median in the hundreds" true (med > 300.0 && med < 2000.0)
+
+let test_pktgen_throughput_band () =
+  let _, _, stack = setup () in
+  ignore
+    (Net.Pktgen.run stack
+       { Net.Pktgen.default_config with count = 100; size = 128 });
+  let r =
+    Net.Pktgen.run stack
+      { Net.Pktgen.default_config with count = 400; size = 128 }
+  in
+  (* the paper's figures are in the 90k-140k pps band *)
+  checkb "pps plausible" true
+    (r.Net.Pktgen.pps > 60_000.0 && r.Net.Pktgen.pps < 250_000.0)
+
+let test_pktgen_deterministic_with_seed () =
+  let run () =
+    let _, _, stack = setup () in
+    let r =
+      Net.Pktgen.run stack
+        { Net.Pktgen.default_config with count = 100; size = 128; seed = 9 }
+    in
+    (r.Net.Pktgen.cycles, r.Net.Pktgen.pps)
+  in
+  let a = run () and b = run () in
+  checkb "bit-identical reruns" true (a = b)
+
+let test_pktgen_size_affects_cycles () =
+  let _, _, stack = setup () in
+  ignore
+    (Net.Pktgen.run stack
+       { Net.Pktgen.default_config with count = 100; size = 64 });
+  let small =
+    Net.Pktgen.run stack
+      { Net.Pktgen.default_config with count = 300; size = 64 }
+  in
+  let big =
+    Net.Pktgen.run stack
+      { Net.Pktgen.default_config with count = 300; size = 1500 }
+  in
+  checkb "bigger packets cost more cycles" true
+    (big.Net.Pktgen.cycles > small.Net.Pktgen.cycles)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "layout" `Quick test_frame_layout;
+          Alcotest.test_case "min size" `Quick test_frame_min_size;
+          Alcotest.test_case "custom fields" `Quick test_frame_custom_fields;
+          Alcotest.test_case "mac to string" `Quick test_mac_to_string;
+          QCheck_alcotest.to_alcotest prop_frame_seq_roundtrip;
+        ] );
+      ( "netstack",
+        [
+          Alcotest.test_case "payload delivery" `Quick test_sendmsg_delivers_payload;
+          Alcotest.test_case "blocks on tiny ring" `Quick test_sendmsg_blocks_on_tiny_ring;
+          Alcotest.test_case "charges cycles" `Quick test_sendmsg_charges_cycles;
+        ] );
+      ( "pktgen",
+        [
+          Alcotest.test_case "counts" `Quick test_pktgen_counts;
+          Alcotest.test_case "latency band" `Quick test_pktgen_latency_reasonable;
+          Alcotest.test_case "throughput band" `Quick test_pktgen_throughput_band;
+          Alcotest.test_case "deterministic" `Quick test_pktgen_deterministic_with_seed;
+          Alcotest.test_case "size scaling" `Quick test_pktgen_size_affects_cycles;
+        ] );
+    ]

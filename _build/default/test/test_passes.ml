@@ -1,0 +1,516 @@
+(* Passes: dominators, loops, guard injection, attestation, signing,
+   guard optimizations, DCE, pipelines. *)
+
+open Carat_kop
+open Kir.Types
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- fixtures ---------- *)
+
+(* entry -> head -> (body -> head | exit): a single natural loop *)
+let loop_func () =
+  let b = Kir.Builder.create "loopy" in
+  ignore (Kir.Builder.declare_global b "table" ~size:64);
+  ignore
+    (Kir.Builder.start_func b "walk" ~params:[ ("%n", I64) ] ~ret:(Some I64));
+  Kir.Builder.mov_to b "%acc" I64 (Imm 0);
+  Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Reg "%n") ~step:(Imm 1)
+    (fun _i ->
+      (* loop-invariant address: the global's first word *)
+      let v = Kir.Builder.load b I64 (Sym "table") in
+      let s = Kir.Builder.add b I64 (Reg "%acc") v in
+      Kir.Builder.mov_to b "%acc" I64 s);
+  Kir.Builder.ret b (Some (Reg "%acc"));
+  Kir.Builder.modul b
+
+let straightline_module () =
+  let b = Kir.Builder.create "straight" in
+  ignore (Kir.Builder.declare_global b "g" ~size:32);
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+  let v1 = Kir.Builder.load b I64 (Reg "%p") in
+  let v2 = Kir.Builder.load b I64 (Reg "%p") in
+  (* same address again *)
+  let s = Kir.Builder.add b I64 v1 v2 in
+  Kir.Builder.store b I64 s (Sym "g");
+  Kir.Builder.store b I64 s (Sym "g");
+  (* duplicate store *)
+  Kir.Builder.ret b (Some s);
+  Kir.Builder.modul b
+
+let count_loads_stores m = module_memory_op_count m
+
+(* ---------- dominators & loops ---------- *)
+
+let test_dominators_diamond () =
+  let b = Kir.Builder.create "d" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%c", I64) ] ~ret:None);
+  Kir.Builder.if_then_else b (Reg "%c") ~then_:(fun () -> ())
+    ~else_:(fun () -> ());
+  Kir.Builder.ret b None;
+  let f = Option.get (find_func (Kir.Builder.modul b) "f") in
+  let g = Kir.Cfg.of_func f in
+  let dom = Passes.Dominators.compute g in
+  (* entry dominates everything *)
+  for i = 0 to Kir.Cfg.n_blocks g - 1 do
+    checkb "entry dominates" true (Passes.Dominators.dominates dom 0 i)
+  done;
+  (* then-branch does not dominate join *)
+  let join = Kir.Cfg.n_blocks g - 1 in
+  checkb "branch !dom join" false (Passes.Dominators.dominates dom 1 join);
+  (* idom of join is entry *)
+  Alcotest.(check (option int)) "idom(join)=entry" (Some 0)
+    (Passes.Dominators.idom dom join)
+
+let test_dominators_self () =
+  let m = straightline_module () in
+  let f = Option.get (find_func m "f") in
+  let dom = Passes.Dominators.compute (Kir.Cfg.of_func f) in
+  checkb "self-domination" true (Passes.Dominators.dominates dom 0 0);
+  Alcotest.(check (option int)) "entry idom" None (Passes.Dominators.idom dom 0)
+
+let test_dom_tree () =
+  let m = loop_func () in
+  let f = Option.get (find_func m "walk") in
+  let g = Kir.Cfg.of_func f in
+  let dom = Passes.Dominators.compute g in
+  let tree = Passes.Dominators.dom_tree dom in
+  (* every non-entry reachable block appears exactly once as a child *)
+  let count = Array.fold_left (fun acc l -> acc + List.length l) 0 tree in
+  checki "tree covers blocks" (Kir.Cfg.n_blocks g - 1) count
+
+let test_loop_detection () =
+  let m = loop_func () in
+  let f = Option.get (find_func m "walk") in
+  let g = Kir.Cfg.of_func f in
+  let li = Passes.Loops.compute g in
+  checki "one loop" 1 (List.length li.Passes.Loops.loops);
+  let l = List.hd li.Passes.Loops.loops in
+  checkb "header in body" true (Passes.Loops.in_loop l l.Passes.Loops.header);
+  checki "one back edge" 1 (List.length l.Passes.Loops.back_edges);
+  checkb "body has 2 blocks" true (List.length l.Passes.Loops.body >= 2);
+  (* entry is outside *)
+  checkb "entry outside" false (Passes.Loops.in_loop l 0);
+  checki "loop depth of header" 1
+    (Passes.Loops.loop_depth li l.Passes.Loops.header)
+
+let test_no_loops_straightline () =
+  let m = straightline_module () in
+  let f = Option.get (find_func m "f") in
+  let li = Passes.Loops.compute (Kir.Cfg.of_func f) in
+  checki "no loops" 0 (List.length li.Passes.Loops.loops)
+
+(* ---------- guard injection ---------- *)
+
+let test_injection_counts () =
+  let m = straightline_module () in
+  let before = count_loads_stores m in
+  let r = Passes.Guard_injection.run Passes.Guard_injection.default_config m in
+  checkb "changed" true r.Passes.Pass.changed;
+  checki "one guard per memory op" before
+    (Passes.Guard_injection.count_guards m);
+  Alcotest.(check (option string))
+    "meta count" (Some (string_of_int before))
+    (meta_find m Passes.Guard_injection.meta_guard_count)
+
+let test_injection_full_coverage () =
+  let m = loop_func () in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  checkb "fully guarded" true (Passes.Guard_injection.fully_guarded m)
+
+let test_injection_declares_extern () =
+  let m = straightline_module () in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  checkb "extern declared" true
+    (List.mem_assoc "carat_guard" m.externs);
+  checkb "still valid" true (Kir.Verify.is_valid m)
+
+let test_injection_flags_and_sizes () =
+  let b = Kir.Builder.create "fs" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  ignore (Kir.Builder.load b I16 (Reg "%p"));
+  Kir.Builder.store b I32 (Imm 7) (Reg "%p");
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  let f = Option.get (find_func m "f") in
+  let guards =
+    List.filter_map
+      (function
+        | Call { callee = "carat_guard"; args = [ _; Imm s; Imm fl ]; _ } ->
+          Some (s, fl)
+        | _ -> None)
+      (entry_block f).body
+  in
+  Alcotest.(check (list (pair int int)))
+    "size/flags"
+    [ (2, Passes.Guard_injection.flag_read);
+      (4, Passes.Guard_injection.flag_write) ]
+    guards
+
+let test_injection_idempotence_guard () =
+  let m = straightline_module () in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  (match Passes.Guard_injection.run Passes.Guard_injection.default_config m with
+  | exception Passes.Pass.Pass_failed _ -> ()
+  | _ -> Alcotest.fail "double transform accepted")
+
+let test_injection_reads_only () =
+  let m = straightline_module () in
+  let config =
+    { Passes.Guard_injection.default_config with guard_writes = false }
+  in
+  ignore (Passes.Guard_injection.run config m);
+  checki "only read guards" 2 (Passes.Guard_injection.count_guards m)
+
+let test_stack_exemption () =
+  let b = Kir.Builder.create "stack" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+  let local = Kir.Builder.alloca b 32 in
+  Kir.Builder.store b I64 (Imm 1) local;
+  (* derived from alloca through gep: also exempt *)
+  let slot = Kir.Builder.gep b local (Imm 8) ~scale:1 in
+  Kir.Builder.store b I64 (Imm 2) slot;
+  (* external pointer: must stay guarded *)
+  let v = Kir.Builder.load b I64 (Reg "%p") in
+  Kir.Builder.ret b (Some v);
+  let m = Kir.Builder.modul b in
+  let config =
+    { Passes.Guard_injection.default_config with exempt_stack = true }
+  in
+  ignore (Passes.Guard_injection.run config m);
+  checki "only the external load guarded" 1
+    (Passes.Guard_injection.count_guards m)
+
+let test_stack_exemption_taint () =
+  (* a register that mixes alloca and parameter definitions is not
+     exempt *)
+  let b = Kir.Builder.create "taint" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  let local = Kir.Builder.alloca b 16 in
+  Kir.Builder.mov_to b "%q" I64 local;
+  Kir.Builder.mov_to b "%q" I64 (Reg "%p");
+  Kir.Builder.store b I64 (Imm 3) (Reg "%q");
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  let config =
+    { Passes.Guard_injection.default_config with exempt_stack = true }
+  in
+  ignore (Passes.Guard_injection.run config m);
+  checki "tainted register stays guarded" 1
+    (Passes.Guard_injection.count_guards m)
+
+(* qcheck: after injection, every load/store in any generated module is
+   immediately preceded by a guard on the same address *)
+let gen_wellformed_module =
+  QCheck.Gen.(
+    let gen_ty = oneofl [ I8; I16; I32; I64 ] in
+    let* n = int_range 1 12 in
+    let* ops = list_repeat n (tup2 gen_ty (int_bound 2)) in
+    let b = Kir.Builder.create "gen" in
+    ignore (Kir.Builder.declare_global b "g" ~size:256);
+    ignore
+      (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+    List.iter
+      (fun (ty, kind) ->
+        match kind with
+        | 0 -> ignore (Kir.Builder.load b ty (Reg "%p"))
+        | 1 -> Kir.Builder.store b ty (Imm 5) (Sym "g")
+        | _ ->
+          let a = Kir.Builder.gep b (Reg "%p") (Imm 4) ~scale:1 in
+          ignore (Kir.Builder.load b ty a))
+      ops;
+    Kir.Builder.ret b (Some (Imm 0));
+    return (Kir.Builder.modul b))
+
+let prop_injection_covers =
+  QCheck.Test.make ~name:"injection guards every access" ~count:100
+    (QCheck.make gen_wellformed_module) (fun m ->
+      let n = module_memory_op_count m in
+      ignore
+        (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+      Passes.Guard_injection.count_guards m = n
+      && Passes.Guard_injection.fully_guarded m
+      && Kir.Verify.is_valid m)
+
+(* ---------- attestation ---------- *)
+
+let asm_module () =
+  let b = Kir.Builder.create "asm" in
+  ignore (Kir.Builder.start_func b "f" ~params:[] ~ret:None);
+  Kir.Builder.inline_asm b "cli; hlt";
+  Kir.Builder.ret b None;
+  Kir.Builder.modul b
+
+let indirect_module () =
+  let b = Kir.Builder.create "ind" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%fp", I64) ] ~ret:None);
+  Kir.Builder.emit b (Callind { dst = None; fn = Reg "%fp"; args = [] });
+  Kir.Builder.ret b None;
+  Kir.Builder.modul b
+
+let test_attest_rejects_asm () =
+  match Passes.Attest.run ~strict:false (asm_module ()) with
+  | exception Passes.Pass.Pass_failed ("attest", _) -> ()
+  | _ -> Alcotest.fail "inline asm accepted"
+
+let test_attest_clean_marks_meta () =
+  let m = straightline_module () in
+  ignore (Passes.Attest.run ~strict:false m);
+  Alcotest.(check (option string)) "noasm" (Some "true")
+    (meta_find m Passes.Attest.meta_noasm)
+
+let test_attest_indirect_modes () =
+  let m = indirect_module () in
+  ignore (Passes.Attest.run ~strict:false m);
+  Alcotest.(check (option string)) "count recorded" (Some "1")
+    (meta_find m Passes.Attest.meta_indirect);
+  (match Passes.Attest.run ~strict:true (indirect_module ()) with
+  | exception Passes.Pass.Pass_failed ("attest", _) -> ()
+  | _ -> Alcotest.fail "strict mode accepted indirect call")
+
+let test_attest_scan_report () =
+  let r = Passes.Attest.scan (asm_module ()) in
+  checki "asm found" 1 (List.length r.Passes.Attest.inline_asm);
+  Alcotest.(check string) "location" "f"
+    (List.hd r.Passes.Attest.inline_asm).Passes.Attest.in_func
+
+(* ---------- signing ---------- *)
+
+let signed_module () =
+  let m = straightline_module () in
+  ignore (Passes.Pipeline.compile m);
+  m
+
+let test_sign_verify_ok () =
+  let m = signed_module () in
+  checkb "verifies" true
+    (Passes.Signing.verify ~key:Passes.Pipeline.default_key m = Ok ())
+
+let test_sign_wrong_key () =
+  let m = signed_module () in
+  match Passes.Signing.verify ~key:"evil" m with
+  | Error (Passes.Signing.Bad_signature _) -> ()
+  | _ -> Alcotest.fail "wrong key accepted"
+
+let test_sign_unsigned () =
+  let m = straightline_module () in
+  checkb "unsigned rejected" true
+    (Passes.Signing.verify ~key:Passes.Pipeline.default_key m
+    = Error Passes.Signing.Unsigned)
+
+let test_sign_not_guarded () =
+  let m = straightline_module () in
+  ignore (Passes.Attest.run ~strict:false m);
+  ignore (Passes.Signing.sign ~key:Passes.Pipeline.default_key ~signer:"t" m);
+  checkb "unguarded rejected" true
+    (Passes.Signing.verify ~key:Passes.Pipeline.default_key m
+    = Error Passes.Signing.Not_guarded)
+
+let test_sign_detects_code_tamper () =
+  let m = signed_module () in
+  let f = Option.get (find_func m "f") in
+  (entry_block f).body <-
+    List.filter
+      (function Call { callee = "carat_guard"; _ } -> false | _ -> true)
+      (entry_block f).body;
+  (match Passes.Signing.verify ~key:Passes.Pipeline.default_key m with
+  | Error (Passes.Signing.Bad_signature _) -> ()
+  | _ -> Alcotest.fail "tamper not detected")
+
+let test_sign_detects_meta_tamper () =
+  let m = signed_module () in
+  meta_set m Passes.Guard_injection.meta_guard_count "9999";
+  match Passes.Signing.verify ~key:Passes.Pipeline.default_key m with
+  | Error (Passes.Signing.Bad_signature _) -> ()
+  | _ -> Alcotest.fail "meta tamper not detected"
+
+let prop_sign_tamper =
+  QCheck.Test.make ~name:"any instruction edit breaks the signature"
+    ~count:60
+    QCheck.(make Gen.(int_bound 1000))
+    (fun salt ->
+      let m = signed_module () in
+      let f = Option.get (find_func m "f") in
+      let blk = entry_block f in
+      blk.body <-
+        blk.body
+        @ [ Binop { dst = "%evil"; op = Add; ty = I64; a = Imm salt; b = Imm 1 } ];
+      match Passes.Signing.verify ~key:Passes.Pipeline.default_key m with
+      | Error (Passes.Signing.Bad_signature _) -> true
+      | _ -> false)
+
+let test_keyed_tag_properties () =
+  let t1 = Passes.Signing.keyed_tag ~key:"k" "msg" in
+  let t2 = Passes.Signing.keyed_tag ~key:"k" "msg" in
+  let t3 = Passes.Signing.keyed_tag ~key:"k2" "msg" in
+  let t4 = Passes.Signing.keyed_tag ~key:"k" "msg2" in
+  Alcotest.(check string) "deterministic" t1 t2;
+  checkb "key sensitive" false (t1 = t3);
+  checkb "msg sensitive" false (t1 = t4);
+  checki "tag length" 32 (String.length t1)
+
+(* ---------- guard optimizations ---------- *)
+
+let test_guard_elim_dedups () =
+  let m = straightline_module () in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  let before = Passes.Guard_injection.count_guards m in
+  let r = Passes.Guard_elim.run ~guard_symbol:"carat_guard" m in
+  let after = Passes.Guard_injection.count_guards m in
+  checkb "removed some" true r.Passes.Pass.changed;
+  (* two loads at %p -> 1 guard; two stores at g -> 1 guard *)
+  checki "before" 4 before;
+  checki "after" 2 after;
+  checkb "still valid" true (Kir.Verify.is_valid m)
+
+let test_guard_elim_respects_redefinition () =
+  let b = Kir.Builder.create "redef" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  Kir.Builder.mov_to b "%q" I64 (Reg "%p");
+  ignore (Kir.Builder.load b I64 (Reg "%q"));
+  Kir.Builder.mov_to b "%q" I64 (Imm 0x2000) (* %q now points elsewhere *);
+  ignore (Kir.Builder.load b I64 (Reg "%q"));
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  ignore (Passes.Guard_elim.run ~guard_symbol:"carat_guard" m);
+  checki "both guards survive" 2 (Passes.Guard_injection.count_guards m)
+
+let test_guard_elim_flag_widening () =
+  (* read guard then write guard on the same address: the write guard
+     must survive (write not covered by read) *)
+  let b = Kir.Builder.create "widen" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  ignore (Kir.Builder.load b I64 (Reg "%p"));
+  Kir.Builder.store b I64 (Imm 1) (Reg "%p");
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  ignore (Passes.Guard_elim.run ~guard_symbol:"carat_guard" m);
+  checki "read+write both guarded" 2 (Passes.Guard_injection.count_guards m)
+
+let test_guard_hoist_invariant () =
+  let m = loop_func () in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  let before = Passes.Guard_injection.count_guards m in
+  let r = Passes.Guard_hoist.run ~guard_symbol:"carat_guard" m in
+  checkb "hoisted" true r.Passes.Pass.changed;
+  let after = Passes.Guard_injection.count_guards m in
+  checkb "fewer guard sites" true (after <= before);
+  checkb "still valid" true (Kir.Verify.is_valid m)
+
+let test_guard_hoist_not_variant () =
+  (* address depends on the induction variable: must not hoist *)
+  let b = Kir.Builder.create "variant" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Imm 4) ~step:(Imm 1) (fun i ->
+      let a = Kir.Builder.gep b (Reg "%p") i ~scale:8 in
+      ignore (Kir.Builder.load b I64 a));
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  let before = Passes.Guard_injection.count_guards m in
+  ignore (Passes.Guard_hoist.run ~guard_symbol:"carat_guard" m);
+  checki "nothing hoisted" before (Passes.Guard_injection.count_guards m)
+
+let test_dce_removes_islands () =
+  let m = straightline_module () in
+  let f = Option.get (find_func m "f") in
+  f.blocks <- f.blocks @ [ { b_label = "dead"; body = []; term = Ret None } ];
+  let r = Passes.Dce.run m in
+  checkb "changed" true r.Passes.Pass.changed;
+  checki "one block left" 1 (List.length f.blocks)
+
+(* ---------- pipelines ---------- *)
+
+let test_pipeline_default () =
+  let m = straightline_module () in
+  let remarks = Passes.Pipeline.compile m in
+  checki "four passes" 4 (List.length remarks);
+  checkb "signed+verifies" true
+    (Passes.Signing.verify ~key:Passes.Pipeline.default_key m = Ok ());
+  checkb "guards present" true (Passes.Guard_injection.count_guards m > 0)
+
+let test_pipeline_optimized_fewer_guards () =
+  let m1 = straightline_module () in
+  let m2 = straightline_module () in
+  ignore (Passes.Pipeline.compile m1);
+  ignore (Passes.Pipeline.compile ~optimize:true m2);
+  checkb "optimization reduces static guards" true
+    (Passes.Guard_injection.count_guards m2
+    < Passes.Guard_injection.count_guards m1);
+  checkb "optimized still verifies" true
+    (Passes.Signing.verify ~key:Passes.Pipeline.default_key m2 = Ok ())
+
+let test_pipeline_checked_catches_breakage () =
+  let breaker =
+    Passes.Pass.make "breaker" (fun m ->
+        (match m.funcs with
+        | f :: _ -> f.blocks <- []
+        | [] -> ());
+        { Passes.Pass.changed = true; remarks = [] })
+  in
+  let m = straightline_module () in
+  match Passes.Pass.run_pipeline_checked [ breaker ] m with
+  | exception Kir.Verify.Invalid _ -> ()
+  | _ -> Alcotest.fail "verifier did not catch pass breakage"
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+          Alcotest.test_case "self domination" `Quick test_dominators_self;
+          Alcotest.test_case "dominator tree" `Quick test_dom_tree;
+          Alcotest.test_case "loop detection" `Quick test_loop_detection;
+          Alcotest.test_case "no loops straightline" `Quick test_no_loops_straightline;
+        ] );
+      ( "guard-injection",
+        [
+          Alcotest.test_case "counts" `Quick test_injection_counts;
+          Alcotest.test_case "full coverage" `Quick test_injection_full_coverage;
+          Alcotest.test_case "declares extern" `Quick test_injection_declares_extern;
+          Alcotest.test_case "flags and sizes" `Quick test_injection_flags_and_sizes;
+          Alcotest.test_case "double transform rejected" `Quick test_injection_idempotence_guard;
+          Alcotest.test_case "reads only mode" `Quick test_injection_reads_only;
+          Alcotest.test_case "stack exemption" `Quick test_stack_exemption;
+          Alcotest.test_case "stack taint" `Quick test_stack_exemption_taint;
+          QCheck_alcotest.to_alcotest prop_injection_covers;
+        ] );
+      ( "attest",
+        [
+          Alcotest.test_case "rejects asm" `Quick test_attest_rejects_asm;
+          Alcotest.test_case "marks clean" `Quick test_attest_clean_marks_meta;
+          Alcotest.test_case "indirect modes" `Quick test_attest_indirect_modes;
+          Alcotest.test_case "scan report" `Quick test_attest_scan_report;
+        ] );
+      ( "signing",
+        [
+          Alcotest.test_case "verify ok" `Quick test_sign_verify_ok;
+          Alcotest.test_case "wrong key" `Quick test_sign_wrong_key;
+          Alcotest.test_case "unsigned" `Quick test_sign_unsigned;
+          Alcotest.test_case "not guarded" `Quick test_sign_not_guarded;
+          Alcotest.test_case "code tamper" `Quick test_sign_detects_code_tamper;
+          Alcotest.test_case "meta tamper" `Quick test_sign_detects_meta_tamper;
+          Alcotest.test_case "keyed tag" `Quick test_keyed_tag_properties;
+          QCheck_alcotest.to_alcotest prop_sign_tamper;
+        ] );
+      ( "optimizations",
+        [
+          Alcotest.test_case "elim dedups" `Quick test_guard_elim_dedups;
+          Alcotest.test_case "elim respects redefinition" `Quick test_guard_elim_respects_redefinition;
+          Alcotest.test_case "elim flag widening" `Quick test_guard_elim_flag_widening;
+          Alcotest.test_case "hoist invariant" `Quick test_guard_hoist_invariant;
+          Alcotest.test_case "hoist leaves variant" `Quick test_guard_hoist_not_variant;
+          Alcotest.test_case "dce" `Quick test_dce_removes_islands;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "default" `Quick test_pipeline_default;
+          Alcotest.test_case "optimized fewer guards" `Quick test_pipeline_optimized_fewer_guards;
+          Alcotest.test_case "checked catches breakage" `Quick test_pipeline_checked_catches_breakage;
+        ] );
+    ]

@@ -1,0 +1,554 @@
+(* Policy engine: regions, the linear table, alternative structures
+   (equivalence-tested against the linear reference), the engine, and the
+   policy module with its ioctl interface. *)
+
+open Carat_kop
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let fresh () = Kernel.create ~require_signature:false Machine.Presets.r350
+
+let region ?(tag = "") ?(prot = Policy.Region.prot_rw) base len =
+  Policy.Region.v ~tag ~base ~len ~prot ()
+
+(* ---------- regions ---------- *)
+
+let test_region_contains () =
+  let r = region 100 50 in
+  checkb "inside" true (Policy.Region.contains r ~addr:100 ~size:50);
+  checkb "strict inside" true (Policy.Region.contains r ~addr:120 ~size:8);
+  checkb "below" false (Policy.Region.contains r ~addr:99 ~size:2);
+  checkb "spills over" false (Policy.Region.contains r ~addr:145 ~size:8);
+  checkb "just past" false (Policy.Region.contains r ~addr:150 ~size:1)
+
+let test_region_permits () =
+  let ro = region ~prot:Policy.Region.prot_read 0 10 in
+  checkb "read ok" true (Policy.Region.permits ro ~flags:Policy.Region.prot_read);
+  checkb "write denied" false (Policy.Region.permits ro ~flags:Policy.Region.prot_write);
+  checkb "rw denied" false (Policy.Region.permits ro ~flags:Policy.Region.prot_rw);
+  let none = region ~prot:0 0 10 in
+  checkb "deny-all region" false (Policy.Region.permits none ~flags:Policy.Region.prot_read)
+
+let test_region_overlaps () =
+  checkb "overlap" true (Policy.Region.overlaps (region 0 10) (region 5 10));
+  checkb "nested" true (Policy.Region.overlaps (region 0 100) (region 10 5));
+  checkb "adjacent" false (Policy.Region.overlaps (region 0 10) (region 10 10));
+  checkb "disjoint" false (Policy.Region.overlaps (region 0 10) (region 50 10))
+
+let test_region_validation () =
+  (match region 0 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero length accepted");
+  match region (-5) 10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative base accepted"
+
+let test_canonical_policies () =
+  checki "two regions" 2 (List.length Policy.Region.kernel_only);
+  checki "padded to 64" 64 (List.length (Policy.Region.kernel_only_padded 64));
+  (* padded keeps semantics: kernel allowed, user denied *)
+  let find addr rs = List.find_opt (fun r -> Policy.Region.contains r ~addr ~size:8) rs in
+  let p = Policy.Region.kernel_only_padded 64 in
+  (match find Kernel.Layout.direct_map_base p with
+  | Some r -> checkb "kernel allowed" true (Policy.Region.permits r ~flags:3)
+  | None -> Alcotest.fail "kernel unmatched");
+  match find 0x100_0000_0000 p with
+  | Some r -> checkb "user denied" false (Policy.Region.permits r ~flags:1)
+  | None -> Alcotest.fail "user unmatched"
+
+(* ---------- linear table ---------- *)
+
+let test_linear_add_capacity () =
+  let k = fresh () in
+  let t = Policy.Linear_table.create k ~capacity:4 in
+  for i = 0 to 3 do
+    checkb "added" true (Policy.Linear_table.add t (region (i * 1000) 100) = Ok ())
+  done;
+  checkb "full" true (Result.is_error (Policy.Linear_table.add t (region 9000 1)));
+  checki "count" 4 (Policy.Linear_table.count t)
+
+let test_linear_first_match_wins () =
+  let k = fresh () in
+  let t = Policy.Linear_table.create k ~capacity:8 in
+  ignore (Policy.Linear_table.add t (region ~tag:"first" 100 100));
+  ignore (Policy.Linear_table.add t (region ~tag:"second" 100 100));
+  match (Policy.Linear_table.lookup t ~addr:120 ~size:4).Policy.Structure.matched with
+  | Some r -> Alcotest.(check string) "first wins" "first" r.Policy.Region.tag
+  | None -> Alcotest.fail "no match"
+
+let test_linear_remove_preserves_order () =
+  let k = fresh () in
+  let t = Policy.Linear_table.create k ~capacity:8 in
+  ignore (Policy.Linear_table.add t (region ~tag:"a" 0 10));
+  ignore (Policy.Linear_table.add t (region ~tag:"b" 100 10));
+  ignore (Policy.Linear_table.add t (region ~tag:"c" 200 10));
+  checkb "removed" true (Policy.Linear_table.remove t ~base:100);
+  checkb "missing remove" false (Policy.Linear_table.remove t ~base:100);
+  Alcotest.(check (list string)) "order kept" [ "a"; "c" ]
+    (List.map (fun r -> r.Policy.Region.tag) (Policy.Linear_table.regions t))
+
+let test_linear_scan_counts () =
+  let k = fresh () in
+  let t = Policy.Linear_table.create k ~capacity:64 in
+  for i = 0 to 9 do
+    ignore (Policy.Linear_table.add t (region (i * 1000) 100))
+  done;
+  checki "match at pos 7 scans 8" 8
+    (Policy.Linear_table.lookup t ~addr:7000 ~size:4).Policy.Structure.scanned;
+  checki "miss scans all" 10
+    (Policy.Linear_table.lookup t ~addr:999_999 ~size:4).Policy.Structure.scanned
+
+(* ---------- structure equivalence (qcheck) ---------- *)
+
+(* random NON-overlapping region sets, which all structures accept *)
+let gen_disjoint_regions =
+  QCheck.Gen.(
+    let* n = int_range 1 20 in
+    let* lens = list_repeat n (int_range 1 50) in
+    let* gaps = list_repeat n (int_range 1 50) in
+    let* prots = list_repeat n (int_range 0 3) in
+    let rec build base lens gaps prots acc =
+      match (lens, gaps, prots) with
+      | l :: ls, g :: gs, p :: ps ->
+        build (base + l + g) ls gs ps (region ~prot:p base l :: acc)
+      | _ -> List.rev acc
+    in
+    return (build 1000 lens gaps prots []))
+
+let gen_probe = QCheck.Gen.(tup2 (int_range 0 3000) (int_range 1 8))
+
+let mk_instance k kind regions =
+  let inst = Policy.Engine.make_instance k kind ~capacity:64 in
+  List.iter
+    (fun r ->
+      match Policy.Structure.add inst r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "add: %s" e)
+    regions;
+  inst
+
+let equivalence_prop kind =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s agrees with linear" (Policy.Engine.kind_to_string kind))
+    ~count:100
+    (QCheck.make QCheck.Gen.(tup2 gen_disjoint_regions (list_size (int_range 1 20) gen_probe)))
+    (fun (regions, probes) ->
+      let k = fresh () in
+      let reference = mk_instance k Policy.Engine.Linear regions in
+      let candidate = mk_instance k kind regions in
+      List.for_all
+        (fun (addr, size) ->
+          let a = Policy.Structure.lookup reference ~addr ~size in
+          let b = Policy.Structure.lookup candidate ~addr ~size in
+          match (a.Policy.Structure.matched, b.Policy.Structure.matched) with
+          | None, None -> true
+          | Some ra, Some rb ->
+            (* bloom's fast path may report a synthetic covering region;
+               what must agree is the allow/deny verdict for full rw *)
+            Policy.Region.permits ra ~flags:Policy.Region.prot_rw
+            = Policy.Region.permits rb ~flags:Policy.Region.prot_rw
+            || rb.Policy.Region.tag = "bloom-fastpath"
+          | _ -> false)
+        probes)
+
+let prop_sorted_equiv = equivalence_prop Policy.Engine.Sorted
+let prop_splay_equiv = equivalence_prop Policy.Engine.Splay
+let prop_rbtree_equiv = equivalence_prop Policy.Engine.Rbtree
+let prop_cached_equiv = equivalence_prop Policy.Engine.Cached
+
+(* rbtree structural invariants hold under random insertion *)
+let prop_rbtree_invariants =
+  QCheck.Test.make ~name:"rbtree invariants" ~count:100
+    (QCheck.make gen_disjoint_regions) (fun regions ->
+      let k = fresh () in
+      let t = Policy.Rb_tree.create k ~capacity:64 in
+      List.iter (fun r -> ignore (Policy.Rb_tree.add t r)) regions;
+      Policy.Rb_tree.validate t = Ok ()
+      && Policy.Rb_tree.count t = List.length regions
+      &&
+      (* in-order traversal is sorted by base *)
+      let bases =
+        List.map (fun r -> r.Policy.Region.base) (Policy.Rb_tree.regions t)
+      in
+      bases = List.sort compare bases)
+
+let test_rbtree_rejects_overlap () =
+  let k = fresh () in
+  let t = Policy.Rb_tree.create k ~capacity:8 in
+  ignore (Policy.Rb_tree.add t (region 0 100));
+  checkb "overlap rejected" true
+    (Result.is_error (Policy.Rb_tree.add t (region 50 100)))
+
+let test_rbtree_logarithmic_scan () =
+  let k = fresh () in
+  let t = Policy.Rb_tree.create k ~capacity:64 in
+  for i = 0 to 63 do
+    ignore (Policy.Rb_tree.add t (region (i * 1000) 100))
+  done;
+  (match Policy.Rb_tree.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid tree: %s" e);
+  let worst = ref 0 in
+  for i = 0 to 63 do
+    let out = Policy.Rb_tree.lookup t ~addr:((i * 1000) + 50) ~size:4 in
+    checkb "found" true (out.Policy.Structure.matched <> None);
+    if out.Policy.Structure.scanned > !worst then
+      worst := out.Policy.Structure.scanned
+  done;
+  (* a valid red-black tree of 64 nodes is at most 2*log2(65) ~ 12 deep *)
+  checkb "logarithmic depth" true (!worst <= 12)
+
+let test_rbtree_remove () =
+  let k = fresh () in
+  let t = Policy.Rb_tree.create k ~capacity:16 in
+  for i = 0 to 7 do
+    ignore (Policy.Rb_tree.add t (region (i * 1000) 100))
+  done;
+  checkb "removed" true (Policy.Rb_tree.remove t ~base:3000);
+  checkb "gone" true
+    ((Policy.Rb_tree.lookup t ~addr:3050 ~size:4).Policy.Structure.matched = None);
+  checki "count" 7 (Policy.Rb_tree.count t);
+  checkb "still valid" true (Policy.Rb_tree.validate t = Ok ())
+
+let test_sorted_rejects_overlap () =
+  let k = fresh () in
+  let t = Policy.Sorted_table.create k ~capacity:8 in
+  ignore (Policy.Sorted_table.add t (region 0 100));
+  checkb "overlap rejected" true
+    (Result.is_error (Policy.Sorted_table.add t (region 50 100)))
+
+let test_splay_rejects_overlap () =
+  let k = fresh () in
+  let t = Policy.Splay_tree.create k ~capacity:8 in
+  ignore (Policy.Splay_tree.add t (region 0 100));
+  checkb "overlap rejected" true
+    (Result.is_error (Policy.Splay_tree.add t (region 50 100)))
+
+let test_splay_popularity () =
+  let k = fresh () in
+  let t = Policy.Splay_tree.create k ~capacity:32 in
+  for i = 0 to 15 do
+    ignore (Policy.Splay_tree.add t (region (i * 1000) 100))
+  done;
+  (* hit region 12 repeatedly: it splays to the root, later probes scan 1 *)
+  ignore (Policy.Splay_tree.lookup t ~addr:12050 ~size:4);
+  let second = Policy.Splay_tree.lookup t ~addr:12050 ~size:4 in
+  checki "root hit" 1 second.Policy.Structure.scanned
+
+let test_cached_hit_rate () =
+  let k = fresh () in
+  let t = Policy.Lookup_cache.create k ~capacity:16 in
+  for i = 0 to 9 do
+    ignore (Policy.Lookup_cache.add t (region (i * 1000) 100))
+  done;
+  for _ = 1 to 50 do
+    ignore (Policy.Lookup_cache.lookup t ~addr:9050 ~size:4)
+  done;
+  checkb "mostly hits" true (Policy.Lookup_cache.hit_rate t > 0.9)
+
+let test_cached_invalidation () =
+  let k = fresh () in
+  let t = Policy.Lookup_cache.create k ~capacity:16 in
+  ignore (Policy.Lookup_cache.add t (region 1000 100));
+  ignore (Policy.Lookup_cache.lookup t ~addr:1050 ~size:4) (* fill cache *);
+  checkb "removed" true (Policy.Lookup_cache.remove t ~base:1000);
+  checkb "stale entry gone" true
+    ((Policy.Lookup_cache.lookup t ~addr:1050 ~size:4).Policy.Structure.matched = None)
+
+let test_bloom_no_false_negative_for_allowed () =
+  let k = fresh () in
+  let t = Policy.Bloom_front.create k ~capacity:16 in
+  ignore (Policy.Bloom_front.add t (region 0x10000 0x1000));
+  (* first query goes the slow path and seeds the filter; all later
+     queries to the same page must still be allowed *)
+  for _ = 1 to 20 do
+    checkb "allowed" true
+      ((Policy.Bloom_front.lookup t ~addr:0x10100 ~size:8).Policy.Structure.matched <> None)
+  done;
+  checkb "fp estimate sane" true (Policy.Bloom_front.fp_possible t < 0.01)
+
+let test_bloom_clear_resets_filter () =
+  let k = fresh () in
+  let t = Policy.Bloom_front.create k ~capacity:16 in
+  ignore (Policy.Bloom_front.add t (region 0x10000 0x1000));
+  ignore (Policy.Bloom_front.lookup t ~addr:0x10100 ~size:8);
+  Policy.Bloom_front.clear t;
+  checkb "cleared" true
+    ((Policy.Bloom_front.lookup t ~addr:0x10100 ~size:8).Policy.Structure.matched = None)
+
+(* ---------- engine ---------- *)
+
+let test_engine_default_deny () =
+  let k = fresh () in
+  let e = Policy.Engine.create k in
+  (match Policy.Engine.check e ~addr:0x1234 ~size:8 ~flags:1 with
+  | Policy.Engine.Denied None -> ()
+  | _ -> Alcotest.fail "default deny");
+  let st = Policy.Engine.stats e in
+  checki "denied counted" 1 st.Policy.Engine.denied
+
+let test_engine_default_allow () =
+  let k = fresh () in
+  let e = Policy.Engine.create ~default_allow:true k in
+  match Policy.Engine.check e ~addr:0x1234 ~size:8 ~flags:1 with
+  | Policy.Engine.Allowed None -> ()
+  | _ -> Alcotest.fail "default allow"
+
+let test_engine_permission_mismatch () =
+  let k = fresh () in
+  let e = Policy.Engine.create k in
+  ignore (Policy.Engine.add_region e (region ~prot:Policy.Region.prot_read 100 100));
+  (match Policy.Engine.check e ~addr:150 ~size:4 ~flags:Policy.Region.prot_read with
+  | Policy.Engine.Allowed (Some _) -> ()
+  | _ -> Alcotest.fail "read should pass");
+  match Policy.Engine.check e ~addr:150 ~size:4 ~flags:Policy.Region.prot_write with
+  | Policy.Engine.Denied (Some _) -> ()
+  | _ -> Alcotest.fail "write should fail"
+
+let test_engine_set_policy () =
+  let k = fresh () in
+  let e = Policy.Engine.create k in
+  Policy.Engine.set_policy e Policy.Region.kernel_only;
+  checki "two rules" 2 (Policy.Engine.count e);
+  Policy.Engine.set_policy e (Policy.Region.kernel_only_padded 16);
+  checki "replaced" 16 (Policy.Engine.count e)
+
+let test_engine_cost_grows_with_scan_depth () =
+  let k = fresh () in
+  let e = Policy.Engine.create k in
+  Policy.Engine.set_policy e (Policy.Region.kernel_only_padded 64);
+  let machine = Kernel.machine k in
+  let addr = Kernel.Layout.direct_map_base + 64 in
+  (* warm *)
+  for _ = 1 to 200 do
+    ignore (Policy.Engine.check e ~addr ~size:8 ~flags:1)
+  done;
+  let c0 = Machine.Model.cycles machine in
+  for _ = 1 to 500 do
+    ignore (Policy.Engine.check e ~addr ~size:8 ~flags:1)
+  done;
+  let deep = Machine.Model.cycles machine - c0 in
+  let e2 = Policy.Engine.create k in
+  Policy.Engine.set_policy e2 Policy.Region.kernel_only;
+  for _ = 1 to 200 do
+    ignore (Policy.Engine.check e2 ~addr ~size:8 ~flags:1)
+  done;
+  let c1 = Machine.Model.cycles machine in
+  for _ = 1 to 500 do
+    ignore (Policy.Engine.check e2 ~addr ~size:8 ~flags:1)
+  done;
+  let shallow = Machine.Model.cycles machine - c1 in
+  checkb "64-region scan costs more" true (deep > shallow)
+
+(* ---------- policy module ---------- *)
+
+let setup_pm ?(on_deny = Policy.Policy_module.Log_only) () =
+  let k = fresh () in
+  let pm = Policy.Policy_module.install ~on_deny k in
+  (k, pm)
+
+let test_guard_allows () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  checki "guard returns" 0
+    (Kernel.call_symbol k "carat_guard" [| Kernel.Layout.direct_map_base + 8; 8; 1 |]);
+  checki "no violations" 0 (List.length (Policy.Policy_module.violations pm))
+
+let test_guard_denies_and_logs () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  ignore (Kernel.call_symbol k "carat_guard" [| 0x4000; 8; 2 |]);
+  checki "violation recorded" 1 (List.length (Policy.Policy_module.violations pm));
+  checkb "logged" true
+    (Kernel.Klog.contains (Kernel.log k) "CARAT KOP: forbidden write")
+
+let test_guard_panics_in_panic_mode () =
+  let k, pm = setup_pm ~on_deny:Policy.Policy_module.Panic () in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  match Kernel.call_symbol k "carat_guard" [| 0x4000; 8; 1 |] with
+  | exception Kernel.Panic info ->
+    checkb "reason mentions guard" true
+      (String.length info.Kernel.reason > 0)
+  | _ -> Alcotest.fail "no panic"
+
+let test_ioctl_roundtrip () =
+  let k, pm = setup_pm () in
+  let arg = Kernel.map_user k ~size:32 in
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  Kernel.write k ~addr:(arg + 8) ~size:8 0x100;
+  Kernel.write k ~addr:(arg + 16) ~size:8 3;
+  checki "add ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_add ~arg);
+  checki "count" 1
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_count ~arg:0);
+  (* the added region actually governs the guard *)
+  checki "guard passes" 0 (Kernel.call_symbol k "carat_guard" [| 0xA010; 8; 1 |]);
+  (* remove it again *)
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  checki "remove ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_remove ~arg);
+  checki "count 0" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_count ~arg:0);
+  ignore (Kernel.call_symbol k "carat_guard" [| 0xA010; 8; 1 |]);
+  checki "denied after removal" 1 (List.length (Policy.Policy_module.violations pm))
+
+let test_ioctl_bad_region () =
+  let k, _ = setup_pm () in
+  let arg = Kernel.map_user k ~size:32 in
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  Kernel.write k ~addr:(arg + 8) ~size:8 0 (* zero length *);
+  checki "rejected" (-1)
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_add ~arg)
+
+let test_ioctl_set_default () =
+  let k, pm = setup_pm () in
+  checki "set allow" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_set_default ~arg:1);
+  checki "now allowed" 0 (Kernel.call_symbol k "carat_guard" [| 0x9999; 8; 1 |]);
+  checki "no violations" 0 (List.length (Policy.Policy_module.violations pm))
+
+let test_ioctl_stats () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  ignore (Kernel.call_symbol k "carat_guard" [| Kernel.Layout.direct_map_base; 8; 1 |]);
+  ignore (Kernel.call_symbol k "carat_guard" [| 0x4000; 8; 1 |]);
+  checki "checks" 2
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_stats_checks ~arg:0);
+  checki "denied" 1
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_stats_denied ~arg:0)
+
+let test_ioctl_clear () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm (Policy.Region.kernel_only_padded 8);
+  checki "clear ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_clear ~arg:0);
+  checki "empty" 0 (Policy.Engine.count (Policy.Policy_module.engine pm))
+
+(* ---------- policy files ---------- *)
+
+let test_policy_file_roundtrip () =
+  let t =
+    {
+      Policy.Policy_file.default_allow = false;
+      regions =
+        [
+          region ~tag:"kernel window" ~prot:Policy.Region.prot_rw 0x1000 0x2000;
+          region ~tag:"" ~prot:Policy.Region.prot_read 0x9000 0x100;
+          region ~prot:0 0x0 0x800;
+        ];
+    }
+  in
+  let text = Policy.Policy_file.to_string t in
+  let t' = Policy.Policy_file.parse text in
+  checki "regions" 3 (List.length t'.Policy.Policy_file.regions);
+  checkb "same text" true (Policy.Policy_file.to_string t' = text)
+
+let test_policy_file_parse () =
+  let t =
+    Policy.Policy_file.parse
+      "# demo
+default allow
+region 0x100 0x10 rw tagged region
+region 256 16 -- 
+"
+  in
+  checkb "default" true t.Policy.Policy_file.default_allow;
+  (match t.Policy.Policy_file.regions with
+  | [ a; b ] ->
+    checki "hex base" 0x100 a.Policy.Region.base;
+    Alcotest.(check string) "tag with spaces" "tagged region" a.Policy.Region.tag;
+    checki "decimal base" 256 b.Policy.Region.base;
+    checki "no perms" 0 b.Policy.Region.prot
+  | _ -> Alcotest.fail "wrong region count")
+
+let test_policy_file_errors () =
+  List.iter
+    (fun text ->
+      match Policy.Policy_file.parse text with
+      | exception Policy.Policy_file.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    [
+      "region 0x1 0x0 rw";      (* zero length *)
+      "region 0x1 xyz rw";      (* bad number *)
+      "region 0x1 0x10 qq";     (* bad perms *)
+      "frobnicate";             (* unknown directive *)
+    ]
+
+let test_policy_file_apply () =
+  let k = fresh () in
+  let e = Policy.Engine.create k in
+  Policy.Policy_file.apply
+    { Policy.Policy_file.default_allow = true;
+      regions = [ region ~prot:0 0x5000 0x1000 ] }
+    e;
+  (match Policy.Engine.check e ~addr:0x5100 ~size:8 ~flags:1 with
+  | Policy.Engine.Denied (Some _) -> ()
+  | _ -> Alcotest.fail "explicit deny rule ignored");
+  match Policy.Engine.check e ~addr:0x9000 ~size:8 ~flags:1 with
+  | Policy.Engine.Allowed None -> ()
+  | _ -> Alcotest.fail "default allow ignored"
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "regions",
+        [
+          Alcotest.test_case "contains" `Quick test_region_contains;
+          Alcotest.test_case "permits" `Quick test_region_permits;
+          Alcotest.test_case "overlaps" `Quick test_region_overlaps;
+          Alcotest.test_case "validation" `Quick test_region_validation;
+          Alcotest.test_case "canonical policies" `Quick test_canonical_policies;
+        ] );
+      ( "linear",
+        [
+          Alcotest.test_case "capacity" `Quick test_linear_add_capacity;
+          Alcotest.test_case "first match wins" `Quick test_linear_first_match_wins;
+          Alcotest.test_case "remove keeps order" `Quick test_linear_remove_preserves_order;
+          Alcotest.test_case "scan counts" `Quick test_linear_scan_counts;
+        ] );
+      ( "alternative-structures",
+        [
+          QCheck_alcotest.to_alcotest prop_sorted_equiv;
+          QCheck_alcotest.to_alcotest prop_splay_equiv;
+          QCheck_alcotest.to_alcotest prop_rbtree_equiv;
+          QCheck_alcotest.to_alcotest prop_cached_equiv;
+          QCheck_alcotest.to_alcotest prop_rbtree_invariants;
+          Alcotest.test_case "rbtree rejects overlap" `Quick test_rbtree_rejects_overlap;
+          Alcotest.test_case "rbtree log depth" `Quick test_rbtree_logarithmic_scan;
+          Alcotest.test_case "rbtree remove" `Quick test_rbtree_remove;
+          Alcotest.test_case "sorted rejects overlap" `Quick test_sorted_rejects_overlap;
+          Alcotest.test_case "splay rejects overlap" `Quick test_splay_rejects_overlap;
+          Alcotest.test_case "splay popularity" `Quick test_splay_popularity;
+          Alcotest.test_case "cached hit rate" `Quick test_cached_hit_rate;
+          Alcotest.test_case "cached invalidation" `Quick test_cached_invalidation;
+          Alcotest.test_case "bloom allowed stays allowed" `Quick test_bloom_no_false_negative_for_allowed;
+          Alcotest.test_case "bloom clear" `Quick test_bloom_clear_resets_filter;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "default deny" `Quick test_engine_default_deny;
+          Alcotest.test_case "default allow" `Quick test_engine_default_allow;
+          Alcotest.test_case "permission mismatch" `Quick test_engine_permission_mismatch;
+          Alcotest.test_case "set policy" `Quick test_engine_set_policy;
+          Alcotest.test_case "scan depth cost" `Quick test_engine_cost_grows_with_scan_depth;
+        ] );
+      ( "policy-file",
+        [
+          Alcotest.test_case "round trip" `Quick test_policy_file_roundtrip;
+          Alcotest.test_case "parse forms" `Quick test_policy_file_parse;
+          Alcotest.test_case "parse errors" `Quick test_policy_file_errors;
+          Alcotest.test_case "apply" `Quick test_policy_file_apply;
+        ] );
+      ( "policy-module",
+        [
+          Alcotest.test_case "guard allows" `Quick test_guard_allows;
+          Alcotest.test_case "guard denies+logs" `Quick test_guard_denies_and_logs;
+          Alcotest.test_case "guard panics" `Quick test_guard_panics_in_panic_mode;
+          Alcotest.test_case "ioctl round trip" `Quick test_ioctl_roundtrip;
+          Alcotest.test_case "ioctl bad region" `Quick test_ioctl_bad_region;
+          Alcotest.test_case "ioctl set default" `Quick test_ioctl_set_default;
+          Alcotest.test_case "ioctl stats" `Quick test_ioctl_stats;
+          Alcotest.test_case "ioctl clear" `Quick test_ioctl_clear;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Stats: summaries, CDFs, histograms. *)
+
+open Carat_kop
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_summary_known () =
+  let s = Stats.Summary.of_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  checki "n" 5 s.Stats.Summary.n;
+  checkf "mean" 3.0 s.Stats.Summary.mean;
+  checkf "median" 3.0 s.Stats.Summary.median;
+  checkf "min" 1.0 s.Stats.Summary.min;
+  checkf "max" 5.0 s.Stats.Summary.max;
+  checkf "stddev" (sqrt 2.5) s.Stats.Summary.stddev
+
+let test_summary_even_median () =
+  let s = Stats.Summary.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "interpolated" 2.5 s.Stats.Summary.median
+
+let test_summary_unsorted_input () =
+  let s = Stats.Summary.of_array [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  checkf "median of shuffled" 3.0 s.Stats.Summary.median
+
+let test_summary_empty_and_single () =
+  let e = Stats.Summary.of_array [||] in
+  checki "empty n" 0 e.Stats.Summary.n;
+  checkb "empty median nan" true (Float.is_nan e.Stats.Summary.median);
+  let s = Stats.Summary.of_array [| 7.0 |] in
+  checkf "single" 7.0 s.Stats.Summary.median;
+  checkf "single p99" 7.0 s.Stats.Summary.p99
+
+let test_percentiles () =
+  let xs = Array.init 101 float_of_int in
+  checkf "p5" 5.0 (Stats.Summary.percentile xs 0.05);
+  checkf "p50" 50.0 (Stats.Summary.percentile xs 0.5);
+  checkf "p95" 95.0 (Stats.Summary.percentile xs 0.95)
+
+let test_of_ints () =
+  let s = Stats.Summary.of_ints [| 10; 20; 30 |] in
+  checkf "ints mean" 20.0 s.Stats.Summary.mean
+
+let prop_median_bounded =
+  QCheck.Test.make ~name:"median within min..max" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.Summary.of_array xs in
+      s.Stats.Summary.median >= s.Stats.Summary.min
+      && s.Stats.Summary.median <= s.Stats.Summary.max)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck.(array_of_size Gen.(int_range 2 50) (float_range 0.0 1e6))
+    (fun xs ->
+      let p q = Stats.Summary.percentile xs q in
+      p 0.1 <= p 0.5 && p 0.5 <= p 0.9)
+
+let test_cdf_basic () =
+  let c = Stats.Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "at 2" 0.5 (Stats.Cdf.at c 2.0);
+  checkf "below" 0.0 (Stats.Cdf.at c 0.5);
+  checkf "above" 1.0 (Stats.Cdf.at c 10.0);
+  checkf "quantile 0.5" 2.0 (Stats.Cdf.quantile c 0.5);
+  checkf "quantile 1.0" 4.0 (Stats.Cdf.quantile c 1.0)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"cdf is monotone" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range 0.0 1000.0))
+    (fun xs ->
+      let c = Stats.Cdf.of_samples xs in
+      let vs = [ 10.0; 100.0; 500.0; 900.0 ] in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> Stats.Cdf.at c a <= Stats.Cdf.at c b && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+let test_cdf_render () =
+  let c1 = Stats.Cdf.of_samples (Array.init 50 (fun i -> float_of_int i)) in
+  let c2 = Stats.Cdf.of_samples (Array.init 50 (fun i -> float_of_int (i + 5))) in
+  let out =
+    Stats.Cdf.render ~title:"test cdf" ~unit_label:"pps"
+      [ ("a", c1); ("b", c2) ]
+  in
+  checkb "has title" true (String.length out > 0);
+  checkb "has median line" true
+    (String.split_on_char '\n' out
+    |> List.exists (fun l -> String.length l > 3 && String.sub l 0 3 = " 50"))
+
+let test_hist_binning () =
+  let h = Stats.Hist.create ~lo:0.0 ~hi:100.0 ~bins:10 in
+  Stats.Hist.add h 5.0;
+  Stats.Hist.add h 15.0;
+  Stats.Hist.add h 15.5;
+  Stats.Hist.add h 99.9;
+  Stats.Hist.add h (-1.0);
+  Stats.Hist.add h 100.0;
+  let counts = Stats.Hist.counts h in
+  checki "bin0" 1 counts.(0);
+  checki "bin1" 2 counts.(1);
+  checki "bin9" 1 counts.(9);
+  checki "outliers" 2 (Stats.Hist.outliers h);
+  checki "total includes outliers" 6 (Stats.Hist.total h)
+
+let test_hist_bounds_validation () =
+  (match Stats.Hist.create ~lo:10.0 ~hi:10.0 ~bins:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad bounds accepted");
+  match Stats.Hist.create ~lo:0.0 ~hi:1.0 ~bins:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bins accepted"
+
+let test_hist_bin_bounds () =
+  let h = Stats.Hist.create ~lo:0.0 ~hi:100.0 ~bins:10 in
+  let lo, hi = Stats.Hist.bin_bounds h 3 in
+  checkf "lo" 30.0 lo;
+  checkf "hi" 40.0 hi
+
+let prop_hist_conserves =
+  QCheck.Test.make ~name:"histogram conserves sample count" ~count:100
+    QCheck.(array_of_size Gen.(int_range 0 200) (float_range (-50.0) 150.0))
+    (fun xs ->
+      let h = Stats.Hist.of_samples ~lo:0.0 ~hi:100.0 ~bins:7 xs in
+      Stats.Hist.total h = Array.length xs)
+
+let test_hist_render () =
+  let h1 = Stats.Hist.of_samples ~lo:0.0 ~hi:10.0 ~bins:5 [| 1.0; 2.0; 7.0 |] in
+  let h2 = Stats.Hist.of_samples ~lo:0.0 ~hi:10.0 ~bins:5 [| 3.0; 8.0 |] in
+  let out =
+    Stats.Hist.render ~title:"hist" ~unit_label:"cyc" [ ("x", h1); ("y", h2) ]
+  in
+  checkb "renders" true (String.length out > 50)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "known values" `Quick test_summary_known;
+          Alcotest.test_case "even median" `Quick test_summary_even_median;
+          Alcotest.test_case "unsorted input" `Quick test_summary_unsorted_input;
+          Alcotest.test_case "empty/single" `Quick test_summary_empty_and_single;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "of_ints" `Quick test_of_ints;
+          QCheck_alcotest.to_alcotest prop_median_bounded;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "basics" `Quick test_cdf_basic;
+          QCheck_alcotest.to_alcotest prop_cdf_monotone;
+          Alcotest.test_case "render" `Quick test_cdf_render;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "binning" `Quick test_hist_binning;
+          Alcotest.test_case "bounds validation" `Quick test_hist_bounds_validation;
+          Alcotest.test_case "bin bounds" `Quick test_hist_bin_bounds;
+          QCheck_alcotest.to_alcotest prop_hist_conserves;
+          Alcotest.test_case "render" `Quick test_hist_render;
+        ] );
+    ]
