@@ -19,6 +19,7 @@ let section title =
   Printf.printf "\n%s\n%s\n%s\n" line title line
 
 let quick = ref false
+let fault_trials = ref None
 
 let trials () = if !quick then 9 else 41
 let packets () = if !quick then 150 else 600
@@ -325,6 +326,21 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+let run_faults () =
+  section "Fault-injection campaign: containment across enforcement modes";
+  let faults =
+    match !fault_trials with
+    | Some n -> n
+    | None -> if !quick then 60 else Fault.Campaign.default_config.faults
+  in
+  let report =
+    Fault.Campaign.run { Fault.Campaign.default_config with faults }
+  in
+  print_string (Fault.Campaign.render report);
+  if not (Fault.Campaign.passes report) then exit 1
+
+(* ------------------------------------------------------------------ *)
+
 let all_figs =
   [
     ("fig3", run_fig3);
@@ -336,21 +352,27 @@ let all_figs =
     ("ablation-policy", run_ablation_policy);
     ("ablation-opt", run_ablation_opt);
     ("ablation-mechanism", run_mechanism);
+    ("faults", run_faults);
     ("bechamel", run_bechamel);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse = function
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--trials" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> fault_trials := Some n
+      | _ ->
+        Printf.eprintf "--trials expects a positive integer, got %s\n" n;
+        exit 1);
+      parse rest
+    | a :: rest -> a :: parse rest
+    | [] -> []
   in
+  let args = parse args in
   print_endline banner;
   print_endline
     "regenerating the paper's evaluation from the simulation (seeded,\n\

@@ -4,16 +4,16 @@
 
      kop_run module.kir --policy policy.kop --call sum_region \
              --args 0x1100000000000000,64 [--machine r350]
-             [--no-enforce] [--log] [--stats]
+             [--mode panic|quarantine|audit] [--no-enforce] [--log] [--stats]
 
    Exit codes: 0 success, 4 kernel panic (e.g. guard violation),
-   1 other errors. *)
+   6 module quarantined (kernel still alive), 1 other errors. *)
 
 open Cmdliner
 open Carat_kop
 
-let run module_path policy_path call args machine_name no_enforce show_log
-    stats trace =
+let run module_path policy_path call args machine_name mode_str no_enforce
+    show_log stats trace =
   let machine =
     match Machine.Presets.by_name machine_name with
     | Some m -> m
@@ -42,9 +42,17 @@ let run module_path policy_path call args machine_name no_enforce show_log
     in
     (match policy_path with
     | Some path ->
-      Policy.Policy_file.apply (Policy.Policy_file.load path)
-        (Policy.Policy_module.engine pm)
+      Policy.Policy_file.apply_module (Policy.Policy_file.load path) pm
     | None -> Policy.Policy_module.set_policy pm Policy.Region.kernel_only);
+    (* an explicit --mode overrides whatever the policy file says *)
+    (match mode_str with
+    | None -> ()
+    | Some s -> (
+      match Policy.Policy_module.on_deny_of_string s with
+      | Some m -> Policy.Policy_module.set_on_deny pm m
+      | None ->
+        Printf.eprintf "kop_run: unknown mode %s (panic|quarantine|audit)\n" s;
+        exit 2));
     let dump_log () =
       if show_log then
         List.iter
@@ -91,7 +99,14 @@ let run module_path policy_path call args machine_name no_enforce show_log
         try
           let r = Kernel.call_symbol kernel symbol argv in
           Printf.printf "%s(%s) = %d (0x%x)\n" symbol args r r;
-          finish 0
+          match Kernel.quarantine_records kernel with
+          | [] -> finish 0
+          | q :: _ ->
+            Printf.eprintf
+              "module %s QUARANTINED: %s (kernel alive; calls return %d)\n"
+              q.Kernel.q_module q.Kernel.q_reason Kernel.eio;
+            ignore (finish 0);
+            6
         with
         | Kernel.Panic info ->
           Printf.eprintf "KERNEL PANIC: %s\n" info.Kernel.reason;
@@ -130,6 +145,11 @@ let args_arg =
 
 let machine_arg = Arg.(value & opt string "r350" & info [ "machine" ])
 
+let mode_arg =
+  Arg.(value & opt (some string) None & info [ "mode" ] ~docv:"MODE"
+    ~doc:"Enforcement on guard denial: panic, quarantine, or audit \
+          (overrides the policy file).")
+
 let no_enforce =
   Arg.(value & flag & info [ "no-enforce" ]
     ~doc:"Accept unsigned/untransformed modules (today's permissive kernel).")
@@ -146,6 +166,6 @@ let cmd =
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
-      $ no_enforce $ log_arg $ stats_arg $ trace_arg)
+      $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

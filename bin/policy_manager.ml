@@ -13,14 +13,23 @@
      policy_manager check policy.kop --addr 0x… --size 8 --write
      policy_manager push  policy.kop               # load into a simulated
                                                    # kernel via ioctls and
-                                                   # report the table *)
+                                                   # report the table
+     policy_manager set-mode policy.kop quarantine # enforcement on deny:
+                                                   # panic|quarantine|audit,
+                                                   # persisted and set live
+                                                   # via the ioctl *)
 
 open Cmdliner
 open Carat_kop
 
 let load_or_empty path =
   if Sys.file_exists path then Policy.Policy_file.load path
-  else { Policy.Policy_file.default_allow = false; regions = [] }
+  else
+    {
+      Policy.Policy_file.default_allow = false;
+      mode = Policy.Policy_module.Panic;
+      regions = [];
+    }
 
 let cmd_init output =
   let t = Policy.Policy_file.kernel_only in
@@ -65,6 +74,8 @@ let cmd_list file =
   let t = Policy.Policy_file.load file in
   Printf.printf "default: %s\n"
     (if t.Policy.Policy_file.default_allow then "allow" else "deny");
+  Printf.printf "mode:    %s\n"
+    (Policy.Policy_module.on_deny_to_string t.Policy.Policy_file.mode);
   List.iteri
     (fun i r -> Printf.printf "%2d. %s\n" i (Policy.Region.to_string r))
     t.Policy.Policy_file.regions;
@@ -99,7 +110,7 @@ let cmd_push file =
   let t = Policy.Policy_file.load file in
   let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
   let pm =
-    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Log_only kernel
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit kernel
   in
   let arg = Kernel.map_user kernel ~size:32 in
   let rc = ref 0 in
@@ -127,6 +138,43 @@ let cmd_push file =
     (fun i r -> Printf.printf "%2d. %s\n" i (Policy.Region.to_string r))
     (Policy.Engine.regions (Policy.Policy_module.engine pm));
   !rc
+
+let cmd_set_mode file mode_str =
+  match Policy.Policy_module.on_deny_of_string mode_str with
+  | None ->
+    Printf.eprintf
+      "policy_manager: unknown mode %s (expected panic|quarantine|audit)\n"
+      mode_str;
+    1
+  | Some mode ->
+    let t = load_or_empty file in
+    Policy.Policy_file.save file { t with Policy.Policy_file.mode };
+    (* flip the mode on a live simulated kernel through the real ioctl,
+       as a root operator would at run time *)
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+    let pm = Policy.Policy_module.install kernel in
+    let rc =
+      Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_set_mode
+        ~arg:(Policy.Policy_module.on_deny_to_int mode)
+    in
+    let live =
+      Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_get_mode
+        ~arg:0
+    in
+    if
+      rc <> 0
+      || Policy.Policy_module.on_deny_of_int live <> Some mode
+      || Policy.Policy_module.mode pm <> mode
+    then begin
+      Printf.eprintf "policy_manager: live mode switch failed (rc=%d)\n" rc;
+      1
+    end
+    else begin
+      Printf.printf "enforcement mode: %s (saved to %s; live ioctl ok)\n"
+        (Policy.Policy_module.on_deny_to_string mode)
+        file;
+      0
+    end
 
 (* -- cmdliner wiring -- *)
 
@@ -166,9 +214,19 @@ let push_cmd =
   Cmd.v (Cmd.info "push" ~doc:"load the policy into a simulated kernel via ioctl")
     Term.(const cmd_push $ file_arg)
 
+let mode_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"MODE"
+    ~doc:"Enforcement on guard denial: panic, quarantine, or audit.")
+
+let set_mode_cmd =
+  Cmd.v
+    (Cmd.info "set-mode"
+       ~doc:"set the enforcement mode (panic|quarantine|audit), live and on disk")
+    Term.(const cmd_set_mode $ file_arg $ mode_arg)
+
 let () =
   let doc = "manage CARAT KOP memory-access policies (firewall rules)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "policy_manager" ~doc)
-          [ init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd ]))
+          [ init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd; set_mode_cmd ]))

@@ -55,7 +55,7 @@ let expect label outcome f =
 let fresh_setup () =
   let kernel = Kernel.create Machine.Presets.r350 in
   ignore (Vm.Interp.install kernel);
-  (* Log_only would be friendlier for a demo, but the paper's behaviour is
+  (* Audit mode would be friendlier for a demo, but the paper's behaviour is
      a panic; we build a fresh kernel per scenario instead. *)
   let pm = Policy.Policy_module.install kernel in
   let m = make_probe_module () in

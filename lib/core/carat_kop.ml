@@ -15,6 +15,7 @@
       table, and the alternative structures
     - {!Nic}: the e1000e-class device model and the KIR driver
     - {!Net}: raw-frame workload generation and the sendmsg path
+    - {!Fault}: seeded fault-injection campaigns and containment checking
     - {!Stats}: summaries, CDFs, histograms
     - {!Testbed}: one-call assembly of the full evaluation stack
     - {!Experiments}: runners reproducing every figure in the paper
@@ -42,6 +43,7 @@ module Vm = Vm
 module Policy = Policy
 module Nic = Nic
 module Net = Net
+module Fault = Fault
 module Stats = Stats
 module Testbed = Testbed
 module Experiments = Experiments

@@ -1,0 +1,223 @@
+(** The deterministic fault-injection campaign: [faults] seeded faults,
+    spread round-robin over the six classes, each run under the four
+    configurations (baseline, carat × panic/quarantine/audit). Every run
+    is a fresh {!Harness} cell, so faults are independent; everything is
+    derived from [config.seed], so the rendered report is byte-for-byte
+    reproducible. *)
+
+type config = { faults : int; seed : int }
+
+let default_config = { faults = 504; seed = 42 }
+
+type cell_stats = {
+  mutable injected : int;
+  mutable contained : int;
+  mutable alive : int;  (** kernel not panicked after the run *)
+  mutable rejected_at_load : int;
+  mutable quarantines : int;
+  mutable first_fault_ok : int;
+  mutable denials : int;
+  mutable reenter_ok : int;
+  mutable reenter_total : int;
+  mutable recovered : int;
+  mutable recover_total : int;
+}
+
+let empty_stats () =
+  {
+    injected = 0;
+    contained = 0;
+    alive = 0;
+    rejected_at_load = 0;
+    quarantines = 0;
+    first_fault_ok = 0;
+    denials = 0;
+    reenter_ok = 0;
+    reenter_total = 0;
+    recovered = 0;
+    recover_total = 0;
+  }
+
+type report = {
+  config : config;
+  classes : Inject.cls list;
+  modes : Harness.mode list;
+  cells : cell_stats array array;  (** indexed class × mode *)
+}
+
+let cell r ~cls ~mode =
+  let ci =
+    match List.mapi (fun i c -> (c, i)) r.classes |> List.assoc_opt cls with
+    | Some i -> i
+    | None -> invalid_arg "Campaign.cell: unknown class"
+  in
+  let mi =
+    match List.mapi (fun i m -> (m, i)) r.modes |> List.assoc_opt mode with
+    | Some i -> i
+    | None -> invalid_arg "Campaign.cell: unknown mode"
+  in
+  r.cells.(ci).(mi)
+
+let record st (o : Harness.outcome) =
+  st.injected <- st.injected + 1;
+  if Harness.contained o then st.contained <- st.contained + 1;
+  if not o.Harness.panicked then st.alive <- st.alive + 1;
+  if not o.Harness.loaded then st.rejected_at_load <- st.rejected_at_load + 1;
+  if o.Harness.quarantined then st.quarantines <- st.quarantines + 1;
+  if o.Harness.first_fault_recorded then
+    st.first_fault_ok <- st.first_fault_ok + 1;
+  st.denials <- st.denials + o.Harness.denied;
+  (match o.Harness.reenter_blocked with
+  | Some ok ->
+    st.reenter_total <- st.reenter_total + 1;
+    if ok then st.reenter_ok <- st.reenter_ok + 1
+  | None -> ());
+  match o.Harness.recovered with
+  | Some ok ->
+    st.recover_total <- st.recover_total + 1;
+    if ok then st.recovered <- st.recovered + 1
+  | None -> ()
+
+(** Run the campaign. [on_outcome] (optional) observes every outcome,
+    e.g. for progress reporting. *)
+let run ?on_outcome (config : config) : report =
+  let classes = Inject.all_classes in
+  let modes = Harness.all_modes in
+  let r =
+    {
+      config;
+      classes;
+      modes;
+      cells =
+        Array.init (List.length classes) (fun _ ->
+            Array.init (List.length modes) (fun _ -> empty_stats ()));
+    }
+  in
+  let master = Machine.Rng.create config.seed in
+  for i = 0 to config.faults - 1 do
+    let cls = List.nth classes (i mod List.length classes) in
+    (* per-fault seed drawn from the master stream: reordering-safe and
+       fully determined by config.seed *)
+    let fault_seed = Machine.Rng.int master 0x3FFF_FFFF in
+    List.iter
+      (fun mode ->
+        let o = Harness.run_one ~cls ~mode ~seed:fault_seed in
+        record (cell r ~cls ~mode) o;
+        match on_outcome with Some f -> f o | None -> ())
+      modes
+  done;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* aggregation and rendering *)
+
+let totals r ~mode =
+  let acc = empty_stats () in
+  List.iter
+    (fun cls ->
+      let st = cell r ~cls ~mode in
+      acc.injected <- acc.injected + st.injected;
+      acc.contained <- acc.contained + st.contained;
+      acc.alive <- acc.alive + st.alive;
+      acc.rejected_at_load <- acc.rejected_at_load + st.rejected_at_load;
+      acc.quarantines <- acc.quarantines + st.quarantines;
+      acc.first_fault_ok <- acc.first_fault_ok + st.first_fault_ok;
+      acc.denials <- acc.denials + st.denials;
+      acc.reenter_ok <- acc.reenter_ok + st.reenter_ok;
+      acc.reenter_total <- acc.reenter_total + st.reenter_total;
+      acc.recovered <- acc.recovered + st.recovered;
+      acc.recover_total <- acc.recover_total + st.recover_total)
+    r.classes;
+  acc
+
+let rate num den = if den = 0 then 100.0 else 100.0 *. float num /. float den
+
+(** The acceptance invariants of the containment matrix. Returns the
+    failures (empty = campaign passes). *)
+let check (r : report) : string list =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  let panic_t = totals r ~mode:(Harness.Carat Policy.Policy_module.Panic) in
+  let quar_t = totals r ~mode:(Harness.Carat Policy.Policy_module.Quarantine) in
+  let base_t = totals r ~mode:Harness.Baseline in
+  if panic_t.contained <> panic_t.injected then
+    fail "carat/panic containment %d/%d (expected 100%%)" panic_t.contained
+      panic_t.injected;
+  if quar_t.contained <> quar_t.injected then
+    fail "carat/quarantine containment %d/%d (expected 100%%)" quar_t.contained
+      quar_t.injected;
+  if quar_t.alive <> quar_t.injected then
+    fail "kernel died under quarantine in %d/%d runs"
+      (quar_t.injected - quar_t.alive) quar_t.injected;
+  if panic_t.first_fault_ok <> panic_t.injected then
+    fail "panic without first-fault record in %d runs"
+      (panic_t.injected - panic_t.first_fault_ok);
+  if quar_t.reenter_ok <> quar_t.reenter_total then
+    fail "quarantined module re-entered in %d/%d cases"
+      (quar_t.reenter_total - quar_t.reenter_ok) quar_t.reenter_total;
+  if quar_t.recovered <> quar_t.recover_total then
+    fail "recovery failed in %d/%d cases"
+      (quar_t.recover_total - quar_t.recovered) quar_t.recover_total;
+  if base_t.injected > 0 && base_t.contained >= quar_t.contained then
+    fail "baseline containment (%d) not strictly below carat (%d)"
+      base_t.contained quar_t.contained;
+  List.rev !fails
+
+let passes r = check r = []
+
+let render (r : report) : string =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "Fault-injection campaign: %d faults x %d configurations (seed %d)\n\n"
+    r.config.faults (List.length r.modes) r.config.seed;
+  pf "containment (contained/injected; bytes outside writable policy regions)\n";
+  pf "  %-18s" "class";
+  List.iter (fun m -> pf " %16s" (Harness.mode_to_string m)) r.modes;
+  pf "\n";
+  List.iter
+    (fun cls ->
+      pf "  %-18s" (Inject.cls_to_string cls);
+      List.iter
+        (fun mode ->
+          let st = cell r ~cls ~mode in
+          pf " %16s" (Printf.sprintf "%d/%d" st.contained st.injected))
+        r.modes;
+      pf "\n")
+    r.classes;
+  pf "\n";
+  pf "  %-18s" "total";
+  List.iter
+    (fun mode ->
+      let t = totals r ~mode in
+      pf " %16s"
+        (Printf.sprintf "%d/%d (%.0f%%)" t.contained t.injected
+           (rate t.contained t.injected)))
+    r.modes;
+  pf "\n\n";
+  let quar_t = totals r ~mode:(Harness.Carat Policy.Policy_module.Quarantine) in
+  let panic_t = totals r ~mode:(Harness.Carat Policy.Policy_module.Panic) in
+  let audit_t = totals r ~mode:(Harness.Carat Policy.Policy_module.Audit) in
+  let base_t = totals r ~mode:Harness.Baseline in
+  pf "invariants\n";
+  pf "  kernel alive after quarantine containment : %d/%d\n" quar_t.alive
+    quar_t.injected;
+  pf "  quarantined module re-entry rejected      : %d/%d\n" quar_t.reenter_ok
+    quar_t.reenter_total;
+  pf "  recovery (rmmod + repaired insmod + run)  : %d/%d\n" quar_t.recovered
+    quar_t.recover_total;
+  pf "  panic runs with first fault recorded      : %d/%d\n"
+    panic_t.first_fault_ok panic_t.injected;
+  pf "  tampered/unsigned loads rejected (carat)  : %d\n"
+    (panic_t.rejected_at_load + quar_t.rejected_at_load
+   + audit_t.rejected_at_load);
+  pf "  guard denials recorded (audit)            : %d\n" audit_t.denials;
+  pf "  baseline containment                      : %d/%d (%.0f%%)\n"
+    base_t.contained base_t.injected
+    (rate base_t.contained base_t.injected);
+  pf "\n";
+  (match check r with
+  | [] -> pf "verdict: PASS (all containment invariants hold)\n"
+  | fails ->
+    pf "verdict: FAIL\n";
+    List.iter (fun f -> pf "  - %s\n" f) fails);
+  Buffer.contents buf

@@ -1,0 +1,336 @@
+(** One containment cell per (fault, configuration): a fresh small kernel
+    with the VM and policy module installed, a protected victim target
+    set (a secret kernel object, a TX descriptor ring with a canary after
+    it, the policy table itself), and a seeded victim module from
+    {!Inject}. After the run the cell checks the containment invariants:
+
+    - no byte outside the policy's writable regions changed (verified by
+      diffing physical memory against a pre-run snapshot);
+    - the kernel is either alive or panicked with the first fault
+      recorded;
+    - a quarantined module is not re-enterable (calls return -EIO with no
+      side effects) and the kernel recovers by unloading it and loading a
+      repaired replacement. *)
+
+type mode = Baseline | Carat of Policy.Policy_module.on_deny
+
+let all_modes =
+  [
+    Baseline;
+    Carat Policy.Policy_module.Panic;
+    Carat Policy.Policy_module.Quarantine;
+    Carat Policy.Policy_module.Audit;
+  ]
+
+let mode_to_string = function
+  | Baseline -> "baseline"
+  | Carat m -> "carat/" ^ Policy.Policy_module.on_deny_to_string m
+
+type outcome = {
+  cls : Inject.cls;
+  mode : mode;
+  seed : int;
+  loaded : bool;
+  load_error : string option;
+  rc : int option;  (** victim entry return value, when it was invoked *)
+  panicked : bool;
+  first_fault_recorded : bool;
+      (** panic (if any) names the guard violation, not a secondary crash *)
+  quarantined : bool;
+  denied : int;  (** guard denials recorded by the policy module *)
+  escaped_bytes : int;
+      (** bytes outside the policy's writable regions that changed *)
+  reenter_blocked : bool option;
+      (** quarantine only: second call bounced with -EIO, counter intact *)
+  recovered : bool option;
+      (** quarantine only: rmmod + repaired insmod + clean run worked *)
+}
+
+(** The headline invariant: the fault did not touch a single byte outside
+    the policy's writable regions. *)
+let contained o = o.escaped_bytes = 0
+
+(* ------------------------------------------------------------------ *)
+
+let phys_size = 8 * 1024 * 1024
+let desc_size = 16
+let ring_entries = 16
+let work_size = 4096
+let secret_size = 512
+
+(* physical ranges behind a list of direct-map/stack virtual windows plus
+   every module-area mapping — the writable set the diff is checked
+   against *)
+let allowed_phys kernel windows =
+  let dm v = v - Kernel.Layout.direct_map_base in
+  List.map (fun (v, l) -> (dm v, l)) windows
+  @ List.filter_map
+      (fun (m : Kernel.mapping) ->
+        if Kernel.Layout.is_module_addr m.Kernel.map_virt then
+          Some (m.Kernel.map_phys, m.Kernel.map_size)
+        else None)
+      kernel.Kernel.mappings
+
+let covered allowed p =
+  List.exists (fun (base, len) -> p >= base && p < base + len) allowed
+
+(** Bytes in [diff ranges] that fall outside the allowed physical
+    ranges. *)
+let escaped kernel ~snap ~allowed =
+  let diffs = Kernel.Memory.diff_ranges (Kernel.memory kernel) snap in
+  List.fold_left
+    (fun acc (base, len) ->
+      let n = ref 0 in
+      for p = base to base + len - 1 do
+        if not (covered allowed p) then incr n
+      done;
+      acc + !n)
+    0 diffs
+
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  kernel : Kernel.t;
+  vm : Vm.Interp.state;
+  pm : Policy.Policy_module.t;
+  work : int;
+  secret : int;
+  ring : int;
+  canary : int;
+  table : (int * int) option;
+  writable : (int * int) list;  (** direct-map/stack windows, virtual *)
+}
+
+let make_cell ~mode : cell =
+  let require_signature = mode <> Baseline in
+  let kernel =
+    Kernel.create ~phys_size ~require_signature Machine.Presets.r350
+  in
+  let vm = Vm.Interp.install kernel in
+  let on_deny =
+    match mode with Baseline -> Policy.Policy_module.Audit | Carat m -> m
+  in
+  (* the policy module is installed in baseline cells too: its region
+     table is a real in-kernel object the policy-corruption class
+     targets; unguarded baselines simply never call the guard *)
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Linear ~on_deny kernel
+  in
+  let secret = Kernel.kmalloc kernel ~size:secret_size in
+  let ring = Kernel.kmalloc kernel ~size:(ring_entries * desc_size) in
+  let canary = Kernel.kmalloc kernel ~size:512 in
+  let work = Kernel.kmalloc kernel ~size:work_size in
+  (* give the protected objects recognizable contents *)
+  for i = 0 to (secret_size / 8) - 1 do
+    Kernel.write kernel ~addr:(secret + (8 * i)) ~size:8 0x5EC2E7
+  done;
+  for i = 0 to 63 do
+    Kernel.write kernel ~addr:(canary + (8 * i)) ~size:8 0xCA9A27
+  done;
+  let stack = Vm.Interp.stack_region vm in
+  let writable = [ (work, work_size); (ring, ring_entries * desc_size); stack ] in
+  let open Policy.Region in
+  Policy.Policy_module.set_policy pm
+    [
+      v ~tag:"victim-work" ~base:work ~len:work_size ~prot:prot_rw ();
+      v ~tag:"tx-ring" ~base:ring ~len:(ring_entries * desc_size)
+        ~prot:prot_rw ();
+      v ~tag:"vm-stack" ~base:(fst stack) ~len:(snd stack) ~prot:prot_rw ();
+      v ~tag:"module-area" ~base:Kernel.Layout.module_base
+        ~len:Kernel.Layout.module_area_size ~prot:prot_rw ();
+      v ~tag:"kernel-read-only" ~base:Kernel.Layout.kernel_base
+        ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:prot_read ();
+      v ~tag:"user-deny" ~base:0x1000 ~len:Kernel.Layout.kernel_base ~prot:0 ();
+    ];
+  let table = Policy.Engine.table_region (Policy.Policy_module.engine pm) in
+  { kernel; vm; pm; work; secret; ring; canary; table; writable }
+
+(* the malicious store's destination for a given class, seeded *)
+let payload_addr cell ~cls ~rng =
+  match (cls : Inject.cls) with
+  | Inject.Wild_store | Inject.Ir_tamper | Inject.Sig_truncation
+  | Inject.Guard_deletion ->
+    cell.secret + (8 * Machine.Rng.int rng (secret_size / 8))
+  | Inject.Oob_ring_index ->
+    (* descriptor index past the ring's end: lands after the ring *)
+    let idx = ring_entries + Machine.Rng.int rng 8 in
+    cell.ring + (idx * desc_size)
+  | Inject.Policy_corruption -> (
+    match cell.table with
+    | Some (base, len) -> base + (8 * Machine.Rng.int rng (len / 8))
+    | None -> cell.secret)
+
+let compile_victim ~mode m =
+  let pipeline =
+    match mode with
+    | Baseline -> Passes.Pipeline.baseline_sign ()
+    | Carat _ -> Passes.Pipeline.kop_default ()
+  in
+  ignore (Passes.Pass.run_pipeline_checked pipeline m)
+
+(* ------------------------------------------------------------------ *)
+
+(** Run one fault under one configuration and check every invariant. *)
+let run_one ~(cls : Inject.cls) ~(mode : mode) ~seed : outcome =
+  let cell = make_cell ~mode in
+  let rng = Machine.Rng.create seed in
+  let target = payload_addr cell ~cls ~rng in
+  let payload = if cls = Inject.Ir_tamper then None else Some target in
+  let m = Inject.build_victim ?payload ~rng ~work:cell.work () in
+  compile_victim ~mode m;
+  (* the fault proper: corrupt the pipeline after signing *)
+  (match cls with
+  | Inject.Ir_tamper -> Inject.mutate_ir_tamper m ~payload_addr:target
+  | Inject.Guard_deletion ->
+    Inject.mutate_guard_deletion m ~payload_addr:target
+      ~guard_symbol:Passes.Guard_injection.guard_symbol_default
+  | Inject.Sig_truncation -> Inject.mutate_sig_truncation m
+  | Inject.Wild_store | Inject.Oob_ring_index | Inject.Policy_corruption -> ());
+  let snap =
+    Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
+      (Kernel.memory cell.kernel)
+  in
+  let loaded, load_error, lm =
+    match Kernel.insmod cell.kernel m with
+    | Ok lm -> (true, None, Some lm)
+    | Error e -> (false, Some (Kernel.load_error_to_string e), None)
+  in
+  let rc, panicked =
+    if loaded then
+      match Kernel.call_symbol cell.kernel Inject.entry [||] with
+      | rc -> (Some rc, false)
+      | exception Kernel.Panic _ -> (None, true)
+    else (None, false)
+  in
+  let first_fault_recorded =
+    match Kernel.panic_state cell.kernel with
+    | Some info ->
+      (* the recorded reason must be the guard's diagnosis of this fault,
+         not some secondary crash *)
+      let is_prefix ~prefix s =
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      is_prefix ~prefix:"CARAT KOP" info.Kernel.reason
+    | None -> true
+  in
+  let quarantined = Kernel.quarantine_records cell.kernel <> [] in
+  let denied = List.length (Policy.Policy_module.violations cell.pm) in
+  (* quarantine-specific invariants: no re-entry, then recovery *)
+  let reenter_blocked =
+    match (lm, quarantined) with
+    | Some lm, true ->
+      let counter_addr = List.assoc Inject.counter_global lm.Kernel.lm_globals in
+      let before = Kernel.read cell.kernel ~addr:counter_addr ~size:8 in
+      let rc2 = Kernel.call_symbol cell.kernel Inject.entry [||] in
+      let after = Kernel.read cell.kernel ~addr:counter_addr ~size:8 in
+      Some (rc2 = Kernel.eio && before = after)
+    | _ -> None
+  in
+  let recovered =
+    match (lm, quarantined) with
+    | Some lm, true -> (
+      match Kernel.rmmod cell.kernel lm with
+      | Error _ -> Some false
+      | Ok () -> (
+        let m' = Inject.build_repaired ~rng ~work:cell.work () in
+        compile_victim ~mode m';
+        match Kernel.insmod cell.kernel m' with
+        | Error _ -> Some false
+        | Ok _ ->
+          let rc3 = Kernel.call_symbol cell.kernel Inject.entry [||] in
+          Some (rc3 >= 0 && Kernel.panic_state cell.kernel = None)))
+    | _ -> None
+  in
+  let escaped_bytes =
+    escaped cell.kernel ~snap
+      ~allowed:(allowed_phys cell.kernel cell.writable)
+  in
+  {
+    cls;
+    mode;
+    seed;
+    loaded;
+    load_error;
+    rc;
+    panicked;
+    first_fault_recorded;
+    quarantined;
+    denied;
+    escaped_bytes;
+    reenter_blocked;
+    recovered;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** Property harness for the QCheck satellite: a randomly generated
+    guarded module run under a randomly writable policy. Returns the
+    escaped byte count — the containment property says it is always 0
+    for a carat-protected module. *)
+let run_random ~seed =
+  let kernel = Kernel.create ~phys_size ~require_signature:true Machine.Presets.r350 in
+  let vm = Vm.Interp.install kernel in
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Linear
+      ~on_deny:Policy.Policy_module.Quarantine kernel
+  in
+  let rng = Machine.Rng.create seed in
+  let windows = Array.init 4 (fun _ -> Kernel.kmalloc kernel ~size:1024) in
+  (* at least one window writable, the rest random *)
+  let writable =
+    Array.mapi (fun i _ -> i = 0 || Machine.Rng.flip rng 0.5) windows
+  in
+  let stack = Vm.Interp.stack_region vm in
+  let open Policy.Region in
+  Policy.Policy_module.set_policy pm
+    (Array.to_list
+       (Array.mapi
+          (fun i w ->
+            v
+              ~tag:(Printf.sprintf "win-%d" i)
+              ~base:w ~len:1024
+              ~prot:(if writable.(i) then prot_rw else prot_read)
+              ())
+          windows)
+    @ [
+        v ~tag:"vm-stack" ~base:(fst stack) ~len:(snd stack) ~prot:prot_rw ();
+        v ~tag:"module-area" ~base:Kernel.Layout.module_base
+          ~len:Kernel.Layout.module_area_size ~prot:prot_rw ();
+        v ~tag:"kernel-read-only" ~base:Kernel.Layout.kernel_base
+          ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:prot_read ();
+      ]);
+  (* random module: a run of stores/loads over random windows, some via
+     an alloca'd local *)
+  let b = Kir.Builder.create "randmod" in
+  ignore (Kir.Builder.start_func b "rand_run" ~params:[] ~ret:(Some Kir.Types.I64));
+  let open Kir.Types in
+  let local = Kir.Builder.alloca b 64 in
+  Kir.Builder.store b I64 (Imm 7) local;
+  let n_ops = 4 + Machine.Rng.int rng 12 in
+  for _ = 1 to n_ops do
+    let w = windows.(Machine.Rng.int rng 4) in
+    let addr = w + (8 * Machine.Rng.int rng 128) in
+    if Machine.Rng.flip rng 0.3 then ignore (Kir.Builder.load b I64 (Imm addr))
+    else Kir.Builder.store b I64 (Imm (Machine.Rng.int rng 0xFFFF)) (Imm addr)
+  done;
+  let r = Kir.Builder.load b I64 local in
+  Kir.Builder.ret b (Some r);
+  let m = Kir.Builder.modul b in
+  ignore (Passes.Pass.run_pipeline_checked (Passes.Pipeline.kop_default ()) m);
+  let snap =
+    Kernel.Memory.snapshot ~len:(Kernel.phys_used kernel) (Kernel.memory kernel)
+  in
+  (match Kernel.insmod kernel m with
+  | Ok _ -> (
+    match Kernel.call_symbol kernel "rand_run" [||] with
+    | (_ : int) -> ()
+    | exception Kernel.Panic _ -> ())
+  | Error e -> failwith (Kernel.load_error_to_string e));
+  let allowed_windows =
+    List.filteri (fun i _ -> writable.(i)) (Array.to_list windows)
+  in
+  escaped kernel ~snap
+    ~allowed:
+      (allowed_phys kernel
+         (List.map (fun w -> (w, 1024)) allowed_windows @ [ stack ]))

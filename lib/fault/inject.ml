@@ -1,0 +1,134 @@
+(** Fault classes and their seeded instantiation.
+
+    Each fault is a concrete corruption of one stage of the module
+    pipeline (compile → sign → load → run). The first three classes
+    attack the *pipeline* (tampering with IR or signature after signing)
+    and are what load-time signature verification is supposed to catch;
+    the last three are *runtime* memory attacks — the wild stores the
+    paper's guards exist to stop.
+
+    Builders are deterministic in the supplied PRNG, so a campaign with a
+    fixed seed reproduces byte-for-byte. *)
+
+type cls =
+  | Ir_tamper
+      (** post-signing IR mutation: a benign store's destination is
+          redirected at a protected kernel object *)
+  | Sig_truncation  (** the signature metadata is truncated in transit *)
+  | Guard_deletion
+      (** the guard call protecting the malicious store is deleted after
+          signing — the attack §3.2's signing scheme exists to prevent *)
+  | Wild_store  (** a wild-pointer store into a core-kernel object *)
+  | Oob_ring_index
+      (** a TX-descriptor write with an out-of-bounds ring index,
+          clobbering whatever sits after the ring *)
+  | Policy_corruption
+      (** a store aimed at the policy module's own region table *)
+
+let all_classes =
+  [
+    Ir_tamper;
+    Sig_truncation;
+    Guard_deletion;
+    Wild_store;
+    Oob_ring_index;
+    Policy_corruption;
+  ]
+
+let cls_to_string = function
+  | Ir_tamper -> "ir-tamper"
+  | Sig_truncation -> "sig-truncation"
+  | Guard_deletion -> "guard-deletion"
+  | Wild_store -> "wild-store"
+  | Oob_ring_index -> "oob-ring-index"
+  | Policy_corruption -> "policy-corruption"
+
+(** Does this class corrupt the pipeline after signing (so a verifying
+    loader should reject the module), as opposed to attacking at run
+    time? *)
+let is_pipeline_fault = function
+  | Ir_tamper | Sig_truncation | Guard_deletion -> true
+  | Wild_store | Oob_ring_index | Policy_corruption -> false
+
+(* ------------------------------------------------------------------ *)
+(* victim construction *)
+
+let victim_name = "victim"
+let entry = "victim_run"
+let counter_global = "victim_calls"
+
+(** Build the victim module: it bumps its call counter, performs a few
+    benign stores into [work] (values salted by [rng] so every seed signs
+    differently), and — when [payload] is given — fires the malicious
+    store at that address. [Ir_tamper] victims are built benign; the
+    post-signing mutation is what turns them hostile. *)
+let build_victim ?payload ~rng ~work () =
+  let b = Kir.Builder.create victim_name in
+  ignore (Kir.Builder.declare_global b counter_global ~size:8);
+  ignore (Kir.Builder.start_func b entry ~params:[] ~ret:(Some Kir.Types.I64));
+  let open Kir.Types in
+  let c = Kir.Builder.load b I64 (Sym counter_global) in
+  let c1 = Kir.Builder.add b I64 c (Imm 1) in
+  Kir.Builder.store b I64 c1 (Sym counter_global);
+  for i = 0 to 3 do
+    let salt = Machine.Rng.int rng 0x10000 in
+    Kir.Builder.store b I64 (Imm salt) (Imm (work + (8 * i)))
+  done;
+  (match payload with
+  | Some addr -> Kir.Builder.store b I64 (Imm 0xDEAD_BEEF) (Imm addr)
+  | None -> ());
+  Kir.Builder.ret b (Some c1);
+  Kir.Builder.modul b
+
+(** The repaired replacement inserted during recovery: same name and
+    entry point, benign stores only. *)
+let build_repaired ~rng ~work () = build_victim ~rng ~work ()
+
+(* ------------------------------------------------------------------ *)
+(* post-signing mutations *)
+
+let iter_bodies (m : Kir.Types.modul) f =
+  List.iter
+    (fun (fn : Kir.Types.func) ->
+      List.iter (fun (blk : Kir.Types.block) -> f blk) fn.Kir.Types.blocks)
+    m.Kir.Types.funcs
+
+(** Redirect the first benign store (an [Imm] destination that is not the
+    payload) at [payload_addr] — flipping address bits after the module
+    was signed. *)
+let mutate_ir_tamper (m : Kir.Types.modul) ~payload_addr =
+  let done_ = ref false in
+  iter_bodies m (fun blk ->
+      if not !done_ then
+        blk.Kir.Types.body <-
+          List.map
+            (fun i ->
+              match i with
+              | Kir.Types.Store { ty; v; addr = Imm _ } when not !done_ ->
+                done_ := true;
+                Kir.Types.Store { ty; v; addr = Imm payload_addr }
+              | i -> i)
+            blk.Kir.Types.body)
+
+(** Delete the guard call immediately preceding the store that targets
+    [payload_addr]. A no-op on unguarded (baseline) modules. *)
+let mutate_guard_deletion (m : Kir.Types.modul) ~payload_addr ~guard_symbol =
+  iter_bodies m (fun blk ->
+      let rec strip = function
+        | Kir.Types.Call { callee; _ }
+          :: (Kir.Types.Store { addr = Imm a; _ } as store) :: rest
+          when callee = guard_symbol && a = payload_addr ->
+          store :: strip rest
+        | i :: rest -> i :: strip rest
+        | [] -> []
+      in
+      blk.Kir.Types.body <- strip blk.Kir.Types.body)
+
+(** Truncate the signature tag, as a corrupted or spliced module image
+    would present it. *)
+let mutate_sig_truncation (m : Kir.Types.modul) =
+  match Kir.Types.meta_find m Passes.Signing.meta_sig with
+  | Some tag when String.length tag > 4 ->
+    Kir.Types.meta_set m Passes.Signing.meta_sig
+      (String.sub tag 0 (String.length tag / 2))
+  | _ -> ()

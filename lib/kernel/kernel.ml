@@ -30,12 +30,23 @@ type mmio_region = {
 
 type mapping = { map_virt : int; map_size : int; map_phys : int }
 
+(** Record of a containment event. One is created per quarantined module
+    and stays behind (indexed by the module's former symbols) so later
+    callers get a diagnosable -EIO instead of a missing-symbol panic. *)
+type quarantine_record = {
+  q_module : string;
+  q_reason : string;
+  mutable q_rejected_calls : int;
+      (** calls bounced off the quarantined module after containment *)
+}
+
 type loaded_module = {
   lm_name : string;
   lm_kir : Kir.Types.modul;
   lm_globals : (string * int) list;  (** global name -> virtual address *)
-  mutable lm_state : [ `Live | `Dead ];
+  mutable lm_state : [ `Live | `Dead | `Quarantined ];
   mutable lm_locks_held : int;
+  mutable lm_quarantine : quarantine_record option;
 }
 
 type symbol =
@@ -59,6 +70,12 @@ and t = {
   mutable user_virt_next : int;
   mutable current_module : loaded_module option;
   mutable panicked : panic_info option;
+  mutable quarantined : quarantine_record list;  (** newest first *)
+  quarantined_symbols : (string, quarantine_record) Hashtbl.t;
+      (** former exports of quarantined modules: calls return {!eio} *)
+  mutable quarantine_hooks : (t -> loaded_module -> unit) list;
+      (** run at containment time; kernel services register these to
+          cancel the module's pending callbacks (timers, queues, ...) *)
   mutable require_signature : bool;
   signing_key : string;
   runner : (t -> loaded_module -> Kir.Types.func -> int array -> int) option ref;
@@ -90,13 +107,32 @@ let load_error_to_string = function
 
 exception Fault of { addr : int; size : int; what : string }
 
+(** What calls into a quarantined module return: -EIO in spirit. *)
+let eio = -5
+
+exception Quarantine_trap of loaded_module
+(** Raised by the policy module (Quarantine enforcement mode) from guard
+    context inside the offending module; {!call_symbol} catches it at the
+    kernel→module boundary and converts the in-flight call to {!eio}, so
+    the kernel itself keeps running. *)
+
 (* ------------------------------------------------------------------ *)
 
 let panic t reason =
-  let info = { reason; log_tail = Klog.tail t.log 16 } in
-  Klog.log t.log Klog.Crit "Kernel panic - not syncing: %s" reason;
-  t.panicked <- Some info;
-  raise (Panic info)
+  match t.panicked with
+  | Some original ->
+    (* Idempotent: a second panic (raised while handling the first, or by
+       later activity on a dead kernel) must not clobber the first-fault
+       record — that record is the diagnosis. *)
+    Klog.log t.log Klog.Crit
+      "Kernel panic - not syncing: %s (during panic: %s)" original.reason
+      reason;
+    raise (Panic original)
+  | None ->
+    let info = { reason; log_tail = Klog.tail t.log 16 } in
+    Klog.log t.log Klog.Crit "Kernel panic - not syncing: %s" reason;
+    t.panicked <- Some info;
+    raise (Panic info)
 
 let check_alive t = if t.panicked <> None then panic t "action on dead kernel"
 
@@ -265,8 +301,54 @@ let symbol_address t name =
     been taken; used to resolve indirect calls. *)
 let symbol_of_address t addr = Hashtbl.find_opt t.addr_to_symbol addr
 
+(* ------------------------------------------------------------------ *)
+(* quarantine: graceful containment instead of the paper's panic *)
+
+(** Register a containment hook; kernel services (timers, message queues)
+    use these to cancel a quarantined module's pending callbacks. *)
+let add_quarantine_hook t hook = t.quarantine_hooks <- hook :: t.quarantine_hooks
+
+(** Isolate [lm] without taking the kernel down: mark it quarantined,
+    unlink its exported symbols (later calls fail with {!eio} instead of
+    resolving), force-release any kernel locks it holds (its code will
+    never run again to release them), and run every registered quarantine
+    hook. Idempotent; does nothing for a module that is already dead or
+    quarantined. *)
+let quarantine_module t (lm : loaded_module) ~reason =
+  if lm.lm_state = `Live then begin
+    let qr = { q_module = lm.lm_name; q_reason = reason; q_rejected_calls = 0 } in
+    lm.lm_state <- `Quarantined;
+    lm.lm_quarantine <- Some qr;
+    t.quarantined <- qr :: t.quarantined;
+    List.iter
+      (fun (f : Kir.Types.func) ->
+        match Hashtbl.find_opt t.symbols f.Kir.Types.f_name with
+        | Some (Kir_func (owner, _)) when owner == lm ->
+          Hashtbl.remove t.symbols f.Kir.Types.f_name;
+          Hashtbl.replace t.quarantined_symbols f.Kir.Types.f_name qr
+        | _ -> ())
+      lm.lm_kir.Kir.Types.funcs;
+    List.iter
+      (fun (name, _) ->
+        Hashtbl.remove t.symbols name;
+        Hashtbl.replace t.quarantined_symbols name qr)
+      lm.lm_globals;
+    if lm.lm_locks_held > 0 then begin
+      Klog.log t.log Klog.Warn
+        "quarantine %s: force-releasing %d orphaned kernel lock(s)" lm.lm_name
+        lm.lm_locks_held;
+      lm.lm_locks_held <- 0
+    end;
+    List.iter (fun hook -> hook t lm) t.quarantine_hooks;
+    Klog.log t.log Klog.Err "module %s quarantined: %s" lm.lm_name reason
+  end
+
+let quarantine_records t = t.quarantined
+let quarantined_symbol t name = Hashtbl.find_opt t.quarantined_symbols name
+
 (** Invoke a symbol as a function with machine call-overhead accounting.
-    KIR functions go through the installed runner. *)
+    KIR functions go through the installed runner. Calls that resolve to
+    a quarantined module return {!eio} rather than executing. *)
 let call_symbol t name (args : int array) : int =
   check_alive t;
   match lookup_symbol t name with
@@ -281,24 +363,55 @@ let call_symbol t name (args : int array) : int =
     end
   | Some (Kir_func (lm, f)) -> (
     Machine.Model.call t.machine;
-    if lm.lm_state = `Dead then
-      panic t (Printf.sprintf "call into unloaded module %s" lm.lm_name);
-    match !(t.runner) with
-    | Some run ->
-      let saved = t.current_module in
-      t.current_module <- Some lm;
-      let r =
-        try run t lm f args
-        with e ->
+    match lm.lm_state with
+    | `Dead -> panic t (Printf.sprintf "call into unloaded module %s" lm.lm_name)
+    | `Quarantined ->
+      (* quarantining unlinks the exports, but a stale direct reference
+         can still land here *)
+      (match lm.lm_quarantine with
+      | Some qr -> qr.q_rejected_calls <- qr.q_rejected_calls + 1
+      | None -> ());
+      Klog.log t.log Klog.Warn "call into quarantined module %s rejected"
+        lm.lm_name;
+      eio
+    | `Live -> (
+      match !(t.runner) with
+      | Some run -> (
+        let saved = t.current_module in
+        (* the boundary frame is the outermost frame of [lm]: the caller
+           is the kernel or a different module *)
+        let boundary =
+          match saved with Some prev -> prev != lm | None -> true
+        in
+        t.current_module <- Some lm;
+        match run t lm f args with
+        | r ->
           t.current_module <- saved;
-          raise e
-      in
-      t.current_module <- saved;
-      r
-    | None -> panic t "no KIR runner installed")
+          r
+        | exception Quarantine_trap qlm when boundary && qlm == lm ->
+          (* unwound the whole quarantined module; the call that was in
+             flight fails with -EIO and the kernel carries on *)
+          t.current_module <- saved;
+          Machine.Model.add_cycles t.machine 40 (* error return path *);
+          eio
+        | exception e ->
+          t.current_module <- saved;
+          raise e)
+      | None -> panic t "no KIR runner installed"))
   | Some (Data _) ->
     panic t (Printf.sprintf "call to data symbol %s" name)
-  | None -> panic t (Printf.sprintf "call to missing symbol %s" name)
+  | None -> (
+    match Hashtbl.find_opt t.quarantined_symbols name with
+    | Some qr ->
+      (* the symbol existed until its module was quarantined: fail the
+         call like an I/O error on a dead device, not a kernel bug *)
+      qr.q_rejected_calls <- qr.q_rejected_calls + 1;
+      Machine.Model.call t.machine;
+      Klog.log t.log Klog.Debug
+        "call to %s rejected: module %s is quarantined (%s)" name qr.q_module
+        qr.q_reason;
+      eio
+    | None -> panic t (Printf.sprintf "call to missing symbol %s" name))
 
 (* ------------------------------------------------------------------ *)
 (* module loading (insmod / rmmod) *)
@@ -363,6 +476,7 @@ let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
                 lm_globals = globals;
                 lm_state = `Live;
                 lm_locks_held = 0;
+                lm_quarantine = None;
               }
             in
             List.iter
@@ -391,11 +505,36 @@ let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
 
 type unload_error = Locks_held of int | Already_dead
 
+(* purge the tombstone symbols a quarantined module left behind, but only
+   the ones that still point at *this* module's containment record (a
+   replacement loaded and quarantined under the same name owns its own) *)
+let purge_quarantined_symbols t (lm : loaded_module) =
+  match lm.lm_quarantine with
+  | None -> ()
+  | Some qr ->
+    let doomed =
+      Hashtbl.fold
+        (fun name qr' acc -> if qr' == qr then name :: acc else acc)
+        t.quarantined_symbols []
+    in
+    List.iter (Hashtbl.remove t.quarantined_symbols) doomed
+
 (** Remove a module. Refuses when the module still holds kernel locks —
     the paper's §3.1 discussion of why forcefully ejecting a running
-    module can deadlock the system. *)
+    module can deadlock the system. Quarantined modules unload without
+    running [cleanup_module] (their code is no longer trusted to
+    execute); this is the recovery path that frees the name space for a
+    repaired replacement. *)
 let rmmod t (lm : loaded_module) : (unit, unload_error) result =
   if lm.lm_state = `Dead then Error Already_dead
+  else if lm.lm_state = `Quarantined then begin
+    purge_quarantined_symbols t lm;
+    lm.lm_state <- `Dead;
+    t.modules <- List.filter (fun m -> m != lm) t.modules;
+    Klog.printk t.log "module %s unloaded (was quarantined; cleanup skipped)"
+      lm.lm_name;
+    Ok ()
+  end
   else if lm.lm_locks_held > 0 then begin
     Klog.log t.log Klog.Warn
       "rmmod %s refused: module holds %d lock(s); forced unload would deadlock"
@@ -557,6 +696,9 @@ let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
       user_virt_next = Layout.user_base;
       current_module = None;
       panicked = None;
+      quarantined = [];
+      quarantined_symbols = Hashtbl.create 16;
+      quarantine_hooks = [];
       require_signature;
       signing_key;
       runner = ref None;
@@ -577,3 +719,8 @@ let machine t = t.machine
 let log t = t.log
 let signing_key t = t.signing_key
 let set_require_signature t b = t.require_signature <- b
+let memory t = t.mem
+let phys_used t = t.kmalloc_next
+let current_module t = t.current_module
+let panic_state t = t.panicked
+let loaded_modules t = t.modules

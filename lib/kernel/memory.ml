@@ -53,3 +53,40 @@ let read_string t ~src ~len =
 let fill t ~dst ~len c =
   check t dst len;
   Bytes.fill t.bytes dst len c
+
+(** Copy of the first [len] bytes (default: all) of physical memory, for
+    before/after diffing by the fault-containment harness. *)
+let snapshot ?len t =
+  let len = match len with Some l -> min l t.size | None -> t.size in
+  Bytes.sub t.bytes 0 len
+
+(** Contiguous [(offset, length)] ranges over [0, length snap) where the
+    current contents differ from [snap]. Equal stretches are skipped
+    eight bytes at a time so diffing megabytes of unchanged DRAM between
+    fault injections stays cheap. *)
+let diff_ranges t snap =
+  let n = min (Bytes.length snap) t.size in
+  let ranges = ref [] in
+  let run_start = ref (-1) in
+  let flush upto =
+    if !run_start >= 0 then begin
+      ranges := (!run_start, upto - !run_start) :: !ranges;
+      run_start := -1
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !run_start < 0 && !i + 8 <= n
+      && Bytes.get_int64_ne t.bytes !i = Bytes.get_int64_ne snap !i
+    then i := !i + 8
+    else begin
+      if Bytes.get t.bytes !i <> Bytes.get snap !i then begin
+        if !run_start < 0 then run_start := !i
+      end
+      else flush !i;
+      incr i
+    end
+  done;
+  flush n;
+  List.rev !ranges

@@ -62,6 +62,21 @@ let create kernel : t =
           0
         | None -> -1)
       | _ -> Kernel.panic k "timer_cancel: bad arguments");
+  (* containment: a quarantined module's armed callbacks must never fire
+     again — cancel every timer whose target function belongs to it *)
+  Kernel.add_quarantine_hook kernel (fun k lm ->
+      List.iter
+        (fun tm ->
+          if
+            (not tm.cancelled)
+            && Kir.Types.find_func lm.Kernel.lm_kir tm.target <> None
+          then begin
+            tm.cancelled <- true;
+            Kernel.Klog.log (Kernel.log k) Kernel.Klog.Warn
+              "timer %d cancelled: callback @%s belongs to quarantined module %s"
+              tm.id tm.target lm.Kernel.lm_name
+          end)
+        t.timers);
   t
 
 let active t = List.filter (fun tm -> not tm.cancelled) t.timers

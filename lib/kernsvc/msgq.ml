@@ -22,6 +22,9 @@ type queue = {
   base : int;  (** header vaddr *)
   capacity : int;  (** number of slots *)
   slot_size : int;  (** payload bytes per slot (plus an 8-byte length) *)
+  owner : string option;  (** owning module, if created on one's behalf *)
+  mutable revoked : bool;
+      (** set when the owner is quarantined; operations return -EIO *)
 }
 
 type t = { kernel : Kernel.t; mutable queues : queue list; mutable next : int }
@@ -43,6 +46,7 @@ let create kernel : t =
       | [| qid; src; len |] -> (
         match List.find_opt (fun q -> q.qid = qid) t.queues with
         | None -> -1
+        | Some q when q.revoked -> Kernel.eio
         | Some q ->
           if len > q.slot_size || len < 0 then -1
           else begin
@@ -64,6 +68,7 @@ let create kernel : t =
       | [| qid; dst; maxlen |] -> (
         match List.find_opt (fun q -> q.qid = qid) t.queues with
         | None -> -1
+        | Some q when q.revoked -> Kernel.eio
         | Some q ->
           let head = Kernel.read k ~addr:(q.base + off_head) ~size:8 in
           let tail = Kernel.read k ~addr:(q.base + off_tail) ~size:8 in
@@ -83,20 +88,34 @@ let create kernel : t =
       | [| qid |] -> (
         match List.find_opt (fun q -> q.qid = qid) t.queues with
         | None -> -1
+        | Some q when q.revoked -> Kernel.eio
         | Some q ->
           let head = Kernel.read k ~addr:(q.base + off_head) ~size:8 in
           let tail = Kernel.read k ~addr:(q.base + off_tail) ~size:8 in
           tail - head)
       | _ -> Kernel.panic k "mq_depth: bad arguments");
+  (* containment: queues created on behalf of a module are revoked when
+     that module is quarantined — consumers get -EIO, not stale data *)
+  Kernel.add_quarantine_hook kernel (fun k lm ->
+      List.iter
+        (fun q ->
+          if q.owner = Some lm.Kernel.lm_name && not q.revoked then begin
+            q.revoked <- true;
+            Kernel.Klog.log (Kernel.log k) Kernel.Klog.Warn
+              "msgq %d revoked: owner %s quarantined" q.qid lm.Kernel.lm_name
+          end)
+        t.queues);
   t
 
-(** Create a queue of [capacity] slots of [slot_size] payload bytes. *)
-let create_queue t ~capacity ~slot_size : queue =
+(** Create a queue of [capacity] slots of [slot_size] payload bytes.
+    [owner] names the module the queue belongs to; its quarantine revokes
+    the queue. *)
+let create_queue ?owner t ~capacity ~slot_size : queue =
   if capacity <= 0 || slot_size <= 0 then
     raise (Mq_error "bad queue geometry");
   let bytes = header_size + (capacity * (slot_size + 8)) in
   let base = Kernel.kmalloc t.kernel ~size:bytes in
-  let q = { qid = t.next; base; capacity; slot_size } in
+  let q = { qid = t.next; base; capacity; slot_size; owner; revoked = false } in
   t.next <- t.next + 1;
   Kernel.write t.kernel ~addr:(base + off_head) ~size:8 0;
   Kernel.write t.kernel ~addr:(base + off_tail) ~size:8 0;

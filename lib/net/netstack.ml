@@ -32,9 +32,13 @@ type t = {
   mutable major_deschedule_prob : float;
       (** chance the scheduler runs something else for milliseconds —
           the paper's >10M-cycle outliers *)
+  mutable max_retries : int;
+      (** ring-full retries before a send gives up with a typed error
+          instead of wedging the trial *)
   mutable busy_retries : int;
   mutable deschedules : int;
   mutable sent : int;
+  mutable send_errors : int;
 }
 
 let sock_size = 512
@@ -56,9 +60,11 @@ let create ?(xmit_symbol = "e1000e_xmit_frame") ?(skb_size = 2048)
     interrupt_mean_cycles = 12_000;
     deschedule_mean_cycles = 8_000;
     major_deschedule_prob = 0.004;
+    max_retries = 64;
     busy_retries = 0;
     deschedules = 0;
     sent = 0;
+    send_errors = 0;
   }
 
 (** Bring the interface up: run the driver's probe with a TX ring of
@@ -99,12 +105,28 @@ let touch_sock t =
   Kernel.write k ~addr:(t.sock_vaddr + 192) ~size:8 t.sent;
   Machine.Model.retire (Kernel.machine k) 120
 
-exception Send_failed of string
+type send_error =
+  | Ring_full_timeout of int
+      (** the ring never drained within the retry budget; carries the
+          number of retries attempted *)
+  | Driver_quarantined
+      (** the driver was quarantined (possibly mid-send by this very
+          call's guard trap) *)
+  | Driver_unloaded  (** the xmit symbol does not resolve *)
+
+let send_error_to_string = function
+  | Ring_full_timeout n -> Printf.sprintf "ring never drained (%d retries)" n
+  | Driver_quarantined -> "driver quarantined"
+  | Driver_unloaded -> "driver not loaded"
+
+exception Send_failed of send_error
 
 (** The sendmsg syscall: copy [len] bytes from the user buffer at
-    [user_buf] and hand them to the driver. Returns bytes sent. Blocks
-    (simulated) while the ring is full. *)
-let sendmsg t ~user_buf ~len =
+    [user_buf] and hand them to the driver. Returns [Ok len], or a typed
+    error instead of wedging the caller: bounded retry with linear
+    backoff while the ring is full, and [Driver_quarantined] when a guard
+    trap isolated the driver mid-send. *)
+let try_sendmsg t ~user_buf ~len : (int, send_error) result =
   let k = t.kernel in
   let machine = Kernel.machine k in
   Machine.Model.syscall machine;
@@ -125,40 +147,68 @@ let sendmsg t ~user_buf ~len =
     Machine.Model.add_cycles machine
       (Machine.Rng.jitter t.noise ~mean:t.interrupt_mean_cycles
          ~max:(20 * t.interrupt_mean_cycles));
-  let rec attempt tries =
-    if tries > 1000 then raise (Send_failed "ring never drained");
-    let rc = Kernel.call_symbol k t.xmit_symbol [| skb; len |] in
-    if rc = 0 then ()
-    else begin
-      (* ring full: block until the device frees a slot; the task is
-         descheduled, which is where the huge latency outliers come
-         from *)
-      t.busy_retries <- t.busy_retries + 1;
-      t.deschedules <- t.deschedules + 1;
-      let wake = Nic.Device.next_completion_cycle t.device in
-      let now = Machine.Model.cycles machine in
-      let sleep = max 0 (wake - now) in
-      let penalty =
-        Machine.Rng.jitter t.noise ~mean:t.deschedule_mean_cycles
-          ~max:(6 * t.deschedule_mean_cycles)
-        +
-        if Machine.Rng.flip t.noise t.major_deschedule_prob then
-          Machine.Rng.jitter t.noise ~mean:4_000_000 ~max:16_000_000
-        else 0
-      in
-      Machine.Model.add_cycles machine (sleep + penalty);
-      (* the TX-completion interrupt is what woke us: service it so the
-         driver's next_to_clean advances *)
-      poll_interrupts t;
-      attempt (tries + 1)
-    end
+  let fail err =
+    t.send_errors <- t.send_errors + 1;
+    (* syscall error-return path *)
+    Machine.Model.retire machine 60;
+    Error err
   in
-  attempt 0;
-  t.sent <- t.sent + 1;
-  (* syscall return path *)
-  Machine.Model.retire machine 60;
-  len
+  let rec attempt tries =
+    match Kernel.lookup_symbol k t.xmit_symbol with
+    | None ->
+      if Kernel.quarantined_symbol k t.xmit_symbol <> None then
+        fail Driver_quarantined
+      else fail Driver_unloaded
+    | Some _ ->
+      let rc = Kernel.call_symbol k t.xmit_symbol [| skb; len |] in
+      if rc = 0 then Ok ()
+      else if rc = Kernel.eio then
+        (* the guard trap quarantined the driver under this very call *)
+        fail Driver_quarantined
+      else if tries >= t.max_retries then fail (Ring_full_timeout tries)
+      else begin
+        (* ring full: block until the device frees a slot; the task is
+           descheduled, which is where the huge latency outliers come
+           from. Linear backoff keeps a wedged device from trapping the
+           sender forever. *)
+        t.busy_retries <- t.busy_retries + 1;
+        t.deschedules <- t.deschedules + 1;
+        let wake = Nic.Device.next_completion_cycle t.device in
+        let now = Machine.Model.cycles machine in
+        let sleep = max 0 (wake - now) in
+        let penalty =
+          Machine.Rng.jitter t.noise ~mean:t.deschedule_mean_cycles
+            ~max:(6 * t.deschedule_mean_cycles)
+          + (t.deschedule_mean_cycles * min tries 16)
+          +
+          if Machine.Rng.flip t.noise t.major_deschedule_prob then
+            Machine.Rng.jitter t.noise ~mean:4_000_000 ~max:16_000_000
+          else 0
+        in
+        Machine.Model.add_cycles machine (sleep + penalty);
+        (* the TX-completion interrupt is what woke us: service it so the
+           driver's next_to_clean advances *)
+        poll_interrupts t;
+        attempt (tries + 1)
+      end
+  in
+  match attempt 0 with
+  | Ok () ->
+    t.sent <- t.sent + 1;
+    (* syscall return path *)
+    Machine.Model.retire machine 60;
+    Ok len
+  | Error e -> Error e
+
+(** Raising variant of {!try_sendmsg} for callers that treat any send
+    failure as fatal. *)
+let sendmsg t ~user_buf ~len =
+  match try_sendmsg t ~user_buf ~len with
+  | Ok n -> n
+  | Error e -> raise (Send_failed e)
 
 let sent t = t.sent
 let busy_retries t = t.busy_retries
 let deschedules t = t.deschedules
+let send_errors t = t.send_errors
+let set_max_retries t n = t.max_retries <- max 0 n

@@ -34,9 +34,14 @@ type result = {
   pps : float;  (** achieved packet launch throughput *)
   latencies : int array;  (** per-sendmsg cycle counts *)
   busy_retries : int;
+  error : Netstack.send_error option;
+      (** why the trial stopped early, if it did — a quarantined or
+          wedged driver degrades the trial instead of crashing it *)
 }
 
-(** Run one trial: [count] packets of [size] bytes through [stack]. *)
+(** Run one trial: [count] packets of [size] bytes through [stack]. A
+    send error ends the trial gracefully: the result covers the packets
+    that did go out and records the error. *)
 let run (stack : Netstack.t) (cfg : config) : result =
   let k = stack.Netstack.kernel in
   let machine = Kernel.machine k in
@@ -46,41 +51,51 @@ let run (stack : Netstack.t) (cfg : config) : result =
   let latencies = Array.make cfg.count 0 in
   let busy0 = Netstack.busy_retries stack in
   let t_start = Machine.Model.cycles machine in
-  for i = 0 to cfg.count - 1 do
-    (* interrupts are serviced between sends — completion processing
-       happens outside the timed sendmsg window, as with real MSI *)
-    Netstack.poll_interrupts stack;
-    (* build the frame in user space: the write into the user buffer is
-       real (so the DMA'd bytes check out), the bulk of the tool's
-       per-packet cost is charged explicitly *)
-    let frame = Frame.build ~seq:i ~size:cfg.size () in
-    Kernel.write_string k ~addr:user_buf frame;
-    Machine.Model.memcpy machine ~dst:user_buf ~src:(user_buf + 4096)
-      cfg.size;
-    Machine.Model.retire machine cfg.tool_instructions;
-    (* core-speed-independent slice (timers, device time, DRAM): same
-       nanoseconds on both machines, different cycle counts *)
-    let jitter = 0.97 +. (0.06 *. Machine.Rng.float rng) in
-    Machine.Model.add_cycles machine
-      (int_of_float
-         (cfg.tool_ns *. jitter *. machine.Machine.Model.p.freq_ghz));
-    (* the timed window: the sendmsg call itself *)
-    let t0 = Machine.Model.cycles machine in
-    let sent = Netstack.sendmsg stack ~user_buf ~len:cfg.size in
-    let t1 = Machine.Model.cycles machine in
-    assert (sent = cfg.size);
-    latencies.(i) <- t1 - t0
-  done;
+  let sent_n = ref 0 in
+  let error = ref None in
+  (try
+     for i = 0 to cfg.count - 1 do
+       (* interrupts are serviced between sends — completion processing
+          happens outside the timed sendmsg window, as with real MSI *)
+       Netstack.poll_interrupts stack;
+       (* build the frame in user space: the write into the user buffer is
+          real (so the DMA'd bytes check out), the bulk of the tool's
+          per-packet cost is charged explicitly *)
+       let frame = Frame.build ~seq:i ~size:cfg.size () in
+       Kernel.write_string k ~addr:user_buf frame;
+       Machine.Model.memcpy machine ~dst:user_buf ~src:(user_buf + 4096)
+         cfg.size;
+       Machine.Model.retire machine cfg.tool_instructions;
+       (* core-speed-independent slice (timers, device time, DRAM): same
+          nanoseconds on both machines, different cycle counts *)
+       let jitter = 0.97 +. (0.06 *. Machine.Rng.float rng) in
+       Machine.Model.add_cycles machine
+         (int_of_float
+            (cfg.tool_ns *. jitter *. machine.Machine.Model.p.freq_ghz));
+       (* the timed window: the sendmsg call itself *)
+       let t0 = Machine.Model.cycles machine in
+       match Netstack.try_sendmsg stack ~user_buf ~len:cfg.size with
+       | Ok sent ->
+         let t1 = Machine.Model.cycles machine in
+         assert (sent = cfg.size);
+         latencies.(i) <- t1 - t0;
+         incr sent_n
+       | Error e ->
+         error := Some e;
+         raise Exit
+     done
+   with Exit -> ());
   let t_end = Machine.Model.cycles machine in
-  let cycles = t_end - t_start in
+  let cycles = max 1 (t_end - t_start) in
   let seconds =
     float_of_int cycles /. (machine.Machine.Model.p.freq_ghz *. 1e9)
   in
   {
-    sent = cfg.count;
+    sent = !sent_n;
     cycles;
     seconds;
-    pps = float_of_int cfg.count /. seconds;
-    latencies;
+    pps = float_of_int !sent_n /. seconds;
+    latencies = Array.sub latencies 0 !sent_n;
     busy_retries = Netstack.busy_retries stack - busy0;
+    error = !error;
   }

@@ -125,3 +125,6 @@ let lookup t ~addr ~size : Structure.outcome =
     | _ -> ());
     out
   end
+
+(* the exact table behind the filter is what enforcement relies on *)
+let table_region t = Linear_table.table_region t.inner

@@ -71,6 +71,7 @@ let count t = Structure.count t.instance
 let regions t = Structure.regions t.instance
 let stats t = t.stats
 let structure_name t = Structure.name t.instance
+let table_region t = Structure.table_region t.instance
 
 let reset_stats t =
   t.stats.checks <- 0;

@@ -100,3 +100,5 @@ let lookup t ~addr ~size : Structure.outcome =
     end
   in
   scan 0
+
+let table_region t = Some (t.base_vaddr, t.capacity * entry_size)

@@ -87,3 +87,5 @@ let lookup t ~addr ~size : Structure.outcome =
 let hit_rate t =
   let total = t.hits + t.misses in
   if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let table_region t = Linear_table.table_region t.inner

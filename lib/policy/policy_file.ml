@@ -13,7 +13,11 @@
 
 exception Parse_error of int * string
 
-type t = { default_allow : bool; regions : Region.t list }
+type t = {
+  default_allow : bool;
+  mode : Policy_module.on_deny;
+  regions : Region.t list;
+}
 
 let prot_of_string lineno = function
   | "rw" -> Region.prot_rw
@@ -33,6 +37,7 @@ let parse_int lineno s =
 
 let parse (text : string) : t =
   let default_allow = ref false in
+  let mode = ref Policy_module.Panic in
   let regions = ref [] in
   List.iteri
     (fun i raw ->
@@ -49,6 +54,10 @@ let parse (text : string) : t =
       | [] -> ()
       | [ "default"; "allow" ] -> default_allow := true
       | [ "default"; "deny" ] -> default_allow := false
+      | [ "mode"; m ] -> (
+        match Policy_module.on_deny_of_string m with
+        | Some v -> mode := v
+        | None -> raise (Parse_error (lineno, "bad enforcement mode " ^ m)))
       | "region" :: base :: len :: prot :: rest ->
         let base = parse_int lineno base in
         let len = parse_int lineno len in
@@ -58,13 +67,15 @@ let parse (text : string) : t =
         regions := Region.v ~tag ~base ~len ~prot () :: !regions
       | w :: _ -> raise (Parse_error (lineno, "unknown directive " ^ w)))
     (String.split_on_char '\n' text);
-  { default_allow = !default_allow; regions = List.rev !regions }
+  { default_allow = !default_allow; mode = !mode; regions = List.rev !regions }
 
 let to_string (t : t) : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "# CARAT KOP policy (first match wins)\n";
   Buffer.add_string buf
     (if t.default_allow then "default allow\n" else "default deny\n");
+  Buffer.add_string buf
+    (Printf.sprintf "mode %s\n" (Policy_module.on_deny_to_string t.mode));
   List.iter
     (fun (r : Region.t) ->
       Buffer.add_string buf
@@ -86,9 +97,17 @@ let save path t =
   close_out oc
 
 (** The canonical two-region policy as a file. *)
-let kernel_only : t = { default_allow = false; regions = Region.kernel_only }
+let kernel_only : t =
+  { default_allow = false; mode = Policy_module.Panic; regions = Region.kernel_only }
 
-(** Apply a policy file to a live engine. *)
+(** Apply a policy file to a live engine (regions and default only; the
+    enforcement mode lives on the policy module — see {!apply_module}). *)
 let apply (t : t) (engine : Engine.t) =
   engine.Engine.default_allow <- t.default_allow;
   Engine.set_policy engine t.regions
+
+(** Apply a policy file to a live policy module: regions, default action
+    and enforcement mode. *)
+let apply_module (t : t) (pm : Policy_module.t) =
+  apply t (Policy_module.engine pm);
+  Policy_module.set_on_deny pm t.mode

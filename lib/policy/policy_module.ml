@@ -9,8 +9,31 @@
     wrong policy, buggy module, or attack all warrant halting the node. *)
 
 type on_deny =
-  | Panic  (** the paper's behaviour *)
-  | Log_only  (** record and continue — used by tests and red-team runs *)
+  | Panic  (** the paper's behaviour: halt the node *)
+  | Quarantine
+      (** isolate the offending module (unlink its symbols, cancel its
+          pending kernel-service callbacks, reject further calls into it
+          with -EIO) and keep the kernel alive *)
+  | Audit  (** record and continue — detection without enforcement *)
+
+let on_deny_to_string = function
+  | Panic -> "panic"
+  | Quarantine -> "quarantine"
+  | Audit -> "audit"
+
+let on_deny_of_string = function
+  | "panic" -> Some Panic
+  | "quarantine" -> Some Quarantine
+  | "audit" | "log" | "log-only" -> Some Audit
+  | _ -> None
+
+(* stable wire encoding for the set/get-mode ioctls *)
+let on_deny_to_int = function Panic -> 0 | Quarantine -> 1 | Audit -> 2
+let on_deny_of_int = function
+  | 0 -> Some Panic
+  | 1 -> Some Quarantine
+  | 2 -> Some Audit
+  | _ -> None
 
 type t = {
   kernel : Kernel.t;
@@ -44,10 +67,30 @@ let ioctl_set_intrinsics = 8 (* arg = permission bitmap *)
 let ioctl_get_intrinsics = 9
 let ioctl_cfi_allow = 10 (* arg = target address to allow *)
 let ioctl_cfi_default = 11 (* arg <> 0 = default allow *)
+(* enforcement mode *)
+let ioctl_set_mode = 12 (* arg = on_deny_to_int encoding *)
+let ioctl_get_mode = 13
 
 let guard_symbol = Passes.Guard_injection.guard_symbol_default
 let intrinsic_guard_symbol = Passes.Intrinsic_guard.guard_symbol
 let cfi_guard_symbol = Passes.Cfi_guard.guard_symbol
+
+(* The single enforcement decision point shared by the memory, intrinsic
+   and CFI guards: the violation is already logged and recorded when this
+   runs, [what] names it for the panic/quarantine diagnosis. *)
+let enforce t ~what =
+  match t.on_deny with
+  | Panic -> Kernel.panic t.kernel what
+  | Audit -> ()
+  | Quarantine -> (
+    match Kernel.current_module t.kernel with
+    | Some lm ->
+      Kernel.quarantine_module t.kernel lm ~reason:what;
+      raise (Kernel.Quarantine_trap lm)
+    | None ->
+      (* a violation attributed to no module is core-kernel misbehaviour:
+         there is nothing to isolate, so fall back to the hard stop *)
+      Kernel.panic t.kernel what)
 
 let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
   t.violations <- (addr, size, flags) :: t.violations;
@@ -59,11 +102,7 @@ let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
     (match matched with
     | Some r -> Printf.sprintf " (region %s lacks permission)" (Region.to_string r)
     | None -> " (no matching region)");
-  match t.on_deny with
-  | Panic ->
-    Kernel.panic t.kernel
-      (Printf.sprintf "CARAT KOP guard violation at 0x%x" addr)
-  | Log_only -> ()
+  enforce t ~what:(Printf.sprintf "CARAT KOP guard violation at 0x%x" addr)
 
 let guard t ~addr ~size ~flags =
   match Engine.check t.engine ~addr ~size ~flags with
@@ -81,11 +120,7 @@ let intrinsic_guard t ~id =
     in
     Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Err
       "CARAT KOP: forbidden privileged intrinsic %s (id %d)" name id;
-    match t.on_deny with
-    | Panic ->
-      Kernel.panic t.kernel
-        (Printf.sprintf "CARAT KOP intrinsic violation (%s)" name)
-    | Log_only -> ()
+    enforce t ~what:(Printf.sprintf "CARAT KOP intrinsic violation (%s)" name)
   end
 
 (** The §5 CFI guard: the indirect-call target must be on the operator's
@@ -102,11 +137,7 @@ let cfi_guard t ~target =
     in
     Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Err
       "CARAT KOP: forbidden indirect call to %s" where;
-    match t.on_deny with
-    | Panic ->
-      Kernel.panic t.kernel
-        (Printf.sprintf "CARAT KOP CFI violation (target %s)" where)
-    | Log_only -> ()
+    enforce t ~what:(Printf.sprintf "CARAT KOP CFI violation (target %s)" where)
   end
 
 (* ioctl argument block: base(8) len(8) prot(8) at a user address *)
@@ -159,6 +190,16 @@ let handle_ioctl t _kernel ~cmd ~arg =
     t.cfi_default_allow <- arg <> 0;
     0
   end
+  else if cmd = ioctl_set_mode then begin
+    match on_deny_of_int arg with
+    | Some mode ->
+      t.on_deny <- mode;
+      Kernel.Klog.printk (Kernel.log t.kernel)
+        "CARAT KOP enforcement mode -> %s" (on_deny_to_string mode);
+      0
+    | None -> -1
+  end
+  else if cmd = ioctl_get_mode then on_deny_to_int t.on_deny
   else -1
 
 (** Insert the policy module into [kernel]: registers [carat_guard] and
@@ -212,6 +253,7 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
   t
 
 let engine t = t.engine
+let mode t = t.on_deny
 let set_on_deny t a = t.on_deny <- a
 let violations t = t.violations
 let intrinsic_violations t = t.intrinsic_violations

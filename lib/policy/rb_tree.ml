@@ -185,3 +185,6 @@ let validate t : (unit, string) result =
   | Some r when r.color = Red -> Error "red root"
   | _ -> (
     match go t.root with Ok _ -> Ok () | Error e -> Error e)
+
+(* nodes are individual kmalloc'd allocations; no contiguous table *)
+let table_region _t = None

@@ -114,3 +114,5 @@ let lookup t ~addr ~size : Structure.outcome =
       { Structure.matched = Some r; scanned = !probes }
     else { Structure.matched = None; scanned = !probes }
   end
+
+let table_region t = Some (t.base_vaddr, t.capacity * entry_size)

@@ -168,3 +168,6 @@ let lookup t ~addr ~size : Structure.outcome =
   | Some n when Region.contains n.region ~addr ~size ->
     { Structure.matched = Some n.region; scanned = !scanned }
   | _ -> { Structure.matched = None; scanned = !scanned }
+
+(* nodes are individual kmalloc'd allocations; no contiguous table *)
+let table_region _t = None

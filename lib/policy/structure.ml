@@ -32,6 +32,12 @@ module type S = sig
   val lookup : t -> addr:int -> size:int -> outcome
   (** Find the first/best region containing [addr, addr+size), charging
       machine cost for every probe. *)
+
+  val table_region : t -> (int * int) option
+  (** [(vaddr, bytes)] of the structure's contiguous in-kernel table, if
+      it keeps one — the policy data an attacker would corrupt. Node-based
+      structures (trees) scatter per-insert allocations and return
+      [None]. *)
 end
 
 type instance = I : (module S with type t = 'a) * 'a -> instance
@@ -43,3 +49,4 @@ let clear (I ((module M), t)) = M.clear t
 let count (I ((module M), t)) = M.count t
 let regions (I ((module M), t)) = M.regions t
 let lookup (I ((module M), t)) ~addr ~size = M.lookup t ~addr ~size
+let table_region (I ((module M), t)) = M.table_region t

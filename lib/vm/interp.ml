@@ -203,6 +203,11 @@ let install ?(stack_size = 64 * 1024) ?(max_steps = 200_000_000) kernel =
 (** Total instructions interpreted so far (not cycles). *)
 let steps st = st.steps
 
+(** The interpreter stack as a [(vaddr, bytes)] region. Alloca'd locals
+    live here and module stores to them are real guarded stores, so a
+    policy for a guarded module must include this window. *)
+let stack_region st = (st.stack_base, st.stack_size)
+
 (** Install (or clear) an instruction tracer. *)
 let set_tracer st fn = st.tracer <- fn
 

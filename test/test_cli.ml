@@ -111,6 +111,18 @@ let test_policy_manager_push () =
   checki "push ok" 0 code;
   checkb "two regions pushed" true (contains out "pushed 2 region")
 
+let test_policy_manager_set_mode () =
+  let pol = tmp "cli_policy3.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  let code, out = sh_out "%s set-mode %s quarantine" policy_manager pol in
+  checki "set-mode ok" 0 code;
+  checkb "confirms live switch" true (contains out "live ioctl ok");
+  let code, out = sh_out "%s list %s" policy_manager pol in
+  checki "list ok" 0 code;
+  checkb "mode persisted" true (contains out "mode:    quarantine");
+  checki "bad mode rejected" 1 (sh "%s set-mode %s frobnicate" policy_manager pol)
+
 let test_kop_run_happy_and_panic () =
   let drv = tmp "cli_run.kir" in
   let pol = tmp "cli_run.kop" in
@@ -165,6 +177,7 @@ let () =
         [
           Alcotest.test_case "lifecycle" `Quick test_policy_manager_lifecycle;
           Alcotest.test_case "push via ioctl" `Quick test_policy_manager_push;
+          Alcotest.test_case "set-mode" `Quick test_policy_manager_set_mode;
         ] );
       ( "kop_run",
         [

@@ -135,7 +135,7 @@ let test_pipeline_extensions_signed () =
 
 (* ---------- runtime enforcement ---------- *)
 
-let setup_guarded ?(on_deny = Policy.Policy_module.Log_only) () =
+let setup_guarded ?(on_deny = Policy.Policy_module.Audit) () =
   let k = fresh ~require_signature:true () in
   let pm = Policy.Policy_module.install ~on_deny k in
   Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
@@ -239,7 +239,7 @@ let test_driver_diag_under_extension () =
      and not granted; works once granted *)
   let k = fresh ~require_signature:true () in
   let pm =
-    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Log_only k
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit k
   in
   Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
   let dev = Nic.Device.create k in
@@ -261,7 +261,7 @@ let test_unextended_pipeline_leaves_intrinsics_free () =
   (* faithful-to-paper default: intrinsics usable without checks *)
   let k = fresh ~require_signature:true () in
   let pm =
-    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Log_only k
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit k
   in
   Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
   let m = spicy_module () in

@@ -108,7 +108,7 @@ let test_log_only_mode_counts_violations () =
   let k = Kernel.create Machine.Presets.r350 in
   ignore (Vm.Interp.install k);
   let pm =
-    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Log_only k
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit k
   in
   Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
   let b = Kir.Builder.create "spray" in
@@ -124,6 +124,56 @@ let test_log_only_mode_counts_violations () =
   ignore (Kernel.call_symbol k "spray" [| u |]);
   checki "all eight writes recorded" 8
     (List.length (Policy.Policy_module.violations pm))
+
+let test_quarantine_mid_send_and_recover () =
+  (* the full degradation story on the real stack: an operator narrows
+     the policy while traffic is flowing, the driver's next doorbell
+     write is a violation, quarantine isolates the driver instead of
+     panicking, sendmsg degrades to a typed error, and a reload brings
+     the interface back *)
+  let config =
+    {
+      Testbed.default_config with
+      technique = Testbed.Carat;
+      module_scale = 1;
+      on_deny = Policy.Policy_module.Quarantine;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  let k = tb.Testbed.kernel in
+  let r = Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 } in
+  checki "traffic ok before" 10 r.Net.Pktgen.sent;
+  (* narrow the policy: same windows as before minus MMIO *)
+  let no_mmio =
+    [
+      Policy.Region.v ~tag:"dm" ~base:Kernel.Layout.direct_map_base
+        ~len:0x1_0000_0000 ~prot:Policy.Region.prot_rw ();
+      Policy.Region.v ~tag:"img" ~base:Kernel.Layout.kernel_base
+        ~len:0x1000_0000 ~prot:Policy.Region.prot_rw ();
+      Policy.Region.v ~tag:"mod" ~base:Kernel.Layout.module_base
+        ~len:Kernel.Layout.module_area_size ~prot:Policy.Region.prot_rw ();
+    ]
+  in
+  Policy.Policy_module.set_policy tb.Testbed.policy_module no_mmio;
+  let r2 = Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 } in
+  checkb "degraded, not crashed" true
+    (r2.Net.Pktgen.error = Some Net.Netstack.Driver_quarantined);
+  checkb "kernel alive" true (Kernel.panic_state k = None);
+  checkb "driver quarantined" true (Kernel.quarantine_records k <> []);
+  (* recovery: unload the quarantined driver, restore the policy, reload
+     and bring the interface back up *)
+  (match Kernel.rmmod k (Testbed.driver tb) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rmmod of quarantined driver refused");
+  Policy.Policy_module.set_policy tb.Testbed.policy_module
+    Testbed.default_config.Testbed.policy;
+  (match Kernel.insmod k tb.Testbed.driver_kir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "reload: %s" (Kernel.load_error_to_string e));
+  Net.Netstack.bring_up tb.Testbed.stack ~ring_entries:64;
+  let r3 = Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 10 } in
+  checki "traffic ok after recovery" 10 r3.Net.Pktgen.sent;
+  checkb "still alive" true (Kernel.panic_state k = None)
 
 (* ---------- cross-technique invariants ---------- *)
 
@@ -192,6 +242,8 @@ let () =
       ( "lifecycle",
         [
           Alcotest.test_case "clean unload" `Quick test_unload_driver_cleanly;
+          Alcotest.test_case "quarantine mid-send + recover" `Quick
+            test_quarantine_mid_send_and_recover;
           Alcotest.test_case "steady guard rate" `Quick test_guard_count_matches_runtime_checks;
           Alcotest.test_case "optimized still protected" `Quick test_optimized_driver_still_protected;
           Alcotest.test_case "kir file round trip" `Quick test_kir_file_round_trip_through_compile;

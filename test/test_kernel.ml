@@ -346,6 +346,66 @@ let test_panic_carries_log_tail () =
   | Error Kernel.Kernel_is_panicked -> ()
   | _ -> Alcotest.fail "dead kernel accepted insmod"
 
+let test_panic_idempotent () =
+  let k = fresh () in
+  (match Kernel.panic k "first fault" with
+  | exception Kernel.Panic info ->
+    checkb "first reason" true (info.Kernel.reason = "first fault")
+  | _ -> Alcotest.fail "no exception");
+  (* a second panic — e.g. raised from a crash handler — must preserve
+     the original diagnosis, not overwrite it *)
+  (match Kernel.panic k "secondary crash" with
+  | exception Kernel.Panic info ->
+    checkb "original preserved" true (info.Kernel.reason = "first fault")
+  | _ -> Alcotest.fail "no exception");
+  match Kernel.panic_state k with
+  | Some info ->
+    checkb "state keeps original" true (info.Kernel.reason = "first fault")
+  | None -> Alcotest.fail "no panic state"
+
+(* ---------- quarantine ---------- *)
+
+let test_quarantine_basics () =
+  let k = fresh () in
+  ignore (Vm.Interp.install k);
+  match Kernel.insmod k (tiny_module ()) with
+  | Error _ -> Alcotest.fail "insmod"
+  | Ok lm ->
+    checki "live call" 1 (Kernel.call_symbol k "ping" [||]);
+    Kernel.quarantine_module k lm ~reason:"test quarantine";
+    checki "one record" 1 (List.length (Kernel.quarantine_records k));
+    (* quarantining twice is a no-op *)
+    Kernel.quarantine_module k lm ~reason:"again";
+    checki "still one record" 1 (List.length (Kernel.quarantine_records k));
+    (* symbols are unlinked: calls return -EIO instead of running *)
+    checki "call returns eio" Kernel.eio (Kernel.call_symbol k "ping" [||]);
+    checkb "tombstone present" true (Kernel.quarantined_symbol k "ping" <> None);
+    checkb "unlinked" true (Kernel.lookup_symbol k "ping" = None);
+    checkb "kernel alive" true (Kernel.panic_state k = None);
+    (* rmmod reclaims the name; a repaired module can come back *)
+    (match Kernel.rmmod k lm with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "rmmod of quarantined module");
+    checkb "tombstone purged" true (Kernel.quarantined_symbol k "ping" = None);
+    (match Kernel.insmod k (tiny_module ()) with
+    | Ok _ -> checki "replacement runs" 1 (Kernel.call_symbol k "ping" [||])
+    | Error _ -> Alcotest.fail "reinsert after rmmod")
+
+(* ---------- snapshot / diff ---------- *)
+
+let test_memory_diff () =
+  let m = Kernel.Memory.create ~size:256 in
+  let snap = Kernel.Memory.snapshot m in
+  checkb "no diff when untouched" true (Kernel.Memory.diff_ranges m snap = []);
+  Kernel.Memory.write m 10 ~size:2 0xFFFF;
+  Kernel.Memory.write_u8 m 100 1;
+  match Kernel.Memory.diff_ranges m snap with
+  | [ (10, 2); (100, 1) ] -> ()
+  | d ->
+    Alcotest.failf "unexpected diff: %s"
+      (String.concat ";"
+         (List.map (fun (o, l) -> Printf.sprintf "(%d,%d)" o l) d))
+
 let test_klog_ring () =
   let log = Kernel.Klog.create ~capacity:4 () in
   for i = 1 to 10 do
@@ -418,6 +478,11 @@ let () =
       ( "panic",
         [
           Alcotest.test_case "panic flow" `Quick test_panic_carries_log_tail;
+          Alcotest.test_case "panic idempotent" `Quick test_panic_idempotent;
           Alcotest.test_case "klog ring" `Quick test_klog_ring;
         ] );
+      ( "quarantine",
+        [ Alcotest.test_case "basics" `Quick test_quarantine_basics ] );
+      ( "snapshot",
+        [ Alcotest.test_case "diff ranges" `Quick test_memory_diff ] );
     ]

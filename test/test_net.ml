@@ -88,6 +88,85 @@ let test_sendmsg_charges_cycles () =
     (dt >= Machine.Presets.r350.Machine.Model.syscall_overhead);
   checkb "not absurd" true (dt < 100_000)
 
+(* ---------- graceful degradation ---------- *)
+
+let setup_with_lm ?(ring = 64) () =
+  let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  ignore (Vm.Interp.install k);
+  let dev = Nic.Device.create k in
+  let lm =
+    match Kernel.insmod k (Nic.Driver_gen.generate ()) with
+    | Ok lm -> lm
+    | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e)
+  in
+  let stack = Net.Netstack.create k dev in
+  Net.Netstack.bring_up stack ~ring_entries:ring;
+  (k, stack, lm)
+
+let test_sendmsg_ring_full_typed_error () =
+  let k, stack, _ = setup_with_lm ~ring:4 () in
+  (* no retry budget: the first busy ring surfaces as a typed error
+     instead of spinning *)
+  Net.Netstack.set_max_retries stack 0;
+  let ub = Kernel.map_user k ~size:2048 in
+  Kernel.write_string k ~addr:ub (Net.Frame.build ~seq:0 ~size:1500 ());
+  let rec flood n =
+    if n = 0 then Alcotest.fail "ring never filled"
+    else
+      match Net.Netstack.try_sendmsg stack ~user_buf:ub ~len:1500 with
+      | Ok _ -> flood (n - 1)
+      | Error (Net.Netstack.Ring_full_timeout tries) ->
+        checki "gave up after max_retries" 0 tries
+      | Error e ->
+        Alcotest.failf "wrong error: %s" (Net.Netstack.send_error_to_string e)
+  in
+  flood 32;
+  checkb "error counted" true (Net.Netstack.send_errors stack > 0);
+  checkb "kernel alive" true (Kernel.panic_state k = None)
+
+let test_sendmsg_bounded_retry_succeeds () =
+  (* with a retry budget, the backoff gives the device time to drain and
+     the same flood goes through *)
+  let k, stack, _ = setup_with_lm ~ring:4 () in
+  let ub = Kernel.map_user k ~size:2048 in
+  Kernel.write_string k ~addr:ub (Net.Frame.build ~seq:0 ~size:1500 ());
+  for _ = 1 to 12 do
+    match Net.Netstack.try_sendmsg stack ~user_buf:ub ~len:1500 with
+    | Ok n -> checki "full frame" 1500 n
+    | Error e ->
+      Alcotest.failf "send failed: %s" (Net.Netstack.send_error_to_string e)
+  done;
+  checki "no errors" 0 (Net.Netstack.send_errors stack)
+
+let test_sendmsg_quarantined_driver () =
+  let k, stack, lm = setup_with_lm () in
+  let ub = Kernel.map_user k ~size:2048 in
+  Kernel.write_string k ~addr:ub (Net.Frame.build ~seq:0 ~size:128 ());
+  checki "first send ok" 128 (Net.Netstack.sendmsg stack ~user_buf:ub ~len:128);
+  Kernel.quarantine_module k lm ~reason:"test";
+  (match Net.Netstack.try_sendmsg stack ~user_buf:ub ~len:128 with
+  | Error Net.Netstack.Driver_quarantined -> ()
+  | Ok _ -> Alcotest.fail "send succeeded through a quarantined driver"
+  | Error e ->
+    Alcotest.failf "wrong error: %s" (Net.Netstack.send_error_to_string e));
+  (* the raising variant reports the same thing *)
+  (match Net.Netstack.sendmsg stack ~user_buf:ub ~len:128 with
+  | exception Net.Netstack.Send_failed Net.Netstack.Driver_quarantined -> ()
+  | _ -> Alcotest.fail "expected Send_failed");
+  checkb "kernel alive" true (Kernel.panic_state k = None)
+
+let test_pktgen_degrades_on_quarantine () =
+  let k, stack, lm = setup_with_lm () in
+  Kernel.quarantine_module k lm ~reason:"test";
+  let r =
+    Net.Pktgen.run stack { Net.Pktgen.default_config with count = 50 }
+  in
+  checki "nothing sent" 0 r.Net.Pktgen.sent;
+  checkb "error reported" true
+    (r.Net.Pktgen.error = Some Net.Netstack.Driver_quarantined);
+  checki "latency array matches" 0 (Array.length r.Net.Pktgen.latencies);
+  checkb "kernel alive" true (Kernel.panic_state k = None)
+
 (* ---------- pktgen ---------- *)
 
 let test_pktgen_counts () =
@@ -176,6 +255,17 @@ let () =
           Alcotest.test_case "payload delivery" `Quick test_sendmsg_delivers_payload;
           Alcotest.test_case "blocks on tiny ring" `Quick test_sendmsg_blocks_on_tiny_ring;
           Alcotest.test_case "charges cycles" `Quick test_sendmsg_charges_cycles;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "ring-full typed error" `Quick
+            test_sendmsg_ring_full_typed_error;
+          Alcotest.test_case "bounded retry succeeds" `Quick
+            test_sendmsg_bounded_retry_succeeds;
+          Alcotest.test_case "quarantined driver" `Quick
+            test_sendmsg_quarantined_driver;
+          Alcotest.test_case "pktgen degrades" `Quick
+            test_pktgen_degrades_on_quarantine;
         ] );
       ( "pktgen",
         [

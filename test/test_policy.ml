@@ -343,7 +343,7 @@ let test_engine_cost_grows_with_scan_depth () =
 
 (* ---------- policy module ---------- *)
 
-let setup_pm ?(on_deny = Policy.Policy_module.Log_only) () =
+let setup_pm ?(on_deny = Policy.Policy_module.Audit) () =
   let k = fresh () in
   let pm = Policy.Policy_module.install ~on_deny k in
   (k, pm)
@@ -431,6 +431,7 @@ let test_policy_file_roundtrip () =
   let t =
     {
       Policy.Policy_file.default_allow = false;
+      mode = Policy.Policy_module.Quarantine;
       regions =
         [
           region ~tag:"kernel window" ~prot:Policy.Region.prot_rw 0x1000 0x2000;
@@ -479,8 +480,11 @@ let test_policy_file_apply () =
   let k = fresh () in
   let e = Policy.Engine.create k in
   Policy.Policy_file.apply
-    { Policy.Policy_file.default_allow = true;
-      regions = [ region ~prot:0 0x5000 0x1000 ] }
+    {
+      Policy.Policy_file.default_allow = true;
+      mode = Policy.Policy_module.Panic;
+      regions = [ region ~prot:0 0x5000 0x1000 ];
+    }
     e;
   (match Policy.Engine.check e ~addr:0x5100 ~size:8 ~flags:1 with
   | Policy.Engine.Denied (Some _) -> ()
