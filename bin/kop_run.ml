@@ -12,8 +12,8 @@
 open Cmdliner
 open Carat_kop
 
-let run module_path policy_path call args machine_name mode_str no_enforce
-    show_log stats trace =
+let run module_path policy_path call args machine_name engine_name mode_str
+    no_enforce show_log stats trace =
   let machine =
     match Machine.Presets.by_name machine_name with
     | Some m -> m
@@ -21,10 +21,18 @@ let run module_path policy_path call args machine_name mode_str no_enforce
       Printf.eprintf "kop_run: unknown machine %s (r415|r350)\n" machine_name;
       exit 2
   in
+  let engine =
+    match Vm.Engine.kind_of_string engine_name with
+    | Some k -> k
+    | None ->
+      Printf.eprintf "kop_run: unknown engine %s (interp|compiled)\n"
+        engine_name;
+      exit 2
+  in
   try
     let m = Kir.Parser.parse_file module_path in
     let kernel = Kernel.create ~require_signature:(not no_enforce) machine in
-    let vm = Vm.Interp.install kernel in
+    let vm = Vm.Engine.install ~kind:engine kernel in
     if trace > 0 then begin
       let remaining = ref trace in
       Vm.Interp.set_tracer vm
@@ -145,6 +153,11 @@ let args_arg =
 
 let machine_arg = Arg.(value & opt string "r350" & info [ "machine" ])
 
+let engine_arg =
+  Arg.(value & opt string "interp" & info [ "engine" ] ~docv:"ENGINE"
+    ~doc:"KIR execution engine: interp or compiled. Simulated cycles are \
+          identical; compiled is much faster in wall-clock.")
+
 let mode_arg =
   Arg.(value & opt (some string) None & info [ "mode" ] ~docv:"MODE"
     ~doc:"Enforcement on guard denial: panic, quarantine, or audit \
@@ -166,6 +179,6 @@ let cmd =
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
-      $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg)
+      $ engine_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,7 +33,7 @@ let () =
   print_endline "\n-- one wild store, four configurations --";
   List.iter
     (fun mode ->
-      show (Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode ~seed:7))
+      show (Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode ~seed:7 ()))
     Fault.Harness.all_modes;
 
   (* 2. The quarantine story in detail: deny -> isolate -> reject ->
@@ -42,7 +42,7 @@ let () =
   print_endline "\n-- quarantine: isolate, reject re-entry, recover --";
   let o =
     Fault.Harness.run_one ~cls:Fault.Inject.Wild_store
-      ~mode:(Fault.Harness.Carat Policy.Policy_module.Quarantine) ~seed:7
+      ~mode:(Fault.Harness.Carat Policy.Policy_module.Quarantine) ~seed:7 ()
   in
   Printf.printf "  kernel alive after violation : %b\n"
     (not o.Fault.Harness.panicked);
@@ -61,7 +61,7 @@ let () =
   print_endline "\n-- post-signing tamper: caught at the loader --";
   List.iter
     (fun mode ->
-      show (Fault.Harness.run_one ~cls:Fault.Inject.Ir_tamper ~mode ~seed:7))
+      show (Fault.Harness.run_one ~cls:Fault.Inject.Ir_tamper ~mode ~seed:7 ()))
     [ Fault.Harness.Baseline;
       Fault.Harness.Carat Policy.Policy_module.Quarantine ];
 

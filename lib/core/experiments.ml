@@ -43,33 +43,37 @@ let base_config machine =
   { Testbed.default_config with machine; stall_prob = 0.0002 }
 
 (** Figures 3 and 4: throughput CDF, 128-byte packets, two regions,
-    carat vs baseline, on the given machine. *)
+    carat vs baseline, on the given machine. [engine] selects the KIR
+    execution engine; simulated results are engine-independent (the
+    golden-run test pins this), so it only changes host wall-clock. *)
 let fig_throughput_cdf ?(trials = 41) ?(packets = 600)
+    ?(engine = Testbed.default_config.engine)
     (machine : Machine.Model.params) : throughput_result =
   let size = 128 in
   let carat =
     throughput_trials
-      ~config:{ (base_config machine) with technique = Carat }
+      ~config:{ (base_config machine) with technique = Carat; engine }
       ~label:"carat" ~trials ~packets ~size ()
   in
   let baseline =
     throughput_trials
-      ~config:{ (base_config machine) with technique = Baseline }
+      ~config:{ (base_config machine) with technique = Baseline; engine }
       ~label:"baseline" ~trials ~packets ~size ()
   in
   { machine_name = machine.Machine.Model.name; packet_size = size;
     series = [ carat; baseline ] }
 
-let fig3 ?trials ?packets () =
-  fig_throughput_cdf ?trials ?packets Machine.Presets.r415
+let fig3 ?trials ?packets ?engine () =
+  fig_throughput_cdf ?trials ?packets ?engine Machine.Presets.r415
 
-let fig4 ?trials ?packets () =
-  fig_throughput_cdf ?trials ?packets Machine.Presets.r350
+let fig4 ?trials ?packets ?engine () =
+  fig_throughput_cdf ?trials ?packets ?engine Machine.Presets.r350
 
 (** Figure 5: vary the number of regions n ∈ {2, 16, 64} on the R350.
     Padding regions precede the real rules, so conforming accesses pay the
     full scan — the linear table's worst case. *)
-let fig5 ?(trials = 41) ?(packets = 600) () : throughput_result =
+let fig5 ?(trials = 41) ?(packets = 600)
+    ?(engine = Testbed.default_config.engine) () : throughput_result =
   let machine = Machine.Presets.r350 in
   let size = 128 in
   let carat_n n label =
@@ -79,6 +83,7 @@ let fig5 ?(trials = 41) ?(packets = 600) () : throughput_result =
           (base_config machine) with
           technique = Carat;
           policy = Policy.Region.kernel_only_padded n;
+          engine;
         }
       ~label ~trials ~packets ~size ()
   in
@@ -88,7 +93,7 @@ let fig5 ?(trials = 41) ?(packets = 600) () : throughput_result =
       carat_n 16 "carat16";
       carat_n 64 "carat64";
       throughput_trials
-        ~config:{ (base_config machine) with technique = Baseline }
+        ~config:{ (base_config machine) with technique = Baseline; engine }
         ~label:"baseline" ~trials ~packets ~size ();
     ]
   in
@@ -108,18 +113,19 @@ type slowdown_point = {
     occasionally hit multi-millisecond descheduling episodes, which make
     means noisy without carrying information about the guards. *)
 let fig6 ?(trials = 15) ?(packets = 500)
-    ?(sizes = [ 64; 128; 256; 512; 1024; 1500 ]) () : slowdown_point list =
+    ?(sizes = [ 64; 128; 256; 512; 1024; 1500 ])
+    ?(engine = Testbed.default_config.engine) () : slowdown_point list =
   let machine = Machine.Presets.r350 in
   List.map
     (fun size ->
       let carat =
         throughput_trials
-          ~config:{ (base_config machine) with technique = Carat }
+          ~config:{ (base_config machine) with technique = Carat; engine }
           ~label:"carat" ~trials ~packets ~size ()
       in
       let baseline =
         throughput_trials
-          ~config:{ (base_config machine) with technique = Baseline }
+          ~config:{ (base_config machine) with technique = Baseline; engine }
           ~label:"baseline" ~trials ~packets ~size ()
       in
       let b = Stats.Summary.median baseline.pps
@@ -139,7 +145,8 @@ type latency_result = {
 (** Figure 7: per-sendmsg latency in cycles, R350, two regions, 128-byte
     packets. Histogram rendering excludes outliers; medians include
     them. *)
-let fig7 ?(packets = 8000) () : latency_result =
+let fig7 ?(packets = 8000) ?(engine = Testbed.default_config.engine) () :
+    latency_result =
   let machine = Machine.Presets.r350 in
   let run technique =
     let tb =
@@ -148,6 +155,7 @@ let fig7 ?(packets = 8000) () : latency_result =
           {
             (base_config machine) with
             technique;
+            engine;
             (* a touch of device stall makes ring-full outliers appear,
                as in the paper's description of hidden outliers *)
             stall_prob = 0.0004;
@@ -223,69 +231,93 @@ type policy_bench_point = {
 
 (** Ablation [abl-policy]: simulated cost of one [carat_guard] check
     across policy structures and region counts, measured on a hot loop of
-    conforming kernel-address probes (the paper's common case). *)
+    conforming kernel-address probes (the paper's common case).
+    [site_cache_rows] appends "+ic" rows for the linear and shadow
+    structures with the per-guard-site inline cache enabled, probing
+    through {!Policy.Engine.check_fast} from a small rotating set of
+    guard sites, as the injected driver does. *)
 let policy_structure_bench ?(checks = 4000)
     ?(region_counts = [ 2; 8; 16; 32; 64 ])
     ?(kinds = Policy.Engine.all_kinds)
-    ?(placements = [ Rule_last; Rule_first ]) () : policy_bench_point list =
+    ?(placements = [ Rule_last; Rule_first ])
+    ?(site_cache_rows = false) () : policy_bench_point list =
+  let bench ~kind ~ic ~placement n =
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+    let engine = Policy.Engine.create ~kind ~capacity:64 kernel in
+    let rule =
+      Policy.Region.v ~tag:"kernel" ~base:Kernel.Layout.kernel_base
+        ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:Policy.Region.prot_rw ()
+    in
+    let policy =
+      (* non-overlapping variant so every structure can hold it *)
+      match placement with
+      | Rule_last -> Policy.Region.padding (n - 1) @ [ rule ]
+      | Rule_first -> rule :: Policy.Region.padding (n - 1)
+    in
+    match
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> Policy.Engine.add_region engine r)
+        (Ok ()) policy
+    with
+    | Error _ -> None
+    | Ok () ->
+      if ic then Policy.Engine.enable_site_cache engine;
+      let machine = Kernel.machine kernel in
+      let addr = Kernel.Layout.direct_map_base + 0x4000 in
+      let probe i =
+        if ic then
+          ignore
+            (Policy.Engine.check_fast engine ~site:(i land 7)
+               ~addr:(addr + (i * 8 mod 256))
+               ~size:8 ~flags:Policy.Region.prot_read)
+        else
+          ignore
+            (Policy.Engine.check engine
+               ~addr:(addr + (i * 8 mod 256))
+               ~size:8 ~flags:Policy.Region.prot_read)
+      in
+      (* warmup *)
+      for i = 0 to 400 do
+        probe i
+      done;
+      Policy.Engine.reset_stats engine;
+      let c0 = Machine.Model.cycles machine in
+      for i = 0 to checks - 1 do
+        probe i
+      done;
+      let c1 = Machine.Model.cycles machine in
+      let st = Policy.Engine.stats engine in
+      Some
+        {
+          structure =
+            Policy.Engine.kind_to_string kind ^ (if ic then "+ic" else "");
+          regions = n;
+          placement;
+          cycles_per_check = float_of_int (c1 - c0) /. float_of_int checks;
+          entries_scanned_per_check =
+            float_of_int st.Policy.Engine.entries_scanned
+            /. float_of_int st.Policy.Engine.checks;
+        }
+  in
+  let combos ks =
+    List.concat_map (fun k -> List.map (fun p -> (k, p)) placements) ks
+  in
   List.concat_map
     (fun (kind, placement) ->
-      List.filter_map
-        (fun n ->
-          let kernel =
-            Kernel.create ~require_signature:false Machine.Presets.r350
-          in
-          let engine = Policy.Engine.create ~kind ~capacity:64 kernel in
-          let rule =
-            Policy.Region.v ~tag:"kernel" ~base:Kernel.Layout.kernel_base
-              ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:Policy.Region.prot_rw ()
-          in
-          let policy =
-            (* non-overlapping variant so every structure can hold it *)
-            match placement with
-            | Rule_last -> Policy.Region.padding (n - 1) @ [ rule ]
-            | Rule_first -> rule :: Policy.Region.padding (n - 1)
-          in
-          match
-            List.fold_left
-              (fun acc r ->
-                match acc with
-                | Error _ as e -> e
-                | Ok () -> Policy.Engine.add_region engine r)
-              (Ok ()) policy
-          with
-          | Error _ -> None
-          | Ok () ->
-            let machine = Kernel.machine kernel in
-            let addr = Kernel.Layout.direct_map_base + 0x4000 in
-            (* warmup *)
-            for i = 0 to 400 do
-              ignore
-                (Policy.Engine.check engine ~addr:(addr + (i * 8 mod 256))
-                   ~size:8 ~flags:Policy.Region.prot_read)
-            done;
-            Policy.Engine.reset_stats engine;
-            let c0 = Machine.Model.cycles machine in
-            for i = 0 to checks - 1 do
-              ignore
-                (Policy.Engine.check engine ~addr:(addr + (i * 8 mod 256))
-                   ~size:8 ~flags:Policy.Region.prot_read)
-            done;
-            let c1 = Machine.Model.cycles machine in
-            let st = Policy.Engine.stats engine in
-            Some
-              {
-                structure = Policy.Engine.kind_to_string kind;
-                regions = n;
-                placement;
-                cycles_per_check =
-                  float_of_int (c1 - c0) /. float_of_int checks;
-                entries_scanned_per_check =
-                  float_of_int st.Policy.Engine.entries_scanned
-                  /. float_of_int st.Policy.Engine.checks;
-              })
+      List.filter_map (fun n -> bench ~kind ~ic:false ~placement n)
         region_counts)
-    (List.concat_map (fun k -> List.map (fun p -> (k, p)) placements) kinds)
+    (combos kinds)
+  @
+  if site_cache_rows then
+    List.concat_map
+      (fun (kind, placement) ->
+        List.filter_map (fun n -> bench ~kind ~ic:true ~placement n)
+          region_counts)
+      (combos [ Policy.Engine.Linear; Policy.Engine.Shadow ])
+  else []
 
 (* ------------------------------------------------------------------ *)
 

@@ -20,6 +20,9 @@ type config = {
   optimize_guards : bool;  (** use the CARAT-CAKE-style optimizing pipeline *)
   module_scale : int;
   with_rogue : bool;  (** include the driver's debug peek/poke backdoor *)
+  engine : Vm.Engine.kind;  (** KIR execution engine (simulated cycles are
+                                engine-independent) *)
+  site_cache : bool;  (** enable the per-guard-site inline cache *)
 }
 
 let default_config =
@@ -36,6 +39,8 @@ let default_config =
     optimize_guards = false;
     module_scale = 12;
     with_rogue = false;
+    engine = Vm.Engine.Interp;
+    site_cache = false;
   }
 
 type t = {
@@ -71,10 +76,11 @@ let create ?(config = default_config) () : t =
   let kernel =
     Kernel.create ~require_signature ~seed:config.seed config.machine
   in
-  let vm = Vm.Interp.install kernel in
+  let vm = Vm.Engine.install ~kind:config.engine kernel in
   let policy_module =
     Policy.Policy_module.install ~kind:config.structure
-      ~capacity:config.capacity ~on_deny:config.on_deny kernel
+      ~capacity:config.capacity ~on_deny:config.on_deny
+      ~site_cache:config.site_cache kernel
   in
   (match config.technique with
   | Carat -> Policy.Policy_module.set_policy policy_module config.policy

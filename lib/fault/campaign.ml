@@ -79,8 +79,9 @@ let record st (o : Harness.outcome) =
   | None -> ()
 
 (** Run the campaign. [on_outcome] (optional) observes every outcome,
-    e.g. for progress reporting. *)
-let run ?on_outcome (config : config) : report =
+    e.g. for progress reporting; [engine] selects the KIR runner for
+    every cell (the containment matrix must not depend on it). *)
+let run ?on_outcome ?engine (config : config) : report =
   let classes = Inject.all_classes in
   let modes = Harness.all_modes in
   let r =
@@ -101,7 +102,7 @@ let run ?on_outcome (config : config) : report =
     let fault_seed = Machine.Rng.int master 0x3FFF_FFFF in
     List.iter
       (fun mode ->
-        let o = Harness.run_one ~cls ~mode ~seed:fault_seed in
+        let o = Harness.run_one ?engine ~cls ~mode ~seed:fault_seed () in
         record (cell r ~cls ~mode) o;
         match on_outcome with Some f -> f o | None -> ())
       modes

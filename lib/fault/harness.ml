@@ -101,12 +101,12 @@ type cell = {
   writable : (int * int) list;  (** direct-map/stack windows, virtual *)
 }
 
-let make_cell ~mode : cell =
+let make_cell ?(engine = Vm.Engine.Interp) ~mode () : cell =
   let require_signature = mode <> Baseline in
   let kernel =
     Kernel.create ~phys_size ~require_signature Machine.Presets.r350
   in
-  let vm = Vm.Interp.install kernel in
+  let vm = Vm.Engine.install ~kind:engine kernel in
   let on_deny =
     match mode with Baseline -> Policy.Policy_module.Audit | Carat m -> m
   in
@@ -170,9 +170,12 @@ let compile_victim ~mode m =
 
 (* ------------------------------------------------------------------ *)
 
-(** Run one fault under one configuration and check every invariant. *)
-let run_one ~(cls : Inject.cls) ~(mode : mode) ~seed : outcome =
-  let cell = make_cell ~mode in
+(** Run one fault under one configuration and check every invariant.
+    [engine] selects the KIR runner (default interpreter); the outcome
+    must not depend on it — the compiled engine is semantics- and
+    cycle-identical. *)
+let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
+  let cell = make_cell ?engine ~mode () in
   let rng = Machine.Rng.create seed in
   let target = payload_addr cell ~cls ~rng in
   let payload = if cls = Inject.Ir_tamper then None else Some target in
@@ -268,9 +271,9 @@ let run_one ~(cls : Inject.cls) ~(mode : mode) ~seed : outcome =
     guarded module run under a randomly writable policy. Returns the
     escaped byte count — the containment property says it is always 0
     for a carat-protected module. *)
-let run_random ~seed =
+let run_random ?(engine = Vm.Engine.Interp) ~seed () =
   let kernel = Kernel.create ~phys_size ~require_signature:true Machine.Presets.r350 in
-  let vm = Vm.Interp.install kernel in
+  let vm = Vm.Engine.install ~kind:engine kernel in
   let pm =
     Policy.Policy_module.install ~kind:Policy.Engine.Linear
       ~on_deny:Policy.Policy_module.Quarantine kernel

@@ -76,6 +76,10 @@ and t = {
   mutable quarantine_hooks : (t -> loaded_module -> unit) list;
       (** run at containment time; kernel services register these to
           cancel the module's pending callbacks (timers, queues, ...) *)
+  mutable load_hooks : (t -> loaded_module -> unit) list;
+      (** run after a module is published but before its [init_module]:
+          the VM's compiled engine registers one to closure-compile the
+          module's functions at load time *)
   mutable require_signature : bool;
   signing_key : string;
   runner : (t -> loaded_module -> Kir.Types.func -> int array -> int) option ref;
@@ -85,6 +89,13 @@ and t = {
       (** natives whose whole invocation (call overhead included) is
           off the critical path and discounted by speculative overlap —
           the guard function is the canonical case *)
+  mutable symbol_gen : int;
+      (** bumped on every symbol-table mutation (register, insmod, rmmod,
+          quarantine): callers holding a {!resolved} target revalidate
+          against this generation instead of re-hashing the name *)
+  mutable last_mapping : mapping;
+      (** one-entry translation cache in front of the [mappings] scan;
+          mappings are append-only, so a cached entry can never go stale *)
   (* privileged machine state reachable only through intrinsics *)
   msrs : (int, int) Hashtbl.t;
   mutable irqs_enabled : bool;
@@ -150,12 +161,18 @@ let translate t addr size :
     && addr + size <= Layout.kernel_data_base + Layout.kernel_data_size
   then `Phys (addr - Layout.kernel_text_base)
   else begin
+    let lm = t.last_mapping in
+    if addr >= lm.map_virt && addr + size <= lm.map_virt + lm.map_size then
+      `Phys (lm.map_phys + (addr - lm.map_virt))
+    else
     match
       List.find_opt
         (fun m -> addr >= m.map_virt && addr + size <= m.map_virt + m.map_size)
         t.mappings
     with
-    | Some m -> `Phys (m.map_phys + (addr - m.map_virt))
+    | Some m ->
+      t.last_mapping <- m;
+      `Phys (m.map_phys + (addr - m.map_virt))
     | None -> (
       match
         List.find_opt
@@ -269,17 +286,26 @@ let ioremap t ~name ~size ~read:mmio_read ~write:mmio_write =
 (* ------------------------------------------------------------------ *)
 (* symbols *)
 
+(* Any mutation of the symbol table invalidates every cached [resolved]
+   target in one step; resolving is cheap enough that a global generation
+   beats per-name bookkeeping. *)
+let bump_symbol_gen t = t.symbol_gen <- t.symbol_gen + 1
+
+let symbol_generation t = t.symbol_gen
+
 let register_symbol t name sym =
   if Hashtbl.mem t.symbols name then Error (Symbol_collision name)
   else begin
     Hashtbl.replace t.symbols name sym;
+    bump_symbol_gen t;
     Ok ()
   end
 
 let register_native ?(overlapped = false) t name fn =
   Hashtbl.replace t.symbols name (Native fn);
   if overlapped then Hashtbl.replace t.overlapped_natives name ()
-  else Hashtbl.remove t.overlapped_natives name
+  else Hashtbl.remove t.overlapped_natives name;
+  bump_symbol_gen t
 
 let lookup_symbol t name = Hashtbl.find_opt t.symbols name
 
@@ -308,6 +334,10 @@ let symbol_of_address t addr = Hashtbl.find_opt t.addr_to_symbol addr
     use these to cancel a quarantined module's pending callbacks. *)
 let add_quarantine_hook t hook = t.quarantine_hooks <- hook :: t.quarantine_hooks
 
+(** Register a module-load hook, run for each subsequently loaded module
+    after its symbols are published and before [init_module] executes. *)
+let add_load_hook t hook = t.load_hooks <- hook :: t.load_hooks
+
 (** Isolate [lm] without taking the kernel down: mark it quarantined,
     unlink its exported symbols (later calls fail with {!eio} instead of
     resolving), force-release any kernel locks it holds (its code will
@@ -333,6 +363,7 @@ let quarantine_module t (lm : loaded_module) ~reason =
         Hashtbl.remove t.symbols name;
         Hashtbl.replace t.quarantined_symbols name qr)
       lm.lm_globals;
+    bump_symbol_gen t;
     if lm.lm_locks_held > 0 then begin
       Klog.log t.log Klog.Warn
         "quarantine %s: force-releasing %d orphaned kernel lock(s)" lm.lm_name
@@ -346,24 +377,44 @@ let quarantine_module t (lm : loaded_module) ~reason =
 let quarantine_records t = t.quarantined
 let quarantined_symbol t name = Hashtbl.find_opt t.quarantined_symbols name
 
-(** Invoke a symbol as a function with machine call-overhead accounting.
-    KIR functions go through the installed runner. Calls that resolve to
-    a quarantined module return {!eio} rather than executing. *)
-let call_symbol t name (args : int array) : int =
-  check_alive t;
-  match lookup_symbol t name with
+(** A symbol resolved to a callable target, for call sites that cache
+    the resolution. A holder revalidates with {!symbol_generation}
+    before each use: any symbol-table mutation (register, insmod, rmmod,
+    quarantine) bumps the generation and forces a fresh {!resolve} —
+    the same epoch scheme the policy engine's fast tiers use. Data
+    symbols, quarantine tombstones and missing names are not cacheable;
+    those calls take {!call_symbol} every time. *)
+type resolved =
+  | R_native of (t -> int array -> int)
+  | R_native_overlapped of (t -> int array -> int)
+  | R_kir of loaded_module * Kir.Types.func
+
+let resolve t name : resolved option =
+  match Hashtbl.find_opt t.symbols name with
   | Some (Native fn) ->
     if Hashtbl.mem t.overlapped_natives name then
-      Machine.Model.with_overlap t.machine (fun () ->
-          Machine.Model.call t.machine;
-          fn t args)
-    else begin
-      Machine.Model.call t.machine;
-      fn t args
-    end
-  | Some (Kir_func (lm, f)) -> (
-    Machine.Model.call t.machine;
-    match lm.lm_state with
+      Some (R_native_overlapped fn)
+    else Some (R_native fn)
+  | Some (Kir_func (lm, f)) -> Some (R_kir (lm, f))
+  | Some (Data _) | None -> None
+
+let call_native t fn (args : int array) : int =
+  Machine.Model.call t.machine;
+  fn t args
+
+(* closure-free overlap bracket: this is the per-guard dispatch path
+   and must not allocate. Semantics match [with_overlap], including
+   leaving the full cost in place if [fn] raises. *)
+let call_native_overlapped t fn (args : int array) : int =
+  let t0 = Machine.Model.overlap_start t.machine in
+  Machine.Model.call t.machine;
+  let r = fn t args in
+  Machine.Model.overlap_end t.machine t0;
+  r
+
+let call_kir t lm (f : Kir.Types.func) (args : int array) : int =
+  Machine.Model.call t.machine;
+  match lm.lm_state with
     | `Dead -> panic t (Printf.sprintf "call into unloaded module %s" lm.lm_name)
     | `Quarantined ->
       (* quarantining unlinks the exports, but a stale direct reference
@@ -397,7 +448,30 @@ let call_symbol t name (args : int array) : int =
         | exception e ->
           t.current_module <- saved;
           raise e)
-      | None -> panic t "no KIR runner installed"))
+      | None -> panic t "no KIR runner installed")
+
+(** Invoke a previously {!resolve}d target. The caller is responsible
+    for having revalidated its cache against {!symbol_generation};
+    module liveness is still checked on every call, exactly as in
+    {!call_symbol}. *)
+let call_resolved t (r : resolved) (args : int array) : int =
+  check_alive t;
+  match r with
+  | R_native fn -> call_native t fn args
+  | R_native_overlapped fn -> call_native_overlapped t fn args
+  | R_kir (lm, f) -> call_kir t lm f args
+
+(** Invoke a symbol as a function with machine call-overhead accounting.
+    KIR functions go through the installed runner. Calls that resolve to
+    a quarantined module return {!eio} rather than executing. *)
+let call_symbol t name (args : int array) : int =
+  check_alive t;
+  match lookup_symbol t name with
+  | Some (Native fn) ->
+    if Hashtbl.mem t.overlapped_natives name then
+      call_native_overlapped t fn args
+    else call_native t fn args
+  | Some (Kir_func (lm, f)) -> call_kir t lm f args
   | Some (Data _) ->
     panic t (Printf.sprintf "call to data symbol %s" name)
   | None -> (
@@ -487,6 +561,7 @@ let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
               (fun (f : Kir.Types.func) ->
                 Hashtbl.replace t.symbols f.f_name (Kir_func (lm, f)))
               km.Kir.Types.funcs;
+            bump_symbol_gen t;
             t.modules <- lm :: t.modules;
             Klog.printk t.log "module %s loaded (%d functions, %d globals)%s"
               lm.lm_name
@@ -496,6 +571,7 @@ let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
                   = Some "true"
                then " [CARAT KOP protected]"
                else "");
+            List.iter (fun hook -> hook t lm) (List.rev t.load_hooks);
             (* run the module init if present *)
             (match Kir.Types.find_func km "init_module" with
             | Some _ -> ignore (call_symbol t "init_module" [||])
@@ -549,6 +625,7 @@ let rmmod t (lm : loaded_module) : (unit, unload_error) result =
       (fun (f : Kir.Types.func) -> Hashtbl.remove t.symbols f.f_name)
       lm.lm_kir.Kir.Types.funcs;
     List.iter (fun (name, _) -> Hashtbl.remove t.symbols name) lm.lm_globals;
+    bump_symbol_gen t;
     lm.lm_state <- `Dead;
     t.modules <- List.filter (fun m -> m != lm) t.modules;
     Klog.printk t.log "module %s unloaded" lm.lm_name;
@@ -699,11 +776,14 @@ let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
       quarantined = [];
       quarantined_symbols = Hashtbl.create 16;
       quarantine_hooks = [];
+      load_hooks = [];
       require_signature;
       signing_key;
       runner = ref None;
       addr_to_symbol = Hashtbl.create 64;
       overlapped_natives = Hashtbl.create 4;
+      symbol_gen = 0;
+      last_mapping = { map_virt = -1; map_size = 0; map_phys = 0 };
       msrs = Hashtbl.create 16;
       irqs_enabled = true;
     }

@@ -48,6 +48,21 @@ let create ~name ~size_bytes ~assoc ~line_size =
 let set_index t addr = (addr lsr t.line_bits) land (t.sets - 1)
 let tag_of t addr = addr lsr t.line_bits
 
+(* Way scans as top-level functions with explicit arguments: a local
+   [let rec] would capture its environment and allocate a closure per
+   probe, and the probe sits on the guard fast path, which must not
+   allocate. Integer-returning (-1 = miss), no option/ref intermediates. *)
+let rec find_way tags base assoc tag w =
+  if w = assoc then -1
+  else if tags.(base + w) = tag then w
+  else find_way tags base assoc tag (w + 1)
+
+let rec worst_way lru base assoc w best =
+  if w = assoc then best
+  else
+    worst_way lru base assoc (w + 1)
+      (if lru.(base + w) < lru.(base + best) then w else best)
+
 (** Probe and update; true = hit. On miss the line is filled (inclusive
     hierarchy: the caller fills lower levels too). *)
 let access t addr =
@@ -55,25 +70,20 @@ let access t addr =
   let set = set_index t addr in
   let tag = tag_of t addr in
   let base = set * t.assoc in
-  let rec find w = if w = t.assoc then None
-    else if t.tags.(base + w) = tag then Some w
-    else find (w + 1)
-  in
-  match find 0 with
-  | Some w ->
+  let w = find_way t.tags base t.assoc tag 0 in
+  if w >= 0 then begin
     t.hits <- t.hits + 1;
     t.lru.(base + w) <- t.clock;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (* evict LRU way *)
-    let victim = ref 0 in
-    for w = 1 to t.assoc - 1 do
-      if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
-    done;
-    t.tags.(base + !victim) <- tag;
-    t.lru.(base + !victim) <- t.clock;
+    let victim = worst_way t.lru base t.assoc 1 0 in
+    t.tags.(base + victim) <- tag;
+    t.lru.(base + victim) <- t.clock;
     false
+  end
 
 (** Number of cache lines an access [addr, addr+size) touches. *)
 let lines_touched t addr size =

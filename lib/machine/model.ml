@@ -108,17 +108,22 @@ let hierarchy_cost_ticks t addr =
   else if Cache.access t.l3 addr then t.p.l3_latency * ticks_per_cycle
   else t.p.mem_latency * ticks_per_cycle
 
+(* Sum of line costs for [addr, lines), accumulated without a ref cell:
+   loads sit on the guard fast path, which must not allocate. Lines are
+   visited in ascending order, exactly like the loop it replaces. *)
+let rec lines_cost_ticks t addr lines l acc =
+  if l >= lines then acc
+  else
+    lines_cost_ticks t addr lines (l + 1)
+      (acc + hierarchy_cost_ticks t (addr + (l * t.p.line_size)))
+
 (** A data load of [size] bytes at [addr]; cost depends on which level
     hits, charged per line touched. *)
 let load t addr size =
   t.loads <- t.loads + 1;
   t.instructions <- t.instructions + 1;
   let lines = max 1 (Cache.lines_touched t.l1 addr size) in
-  let cost = ref 0 in
-  for l = 0 to lines - 1 do
-    cost := !cost + hierarchy_cost_ticks t (addr + (l * t.p.line_size))
-  done;
-  add_ticks t !cost
+  add_ticks t (lines_cost_ticks t addr lines 0 0)
 
 (** A data store. With a store buffer, stores retire quickly; cache fill
     still happens (write-allocate) but half the miss latency is hidden. *)
@@ -126,11 +131,7 @@ let store t addr size =
   t.stores <- t.stores + 1;
   t.instructions <- t.instructions + 1;
   let lines = max 1 (Cache.lines_touched t.l1 addr size) in
-  let cost = ref 0 in
-  for l = 0 to lines - 1 do
-    cost := !cost + hierarchy_cost_ticks t (addr + (l * t.p.line_size))
-  done;
-  add_ticks t (!cost / 2)
+  add_ticks t (lines_cost_ticks t addr lines 0 0 / 2)
 
 (** Conditional branch at site [pc] with outcome [taken]. *)
 let branch t ~pc ~taken =
@@ -188,6 +189,17 @@ let with_overlap t f =
   in
   t.ticks <- t0 + visible;
   r
+
+(** Closure-free variant of {!with_overlap} for hot callers (the guard
+    native): bracket the overlapped section with [overlap_start]/
+    [overlap_end]. Skipping [overlap_end] on an exception matches
+    {!with_overlap}, which also leaves the full cost in place when [f]
+    raises. *)
+let overlap_start t = t.ticks
+
+let overlap_end t t0 =
+  let spent = t.ticks - t0 in
+  t.ticks <- t0 + int_of_float (float_of_int spent *. t.p.speculative_overlap)
 
 (** Inter-trial noise: partially pollute caches, as other processes and
     interrupt handlers would. *)

@@ -32,15 +32,17 @@ let build ?(dst = fake_destination) ?(src = source)
   set_mac 6 src;
   Bytes.set buf 12 (Char.chr ((ethertype lsr 8) land 0xff));
   Bytes.set buf 13 (Char.chr (ethertype land 0xff));
-  (* 4-byte sequence number, then pattern fill *)
+  (* 4-byte sequence number, then pattern fill. The fill runs once per
+     generated packet; unsafe_set is justified by the loop bounds
+     ([size] = [Bytes.length buf]) and the land 0xff on every value. *)
   if size >= header_size + 4 then
     for i = 0 to 3 do
       Bytes.set buf (header_size + i) (Char.chr ((seq lsr (8 * i)) land 0xff))
     done;
   for i = header_size + 4 to size - 1 do
-    Bytes.set buf i (Char.chr ((i * 13 + seq) land 0xff))
+    Bytes.unsafe_set buf i (Char.unsafe_chr ((i * 13 + seq) land 0xff))
   done;
-  Bytes.to_string buf
+  Bytes.unsafe_to_string buf
 
 let seq_of frame =
   if String.length frame < header_size + 4 then None

@@ -48,8 +48,9 @@ type t = {
   (* sink *)
   mutable tx_frames : int;
   mutable tx_bytes : int;
-  mutable recent : frame list;  (** newest first, bounded *)
-  recent_cap : int;
+  recent : frame array;  (** circular, [recent_next] is the next slot *)
+  mutable recent_next : int;
+  mutable recent_count : int;
 }
 
 let gbit_per_s = 1.0 (* line rate *)
@@ -98,11 +99,12 @@ let sync ?upto t =
       in
       t.tx_frames <- t.tx_frames + 1;
       t.tx_bytes <- t.tx_bytes + len;
-      t.recent <-
-        { data; at_cycle = finish }
-        :: (if List.length t.recent >= t.recent_cap then
-              List.filteri (fun i _ -> i < t.recent_cap - 1) t.recent
-            else t.recent);
+      (* bounded sink: overwrite the oldest slot; completion runs once
+         per frame, so this must not churn a list *)
+      t.recent.(t.recent_next) <- { data; at_cycle = finish };
+      t.recent_next <- (t.recent_next + 1) mod Array.length t.recent;
+      if t.recent_count < Array.length t.recent then
+        t.recent_count <- t.recent_count + 1;
       t.busy_until <- finish;
       (* status writeback: set DD *)
       let sta =
@@ -237,8 +239,9 @@ let create ?(name = "e1000e-sim") ?(stall_prob = 0.0)
       rng = Machine.Rng.create seed;
       tx_frames = 0;
       tx_bytes = 0;
-      recent = [];
-      recent_cap = 32;
+      recent = Array.make 32 { data = ""; at_cycle = 0 };
+      recent_next = 0;
+      recent_count = 0;
     }
   in
   let region =
@@ -260,7 +263,11 @@ let pending_interrupt t =
 
 let tx_frames t = t.tx_frames
 let tx_bytes t = t.tx_bytes
-let recent_frames t = t.recent
+(* newest-first list of the last frames delivered to the sink *)
+let recent_frames t =
+  let cap = Array.length t.recent in
+  List.init t.recent_count (fun i ->
+      t.recent.((t.recent_next - 1 - i + (2 * cap)) mod cap))
 let set_stall t ~prob ~cycles =
   t.stall_prob <- prob;
   t.stall_cycles <- cycles

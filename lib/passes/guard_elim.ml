@@ -57,7 +57,12 @@ let run ~guard_symbol (m : modul) : Pass.result =
     let seen : (string, seen) Hashtbl.t = Hashtbl.create 16 in
     let keep i =
       match i with
+      (* both guard forms: legacy (addr, size, flags) and the site-id
+         carrying (addr, size, flags, site) — the site does not affect
+         coverage, so it is ignored for redundancy purposes *)
       | Call { callee; args = [ addr; Imm size; Imm flags ]; dst = None }
+      | Call
+          { callee; args = [ addr; Imm size; Imm flags; Imm _ ]; dst = None }
         when callee = guard_symbol -> (
         let key = sym_to_key (value_of addr) in
         match Hashtbl.find_opt seen key with

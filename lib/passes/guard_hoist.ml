@@ -59,10 +59,19 @@ let run ~guard_symbol (m : modul) : Pass.result =
               (fun b ->
                 let keep i =
                   match i with
+                  (* both guard forms; the trailing site id (if present)
+                     moves with the call and keeps indexing the same
+                     static site after hoisting *)
                   | Call
                       {
                         callee;
                         args = [ addr; Imm size; Imm flags ];
+                        dst = None;
+                      }
+                  | Call
+                      {
+                        callee;
+                        args = [ addr; Imm size; Imm flags; Imm _ ];
                         dst = None;
                       }
                     when callee = guard_symbol && invariant addr ->

@@ -9,8 +9,13 @@
     [exempt_stack] skips accesses provably confined to the module's own
     stack frame.
 
-    The guard callback signature matches the paper:
-    [carat_guard(void *addr, size_t size, int access_flags)]. *)
+    The guard callback signature extends the paper's
+    [carat_guard(void *addr, size_t size, int access_flags)] with a
+    fourth, compiler-assigned argument: a small integer *site id*, unique
+    per static guard call within the module and assigned in deterministic
+    program order. The policy module uses it to key per-guard-site inline
+    caches; it carries no policy meaning, so legacy 3-argument callers
+    remain valid (the policy module treats them as site -1, uncached). *)
 
 open Kir.Types
 
@@ -82,22 +87,30 @@ let stack_pure_regs (f : func) : (reg, unit) Hashtbl.t =
      done *)
   pure
 
-let guard_call cfg addr size flags =
+let guard_call cfg addr size flags site =
   Call
     {
       dst = None;
       callee = cfg.guard_symbol;
-      args = [ addr; Imm size; Imm flags ];
+      args = [ addr; Imm size; Imm flags; Imm site ];
     }
 
-(** Instrument one function; returns the number of guards inserted. *)
-let instrument_func cfg (f : func) : int =
+(** Instrument one function; returns the number of guards inserted.
+    [next_site] is the module-wide site-id counter: each inserted guard
+    consumes one id, in deterministic (function, block, instruction)
+    order, so rebuilding the same module yields the same ids. *)
+let instrument_func cfg ~next_site (f : func) : int =
   let pure = if cfg.exempt_stack then stack_pure_regs f else Hashtbl.create 1 in
   let exempt = function
     | Reg r -> cfg.exempt_stack && Hashtbl.mem pure r
     | Imm _ | Sym _ -> false
   in
   let count = ref 0 in
+  let take_site () =
+    let s = !next_site in
+    incr next_site;
+    s
+  in
   List.iter
     (fun b ->
       let body' =
@@ -106,11 +119,14 @@ let instrument_func cfg (f : func) : int =
             match i with
             | Load { ty; addr; _ } when cfg.guard_reads && not (exempt addr) ->
               incr count;
-              [ guard_call cfg addr (size_of_ty ty) flag_read; i ]
+              [ guard_call cfg addr (size_of_ty ty) flag_read (take_site ()); i ]
             | Store { ty; addr; _ } when cfg.guard_writes && not (exempt addr)
               ->
               incr count;
-              [ guard_call cfg addr (size_of_ty ty) flag_write; i ]
+              [
+                guard_call cfg addr (size_of_ty ty) flag_write (take_site ());
+                i;
+              ]
             | i -> [ i ])
           b.body
       in
@@ -120,20 +136,26 @@ let instrument_func cfg (f : func) : int =
 
 let meta_guarded = "carat.kop.guarded"
 let meta_guard_count = "carat.kop.guards"
+let meta_guard_sites = "carat.kop.guard_sites"
 let meta_guard_symbol = "carat.kop.guard_symbol"
 let meta_compiler = "carat.kop.compiler"
-let compiler_version = "kop-ocaml-1.0 (kir)"
+let compiler_version = "kop-ocaml-1.1 (kir, guard sites)"
+
+(** Arity of the guard import the pass emits (addr, size, flags, site). *)
+let guard_arity = 4
 
 let run cfg (m : modul) : Pass.result =
   if meta_find m meta_guarded = Some "true" then
     Pass.fail "guard-injection" "module %s is already guarded" m.m_name;
+  let next_site = ref 0 in
   let total =
-    List.fold_left (fun n f -> n + instrument_func cfg f) 0 m.funcs
+    List.fold_left (fun n f -> n + instrument_func cfg ~next_site f) 0 m.funcs
   in
   if not (List.mem_assoc cfg.guard_symbol m.externs) then
-    m.externs <- m.externs @ [ (cfg.guard_symbol, 3) ];
+    m.externs <- m.externs @ [ (cfg.guard_symbol, guard_arity) ];
   meta_set m meta_guarded "true";
   meta_set m meta_guard_count (string_of_int total);
+  meta_set m meta_guard_sites (string_of_int !next_site);
   meta_set m meta_guard_symbol cfg.guard_symbol;
   meta_set m meta_compiler compiler_version;
   { changed = total > 0; remarks = [ ("guards", string_of_int total) ] }

@@ -5,9 +5,27 @@
     containing the accessed byte range; if found, the access is allowed
     iff the region's protection flags include every requested flag; if no
     region matches, the default action applies. The paper's evaluated
-    configuration is the 64-entry linear table with default deny. *)
+    configuration is the 64-entry linear table with default deny.
 
-type kind = Linear | Sorted | Splay | Rbtree | Bloom | Cached
+    Two optional fast tiers sit in front of the exact walk:
+
+    - the {!Shadow} structure kind — a page-granular permission shadow
+      ("guard TLB", see {!Shadow_table}) wrapped around the linear table;
+    - per-guard-site inline caches ({!enable_site_cache}): a direct-mapped
+      array keyed by the static site id the guard-injection pass assigns,
+      each slot remembering the (page, protection) fact its site last
+      resolved. A hit validates page and epoch, so the cached fact is
+      site-independent truth and slot aliasing between sites is harmless.
+
+    Both tiers are invalidated by a single {!epoch} counter bumped on
+    every policy mutation (and, via the policy module, on every policy or
+    mode ioctl), keeping live policy pushes and enforcement-mode flips
+    exact. Both answer only when the answer provably equals the exact
+    walk's; anything else (page straddle, cross-page access, unknown
+    site, flag mismatch) falls back to the exact structure, so decisions
+    are byte-for-byte identical to the plain walk. *)
+
+type kind = Linear | Sorted | Splay | Rbtree | Bloom | Cached | Shadow
 
 let kind_to_string = function
   | Linear -> "linear"
@@ -16,8 +34,9 @@ let kind_to_string = function
   | Rbtree -> "rbtree"
   | Bloom -> "bloom+linear"
   | Cached -> "cached+linear"
+  | Shadow -> "shadow+linear"
 
-let all_kinds = [ Linear; Sorted; Splay; Rbtree; Bloom; Cached ]
+let all_kinds = [ Linear; Sorted; Splay; Rbtree; Bloom; Cached; Shadow ]
 
 type stats = {
   mutable checks : int;
@@ -33,11 +52,37 @@ type verdict =
       (** region that matched but lacked permissions, or [None] when
           nothing matched under default-deny *)
 
+(* Per-guard-site inline caches: parallel int arrays (no per-entry boxing)
+   indexed by [site land (site_cache_size - 1)]. A slot is a (epoch, page,
+   prot) triple; [sc_prot] holds the page's uniform protection bits. The
+   backing tag array lives in simulated kernel memory so hits charge one
+   hot probe, like every other policy structure. *)
+let site_cache_size = 1024
+
+type site_cache = {
+  sc_vaddr : int;
+  sc_epoch : int array;
+  sc_page : int array;
+  sc_prot : int array;
+  sc_pcs : int array;  (** stable branch-site ids per slot *)
+}
+
 type t = {
   kernel : Kernel.t;
   instance : Structure.instance;
   mutable default_allow : bool;
   stats : stats;
+  mutable epoch : int;
+      (** bumped on every policy mutation; fast tiers validate against it *)
+  mutable site_cache : site_cache option;
+  mutable last_deny : Region.t option;
+      (** diagnostics for the most recent {!check_fast} denial: the region
+          that matched but lacked permission, mirroring {!Denied}'s payload
+          without allocating on the hot path *)
+  perm_pc : int array;
+      (** branch-site ids for the permission branch, precomputed per
+          protection value so the hot path allocates no strings; values
+          are identical to [Hashtbl.hash ("perm", prot_to_string prot)] *)
 }
 
 let make_instance kernel kind ~capacity : Structure.instance =
@@ -54,6 +99,8 @@ let make_instance kernel kind ~capacity : Structure.instance =
     Structure.I ((module Bloom_front), Bloom_front.create kernel ~capacity)
   | Cached ->
     Structure.I ((module Lookup_cache), Lookup_cache.create kernel ~capacity)
+  | Shadow ->
+    Structure.I ((module Shadow_table), Shadow_table.create kernel ~capacity)
 
 let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
     ?(default_allow = false) kernel =
@@ -62,11 +109,39 @@ let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
     instance = make_instance kernel kind ~capacity;
     default_allow;
     stats = { checks = 0; allowed = 0; denied = 0; entries_scanned = 0 };
+    epoch = 0;
+    site_cache = None;
+    last_deny = None;
+    perm_pc =
+      Array.init 4 (fun p -> Hashtbl.hash ("perm", Region.prot_to_string p));
   }
 
-let add_region t r = Structure.add t.instance r
-let remove_region t ~base = Structure.remove t.instance ~base
-let clear t = Structure.clear t.instance
+(** Invalidate every fast tier in O(1). Policy mutations call this
+    internally; the policy module also bumps it on mode ioctls. *)
+let bump_epoch t = t.epoch <- t.epoch + 1
+
+let epoch t = t.epoch
+
+let add_region t r =
+  match Structure.add t.instance r with
+  | Ok () ->
+    bump_epoch t;
+    Ok ()
+  | Error _ as e -> e
+
+let remove_region t ~base =
+  let removed = Structure.remove t.instance ~base in
+  if removed then bump_epoch t;
+  removed
+
+let clear t =
+  Structure.clear t.instance;
+  bump_epoch t
+
+let set_default_allow t b =
+  t.default_allow <- b;
+  bump_epoch t
+
 let count t = Structure.count t.instance
 let regions t = Structure.regions t.instance
 let stats t = t.stats
@@ -103,7 +178,7 @@ let check t ~addr ~size ~flags : verdict =
     Machine.Model.retire machine 2;
     let ok = Region.permits r ~flags in
     Machine.Model.branch machine
-      ~pc:(Hashtbl.hash ("perm", Region.prot_to_string r.Region.prot))
+      ~pc:t.perm_pc.(r.Region.prot land 3)
       ~taken:ok;
     if ok then begin
       t.stats.allowed <- t.stats.allowed + 1;
@@ -122,3 +197,119 @@ let check t ~addr ~size ~flags : verdict =
       t.stats.denied <- t.stats.denied + 1;
       Denied None
     end
+
+(* ------------------------------------------------------------------ *)
+(* site-indexed inline-cache fast path *)
+
+(** Allocate the inline-cache arrays (idempotent). Off by default so the
+    paper's evaluated configuration — and its simulated-cycle figures —
+    are untouched unless a run opts in. *)
+let enable_site_cache t =
+  match t.site_cache with
+  | Some _ -> ()
+  | None ->
+    t.site_cache <-
+      Some
+        {
+          sc_vaddr = Kernel.kmalloc t.kernel ~size:(site_cache_size * 16);
+          sc_epoch = Array.make site_cache_size (-1);
+          sc_page = Array.make site_cache_size (-1);
+          sc_prot = Array.make site_cache_size 0;
+          sc_pcs =
+            Array.init site_cache_size (fun i -> Hashtbl.hash ("site-ic", i));
+        }
+
+let site_cache_enabled t = t.site_cache <> None
+
+(** Region that matched but lacked permission on the most recent
+    [check_fast] denial ([None] = nothing matched under default-deny). *)
+let last_deny t = t.last_deny
+
+(* The page's protection bits iff they are uniform for every possible
+   in-page byte range: every region either fully contains or is disjoint
+   from the page, making the first full container (table order) the
+   first-match answer for any in-page range. Partial overlap -> None
+   (uncacheable). Uncovered pages get the default encoded as protection
+   bits; flags = 0 never uses the cache (see [check_fast]), which keeps
+   the "no region matched" deny-on-default exact. *)
+let page_uniform_prot t page =
+  let lo = page lsl Shadow_table.page_bits in
+  let hi = lo + Shadow_table.page_size in
+  let rec go first_full = function
+    | [] -> (
+      match first_full with
+      | Some (r : Region.t) -> Some r.Region.prot
+      | None -> if t.default_allow then Some Region.prot_rw else Some 0)
+    | (r : Region.t) :: rest ->
+      let rlim = Region.limit r in
+      if r.Region.base < hi && lo < rlim then
+        if r.Region.base <= lo && hi <= rlim then
+          go (match first_full with Some _ -> first_full | None -> Some r) rest
+        else None
+      else go first_full rest
+  in
+  go None (Structure.regions t.instance)
+
+(* Exact walk on behalf of [check_fast]: full cost, full diagnostics. *)
+let check_slow t ~addr ~size ~flags =
+  match check t ~addr ~size ~flags with
+  | Allowed _ ->
+    t.last_deny <- None;
+    true
+  | Denied m ->
+    t.last_deny <- m;
+    false
+
+let fill_site sc t ~i ~page =
+  match page_uniform_prot t page with
+  | None -> () (* straddling page: every access re-walks, by design *)
+  | Some prot ->
+    sc.sc_epoch.(i) <- t.epoch;
+    sc.sc_page.(i) <- page;
+    sc.sc_prot.(i) <- prot;
+    let machine = Kernel.machine t.kernel in
+    (* classification arithmetic + the tag store; the walk itself was
+       already charged by the exact lookup, like a TLB miss's page walk *)
+    Machine.Model.retire machine (2 * max 1 (Structure.count t.instance));
+    Machine.Model.store machine (sc.sc_vaddr + (i * 16)) 8
+
+(** Boolean fast-path check: allocation-free on an inline-cache hit, and
+    decision-identical to {!check} always (misses and mismatches defer to
+    it). [site] is the static guard-site id (-1 = unknown site, e.g. a
+    legacy 3-argument guard call: always the exact walk). On denial the
+    matching-region diagnostic is available from {!last_deny}. *)
+let check_fast t ~site ~addr ~size ~flags : bool =
+  match t.site_cache with
+  | Some sc when site >= 0 && addr >= 0 && flags <> 0 ->
+    let machine = Kernel.machine t.kernel in
+    (* same prologue the exact path charges *)
+    Machine.Model.retire machine 4;
+    let i = site land (site_cache_size - 1) in
+    (* one probe of the site's slot (hot after first use) + validation *)
+    Machine.Model.load machine (sc.sc_vaddr + (i * 16)) 8;
+    Machine.Model.retire machine 2;
+    let page = addr lsr Shadow_table.page_bits in
+    let hit =
+      sc.sc_epoch.(i) = t.epoch
+      && sc.sc_page.(i) = page
+      && (addr + size - 1) lsr Shadow_table.page_bits = page
+    in
+    Machine.Model.branch machine ~pc:sc.sc_pcs.(i) ~taken:hit;
+    if hit then
+      if flags land sc.sc_prot.(i) = flags then begin
+        t.stats.checks <- t.stats.checks + 1;
+        t.stats.allowed <- t.stats.allowed + 1;
+        t.stats.entries_scanned <- t.stats.entries_scanned + 1;
+        true
+      end
+      else
+        (* cached fact says deny (or an exotic flag combination): take the
+           exact walk for the authoritative verdict and diagnostics *)
+        check_slow t ~addr ~size ~flags
+    else begin
+      let ok = check_slow t ~addr ~size ~flags in
+      if (addr + size - 1) lsr Shadow_table.page_bits = page then
+        fill_site sc t ~i ~page;
+      ok
+    end
+  | _ -> check_slow t ~addr ~size ~flags

@@ -104,10 +104,14 @@ let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
     | None -> " (no matching region)");
   enforce t ~what:(Printf.sprintf "CARAT KOP guard violation at 0x%x" addr)
 
-let guard t ~addr ~size ~flags =
-  match Engine.check t.engine ~addr ~size ~flags with
-  | Engine.Allowed _ -> ()
-  | Engine.Denied matched -> handle_deny t ~addr ~size ~flags matched
+(* The guard body: the engine's fast path (inline-cache hit when the site
+   cache is enabled, exact walk otherwise) decides; denial diagnostics
+   come from the engine's last-deny slot, so the allow path allocates
+   nothing. [site] is the compiler-assigned static guard-site id; -1 for
+   legacy 3-argument callers. *)
+let guard t ~site ~addr ~size ~flags =
+  if not (Engine.check_fast t.engine ~site ~addr ~size ~flags) then
+    handle_deny t ~addr ~size ~flags (Engine.last_deny t.engine)
 
 (** The §5 intrinsic guard: consult "a different policy table" — here a
     permission bitmap over the intrinsic registry. *)
@@ -172,7 +176,9 @@ let handle_ioctl t _kernel ~cmd ~arg =
   end
   else if cmd = ioctl_count then Engine.count t.engine
   else if cmd = ioctl_set_default then begin
-    t.engine.Engine.default_allow <- arg <> 0;
+    (* epoch-bumping setter: flips the default action and invalidates
+       every fast tier (shadow, inline caches) in O(1) *)
+    Engine.set_default_allow t.engine (arg <> 0);
     0
   end
   else if cmd = ioctl_stats_checks then (Engine.stats t.engine).Engine.checks
@@ -194,6 +200,9 @@ let handle_ioctl t _kernel ~cmd ~arg =
     match on_deny_of_int arg with
     | Some mode ->
       t.on_deny <- mode;
+      (* mode flips change what a (stale) allow would have bypassed, so
+         they invalidate the fast tiers like any policy push *)
+      Engine.bump_epoch t.engine;
       Kernel.Klog.printk (Kernel.log t.kernel)
         "CARAT KOP enforcement mode -> %s" (on_deny_to_string mode);
       0
@@ -206,8 +215,10 @@ let handle_ioctl t _kernel ~cmd ~arg =
     [/dev/carat]. Must happen before any protected module is inserted
     (their import of [carat_guard] will not resolve otherwise). *)
 let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
-    ?(default_allow = false) ?(on_deny = Panic) kernel : t =
+    ?(default_allow = false) ?(on_deny = Panic) ?(site_cache = false) kernel :
+    t =
   let engine = Engine.create ~kind ~capacity ~default_allow kernel in
+  if site_cache then Engine.enable_site_cache engine;
   let t =
     {
       kernel;
@@ -230,7 +241,8 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
      registered as overlapped *)
   Kernel.register_native ~overlapped:true kernel guard_symbol (fun _k args ->
       (match args with
-      | [| addr; size; flags |] -> guard t ~addr ~size ~flags
+      | [| addr; size; flags; site |] -> guard t ~site ~addr ~size ~flags
+      | [| addr; size; flags |] -> guard t ~site:(-1) ~addr ~size ~flags
       | _ -> Kernel.panic kernel "carat_guard: bad arguments");
       0);
   Kernel.register_native ~overlapped:true kernel intrinsic_guard_symbol
@@ -254,7 +266,11 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
 
 let engine t = t.engine
 let mode t = t.on_deny
-let set_on_deny t a = t.on_deny <- a
+
+let set_on_deny t a =
+  t.on_deny <- a;
+  (* same invalidation contract as the set-mode ioctl *)
+  Engine.bump_epoch t.engine
 let violations t = t.violations
 let intrinsic_violations t = t.intrinsic_violations
 let cfi_violations t = t.cfi_violations

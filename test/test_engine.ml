@@ -1,0 +1,248 @@
+(* Engine equivalence: the fast policy tiers (shadow table, per-site
+   inline cache) must be decision-identical to the plain linear table,
+   epoch bumps must kill stale cache entries, and the compiled KIR
+   engine must be cycle- and outcome-identical to the interpreter. *)
+
+open Carat_kop
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- differential property: shadow / shadow+IC vs linear ---------- *)
+
+(* One kernel hosting the three engines under test; policies are swapped
+   per trial with set_policy (kernel creation dwarfs everything else the
+   property does). *)
+let diff_cell =
+  lazy
+    (let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+     let lin = Policy.Engine.create ~kind:Policy.Engine.Linear ~capacity:64 k in
+     let sh = Policy.Engine.create ~kind:Policy.Engine.Shadow ~capacity:64 k in
+     let shic = Policy.Engine.create ~kind:Policy.Engine.Shadow ~capacity:64 k in
+     Policy.Engine.enable_site_cache shic;
+     (lin, sh, shic))
+
+let page_size = Policy.Shadow_table.page_size
+
+(* Random policy: up to 62 non-overlapping regions walking up the user
+   half, with deliberate edge shapes — zero gaps (adjacent regions),
+   one-byte regions, exact pages, and multi-page spans that straddle
+   page boundaries. *)
+let gen_policy rng =
+  let n = 1 + Machine.Rng.int rng 62 in
+  let cursor = ref 0x2000_0000 in
+  List.init n (fun i ->
+      let gap =
+        if Machine.Rng.flip rng 0.3 then 0
+        else 1 + Machine.Rng.int rng (2 * page_size)
+      in
+      let len =
+        match Machine.Rng.int rng 4 with
+        | 0 -> 1
+        | 1 -> page_size
+        | 2 -> 1 + Machine.Rng.int rng (3 * page_size)
+        | _ -> 2 * page_size
+      in
+      let prot = Machine.Rng.int rng 4 in
+      let base = !cursor + gap in
+      cursor := base + len;
+      Policy.Region.v ~tag:(Printf.sprintf "r%d" i) ~base ~len ~prot ())
+
+(* Accesses biased to region boundaries: the byte before/at base, the
+   last byte, the byte past the end, plus interior and far-field
+   probes. Sizes include page-straddling spans. *)
+let gen_accesses rng policy =
+  let sizes = [| 1; 2; 4; 8; 16; page_size |] in
+  let probes =
+    List.concat_map
+      (fun (r : Policy.Region.t) ->
+        let base = r.Policy.Region.base and len = r.Policy.Region.len in
+        [ base - 1; base; base + len - 1; base + len; base + Machine.Rng.int rng len ])
+      policy
+  in
+  let far = List.init 8 (fun _ -> 0x1F00_0000 + Machine.Rng.int rng 0x600_0000) in
+  List.map
+    (fun addr ->
+      ( Machine.Rng.int rng 2048,
+        addr,
+        sizes.(Machine.Rng.int rng (Array.length sizes)),
+        1 + Machine.Rng.int rng 3 ))
+    (probes @ far)
+
+let decision e ~addr ~size ~flags =
+  match Policy.Engine.check e ~addr ~size ~flags with
+  | Policy.Engine.Allowed _ -> true
+  | Policy.Engine.Denied _ -> false
+
+let prop_differential =
+  QCheck.Test.make
+    ~name:"shadow and shadow+site-cache decide byte-for-byte like linear"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lin, sh, shic = Lazy.force diff_cell in
+      let rng = Machine.Rng.create seed in
+      let policy = gen_policy rng in
+      Policy.Engine.set_policy lin policy;
+      Policy.Engine.set_policy sh policy;
+      Policy.Engine.set_policy shic policy;
+      let accesses = gen_accesses rng policy in
+      List.for_all
+        (fun (site, addr, size, flags) ->
+          let want = decision lin ~addr ~size ~flags in
+          let d_sh = decision sh ~addr ~size ~flags in
+          (* twice through the inline cache: the first call may fill the
+             site's slot, the second must hit it — both must agree with
+             the linear reference *)
+          let d1 = Policy.Engine.check_fast shic ~site ~addr ~size ~flags in
+          let d2 = Policy.Engine.check_fast shic ~site ~addr ~size ~flags in
+          want = d_sh && want = d1 && want = d2)
+        accesses)
+
+let test_zero_length_region_rejected () =
+  Alcotest.check_raises "len 0"
+    (Invalid_argument "Region.v: length must be positive") (fun () ->
+      ignore (Policy.Region.v ~base:0x1000 ~len:0 ~prot:3 ()));
+  checkb "negative length rejected" true
+    (match Policy.Region.v ~base:0x1000 ~len:(-8) ~prot:3 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- epoch invalidation under live reconfiguration ---------- *)
+
+let setup_pm () =
+  let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Shadow ~site_cache:true
+      ~on_deny:Policy.Policy_module.Audit k
+  in
+  (k, pm)
+
+let rw = Policy.Region.prot_rw
+
+let test_epoch_live_policy_push () =
+  let k, pm = setup_pm () in
+  let e = Policy.Policy_module.engine pm in
+  Policy.Policy_module.set_policy pm
+    [ Policy.Region.v ~tag:"win" ~base:0xA000 ~len:page_size ~prot:rw () ];
+  (* prime the site cache: second check is the cached fast path *)
+  checkb "allowed before push" true
+    (Policy.Engine.check_fast e ~site:7 ~addr:0xA010 ~size:8 ~flags:3);
+  checkb "allowed from cache" true
+    (Policy.Engine.check_fast e ~site:7 ~addr:0xA010 ~size:8 ~flags:3);
+  (* live policy push through the device node: remove the region *)
+  let arg = Kernel.map_user k ~size:32 in
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  checki "remove ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_remove ~arg);
+  checkb "no stale allow" false
+    (Policy.Engine.check_fast e ~site:7 ~addr:0xA010 ~size:8 ~flags:3);
+  (* push it back: the cached deny must not survive either *)
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  Kernel.write k ~addr:(arg + 8) ~size:8 page_size;
+  Kernel.write k ~addr:(arg + 16) ~size:8 rw;
+  checki "add ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_add ~arg);
+  checkb "no stale deny" true
+    (Policy.Engine.check_fast e ~site:7 ~addr:0xA010 ~size:8 ~flags:3);
+  (* the same sequence through the real guard symbol (4-arg form carries
+     the static site id); with on_deny = Audit the verdicts surface as
+     violation records *)
+  let violations () = List.length (Policy.Policy_module.violations pm) in
+  ignore (Kernel.call_symbol k "carat_guard" [| 0xA010; 8; 3; 9 |]);
+  checki "guard allows (cache primed)" 0 (violations ());
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  checki "remove again ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_remove ~arg);
+  ignore (Kernel.call_symbol k "carat_guard" [| 0xA010; 8; 3; 9 |]);
+  checki "guard denies after push" 1 (violations ())
+
+let test_epoch_set_mode_ioctl () =
+  let k, pm = setup_pm () in
+  let e = Policy.Policy_module.engine pm in
+  Policy.Policy_module.set_policy pm
+    [ Policy.Region.v ~tag:"win" ~base:0xA000 ~len:page_size ~prot:rw () ];
+  ignore (Policy.Engine.check_fast e ~site:3 ~addr:0xA000 ~size:8 ~flags:3);
+  let before = Policy.Engine.epoch e in
+  checki "set-mode ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_set_mode
+       ~arg:(Policy.Policy_module.on_deny_to_int Policy.Policy_module.Quarantine));
+  checkb "mode ioctl bumps the epoch" true (Policy.Engine.epoch e > before);
+  checkb "decision survives the flip" true
+    (Policy.Engine.check_fast e ~site:3 ~addr:0xA000 ~size:8 ~flags:3)
+
+(* ---------- golden-run A/B: interpreter vs compiled engine ---------- *)
+
+let golden_run kind =
+  let config =
+    {
+      Testbed.default_config with
+      Testbed.technique = Testbed.Carat;
+      structure = Policy.Engine.Shadow;
+      site_cache = true;
+      engine = kind;
+      stall_prob = 0.02;
+      module_scale = 4;
+      seed = 5;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  let r =
+    Testbed.run_pktgen tb
+      { Net.Pktgen.default_config with Net.Pktgen.count = 120; size = 256; seed = 9 }
+  in
+  let st = Policy.Engine.stats (Policy.Policy_module.engine tb.Testbed.policy_module) in
+  ( r.Net.Pktgen.sent,
+    r.Net.Pktgen.cycles,
+    r.Net.Pktgen.latencies,
+    r.Net.Pktgen.busy_retries,
+    st.Policy.Engine.checks,
+    st.Policy.Engine.denied,
+    Kernel.panic_state tb.Testbed.kernel = None )
+
+let test_golden_equivalence () =
+  let s_i, c_i, l_i, b_i, g_i, d_i, a_i = golden_run Vm.Engine.Interp in
+  let s_c, c_c, l_c, b_c, g_c, d_c, a_c = golden_run Vm.Engine.Compiled in
+  checki "packets sent" s_i s_c;
+  checki "simulated cycles" c_i c_c;
+  checki "busy retries" b_i b_c;
+  checki "guard checks" g_i g_c;
+  checki "guard denials" d_i d_c;
+  checkb "alive parity" a_i a_c;
+  checkb "per-packet latencies identical" true (l_i = l_c)
+
+let test_fault_matrix_engine_parity () =
+  (* the containment matrix — panic/quarantine/audit outcomes over every
+     fault class — must not depend on the KIR engine *)
+  let cfg = { Fault.Campaign.faults = 12; seed = 7 } in
+  let interp = Fault.Campaign.run ~engine:Vm.Engine.Interp cfg in
+  let compiled = Fault.Campaign.run ~engine:Vm.Engine.Compiled cfg in
+  Alcotest.(check string)
+    "rendered matrix byte-for-byte identical"
+    (Fault.Campaign.render interp)
+    (Fault.Campaign.render compiled);
+  checkb "compiled campaign passes the invariants" true
+    (Fault.Campaign.check compiled = [])
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "policy tiers",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          Alcotest.test_case "zero-length region rejected" `Quick
+            test_zero_length_region_rejected;
+        ] );
+      ( "epoch invalidation",
+        [
+          Alcotest.test_case "live policy push" `Quick
+            test_epoch_live_policy_push;
+          Alcotest.test_case "set-mode ioctl" `Quick test_epoch_set_mode_ioctl;
+        ] );
+      ( "engine A/B",
+        [
+          Alcotest.test_case "golden pktgen run" `Quick test_golden_equivalence;
+          Alcotest.test_case "fault matrix parity" `Quick
+            test_fault_matrix_engine_parity;
+        ] );
+    ]

@@ -15,7 +15,7 @@ let audit = Fault.Harness.Carat Policy.Policy_module.Audit
 let test_wild_store_baseline () =
   let o =
     Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:Fault.Harness.Baseline
-      ~seed:11
+      ~seed:11 ()
   in
   checkb "loaded" true o.Fault.Harness.loaded;
   checkb "escaped" true (o.Fault.Harness.escaped_bytes > 0);
@@ -23,14 +23,14 @@ let test_wild_store_baseline () =
   checkb "kernel survives unaware" false o.Fault.Harness.panicked
 
 let test_wild_store_panic () =
-  let o = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:panic ~seed:11 in
+  let o = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:panic ~seed:11 () in
   checkb "panicked" true o.Fault.Harness.panicked;
   checkb "first fault recorded" true o.Fault.Harness.first_fault_recorded;
   checki "nothing escaped" 0 o.Fault.Harness.escaped_bytes
 
 let test_wild_store_quarantine () =
   let o =
-    Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:quarantine ~seed:11
+    Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:quarantine ~seed:11 ()
   in
   checkb "kernel alive" false o.Fault.Harness.panicked;
   checkb "quarantined" true o.Fault.Harness.quarantined;
@@ -41,14 +41,14 @@ let test_wild_store_quarantine () =
   checkb "recovered" true (o.Fault.Harness.recovered = Some true)
 
 let test_wild_store_audit () =
-  let o = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:audit ~seed:11 in
+  let o = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:audit ~seed:11 () in
   checkb "kernel alive" false o.Fault.Harness.panicked;
   checkb "denial recorded" true (o.Fault.Harness.denied > 0);
   checkb "store landed anyway" true (o.Fault.Harness.escaped_bytes > 0)
 
 let test_tamper_rejected_at_load () =
   let o =
-    Fault.Harness.run_one ~cls:Fault.Inject.Ir_tamper ~mode:quarantine ~seed:11
+    Fault.Harness.run_one ~cls:Fault.Inject.Ir_tamper ~mode:quarantine ~seed:11 ()
   in
   checkb "rejected" false o.Fault.Harness.loaded;
   checkb "reports signature" true
@@ -60,7 +60,7 @@ let test_tamper_rejected_at_load () =
   checki "nothing escaped" 0 o.Fault.Harness.escaped_bytes;
   let b =
     Fault.Harness.run_one ~cls:Fault.Inject.Ir_tamper
-      ~mode:Fault.Harness.Baseline ~seed:11
+      ~mode:Fault.Harness.Baseline ~seed:11 ()
   in
   checkb "baseline loads it" true b.Fault.Harness.loaded;
   checkb "baseline lets it land" true (b.Fault.Harness.escaped_bytes > 0)
@@ -102,8 +102,8 @@ let test_campaign_seed_sensitivity () =
   (* different seeds give different victims (salted stores), yet the same
      verdict — the report text differs only if counts differ, so compare
      a raw outcome instead *)
-  let o1 = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:panic ~seed:1 in
-  let o2 = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:panic ~seed:2 in
+  let o1 = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:panic ~seed:1 () in
+  let o2 = Fault.Harness.run_one ~cls:Fault.Inject.Wild_store ~mode:panic ~seed:2 () in
   checkb "both contained" true
     (Fault.Harness.contained o1 && Fault.Harness.contained o2)
 
@@ -113,7 +113,7 @@ let prop_containment =
   QCheck.Test.make ~name:"guarded module never escapes writable regions"
     ~count:60
     QCheck.(int_bound 1_000_000)
-    (fun seed -> Fault.Harness.run_random ~seed = 0)
+    (fun seed -> Fault.Harness.run_random ~seed () = 0)
 
 let () =
   Alcotest.run "fault"

@@ -138,15 +138,17 @@ let test_injection_flags_and_sizes () =
   let guards =
     List.filter_map
       (function
-        | Call { callee = "carat_guard"; args = [ _; Imm s; Imm fl ]; _ } ->
-          Some (s, fl)
+        | Call
+            { callee = "carat_guard"; args = [ _; Imm s; Imm fl; Imm site ]; _ }
+          ->
+          Some (s, fl, site)
         | _ -> None)
       (entry_block f).body
   in
-  Alcotest.(check (list (pair int int)))
-    "size/flags"
-    [ (2, Passes.Guard_injection.flag_read);
-      (4, Passes.Guard_injection.flag_write) ]
+  Alcotest.(check (list (triple int int int)))
+    "size/flags/site"
+    [ (2, Passes.Guard_injection.flag_read, 0);
+      (4, Passes.Guard_injection.flag_write, 1) ]
     guards
 
 let test_injection_idempotence_guard () =
