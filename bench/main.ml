@@ -359,11 +359,12 @@ type guardpath_row = {
   gp_label : string;
   gp_ns_per_packet : float;
   gp_cycles_per_packet : float;
+  gp_total_cycles : int;
   gp_guard_checks : int;
 }
 
-let guardpath_e2e ~label ~(engine : Vm.Engine.kind)
-    ~(structure : Policy.Engine.kind) ~site_cache ~regions ~packets :
+let guardpath_e2e ?(trace = false) ~label ~(engine : Vm.Engine.kind)
+    ~(structure : Policy.Engine.kind) ~site_cache ~regions ~packets () :
     guardpath_row =
   let config =
     {
@@ -374,6 +375,7 @@ let guardpath_e2e ~label ~(engine : Vm.Engine.kind)
       engine;
       structure;
       site_cache;
+      trace;
       policy =
         (if regions <= 2 then Policy.Region.kernel_only
          else Policy.Region.kernel_only_padded regions);
@@ -402,8 +404,89 @@ let guardpath_e2e ~label ~(engine : Vm.Engine.kind)
     gp_label = label;
     gp_ns_per_packet = (t1 -. t0) *. 1e9 /. float_of_int packets;
     gp_cycles_per_packet = float_of_int (c1 - c0) /. float_of_int packets;
+    gp_total_cycles = c1 - c0;
     gp_guard_checks = st.Policy.Engine.checks;
   }
+
+(* ------------------------------------------------------------------ *)
+(* tracegate: the zero-cost-off contract of the trace layer.
+
+   With tracing disabled (the default), the observability layer must be
+   invisible to the simulation: fig3/fig7-shaped runs must produce
+   simulated cycle counts and guard-check counts bit-identical to the
+   values recorded before the trace layer existed. The goldens below are
+   those pre-PR values (fixed seeds, fixed packet counts, engine
+   Interp/Compiled both asserted). *)
+
+(* fig7-shaped cell: R350, 0.0004 stall, 128B, 600 packets, seed 5 —
+   exactly Experiments.fig7's loop at a fixed small packet count. *)
+let fig7_cell ~technique ~(engine : Vm.Engine.kind) () =
+  let config =
+    {
+      Testbed.default_config with
+      machine = Machine.Presets.r350;
+      technique;
+      stall_prob = 0.0004;
+      engine;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  let machine = Testbed.machine tb in
+  ignore
+    (Testbed.run_pktgen tb
+       { Net.Pktgen.default_config with count = 200; size = 128; seed = 999 });
+  Policy.Engine.reset_stats (Policy.Policy_module.engine tb.Testbed.policy_module);
+  let c0 = Machine.Model.cycles machine in
+  let r =
+    Testbed.run_pktgen tb
+      { Net.Pktgen.default_config with count = 600; size = 128; seed = 5 }
+  in
+  let c1 = Machine.Model.cycles machine in
+  let st =
+    Policy.Engine.stats (Policy.Policy_module.engine tb.Testbed.policy_module)
+  in
+  let median =
+    Stats.Summary.median (Array.map float_of_int r.Net.Pktgen.latencies)
+  in
+  (c1 - c0, st.Policy.Engine.checks, median)
+
+let run_tracegate () =
+  section "tracegate: tracing off must be simulation-invisible (bit-identical)";
+  (* (label, golden total sim cycles, golden guard checks) *)
+  let fig3_golden_cycles = 10629208 and fig3_golden_checks = 17400 in
+  let fig7_golden_cycles = 12538822 and fig7_golden_checks = 17400 in
+  let fig7_golden_median = 731.0 in
+  let f3i =
+    guardpath_e2e ~label:"fig3/interp" ~engine:Vm.Engine.Interp
+      ~structure:Policy.Engine.Linear ~site_cache:false ~regions:2 ~packets:600 ()
+  in
+  let f3c =
+    guardpath_e2e ~label:"fig3/compiled" ~engine:Vm.Engine.Compiled
+      ~structure:Policy.Engine.Linear ~site_cache:false ~regions:2 ~packets:600 ()
+  in
+  let c7i, k7i, m7i = fig7_cell ~technique:Testbed.Carat ~engine:Vm.Engine.Interp () in
+  let c7c, k7c, m7c = fig7_cell ~technique:Testbed.Carat ~engine:Vm.Engine.Compiled () in
+  Printf.printf "  fig3-shaped (R415, 2 regions, 600 pkts): %d cycles, %d checks\n"
+    f3i.gp_total_cycles f3i.gp_guard_checks;
+  Printf.printf "  fig7-shaped (R350, 2 regions, 600 pkts): %d cycles, %d checks, median %.1f\n"
+    c7i k7i m7i;
+  let fail msg =
+    Printf.eprintf "tracegate: FAIL: %s\n" msg;
+    exit 1
+  in
+  if (f3i.gp_total_cycles, f3i.gp_guard_checks) <> (f3c.gp_total_cycles, f3c.gp_guard_checks)
+  then fail "fig3 engines disagree";
+  if (c7i, k7i, m7i) <> (c7c, k7c, m7c) then fail "fig7 engines disagree";
+  if fig3_golden_cycles = 0 then
+    Printf.printf "  (goldens unset: probe mode, printing measured values only)\n"
+  else begin
+    if (f3i.gp_total_cycles, f3i.gp_guard_checks)
+       <> (fig3_golden_cycles, fig3_golden_checks)
+    then fail "fig3 simulated cycles/checks differ from pre-trace goldens";
+    if (c7i, k7i, m7i) <> (fig7_golden_cycles, fig7_golden_checks, fig7_golden_median)
+    then fail "fig7 simulated cycles/checks/median differ from pre-trace goldens";
+    print_endline "  tracing off is bit-identical to the pre-trace goldens: yes"
+  end
 
 (* Steady-state allocation on the inline-cache hit path must be zero:
    returns minor words allocated across [n] hot checks (measurement
@@ -477,21 +560,26 @@ let run_guardpath () =
   let rows =
     [
       guardpath_e2e ~label:"interp+linear (seed)" ~engine:Vm.Engine.Interp
-        ~structure:Policy.Engine.Linear ~site_cache:false ~regions:64 ~packets;
+        ~structure:Policy.Engine.Linear ~site_cache:false ~regions:64 ~packets ();
       guardpath_e2e ~label:"compiled+linear" ~engine:Vm.Engine.Compiled
-        ~structure:Policy.Engine.Linear ~site_cache:false ~regions:64 ~packets;
+        ~structure:Policy.Engine.Linear ~site_cache:false ~regions:64 ~packets ();
       guardpath_e2e ~label:"interp+shadow+ic" ~engine:Vm.Engine.Interp
-        ~structure:Policy.Engine.Shadow ~site_cache:true ~regions:64 ~packets;
+        ~structure:Policy.Engine.Shadow ~site_cache:true ~regions:64 ~packets ();
       guardpath_e2e ~label:"compiled+shadow+ic" ~engine:Vm.Engine.Compiled
-        ~structure:Policy.Engine.Shadow ~site_cache:true ~regions:64 ~packets;
+        ~structure:Policy.Engine.Shadow ~site_cache:true ~regions:64 ~packets ();
+      (* the observability tax: same configuration with the carat_trace
+         ring recording every guard event *)
+      guardpath_e2e ~trace:true ~label:"compiled+shadow+ic+trace"
+        ~engine:Vm.Engine.Compiled ~structure:Policy.Engine.Shadow
+        ~site_cache:true ~regions:64 ~packets ();
     ]
   in
   let base = List.hd rows in
-  Printf.printf "  %-22s %14s %10s %16s %14s\n" "configuration" "ns/packet"
+  Printf.printf "  %-24s %14s %10s %16s %14s\n" "configuration" "ns/packet"
     "speedup" "sim cycles/pkt" "guard checks";
   List.iter
     (fun r ->
-      Printf.printf "  %-22s %14.0f %9.2fx %16.0f %14d\n" r.gp_label
+      Printf.printf "  %-24s %14.0f %9.2fx %16.0f %14d\n" r.gp_label
         r.gp_ns_per_packet
         (base.gp_ns_per_packet /. r.gp_ns_per_packet)
         r.gp_cycles_per_packet r.gp_guard_checks)
@@ -502,10 +590,10 @@ let run_guardpath () =
   let ctx =
     [
       guardpath_e2e ~label:"interp+linear (2 regions)" ~engine:Vm.Engine.Interp
-        ~structure:Policy.Engine.Linear ~site_cache:false ~regions:2 ~packets;
+        ~structure:Policy.Engine.Linear ~site_cache:false ~regions:2 ~packets ();
       guardpath_e2e ~label:"compiled+shadow+ic (2 regions)"
         ~engine:Vm.Engine.Compiled ~structure:Policy.Engine.Shadow
-        ~site_cache:true ~regions:2 ~packets;
+        ~site_cache:true ~regions:2 ~packets ();
     ]
   in
   List.iter
@@ -528,6 +616,22 @@ let run_guardpath () =
     exit 1
   end;
   print_endline "  engines agree on simulated cycles and guard counts: yes";
+  (* recording must tax cycles only, never decisions: the traced run sees
+     exactly the guard traffic of its untraced twin *)
+  let traced = by "compiled+shadow+ic+trace" in
+  let untraced = by "compiled+shadow+ic" in
+  if traced.gp_guard_checks <> untraced.gp_guard_checks then begin
+    Printf.eprintf
+      "guardpath: FAIL: tracing changed the guard-check count (%d vs %d)\n"
+      traced.gp_guard_checks untraced.gp_guard_checks;
+    exit 1
+  end;
+  let trace_overhead =
+    traced.gp_cycles_per_packet -. untraced.gp_cycles_per_packet
+  in
+  Printf.printf
+    "  trace recording overhead: %.1f sim cycles/packet (decisions unchanged)\n"
+    trace_overhead;
   let words = guardpath_alloc_words ~n:100_000 in
   Printf.printf "  minor words allocated across 100k hot checks: %.0f\n" words;
   if words > 64.0 then begin
@@ -559,14 +663,16 @@ let run_guardpath () =
       \  \"context_two_regions\": [\n%s\n  ],\n\
       \  \"check_only_ns\": {%s},\n\
       \  \"minor_words_per_100k_checks\": %.0f,\n\
-      \  \"speedup_compiled_shadow_vs_seed\": %.3f\n\
+      \  \"speedup_compiled_shadow_vs_seed\": %.3f,\n\
+      \  \"trace_overhead_sim_cycles_per_packet\": %.1f,\n\
+      \  \"trace_decisions_unchanged\": true\n\
        }\n"
       packets
       (String.concat ",\n" (List.map row_json rows))
       (String.concat ",\n" (List.map row_json ctx))
       (String.concat ", "
          (List.map (fun (l, ns) -> Printf.sprintf "%S: %.1f" l ns) co))
-      words speedup;
+      words speedup trace_overhead;
     close_out oc;
     print_endline "  wrote BENCH_guardpath.json"
   end;
@@ -605,6 +711,7 @@ let all_figs =
     ("ablation-opt", run_ablation_opt);
     ("ablation-mechanism", run_mechanism);
     ("guardpath", run_guardpath);
+    ("tracegate", run_tracegate);
     ("faults", run_faults);
     ("bechamel", run_bechamel);
   ]

@@ -13,7 +13,7 @@ open Cmdliner
 open Carat_kop
 
 let run module_path policy_path call args machine_name engine_name mode_str
-    no_enforce show_log stats trace =
+    no_enforce show_log stats trace guard_trace =
   let machine =
     match Machine.Presets.by_name machine_name with
     | Some m -> m
@@ -48,6 +48,8 @@ let run module_path policy_path call args machine_name engine_name mode_str
     let pm =
       Policy.Policy_module.install ~on_deny:Policy.Policy_module.Panic kernel
     in
+    if guard_trace then
+      Trace.start (Policy.Policy_module.enable_trace pm);
     (match policy_path with
     | Some path ->
       Policy.Policy_file.apply_module (Policy.Policy_file.load path) pm
@@ -76,6 +78,18 @@ let run module_path policy_path call args machine_name engine_name mode_str
     | Ok _lm -> (
       Printf.printf "module %s inserted\n" m.Kir.Types.m_name;
       let finish code =
+        (match Policy.Policy_module.trace pm with
+        | Some tr when guard_trace ->
+          List.iter
+            (fun e ->
+              Printf.eprintf "  [guard] %s\n" (Trace.format_event e))
+            (Trace.events tr);
+          let checks, allows, denies, _, _, _ = Trace.totals tr in
+          Printf.eprintf
+            "  [guard] %d event(s) recorded, %d dropped \
+             (checks %d, allows %d, denies %d)\n"
+            (Trace.recorded tr) (Trace.dropped tr) checks allows denies
+        | _ -> ());
         if stats then begin
           let st = Policy.Engine.stats (Policy.Policy_module.engine pm) in
           Printf.eprintf "guard checks: %d (allowed %d, denied %d)\n"
@@ -118,6 +132,7 @@ let run module_path policy_path call args machine_name engine_name mode_str
         with
         | Kernel.Panic info ->
           Printf.eprintf "KERNEL PANIC: %s\n" info.Kernel.reason;
+          List.iter (fun l -> Printf.eprintf "  # %s\n" l) info.Kernel.diag;
           List.iter (fun l -> Printf.eprintf "  | %s\n" l) info.Kernel.log_tail;
           ignore (finish 0);
           4
@@ -174,11 +189,18 @@ let trace_arg =
   Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
     ~doc:"Print the first N interpreted instructions to stderr.")
 
+let guard_trace_arg =
+  Arg.(value & flag & info [ "guard-trace" ]
+    ~doc:"Record guard/lifecycle events in the carat_trace ring and dump \
+          them (with counters) after the run. On a panic the last events \
+          are also attached to the panic report.")
+
 let cmd =
   let doc = "insert a KIR module into a simulated CARAT KOP kernel and call it" in
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
-      $ engine_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg)
+      $ engine_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg
+      $ guard_trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -139,6 +139,116 @@ let cmd_push file =
     (Policy.Engine.regions (Policy.Policy_module.engine pm));
   !rc
 
+(* Shared setup for the observability commands: a live simulated kernel
+   with the policy loaded (audit mode, so denied probes don't panic) and
+   the site inline cache on, so the fast-tier counters have something to
+   show. Returns the kernel and policy module. *)
+let observability_kernel t =
+  let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  let pm =
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit
+      ~site_cache:true kernel
+  in
+  Policy.Policy_module.set_policy pm t.Policy.Policy_file.regions;
+  Policy.Engine.set_default_allow
+    (Policy.Policy_module.engine pm)
+    t.Policy.Policy_file.default_allow;
+  (kernel, pm)
+
+(* Deterministic probe workload: three rounds over every region (read at
+   base, write at last word) plus one low-address access no sane policy
+   allows — enough traffic to populate every counter class. *)
+let probe_workload pm regions =
+  for _round = 1 to 3 do
+    List.iteri
+      (fun i (r : Policy.Region.t) ->
+        (* distinct sites for the read and write probes, so repeat rounds
+           hit the per-site inline cache instead of thrashing it *)
+        ignore
+          (Policy.Policy_module.guard pm ~site:(2 * i)
+             ~addr:r.Policy.Region.base ~size:8 ~flags:Policy.Region.prot_read);
+        ignore
+          (Policy.Policy_module.guard pm
+             ~site:((2 * i) + 1)
+             ~addr:(r.Policy.Region.base + r.Policy.Region.len - 8)
+             ~size:8 ~flags:Policy.Region.prot_write))
+      regions;
+    ignore
+      (Policy.Policy_module.guard pm
+         ~site:(2 * List.length regions)
+         ~addr:0x10 ~size:8 ~flags:Policy.Region.prot_write)
+  done
+
+let cmd_stats file =
+  let t = Policy.Policy_file.load file in
+  let kernel, pm = observability_kernel t in
+  (* attach the trace ring through the operator ioctl, as a root tool
+     would, then drive the probe so the counters are live *)
+  ignore
+    (Kernel.ioctl kernel ~dev:"carat"
+       ~cmd:Policy.Policy_module.ioctl_trace_start ~arg:0);
+  probe_workload pm t.Policy.Policy_file.regions;
+  (* ioctl_get_stats: 8 words into user memory *)
+  let arg = Kernel.map_user kernel ~size:64 in
+  let rc =
+    Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_get_stats
+      ~arg
+  in
+  if rc <> 0 then begin
+    Printf.eprintf "policy_manager: ioctl_get_stats failed (rc=%d)\n" rc;
+    1
+  end
+  else begin
+    let w i = Kernel.read kernel ~addr:(arg + (i * 8)) ~size:8 in
+    Printf.printf
+      "ioctl_get_stats: checks=%d allowed=%d denied=%d entries_scanned=%d\n"
+      (w 0) (w 1) (w 2) (w 3);
+    Printf.printf
+      "                 ic_hits=%d ic_misses=%d trace_recorded=%d dropped=%d\n"
+      (w 4) (w 5) (w 6) (w 7);
+    (* the same numbers as the operator reads them from /proc/carat/stats *)
+    let fs = Kernsvc.Kernfs.create kernel in
+    let proc = Kernsvc.Procfs.install fs pm in
+    print_newline ();
+    print_string (Kernsvc.Procfs.read_stats proc);
+    0
+  end
+
+let cmd_trace file =
+  let t = Policy.Policy_file.load file in
+  let kernel, pm = observability_kernel t in
+  ignore
+    (Kernel.ioctl kernel ~dev:"carat"
+       ~cmd:Policy.Policy_module.ioctl_trace_start ~arg:0);
+  probe_workload pm t.Policy.Policy_file.regions;
+  ignore
+    (Kernel.ioctl kernel ~dev:"carat"
+       ~cmd:Policy.Policy_module.ioctl_trace_stop ~arg:0);
+  (* drain the ring through ioctl_trace_read, one 8-word event per call *)
+  let arg = Kernel.map_user kernel ~size:64 in
+  let n = ref 0 in
+  let rec drain () =
+    let rc =
+      Kernel.ioctl kernel ~dev:"carat"
+        ~cmd:Policy.Policy_module.ioctl_trace_read ~arg
+    in
+    if rc = 1 then begin
+      let w i = Kernel.read kernel ~addr:(arg + (i * 8)) ~size:8 in
+      let kind = Trace.kind_to_string (Trace.kind_of_int (w 2)) in
+      Printf.printf "#%-4d @%-8d %-14s site=%-3d 0x%08x+%-4d flags=%d info=0x%x\n"
+        (w 0) (w 1) kind (w 3) (w 4) (w 5) (w 6) (w 7);
+      incr n;
+      drain ()
+    end
+  in
+  drain ();
+  (match Policy.Policy_module.trace pm with
+  | Some tr ->
+    Printf.printf "%d event(s) read; %d dropped (ring capacity %d)\n" !n
+      (Trace.dropped tr) (Trace.capacity tr)
+  | None -> ());
+  0
+
 let cmd_set_mode file mode_str =
   match Policy.Policy_module.on_deny_of_string mode_str with
   | None ->
@@ -218,6 +328,22 @@ let mode_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"MODE"
     ~doc:"Enforcement on guard denial: panic, quarantine, or audit.")
 
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "load the policy into a simulated kernel, drive a probe workload, \
+          and print guard counters via ioctl_get_stats and /proc/carat/stats")
+    Term.(const cmd_stats $ file_arg)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "record the probe workload's guard events in the carat_trace ring \
+          and drain them via ioctl_trace_read")
+    Term.(const cmd_trace $ file_arg)
+
 let set_mode_cmd =
   Cmd.v
     (Cmd.info "set-mode"
@@ -229,4 +355,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "policy_manager" ~doc)
-          [ init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd; set_mode_cmd ]))
+          [
+            init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd;
+            stats_cmd; trace_cmd; set_mode_cmd;
+          ]))

@@ -23,6 +23,8 @@ type config = {
   engine : Vm.Engine.kind;  (** KIR execution engine (simulated cycles are
                                 engine-independent) *)
   site_cache : bool;  (** enable the per-guard-site inline cache *)
+  trace : bool;  (** attach the guard-event ring and start recording *)
+  trace_capacity : int;  (** ring slots when [trace] (rounded to pow2) *)
 }
 
 let default_config =
@@ -41,6 +43,8 @@ let default_config =
     with_rogue = false;
     engine = Vm.Engine.Interp;
     site_cache = false;
+    trace = false;
+    trace_capacity = Trace.default_capacity;
   }
 
 type t = {
@@ -82,6 +86,11 @@ let create ?(config = default_config) () : t =
       ~capacity:config.capacity ~on_deny:config.on_deny
       ~site_cache:config.site_cache kernel
   in
+  if config.trace then
+    (* attach before policy push / insmod so lifecycle events are captured *)
+    Trace.start
+      (Policy.Policy_module.enable_trace ~capacity:config.trace_capacity
+         policy_module);
   (match config.technique with
   | Carat -> Policy.Policy_module.set_policy policy_module config.policy
   | Baseline -> ());

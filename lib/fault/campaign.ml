@@ -43,7 +43,12 @@ type report = {
   classes : Inject.cls list;
   modes : Harness.mode list;
   cells : cell_stats array array;  (** indexed class × mode *)
+  mutable diagnostics : (Inject.cls * Harness.mode * int * string list) list;
+      (** sampled guard-trace tails from contained faults (class, mode,
+          seed, events) — capped at {!max_diagnostics}, oldest first *)
 }
+
+let max_diagnostics = 5
 
 let cell r ~cls ~mode =
   let ci =
@@ -92,8 +97,10 @@ let run ?on_outcome ?engine (config : config) : report =
       cells =
         Array.init (List.length classes) (fun _ ->
             Array.init (List.length modes) (fun _ -> empty_stats ()));
+      diagnostics = [];
     }
   in
+  let n_diags = ref 0 in
   let master = Machine.Rng.create config.seed in
   for i = 0 to config.faults - 1 do
     let cls = List.nth classes (i mod List.length classes) in
@@ -104,6 +111,11 @@ let run ?on_outcome ?engine (config : config) : report =
       (fun mode ->
         let o = Harness.run_one ?engine ~cls ~mode ~seed:fault_seed () in
         record (cell r ~cls ~mode) o;
+        if o.Harness.trace_tail <> [] && !n_diags < max_diagnostics then begin
+          incr n_diags;
+          r.diagnostics <-
+            r.diagnostics @ [ (cls, mode, fault_seed, o.Harness.trace_tail) ]
+        end;
         match on_outcome with Some f -> f o | None -> ())
       modes
   done;
@@ -216,6 +228,16 @@ let render (r : report) : string =
     base_t.contained base_t.injected
     (rate base_t.contained base_t.injected);
   pf "\n";
+  if r.diagnostics <> [] then begin
+    pf "sample guard-trace tails (what the module touched before containment)\n";
+    List.iter
+      (fun (cls, mode, seed, tail) ->
+        pf "  %s under %s (seed %d):\n" (Inject.cls_to_string cls)
+          (Harness.mode_to_string mode) seed;
+        List.iter (fun line -> pf "    %s\n" line) tail)
+      r.diagnostics;
+    pf "\n"
+  end;
   (match check r with
   | [] -> pf "verdict: PASS (all containment invariants hold)\n"
   | fails ->

@@ -44,6 +44,10 @@ type outcome = {
       (** quarantine only: second call bounced with -EIO, counter intact *)
   recovered : bool option;
       (** quarantine only: rmmod + repaired insmod + clean run worked *)
+  trace_tail : string list;
+      (** last guard/lifecycle events from the cell's trace ring when the
+          run ended in a deny/panic/quarantine — the operator's forensic
+          view of what the module touched right before containment *)
 }
 
 (** The headline invariant: the fault did not touch a single byte outside
@@ -116,6 +120,11 @@ let make_cell ?(engine = Vm.Engine.Interp) ~mode () : cell =
   let pm =
     Policy.Policy_module.install ~kind:Policy.Engine.Linear ~on_deny kernel
   in
+  (* carat cells record a small guard-event ring so denials come with a
+     forensic tail; the ring never writes simulated bytes, so the
+     containment diff below is unaffected *)
+  if mode <> Baseline then
+    Trace.start (Policy.Policy_module.enable_trace ~capacity:64 pm);
   let secret = Kernel.kmalloc kernel ~size:secret_size in
   let ring = Kernel.kmalloc kernel ~size:(ring_entries * desc_size) in
   let canary = Kernel.kmalloc kernel ~size:512 in
@@ -219,6 +228,15 @@ let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
   in
   let quarantined = Kernel.quarantine_records cell.kernel <> [] in
   let denied = List.length (Policy.Policy_module.violations cell.pm) in
+  (* snapshot the forensic tail now, before the re-entry and recovery
+     probes below flood the ring with their own (benign) guard events *)
+  let trace_tail =
+    match Policy.Policy_module.trace cell.pm with
+    | Some tr when (panicked || quarantined || denied > 0) && Trace.recorded tr > 0
+      ->
+      List.map Trace.format_event (Trace.recent tr 4)
+    | _ -> []
+  in
   (* quarantine-specific invariants: no re-entry, then recovery *)
   let reenter_blocked =
     match (lm, quarantined) with
@@ -263,6 +281,7 @@ let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
     escaped_bytes;
     reenter_blocked;
     recovered;
+    trace_tail;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -16,7 +16,14 @@ module Layout = Layout
 module Memory = Memory
 module Klog = Klog
 
-type panic_info = { reason : string; log_tail : string list }
+type panic_info = {
+  reason : string;
+  log_tail : string list;
+  diag : string list;
+      (** subsystem-supplied diagnostic attachments captured at panic
+          time (e.g. the policy module's guard-trace tail), printed with
+          the crash report but kept out of the one-line reason *)
+}
 
 exception Panic of panic_info
 
@@ -129,7 +136,7 @@ exception Quarantine_trap of loaded_module
 
 (* ------------------------------------------------------------------ *)
 
-let panic t reason =
+let panic ?(diag = []) t reason =
   match t.panicked with
   | Some original ->
     (* Idempotent: a second panic (raised while handling the first, or by
@@ -140,7 +147,7 @@ let panic t reason =
       reason;
     raise (Panic original)
   | None ->
-    let info = { reason; log_tail = Klog.tail t.log 16 } in
+    let info = { reason; log_tail = Klog.tail t.log 16; diag } in
     Klog.log t.log Klog.Crit "Kernel panic - not syncing: %s" reason;
     t.panicked <- Some info;
     raise (Panic info)

@@ -1,0 +1,71 @@
+(** /proc/carat — the operator-facing observability files, served out of
+    {!Kernfs} so the rendered text lives in simulated kernel memory like
+    any other file data (and can itself be covered by a region policy).
+
+    Two files:
+    - [carat/stats]: tier-invariant decision counters, per-site and
+      per-region rows, fast-tier hit/miss counters, ring status;
+    - [carat/trace]: the recorded guard/lifecycle event log, one line per
+      event, oldest first.
+
+    Like real procfs, contents are generated on open: callers go through
+    {!read_stats}/{!read_trace} (or call {!refresh} then use the plain
+    VFS natives), which re-render from the live {!Trace.t} each time.
+    When no trace is attached the files read as a one-line notice. *)
+
+type t = {
+  fs : Kernfs.t;
+  pm : Policy.Policy_module.t;
+  stats_ino : int;
+  trace_ino : int;
+}
+
+let stats_name = "carat/stats"
+let trace_name = "carat/trace"
+
+(* file data extents are fixed-capacity; renders are truncated to fit,
+   with a marker so a clipped trace is distinguishable from a short one *)
+let stats_capacity = 8192
+let trace_capacity = 65536
+
+let truncate_to cap s =
+  if String.length s <= cap then s
+  else
+    let marker = "\n...[truncated]\n" in
+    String.sub s 0 (cap - String.length marker) ^ marker
+
+let install fs pm : t =
+  let mk name cap = Kernfs.create_file fs ~name ~mode:0o4 ~capacity:cap in
+  let t =
+    {
+      fs;
+      pm;
+      stats_ino = mk stats_name stats_capacity;
+      trace_ino = mk trace_name trace_capacity;
+    }
+  in
+  Kernfs.write_contents fs ~ino:t.stats_ino "carat: tracing not enabled\n";
+  Kernfs.write_contents fs ~ino:t.trace_ino "carat: tracing not enabled\n";
+  t
+
+let stats_ino t = t.stats_ino
+let trace_ino t = t.trace_ino
+
+(** Re-render both files from the policy module's current trace state. *)
+let refresh t =
+  match Policy.Policy_module.trace t.pm with
+  | None -> ()
+  | Some tr ->
+    let region_tag base = Policy.Policy_module.region_tag t.pm base in
+    Kernfs.write_contents t.fs ~ino:t.stats_ino
+      (truncate_to stats_capacity (Trace.render_stats ~region_tag tr));
+    Kernfs.write_contents t.fs ~ino:t.trace_ino
+      (truncate_to trace_capacity (Trace.render_events tr))
+
+let read_stats t =
+  refresh t;
+  Kernfs.read_contents t.fs ~ino:t.stats_ino
+
+let read_trace t =
+  refresh t;
+  Kernfs.read_contents t.fs ~ino:t.trace_ino

@@ -38,12 +38,23 @@ let kind_to_string = function
 
 let all_kinds = [ Linear; Sorted; Splay; Rbtree; Bloom; Cached; Shadow ]
 
+(** Decision statistics. Tier-invariant: a fast-tier (inline-cache) hit
+    credits the same [entries_scanned] the exact walk would have
+    recorded, so these counters depend only on the checks performed,
+    never on which tier answered them (pinned by test_engine). *)
 type stats = {
   mutable checks : int;
   mutable allowed : int;
   mutable denied : int;
   mutable entries_scanned : int;
 }
+
+(** Tier statistics: how often the site inline cache answered. These are
+    the counters that legitimately differ between tiers, kept apart from
+    the decision stats above. A "miss" is any fast-path entry that had to
+    defer to the exact walk (cold/stale slot, wrong page, cross-page
+    access, or a cached fact that could not prove an allow). *)
+type tier_stats = { mutable ic_hits : int; mutable ic_misses : int }
 
 type verdict =
   | Allowed of Region.t option
@@ -65,6 +76,12 @@ type site_cache = {
   sc_page : int array;
   sc_prot : int array;
   sc_pcs : int array;  (** stable branch-site ids per slot *)
+  sc_depth : int array;
+      (** entries the exact walk would scan for this page — cached so an
+          inline-cache hit can credit the tier-invariant scan depth *)
+  sc_rbase : int array;
+      (** base of the first-match region for this page (-1 = none), for
+          per-region trace attribution on a hit *)
 }
 
 type t = {
@@ -72,6 +89,11 @@ type t = {
   instance : Structure.instance;
   mutable default_allow : bool;
   stats : stats;
+  tier : tier_stats;
+  mutable trace : Trace.t option;
+      (** observability sink; [None] (the default) makes every trace
+          touch-point a single cheap match, keeping the traced-off path
+          bit-identical to the pre-trace simulation *)
   mutable epoch : int;
       (** bumped on every policy mutation; fast tiers validate against it *)
   mutable site_cache : site_cache option;
@@ -109,6 +131,8 @@ let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
     instance = make_instance kernel kind ~capacity;
     default_allow;
     stats = { checks = 0; allowed = 0; denied = 0; entries_scanned = 0 };
+    tier = { ic_hits = 0; ic_misses = 0 };
+    trace = None;
     epoch = 0;
     site_cache = None;
     last_deny = None;
@@ -122,29 +146,48 @@ let bump_epoch t = t.epoch <- t.epoch + 1
 
 let epoch t = t.epoch
 
+(** Attach/detach the observability sink. Detached (the default) costs
+    nothing — simulated cycles stay bit-identical to a build without the
+    trace layer (the bench [tracegate] target pins this). *)
+let set_trace t tr = t.trace <- tr
+
+let trace t = t.trace
+
+let lifecycle t kind ~info =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.on_lifecycle tr kind ~info
+
 let add_region t r =
   match Structure.add t.instance r with
   | Ok () ->
     bump_epoch t;
+    lifecycle t Trace.Policy_add ~info:r.Region.base;
     Ok ()
   | Error _ as e -> e
 
 let remove_region t ~base =
   let removed = Structure.remove t.instance ~base in
-  if removed then bump_epoch t;
+  if removed then begin
+    bump_epoch t;
+    lifecycle t Trace.Policy_remove ~info:base
+  end;
   removed
 
 let clear t =
   Structure.clear t.instance;
-  bump_epoch t
+  bump_epoch t;
+  lifecycle t Trace.Policy_clear ~info:0
 
 let set_default_allow t b =
   t.default_allow <- b;
-  bump_epoch t
+  bump_epoch t;
+  lifecycle t Trace.Policy_default ~info:(if b then 1 else 0)
 
 let count t = Structure.count t.instance
 let regions t = Structure.regions t.instance
 let stats t = t.stats
+let tier_stats t = t.tier
 let structure_name t = Structure.name t.instance
 let table_region t = Structure.table_region t.instance
 
@@ -152,7 +195,9 @@ let reset_stats t =
   t.stats.checks <- 0;
   t.stats.allowed <- 0;
   t.stats.denied <- 0;
-  t.stats.entries_scanned <- 0
+  t.stats.entries_scanned <- 0;
+  t.tier.ic_hits <- 0;
+  t.tier.ic_misses <- 0
 
 (** Load a whole policy (clearing the current one); errors abort. *)
 let set_policy t rs =
@@ -164,9 +209,20 @@ let set_policy t rs =
       | Error e -> invalid_arg ("Engine.set_policy: " ^ e))
     rs
 
+(* Decision-event emission; a single match when no sink is attached. *)
+let emit_guard t ~site ~addr ~size ~flags ~allowed ~fast ~scanned ~region_base
+    =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.on_guard tr ~site ~addr ~size ~flags ~allowed ~fast ~scanned
+      ~region_base
+
 (** The permissions check at the heart of [carat_guard]. Charges the
-    guard-body prologue plus whatever the structure walk costs. *)
-let check t ~addr ~size ~flags : verdict =
+    guard-body prologue plus whatever the structure walk costs. [site] is
+    the static guard-site id for observability attribution (-1 = not a
+    guard site). *)
+let check_sited t ~site ~addr ~size ~flags : verdict =
   let machine = Kernel.machine t.kernel in
   (* prologue: argument marshalling, flag mask, bounds set-up *)
   Machine.Model.retire machine 4;
@@ -180,6 +236,8 @@ let check t ~addr ~size ~flags : verdict =
     Machine.Model.branch machine
       ~pc:t.perm_pc.(r.Region.prot land 3)
       ~taken:ok;
+    emit_guard t ~site ~addr ~size ~flags ~allowed:ok ~fast:false
+      ~scanned:out.Structure.scanned ~region_base:r.Region.base;
     if ok then begin
       t.stats.allowed <- t.stats.allowed + 1;
       Allowed (Some r)
@@ -189,6 +247,8 @@ let check t ~addr ~size ~flags : verdict =
       Denied (Some r)
     end
   | None ->
+    emit_guard t ~site ~addr ~size ~flags ~allowed:t.default_allow ~fast:false
+      ~scanned:out.Structure.scanned ~region_base:(-1);
     if t.default_allow then begin
       t.stats.allowed <- t.stats.allowed + 1;
       Allowed None
@@ -197,6 +257,8 @@ let check t ~addr ~size ~flags : verdict =
       t.stats.denied <- t.stats.denied + 1;
       Denied None
     end
+
+let check t ~addr ~size ~flags : verdict = check_sited t ~site:(-1) ~addr ~size ~flags
 
 (* ------------------------------------------------------------------ *)
 (* site-indexed inline-cache fast path *)
@@ -217,6 +279,8 @@ let enable_site_cache t =
           sc_prot = Array.make site_cache_size 0;
           sc_pcs =
             Array.init site_cache_size (fun i -> Hashtbl.hash ("site-ic", i));
+          sc_depth = Array.make site_cache_size 0;
+          sc_rbase = Array.make site_cache_size (-1);
         }
 
 let site_cache_enabled t = t.site_cache <> None
@@ -225,34 +289,43 @@ let site_cache_enabled t = t.site_cache <> None
     [check_fast] denial ([None] = nothing matched under default-deny). *)
 let last_deny t = t.last_deny
 
-(* The page's protection bits iff they are uniform for every possible
-   in-page byte range: every region either fully contains or is disjoint
-   from the page, making the first full container (table order) the
-   first-match answer for any in-page range. Partial overlap -> None
-   (uncacheable). Uncovered pages get the default encoded as protection
+(* The page's uniform-permission classification iff it holds for every
+   possible in-page byte range: every region either fully contains or is
+   disjoint from the page, making the first full container (table order)
+   the first-match answer for any in-page range. Partial overlap -> None
+   (uncacheable). Returns [(prot, depth, rbase)]: the protection bits,
+   the tier-invariant scan depth (how many entries the exact linear-order
+   walk examines before answering — the match's 1-based position, or the
+   region count when nothing matches), and the matched region's base (-1
+   when uncovered). Uncovered pages get the default encoded as protection
    bits; flags = 0 never uses the cache (see [check_fast]), which keeps
    the "no region matched" deny-on-default exact. *)
 let page_uniform_prot t page =
   let lo = page lsl Shadow_table.page_bits in
   let hi = lo + Shadow_table.page_size in
-  let rec go first_full = function
+  let rec go idx first_full = function
     | [] -> (
       match first_full with
-      | Some (r : Region.t) -> Some r.Region.prot
-      | None -> if t.default_allow then Some Region.prot_rw else Some 0)
+      | Some ((r : Region.t), at) -> Some (r.Region.prot, at + 1, r.Region.base)
+      | None ->
+        let depth = Structure.count t.instance in
+        if t.default_allow then Some (Region.prot_rw, depth, -1)
+        else Some (0, depth, -1))
     | (r : Region.t) :: rest ->
       let rlim = Region.limit r in
       if r.Region.base < hi && lo < rlim then
         if r.Region.base <= lo && hi <= rlim then
-          go (match first_full with Some _ -> first_full | None -> Some r) rest
+          go (idx + 1)
+            (match first_full with Some _ -> first_full | None -> Some (r, idx))
+            rest
         else None
-      else go first_full rest
+      else go (idx + 1) first_full rest
   in
-  go None (Structure.regions t.instance)
+  go 0 None (Structure.regions t.instance)
 
 (* Exact walk on behalf of [check_fast]: full cost, full diagnostics. *)
-let check_slow t ~addr ~size ~flags =
-  match check t ~addr ~size ~flags with
+let check_slow t ~site ~addr ~size ~flags =
+  match check_sited t ~site ~addr ~size ~flags with
   | Allowed _ ->
     t.last_deny <- None;
     true
@@ -263,10 +336,12 @@ let check_slow t ~addr ~size ~flags =
 let fill_site sc t ~i ~page =
   match page_uniform_prot t page with
   | None -> () (* straddling page: every access re-walks, by design *)
-  | Some prot ->
+  | Some (prot, depth, rbase) ->
     sc.sc_epoch.(i) <- t.epoch;
     sc.sc_page.(i) <- page;
     sc.sc_prot.(i) <- prot;
+    sc.sc_depth.(i) <- depth;
+    sc.sc_rbase.(i) <- rbase;
     let machine = Kernel.machine t.kernel in
     (* classification arithmetic + the tag store; the walk itself was
        already charged by the exact lookup, like a TLB miss's page walk *)
@@ -299,17 +374,38 @@ let check_fast t ~site ~addr ~size ~flags : bool =
       if flags land sc.sc_prot.(i) = flags then begin
         t.stats.checks <- t.stats.checks + 1;
         t.stats.allowed <- t.stats.allowed + 1;
-        t.stats.entries_scanned <- t.stats.entries_scanned + 1;
+        (* credit the scan depth the exact walk would have recorded, so
+           decision stats do not depend on which tier answered *)
+        t.stats.entries_scanned <- t.stats.entries_scanned + sc.sc_depth.(i);
+        (* an allow supersedes any earlier denial diagnostic, exactly as
+           the exact walk's Allowed branch does *)
+        t.last_deny <- None;
+        t.tier.ic_hits <- t.tier.ic_hits + 1;
+        (match t.trace with
+        | None -> ()
+        | Some tr ->
+          Trace.on_fast_hit tr ~site;
+          Trace.on_guard tr ~site ~addr ~size ~flags ~allowed:true ~fast:true
+            ~scanned:sc.sc_depth.(i) ~region_base:sc.sc_rbase.(i));
         true
       end
-      else
+      else begin
         (* cached fact says deny (or an exotic flag combination): take the
            exact walk for the authoritative verdict and diagnostics *)
-        check_slow t ~addr ~size ~flags
+        t.tier.ic_misses <- t.tier.ic_misses + 1;
+        (match t.trace with
+        | None -> ()
+        | Some tr -> Trace.on_fast_miss tr ~site);
+        check_slow t ~site ~addr ~size ~flags
+      end
     else begin
-      let ok = check_slow t ~addr ~size ~flags in
+      t.tier.ic_misses <- t.tier.ic_misses + 1;
+      (match t.trace with
+      | None -> ()
+      | Some tr -> Trace.on_fast_miss tr ~site);
+      let ok = check_slow t ~site ~addr ~size ~flags in
       if (addr + size - 1) lsr Shadow_table.page_bits = page then
         fill_site sc t ~i ~page;
       ok
     end
-  | _ -> check_slow t ~addr ~size ~flags
+  | _ -> check_slow t ~site ~addr ~size ~flags

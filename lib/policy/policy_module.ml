@@ -70,6 +70,16 @@ let ioctl_cfi_default = 11 (* arg <> 0 = default allow *)
 (* enforcement mode *)
 let ioctl_set_mode = 12 (* arg = on_deny_to_int encoding *)
 let ioctl_get_mode = 13
+(* observability: engine statistics and the carat_trace ring *)
+let ioctl_get_stats = 14
+(* arg = user block of 8 x 8 bytes, filled with checks, allowed, denied,
+   entries_scanned, ic_hits, ic_misses, trace recorded, trace dropped *)
+let ioctl_trace_start = 15 (* arg = ring capacity hint; 0 = default *)
+let ioctl_trace_stop = 16
+let ioctl_trace_read = 17
+(* arg = user block of 8 x 8 bytes; consumes the oldest unread event and
+   fills seq, cycles, kind, site, addr, size, flags, info; returns 1 when
+   an event was delivered, 0 when the ring is drained *)
 
 let guard_symbol = Passes.Guard_injection.guard_symbol_default
 let intrinsic_guard_symbol = Passes.Intrinsic_guard.guard_symbol
@@ -77,10 +87,25 @@ let cfi_guard_symbol = Passes.Cfi_guard.guard_symbol
 
 (* The single enforcement decision point shared by the memory, intrinsic
    and CFI guards: the violation is already logged and recorded when this
-   runs, [what] names it for the panic/quarantine diagnosis. *)
+   runs, [what] names it for the panic/quarantine diagnosis. When a trace
+   is attached, the last recorded events are snapshotted into the reason
+   (and, verbatim, into the panic diagnostics), so a fault-campaign
+   failure or a quarantine record carries the events leading up to the
+   deny. *)
 let enforce t ~what =
+  let what, diag =
+    match Engine.trace t.engine with
+    | Some tr when Trace.recorded tr > 0 ->
+      ( what ^ " [trace: " ^ Trace.tail_string tr 4 ^ "]",
+        List.map Trace.format_event (Trace.recent tr 8) )
+    | _ -> (what, [])
+  in
   match t.on_deny with
-  | Panic -> Kernel.panic t.kernel what
+  | Panic ->
+    (match Engine.trace t.engine with
+    | Some tr -> Trace.on_lifecycle tr Trace.Panic ~info:0
+    | None -> ());
+    Kernel.panic ~diag t.kernel what
   | Audit -> ()
   | Quarantine -> (
     match Kernel.current_module t.kernel with
@@ -90,7 +115,7 @@ let enforce t ~what =
     | None ->
       (* a violation attributed to no module is core-kernel misbehaviour:
          there is nothing to isolate, so fall back to the hard stop *)
-      Kernel.panic t.kernel what)
+      Kernel.panic ~diag t.kernel what)
 
 let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
   t.violations <- (addr, size, flags) :: t.violations;
@@ -143,6 +168,29 @@ let cfi_guard t ~target =
       "CARAT KOP: forbidden indirect call to %s" where;
     enforce t ~what:(Printf.sprintf "CARAT KOP CFI violation (target %s)" where)
   end
+
+(** Attach the observability layer (idempotent). The carat_trace ring is
+    created lazily — an untraced run never allocates it, so simulated
+    memory layout and cycle counts stay bit-identical to a trace-free
+    build (the bench tracegate pins this). *)
+let enable_trace ?capacity t =
+  match Engine.trace t.engine with
+  | Some tr -> tr
+  | None ->
+    let tr = Trace.create ?capacity t.kernel in
+    Engine.set_trace t.engine (Some tr);
+    tr
+
+let trace t = Engine.trace t.engine
+
+(** Display tag for a region base, for trace renderings (the ring stores
+    only bases; the policy knows the names). *)
+let region_tag t base =
+  List.find_map
+    (fun (r : Region.t) ->
+      if r.Region.base = base && r.Region.tag <> "" then Some r.Region.tag
+      else None)
+    (Engine.regions t.engine)
 
 (* ioctl argument block: base(8) len(8) prot(8) at a user address *)
 let read_region_arg t ~arg =
@@ -203,12 +251,61 @@ let handle_ioctl t _kernel ~cmd ~arg =
       (* mode flips change what a (stale) allow would have bypassed, so
          they invalidate the fast tiers like any policy push *)
       Engine.bump_epoch t.engine;
+      Engine.lifecycle t.engine Trace.Mode_change ~info:(on_deny_to_int mode);
       Kernel.Klog.printk (Kernel.log t.kernel)
         "CARAT KOP enforcement mode -> %s" (on_deny_to_string mode);
       0
     | None -> -1
   end
   else if cmd = ioctl_get_mode then on_deny_to_int t.on_deny
+  else if cmd = ioctl_get_stats then begin
+    let st = Engine.stats t.engine in
+    let tier = Engine.tier_stats t.engine in
+    let recorded, dropped =
+      match Engine.trace t.engine with
+      | Some tr -> (Trace.recorded tr, Trace.dropped tr)
+      | None -> (0, 0)
+    in
+    let w i v = Kernel.write t.kernel ~addr:(arg + (i * 8)) ~size:8 v in
+    w 0 st.Engine.checks;
+    w 1 st.Engine.allowed;
+    w 2 st.Engine.denied;
+    w 3 st.Engine.entries_scanned;
+    w 4 tier.Engine.ic_hits;
+    w 5 tier.Engine.ic_misses;
+    w 6 recorded;
+    w 7 dropped;
+    0
+  end
+  else if cmd = ioctl_trace_start then begin
+    let tr = enable_trace ?capacity:(if arg > 0 then Some arg else None) t in
+    Trace.start tr;
+    0
+  end
+  else if cmd = ioctl_trace_stop then begin
+    (match Engine.trace t.engine with
+    | Some tr -> Trace.stop tr
+    | None -> ());
+    0
+  end
+  else if cmd = ioctl_trace_read then begin
+    match Engine.trace t.engine with
+    | None -> 0
+    | Some tr -> (
+      match Trace.read_next tr with
+      | None -> 0
+      | Some e ->
+        let w i v = Kernel.write t.kernel ~addr:(arg + (i * 8)) ~size:8 v in
+        w 0 e.Trace.seq;
+        w 1 e.Trace.cycles;
+        w 2 (Trace.kind_to_int e.Trace.kind);
+        w 3 e.Trace.site;
+        w 4 e.Trace.addr;
+        w 5 e.Trace.size;
+        w 6 e.Trace.flags;
+        w 7 e.Trace.info;
+        1)
+  end
   else -1
 
 (** Insert the policy module into [kernel]: registers [carat_guard] and
@@ -258,6 +355,14 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
       | _ -> Kernel.panic kernel "carat_cfi_guard: bad arguments");
       0);
   Kernel.register_device kernel device_name (handle_ioctl t);
+  (* module lifecycle events for the trace ring; the hooks read the
+     engine's current sink, so a trace attached later still sees them *)
+  Kernel.add_load_hook kernel (fun _k lm ->
+      Engine.lifecycle engine Trace.Module_load
+        ~info:(Hashtbl.hash lm.Kernel.lm_name land 0xffffff));
+  Kernel.add_quarantine_hook kernel (fun _k lm ->
+      Engine.lifecycle engine Trace.Module_quarantine
+        ~info:(Hashtbl.hash lm.Kernel.lm_name land 0xffffff));
   Kernel.Klog.printk (Kernel.log kernel)
     "CARAT KOP policy module loaded (structure=%s, capacity=%d, default=%s)"
     (Engine.kind_to_string kind) capacity
@@ -270,7 +375,8 @@ let mode t = t.on_deny
 let set_on_deny t a =
   t.on_deny <- a;
   (* same invalidation contract as the set-mode ioctl *)
-  Engine.bump_epoch t.engine
+  Engine.bump_epoch t.engine;
+  Engine.lifecycle t.engine Trace.Mode_change ~info:(on_deny_to_int a)
 let violations t = t.violations
 let intrinsic_violations t = t.intrinsic_violations
 let cfi_violations t = t.cfi_violations

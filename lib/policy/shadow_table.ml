@@ -41,6 +41,12 @@ type t = {
   tags : int array;  (** page number cached in each slot, -1 = empty *)
   gens : int array;  (** generation the slot was filled under *)
   state : entry array;
+  depths : int array;
+      (** per-slot tier-invariant scan depth: the entries the exact
+          linear-order walk examines before answering for this page (the
+          match's 1-based table position, or the region count when no
+          region intersects), so shadow hits report the same
+          [Structure.outcome.scanned] the wrapped walk would *)
   mutable gen : int;  (** bumped on every add/remove/clear *)
   branch_pcs : int array;  (** per-slot stable branch-site ids *)
   mutable hits : int;
@@ -59,6 +65,7 @@ let create kernel ~capacity =
     tags = Array.make shadow_entries (-1);
     gens = Array.make shadow_entries 0;
     state = Array.make shadow_entries Invalid;
+    depths = Array.make shadow_entries 0;
     gen = 0;
     branch_pcs = Array.init shadow_entries (fun i -> Hashtbl.hash ("shadow", i));
     hits = 0;
@@ -90,21 +97,30 @@ let regions t = Linear_table.regions t.inner
 (* Page classification against the exact table, in table order. A region
    [fully contains] the page when [r.base <= lo && hi <= limit r]; it
    [partially overlaps] when it intersects the page without containing
-   it. Any partial overlap forces [Straddle]. *)
-let classify_page t page : entry =
+   it. Any partial overlap forces [Straddle]. Also returns the depth the
+   exact walk would record for an in-page range: the first full
+   container's 1-based position (a disjoint region can never match an
+   in-page range, so the first full container *is* the first match), or
+   the full region count when nothing intersects. *)
+let classify_page t page : entry * int =
   let lo = page lsl page_bits in
   let hi = lo + page_size in
-  let rec go first_full = function
-    | [] -> ( match first_full with Some r -> Uniform r | None -> No_region)
+  let rec go idx first_full = function
+    | [] -> (
+      match first_full with
+      | Some (r, at) -> (Uniform r, at + 1)
+      | None -> (No_region, Linear_table.count t.inner))
     | (r : Region.t) :: rest ->
       let rlim = Region.limit r in
       if r.Region.base < hi && lo < rlim then
         if r.Region.base <= lo && hi <= rlim then
-          go (match first_full with Some _ -> first_full | None -> Some r) rest
-        else Straddle
-      else go first_full rest
+          go (idx + 1)
+            (match first_full with Some _ -> first_full | None -> Some (r, idx))
+            rest
+        else (Straddle, 0)
+      else go (idx + 1) first_full rest
   in
-  go None (Linear_table.regions t.inner)
+  go 0 None (Linear_table.regions t.inner)
 
 let exact t ~addr ~size =
   t.fallbacks <- t.fallbacks + 1;
@@ -128,10 +144,13 @@ let lookup t ~addr ~size : Structure.outcome =
       match if valid then t.state.(i) else Invalid with
       | Uniform r ->
         t.hits <- t.hits + 1;
-        { Structure.matched = Some r; scanned = 1 }
+        (* report the wrapped walk's scan depth, not the single shadow
+           probe, so decision stats are tier-invariant; the probe count
+           lives in the hits/misses tier counters instead *)
+        { Structure.matched = Some r; scanned = t.depths.(i) }
       | No_region ->
         t.hits <- t.hits + 1;
-        { Structure.matched = None; scanned = 1 }
+        { Structure.matched = None; scanned = t.depths.(i) }
       | Straddle ->
         (* cached fact: this page needs the exact walk every time *)
         exact t ~addr ~size
@@ -139,10 +158,11 @@ let lookup t ~addr ~size : Structure.outcome =
         (* shadow miss: exact walk, then refill this slot *)
         t.misses <- t.misses + 1;
         let out = Linear_table.lookup t.inner ~addr ~size in
-        let cls = classify_page t page in
+        let cls, depth = classify_page t page in
         t.tags.(i) <- page;
         t.gens.(i) <- t.gen;
         t.state.(i) <- cls;
+        t.depths.(i) <- depth;
         (* the refill's visible cost: classification arithmetic plus the
            tag store (the walk itself was just charged by the inner
            lookup, exactly like a hardware TLB miss pays the page walk) *)

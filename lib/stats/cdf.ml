@@ -9,7 +9,7 @@ let of_samples (xs : float array) : t =
   if n = 0 then { points = [||] }
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     {
       points =
         Array.mapi
@@ -36,17 +36,27 @@ let at (t : t) v =
     if !best < 0 then 0.0 else snd t.points.(!best)
   end
 
-(** Value at cumulative fraction q (inverse CDF). *)
+(** Value at cumulative fraction q (inverse CDF): the first point whose
+    cumulative fraction reaches [q], or the last point when none does
+    (q > 1). O(log n), mirroring {!at}'s search — [render] calls this
+    once per percentage tick per series, which made the old O(n) scan
+    the figure harness's inner loop. *)
 let quantile (t : t) q =
   let n = Array.length t.points in
   if n = 0 then nan
   else begin
-    let rec go i =
-      if i >= n then fst t.points.(n - 1)
-      else if snd t.points.(i) >= q then fst t.points.(i)
-      else go (i + 1)
-    in
-    go 0
+    (* binary search for the leftmost point with fraction >= q; the
+       fractions are (i+1)/n, strictly increasing *)
+    let lo = ref 0 and hi = ref (n - 1) and best = ref n in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if snd t.points.(mid) >= q then begin
+        best := mid;
+        hi := mid - 1
+      end
+      else lo := mid + 1
+    done;
+    if !best >= n then fst t.points.(n - 1) else fst t.points.(!best)
   end
 
 (** Render one or more CDFs as an ASCII plot: rows are cumulative

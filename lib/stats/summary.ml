@@ -43,11 +43,21 @@ let percentile_sorted sorted q =
   end
 
 let of_array (xs : float array) : t =
+  (* NaN-tolerant: NaNs carry no information about the distribution and
+     poison both the polymorphic-compare sort order and every moment, so
+     summarize the finite-or-infinite samples only *)
+  let xs =
+    if Array.exists Float.is_nan xs then
+      Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq xs))
+    else xs
+  in
   let n = Array.length xs in
   if n = 0 then empty
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    (* Float.compare: unboxed float comparisons with a total NaN order,
+       instead of polymorphic compare's boxed calls per element *)
+    Array.sort Float.compare sorted;
     let sum = Array.fold_left ( +. ) 0.0 xs in
     let mean = sum /. float_of_int n in
     let var =
@@ -73,7 +83,7 @@ let of_ints (xs : int array) = of_array (Array.map float_of_int xs)
 
 let percentile (xs : float array) q =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted q
 
 let median xs = percentile xs 0.5

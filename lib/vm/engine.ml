@@ -2,7 +2,13 @@
     engine ({!Compile}). Both execute KIR over the same simulated kernel
     with bit-identical cycle accounting — the compiled engine only
     removes *host* wall-clock overhead (dispatch, hashing, tracer
-    checks), never simulated work. *)
+    checks), never simulated work.
+
+    Observability inherits the same contract: guard/lifecycle events are
+    emitted by the policy engine underneath both runners, so a traced
+    run produces the identical [carat_trace] event stream — kinds,
+    sites, addresses, and cycle stamps — whichever engine executes the
+    module (asserted by test_engine's traced-stream parity test). *)
 
 type kind = Interp | Compiled
 

@@ -99,6 +99,78 @@ let prop_differential =
           want = d_sh && want = d1 && want = d2)
         accesses)
 
+(* Decision stats must be tier-invariant: the same access stream drives
+   the same (checks, allowed, denied, entries_scanned) through the plain
+   linear walk, the shadow table, and the shadow+inline-cache fast path —
+   fast tiers may only differ in the separate hit/miss tier counters. *)
+let prop_decision_stats_tier_invariant =
+  QCheck.Test.make
+    ~name:"decision stats (checks/allowed/denied/entries_scanned) are tier-invariant"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lin, sh, shic = Lazy.force diff_cell in
+      let rng = Machine.Rng.create seed in
+      let policy = gen_policy rng in
+      Policy.Engine.set_policy lin policy;
+      Policy.Engine.set_policy sh policy;
+      Policy.Engine.set_policy shic policy;
+      Policy.Engine.reset_stats lin;
+      Policy.Engine.reset_stats sh;
+      Policy.Engine.reset_stats shic;
+      let accesses = gen_accesses rng policy in
+      (* two rounds so the second pass runs hot through the inline cache *)
+      for _round = 1 to 2 do
+        List.iter
+          (fun (site, addr, size, flags) ->
+            ignore (Policy.Engine.check lin ~addr ~size ~flags);
+            ignore (Policy.Engine.check sh ~addr ~size ~flags);
+            ignore (Policy.Engine.check_fast shic ~site ~addr ~size ~flags))
+          accesses
+      done;
+      let st e =
+        let s = Policy.Engine.stats e in
+        ( s.Policy.Engine.checks,
+          s.Policy.Engine.allowed,
+          s.Policy.Engine.denied,
+          s.Policy.Engine.entries_scanned )
+      in
+      st lin = st sh && st lin = st shic)
+
+(* Regression: an inline-cache allow hit used to leave [last_deny] from a
+   previous denial in place, so the next denial's diagnostic (or a panic
+   report) could blame a stale region. *)
+let test_last_deny_cleared_on_ic_hit () =
+  let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  let e = Policy.Engine.create ~kind:Policy.Engine.Shadow ~capacity:64 k in
+  Policy.Engine.enable_site_cache e;
+  Policy.Engine.set_policy e
+    [
+      Policy.Region.v ~tag:"ro" ~base:0xA000 ~len:page_size
+        ~prot:Policy.Region.prot_read ();
+      Policy.Region.v ~tag:"rw" ~base:0xC000 ~len:page_size ~prot:Policy.Region.prot_rw ();
+    ];
+  (* a denied write to the read-only region records it as last_deny *)
+  checkb "write to ro denied" false
+    (Policy.Engine.check_fast e ~site:1 ~addr:0xA010 ~size:8
+       ~flags:Policy.Region.prot_write);
+  checkb "last_deny set" true (Policy.Engine.last_deny e <> None);
+  (* fill site 2's slot, then hit it: the hot allow must clear last_deny *)
+  checkb "fill allow" true
+    (Policy.Engine.check_fast e ~site:2 ~addr:0xC010 ~size:8 ~flags:Policy.Region.prot_rw);
+  checkb "last_deny cleared by slow-path allow" true
+    (Policy.Engine.last_deny e = None);
+  checkb "deny again" false
+    (Policy.Engine.check_fast e ~site:1 ~addr:0xA010 ~size:8
+       ~flags:Policy.Region.prot_write);
+  let hits_before = (Policy.Engine.tier_stats e).Policy.Engine.ic_hits in
+  checkb "ic-hit allow" true
+    (Policy.Engine.check_fast e ~site:2 ~addr:0xC010 ~size:8 ~flags:Policy.Region.prot_rw);
+  checki "the allow really was an ic hit" (hits_before + 1)
+    (Policy.Engine.tier_stats e).Policy.Engine.ic_hits;
+  checkb "last_deny cleared by the ic-hit allow" true
+    (Policy.Engine.last_deny e = None)
+
 let test_zero_length_region_rejected () =
   Alcotest.check_raises "len 0"
     (Invalid_argument "Region.v: length must be positive") (fun () ->
@@ -211,6 +283,40 @@ let test_golden_equivalence () =
   checkb "alive parity" a_i a_c;
   checkb "per-packet latencies identical" true (l_i = l_c)
 
+(* The trace layer sits below both engines, so a traced run must produce
+   the identical event stream — same kinds, sites, addresses, and cycle
+   stamps — whichever engine executes the module. *)
+let traced_golden_run kind =
+  let config =
+    {
+      Testbed.default_config with
+      Testbed.technique = Testbed.Carat;
+      structure = Policy.Engine.Shadow;
+      site_cache = true;
+      engine = kind;
+      stall_prob = 0.02;
+      module_scale = 4;
+      seed = 5;
+      trace = true;
+      trace_capacity = 4096;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  ignore
+    (Testbed.run_pktgen tb
+       { Net.Pktgen.default_config with Net.Pktgen.count = 40; size = 256; seed = 9 });
+  match Policy.Policy_module.trace tb.Testbed.policy_module with
+  | None -> Alcotest.fail "trace not attached"
+  | Some tr -> List.map Trace.format_event (Trace.events tr)
+
+let test_event_stream_engine_parity () =
+  let interp = traced_golden_run Vm.Engine.Interp in
+  let compiled = traced_golden_run Vm.Engine.Compiled in
+  checkb "stream non-empty" true (interp <> []);
+  checki "same event count" (List.length interp) (List.length compiled);
+  Alcotest.(check (list string))
+    "event streams identical (kind, site, addr, cycle stamps)" interp compiled
+
 let test_fault_matrix_engine_parity () =
   (* the containment matrix — panic/quarantine/audit outcomes over every
      fault class — must not depend on the KIR engine *)
@@ -230,6 +336,9 @@ let () =
       ( "policy tiers",
         [
           QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_decision_stats_tier_invariant;
+          Alcotest.test_case "ic hit clears last_deny" `Quick
+            test_last_deny_cleared_on_ic_hit;
           Alcotest.test_case "zero-length region rejected" `Quick
             test_zero_length_region_rejected;
         ] );
@@ -242,6 +351,8 @@ let () =
       ( "engine A/B",
         [
           Alcotest.test_case "golden pktgen run" `Quick test_golden_equivalence;
+          Alcotest.test_case "traced event streams identical" `Quick
+            test_event_stream_engine_parity;
           Alcotest.test_case "fault matrix parity" `Quick
             test_fault_matrix_engine_parity;
         ] );

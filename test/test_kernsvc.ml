@@ -68,6 +68,85 @@ let test_vfs_chmod_refuses_setuid () =
        [| ino; Kernsvc.Kernfs.mode_setuid lor 0o755 |]);
   checki "setuid stripped by the API" 0o755 (Kernsvc.Kernfs.mode_of fs ~ino)
 
+let test_vfs_read_clamping () =
+  let k = fresh () in
+  let fs = Kernsvc.Kernfs.create k in
+  let ino =
+    Kernsvc.Kernfs.create_file fs ~name:"f"
+      ~mode:(Kernsvc.Kernfs.mode_read lor Kernsvc.Kernfs.mode_write)
+      ~capacity:64
+  in
+  Kernsvc.Kernfs.write_contents fs ~ino "hello";
+  let out = Kernel.kmalloc k ~size:64 in
+  (* reads past the end return 0 bytes, never a negative count *)
+  checki "off = size reads 0" 0
+    (Kernel.call_symbol k "vfs_read" [| ino; 5; out; 16 |]);
+  checki "off > size reads 0" 0
+    (Kernel.call_symbol k "vfs_read" [| ino; 9; out; 16 |]);
+  checki "len 0 reads 0" 0
+    (Kernel.call_symbol k "vfs_read" [| ino; 0; out; 0 |]);
+  (* a request larger than the remaining bytes is clamped to size - off *)
+  checki "short read clamps to size - off" 3
+    (Kernel.call_symbol k "vfs_read" [| ino; 2; out; 64 |]);
+  checks "clamped tail" "llo" (Kernel.read_string k ~addr:out ~len:3)
+
+(* ---------- /proc/carat over kernfs ---------- *)
+
+let procfs_cell () =
+  let k = fresh () in
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Shadow ~site_cache:true
+      ~on_deny:Policy.Policy_module.Audit k
+  in
+  Trace.start (Policy.Policy_module.enable_trace ~capacity:64 pm);
+  Policy.Policy_module.set_policy pm
+    [
+      Policy.Region.v ~tag:"win" ~base:0xA000 ~len:4096
+        ~prot:Policy.Region.prot_rw ();
+    ];
+  let fs = Kernsvc.Kernfs.create k in
+  let proc = Kernsvc.Procfs.install fs pm in
+  (k, pm, fs, proc)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let checkb = Alcotest.check Alcotest.bool
+
+let test_procfs_stats_and_trace () =
+  let _k, pm, _fs, proc = procfs_cell () in
+  ignore (Policy.Policy_module.guard pm ~site:4 ~addr:0xA010 ~size:8 ~flags:1);
+  ignore (Policy.Policy_module.guard pm ~site:5 ~addr:0x40 ~size:8 ~flags:2);
+  let stats = Kernsvc.Procfs.read_stats proc in
+  checkb "stats header" true (contains stats "carat_trace: guard statistics");
+  checkb "counts one allow and one deny" true
+    (contains stats "checks 2 allows 1 denies 1");
+  checkb "per-region tag resolved" true (contains stats "win");
+  let trace = Kernsvc.Procfs.read_trace proc in
+  checkb "trace has the deny" true (contains trace "DENY");
+  checkb "trace has the policy push" true (contains trace "policy-add");
+  (* refresh picks up new traffic *)
+  ignore (Policy.Policy_module.guard pm ~site:4 ~addr:0xA018 ~size:8 ~flags:1);
+  let stats2 = Kernsvc.Procfs.read_stats proc in
+  checkb "refresh sees new checks" true (contains stats2 "checks 3")
+
+let test_procfs_files_are_vfs_readable () =
+  (* the rendered files go through the same clamped vfs_read as any
+     other kernfs file *)
+  let k, _pm, fs, proc = procfs_cell () in
+  let _ = Kernsvc.Procfs.read_stats proc in
+  let ino = Kernsvc.Kernfs.lookup fs "carat/stats" in
+  let size = Kernel.call_symbol k "vfs_getattr" [| ino; 1 |] in
+  checkb "stats file non-empty" true (size > 0);
+  let out = Kernel.kmalloc k ~size:256 in
+  checki "read past end returns 0" 0
+    (Kernel.call_symbol k "vfs_read" [| ino; size + 10; out; 64 |]);
+  let got = Kernel.call_symbol k "vfs_read" [| ino; 0; out; 12 |] in
+  checki "partial read honours len" 12 got;
+  checks "prefix" "carat_trace:" (Kernel.read_string k ~addr:out ~len:12)
+
 let test_fs_errors () =
   let k = fresh () in
   let fs = Kernsvc.Kernfs.create k in
@@ -368,7 +447,15 @@ let () =
           Alcotest.test_case "vfs natives" `Quick test_vfs_natives;
           Alcotest.test_case "vfs permissions" `Quick test_vfs_permissions;
           Alcotest.test_case "chmod strips setuid" `Quick test_vfs_chmod_refuses_setuid;
+          Alcotest.test_case "vfs_read clamping" `Quick test_vfs_read_clamping;
           Alcotest.test_case "errors" `Quick test_fs_errors;
+        ] );
+      ( "/proc/carat",
+        [
+          Alcotest.test_case "stats and trace files" `Quick
+            test_procfs_stats_and_trace;
+          Alcotest.test_case "vfs-readable with clamping" `Quick
+            test_procfs_files_are_vfs_readable;
         ] );
       ( "msgq",
         [

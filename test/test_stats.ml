@@ -56,6 +56,58 @@ let prop_percentile_monotone =
       let p q = Stats.Summary.percentile xs q in
       p 0.1 <= p 0.5 && p 0.5 <= p 0.9)
 
+let test_summary_nan_tolerant () =
+  (* NaNs carry no information: the summary is computed over the
+     remaining samples, and an all-NaN array degrades to empty *)
+  let s = Stats.Summary.of_array [| nan; 1.0; 2.0; nan; 3.0 |] in
+  checki "nans dropped from n" 3 s.Stats.Summary.n;
+  checkf "mean over the rest" 2.0 s.Stats.Summary.mean;
+  checkf "median over the rest" 2.0 s.Stats.Summary.median;
+  checkf "max unpoisoned" 3.0 s.Stats.Summary.max;
+  let all_nan = Stats.Summary.of_array [| nan; nan |] in
+  checki "all-nan is empty" 0 all_nan.Stats.Summary.n;
+  checkb "all-nan median is nan" true
+    (Float.is_nan all_nan.Stats.Summary.median)
+
+(* The old O(n) quantile implementation, kept as the reference the
+   binary search must replicate point-for-point. *)
+let quantile_linear_scan (points : (float * float) array) q =
+  let n = Array.length points in
+  if n = 0 then nan
+  else begin
+    let rec go i =
+      if i >= n then fst points.(n - 1)
+      else if snd points.(i) >= q then fst points.(i)
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let prop_quantile_matches_linear_scan =
+  QCheck.Test.make
+    ~name:"binary-search quantile equals the linear scan on every tick"
+    ~count:300
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 80) (float_range (-1e5) 1e5))
+        (float_range (-0.2) 1.2))
+    (fun (xs, q) ->
+      let c = Stats.Cdf.of_samples xs in
+      let points =
+        Array.mapi
+          (fun i x -> (x, float_of_int (i + 1) /. float_of_int (Array.length xs)))
+          (let s = Array.copy xs in
+           Array.sort Float.compare s;
+           s)
+      in
+      let fast = Stats.Cdf.quantile c q in
+      let slow = quantile_linear_scan points q in
+      fast = slow
+      (* and the standard grid, including the exact fractions *)
+      && List.for_all
+           (fun q -> Stats.Cdf.quantile c q = quantile_linear_scan points q)
+           [ 0.0; 0.05; 0.25; 0.5; 0.75; 0.95; 1.0 ])
+
 let test_cdf_basic () =
   let c = Stats.Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
   checkf "at 2" 0.5 (Stats.Cdf.at c 2.0);
@@ -143,6 +195,7 @@ let () =
           Alcotest.test_case "empty/single" `Quick test_summary_empty_and_single;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "of_ints" `Quick test_of_ints;
+          Alcotest.test_case "nan tolerant" `Quick test_summary_nan_tolerant;
           QCheck_alcotest.to_alcotest prop_median_bounded;
           QCheck_alcotest.to_alcotest prop_percentile_monotone;
         ] );
@@ -150,6 +203,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_cdf_basic;
           QCheck_alcotest.to_alcotest prop_cdf_monotone;
+          QCheck_alcotest.to_alcotest prop_quantile_matches_linear_scan;
           Alcotest.test_case "render" `Quick test_cdf_render;
         ] );
       ( "hist",
