@@ -684,6 +684,167 @@ let run_guardpath () =
 
 (* ------------------------------------------------------------------ *)
 
+(* smpscale: guarded-vs-unguarded send throughput at 1/2/4/8 CPUs on both
+   machine presets, plus an update-storm row (concurrent policy churn via
+   the RCU publish path under load). Writes BENCH_smpscale.json and
+   enforces the scaling/coherence gates. *)
+
+type smp_row = {
+  sr_machine : string;
+  sr_technique : string;
+  sr_cpus : int;
+  sr_storm : int;
+  sr_result : Smp_testbed.result;
+}
+
+let run_smpscale () =
+  section "smpscale: multi-queue send throughput scaling, 1-8 CPUs";
+  let count = if !quick then 300 else 1200 in
+  let presets =
+    [ ("R415", Machine.Presets.r415); ("R350", Machine.Presets.r350) ]
+  in
+  let row ~storm ~mname ~params ~tech ~cpus =
+    let cfg =
+      {
+        Smp_testbed.default_config with
+        machine = params;
+        technique = tech;
+        cpus;
+        seed = 11;
+      }
+    in
+    let tb = Smp_testbed.create ~config:cfg () in
+    let r = Smp_testbed.run_pktgen ~count ~storm tb in
+    {
+      sr_machine = mname;
+      sr_technique = Testbed.technique_to_string tech;
+      sr_cpus = cpus;
+      sr_storm = storm;
+      sr_result = r;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun (mname, params) ->
+        List.concat_map
+          (fun tech ->
+            List.map
+              (fun cpus -> row ~storm:0 ~mname ~params ~tech ~cpus)
+              [ 1; 2; 4; 8 ])
+          [ Testbed.Carat; Testbed.Baseline ])
+      presets
+  in
+  (* the update-storm rows: 4 CPUs sending while CPU 0 replaces the whole
+     policy every 40th operation *)
+  let storm_rows =
+    List.map
+      (fun (mname, params) ->
+        row ~storm:40 ~mname ~params ~tech:Testbed.Carat ~cpus:4)
+      presets
+  in
+  let all = rows @ storm_rows in
+  Printf.printf "  %-6s %-9s %5s %6s %12s %9s %6s %6s %6s\n" "mach" "tech"
+    "cpus" "storm" "pps" "speedup" "pubs" "ipis" "stale";
+  let pps_of mname tech cpus =
+    let r =
+      List.find
+        (fun s ->
+          s.sr_machine = mname && s.sr_technique = tech && s.sr_cpus = cpus
+          && s.sr_storm = 0)
+        rows
+    in
+    r.sr_result.Smp_testbed.pps
+  in
+  List.iter
+    (fun s ->
+      let r = s.sr_result in
+      Printf.printf "  %-6s %-9s %5d %6d %12.0f %8.2fx %6d %6d %6d\n"
+        s.sr_machine s.sr_technique s.sr_cpus s.sr_storm r.Smp_testbed.pps
+        (r.Smp_testbed.pps /. pps_of s.sr_machine s.sr_technique 1)
+        r.Smp_testbed.publications r.Smp_testbed.ipis
+        r.Smp_testbed.stale_allows)
+    all;
+  (* gates *)
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun s ->
+      if s.sr_result.Smp_testbed.stale_allows <> 0 then
+        fail "%s/%s/%d: %d stale allows (policy coherence broken)"
+          s.sr_machine s.sr_technique s.sr_cpus
+          s.sr_result.Smp_testbed.stale_allows;
+      if s.sr_result.Smp_testbed.send_errors <> 0 then
+        fail "%s/%s/%d: %d send errors" s.sr_machine s.sr_technique s.sr_cpus
+          s.sr_result.Smp_testbed.send_errors)
+    all;
+  List.iter
+    (fun (mname, _) ->
+      List.iter
+        (fun tech ->
+          let p1 = pps_of mname tech 1
+          and p2 = pps_of mname tech 2
+          and p4 = pps_of mname tech 4 in
+          if not (p1 < p2 && p2 < p4) then
+            fail "%s/%s: throughput not monotone 1->2->4 (%.0f %.0f %.0f)"
+              mname tech p1 p2 p4)
+        [ "carat"; "baseline" ])
+    presets;
+  let efficiency = pps_of "R350" "carat" 4 /. (4.0 *. pps_of "R350" "carat" 1) in
+  Printf.printf "\n  R350 carat scaling efficiency at 4 CPUs: %.2f\n"
+    efficiency;
+  if efficiency < 0.70 then
+    fail "R350 carat 4-CPU scaling efficiency %.2f below 0.70" efficiency;
+  List.iter
+    (fun s ->
+      let r = s.sr_result in
+      if r.Smp_testbed.publications = 0 then
+        fail "%s storm row made no publications" s.sr_machine;
+      if r.Smp_testbed.retired <> r.Smp_testbed.publications then
+        fail "%s storm row: %d of %d generations never retired" s.sr_machine
+          (r.Smp_testbed.publications - r.Smp_testbed.retired)
+          r.Smp_testbed.publications)
+    storm_rows;
+  let oc = open_out "BENCH_smpscale.json" in
+  let row_json s =
+    let r = s.sr_result in
+    Printf.sprintf
+      "    {\"machine\": %S, \"technique\": %S, \"cpus\": %d, \"storm\": %d, \
+       \"sent\": %d, \"pps\": %.0f, \"per_cpu_pps\": [%s], \
+       \"publications\": %d, \"retired\": %d, \"ipis\": %d, \
+       \"ipi_cycles\": %d, \"grace_quiescents\": %d, \"stale_allows\": %d, \
+       \"send_errors\": %d}"
+      s.sr_machine s.sr_technique s.sr_cpus s.sr_storm r.Smp_testbed.total_sent
+      r.Smp_testbed.pps
+      (String.concat ", "
+         (Array.to_list
+            (Array.map
+               (fun c -> Printf.sprintf "%.0f" c.Smp_testbed.cr_pps)
+               r.Smp_testbed.per_cpu)))
+      r.Smp_testbed.publications r.Smp_testbed.retired r.Smp_testbed.ipis
+      r.Smp_testbed.ipi_cycles r.Smp_testbed.grace_quiescents
+      r.Smp_testbed.stale_allows r.Smp_testbed.send_errors
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"count_per_cpu\": %d,\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"storm_rows\": [\n%s\n  ],\n\
+    \  \"scaling_efficiency_r350_carat_4cpu\": %.3f,\n\
+    \  \"gates_passed\": %b\n\
+     }\n"
+    count
+    (String.concat ",\n" (List.map row_json rows))
+    (String.concat ",\n" (List.map row_json storm_rows))
+    efficiency (!failures = []);
+  close_out oc;
+  print_endline "  wrote BENCH_smpscale.json";
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "smpscale: FAIL: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let run_faults () =
   section "Fault-injection campaign: containment across enforcement modes";
   let faults =
@@ -712,6 +873,7 @@ let all_figs =
     ("ablation-mechanism", run_mechanism);
     ("guardpath", run_guardpath);
     ("tracegate", run_tracegate);
+    ("smpscale", run_smpscale);
     ("faults", run_faults);
     ("bechamel", run_bechamel);
   ]

@@ -13,7 +13,11 @@ open Cmdliner
 open Carat_kop
 
 let run module_path policy_path call args machine_name engine_name mode_str
-    no_enforce show_log stats trace guard_trace =
+    no_enforce show_log stats trace guard_trace cpus =
+  if cpus < 1 || cpus > 8 then begin
+    Printf.eprintf "kop_run: --cpus expects 1..8\n";
+    exit 2
+  end;
   let machine =
     match Machine.Presets.by_name machine_name with
     | Some m -> m
@@ -119,8 +123,41 @@ let run module_path policy_path call args machine_name engine_name mode_str
                  (String.split_on_char ',' s))
         in
         try
-          let r = Kernel.call_symbol kernel symbol argv in
-          Printf.printf "%s(%s) = %d (0x%x)\n" symbol args r r;
+          if cpus > 1 then begin
+            (* N simulated CPUs, deterministic round-robin: every CPU
+               calls the entry once; policy mutations made while the
+               system is up go through the RCU publish path *)
+            let smp =
+              Smp.System.create ~seed:1 ~params:machine ~cpus kernel pm
+            in
+            let results = Array.make cpus 0 in
+            let steps =
+              Array.init cpus (fun i () ->
+                  results.(i) <- Kernel.call_symbol kernel symbol argv;
+                  false)
+            in
+            let log, sstats = Smp.System.run smp steps in
+            Array.iteri
+              (fun i r ->
+                Printf.printf "cpu%d: %s(%s) = %d (0x%x)\n" i symbol args r r)
+              results;
+            Printf.printf "interleave: [%s] in %d slices\n"
+              (String.concat "," (List.map string_of_int log))
+              sstats.Smp.Sched.slices;
+            if stats then begin
+              let st =
+                Policy.Engine.merged_stats (Policy.Policy_module.engine pm)
+              in
+              Printf.eprintf
+                "merged guard checks: %d (allowed %d, denied %d)\n"
+                st.Policy.Engine.checks st.Policy.Engine.allowed
+                st.Policy.Engine.denied
+            end
+          end
+          else begin
+            let r = Kernel.call_symbol kernel symbol argv in
+            Printf.printf "%s(%s) = %d (0x%x)\n" symbol args r r
+          end;
           match Kernel.quarantine_records kernel with
           | [] -> finish 0
           | q :: _ ->
@@ -195,12 +232,21 @@ let guard_trace_arg =
           them (with counters) after the run. On a panic the last events \
           are also attached to the panic report.")
 
+let cpus_arg =
+  Arg.(value & opt int 1 & info [ "cpus" ] ~docv:"N"
+    ~doc:"Run the entry point on N simulated CPUs (1..8) under the \
+          deterministic round-robin scheduler. Each CPU calls the entry \
+          once; policy mutations made while the system is up route \
+          through RCU publication with IPI shootdown of remote guard \
+          caches. N=1 is the classic single-CPU path, bit-identical to \
+          previous releases.")
+
 let cmd =
   let doc = "insert a KIR module into a simulated CARAT KOP kernel and call it" in
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
       $ engine_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg
-      $ guard_trace_arg)
+      $ guard_trace_arg $ cpus_arg)
 
 let () = exit (Cmd.eval' cmd)

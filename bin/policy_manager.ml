@@ -249,6 +249,116 @@ let cmd_trace file =
   | None -> ());
   0
 
+(* Update storm on a live SMP kernel: one CPU churns the policy through
+   the real /dev/carat ioctls (remove + re-add the first region,
+   [updates] times) while every other CPU hammers guard checks over the
+   same regions from warm inline-cache sites. With the engine's paranoid
+   verifier on, any guard that an inline cache allows against the
+   *published* table counts as a stale allow — the bug class RCU
+   publication + IPI shootdown exists to make impossible. *)
+let cmd_storm file cpus updates =
+  if cpus < 2 || cpus > 8 then begin
+    Printf.eprintf "policy_manager: storm needs --cpus 2..8\n";
+    2
+  end
+  else
+    let t = Policy.Policy_file.load file in
+    match t.Policy.Policy_file.regions with
+    | [] ->
+      Printf.eprintf "policy_manager: %s has no regions to churn\n" file;
+      1
+    | victim :: _ ->
+      let kernel, pm = observability_kernel t in
+      let engine = Policy.Policy_module.engine pm in
+      Policy.Engine.set_verify engine true;
+      let smp =
+        Smp.System.create ~seed:9 ~params:Machine.Presets.r350 ~cpus kernel pm
+      in
+      let arg = Kernel.map_user kernel ~size:32 in
+      let ioctl cmd = Kernel.ioctl kernel ~dev:"carat" ~cmd ~arg in
+      let regions = Array.of_list t.Policy.Policy_file.regions in
+      let bad_rc = ref 0 in
+      (* CPU 0: alternate remove / re-add of the first region *)
+      let writer_ops = ref 0 in
+      let writer () =
+        if !writer_ops >= 2 * updates then false
+        else begin
+          let rc =
+            if !writer_ops mod 2 = 0 then begin
+              Kernel.write kernel ~addr:arg ~size:8 victim.Policy.Region.base;
+              ioctl Policy.Policy_module.ioctl_remove
+            end
+            else begin
+              Kernel.write kernel ~addr:arg ~size:8 victim.Policy.Region.base;
+              Kernel.write kernel ~addr:(arg + 8) ~size:8
+                victim.Policy.Region.len;
+              Kernel.write kernel ~addr:(arg + 16) ~size:8
+                victim.Policy.Region.prot;
+              ioctl Policy.Policy_module.ioctl_add
+            end
+          in
+          if rc <> 0 then incr bad_rc;
+          incr writer_ops;
+          true
+        end
+      in
+      (* other CPUs: read-probe every region base from per-region sites,
+         keeping each CPU's site inline cache warm across the churn *)
+      let reader_rounds = 3 * updates in
+      let reader _i =
+        let ops = ref 0 in
+        fun () ->
+          if !ops >= reader_rounds then false
+          else begin
+            let r = regions.(!ops mod Array.length regions) in
+            ignore
+              (Policy.Policy_module.guard pm ~site:(!ops mod Array.length regions)
+                 ~addr:r.Policy.Region.base ~size:8
+                 ~flags:Policy.Region.prot_read);
+            incr ops;
+            true
+          end
+      in
+      let steps =
+        Array.init cpus (fun i -> if i = 0 then writer else reader i)
+      in
+      let log, sstats = Smp.System.run smp steps in
+      let st = Policy.Engine.merged_stats engine in
+      let rs = Smp.Rcu.stats (Smp.System.rcu smp) in
+      let stale = Policy.Engine.stale_allows engine in
+      let ops = Smp.System.ops_by_cpu smp log in
+      Printf.printf "update storm: %d CPUs, %d remove/re-add pairs, %d slices\n"
+        cpus updates sstats.Smp.Sched.slices;
+      Printf.printf "  ops by cpu:  %s\n"
+        (String.concat " "
+           (Array.to_list (Array.mapi (Printf.sprintf "cpu%d=%d") ops)));
+      Printf.printf
+        "  rcu:         %d publications, %d retired, generation %d\n"
+        rs.Smp.Rcu.publications rs.Smp.Rcu.retired
+        (Policy.Engine.generation engine);
+      Printf.printf
+        "  shootdowns:  %d IPIs sent, %d taken (%d remote cycles)\n"
+        rs.Smp.Rcu.ipis_sent rs.Smp.Rcu.ipis_taken rs.Smp.Rcu.ipi_cycles;
+      if rs.Smp.Rcu.retired > 0 then
+        Printf.printf "  grace:       %.1f quiescent points on average\n"
+          (float_of_int rs.Smp.Rcu.grace_quiescents
+          /. float_of_int rs.Smp.Rcu.retired);
+      Printf.printf "  guards:      %d checks (%d allowed, %d denied)\n"
+        st.Policy.Engine.checks st.Policy.Engine.allowed
+        st.Policy.Engine.denied;
+      Printf.printf "  stale allows after publish: %d\n" stale;
+      if stale = 0 && !bad_rc = 0 && rs.Smp.Rcu.retired = rs.Smp.Rcu.publications
+      then begin
+        print_endline "OK: updates atomic under fire; no stale allow observed";
+        0
+      end
+      else begin
+        Printf.eprintf
+          "policy_manager: storm FAILED (stale=%d bad_rc=%d retired=%d/%d)\n"
+          stale !bad_rc rs.Smp.Rcu.retired rs.Smp.Rcu.publications;
+        1
+      end
+
 let cmd_set_mode file mode_str =
   match Policy.Policy_module.on_deny_of_string mode_str with
   | None ->
@@ -344,6 +454,23 @@ let trace_cmd =
           and drain them via ioctl_trace_read")
     Term.(const cmd_trace $ file_arg)
 
+let cpus_storm_arg =
+  Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N"
+    ~doc:"Number of simulated CPUs (2..8).")
+
+let updates_arg =
+  Arg.(value & opt int 24 & info [ "updates" ] ~docv:"K"
+    ~doc:"Remove/re-add pairs the writer CPU pushes through the ioctls.")
+
+let storm_cmd =
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "stress policy updates on a simulated SMP kernel: one CPU churns \
+          the table via ioctls (RCU publication + IPI shootdown) while the \
+          others run guard checks; fails if any stale allow is observed")
+    Term.(const cmd_storm $ file_arg $ cpus_storm_arg $ updates_arg)
+
 let set_mode_cmd =
   Cmd.v
     (Cmd.info "set-mode"
@@ -357,5 +484,5 @@ let () =
        (Cmd.group (Cmd.info "policy_manager" ~doc)
           [
             init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd;
-            stats_cmd; trace_cmd; set_mode_cmd;
+            stats_cmd; trace_cmd; set_mode_cmd; storm_cmd;
           ]))

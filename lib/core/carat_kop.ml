@@ -44,8 +44,10 @@ module Policy = Policy
 module Nic = Nic
 module Net = Net
 module Fault = Fault
+module Smp = Smp
 module Stats = Stats
 module Testbed = Testbed
+module Smp_testbed = Smp_testbed
 module Experiments = Experiments
 
 (** Version of this reproduction. *)

@@ -1,0 +1,259 @@
+(** N-CPU assembly of the evaluation stack: one kernel image, one
+    e1000e-class device, a multi-queue driver build, and per-CPU
+    netstacks (CPU [i] owns TX queue [i]) interleaved by the
+    deterministic {!Smp.Sched} round-robin. Policy mutations route
+    through the {!Smp.Rcu} publish path when more than one CPU exists.
+
+    Every CPU count uses the *same* multi-queue driver build and
+    per-queue MSI-X completion path, so the smpscale efficiency numbers
+    compare scaling, not classic-vs-multiqueue code-path deltas. *)
+
+type config = {
+  machine : Machine.Model.params;
+  technique : Testbed.technique;
+  policy : Policy.Region.t list;
+  structure : Policy.Engine.kind;
+  capacity : int;
+  ring_entries : int;
+  seed : int;
+  on_deny : Policy.Policy_module.on_deny;
+  site_cache : bool;
+  cpus : int;
+  module_scale : int;
+}
+
+let default_config =
+  {
+    machine = Machine.Presets.r350;
+    technique = Testbed.Carat;
+    policy = Policy.Region.kernel_only;
+    structure = Policy.Engine.Linear;
+    capacity = Policy.Linear_table.default_capacity;
+    ring_entries = 64;
+    seed = 1;
+    on_deny = Policy.Policy_module.Panic;
+    site_cache = true;
+    cpus = 1;
+    module_scale = 12;
+  }
+
+type t = {
+  config : config;
+  kernel : Kernel.t;
+  policy_module : Policy.Policy_module.t;
+  device : Nic.Device.t;
+  stacks : Net.Netstack.t array;  (** stack [i] sends on TX queue [i] *)
+  smp : Smp.System.t;
+  driver_kir : Kir.Types.modul;
+}
+
+let create ?(config = default_config) () : t =
+  let n = config.cpus in
+  if n < 1 || n > Nic.Regs.max_tx_queues then
+    invalid_arg "Smp_testbed.create: cpus out of range";
+  let require_signature = config.technique = Testbed.Carat in
+  let kernel =
+    Kernel.create ~require_signature ~seed:config.seed config.machine
+  in
+  ignore (Vm.Engine.install ~kind:Vm.Engine.Interp kernel);
+  let policy_module =
+    Policy.Policy_module.install ~kind:config.structure
+      ~capacity:config.capacity ~on_deny:config.on_deny
+      ~site_cache:config.site_cache kernel
+  in
+  (match config.technique with
+  | Testbed.Carat -> Policy.Policy_module.set_policy policy_module config.policy
+  | Testbed.Baseline -> ());
+  let device = Nic.Device.create ~seed:(config.seed + 17) kernel in
+  (* all TX queues in the silicon regardless of CPU count; we only set up
+     the ones that have a CPU behind them *)
+  let driver_kir =
+    Nic.Driver_gen.generate ~module_scale:config.module_scale
+      ~tx_queues:Nic.Regs.max_tx_queues ()
+  in
+  (match config.technique with
+  | Testbed.Carat -> ignore (Passes.Pipeline.compile ~optimize:false driver_kir)
+  | Testbed.Baseline ->
+    ignore
+      (Passes.Pass.run_pipeline_checked (Passes.Pipeline.baseline_sign ())
+         driver_kir));
+  (match Kernel.insmod kernel driver_kir with
+  | Ok _ -> ()
+  | Error e -> failwith ("insmod e1000e: " ^ Kernel.load_error_to_string e));
+  let stacks =
+    Array.init n (fun i ->
+        Net.Netstack.create ~queue:i
+          ~noise_seed:(config.seed + 31 + (i * 101))
+          kernel device)
+  in
+  (* probe once (adapter init + transmitter enable), then each CPU's
+     queue gets its own ring *)
+  Net.Netstack.bring_up stacks.(0) ~ring_entries:config.ring_entries;
+  Array.iter
+    (fun s -> Net.Netstack.bring_up_queue s ~ring_entries:config.ring_entries)
+    stacks;
+  let smp =
+    Smp.System.create ~seed:config.seed ~params:config.machine ~cpus:n kernel
+      policy_module
+  in
+  { config; kernel; policy_module; device; stacks; smp; driver_kir }
+
+let kernel t = t.kernel
+let policy_module t = t.policy_module
+let smp t = t.smp
+let stacks t = t.stacks
+let engine t = Smp.System.engine t.smp
+
+(* ------------------------------------------------------------------ *)
+(* the per-CPU pktgen workload *)
+
+type cpu_result = {
+  cr_cpu : int;
+  cr_sent : int;
+  cr_cycles : int;  (** cycles this CPU's clock advanced over the run *)
+  cr_seconds : float;
+  cr_pps : float;  (** this CPU's private launch rate *)
+  cr_ipis : int;
+  cr_ipi_cycles : int;
+}
+
+type result = {
+  per_cpu : cpu_result array;
+  total_sent : int;
+  elapsed_seconds : float;  (** slowest CPU — the run's wall time *)
+  pps : float;  (** aggregate: total packets over the run's wall time *)
+  interleave : int list;  (** CPU id per scheduler operation, in order *)
+  slices : int;
+  publications : int;
+  retired : int;
+  ipis : int;
+  ipi_cycles : int;
+  grace_quiescents : int;
+  stale_allows : int;
+      (** paranoid cross-check failures: inline-cache allows that the
+          published policy would deny (must be 0) *)
+  send_errors : int;
+}
+
+(** One pktgen-style packet on [stack]: mirrors {!Net.Pktgen.run}'s
+    per-packet body (tool-side frame build + fixed ns slice outside the
+    timed window, then the sendmsg). Charged to whichever machine is
+    current — the scheduler guarantees that is CPU [cpu]'s. *)
+let send_one t stack rng user_buf ~seq ~size ~tool_ns ~tool_instructions =
+  let k = t.kernel in
+  let machine = Kernel.machine k in
+  Net.Netstack.poll_interrupts stack;
+  let frame = Net.Frame.build ~seq ~size () in
+  Kernel.write_string k ~addr:user_buf frame;
+  Machine.Model.memcpy machine ~dst:user_buf ~src:(user_buf + 4096) size;
+  Machine.Model.retire machine tool_instructions;
+  let jitter = 0.97 +. (0.06 *. Machine.Rng.float rng) in
+  Machine.Model.add_cycles machine
+    (int_of_float (tool_ns *. jitter *. machine.Machine.Model.p.freq_ghz));
+  match Net.Netstack.try_sendmsg stack ~user_buf ~len:size with
+  | Ok _ -> true
+  | Error _ -> false
+
+(** Rotate a policy: same set of regions, different table order. Both
+    orders make identical decisions for disjoint regions, so alternating
+    between them is pure update churn — any behavioural difference a CPU
+    observes is a publication bug. *)
+let rotate = function [] -> [] | r :: rest -> rest @ [ r ]
+
+(** Run [count] packets of [size] bytes on every CPU, interleaved by the
+    seeded scheduler. [storm] > 0 makes CPU 0 replace the whole policy
+    (rotated) every [storm]-th operation — the concurrent-ioctl update
+    storm — while the other CPUs keep sending. Paranoid verification is
+    on for the whole run: every inline-cache allow is cross-checked
+    against the published policy and mismatches are counted in
+    [stale_allows]. *)
+let run_pktgen ?(count = 1000) ?(size = 128) ?(storm = 0)
+    ?(tool_ns = 6800.0) ?(tool_instructions = 2600) t : result =
+  let n = Array.length t.stacks in
+  let engine = Smp.System.engine t.smp in
+  Policy.Engine.set_verify engine true;
+  let rngs =
+    Array.init n (fun i -> Machine.Rng.create (t.config.seed + (i * 7919)))
+  in
+  let user_bufs =
+    Array.init n (fun _ -> Kernel.map_user t.kernel ~size:2048)
+  in
+  let sent = Array.make n 0 in
+  let seqs = Array.make n 0 in
+  let errors = ref 0 in
+  let start_cycles =
+    Array.map (fun (c : Smp.Cpu.t) -> Smp.Cpu.cycles c) (Smp.System.cpus t.smp)
+  in
+  let storm_policy = ref t.config.policy in
+  let storm_count = ref 0 in
+  let steps =
+    Array.init n (fun cpu () ->
+        let storming =
+          storm > 0 && cpu = 0
+          && t.config.technique = Testbed.Carat
+          && seqs.(cpu) mod storm = storm - 1
+        in
+        if storming then begin
+          (* whole-policy replace through the mutation router: one RCU
+             generation swap under load *)
+          storm_policy := rotate !storm_policy;
+          let rc =
+            Policy.Policy_module.replace_policy t.policy_module
+              ~default_allow:(Policy.Engine.default_allow engine)
+              !storm_policy
+          in
+          if rc <> 0 then incr errors;
+          incr storm_count;
+          seqs.(cpu) <- seqs.(cpu) + 1;
+          sent.(cpu) < count
+        end
+        else begin
+          let ok =
+            send_one t t.stacks.(cpu) rngs.(cpu) user_bufs.(cpu)
+              ~seq:seqs.(cpu) ~size ~tool_ns ~tool_instructions
+          in
+          seqs.(cpu) <- seqs.(cpu) + 1;
+          if ok then sent.(cpu) <- sent.(cpu) + 1 else incr errors;
+          sent.(cpu) < count && seqs.(cpu) < count * 4
+        end)
+  in
+  let interleave, sstats = Smp.System.run t.smp steps in
+  let cpus = Smp.System.cpus t.smp in
+  let freq = t.config.machine.Machine.Model.freq_ghz in
+  let per_cpu =
+    Array.mapi
+      (fun i (c : Smp.Cpu.t) ->
+        let cyc = Smp.Cpu.cycles c - start_cycles.(i) in
+        let secs = float_of_int (max 1 cyc) /. (freq *. 1e9) in
+        {
+          cr_cpu = i;
+          cr_sent = sent.(i);
+          cr_cycles = cyc;
+          cr_seconds = secs;
+          cr_pps = float_of_int sent.(i) /. secs;
+          cr_ipis = c.Smp.Cpu.ipis_taken;
+          cr_ipi_cycles = c.Smp.Cpu.ipi_cycles;
+        })
+      cpus
+  in
+  let total_sent = Array.fold_left ( + ) 0 sent in
+  let elapsed =
+    Array.fold_left (fun a r -> max a r.cr_seconds) 0.0 per_cpu
+  in
+  let rs = Smp.Rcu.stats (Smp.System.rcu t.smp) in
+  Policy.Engine.set_verify engine false;
+  {
+    per_cpu;
+    total_sent;
+    elapsed_seconds = elapsed;
+    pps = float_of_int total_sent /. elapsed;
+    interleave;
+    slices = sstats.Smp.Sched.slices;
+    publications = rs.Smp.Rcu.publications;
+    retired = rs.Smp.Rcu.retired;
+    ipis = rs.Smp.Rcu.ipis_taken;
+    ipi_cycles = rs.Smp.Rcu.ipi_cycles;
+    grace_quiescents = rs.Smp.Rcu.grace_quiescents;
+    stale_allows = Policy.Engine.stale_allows engine;
+    send_errors = !errors;
+  }

@@ -168,6 +168,9 @@ let payload_addr cell ~cls ~rng =
     match cell.table with
     | Some (base, len) -> base + (8 * Machine.Rng.int rng (len / 8))
     | None -> cell.secret)
+  | Inject.Cross_cpu_race ->
+    (* handled by its own two-CPU runner; never instantiated here *)
+    cell.secret
 
 let compile_victim ~mode m =
   let pipeline =
@@ -179,11 +182,195 @@ let compile_victim ~mode m =
 
 (* ------------------------------------------------------------------ *)
 
+(** The cross-CPU race: CPU 0 runs the victim whose [victim_late] entry
+    stores into the upper half of the work window; CPU 1 publishes a
+    policy shrink (revoking that half) through the RCU route mid-run.
+    The memory snapshot is taken *after* the shrink's grace period, so
+    the pre-shrink (legitimate) late stores don't count — only bytes the
+    victim lands in the revoked window afterwards are escapes. Baseline
+    always escapes; a guarded victim must be stopped by the exact walk
+    even though its site inline cache was warm for that page. *)
+let run_race ?engine ~(mode : mode) ~seed () : outcome =
+  let cell = make_cell ?engine ~mode () in
+  let rng = Machine.Rng.create seed in
+  let half = work_size / 2 in
+  let lo = cell.work and hi = cell.work + half in
+  let open Policy.Region in
+  let tail_policy =
+    [
+      v ~tag:"tx-ring" ~base:cell.ring ~len:(ring_entries * desc_size)
+        ~prot:prot_rw ();
+      v ~tag:"vm-stack"
+        ~base:(fst (Vm.Interp.stack_region cell.vm))
+        ~len:(snd (Vm.Interp.stack_region cell.vm))
+        ~prot:prot_rw ();
+      v ~tag:"module-area" ~base:Kernel.Layout.module_base
+        ~len:Kernel.Layout.module_area_size ~prot:prot_rw ();
+      v ~tag:"kernel-read-only" ~base:Kernel.Layout.kernel_base
+        ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:prot_read ();
+      v ~tag:"user-deny" ~base:0x1000 ~len:Kernel.Layout.kernel_base ~prot:0 ();
+    ]
+  in
+  Policy.Policy_module.set_policy cell.pm
+    ([
+       v ~tag:"victim-work-lo" ~base:lo ~len:half ~prot:prot_rw ();
+       v ~tag:"victim-work-hi" ~base:hi ~len:half ~prot:prot_rw ();
+     ]
+    @ tail_policy);
+  let m = Inject.build_race_victim ~rng ~lo ~hi () in
+  compile_victim ~mode m;
+  let loaded, load_error, lm =
+    match Kernel.insmod cell.kernel m with
+    | Ok lm -> (true, None, Some lm)
+    | Error e -> (false, Some (Kernel.load_error_to_string e), None)
+  in
+  (* a 2-CPU system over the cell's kernel; mutations now go through the
+     RCU publish path *)
+  let smp =
+    Smp.System.create ~seed ~params:Machine.Presets.r350 ~cpus:2 cell.kernel
+      cell.pm
+  in
+  let panicked = ref false in
+  let last_rc = ref None in
+  let call sym =
+    if not !panicked then
+      match Kernel.call_symbol cell.kernel sym [||] with
+      | rc -> last_rc := Some rc
+      | exception Kernel.Panic _ -> panicked := true
+  in
+  if loaded then begin
+    (* phase 1 — warm: both entries legitimate, the late site's inline
+       cache fills for the doomed page *)
+    let a = ref 0 and b = ref 0 in
+    ignore
+      (Smp.System.run smp
+         [|
+           (fun () ->
+             incr a;
+             call Inject.race_early;
+             call Inject.race_late;
+             !a < 3);
+           (fun () ->
+             incr b;
+             !b < 2);
+         |]);
+    (* phase 2 — CPU 1 publishes the shrink under load; the run's drain
+       completes the grace period *)
+    let a = ref 0 and b = ref 0 in
+    ignore
+      (Smp.System.run smp
+         [|
+           (fun () ->
+             incr a;
+             call Inject.race_early;
+             !a < 2);
+           (fun () ->
+             incr b;
+             if !b = 1 then
+               ignore
+                 (Policy.Policy_module.apply cell.pm
+                    (Policy.Policy_module.M_remove hi));
+             !b < 2);
+         |])
+  end;
+  let snap =
+    Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
+      (Kernel.memory cell.kernel)
+  in
+  if loaded then begin
+    (* phase 3 — the race's tail: the same late store keeps firing *)
+    let a = ref 0 and b = ref 0 in
+    ignore
+      (Smp.System.run smp
+         [|
+           (fun () ->
+             incr a;
+             call Inject.race_late;
+             (not !panicked) && !a < 3);
+           (fun () ->
+             incr b;
+             !b < 2);
+         |])
+  end;
+  let first_fault_recorded =
+    match Kernel.panic_state cell.kernel with
+    | Some info ->
+      let is_prefix ~prefix s =
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      is_prefix ~prefix:"CARAT KOP" info.Kernel.reason
+    | None -> true
+  in
+  let quarantined = Kernel.quarantine_records cell.kernel <> [] in
+  let denied = List.length (Policy.Policy_module.violations cell.pm) in
+  let trace_tail =
+    match Policy.Policy_module.trace cell.pm with
+    | Some tr
+      when (!panicked || quarantined || denied > 0) && Trace.recorded tr > 0 ->
+      List.map Trace.format_event (Trace.recent tr 4)
+    | _ -> []
+  in
+  let reenter_blocked =
+    match (lm, quarantined) with
+    | Some lm, true ->
+      let counter_addr = List.assoc Inject.counter_global lm.Kernel.lm_globals in
+      let before = Kernel.read cell.kernel ~addr:counter_addr ~size:8 in
+      let rc2 = Kernel.call_symbol cell.kernel Inject.race_late [||] in
+      let after = Kernel.read cell.kernel ~addr:counter_addr ~size:8 in
+      Some (rc2 = Kernel.eio && before = after)
+    | _ -> None
+  in
+  let recovered =
+    match (lm, quarantined) with
+    | Some lm, true -> (
+      match Kernel.rmmod cell.kernel lm with
+      | Error _ -> Some false
+      | Ok () -> (
+        let m' = Inject.build_repaired ~rng ~work:cell.work () in
+        compile_victim ~mode m';
+        match Kernel.insmod cell.kernel m' with
+        | Error _ -> Some false
+        | Ok _ ->
+          let rc3 = Kernel.call_symbol cell.kernel Inject.entry [||] in
+          Some (rc3 >= 0 && Kernel.panic_state cell.kernel = None)))
+    | _ -> None
+  in
+  (* post-shrink writable set: the revoked upper half is out *)
+  let escaped_bytes =
+    escaped cell.kernel ~snap
+      ~allowed:
+        (allowed_phys cell.kernel
+           [
+             (lo, half);
+             (cell.ring, ring_entries * desc_size);
+             Vm.Interp.stack_region cell.vm;
+           ])
+  in
+  {
+    cls = Inject.Cross_cpu_race;
+    mode;
+    seed;
+    loaded;
+    load_error;
+    rc = !last_rc;
+    panicked = !panicked;
+    first_fault_recorded;
+    quarantined;
+    denied;
+    escaped_bytes;
+    reenter_blocked;
+    recovered;
+    trace_tail;
+  }
+
 (** Run one fault under one configuration and check every invariant.
     [engine] selects the KIR runner (default interpreter); the outcome
     must not depend on it — the compiled engine is semantics- and
     cycle-identical. *)
 let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
+  if cls = Inject.Cross_cpu_race then run_race ?engine ~mode ~seed ()
+  else
   let cell = make_cell ?engine ~mode () in
   let rng = Machine.Rng.create seed in
   let target = payload_addr cell ~cls ~rng in
@@ -197,7 +384,8 @@ let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
     Inject.mutate_guard_deletion m ~payload_addr:target
       ~guard_symbol:Passes.Guard_injection.guard_symbol_default
   | Inject.Sig_truncation -> Inject.mutate_sig_truncation m
-  | Inject.Wild_store | Inject.Oob_ring_index | Inject.Policy_corruption -> ());
+  | Inject.Wild_store | Inject.Oob_ring_index | Inject.Policy_corruption
+  | Inject.Cross_cpu_race -> ());
   let snap =
     Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
       (Kernel.memory cell.kernel)

@@ -4,8 +4,9 @@
     pipeline (compile → sign → load → run). The first three classes
     attack the *pipeline* (tampering with IR or signature after signing)
     and are what load-time signature verification is supposed to catch;
-    the last three are *runtime* memory attacks — the wild stores the
-    paper's guards exist to stop.
+    the rest are *runtime* memory attacks — the wild stores the paper's
+    guards exist to stop, including a cross-CPU race against an RCU
+    policy shrink.
 
     Builders are deterministic in the supplied PRNG, so a campaign with a
     fixed seed reproduces byte-for-byte. *)
@@ -24,6 +25,12 @@ type cls =
           clobbering whatever sits after the ring *)
   | Policy_corruption
       (** a store aimed at the policy module's own region table *)
+  | Cross_cpu_race
+      (** a guarded store on CPU A racing a policy shrink published from
+          CPU B: the region the store targets is revoked mid-run, and the
+          store keeps firing from a warm guard site afterwards. Guards
+          must enforce the *published* policy — a stale inline-cache
+          allow after the grace period is an escape. *)
 
 let all_classes =
   [
@@ -33,6 +40,7 @@ let all_classes =
     Wild_store;
     Oob_ring_index;
     Policy_corruption;
+    Cross_cpu_race;
   ]
 
 let cls_to_string = function
@@ -42,13 +50,14 @@ let cls_to_string = function
   | Wild_store -> "wild-store"
   | Oob_ring_index -> "oob-ring-index"
   | Policy_corruption -> "policy-corruption"
+  | Cross_cpu_race -> "cross-cpu-race"
 
 (** Does this class corrupt the pipeline after signing (so a verifying
     loader should reject the module), as opposed to attacking at run
     time? *)
 let is_pipeline_fault = function
   | Ir_tamper | Sig_truncation | Guard_deletion -> true
-  | Wild_store | Oob_ring_index | Policy_corruption -> false
+  | Wild_store | Oob_ring_index | Policy_corruption | Cross_cpu_race -> false
 
 (* ------------------------------------------------------------------ *)
 (* victim construction *)
@@ -83,6 +92,39 @@ let build_victim ?payload ~rng ~work () =
 (** The repaired replacement inserted during recovery: same name and
     entry point, benign stores only. *)
 let build_repaired ~rng ~work () = build_victim ~rng ~work ()
+
+(* the cross-CPU race victim's entry points *)
+let race_early = "victim_early"
+let race_late = "victim_late"
+
+(** The cross-CPU race victim: [victim_early] stores into the window
+    that stays writable, [victim_late] into the window the concurrent
+    policy shrink revokes. Both bump the call counter. The late stores
+    are legitimate when first exercised (warming the guard's site inline
+    cache for that page) and become violations once CPU B's shrink is
+    published — the interesting store is the same instruction at the
+    same site before and after. *)
+let build_race_victim ~rng ~lo ~hi () =
+  let b = Kir.Builder.create victim_name in
+  ignore (Kir.Builder.declare_global b counter_global ~size:8);
+  let open Kir.Types in
+  let entry_fn name window =
+    ignore (Kir.Builder.start_func b name ~params:[] ~ret:(Some I64));
+    let c = Kir.Builder.load b I64 (Sym counter_global) in
+    let c1 = Kir.Builder.add b I64 c (Imm 1) in
+    Kir.Builder.store b I64 c1 (Sym counter_global);
+    for i = 0 to 2 do
+      (* value depends on the live counter so every call writes fresh
+         bytes — a post-shrink store always shows up in the memory diff *)
+      let salt = Machine.Rng.int rng 0x10000 in
+      let x = Kir.Builder.add b I64 c1 (Imm salt) in
+      Kir.Builder.store b I64 x (Imm (window + (8 * i)))
+    done;
+    Kir.Builder.ret b (Some c1)
+  in
+  entry_fn race_early lo;
+  entry_fn race_late hi;
+  Kir.Builder.modul b
 
 (* ------------------------------------------------------------------ *)
 (* post-signing mutations *)

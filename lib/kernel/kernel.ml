@@ -64,7 +64,11 @@ type symbol =
 and t = {
   mem : Memory.t;
   phys_size : int;
-  machine : Machine.Model.t;
+  mutable machine : Machine.Model.t;
+      (** the machine model cycles are charged to. Single-CPU runs never
+          reassign it; the SMP scheduler swaps in the running CPU's
+          model on every context switch (each simulated CPU owns private
+          caches, predictor and clock). *)
   rng : Machine.Rng.t;
   log : Klog.t;
   symbols : (string, symbol) Hashtbl.t;
@@ -803,6 +807,11 @@ let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
 
 let set_runner t run = t.runner := Some run
 let machine t = t.machine
+
+(** Swap the machine model cycles are charged to — the SMP scheduler's
+    context switch. Memory, symbols, modules and devices stay shared
+    (one kernel image); only caches/predictor/clock are per-CPU. *)
+let set_machine t m = t.machine <- m
 let log t = t.log
 let signing_key t = t.signing_key
 let set_require_signature t b = t.require_signature <- b

@@ -20,6 +20,11 @@ type t = {
   kernel : Kernel.t;
   device : Nic.Device.t;
   xmit_symbol : string;
+  queue : int;
+      (** TX queue this stack sends on: -1 = the classic single-queue
+          driver path (default); >= 0 = the multi-queue driver entry
+          points against the numbered device ring (one per CPU under
+          SMP), with a per-queue MSI-X style completion latch *)
   sock_vaddr : int;  (** simulated struct sock / socket bookkeeping *)
   skb_pool : int array;
   skb_size : int;
@@ -44,12 +49,18 @@ type t = {
 let sock_size = 512
 let default_pool = 64
 
-let create ?(xmit_symbol = "e1000e_xmit_frame") ?(skb_size = 2048)
+let create ?xmit_symbol ?(queue = -1) ?(skb_size = 2048)
     ?(pool = default_pool) ?(noise_seed = 1234) kernel device =
+  let xmit_symbol =
+    match xmit_symbol with
+    | Some s -> s
+    | None -> if queue >= 0 then "e1000e_xmit_frame_mq" else "e1000e_xmit_frame"
+  in
   {
     kernel;
     device;
     xmit_symbol;
+    queue;
     sock_vaddr = Kernel.kmalloc kernel ~size:sock_size;
     skb_pool =
       Array.init pool (fun _ -> Kernel.kmalloc kernel ~size:skb_size);
@@ -77,6 +88,19 @@ let bring_up t ~ring_entries =
   in
   if rc <> 0 then failwith "bring_up: probe failed"
 
+(** Bring up this stack's own TX queue (multi-queue stacks only): run
+    the driver's per-queue setup against the device ring this stack
+    sends on. [bring_up] (the probe, which also enables the transmitter
+    globally) must have run once on some stack first. *)
+let bring_up_queue t ~ring_entries =
+  assert (t.queue >= 0);
+  assert (ring_entries land (ring_entries - 1) = 0);
+  let rc =
+    Kernel.call_symbol t.kernel "e1000e_setup_tx_queue"
+      [| t.queue; ring_entries |]
+  in
+  if rc <> 0 then failwith "bring_up_queue: setup failed"
+
 let set_noise t ~interrupt_prob ~interrupt_mean ~deschedule_mean =
   t.interrupt_prob <- interrupt_prob;
   t.interrupt_mean_cycles <- interrupt_mean;
@@ -89,7 +113,19 @@ let set_noise t ~interrupt_prob ~interrupt_mean ~deschedule_mean =
     real hardware with MSI interrupts. *)
 let poll_interrupts t =
   Nic.Device.sync t.device;
-  if Nic.Device.pending_interrupt t.device then begin
+  if t.queue >= 0 then begin
+    (* multi-queue: this stack's MSI-X style per-queue latch only — a
+       shared read-to-clear ICR would let concurrent CPUs swallow each
+       other's completion causes *)
+    if Nic.Device.txq_irq_pending t.device ~q:t.queue then begin
+      Nic.Device.ack_txq_irq t.device ~q:t.queue;
+      (* interrupt entry/exit cost on the CPU *)
+      Machine.Model.add_cycles (Kernel.machine t.kernel) 120;
+      ignore
+        (Kernel.call_symbol t.kernel "e1000e_irq_handler_mq" [| t.queue |])
+    end
+  end
+  else if Nic.Device.pending_interrupt t.device then begin
     (* interrupt entry/exit cost on the CPU *)
     Machine.Model.add_cycles (Kernel.machine t.kernel) 120;
     ignore (Kernel.call_symbol t.kernel "e1000e_irq_handler" [||])
@@ -160,7 +196,11 @@ let try_sendmsg t ~user_buf ~len : (int, send_error) result =
         fail Driver_quarantined
       else fail Driver_unloaded
     | Some _ ->
-      let rc = Kernel.call_symbol k t.xmit_symbol [| skb; len |] in
+      let rc =
+        if t.queue >= 0 then
+          Kernel.call_symbol k t.xmit_symbol [| skb; len; t.queue |]
+        else Kernel.call_symbol k t.xmit_symbol [| skb; len |]
+      in
       if rc = 0 then Ok ()
       else if rc = Kernel.eio then
         (* the guard trap quarantined the driver under this very call *)
@@ -173,7 +213,9 @@ let try_sendmsg t ~user_buf ~len : (int, send_error) result =
            sender forever. *)
         t.busy_retries <- t.busy_retries + 1;
         t.deschedules <- t.deschedules + 1;
-        let wake = Nic.Device.next_completion_cycle t.device in
+        let wake =
+          Nic.Device.next_completion_cycle ~q:(max t.queue 0) t.device
+        in
         let now = Machine.Model.cycles machine in
         let sleep = max 0 (wake - now) in
         let penalty =

@@ -14,9 +14,31 @@
     writing back DD status bits and TDH exactly as the hardware's
     writeback would; it stands in for the interrupt path. An optional
     stall process (flow-control pauses) produces the ring-full episodes
-    behind the paper's latency outliers. *)
+    behind the paper's latency outliers.
+
+    TX is multi-queue (up to {!Regs.max_tx_queues} rings, 82574-style
+    register blocks at a fixed stride) over the single shared wire:
+    per-CPU senders each own a ring, and the drain engine interleaves
+    completed frames in doorbell order. Queue 0's registers are the
+    classic single-queue ones, so the pre-SMP driver — and its simulated
+    behaviour — is unchanged. Queues 1+ complete to a per-queue MSI-X
+    style interrupt latch instead of the shared ICR cause. *)
 
 type frame = { data : string; at_cycle : int }
+
+(** One TX descriptor ring (queue). *)
+type txq = {
+  mutable q_base : int;  (** virtual (direct-map) ring address *)
+  mutable q_entries : int;
+  mutable q_tdh : int;
+  mutable q_tdt : int;
+  mutable q_post : int array;
+      (** cycle at which each ring slot was posted (doorbell time): a
+          frame cannot occupy the wire before it exists *)
+  mutable q_irq : bool;  (** per-queue completion latch (MSI-X vector) *)
+  mutable q_frames : int;
+  mutable q_bytes : int;
+}
 
 type t = {
   kernel : Kernel.t;
@@ -24,14 +46,8 @@ type t = {
   regs : (int, int) Hashtbl.t;
   mutable mmio_base : int;
   (* DMA/drain state *)
-  mutable tx_ring_base : int;  (** virtual (direct-map) ring address *)
-  mutable tx_ring_entries : int;
-  mutable tdh : int;
-  mutable tdt : int;
+  txqs : txq array;  (** [Regs.max_tx_queues] rings; index 0 = classic *)
   mutable busy_until : int;  (** device cycle at which the wire frees up *)
-  mutable post_times : int array;
-      (** cycle at which each ring slot was posted (doorbell time): a
-          frame cannot occupy the wire before it exists *)
   mutable link_up : bool;
   (* RX state *)
   mutable rx_ring_base : int;
@@ -66,149 +82,205 @@ let reg_write t off v = Hashtbl.replace t.regs off v
 
 let now t = Machine.Model.cycles (Kernel.machine t.kernel)
 
-let ring_configured t = t.tx_ring_base <> 0 && t.tx_ring_entries > 0
+let queue t q = t.txqs.(q)
+
+let q_configured q = q.q_base <> 0 && q.q_entries > 0
+
+let ring_configured ?(q = 0) t = q_configured t.txqs.(q)
+
+let q_posted q =
+  if Array.length q.q_post > q.q_tdh then q.q_post.(q.q_tdh) else 0
+
+(* The queue whose head frame hit the doorbell earliest goes on the wire
+   next (tie: lowest queue index) — round-robin arbitration in post
+   order. With only queue 0 active this always selects queue 0, making
+   the drain sequence identical to the single-queue device. *)
+let pick_pending t =
+  let best = ref (-1) and best_posted = ref max_int in
+  Array.iteri
+    (fun i q ->
+      if q_configured q && q.q_tdh <> q.q_tdt then begin
+        let p = q_posted q in
+        if p < !best_posted then begin
+          best := i;
+          best_posted := p
+        end
+      end)
+    t.txqs;
+  !best
 
 (** Advance the device: complete every descriptor whose wire time has
     passed by [upto], writing DD back into the ring via DMA. *)
 let sync ?upto t =
   let upto = match upto with Some c -> c | None -> now t in
-  let continue = ref (ring_configured t && reg_read t Regs.tctl land Regs.tctl_en <> 0) in
-  while !continue && t.tdh <> t.tdt do
-    let desc = t.tx_ring_base + (t.tdh * Regs.desc_size) in
-    let buf = Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_addr_off) ~size:8 in
-    let len =
-      Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_len_off) ~size:2
-    in
-    let posted =
-      if Array.length t.post_times > t.tdh then t.post_times.(t.tdh) else 0
-    in
-    let start = max t.busy_until posted in
-    (* random flow-control pause before this frame *)
-    let pause =
-      if t.stall_prob > 0.0 && Machine.Rng.flip t.rng t.stall_prob then
-        t.stall_cycles
-      else 0
-    in
-    let finish = start + pause + wire_cycles t len in
-    if finish > upto then continue := false
+  let continue = ref (reg_read t Regs.tctl land Regs.tctl_en <> 0) in
+  while !continue do
+    let qi = pick_pending t in
+    if qi < 0 then continue := false
     else begin
-      (* DMA the payload out and deliver to the sink *)
-      let data =
-        if len > 0 && buf <> 0 then Kernel.read_string t.kernel ~addr:buf ~len
-        else ""
+      let q = t.txqs.(qi) in
+      let desc = q.q_base + (q.q_tdh * Regs.desc_size) in
+      let buf =
+        Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_addr_off) ~size:8
       in
-      t.tx_frames <- t.tx_frames + 1;
-      t.tx_bytes <- t.tx_bytes + len;
-      (* bounded sink: overwrite the oldest slot; completion runs once
-         per frame, so this must not churn a list *)
-      t.recent.(t.recent_next) <- { data; at_cycle = finish };
-      t.recent_next <- (t.recent_next + 1) mod Array.length t.recent;
-      if t.recent_count < Array.length t.recent then
-        t.recent_count <- t.recent_count + 1;
-      t.busy_until <- finish;
-      (* status writeback: set DD *)
-      let sta =
-        Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_sta_off) ~size:1
+      let len =
+        Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_len_off) ~size:2
       in
-      Kernel.dma_write t.kernel ~addr:(desc + Regs.desc_sta_off) ~size:1
-        (sta lor Regs.sta_dd);
-      t.tdh <- (t.tdh + 1) mod t.tx_ring_entries;
-      reg_write t Regs.icr (reg_read t Regs.icr lor Regs.icr_txdw)
+      let posted = q_posted q in
+      let start = max t.busy_until posted in
+      (* random flow-control pause before this frame *)
+      let pause =
+        if t.stall_prob > 0.0 && Machine.Rng.flip t.rng t.stall_prob then
+          t.stall_cycles
+        else 0
+      in
+      let finish = start + pause + wire_cycles t len in
+      if finish > upto then continue := false
+      else begin
+        (* DMA the payload out and deliver to the sink *)
+        let data =
+          if len > 0 && buf <> 0 then Kernel.read_string t.kernel ~addr:buf ~len
+          else ""
+        in
+        t.tx_frames <- t.tx_frames + 1;
+        t.tx_bytes <- t.tx_bytes + len;
+        q.q_frames <- q.q_frames + 1;
+        q.q_bytes <- q.q_bytes + len;
+        (* bounded sink: overwrite the oldest slot; completion runs once
+           per frame, so this must not churn a list *)
+        t.recent.(t.recent_next) <- { data; at_cycle = finish };
+        t.recent_next <- (t.recent_next + 1) mod Array.length t.recent;
+        if t.recent_count < Array.length t.recent then
+          t.recent_count <- t.recent_count + 1;
+        t.busy_until <- finish;
+        (* status writeback: set DD *)
+        let sta =
+          Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_sta_off) ~size:1
+        in
+        Kernel.dma_write t.kernel ~addr:(desc + Regs.desc_sta_off) ~size:1
+          (sta lor Regs.sta_dd);
+        q.q_tdh <- (q.q_tdh + 1) mod q.q_entries;
+        q.q_irq <- true;
+        if qi = 0 then
+          reg_write t Regs.icr (reg_read t Regs.icr lor Regs.icr_txdw)
+      end
     end
   done
 
-(** Earliest cycle by which at least one more descriptor will complete —
-    where a blocked sender should wake up. *)
-let next_completion_cycle t =
-  if t.tdh = t.tdt then now t
+(** Earliest cycle by which at least one more descriptor of queue [q]
+    will complete — where a blocked sender should wake up. *)
+let next_completion_cycle ?(q = 0) t =
+  let q = t.txqs.(q) in
+  if q.q_tdh = q.q_tdt then now t
   else begin
-    let desc = t.tx_ring_base + (t.tdh * Regs.desc_size) in
+    let desc = q.q_base + (q.q_tdh * Regs.desc_size) in
     let len =
       Kernel.dma_read t.kernel ~addr:(desc + Regs.desc_len_off) ~size:2
     in
-    let posted =
-      if Array.length t.post_times > t.tdh then t.post_times.(t.tdh) else 0
-    in
+    let posted = q_posted q in
     max (max t.busy_until posted) (now t) + wire_cycles t len
   end
 
+(* TX queue register blocks: [Regs.tdbal + q * Regs.txq_stride]. *)
+let txq_of_off off =
+  if off >= Regs.tdbal && off < Regs.tdbal + (Regs.max_tx_queues * Regs.txq_stride)
+  then begin
+    let q = (off - Regs.tdbal) / Regs.txq_stride in
+    Some (q, off - (q * Regs.txq_stride))
+  end
+  else None
+
 let handle_read t off size =
   ignore size;
-  if off = Regs.tdh then begin
-    sync t;
-    t.tdh
-  end
-  else if off = Regs.tdt then t.tdt
-  else if off = Regs.rdh then t.rdh
-  else if off = Regs.rdt then t.rdt
-  else if off = Regs.status then
-    reg_read t Regs.status lor (if t.link_up then Regs.status_lu else 0)
-  else if off = Regs.icr then begin
-    (* read-to-clear *)
-    let v = reg_read t Regs.icr in
-    reg_write t Regs.icr 0;
-    v
-  end
-  else reg_read t off
+  match txq_of_off off with
+  | Some (qi, sub) ->
+    let q = t.txqs.(qi) in
+    if sub = Regs.tdh then begin
+      sync t;
+      q.q_tdh
+    end
+    else if sub = Regs.tdt then q.q_tdt
+    else reg_read t off
+  | None ->
+    if off = Regs.rdh then t.rdh
+    else if off = Regs.rdt then t.rdt
+    else if off = Regs.status then
+      reg_read t Regs.status lor (if t.link_up then Regs.status_lu else 0)
+    else if off = Regs.icr then begin
+      (* read-to-clear *)
+      let v = reg_read t Regs.icr in
+      reg_write t Regs.icr 0;
+      v
+    end
+    else reg_read t off
+
+let reset_txq q =
+  q.q_base <- 0;
+  q.q_entries <- 0;
+  q.q_tdh <- 0;
+  q.q_tdt <- 0;
+  q.q_post <- [||];
+  q.q_irq <- false
 
 let handle_write t off size v =
   ignore size;
-  if off = Regs.tdt then begin
-    if ring_configured t then begin
-      let now_c = now t in
-      let v = v mod t.tx_ring_entries in
-      (* stamp the post time of every newly published slot *)
-      let i = ref t.tdt in
-      while !i <> v do
-        t.post_times.(!i) <- now_c;
-        i := (!i + 1) mod t.tx_ring_entries
-      done;
-      t.tdt <- v;
-      reg_write t Regs.tdt t.tdt;
-      sync t
+  match txq_of_off off with
+  | Some (qi, sub) ->
+    let q = t.txqs.(qi) in
+    if sub = Regs.tdt then begin
+      if q_configured q then begin
+        let now_c = now t in
+        let v = v mod q.q_entries in
+        (* stamp the post time of every newly published slot *)
+        let i = ref q.q_tdt in
+        while !i <> v do
+          q.q_post.(!i) <- now_c;
+          i := (!i + 1) mod q.q_entries
+        done;
+        q.q_tdt <- v;
+        reg_write t off q.q_tdt;
+        sync t
+      end
     end
-  end
-  else if off = Regs.tdbal then begin
-    reg_write t off v;
-    t.tx_ring_base <- v
-  end
-  else if off = Regs.tdlen then begin
-    reg_write t off v;
-    t.tx_ring_entries <- v / Regs.desc_size;
-    t.post_times <- Array.make (max 1 t.tx_ring_entries) 0
-  end
-  else if off = Regs.tdh then begin
-    t.tdh <- v;
-    reg_write t off v
-  end
-  else if off = Regs.rdbal then begin
-    reg_write t off v;
-    t.rx_ring_base <- v
-  end
-  else if off = Regs.rdlen then begin
-    reg_write t off v;
-    t.rx_ring_entries <- v / Regs.desc_size
-  end
-  else if off = Regs.rdh then begin
-    t.rdh <- v;
-    reg_write t off v
-  end
-  else if off = Regs.rdt then begin
-    if t.rx_ring_entries > 0 then t.rdt <- v mod t.rx_ring_entries
-    else t.rdt <- v;
-    reg_write t off t.rdt
-  end
-  else if off = Regs.ctrl && v land Regs.ctrl_rst <> 0 then begin
-    (* device reset *)
-    Hashtbl.reset t.regs;
-    t.tdh <- 0;
-    t.tdt <- 0;
-    t.tx_ring_base <- 0;
-    t.tx_ring_entries <- 0;
-    t.post_times <- [||];
-    t.busy_until <- 0
-  end
-  else reg_write t off v
+    else if sub = Regs.tdbal then begin
+      reg_write t off v;
+      q.q_base <- v
+    end
+    else if sub = Regs.tdlen then begin
+      reg_write t off v;
+      q.q_entries <- v / Regs.desc_size;
+      q.q_post <- Array.make (max 1 q.q_entries) 0
+    end
+    else if sub = Regs.tdh then begin
+      q.q_tdh <- v;
+      reg_write t off v
+    end
+    else reg_write t off v
+  | None ->
+    if off = Regs.rdbal then begin
+      reg_write t off v;
+      t.rx_ring_base <- v
+    end
+    else if off = Regs.rdlen then begin
+      reg_write t off v;
+      t.rx_ring_entries <- v / Regs.desc_size
+    end
+    else if off = Regs.rdh then begin
+      t.rdh <- v;
+      reg_write t off v
+    end
+    else if off = Regs.rdt then begin
+      if t.rx_ring_entries > 0 then t.rdt <- v mod t.rx_ring_entries
+      else t.rdt <- v;
+      reg_write t off t.rdt
+    end
+    else if off = Regs.ctrl && v land Regs.ctrl_rst <> 0 then begin
+      (* device reset *)
+      Hashtbl.reset t.regs;
+      Array.iter reset_txq t.txqs;
+      t.busy_until <- 0
+    end
+    else reg_write t off v
 
 (** Create the device and map its BAR; returns the device. The driver
     learns the BAR's virtual base from [mmio_base]. *)
@@ -220,12 +292,19 @@ let create ?(name = "e1000e-sim") ?(stall_prob = 0.0)
       name;
       regs = Hashtbl.create 64;
       mmio_base = 0;
-      tx_ring_base = 0;
-      tx_ring_entries = 0;
-      tdh = 0;
-      tdt = 0;
+      txqs =
+        Array.init Regs.max_tx_queues (fun _ ->
+            {
+              q_base = 0;
+              q_entries = 0;
+              q_tdh = 0;
+              q_tdt = 0;
+              q_post = [||];
+              q_irq = false;
+              q_frames = 0;
+              q_bytes = 0;
+            });
       busy_until = 0;
-      post_times = [||];
       link_up = true;
       rx_ring_base = 0;
       rx_ring_entries = 0;
@@ -261,8 +340,19 @@ let pending_interrupt t =
   sync t;
   reg_read t Regs.icr <> 0
 
+(** Per-queue completion latch (the MSI-X vector a multi-queue sender
+    polls); separate from the shared legacy ICR cause so per-CPU queues
+    never swallow each other's interrupts through read-to-clear. *)
+let txq_irq_pending t ~q =
+  sync t;
+  t.txqs.(q).q_irq
+
+let ack_txq_irq t ~q = t.txqs.(q).q_irq <- false
+
 let tx_frames t = t.tx_frames
 let tx_bytes t = t.tx_bytes
+let txq_frames t ~q = t.txqs.(q).q_frames
+let txq_bytes t ~q = t.txqs.(q).q_bytes
 (* newest-first list of the last frames delivered to the sink *)
 let recent_frames t =
   let cap = Array.length t.recent in
@@ -315,8 +405,10 @@ let rx_inject t (data : string) : bool =
 let rx_frames t = t.rx_frames
 let rx_dropped t = t.rx_dropped
 
-(** Free descriptor slots as the device sees them right now. *)
-let free_slots t =
+(** Free descriptor slots of queue [q] as the device sees them right
+    now. *)
+let free_slots ?(q = 0) t =
   sync t;
-  if not (ring_configured t) then 0
-  else (t.tdh - t.tdt - 1 + t.tx_ring_entries) mod t.tx_ring_entries
+  let q = t.txqs.(q) in
+  if not (q_configured q) then 0
+  else (q.q_tdh - q.q_tdt - 1 + q.q_entries) mod q.q_entries

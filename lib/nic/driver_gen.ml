@@ -523,8 +523,235 @@ let gen_cold_padding b ~scale =
     Builder.ret b (Some wrapped)
   done
 
-(** Generate a fresh, un-transformed driver module. *)
-let generate ?(module_scale = 12) ?(with_rogue = false) () : modul =
+(* ------------------------------------------------------------------ *)
+(* multi-queue TX (per-CPU queues over the one device)
+
+   Per-queue adapter state lives in the [adapter_mq] global, one
+   64-byte block per queue, accessed relative to a computed queue base —
+   the same memory-reference pattern as the classic path, so the
+   transform guards it identically. Queue [q]'s device registers sit at
+   the classic offsets plus [q * Regs.txq_stride]. These functions are
+   only generated for multi-queue builds ([tx_queues > 1]); the default
+   module is byte-identical to the single-queue driver. *)
+
+let mq_stride = 64
+let mqf_ring = 0
+let mqf_entries = 8
+let mqf_next_use = 16
+let mqf_next_clean = 24
+let mqf_tx_packets = 32
+let mqf_tx_bytes = 40
+let mqf_tx_busy = 48
+
+(* base of queue %q's adapter block *)
+let mq_base b = Builder.gep b (Sym "adapter_mq") (Reg "%q") ~scale:mq_stride
+
+let mq_fld b qb off = Builder.gep b qb (Imm off) ~scale:1
+let mq_load b qb off = Builder.load b I64 (mq_fld b qb off)
+let mq_store b qb off v = Builder.store b I64 v (mq_fld b qb off)
+
+(* queue %q's register offset for classic register [reg] *)
+let mq_reg b reg =
+  let skew = Builder.mul b I64 (Reg "%q") (Imm Regs.txq_stride) in
+  Builder.add b I64 skew (Imm reg)
+
+let gen_setup_tx_queue b =
+  (* e1000e_setup_tx_queue(q, entries): allocate and program queue q's
+     ring (entries must be a power of two). TCTL enable is global and
+     stays with e1000e_probe. *)
+  ignore
+    (Builder.start_func b "e1000e_setup_tx_queue"
+       ~params:[ ("%q", I64); ("%entries", I64) ]
+       ~ret:(Some I64));
+  let qb = mq_base b in
+  let ring_bytes = Builder.mul b I64 (Reg "%entries") (Imm Regs.desc_size) in
+  let ring =
+    match Builder.call b "kmalloc" [ ring_bytes ] with
+    | Some v -> v
+    | None -> assert false
+  in
+  mq_store b qb mqf_ring ring;
+  mq_store b qb mqf_entries (Reg "%entries");
+  mq_store b qb mqf_next_use (Imm 0);
+  mq_store b qb mqf_next_clean (Imm 0);
+  mq_store b qb mqf_tx_packets (Imm 0);
+  mq_store b qb mqf_tx_bytes (Imm 0);
+  mq_store b qb mqf_tx_busy (Imm 0);
+  Builder.for_loop b ~init:(Imm 0) ~limit:(Reg "%entries") ~step:(Imm 1)
+    (fun i ->
+      let d = Builder.gep b ring i ~scale:Regs.desc_size in
+      Builder.store b I64 (Imm 0) d;
+      let d8 = Builder.gep b d (Imm 8) ~scale:1 in
+      Builder.store b I64 (Imm 0) d8);
+  Builder.call_unit b "e1000e_io_write" [ mq_reg b Regs.tdbal; ring ];
+  Builder.call_unit b "e1000e_io_write" [ mq_reg b Regs.tdlen; ring_bytes ];
+  Builder.call_unit b "e1000e_io_write" [ mq_reg b Regs.tdh; Imm 0 ];
+  Builder.call_unit b "e1000e_io_write" [ mq_reg b Regs.tdt; Imm 0 ];
+  Builder.ret b (Some (Imm 0))
+
+let gen_clean_tx_mq b =
+  ignore
+    (Builder.start_func b "e1000e_clean_tx_mq" ~params:[ ("%q", I64) ]
+       ~ret:(Some I64));
+  let qb = mq_base b in
+  let ring = mq_load b qb mqf_ring in
+  let entries = mq_load b qb mqf_entries in
+  let mask = Builder.sub b I64 entries (Imm 1) in
+  let use = mq_load b qb mqf_next_use in
+  let clean0 = mq_load b qb mqf_next_clean in
+  Builder.mov_to b r_clean I64 clean0;
+  Builder.mov_to b r_count I64 (Imm 0);
+  let head = Builder.new_block b ~hint:"mqclean_head" () in
+  let chk = Builder.new_block b ~hint:"mqclean_chk" () in
+  let advance = Builder.new_block b ~hint:"mqclean_adv" () in
+  let done_ = Builder.new_block b ~hint:"mqclean_done" () in
+  Builder.br b head;
+  Builder.position_at b head;
+  let pending = Builder.icmp b Ne I64 (Reg r_clean) use in
+  Builder.cond_br b pending ~if_true:chk ~if_false:done_;
+  Builder.position_at b chk;
+  let desc = Builder.gep b ring (Reg r_clean) ~scale:Regs.desc_size in
+  let sta_addr = Builder.gep b desc (Imm Regs.desc_sta_off) ~scale:1 in
+  let sta = Builder.load b I8 sta_addr in
+  let dd = Builder.and_ b I64 sta (Imm Regs.sta_dd) in
+  let is_done = Builder.icmp b Ne I64 dd (Imm 0) in
+  Builder.cond_br b is_done ~if_true:advance ~if_false:done_;
+  Builder.position_at b advance;
+  Builder.store b I8 (Imm 0) sta_addr;
+  let c1 = Builder.add b I64 (Reg r_clean) (Imm 1) in
+  let c1m = Builder.and_ b I64 c1 mask in
+  Builder.mov_to b r_clean I64 c1m;
+  let n1 = Builder.add b I64 (Reg r_count) (Imm 1) in
+  Builder.mov_to b r_count I64 n1;
+  Builder.br b head;
+  Builder.position_at b done_;
+  mq_store b qb mqf_next_clean (Reg r_clean);
+  Builder.ret b (Some (Reg r_count))
+
+let gen_tx_avail_mq b =
+  ignore
+    (Builder.start_func b "e1000e_tx_avail_mq" ~params:[ ("%q", I64) ]
+       ~ret:(Some I64));
+  let qb = mq_base b in
+  let entries = mq_load b qb mqf_entries in
+  let mask = Builder.sub b I64 entries (Imm 1) in
+  let use = mq_load b qb mqf_next_use in
+  let clean = mq_load b qb mqf_next_clean in
+  let diff = Builder.sub b I64 clean use in
+  let diff1 = Builder.sub b I64 diff (Imm 1) in
+  let wrapped = Builder.add b I64 diff1 entries in
+  let avail = Builder.and_ b I64 wrapped mask in
+  Builder.ret b (Some avail)
+
+let gen_xmit_mq b =
+  (* e1000e_xmit_frame_mq(buf, len, q) -> 0 ok | -1 ring full; same
+     shape as the classic xmit, against queue q's ring and doorbell. *)
+  ignore
+    (Builder.start_func b "e1000e_xmit_frame_mq"
+       ~params:[ ("%buf", I64); ("%len", I64); ("%q", I64) ]
+       ~ret:(Some I64));
+  let qb = mq_base b in
+  let avail =
+    match Builder.call b "e1000e_tx_avail_mq" [ Reg "%q" ] with
+    | Some v -> v
+    | None -> assert false
+  in
+  let full = Builder.icmp b Eq I64 avail (Imm 0) in
+  let slow = Builder.new_block b ~hint:"mqtx_slow" () in
+  let busy = Builder.new_block b ~hint:"mqtx_busy" () in
+  let go = Builder.new_block b ~hint:"mqtx_go" () in
+  Builder.cond_br b full ~if_true:slow ~if_false:go;
+  Builder.position_at b slow;
+  ignore (Builder.call b ~want_result:false "e1000e_clean_tx_mq" [ Reg "%q" ]);
+  let avail2 =
+    match Builder.call b "e1000e_tx_avail_mq" [ Reg "%q" ] with
+    | Some v -> v
+    | None -> assert false
+  in
+  let still_full = Builder.icmp b Eq I64 avail2 (Imm 0) in
+  Builder.cond_br b still_full ~if_true:busy ~if_false:go;
+  Builder.position_at b busy;
+  let nbusy = mq_load b qb mqf_tx_busy in
+  let nbusy1 = Builder.add b I64 nbusy (Imm 1) in
+  mq_store b qb mqf_tx_busy nbusy1;
+  Builder.ret b (Some (Imm (-1)));
+  Builder.position_at b go;
+  let ring = mq_load b qb mqf_ring in
+  let entries = mq_load b qb mqf_entries in
+  let mask = Builder.sub b I64 entries (Imm 1) in
+  let use = mq_load b qb mqf_next_use in
+  let desc = Builder.gep b ring use ~scale:Regs.desc_size in
+  Builder.store b I64 (Reg "%buf") desc;
+  let len_addr = Builder.gep b desc (Imm Regs.desc_len_off) ~scale:1 in
+  Builder.store b I16 (Reg "%len") len_addr;
+  let cso_addr = Builder.gep b desc (Imm Regs.desc_cso_off) ~scale:1 in
+  Builder.store b I8 (Imm 0) cso_addr;
+  let cmd_addr = Builder.gep b desc (Imm Regs.desc_cmd_off) ~scale:1 in
+  Builder.store b I8
+    (Imm (Regs.cmd_eop lor Regs.cmd_ifcs lor Regs.cmd_rs))
+    cmd_addr;
+  let sta_addr = Builder.gep b desc (Imm Regs.desc_sta_off) ~scale:1 in
+  Builder.store b I8 (Imm 0) sta_addr;
+  let et_addr = Builder.gep b (Reg "%buf") (Imm 12) ~scale:1 in
+  let _ethertype = Builder.load b I16 et_addr in
+  let use1 = Builder.add b I64 use (Imm 1) in
+  let use1m = Builder.and_ b I64 use1 mask in
+  mq_store b qb mqf_next_use use1m;
+  let pk = mq_load b qb mqf_tx_packets in
+  let pk1 = Builder.add b I64 pk (Imm 1) in
+  mq_store b qb mqf_tx_packets pk1;
+  let by = mq_load b qb mqf_tx_bytes in
+  let by1 = Builder.add b I64 by (Reg "%len") in
+  mq_store b qb mqf_tx_bytes by1;
+  Builder.call_unit b "e1000e_io_write" [ mq_reg b Regs.tdt; use1m ];
+  Builder.ret b (Some (Imm 0))
+
+let gen_irq_handler_mq b =
+  (* Per-queue (MSI-X vector) handler: the kernel dispatches it only for
+     its queue's latch, so there is no shared cause register to read —
+     read-to-clear on ICR from concurrent CPUs would swallow each
+     other's causes. *)
+  ignore
+    (Builder.start_func b "e1000e_irq_handler_mq" ~params:[ ("%q", I64) ]
+       ~ret:(Some I64));
+  let cleaned =
+    match Builder.call b "e1000e_clean_tx_mq" [ Reg "%q" ] with
+    | Some v -> v
+    | None -> assert false
+  in
+  Builder.ret b (Some cleaned)
+
+let gen_get_stats_mq b =
+  ignore
+    (Builder.start_func b "e1000e_get_stats_mq"
+       ~params:[ ("%q", I64); ("%which", I64) ]
+       ~ret:(Some I64));
+  let qb = mq_base b in
+  let pkts = Builder.new_block b ~hint:"mqst_pkts" () in
+  let bytes = Builder.new_block b ~hint:"mqst_bytes" () in
+  let busy = Builder.new_block b ~hint:"mqst_busy" () in
+  let other = Builder.new_block b ~hint:"mqst_other" () in
+  Builder.switch b (Reg "%which")
+    [ (0, pkts); (1, bytes); (3, busy) ]
+    ~default:other;
+  Builder.position_at b pkts;
+  let v = mq_load b qb mqf_tx_packets in
+  Builder.ret b (Some v);
+  Builder.position_at b bytes;
+  let v = mq_load b qb mqf_tx_bytes in
+  Builder.ret b (Some v);
+  Builder.position_at b busy;
+  let v = mq_load b qb mqf_tx_busy in
+  Builder.ret b (Some v);
+  Builder.position_at b other;
+  Builder.ret b (Some (Imm (-1)))
+
+(** Generate a fresh, un-transformed driver module. [tx_queues > 1]
+    additionally emits the multi-queue TX entry points (setup/xmit/
+    clean/irq per queue) and their [adapter_mq] state; the default is
+    byte-identical to the classic single-queue driver. *)
+let generate ?(module_scale = 12) ?(with_rogue = false) ?(tx_queues = 1) () :
+    modul =
   let b = Builder.create "e1000e" in
   declare_kernel_api b;
   ignore (Builder.declare_global b "adapter" ~size:adapter_size);
@@ -552,6 +779,17 @@ let generate ?(module_scale = 12) ?(with_rogue = false) () : modul =
   gen_poll_rx b;
   gen_diag b;
   gen_lifecycle b;
+  if tx_queues > 1 then begin
+    ignore
+      (Builder.declare_global b "adapter_mq"
+         ~size:(Regs.max_tx_queues * mq_stride));
+    gen_setup_tx_queue b;
+    gen_clean_tx_mq b;
+    gen_tx_avail_mq b;
+    gen_xmit_mq b;
+    gen_irq_handler_mq b;
+    gen_get_stats_mq b
+  end;
   if with_rogue then gen_rogue_peek b;
   gen_cold_padding b ~scale:module_scale;
   let m = Builder.modul b in

@@ -13,6 +13,17 @@ let tdbah = 0x3804
 let tdlen = 0x3808 (* TX descriptor ring length, bytes *)
 let tdh = 0x3810 (* TX descriptor head (device-owned) *)
 let tdt = 0x3818 (* TX descriptor tail (driver doorbell) *)
+
+(* Multi-queue TX: queue [q]'s register block sits at [tdbal + q *
+   txq_stride] (82574/igb convention); queue 0's block is exactly the
+   classic single-queue registers above, so a single-queue driver is a
+   multi-queue driver that only programs queue 0. *)
+let txq_stride = 0x100
+let max_tx_queues = 8
+let tdbal_q q = tdbal + (q * txq_stride)
+let tdlen_q q = tdlen + (q * txq_stride)
+let tdh_q q = tdh + (q * txq_stride)
+let tdt_q q = tdt + (q * txq_stride)
 let rctl = 0x0100
 let rdbal = 0x2800
 let rdbah = 0x2804

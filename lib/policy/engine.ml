@@ -23,7 +23,20 @@
     exact. Both answer only when the answer provably equals the exact
     walk's; anything else (page straddle, cross-page access, unknown
     site, flag mismatch) falls back to the exact structure, so decisions
-    are byte-for-byte identical to the plain walk. *)
+    are byte-for-byte identical to the plain walk.
+
+    SMP: all hot-path counters, the inline cache, the trace sink and the
+    denial diagnostic live in a {!view} — one per simulated CPU. A
+    single-CPU engine has exactly one view (the default), and every
+    accessor below reads it, so single-CPU behaviour and simulated cost
+    are unchanged. The scheduler switches {!set_current_view} when it
+    switches CPUs; {!merged_stats}/{!merged_tier} aggregate ftrace-style.
+    Policy replacement for concurrent readers goes through
+    {!build_instance}/{!publish}: the writer constructs a complete new
+    structure generation off-line and installs it with a single pointer
+    store (plus the usual epoch bump), so a reader mid-guard on another
+    CPU only ever observes a fully-built table — never a half-written
+    entry. Grace-period tracking and IPI shootdown live in [Smp.Rcu]. *)
 
 type kind = Linear | Sorted | Splay | Rbtree | Bloom | Cached | Shadow
 
@@ -84,23 +97,46 @@ type site_cache = {
           per-region trace attribution on a hit *)
 }
 
+(** Per-CPU execution view: everything the guard hot path reads or writes
+    besides the shared policy structure itself. The default view is CPU
+    0's (and the only one in single-CPU runs). *)
+type view = {
+  v_id : int;  (** CPU id, 0-based; the default view is 0 *)
+  v_stats : stats;
+  v_tier : tier_stats;
+  mutable v_trace : Trace.t option;
+      (** per-CPU observability sink; [None] (the default) makes every
+          trace touch-point a single cheap match, keeping the traced-off
+          path bit-identical to the pre-trace simulation *)
+  mutable v_site_cache : site_cache option;
+  mutable v_last_deny : Region.t option;
+      (** diagnostics for this view's most recent {!check_fast} denial *)
+  mutable v_stale : int;
+      (** paranoid-mode mismatches: fast-path allows that a fresh exact
+          reference walk would deny (must stay 0; see {!set_verify}) *)
+}
+
 type t = {
   kernel : Kernel.t;
-  instance : Structure.instance;
+  kind : kind;
+  capacity : int;
+  mutable instance : Structure.instance;
+      (** the live policy generation; replaced wholesale by {!publish} *)
   mutable default_allow : bool;
-  stats : stats;
-  tier : tier_stats;
-  mutable trace : Trace.t option;
-      (** observability sink; [None] (the default) makes every trace
-          touch-point a single cheap match, keeping the traced-off path
-          bit-identical to the pre-trace simulation *)
   mutable epoch : int;
       (** bumped on every policy mutation; fast tiers validate against it *)
-  mutable site_cache : site_cache option;
-  mutable last_deny : Region.t option;
-      (** diagnostics for the most recent {!check_fast} denial: the region
-          that matched but lacked permission, mirroring {!Denied}'s payload
-          without allocating on the hot path *)
+  mutable generation : int;
+      (** RCU publication count; 0 until the first {!publish} *)
+  mutable gen_ptr : int;
+      (** simulated vaddr of the published-instance pointer cell;
+          allocated lazily on first publish so classic single-CPU runs
+          keep a bit-identical memory layout *)
+  default_view : view;
+  mutable views : view list;  (** all views, default first *)
+  mutable cur : view;
+  mutable verify : bool;
+      (** host-side paranoia: cross-check every inline-cache allow
+          against a fresh exact reference walk (no simulated cost) *)
   perm_pc : int array;
       (** branch-site ids for the permission branch, precomputed per
           protection value so the hot path allocates no strings; values
@@ -124,18 +160,33 @@ let make_instance kernel kind ~capacity : Structure.instance =
   | Shadow ->
     Structure.I ((module Shadow_table), Shadow_table.create kernel ~capacity)
 
+let make_view id =
+  {
+    v_id = id;
+    v_stats = { checks = 0; allowed = 0; denied = 0; entries_scanned = 0 };
+    v_tier = { ic_hits = 0; ic_misses = 0 };
+    v_trace = None;
+    v_site_cache = None;
+    v_last_deny = None;
+    v_stale = 0;
+  }
+
 let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
     ?(default_allow = false) kernel =
+  let dv = make_view 0 in
   {
     kernel;
+    kind;
+    capacity;
     instance = make_instance kernel kind ~capacity;
     default_allow;
-    stats = { checks = 0; allowed = 0; denied = 0; entries_scanned = 0 };
-    tier = { ic_hits = 0; ic_misses = 0 };
-    trace = None;
     epoch = 0;
-    site_cache = None;
-    last_deny = None;
+    generation = 0;
+    gen_ptr = -1;
+    default_view = dv;
+    views = [ dv ];
+    cur = dv;
+    verify = false;
     perm_pc =
       Array.init 4 (fun p -> Hashtbl.hash ("perm", Region.prot_to_string p));
   }
@@ -146,15 +197,66 @@ let bump_epoch t = t.epoch <- t.epoch + 1
 
 let epoch t = t.epoch
 
-(** Attach/detach the observability sink. Detached (the default) costs
-    nothing — simulated cycles stay bit-identical to a build without the
-    trace layer (the bench [tracegate] target pins this). *)
-let set_trace t tr = t.trace <- tr
+(* ------------------------------------------------------------------ *)
+(* views *)
 
-let trace t = t.trace
+let default_view t = t.default_view
+let current_view t = t.cur
+let views t = t.views
+let view_id v = v.v_id
+let view_stats v = v.v_stats
+let view_tier v = v.v_tier
+let view_trace v = v.v_trace
+let view_set_trace v tr = v.v_trace <- tr
+let view_last_deny v = v.v_last_deny
+let view_stale_allows v = v.v_stale
+
+let alloc_site_cache kernel =
+  {
+    sc_vaddr = Kernel.kmalloc kernel ~size:(site_cache_size * 16);
+    sc_epoch = Array.make site_cache_size (-1);
+    sc_page = Array.make site_cache_size (-1);
+    sc_prot = Array.make site_cache_size 0;
+    sc_pcs = Array.init site_cache_size (fun i -> Hashtbl.hash ("site-ic", i));
+    sc_depth = Array.make site_cache_size 0;
+    sc_rbase = Array.make site_cache_size (-1);
+  }
+
+(** Register a fresh per-CPU view (with its own inline cache when
+    [site_cache] is set). Views are append-only for the engine's
+    lifetime; the scheduler owns which one is current. *)
+let new_view ?(site_cache = false) t =
+  let v = make_view (List.length t.views) in
+  if site_cache then v.v_site_cache <- Some (alloc_site_cache t.kernel);
+  t.views <- t.views @ [ v ];
+  v
+
+(** Make [v]'s counters/cache/trace the ones the hot path uses. Called by
+    the SMP scheduler on every context switch; single-CPU runs never
+    leave the default view. *)
+let set_current_view t v = t.cur <- v
+
+(** Drop a remote view's inline-cache contents, as an IPI shootdown
+    handler would: every slot is retagged invalid. The epoch check
+    already keeps stale slots from answering; this models the handler
+    doing the flush work for real (cost is charged by the caller). *)
+let flush_view_site_cache v =
+  match v.v_site_cache with
+  | None -> ()
+  | Some sc ->
+    Array.fill sc.sc_epoch 0 site_cache_size (-1);
+    Array.fill sc.sc_page 0 site_cache_size (-1)
+
+(** Attach/detach the observability sink (default view's — i.e. the only
+    one in single-CPU runs). Detached (the default) costs nothing —
+    simulated cycles stay bit-identical to a build without the trace
+    layer (the bench [tracegate] target pins this). *)
+let set_trace t tr = t.default_view.v_trace <- tr
+
+let trace t = t.cur.v_trace
 
 let lifecycle t kind ~info =
-  match t.trace with
+  match t.cur.v_trace with
   | None -> ()
   | Some tr -> Trace.on_lifecycle tr kind ~info
 
@@ -186,18 +288,45 @@ let set_default_allow t b =
 
 let count t = Structure.count t.instance
 let regions t = Structure.regions t.instance
-let stats t = t.stats
-let tier_stats t = t.tier
+let default_allow t = t.default_allow
+let stats t = t.default_view.v_stats
+let tier_stats t = t.default_view.v_tier
 let structure_name t = Structure.name t.instance
 let table_region t = Structure.table_region t.instance
 
+(** Sum of the decision stats across every view (ftrace-style merge on
+    read; the per-view records stay live). *)
+let merged_stats t : stats =
+  let m = { checks = 0; allowed = 0; denied = 0; entries_scanned = 0 } in
+  List.iter
+    (fun v ->
+      m.checks <- m.checks + v.v_stats.checks;
+      m.allowed <- m.allowed + v.v_stats.allowed;
+      m.denied <- m.denied + v.v_stats.denied;
+      m.entries_scanned <- m.entries_scanned + v.v_stats.entries_scanned)
+    t.views;
+  m
+
+let merged_tier t : tier_stats =
+  let m = { ic_hits = 0; ic_misses = 0 } in
+  List.iter
+    (fun v ->
+      m.ic_hits <- m.ic_hits + v.v_tier.ic_hits;
+      m.ic_misses <- m.ic_misses + v.v_tier.ic_misses)
+    t.views;
+  m
+
 let reset_stats t =
-  t.stats.checks <- 0;
-  t.stats.allowed <- 0;
-  t.stats.denied <- 0;
-  t.stats.entries_scanned <- 0;
-  t.tier.ic_hits <- 0;
-  t.tier.ic_misses <- 0
+  List.iter
+    (fun v ->
+      v.v_stats.checks <- 0;
+      v.v_stats.allowed <- 0;
+      v.v_stats.denied <- 0;
+      v.v_stats.entries_scanned <- 0;
+      v.v_tier.ic_hits <- 0;
+      v.v_tier.ic_misses <- 0;
+      v.v_stale <- 0)
+    t.views
 
 (** Load a whole policy (clearing the current one); errors abort. *)
 let set_policy t rs =
@@ -209,10 +338,71 @@ let set_policy t rs =
       | Error e -> invalid_arg ("Engine.set_policy: " ^ e))
     rs
 
+(* ------------------------------------------------------------------ *)
+(* RCU-style publication *)
+
+let generation t = t.generation
+
+(** Build a complete successor policy generation off to the side — a
+    fresh structure of the engine's kind/capacity holding [rs] — without
+    touching the live one. Construction cost (allocation + entry stores)
+    is charged to the calling CPU's machine, like the writer building the
+    new table before publishing. *)
+let build_instance t rs : Structure.instance =
+  let inst = make_instance t.kernel t.kind ~capacity:t.capacity in
+  List.iter
+    (fun r ->
+      match Structure.add inst r with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Engine.build_instance: " ^ e))
+    rs;
+  inst
+
+(** Install a fully-built generation with a single pointer store and bump
+    the epoch (invalidating every view's fast tiers). Readers switch
+    atomically from the old table to the new one — there is no interval
+    in which a partially-written entry is reachable. Returns the retired
+    generation for the caller's grace-period bookkeeping ([Smp.Rcu]
+    frees it only after every CPU passes a quiescent point). *)
+let publish t inst ~default_allow : Structure.instance =
+  if t.gen_ptr < 0 then t.gen_ptr <- Kernel.kmalloc t.kernel ~size:8;
+  let old = t.instance in
+  t.instance <- inst;
+  t.default_allow <- default_allow;
+  t.generation <- t.generation + 1;
+  bump_epoch t;
+  (* the publish itself: one release store of the table pointer *)
+  Machine.Model.store (Kernel.machine t.kernel) t.gen_ptr 8;
+  lifecycle t Trace.Policy_publish ~info:t.generation;
+  old
+
+(* ------------------------------------------------------------------ *)
+(* checks *)
+
+(** Host-side reference verdict: the exact first-match walk over the
+    live generation, with no simulated cost. Used by paranoid mode and
+    the SMP stale-allow assertions to cross-check fast-tier answers
+    against the policy as currently published. *)
+let reference_allows t ~addr ~size ~flags =
+  let rec go = function
+    | [] -> t.default_allow
+    | (r : Region.t) :: rest ->
+      if Region.contains r ~addr ~size then Region.permits r ~flags
+      else go rest
+  in
+  go (Structure.regions t.instance)
+
+(** Enable/disable paranoid cross-checking of inline-cache allows (a
+    host-side comparison — zero simulated cycles, so cycle goldens are
+    unaffected). Mismatches count in {!stale_allows}. *)
+let set_verify t b = t.verify <- b
+
+let stale_allows t = List.fold_left (fun a v -> a + v.v_stale) 0 t.views
+
 (* Decision-event emission; a single match when no sink is attached. *)
 let emit_guard t ~site ~addr ~size ~flags ~allowed ~fast ~scanned ~region_base
     =
-  match t.trace with
+  match t.cur.v_trace with
   | None -> ()
   | Some tr ->
     Trace.on_guard tr ~site ~addr ~size ~flags ~allowed ~fast ~scanned
@@ -224,11 +414,12 @@ let emit_guard t ~site ~addr ~size ~flags ~allowed ~fast ~scanned ~region_base
     guard site). *)
 let check_sited t ~site ~addr ~size ~flags : verdict =
   let machine = Kernel.machine t.kernel in
+  let st = t.cur.v_stats in
   (* prologue: argument marshalling, flag mask, bounds set-up *)
   Machine.Model.retire machine 4;
   let out = Structure.lookup t.instance ~addr ~size in
-  t.stats.checks <- t.stats.checks + 1;
-  t.stats.entries_scanned <- t.stats.entries_scanned + out.Structure.scanned;
+  st.checks <- st.checks + 1;
+  st.entries_scanned <- st.entries_scanned + out.Structure.scanned;
   match out.Structure.matched with
   | Some r ->
     Machine.Model.retire machine 2;
@@ -239,22 +430,22 @@ let check_sited t ~site ~addr ~size ~flags : verdict =
     emit_guard t ~site ~addr ~size ~flags ~allowed:ok ~fast:false
       ~scanned:out.Structure.scanned ~region_base:r.Region.base;
     if ok then begin
-      t.stats.allowed <- t.stats.allowed + 1;
+      st.allowed <- st.allowed + 1;
       Allowed (Some r)
     end
     else begin
-      t.stats.denied <- t.stats.denied + 1;
+      st.denied <- st.denied + 1;
       Denied (Some r)
     end
   | None ->
     emit_guard t ~site ~addr ~size ~flags ~allowed:t.default_allow ~fast:false
       ~scanned:out.Structure.scanned ~region_base:(-1);
     if t.default_allow then begin
-      t.stats.allowed <- t.stats.allowed + 1;
+      st.allowed <- st.allowed + 1;
       Allowed None
     end
     else begin
-      t.stats.denied <- t.stats.denied + 1;
+      st.denied <- st.denied + 1;
       Denied None
     end
 
@@ -263,31 +454,20 @@ let check t ~addr ~size ~flags : verdict = check_sited t ~site:(-1) ~addr ~size 
 (* ------------------------------------------------------------------ *)
 (* site-indexed inline-cache fast path *)
 
-(** Allocate the inline-cache arrays (idempotent). Off by default so the
-    paper's evaluated configuration — and its simulated-cycle figures —
-    are untouched unless a run opts in. *)
+(** Allocate the inline-cache arrays for the default view (idempotent).
+    Off by default so the paper's evaluated configuration — and its
+    simulated-cycle figures — are untouched unless a run opts in. *)
 let enable_site_cache t =
-  match t.site_cache with
+  match t.default_view.v_site_cache with
   | Some _ -> ()
-  | None ->
-    t.site_cache <-
-      Some
-        {
-          sc_vaddr = Kernel.kmalloc t.kernel ~size:(site_cache_size * 16);
-          sc_epoch = Array.make site_cache_size (-1);
-          sc_page = Array.make site_cache_size (-1);
-          sc_prot = Array.make site_cache_size 0;
-          sc_pcs =
-            Array.init site_cache_size (fun i -> Hashtbl.hash ("site-ic", i));
-          sc_depth = Array.make site_cache_size 0;
-          sc_rbase = Array.make site_cache_size (-1);
-        }
+  | None -> t.default_view.v_site_cache <- Some (alloc_site_cache t.kernel)
 
-let site_cache_enabled t = t.site_cache <> None
+let site_cache_enabled t = t.default_view.v_site_cache <> None
 
-(** Region that matched but lacked permission on the most recent
-    [check_fast] denial ([None] = nothing matched under default-deny). *)
-let last_deny t = t.last_deny
+(** Region that matched but lacked permission on the current view's most
+    recent [check_fast] denial ([None] = nothing matched under
+    default-deny). *)
+let last_deny t = t.cur.v_last_deny
 
 (* The page's uniform-permission classification iff it holds for every
    possible in-page byte range: every region either fully contains or is
@@ -327,10 +507,10 @@ let page_uniform_prot t page =
 let check_slow t ~site ~addr ~size ~flags =
   match check_sited t ~site ~addr ~size ~flags with
   | Allowed _ ->
-    t.last_deny <- None;
+    t.cur.v_last_deny <- None;
     true
   | Denied m ->
-    t.last_deny <- m;
+    t.cur.v_last_deny <- m;
     false
 
 let fill_site sc t ~i ~page =
@@ -354,7 +534,8 @@ let fill_site sc t ~i ~page =
     legacy 3-argument guard call: always the exact walk). On denial the
     matching-region diagnostic is available from {!last_deny}. *)
 let check_fast t ~site ~addr ~size ~flags : bool =
-  match t.site_cache with
+  let cv = t.cur in
+  match cv.v_site_cache with
   | Some sc when site >= 0 && addr >= 0 && flags <> 0 ->
     let machine = Kernel.machine t.kernel in
     (* same prologue the exact path charges *)
@@ -372,16 +553,19 @@ let check_fast t ~site ~addr ~size ~flags : bool =
     Machine.Model.branch machine ~pc:sc.sc_pcs.(i) ~taken:hit;
     if hit then
       if flags land sc.sc_prot.(i) = flags then begin
-        t.stats.checks <- t.stats.checks + 1;
-        t.stats.allowed <- t.stats.allowed + 1;
+        cv.v_stats.checks <- cv.v_stats.checks + 1;
+        cv.v_stats.allowed <- cv.v_stats.allowed + 1;
         (* credit the scan depth the exact walk would have recorded, so
            decision stats do not depend on which tier answered *)
-        t.stats.entries_scanned <- t.stats.entries_scanned + sc.sc_depth.(i);
+        cv.v_stats.entries_scanned <-
+          cv.v_stats.entries_scanned + sc.sc_depth.(i);
         (* an allow supersedes any earlier denial diagnostic, exactly as
            the exact walk's Allowed branch does *)
-        t.last_deny <- None;
-        t.tier.ic_hits <- t.tier.ic_hits + 1;
-        (match t.trace with
+        cv.v_last_deny <- None;
+        cv.v_tier.ic_hits <- cv.v_tier.ic_hits + 1;
+        if t.verify && not (reference_allows t ~addr ~size ~flags) then
+          cv.v_stale <- cv.v_stale + 1;
+        (match cv.v_trace with
         | None -> ()
         | Some tr ->
           Trace.on_fast_hit tr ~site;
@@ -392,15 +576,15 @@ let check_fast t ~site ~addr ~size ~flags : bool =
       else begin
         (* cached fact says deny (or an exotic flag combination): take the
            exact walk for the authoritative verdict and diagnostics *)
-        t.tier.ic_misses <- t.tier.ic_misses + 1;
-        (match t.trace with
+        cv.v_tier.ic_misses <- cv.v_tier.ic_misses + 1;
+        (match cv.v_trace with
         | None -> ()
         | Some tr -> Trace.on_fast_miss tr ~site);
         check_slow t ~site ~addr ~size ~flags
       end
     else begin
-      t.tier.ic_misses <- t.tier.ic_misses + 1;
-      (match t.trace with
+      cv.v_tier.ic_misses <- cv.v_tier.ic_misses + 1;
+      (match cv.v_trace with
       | None -> ()
       | Some tr -> Trace.on_fast_miss tr ~site);
       let ok = check_slow t ~site ~addr ~size ~flags in

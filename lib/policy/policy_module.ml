@@ -35,10 +35,26 @@ let on_deny_of_int = function
   | 2 -> Some Audit
   | _ -> None
 
+(** A policy mutation, reified so its application can be routed. The
+    default route applies it in place (exactly the pre-SMP behaviour);
+    an SMP run installs a {!set_mutator} callback that routes every
+    control-plane mutation through the RCU publish path instead, so a
+    CPU mid-guard never observes a half-written region entry. *)
+type mutation =
+  | M_add of Region.t
+  | M_remove of int  (** region base *)
+  | M_clear
+  | M_set_default of bool
+  | M_set_mode of on_deny
+  | M_replace of Region.t list * bool  (** whole policy + default action *)
+
 type t = {
   kernel : Kernel.t;
   engine : Engine.t;
   mutable on_deny : on_deny;
+  mutable mutator : (mutation -> int) option;
+      (** control-plane mutation router; [None] (the default) applies
+          mutations in place, keeping single-CPU runs bit-identical *)
   mutable violations : (int * int * int) list;
       (** (addr, size, flags) of denied accesses, newest first *)
   (* §5 extensions *)
@@ -199,38 +215,70 @@ let read_region_arg t ~arg =
   let prot = Kernel.read t.kernel ~addr:(arg + 16) ~size:8 in
   (base, len, prot)
 
+(** Apply a mutation directly to the live structure — the classic
+    single-CPU path (in-place table writes, epoch bump). Also the
+    fallback every mutator ends in for non-table mutations. *)
+let apply_in_place t (m : mutation) : int =
+  match m with
+  | M_add r -> (
+    match Engine.add_region t.engine r with
+    | Ok () -> 0
+    | Error e ->
+      Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Warn
+        "carat ioctl add: %s" e;
+      -1)
+  | M_remove base -> if Engine.remove_region t.engine ~base then 0 else -1
+  | M_clear ->
+    Engine.clear t.engine;
+    0
+  | M_set_default b ->
+    (* epoch-bumping setter: flips the default action and invalidates
+       every fast tier (shadow, inline caches) in O(1) *)
+    Engine.set_default_allow t.engine b;
+    0
+  | M_set_mode mode ->
+    t.on_deny <- mode;
+    (* mode flips change what a (stale) allow would have bypassed, so
+       they invalidate the fast tiers like any policy push *)
+    Engine.bump_epoch t.engine;
+    Engine.lifecycle t.engine Trace.Mode_change ~info:(on_deny_to_int mode);
+    Kernel.Klog.printk (Kernel.log t.kernel)
+      "CARAT KOP enforcement mode -> %s" (on_deny_to_string mode);
+    0
+  | M_replace (rs, default_allow) ->
+    Engine.set_policy t.engine rs;
+    Engine.set_default_allow t.engine default_allow;
+    0
+
+(** Route a control-plane mutation: through the registered mutator (the
+    SMP RCU publish path) when one is installed, in place otherwise. *)
+let apply t m = match t.mutator with Some f -> f m | None -> apply_in_place t m
+
+(** Install/remove the mutation router. The SMP layer registers the RCU
+    publish path here; [None] restores the in-place default. *)
+let set_mutator t f = t.mutator <- f
+
+(** Replace the whole policy (regions + default action) as one mutation.
+    Under the RCU route this is a single generation swap — readers see
+    the old table or the new one, never a mixture. *)
+let replace_policy t ?(default_allow = false) rs =
+  apply t (M_replace (rs, default_allow))
+
 let handle_ioctl t _kernel ~cmd ~arg =
   if cmd = ioctl_add then begin
     let base, len, prot = read_region_arg t ~arg in
     if len <= 0 then -1
-    else begin
-      match
-        Engine.add_region t.engine
-          (Region.v ~tag:"ioctl" ~base ~len ~prot ())
-      with
-      | Ok () -> 0
-      | Error e ->
-        Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Warn "carat ioctl add: %s" e;
-        -1
-    end
+    else apply t (M_add (Region.v ~tag:"ioctl" ~base ~len ~prot ()))
   end
   else if cmd = ioctl_remove then begin
     let base = Kernel.read t.kernel ~addr:arg ~size:8 in
-    if Engine.remove_region t.engine ~base then 0 else -1
+    apply t (M_remove base)
   end
-  else if cmd = ioctl_clear then begin
-    Engine.clear t.engine;
-    0
-  end
+  else if cmd = ioctl_clear then apply t M_clear
   else if cmd = ioctl_count then Engine.count t.engine
-  else if cmd = ioctl_set_default then begin
-    (* epoch-bumping setter: flips the default action and invalidates
-       every fast tier (shadow, inline caches) in O(1) *)
-    Engine.set_default_allow t.engine (arg <> 0);
-    0
-  end
-  else if cmd = ioctl_stats_checks then (Engine.stats t.engine).Engine.checks
-  else if cmd = ioctl_stats_denied then (Engine.stats t.engine).Engine.denied
+  else if cmd = ioctl_set_default then apply t (M_set_default (arg <> 0))
+  else if cmd = ioctl_stats_checks then (Engine.merged_stats t.engine).Engine.checks
+  else if cmd = ioctl_stats_denied then (Engine.merged_stats t.engine).Engine.denied
   else if cmd = ioctl_set_intrinsics then begin
     t.intrinsic_allowed <- arg;
     0
@@ -246,21 +294,13 @@ let handle_ioctl t _kernel ~cmd ~arg =
   end
   else if cmd = ioctl_set_mode then begin
     match on_deny_of_int arg with
-    | Some mode ->
-      t.on_deny <- mode;
-      (* mode flips change what a (stale) allow would have bypassed, so
-         they invalidate the fast tiers like any policy push *)
-      Engine.bump_epoch t.engine;
-      Engine.lifecycle t.engine Trace.Mode_change ~info:(on_deny_to_int mode);
-      Kernel.Klog.printk (Kernel.log t.kernel)
-        "CARAT KOP enforcement mode -> %s" (on_deny_to_string mode);
-      0
+    | Some mode -> apply t (M_set_mode mode)
     | None -> -1
   end
   else if cmd = ioctl_get_mode then on_deny_to_int t.on_deny
   else if cmd = ioctl_get_stats then begin
-    let st = Engine.stats t.engine in
-    let tier = Engine.tier_stats t.engine in
+    let st = Engine.merged_stats t.engine in
+    let tier = Engine.merged_tier t.engine in
     let recorded, dropped =
       match Engine.trace t.engine with
       | Some tr -> (Trace.recorded tr, Trace.dropped tr)
@@ -321,6 +361,7 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
       kernel;
       engine;
       on_deny;
+      mutator = None;
       violations = [];
       intrinsic_allowed = 0;
       intrinsic_violations = [];

@@ -1,0 +1,73 @@
+(** A simulated CPU: private machine model (clock, caches, branch
+    predictor), a per-CPU policy-engine view (stats, tier counters,
+    inline cache, trace ring, denial diagnostic), and the RCU/IPI
+    bookkeeping the SMP layer maintains for it.
+
+    The kernel image itself — memory, symbols, modules, devices — is
+    shared; {!Sched} swaps the kernel's machine and the engine's current
+    view on every context switch, so whatever runs next charges its
+    cycles to the right core and hits the right inline cache.
+
+    CPU 0 is the boot CPU: it *adopts* the kernel's existing machine and
+    the engine's default view, so a 1-CPU SMP system is the classic
+    single-CPU simulation, bit for bit. *)
+
+type t = {
+  id : int;
+  machine : Machine.Model.t;
+  view : Policy.Engine.view;
+  rng : Machine.Rng.t;  (** per-CPU workload noise stream *)
+  (* RCU *)
+  mutable q_gen : int;
+      (** newest RCU generation this CPU has observed at a quiescent
+          point (end of a scheduler operation); grace periods complete
+          when the minimum over all CPUs passes the published gen *)
+  (* IPI shootdown *)
+  mutable ipi_pending : bool;
+  mutable ipi_from : int;  (** sender CPU of the pending IPI *)
+  mutable ipis_taken : int;
+  mutable ipi_cycles : int;  (** cycles this CPU spent in IPI handlers *)
+  (* bookkeeping *)
+  mutable ops : int;  (** scheduler operations completed *)
+}
+
+(** The boot CPU: adopts the kernel's machine and the engine's default
+    view (single-CPU behaviour unchanged). *)
+let boot ?(seed = 0) kernel engine =
+  {
+    id = 0;
+    machine = Kernel.machine kernel;
+    view = Policy.Engine.default_view engine;
+    rng = Machine.Rng.create (seed lxor 0xC0DE);
+    q_gen = 0;
+    ipi_pending = false;
+    ipi_from = -1;
+    ipis_taken = 0;
+    ipi_cycles = 0;
+    ops = 0;
+  }
+
+(** An application CPU: fresh machine model (same preset — homogeneous
+    SMP), fresh engine view with its own inline cache when the engine
+    runs one. *)
+let secondary ?(seed = 0) ~params ~site_cache engine ~id =
+  {
+    id;
+    machine = Machine.Model.create params;
+    view = Policy.Engine.new_view ~site_cache engine;
+    rng = Machine.Rng.create (seed lxor (0xC0DE + (id * 0x9e37)));
+    q_gen = 0;
+    ipi_pending = false;
+    ipi_from = -1;
+    ipis_taken = 0;
+    ipi_cycles = 0;
+    ops = 0;
+  }
+
+let cycles t = Machine.Model.cycles t.machine
+
+(** Make [t] the running CPU: the kernel charges cycles to its machine
+    and the policy engine uses its view. *)
+let make_current t kernel engine =
+  Kernel.set_machine kernel t.machine;
+  Policy.Engine.set_current_view engine t.view

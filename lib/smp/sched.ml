@@ -1,0 +1,70 @@
+(** Deterministic round-robin SMP scheduler.
+
+    The simulation has no real concurrency: each CPU's workload is a
+    step function that runs one *operation* (one sendmsg, one ioctl, one
+    guard probe — whatever the workload's unit is) to completion, and
+    the scheduler interleaves those operations. A seeded PRNG draws each
+    timeslice quantum (1..[quantum_max] operations), so the interleaving
+    is irregular enough to exercise cross-CPU races yet exactly
+    reproducible: same seed + same workload = same interleaving, same
+    per-CPU cycle counts, same trace streams.
+
+    The boundary between two operations on a CPU is that CPU's
+    *quiescent point* — it has returned from its simulated kernel entry
+    and holds no references into policy structures. {!Rcu} hangs
+    grace-period detection off the [on_quiescent] hook. *)
+
+type hooks = {
+  on_switch : int -> unit;
+      (** [on_switch cpu] fires when [cpu] is placed on the (simulated)
+          hardware, before its first operation of the slice: swap the
+          kernel's machine and engine view, service pending IPIs *)
+  on_quiescent : int -> unit;
+      (** [on_quiescent cpu] fires after each completed operation *)
+}
+
+let null_hooks = { on_switch = ignore; on_quiescent = ignore }
+
+type stats = {
+  mutable slices : int;  (** context switches (timeslices started) *)
+  mutable ops : int;  (** total operations across all CPUs *)
+}
+
+(** Run the per-CPU step functions to completion. [steps.(c) ()] runs
+    one operation on CPU [c] and returns [false] when that CPU's
+    workload is exhausted. Returns the interleave log: the CPU id of
+    every operation, in execution order (a workload fingerprint for the
+    determinism tests). *)
+let run ?(quantum_max = 3) ?(hooks = null_hooks) ~seed
+    (steps : (unit -> bool) array) : int list * stats =
+  let n = Array.length steps in
+  if n = 0 then invalid_arg "Sched.run: no cpus";
+  let rng = Machine.Rng.create (seed lxor 0x5EED) in
+  let live = Array.make n true in
+  let remaining = ref n in
+  let log = ref [] in
+  let stats = { slices = 0; ops = 0 } in
+  let cur = ref 0 in
+  while !remaining > 0 do
+    while not live.(!cur) do
+      cur := (!cur + 1) mod n
+    done;
+    let c = !cur in
+    stats.slices <- stats.slices + 1;
+    hooks.on_switch c;
+    let quantum = 1 + Machine.Rng.int rng quantum_max in
+    let k = ref 0 in
+    while !k < quantum && live.(c) do
+      incr k;
+      log := c :: !log;
+      stats.ops <- stats.ops + 1;
+      let more = steps.(c) () in
+      hooks.on_quiescent c;
+      if not more then begin
+        live.(c) <- false;
+        decr remaining
+      end
+    done;
+    cur := (c + 1) mod n
+  done;
+  (List.rev !log, stats)

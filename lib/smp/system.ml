@@ -1,0 +1,85 @@
+(** Assembly of the SMP pieces over one shared kernel: N {!Cpu}s (boot
+    CPU adopts the kernel's machine and the engine's default view), an
+    {!Rcu} domain routing the policy module's mutations, and the
+    {!Sched} hooks that context-switch machine + engine view and drive
+    IPI service / quiescent-point reporting.
+
+    With [cpus:1] nothing changes hands — no secondary views, no RCU
+    routing (the policy module keeps its in-place mutation path) — so a
+    1-CPU system is cycle- and layout-identical to the classic
+    single-CPU simulation. *)
+
+type t = {
+  kernel : Kernel.t;
+  engine : Policy.Engine.t;
+  pm : Policy.Policy_module.t;
+  cpus : Cpu.t array;
+  rcu : Rcu.t;
+  seed : int;
+}
+
+let create ~seed ~params ~cpus:n kernel pm =
+  if n < 1 then invalid_arg "System.create: cpus < 1";
+  let engine = Policy.Policy_module.engine pm in
+  let site_cache = Policy.Engine.site_cache_enabled engine in
+  let cpus =
+    Array.init n (fun i ->
+        if i = 0 then Cpu.boot ~seed kernel engine
+        else Cpu.secondary ~seed ~params ~site_cache engine ~id:i)
+  in
+  let rcu = Rcu.create ~pm cpus in
+  (* Only a real multiprocessor needs RCU publication; leaving a 1-CPU
+     system on the in-place mutation path keeps it bit-identical to the
+     classic simulation. *)
+  if n > 1 then Rcu.attach rcu;
+  { kernel; engine; pm; cpus; rcu; seed }
+
+let cpus t = t.cpus
+let ncpus t = Array.length t.cpus
+let rcu t = t.rcu
+let engine t = t.engine
+
+(** Give every CPU its own trace ring (ftrace-style per-CPU buffers).
+    Returns the rings in CPU order; merge with {!Trace.merged_events}
+    and friends. *)
+let enable_tracing ?capacity t =
+  Array.map
+    (fun (c : Cpu.t) ->
+      let tr = Trace.create ?capacity t.kernel in
+      Trace.start tr;
+      Policy.Engine.view_set_trace c.view (Some tr);
+      tr)
+    t.cpus
+
+let traces t =
+  Array.to_list t.cpus
+  |> List.filter_map (fun (c : Cpu.t) -> Policy.Engine.view_trace c.view)
+
+let hooks t =
+  {
+    Sched.on_switch =
+      (fun i ->
+        Cpu.make_current t.cpus.(i) t.kernel t.engine;
+        Rcu.set_current t.rcu i;
+        Rcu.service_ipi t.rcu i);
+    on_quiescent = (fun i -> Rcu.quiesce t.rcu i);
+  }
+
+(** Interleave the per-CPU step functions (see {!Sched.run}) under this
+    system's context-switch/RCU hooks. Restores CPU 0 as current when
+    the run drains, so follow-on single-threaded code (stats reads,
+    ioctls) charges the boot CPU. *)
+let run ?quantum_max t steps =
+  let out = Sched.run ?quantum_max ~hooks:(hooks t) ~seed:t.seed steps in
+  (* drained CPUs are idle, and idle is quiescent: report a final
+     quiescent point for everyone so trailing grace periods complete *)
+  Array.iteri (fun i _ -> Rcu.quiesce t.rcu i) t.cpus;
+  Cpu.make_current t.cpus.(0) t.kernel t.engine;
+  Rcu.set_current t.rcu 0;
+  out
+
+(** Per-CPU op counts folded over the interleave log. *)
+let ops_by_cpu t (log : int list) =
+  let a = Array.make (ncpus t) 0 in
+  List.iter (fun c -> a.(c) <- a.(c) + 1) log;
+  a

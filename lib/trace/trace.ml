@@ -30,6 +30,8 @@ type kind =
   | Module_load
   | Module_quarantine
   | Panic
+  | Policy_publish  (** RCU generation swap ([info] = new generation) *)
+  | Ipi_flush  (** IPI shootdown handled on this CPU ([info] = sender) *)
 
 let kind_to_int = function
   | Guard_allow -> 0
@@ -43,6 +45,8 @@ let kind_to_int = function
   | Module_load -> 8
   | Module_quarantine -> 9
   | Panic -> 10
+  | Policy_publish -> 11
+  | Ipi_flush -> 12
 
 let kind_of_int = function
   | 0 -> Guard_allow
@@ -55,6 +59,8 @@ let kind_of_int = function
   | 7 -> Mode_change
   | 8 -> Module_load
   | 9 -> Module_quarantine
+  | 11 -> Policy_publish
+  | 12 -> Ipi_flush
   | _ -> Panic
 
 let kind_to_string = function
@@ -69,6 +75,8 @@ let kind_to_string = function
   | Module_load -> "module-load"
   | Module_quarantine -> "module-quarantine"
   | Panic -> "panic"
+  | Policy_publish -> "policy-publish"
+  | Ipi_flush -> "ipi-flush"
 
 (** A decoded event (read-path only; the ring itself stores raw ints).
     [info] is the matched region's base for guard events (-1 when no
@@ -426,6 +434,42 @@ let render_stats ?(region_tag = fun _ -> None) t =
       rrows
   end;
   Buffer.contents b
+
+(* --- merged per-CPU rings (SMP) ------------------------------------- *)
+
+(** Merged-on-read views over per-CPU rings, ftrace-style: each CPU
+    records into its own ring with no cross-CPU coordination, and the
+    reader aggregates. Drop accounting must *sum* — each ring's own
+    overrun counter is authoritative for its CPU, so the merge can never
+    lose (or double-count) an overwrite the way a shared mutable counter
+    updated from several contexts could. *)
+
+let merged_recorded ts = List.fold_left (fun a t -> a + t.total) 0 ts
+
+let merged_dropped ts = List.fold_left (fun a t -> a + dropped t) 0 ts
+
+let merged_totals ts =
+  List.fold_left
+    (fun (c, a, d, s, h, m) t ->
+      let c', a', d', s', h', m' = totals t in
+      (c + c', a + a', d + d', s + s', h + h', m + m'))
+    (0, 0, 0, 0, 0, 0) ts
+
+(** All buffered events across the rings as [(cpu, event)], ordered by
+    simulated cycle stamp (ties broken by cpu then seq) — the merged
+    timeline a multi-ring ftrace reader presents. *)
+let merged_events ts =
+  let all =
+    List.concat (List.mapi (fun cpu t -> List.map (fun e -> (cpu, e)) (events t)) ts)
+  in
+  List.stable_sort
+    (fun (c1, e1) (c2, e2) ->
+      let by = compare e1.cycles e2.cycles in
+      if by <> 0 then by
+      else
+        let bc = compare c1 c2 in
+        if bc <> 0 then bc else compare e1.seq e2.seq)
+    all
 
 (** The /proc/carat/trace rendering: the buffered events, oldest
     first. *)

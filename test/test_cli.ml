@@ -144,6 +144,48 @@ let test_kop_run_happy_and_panic () =
   checki "panics" 4 code;
   checkb "says so" true (contains out "KERNEL PANIC")
 
+let test_kop_run_smp () =
+  let drv = tmp "cli_smp.kir" in
+  let pol = tmp "cli_smp.kop" in
+  checki "emit" 0 (sh "%s --emit-driver --scale 1 -o %s" kop_compile drv);
+  checki "policy" 0 (sh "%s init -o %s" policy_manager pol);
+  let run () =
+    sh_out "%s %s --policy %s --call e1000e_eeprom_read --args 1 --cpus 4"
+      kop_run drv pol
+  in
+  let code, out = run () in
+  checki "runs on 4 cpus" 0 code;
+  checkb "cpu0 result" true (contains out "cpu0: e1000e_eeprom_read(1) =");
+  checkb "cpu3 result" true (contains out "cpu3: e1000e_eeprom_read(1) =");
+  checkb "interleave shown" true (contains out "interleave: [");
+  (* deterministic: a second identical invocation prints identical output *)
+  let code2, out2 = run () in
+  checki "rerun ok" 0 code2;
+  checkb "deterministic output" true (out = out2);
+  (* --cpus 1 keeps the classic single-CPU output shape *)
+  let code, out =
+    sh_out "%s %s --policy %s --call e1000e_eeprom_read --args 1 --cpus 1"
+      kop_run drv pol
+  in
+  checki "single cpu ok" 0 code;
+  checkb "classic format" true (contains out "e1000e_eeprom_read(1) =");
+  checkb "no cpu prefix" true (not (contains out "cpu0:"));
+  checki "cpus bounds" 2
+    (sh "%s %s --policy %s --call e1000e_eeprom_read --args 1 --cpus 9" kop_run
+       drv pol)
+
+let test_policy_manager_storm () =
+  let pol = tmp "cli_storm.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  let code, out = sh_out "%s storm %s --cpus 4 --updates 12" policy_manager pol in
+  checki "storm ok" 0 code;
+  checkb "publications reported" true (contains out "24 publications");
+  checkb "no stale allow" true (contains out "stale allows after publish: 0");
+  checkb "verdict" true (contains out "OK: updates atomic");
+  (* a single CPU cannot race itself *)
+  checki "rejects cpus 1" 2 (sh "%s storm %s --cpus 1" policy_manager pol)
+
 let test_kop_run_rejects_unsigned () =
   let drv = tmp "cli_unsigned.kir" in
   (* emit WITHOUT transform or signature *)
@@ -178,10 +220,12 @@ let () =
           Alcotest.test_case "lifecycle" `Quick test_policy_manager_lifecycle;
           Alcotest.test_case "push via ioctl" `Quick test_policy_manager_push;
           Alcotest.test_case "set-mode" `Quick test_policy_manager_set_mode;
+          Alcotest.test_case "smp update storm" `Quick test_policy_manager_storm;
         ] );
       ( "kop_run",
         [
           Alcotest.test_case "run and panic" `Quick test_kop_run_happy_and_panic;
           Alcotest.test_case "signature gate" `Quick test_kop_run_rejects_unsigned;
+          Alcotest.test_case "smp --cpus" `Quick test_kop_run_smp;
         ] );
     ]
