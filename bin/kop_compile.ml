@@ -37,19 +37,20 @@ let compile input output optimize strict exempt_stack key signer stats
           { Passes.Guard_injection.default_config with exempt_stack }
         in
         let pipeline =
-          if optimize then Passes.Pipeline.kop_optimized ~key ~signer ~config ()
-          else Passes.Pipeline.kop_default ~key ~signer ~config ()
+          if optimize then
+            Passes.Pipeline.kop_optimized ~key ~signer ~config ~strict ()
+          else Passes.Pipeline.kop_default ~key ~signer ~config ~strict ()
         in
-        let pipeline =
-          if strict then
-            List.map
-              (fun (p : Passes.Pass.t) ->
-                if p.Passes.Pass.name = "attest" then Passes.Attest.pass ~strict:true ()
-                else p)
-              pipeline
-          else pipeline
-        in
-        Passes.Pass.run_pipeline_checked pipeline m
+        let remarks = Passes.Pass.run_pipeline_checked pipeline m in
+        (* referencing the certifier also guarantees the analysis layer
+           is linked, which is what registers the certify pass above *)
+        (match Analysis.Certify.validate m with
+        | Ok () -> ()
+        | Error e ->
+          Printf.eprintf "kop_compile: post-compile certificate check: %s\n"
+            (Analysis.Certify.validate_error_to_string e);
+          exit 1);
+        remarks
       end
     in
     if stats then begin
@@ -97,7 +98,8 @@ let optimize =
 
 let strict =
   Arg.(value & flag & info [ "strict" ]
-    ~doc:"Reject indirect calls during attestation, not only inline asm.")
+    ~doc:"Reject indirect calls that are not covered by cfi_guard \
+          instrumentation (re-checked after the extension passes run).")
 
 let exempt_stack =
   Arg.(value & flag & info [ "exempt-stack" ]

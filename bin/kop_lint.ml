@@ -1,0 +1,114 @@
+(* kop-lint: static checks for CARAT KOP artifacts.
+
+     kop_lint module FILE.kir     — KIR lints: unguarded accesses,
+                                    unreachable blocks, dead/duplicate
+                                    guards, indirect calls without a
+                                    cfi_guard
+     kop_lint policy FILE.kop     — policy-file lints: shadowed regions,
+                                    capacity overflow, write-only
+                                    protections, shadow-table blind spots
+     kop_lint cert FILE.kir       — validate the embedded
+                                    guard-completeness certificate of a
+                                    compiled module (digest + re-proof)
+
+   Exit codes: 0 clean (warnings allowed), 3 errors found, 1 bad input,
+   2 usage. Pass --strict to also fail on warnings. *)
+
+open Cmdliner
+open Carat_kop
+
+let with_kir path f =
+  try f (Kir.Parser.parse_file path) with
+  | Kir.Parser.Parse_error (line, msg) ->
+    Printf.eprintf "kop_lint: %s: parse error at line %d: %s\n" path line msg;
+    1
+
+let verdict ~strict ~what path errs warns =
+  Printf.printf "%s: %d error(s), %d warning(s) [%s]\n" path (List.length errs)
+    (List.length warns) what;
+  if errs <> [] || (strict && warns <> []) then 3 else 0
+
+let cmd_module path strict =
+  with_kir path (fun m ->
+      match Kir.Verify.check_module m with
+      | (_ :: _) as errs ->
+        List.iter
+          (fun e ->
+            Printf.printf "error[L-verify] %s\n" (Kir.Verify.error_to_string e))
+          errs;
+        Printf.printf "%s: %d error(s), 0 warning(s) [kir-verify]\n" path
+          (List.length errs);
+        3
+      | [] ->
+        let findings = Analysis.Kir_lint.lint m in
+        List.iter
+          (fun f -> print_endline (Analysis.Kir_lint.finding_to_string f))
+          findings;
+        verdict ~strict ~what:"kir" path
+          (Analysis.Kir_lint.errors findings)
+          (Analysis.Kir_lint.warnings findings))
+
+let cmd_policy path strict =
+  try
+    let t = Policy.Policy_file.load path in
+    let findings = Policy.Policy_lint.lint t in
+    List.iter
+      (fun f -> print_endline (Policy.Policy_lint.finding_to_string f))
+      findings;
+    verdict ~strict ~what:"policy" path
+      (Policy.Policy_lint.errors findings)
+      (Policy.Policy_lint.warnings findings)
+  with
+  | Policy.Policy_file.Parse_error (line, msg) ->
+    Printf.eprintf "kop_lint: %s: policy parse error at line %d: %s\n" path
+      line msg;
+    1
+  | Sys_error msg ->
+    Printf.eprintf "kop_lint: %s\n" msg;
+    1
+
+let cmd_cert path =
+  with_kir path (fun m ->
+      match Analysis.Certify.validate m with
+      | Ok () ->
+        Printf.printf "%s: certificate ok (guard completeness re-proved)\n"
+          path;
+        0
+      | Error e ->
+        Printf.printf "%s: certificate REJECTED: %s\n" path
+          (Analysis.Certify.validate_error_to_string e);
+        3)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ] ~doc:"Also fail (exit 3) on warnings.")
+
+let module_cmd =
+  Cmd.v
+    (Cmd.info "module"
+       ~doc:
+         "lint a KIR module: unguarded loads/stores, unreachable blocks, \
+          dead or duplicate guards, indirect calls without cfi_guard")
+    Term.(const cmd_module $ file_arg $ strict_arg)
+
+let policy_cmd =
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:
+         "lint a policy file: shadowed regions, capacity overflow, \
+          write-only protections, shadow-table blind spots")
+    Term.(const cmd_policy $ file_arg $ strict_arg)
+
+let cert_cmd =
+  Cmd.v
+    (Cmd.info "cert"
+       ~doc:
+         "validate the guard-completeness certificate embedded in a \
+          compiled module (body digest match, then full re-proof)")
+    Term.(const cmd_cert $ file_arg)
+
+let () =
+  let doc = "static analysis suite for CARAT KOP modules and policies" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "kop_lint" ~doc) [ module_cmd; policy_cmd; cert_cmd ]))

@@ -35,7 +35,10 @@ let run module_path policy_path call args machine_name engine_name mode_str
   in
   try
     let m = Kir.Parser.parse_file module_path in
-    let kernel = Kernel.create ~require_signature:(not no_enforce) machine in
+    let kernel =
+      Kernel.create ~require_signature:(not no_enforce)
+        ~require_certificate:(not no_enforce) machine
+    in
     let vm = Vm.Engine.install ~kind:engine kernel in
     if trace > 0 then begin
       let remaining = ref trace in

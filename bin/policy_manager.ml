@@ -359,6 +359,19 @@ let cmd_storm file cpus updates =
         1
       end
 
+let cmd_lint file =
+  let t = Policy.Policy_file.load file in
+  let findings = Policy.Policy_lint.lint t in
+  List.iter
+    (fun f -> print_endline (Policy.Policy_lint.finding_to_string f))
+    findings;
+  let errs = Policy.Policy_lint.errors findings in
+  Printf.printf "%s: %d error(s), %d warning(s) over %d region(s)\n" file
+    (List.length errs)
+    (List.length (Policy.Policy_lint.warnings findings))
+    (List.length t.Policy.Policy_file.regions);
+  if errs <> [] then 3 else 0
+
 let cmd_set_mode file mode_str =
   match Policy.Policy_module.on_deny_of_string mode_str with
   | None ->
@@ -477,6 +490,15 @@ let set_mode_cmd =
        ~doc:"set the enforcement mode (panic|quarantine|audit), live and on disk")
     Term.(const cmd_set_mode $ file_arg $ mode_arg)
 
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "statically check the policy for dead (shadowed) rules, \
+          order-sensitive overlaps, capacity overflow, write-only \
+          protections and shadow-table blind spots; exit 3 on errors")
+    Term.(const cmd_lint $ file_arg)
+
 let () =
   let doc = "manage CARAT KOP memory-access policies (firewall rules)" in
   exit
@@ -484,5 +506,5 @@ let () =
        (Cmd.group (Cmd.info "policy_manager" ~doc)
           [
             init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd;
-            stats_cmd; trace_cmd; set_mode_cmd; storm_cmd;
+            stats_cmd; trace_cmd; set_mode_cmd; storm_cmd; lint_cmd;
           ]))

@@ -1,0 +1,354 @@
+(** Guard-completeness certifier.
+
+    Runs the {!Guard_cover} domain through the {!Dataflow} solver and
+    proves that every reachable [Load]/[Store] in the module is
+    dominated (on every path) by a [carat_guard] call whose coverage —
+    base value, byte interval and access flags — subsumes the access.
+    This is the static soundness argument the paper's attestation only
+    gestures at: not just "the transform pass ran", but "after
+    [guard_elim]/[guard_hoist]/[dce] rewrote guard placement, no access
+    escaped".
+
+    The proof is summarized in a machine-checkable {b certificate}: a
+    one-line per-function guard census plus a digest of the canonical
+    module body, stored under the {!Passes.Attest.meta_cert} key and
+    covered by the code signature. {!validate} re-derives the
+    certificate at load time, so the kernel can refuse modules whose
+    certificate is missing, stale (body changed since certification) or
+    fails re-analysis.
+
+    The certifier honours the recorded injection configuration:
+    accesses exempted by [exempt_stack] are accepted when they are
+    provably derived from the function's own allocas, and access kinds
+    the configuration never promised to guard are not required. *)
+
+open Kir.Types
+module GC = Guard_cover
+
+type access_kind = A_load | A_store
+
+let access_kind_to_string = function A_load -> "load" | A_store -> "store"
+
+type uncovered = {
+  u_func : string;
+  u_block : label;
+  u_iid : int;  (** function-wide instruction id *)
+  u_kind : access_kind;
+  u_addr : string;  (** printed symbolic address *)
+  u_size : int;
+}
+
+type guard_site = {
+  gs_func : string;
+  gs_block : label;
+  gs_iid : int;
+  gs_site : int;  (** compiler-assigned site id; -1 for the 3-arg form *)
+  gs_used : bool;  (** justifies at least one reachable access *)
+  gs_redundant : bool;  (** its coverage was already established *)
+  gs_shadowed_by : int list;  (** iids of the guards that subsume it *)
+}
+
+type func_summary = {
+  fs_name : string;
+  fs_accesses : int;  (** reachable loads + stores *)
+  fs_covered : int;  (** proven covered by a guard fact *)
+  fs_exempt : int;  (** alloca-derived under [exempt_stack] *)
+  fs_skipped : int;  (** kinds the injection config never guards *)
+  fs_guards : guard_site list;
+  fs_uncovered : uncovered list;
+  fs_unreachable : label list;
+  fs_sweeps : int;  (** dataflow sweeps to fixpoint *)
+}
+
+type summary = {
+  s_guard_symbol : string;
+  s_exempt_stack : bool;
+  s_guard_reads : bool;
+  s_guard_writes : bool;
+  s_funcs : func_summary list;
+}
+
+let bool_meta m key ~default =
+  match meta_find m key with Some v -> v = "true" | None -> default
+
+let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
+    (f : func) : func_summary =
+  let cfg = Kir.Cfg.of_func f in
+  let n = Kir.Cfg.n_blocks cfg in
+  let bodies = Array.map (fun b -> Array.of_list b.body) cfg.Kir.Cfg.blocks in
+  (* function-wide instruction ids, in block-array order *)
+  let iid_base = Array.make (max n 1) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i body ->
+      iid_base.(i) <- !total;
+      total := !total + Array.length body)
+    bodies;
+  let instr_at = Array.make (max !total 1) (Inline_asm "") in
+  Array.iteri
+    (fun i body ->
+      Array.iteri (fun k ins -> instr_at.(iid_base.(i) + k) <- ins) body)
+    bodies;
+  let ctx =
+    {
+      GC.guard_symbol;
+      neutral =
+        (fun s ->
+          s = Passes.Cfi_guard.guard_symbol
+          || s = Passes.Intrinsic_guard.guard_symbol);
+    }
+  in
+  let block_transfer ~block t =
+    snd
+      (Array.fold_left
+         (fun (iid, t) ins -> (iid + 1, GC.transfer_instr ctx ~iid t ins))
+         (iid_base.(block), t)
+         bodies.(block))
+  in
+  let domain =
+    {
+      Dataflow.entry = GC.entry_of_params f.params;
+      equal = GC.equal;
+      join = GC.join;
+      transfer = block_transfer;
+    }
+  in
+  let sol = Dataflow.solve domain cfg in
+  let is_alloca_core = function
+    | GC.S_def k when k >= 0 && k < Array.length instr_at -> (
+      match instr_at.(k) with Alloca _ -> true | _ -> false)
+    | _ -> false
+  in
+  let used : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let guards = ref [] in
+  let uncov = ref [] in
+  let unreachable = ref [] in
+  let accesses = ref 0
+  and covered = ref 0
+  and exempt = ref 0
+  and skipped = ref 0 in
+  Array.iteri
+    (fun b body ->
+      match sol.Dataflow.block_in.(b) with
+      | None -> unreachable := (Kir.Cfg.block cfg b).b_label :: !unreachable
+      | Some t0 ->
+        let lbl = (Kir.Cfg.block cfg b).b_label in
+        let t = ref t0 in
+        Array.iteri
+          (fun k ins ->
+            let iid = iid_base.(b) + k in
+            (match ins with
+            | Load { ty; addr; _ } | Store { ty; addr; _ } ->
+              let kind = match ins with Load _ -> A_load | _ -> A_store in
+              let size = size_of_ty ty in
+              let flags =
+                match kind with
+                | A_load -> Passes.Guard_injection.flag_read
+                | A_store -> Passes.Guard_injection.flag_write
+              in
+              incr accesses;
+              let sv = GC.sv_of !t.GC.env addr in
+              (match GC.covering_fact !t sv ~size ~flags with
+              | Some cf ->
+                incr covered;
+                List.iter (fun o -> Hashtbl.replace used o ()) cf.GC.origins
+              | None ->
+                let core, _ = GC.base_off sv in
+                if exempt_stack && is_alloca_core core then incr exempt
+                else if
+                  (kind = A_load && not guard_reads)
+                  || (kind = A_store && not guard_writes)
+                then incr skipped
+                else
+                  uncov :=
+                    {
+                      u_func = f.f_name;
+                      u_block = lbl;
+                      u_iid = iid;
+                      u_kind = kind;
+                      u_addr = GC.sv_to_string sv;
+                      u_size = size;
+                    }
+                    :: !uncov)
+            | Call { callee; args; _ } when callee = guard_symbol -> (
+              match GC.parse_guard_args args with
+              | Some (addr, size, flags, site) ->
+                let sv = GC.sv_of !t.GC.env addr in
+                let shadow = GC.covering_fact !t sv ~size ~flags in
+                guards :=
+                  {
+                    gs_func = f.f_name;
+                    gs_block = lbl;
+                    gs_iid = iid;
+                    gs_site = site;
+                    gs_used = false;
+                    gs_redundant = shadow <> None;
+                    gs_shadowed_by =
+                      (match shadow with
+                      | Some cf -> cf.GC.origins
+                      | None -> []);
+                  }
+                  :: !guards
+              | None -> ())
+            | _ -> ());
+            t := GC.transfer_instr ctx ~iid !t ins)
+          body)
+    bodies;
+  let guards =
+    List.rev_map (fun g -> { g with gs_used = Hashtbl.mem used g.gs_iid }) !guards
+  in
+  {
+    fs_name = f.f_name;
+    fs_accesses = !accesses;
+    fs_covered = !covered;
+    fs_exempt = !exempt;
+    fs_skipped = !skipped;
+    fs_guards = guards;
+    fs_uncovered = List.rev !uncov;
+    fs_unreachable = List.rev !unreachable;
+    fs_sweeps = sol.Dataflow.sweeps;
+  }
+
+(** Analyze every function of [m] under its recorded injection
+    configuration. Raises {!Dataflow.Diverged} only for a broken domain
+    — callers treat that as a refusal, never as success. *)
+let analyze ?guard_symbol (m : modul) : summary =
+  let guard_symbol =
+    match guard_symbol with
+    | Some s -> s
+    | None -> (
+      match meta_find m Passes.Guard_injection.meta_guard_symbol with
+      | Some s -> s
+      | None -> Passes.Guard_injection.guard_symbol_default)
+  in
+  let exempt_stack =
+    bool_meta m Passes.Guard_injection.meta_exempt_stack ~default:false
+  in
+  let guard_reads =
+    bool_meta m Passes.Guard_injection.meta_guard_reads ~default:true
+  in
+  let guard_writes =
+    bool_meta m Passes.Guard_injection.meta_guard_writes ~default:true
+  in
+  {
+    s_guard_symbol = guard_symbol;
+    s_exempt_stack = exempt_stack;
+    s_guard_reads = guard_reads;
+    s_guard_writes = guard_writes;
+    s_funcs =
+      List.map
+        (analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes)
+        m.funcs;
+  }
+
+(* -- certificate --------------------------------------------------- *)
+
+(** Digest of the canonical (meta-free) module body; ties the
+    certificate to the exact code it was derived from. *)
+let body_digest m =
+  Printf.sprintf "%016x"
+    (Passes.Signing.fnv1a64 (Kir.Printer.to_string ~with_meta:false m))
+
+let render ~digest (s : summary) =
+  let per_func =
+    List.map
+      (fun fs ->
+        Printf.sprintf "%s=%d,%d,%d,%d" fs.fs_name fs.fs_accesses fs.fs_covered
+          fs.fs_exempt
+          (List.length fs.fs_guards))
+      s.s_funcs
+  in
+  String.concat ";"
+    ([
+       "v1";
+       "digest=" ^ digest;
+       "guard=" ^ s.s_guard_symbol;
+       Printf.sprintf "exempt=%b" s.s_exempt_stack;
+     ]
+    @ per_func
+    @ [ "verdict=certified" ])
+
+(** Prove guard completeness; [Ok (certificate, summary)] or a human-
+    readable refusal naming the first unguarded access. *)
+let certify (m : modul) : (string * summary, string) result =
+  match analyze m with
+  | exception Dataflow.Diverged why -> Error ("analysis diverged: " ^ why)
+  | s -> (
+    let uncov = List.concat_map (fun fs -> fs.fs_uncovered) s.s_funcs in
+    match uncov with
+    | [] -> Ok (render ~digest:(body_digest m) s, s)
+    | u :: _ ->
+      Error
+        (Printf.sprintf
+           "%d unguarded access(es); first: %s of %d bytes at %s in @%s \
+            block %s"
+           (List.length uncov)
+           (access_kind_to_string u.u_kind)
+           u.u_size u.u_addr u.u_func u.u_block))
+
+let certificate m = Result.map fst (certify m)
+
+let stored_digest cert =
+  String.split_on_char ';' cert
+  |> List.find_map (fun field ->
+         if String.length field > 7 && String.sub field 0 7 = "digest=" then
+           Some (String.sub field 7 (String.length field - 7))
+         else None)
+
+type validate_error =
+  | Cert_missing
+  | Cert_stale of { expected : string; found : string }
+      (** module body changed after certification *)
+  | Cert_invalid of string  (** re-analysis refuses the module *)
+  | Cert_mismatch  (** census differs from re-analysis *)
+
+let validate_error_to_string = function
+  | Cert_missing -> "module carries no guard-completeness certificate"
+  | Cert_stale { expected; found } ->
+    Printf.sprintf
+      "certificate is stale: module body digest %s, certificate claims %s"
+      expected found
+  | Cert_invalid reason -> "certificate re-validation failed: " ^ reason
+  | Cert_mismatch -> "certificate census does not match re-analysis"
+
+(** Load-time re-validation: the stored certificate must exist, match
+    the current body digest, and equal the freshly re-derived
+    certificate bit for bit. *)
+let validate (m : modul) : (unit, validate_error) result =
+  match meta_find m Passes.Attest.meta_cert with
+  | None -> Error Cert_missing
+  | Some stored -> (
+    let expected = body_digest m in
+    match stored_digest stored with
+    | None -> Error (Cert_invalid "certificate carries no digest field")
+    | Some found when found <> expected -> Error (Cert_stale { expected; found })
+    | Some _ -> (
+      match certificate m with
+      | Error reason -> Error (Cert_invalid reason)
+      | Ok fresh ->
+        if String.equal fresh stored then Ok () else Error Cert_mismatch))
+
+(* -- pass ---------------------------------------------------------- *)
+
+let run (m : modul) : Passes.Pass.result =
+  match certify m with
+  | Error reason -> Passes.Pass.fail "certify" "%s" reason
+  | Ok (cert, s) ->
+    meta_set m Passes.Attest.meta_cert cert;
+    let sum f = List.fold_left (fun n fs -> n + f fs) 0 s.s_funcs in
+    {
+      Passes.Pass.changed = true;
+      remarks =
+        [
+          ("accesses", string_of_int (sum (fun fs -> fs.fs_accesses)));
+          ("guards", string_of_int (sum (fun fs -> List.length fs.fs_guards)));
+          ("verdict", "certified");
+        ];
+    }
+
+let pass () = Passes.Pass.make "certify" run
+
+(* registering here lets the pipelines (one library below us) insert
+   the certifier without a dependency cycle; any program that touches
+   this library gets certified pipelines *)
+let () = Passes.Pipeline.set_certifier pass

@@ -1,0 +1,270 @@
+(** Symbolic guard-coverage abstract domain.
+
+    A dataflow fact is a pair of
+    - an {b environment} mapping each virtual register to a symbolic
+      value ({!sv}) — a tiny flow-sensitive value numbering that sees
+      through [Mov]/[Gep] chains exactly like {!Passes.Guard_elim}'s
+      block-local numbering, extended across blocks; and
+    - a {b coverage map} from a normalized symbolic base address to the
+      byte intervals (and access flags) proven checked by an earlier
+      [carat_guard] call on every path.
+
+    Soundness discipline:
+    - a register redefinition kills coverage keyed on the *previous*
+      value of the defining instruction ([S_def] of its id), so stale
+      facts cannot survive a loop back edge;
+    - joins intersect coverage pairwise and collapse conflicting
+      register values to a per-join [S_merge] symbol; when a join
+      genuinely conflicts, coverage mentioning that symbol (from an
+      earlier iteration) is killed;
+    - any call that could mutate the policy or memory map — anything
+      but the guard family itself — kills {e all} coverage, exactly the
+      conservative envelope {!Passes.Guard_elim} assumes when it
+      decides a guard is removable. [Intrinsic]s are treated as
+      policy-neutral for the same reason: the eliminator does not reset
+      coverage at them, so neither do we. *)
+
+open Kir.Types
+
+(** Symbolic values. [S_def i] is the (opaque) result of the
+    instruction with function-wide id [i]; [S_merge (b, r)] is the
+    value of register [r] at the head of block [b] when its incoming
+    definitions conflict; [S_undef r] is a register read before any
+    definition on this path (frozen, so still a stable value). *)
+type sv =
+  | S_imm of int
+  | S_sym of string
+  | S_param of reg
+  | S_undef of reg
+  | S_def of int
+  | S_merge of int * reg
+  | S_gep of sv * sv * int  (** base + idx * scale *)
+
+let rec sv_to_string = function
+  | S_imm n -> string_of_int n
+  | S_sym s -> "@" ^ s
+  | S_param r -> r
+  | S_undef r -> r ^ "?"
+  | S_def i -> Printf.sprintf "v%d" i
+  | S_merge (b, r) -> Printf.sprintf "%s.phi%d" r b
+  | S_gep (b, i, s) ->
+    Printf.sprintf "(%s + %s*%d)" (sv_to_string b) (sv_to_string i) s
+
+(** Does any sub-term of [sv] satisfy [p]? *)
+let rec sv_exists p sv =
+  p sv
+  || match sv with S_gep (a, b, _) -> sv_exists p a || sv_exists p b | _ -> false
+
+(** Normalize to (core, byte offset) by peeling constant-index geps off
+    the top; matches the structural keys {!Passes.Guard_elim} uses. *)
+let rec base_off = function
+  | S_gep (b, S_imm n, scale) ->
+    let core, off = base_off b in
+    (core, off + (n * scale))
+  | sv -> (sv, 0)
+
+module Env = Map.Make (String)
+
+module SvMap = Map.Make (struct
+  type t = sv
+
+  let compare = compare
+end)
+
+(** One proven check: bytes [\[lo, hi)] relative to the core address,
+    for accesses whose flags are a subset of [flags]. [origins] are the
+    function-wide instruction ids of the guard calls that justify it
+    (several after a join merges equal coverage). *)
+type fact = { lo : int; hi : int; flags : int; origins : int list }
+
+type t = { env : sv Env.t; facts : fact list SvMap.t }
+
+let coverage_subsumes a b =
+  a.lo <= b.lo && b.hi <= a.hi && b.flags land a.flags = b.flags
+
+(** Canonical fact list: equal-coverage facts merged (origins unioned),
+    strictly-subsumed facts dropped, sorted. *)
+let prune (l : fact list) : fact list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let k = (f.lo, f.hi, f.flags) in
+      let prev = try Hashtbl.find tbl k with Not_found -> [] in
+      Hashtbl.replace tbl k (f.origins @ prev))
+    l;
+  let merged =
+    Hashtbl.fold
+      (fun (lo, hi, flags) origins acc ->
+        { lo; hi; flags; origins = List.sort_uniq compare origins } :: acc)
+      tbl []
+  in
+  let strictly_below f g = coverage_subsumes g f && not (coverage_subsumes f g) in
+  merged
+  |> List.filter (fun f -> not (List.exists (strictly_below f) merged))
+  |> List.sort_uniq compare
+
+let equal a b = Env.equal ( = ) a.env b.env && SvMap.equal ( = ) a.facts b.facts
+
+let entry_of_params params =
+  {
+    env =
+      List.fold_left (fun e (r, _) -> Env.add r (S_param r) e) Env.empty params;
+    facts = SvMap.empty;
+  }
+
+let sv_of env = function
+  | Imm n -> S_imm n
+  | Sym s -> S_sym s
+  | Reg r -> ( match Env.find_opt r env with Some v -> v | None -> S_undef r)
+
+let kill_mentioning p facts =
+  SvMap.filter (fun core _ -> not (sv_exists p core)) facts
+
+(* -- transfer ------------------------------------------------------ *)
+
+type ctx = {
+  guard_symbol : string;
+  neutral : string -> bool;
+      (** direct callees that provably cannot change the policy or the
+          memory map (the guard family): coverage survives them *)
+}
+
+(** [addr, size, flags] with an optional trailing site id — both the
+    paper's 3-argument form and this repo's 4-argument form. *)
+let parse_guard_args = function
+  | [ addr; Imm size; Imm flags ] when size > 0 -> Some (addr, size, flags, -1)
+  | [ addr; Imm size; Imm flags; Imm site ] when size > 0 ->
+    Some (addr, size, flags, site)
+  | _ -> None
+
+let add_fact core (f : fact) t =
+  let existing = try SvMap.find core t.facts with Not_found -> [] in
+  if List.exists (fun e -> coverage_subsumes e f) existing then t
+  else { t with facts = SvMap.add core (prune (f :: existing)) t.facts }
+
+(** The instruction with id [iid] (re)defines [dst]: bind it to an
+    opaque value and kill coverage keyed on this instruction's previous
+    execution — the back-edge staleness rule. *)
+let def_opaque ~iid dst t =
+  match dst with
+  | None -> t
+  | Some r ->
+    {
+      env = Env.add r (S_def iid) t.env;
+      facts = kill_mentioning (fun s -> s = S_def iid) t.facts;
+    }
+
+let transfer_instr ctx ~iid (t : t) (i : instr) : t =
+  match i with
+  | Call { callee; args; dst } when callee = ctx.guard_symbol -> (
+    let t = def_opaque ~iid dst t in
+    match parse_guard_args args with
+    | Some (addr, size, flags, _site) ->
+      let core, off = base_off (sv_of t.env addr) in
+      add_fact core { lo = off; hi = off + size; flags; origins = [ iid ] } t
+    | None -> t)
+  | Call { callee; dst; _ } when ctx.neutral callee -> def_opaque ~iid dst t
+  | Call { dst; _ } | Callind { dst; _ } ->
+    def_opaque ~iid dst { t with facts = SvMap.empty }
+  | Inline_asm _ -> { t with facts = SvMap.empty }
+  | Mov { dst; src; _ } ->
+    (* a copy: the destination takes the source's symbolic value, so
+       coverage established for that value keeps applying *)
+    { t with env = Env.add dst (sv_of t.env src) t.env }
+  | Gep { dst; base; idx; scale } ->
+    {
+      t with
+      env = Env.add dst (S_gep (sv_of t.env base, sv_of t.env idx, scale)) t.env;
+    }
+  | Binop { dst; _ } | Icmp { dst; _ } | Load { dst; _ } | Alloca { dst; _ }
+  | Select { dst; _ } ->
+    def_opaque ~iid (Some dst) t
+  | Intrinsic { dst; _ } -> def_opaque ~iid dst t
+  | Store _ -> t
+
+(* -- join ---------------------------------------------------------- *)
+
+let inter_facts a b =
+  SvMap.merge
+    (fun _core la lb ->
+      match (la, lb) with
+      | Some la, Some lb ->
+        let combined =
+          List.concat_map
+            (fun f1 ->
+              List.filter_map
+                (fun f2 ->
+                  let lo = max f1.lo f2.lo and hi = min f1.hi f2.hi in
+                  let flags = f1.flags land f2.flags in
+                  if lo < hi && flags <> 0 then
+                    Some
+                      {
+                        lo;
+                        hi;
+                        flags;
+                        origins = List.sort_uniq compare (f1.origins @ f2.origins);
+                      }
+                  else None)
+                lb)
+            la
+        in
+        (match prune combined with [] -> None | l -> Some l)
+      | _ -> None)
+    a b
+
+(** Join register environments at the head of [block]. Conflicting (or
+    partially-undefined) registers collapse to [S_merge (block, r)];
+    incoming values already equal to that symbol are transparent, so a
+    loop-invariant register keeps its pre-loop value. Returns the new
+    environment plus the merge symbols that genuinely conflicted this
+    time (coverage mentioning them is stale). *)
+let join_envs ~block (envs : sv Env.t list) : sv Env.t * (int * reg) list =
+  let keys = Hashtbl.create 32 in
+  List.iter (fun e -> Env.iter (fun r _ -> Hashtbl.replace keys r ()) e) envs;
+  let killed = ref [] in
+  let env =
+    Hashtbl.fold
+      (fun r () acc ->
+        let self = S_merge (block, r) in
+        let vals = List.map (fun e -> Env.find_opt r e) envs in
+        let distinct = List.sort_uniq compare vals in
+        let foreign = List.filter (fun v -> v <> Some self) distinct in
+        match foreign with
+        | [ Some v ] -> Env.add r v acc
+        | [] -> Env.add r self acc
+        | _ ->
+          killed := (block, r) :: !killed;
+          Env.add r self acc)
+      keys Env.empty
+  in
+  (env, !killed)
+
+let join ~block = function
+  | [] -> invalid_arg "Guard_cover.join: empty predecessor list"
+  | [ x ] -> x
+  | x :: rest as all ->
+    let env, killed = join_envs ~block (List.map (fun t -> t.env) all) in
+    let facts =
+      List.fold_left (fun acc t -> inter_facts acc t.facts) x.facts rest
+    in
+    let facts =
+      if killed = [] then facts
+      else
+        kill_mentioning
+          (function S_merge (b, r) -> List.mem (b, r) killed | _ -> false)
+          facts
+    in
+    { env; facts }
+
+(* -- queries ------------------------------------------------------- *)
+
+(** Is the access [sv]/[size]/[flags] covered? Returns the proving fact
+    so callers can credit its origin guards as used. *)
+let covering_fact t sv ~size ~flags : fact option =
+  let core, off = base_off sv in
+  match SvMap.find_opt core t.facts with
+  | None -> None
+  | Some l ->
+    List.find_opt
+      (fun f -> f.lo <= off && off + size <= f.hi && flags land f.flags = flags)
+      l

@@ -7,6 +7,8 @@
       printer/parser, verifier, CFG)
     - {!Passes}: the CARAT KOP compiler — guard injection, attestation,
       signing, optional guard optimizations, pass manager
+    - {!Analysis}: forward dataflow over the KIR CFG, the
+      guard-completeness certifier, and the [kop_lint] KIR lints
     - {!Machine}: cycle cost models of the paper's two testbed machines
     - {!Kernel}: the simulated core kernel (address space, module loader,
       ioctl devices, panic)
@@ -36,6 +38,7 @@
 
 module Kir = Kir
 module Passes = Passes
+module Analysis = Analysis
 module Machine = Machine
 module Kernel = Kernel
 module Kernsvc = Kernsvc

@@ -78,7 +78,10 @@ let create ?(config = default_config) () : t =
      at insertion. Carat runs enforce the full validation protocol. *)
   let require_signature = config.technique = Carat in
   let kernel =
-    Kernel.create ~require_signature ~seed:config.seed config.machine
+    (* Carat kernels also demand the guard-completeness certificate:
+       the full compile -> certify -> sign -> insert chain *)
+    Kernel.create ~require_signature ~require_certificate:require_signature
+      ~seed:config.seed config.machine
   in
   let vm = Vm.Engine.install ~kind:config.engine kernel in
   let policy_module =

@@ -92,6 +92,10 @@ and t = {
           the VM's compiled engine registers one to closure-compile the
           module's functions at load time *)
   mutable require_signature : bool;
+  mutable require_certificate : bool;
+      (** also demand a valid guard-completeness certificate
+          ({!Analysis.Certify}) at insmod; off by default so baseline
+          (uncertified) modules still load in permissive setups *)
   signing_key : string;
   runner : (t -> loaded_module -> Kir.Types.func -> int array -> int) option ref;
   addr_to_symbol : (int, string) Hashtbl.t;
@@ -115,6 +119,7 @@ and t = {
 type load_error =
   | Verification_failed of string
   | Signature_rejected of Passes.Signing.verify_error
+  | Certificate_rejected of Analysis.Certify.validate_error
   | Symbol_collision of string
   | Unresolved_import of string
   | Kernel_is_panicked
@@ -123,6 +128,8 @@ let load_error_to_string = function
   | Verification_failed s -> "IR verification failed: " ^ s
   | Signature_rejected e ->
     "signature rejected: " ^ Passes.Signing.verify_error_to_string e
+  | Certificate_rejected e ->
+    "certificate rejected: " ^ Analysis.Certify.validate_error_to_string e
   | Symbol_collision s -> "symbol collision on " ^ s
   | Unresolved_import s -> "unresolved import " ^ s
   | Kernel_is_panicked -> "kernel has panicked"
@@ -523,6 +530,19 @@ let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
         Klog.log t.log Klog.Err "insmod %s: %s" km.Kir.Types.m_name msg;
         Error (Verification_failed msg)
       | [] ->
+        let cert_verdict =
+          if t.require_certificate then
+            match Analysis.Certify.validate km with
+            | Ok () -> Ok ()
+            | Error e -> Error (Certificate_rejected e)
+          else Ok ()
+        in
+        (match cert_verdict with
+        | Error e ->
+          Klog.log t.log Klog.Err "insmod %s: %s" km.Kir.Types.m_name
+            (load_error_to_string e);
+          Error e
+        | Ok () ->
         (* imports must resolve before anything is published *)
         let missing =
           List.find_opt
@@ -587,8 +607,12 @@ let insmod t (km : Kir.Types.modul) : (loaded_module, load_error) result =
             (match Kir.Types.find_func km "init_module" with
             | Some _ -> ignore (call_symbol t "init_module" [||])
             | None -> ());
-            Ok lm)))
+            Ok lm))))
   end
+
+(** [insmod] under its paper name; the syscall the compile→sign→insert
+    chain terminates in. *)
+let insert_module = insmod
 
 type unload_error = Locks_held of int | Already_dead
 
@@ -765,6 +789,7 @@ let install_core_natives t =
 (* ------------------------------------------------------------------ *)
 
 let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
+    ?(require_certificate = false)
     ?(signing_key = Passes.Pipeline.default_key) ?(seed = 42)
     (mparams : Machine.Model.params) : t =
   let t =
@@ -789,6 +814,7 @@ let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
       quarantine_hooks = [];
       load_hooks = [];
       require_signature;
+      require_certificate;
       signing_key;
       runner = ref None;
       addr_to_symbol = Hashtbl.create 64;
@@ -815,6 +841,7 @@ let set_machine t m = t.machine <- m
 let log t = t.log
 let signing_key t = t.signing_key
 let set_require_signature t b = t.require_signature <- b
+let set_require_certificate t b = t.require_certificate <- b
 let memory t = t.mem
 let phys_used t = t.kmalloc_next
 let current_module t = t.current_module

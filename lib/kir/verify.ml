@@ -16,7 +16,27 @@ type error = { in_func : string; message : string }
 
 let errf in_func fmt = Printf.ksprintf (fun message -> { in_func; message }) fmt
 
-let check_func (m : modul) (f : func) : error list =
+(** Module-wide symbol tables, built once per verification so that
+    per-operand symbol resolution is O(1) instead of a list scan per
+    [Sym] (quadratic on symbol-heavy modules). *)
+type symtab = {
+  globals : (string, unit) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (** name -> arity *)
+  externs : (string, int) Hashtbl.t;
+}
+
+let symtab_of_module (m : modul) : symtab =
+  let globals = Hashtbl.create (2 * List.length m.globals) in
+  List.iter (fun g -> Hashtbl.replace globals g.g_name ()) m.globals;
+  let funcs = Hashtbl.create (2 * List.length m.funcs) in
+  List.iter
+    (fun fn -> Hashtbl.replace funcs fn.f_name (List.length fn.params))
+    m.funcs;
+  let externs = Hashtbl.create (2 * List.length m.externs) in
+  List.iter (fun (name, arity) -> Hashtbl.replace externs name arity) m.externs;
+  { globals; funcs; externs }
+
+let check_func_in (tab : symtab) (f : func) : error list =
   let errs = ref [] in
   let push e = errs := e :: !errs in
   if f.blocks = [] then push (errf f.f_name "function has no blocks");
@@ -32,17 +52,14 @@ let check_func (m : modul) (f : func) : error list =
     if not (Hashtbl.mem labels l) then
       push (errf f.f_name "branch to unknown label %s" l)
   in
-  (* symbol tables *)
-  let global_names = List.map (fun g -> g.g_name) m.globals in
-  let func_names = List.map (fun fn -> fn.f_name) m.funcs in
   let check_sym s =
-    if (not (List.mem s global_names)) && not (List.mem s func_names) then
+    if (not (Hashtbl.mem tab.globals s)) && not (Hashtbl.mem tab.funcs s) then
       push (errf f.f_name "unresolved symbol @%s" s)
   in
   let callee_arity name =
-    match find_func m name with
-    | Some fn -> Some (List.length fn.params)
-    | None -> List.assoc_opt name m.externs
+    match Hashtbl.find_opt tab.funcs name with
+    | Some arity -> Some arity
+    | None -> Hashtbl.find_opt tab.externs name
   in
   (* defined registers, accumulated across blocks in order *)
   let defined = Hashtbl.create 64 in
@@ -80,6 +97,11 @@ let check_func (m : modul) (f : func) : error list =
     f.blocks;
   List.rev !errs
 
+(** Check a single function against [m]'s symbols; builds the symbol
+    tables on each call — prefer {!check_module} for whole modules. *)
+let check_func (m : modul) (f : func) : error list =
+  check_func_in (symtab_of_module m) f
+
 let check_module (m : modul) : error list =
   let errs = ref [] in
   let seen = Hashtbl.create 16 in
@@ -104,7 +126,8 @@ let check_module (m : modul) : error list =
           @ !errs
       | _ -> ())
     m.globals;
-  List.concat (List.rev !errs :: List.map (check_func m) m.funcs)
+  let tab = symtab_of_module m in
+  List.concat (List.rev !errs :: List.map (check_func_in tab) m.funcs)
 
 let is_valid m = check_module m = []
 

@@ -9,8 +9,10 @@
       cannot see through it, so guards cannot be certified;
     - {b indirect calls} ([Callind]) — control-flow escape hatches. The
       paper notes CARAT KOP does not yet provide CFI (§5), so these are
-      allowed by default but counted and recorded in metadata, and a
-      strict mode can reject them. *)
+      allowed by default but counted and recorded in metadata. Strict
+      mode accepts an indirect call when (and only when) the
+      {!Cfi_guard} instrumentation covers it: the call is immediately
+      preceded by a [carat_cfi_guard] on the same target operand. *)
 
 open Kir.Types
 
@@ -19,37 +21,59 @@ type finding = { in_func : string; what : string }
 type report = {
   inline_asm : finding list;
   indirect_calls : finding list;
+  uncovered_indirect : finding list;
+      (** indirect calls with no immediately-preceding [carat_cfi_guard]
+          on the same target *)
   intrinsics : finding list;
 }
 
 let scan (m : modul) : report =
-  let asm = ref [] and ind = ref [] and intr = ref [] in
+  let asm = ref [] and ind = ref [] and unc = ref [] and intr = ref [] in
   List.iter
     (fun f ->
       List.iter
         (fun b ->
+          let prev = ref None in
           List.iter
             (fun i ->
-              match i with
+              (match i with
               | Inline_asm s ->
                 asm := { in_func = f.f_name; what = s } :: !asm
-              | Callind _ ->
-                ind := { in_func = f.f_name; what = "indirect call" } :: !ind
+              | Callind { fn; _ } ->
+                ind := { in_func = f.f_name; what = "indirect call" } :: !ind;
+                let covered =
+                  match !prev with
+                  | Some (Call { callee; args = [ t ]; _ }) ->
+                    callee = Cfi_guard.guard_symbol && t = fn
+                  | _ -> false
+                in
+                if not covered then
+                  unc :=
+                    { in_func = f.f_name; what = "indirect call without cfi_guard" }
+                    :: !unc
               | Intrinsic { iname; _ } ->
                 intr := { in_func = f.f_name; what = iname } :: !intr
-              | _ -> ())
+              | _ -> ());
+              prev := Some i)
             b.body)
         f.blocks)
     m.funcs;
   {
     inline_asm = List.rev !asm;
     indirect_calls = List.rev !ind;
+    uncovered_indirect = List.rev !unc;
     intrinsics = List.rev !intr;
   }
 
 let meta_noasm = "carat.kop.attest.noasm"
 let meta_indirect = "carat.kop.attest.indirect_calls"
+let meta_indirect_uncovered = "carat.kop.attest.indirect_uncovered"
 let meta_intrinsics = "carat.kop.attest.intrinsics"
+
+(** The guard-completeness certificate ({!Analysis.Certify}) is stored
+    here. The key is declared in this library so {!Signing} can cover
+    it without depending on the analysis layer. *)
+let meta_cert = "carat.kop.cert"
 
 let run ~strict (m : modul) : Pass.result =
   let r = scan m in
@@ -58,12 +82,16 @@ let run ~strict (m : modul) : Pass.result =
   | { in_func; what } :: _ ->
     Pass.fail "attest" "inline assembly in @%s (%S); module cannot be certified"
       in_func what);
-  if strict && r.indirect_calls <> [] then begin
-    let f = List.hd r.indirect_calls in
-    Pass.fail "attest" "indirect call in @%s rejected in strict mode" f.in_func
+  if strict && r.uncovered_indirect <> [] then begin
+    let f = List.hd r.uncovered_indirect in
+    Pass.fail "attest"
+      "indirect call in @%s without cfi_guard rejected in strict mode"
+      f.in_func
   end;
   meta_set m meta_noasm "true";
   meta_set m meta_indirect (string_of_int (List.length r.indirect_calls));
+  meta_set m meta_indirect_uncovered
+    (string_of_int (List.length r.uncovered_indirect));
   meta_set m meta_intrinsics (string_of_int (List.length r.intrinsics));
   {
     changed = true;

@@ -139,6 +139,13 @@ let meta_guard_count = "carat.kop.guards"
 let meta_guard_sites = "carat.kop.guard_sites"
 let meta_guard_symbol = "carat.kop.guard_symbol"
 let meta_compiler = "carat.kop.compiler"
+
+(* the injection configuration, recorded (and signed) so the
+   load-time certifier re-checks the module under the same promises
+   the compiler actually made *)
+let meta_guard_reads = "carat.kop.guard_reads"
+let meta_guard_writes = "carat.kop.guard_writes"
+let meta_exempt_stack = "carat.kop.guard_exempt_stack"
 let compiler_version = "kop-ocaml-1.1 (kir, guard sites)"
 
 (** Arity of the guard import the pass emits (addr, size, flags, site). *)
@@ -153,10 +160,14 @@ let run cfg (m : modul) : Pass.result =
   in
   if not (List.mem_assoc cfg.guard_symbol m.externs) then
     m.externs <- m.externs @ [ (cfg.guard_symbol, guard_arity) ];
+  let string_of_bool' b = if b then "true" else "false" in
   meta_set m meta_guarded "true";
   meta_set m meta_guard_count (string_of_int total);
   meta_set m meta_guard_sites (string_of_int !next_site);
   meta_set m meta_guard_symbol cfg.guard_symbol;
+  meta_set m meta_guard_reads (string_of_bool' cfg.guard_reads);
+  meta_set m meta_guard_writes (string_of_bool' cfg.guard_writes);
+  meta_set m meta_exempt_stack (string_of_bool' cfg.exempt_stack);
   meta_set m meta_compiler compiler_version;
   { changed = total > 0; remarks = [ ("guards", string_of_int total) ] }
 

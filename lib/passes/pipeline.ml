@@ -1,13 +1,18 @@
 (** Canonical pass pipelines.
 
     [kop_default] is the paper's compiler: attest, inject a guard before
-    every load/store with no optimization, sign.
+    every load/store with no optimization, certify, sign.
 
     [kop_optimized] adds the CARAT-CAKE-style guard optimizations the
     paper deliberately omits (redundant-guard elimination and loop-
     invariant hoisting); used by the [abl-opt] ablation.
 
-    [baseline] only signs — the untransformed module for A/B runs. *)
+    [baseline] only signs — the untransformed module for A/B runs.
+
+    The guard-completeness certifier lives one library above this one
+    ([Analysis.Certify]); it registers itself through {!set_certifier}
+    at module-initialization time, and both kop pipelines run it right
+    before signing so the certificate ends up under the signature. *)
 
 let default_key = "kop-vendor-key"
 let default_signer = "kop-ocaml"
@@ -18,16 +23,29 @@ let extension_passes ~guard_intrinsics ~guard_cfi =
   (if guard_intrinsics then [ Intrinsic_guard.pass () ] else [])
   @ if guard_cfi then [ Cfi_guard.pass () ] else []
 
+(* the certifier pass constructor, registered by Analysis.Certify; kept
+   as a ref because the analysis library depends on this one *)
+let certifier : (unit -> Pass.t) option ref = ref None
+let set_certifier mk = certifier := Some mk
+let certify_passes () = match !certifier with Some mk -> [ mk () ] | None -> []
+
+(* in strict mode the attestation verdict must hold on the *final*
+   module — after the CFI extension had its chance to cover indirect
+   calls — so the strict scan runs as a late re-check *)
+let strict_recheck ~strict =
+  if strict then [ Attest.pass ~strict:true () ] else []
+
 let kop_default ?(key = default_key) ?(signer = default_signer)
     ?(config = Guard_injection.default_config) ?(guard_intrinsics = false)
-    ?(guard_cfi = false) () =
+    ?(guard_cfi = false) ?(strict = false) () =
   [ Dce.pass (); Attest.pass (); Guard_injection.pass ~config () ]
   @ extension_passes ~guard_intrinsics ~guard_cfi
+  @ strict_recheck ~strict @ certify_passes ()
   @ [ Signing.pass ~key ~signer () ]
 
 let kop_optimized ?(key = default_key) ?(signer = default_signer)
     ?(config = Guard_injection.default_config) ?(guard_intrinsics = false)
-    ?(guard_cfi = false) () =
+    ?(guard_cfi = false) ?(strict = false) () =
   [
     Dce.pass ();
     Attest.pass ();
@@ -36,6 +54,7 @@ let kop_optimized ?(key = default_key) ?(signer = default_signer)
     Guard_hoist.pass ~guard_symbol:config.Guard_injection.guard_symbol ();
   ]
   @ extension_passes ~guard_intrinsics ~guard_cfi
+  @ strict_recheck ~strict @ certify_passes ()
   @ [ Signing.pass ~key ~signer () ]
 
 (** Sign without transforming: used for baseline modules so that the
@@ -47,10 +66,10 @@ let baseline_sign ?(key = default_key) ?(signer = default_signer) () =
 (** Compile (transform + sign) a module in place, returning the pass
     remarks. This is the "wrapper script around clang" entry point. *)
 let compile ?(optimize = false) ?key ?signer ?config ?guard_intrinsics
-    ?guard_cfi m =
+    ?guard_cfi ?strict m =
   let pipeline =
     if optimize then
-      kop_optimized ?key ?signer ?config ?guard_intrinsics ?guard_cfi ()
-    else kop_default ?key ?signer ?config ?guard_intrinsics ?guard_cfi ()
+      kop_optimized ?key ?signer ?config ?guard_intrinsics ?guard_cfi ?strict ()
+    else kop_default ?key ?signer ?config ?guard_intrinsics ?guard_cfi ?strict ()
   in
   Pass.run_pipeline_checked pipeline m

@@ -49,10 +49,15 @@ let covered_meta_keys =
     Guard_injection.meta_guarded;
     Guard_injection.meta_guard_count;
     Guard_injection.meta_guard_symbol;
+    Guard_injection.meta_guard_reads;
+    Guard_injection.meta_guard_writes;
+    Guard_injection.meta_exempt_stack;
     Guard_injection.meta_compiler;
     Attest.meta_noasm;
     Attest.meta_indirect;
+    Attest.meta_indirect_uncovered;
     Attest.meta_intrinsics;
+    Attest.meta_cert;
     Intrinsic_guard.meta_guarded;
     Intrinsic_guard.meta_count;
     Cfi_guard.meta_guarded;

@@ -1,0 +1,123 @@
+(** Static lints over operator policy files — the [policy_manager lint]
+    and [kop_lint policy] backend.
+
+    First-match-wins region tables fail in quiet ways: a later rule can
+    be fully shadowed by earlier ones, a table can outgrow the linear
+    table the kernel module actually allocates, and page-straddling
+    regions silently disable the shadow-table fast tier. These lints
+    surface each case before the policy is pushed.
+
+    Codes ([E-] prefixed findings are errors, [W-] warnings):
+    - [E-capacity]: more regions than {!Linear_table.default_capacity};
+      the push ioctl would refuse the table;
+    - [E-shadowed]: a region fully covered by earlier regions — it can
+      never match, so its protection is dead;
+    - [W-dup-base]: two regions share a base address (the later is at
+      least partially dead);
+    - [W-overlap]: a partial overlap where the overlapping bytes get
+      different protections from the two rules — order-sensitive, a
+      classic operator mistake;
+    - [W-write-only]: write-without-read protection; almost always a
+      typo for [rw] (hardware-style write-only windows are rare);
+    - [W-straddle]: a region boundary not aligned to the shadow-table
+      page size — every page it partially covers classifies as
+      [Straddle] and falls back to the slow exact walk;
+    - [W-shadow-invisible]: a region so small (and so placed) that it
+      fully contains no page, so the shadow table can never serve it
+      from the fast tier. *)
+
+type severity = Err | Warn
+
+let severity_to_string = function Err -> "error" | Warn -> "warning"
+
+type finding = {
+  severity : severity;
+  code : string;
+  region : int;  (** index in the policy file, -1 for table-wide *)
+  message : string;
+}
+
+let finding_to_string f =
+  let where = if f.region < 0 then "" else Printf.sprintf " region %d:" f.region in
+  Printf.sprintf "%s[%s]%s %s" (severity_to_string f.severity) f.code where
+    f.message
+
+(** Subtract [cover] from the interval list [ivals] (byte ranges as
+    [(lo, hi)] pairs). *)
+let subtract_interval ivals (clo, chi) =
+  List.concat_map
+    (fun (lo, hi) ->
+      if chi <= lo || hi <= clo then [ (lo, hi) ]
+      else
+        (if lo < clo then [ (lo, clo) ] else [])
+        @ if chi < hi then [ (chi, hi) ] else [])
+    ivals
+
+let page_size = Shadow_table.page_size
+
+let lint (t : Policy_file.t) : finding list =
+  let out = ref [] in
+  let push severity code region fmt =
+    Printf.ksprintf
+      (fun message -> out := { severity; code; region; message } :: !out)
+      fmt
+  in
+  let regions = Array.of_list t.Policy_file.regions in
+  let n = Array.length regions in
+  if n > Linear_table.default_capacity then
+    push Err "E-capacity" (-1)
+      "%d regions exceed the kernel module's table capacity (%d); the push \
+       ioctl would refuse this policy"
+      n Linear_table.default_capacity;
+  Array.iteri
+    (fun i (r : Region.t) ->
+      let rlim = Region.limit r in
+      (* dead-rule analysis: does anything of [r] survive the earlier,
+         higher-priority regions? *)
+      let residue = ref [ (r.Region.base, rlim) ] in
+      for j = 0 to i - 1 do
+        let e = regions.(j) in
+        residue := subtract_interval !residue (e.Region.base, Region.limit e)
+      done;
+      if !residue = [] && i > 0 then
+        push Err "E-shadowed" i
+          "region %s is fully shadowed by earlier regions; it can never match"
+          (Region.to_string r)
+      else begin
+        for j = 0 to i - 1 do
+          let e = regions.(j) in
+          if e.Region.base = r.Region.base then
+            push Warn "W-dup-base" i
+              "region %s shares its base with higher-priority region %d"
+              (Region.to_string r) j
+          else if Region.overlaps e r && e.Region.prot <> r.Region.prot then
+            push Warn "W-overlap" i
+              "region %s partially overlaps region %d (%s) with different \
+               protection; first match wins on the overlap"
+              (Region.to_string r) j (Region.to_string e)
+        done
+      end;
+      if r.Region.prot = Region.prot_write then
+        push Warn "W-write-only" i
+          "region %s is write-only; guards for reads in this range will be \
+           denied (did you mean rw?)"
+          (Region.to_string r);
+      (* shadow-table visibility: a page must be fully inside the region
+         to classify Uniform *)
+      let first_page = (r.Region.base + page_size - 1) / page_size in
+      let last_page = rlim / page_size in
+      if first_page >= last_page then
+        push Warn "W-shadow-invisible" i
+          "region %s fully contains no %d-byte page; the shadow-table fast \
+           tier can never serve it"
+          (Region.to_string r) page_size
+      else if r.Region.base mod page_size <> 0 || rlim mod page_size <> 0 then
+        push Warn "W-straddle" i
+          "region %s is not page-aligned; pages straddling its boundary fall \
+           back to the exact walk"
+          (Region.to_string r))
+    regions;
+  List.rev !out
+
+let errors fs = List.filter (fun f -> f.severity = Err) fs
+let warnings fs = List.filter (fun f -> f.severity = Warn) fs

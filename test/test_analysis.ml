@@ -1,0 +1,431 @@
+(* Analysis: the dataflow solver, the guard-coverage domain, the
+   guard-completeness certifier, certificate validation at module scale,
+   and the KIR lints. *)
+
+open Carat_kop
+open Kir.Types
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let guard_sym = "carat_guard"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---------- fixtures ---------- *)
+
+let straightline_module () =
+  let b = Kir.Builder.create "straight" in
+  ignore (Kir.Builder.declare_global b "g" ~size:32);
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+  let v1 = Kir.Builder.load b I64 (Reg "%p") in
+  let v2 = Kir.Builder.load b I64 (Reg "%p") in
+  let s = Kir.Builder.add b I64 v1 v2 in
+  Kir.Builder.store b I64 s (Sym "g");
+  Kir.Builder.ret b (Some s);
+  Kir.Builder.modul b
+
+let diamond_module () =
+  let b = Kir.Builder.create "diamond" in
+  ignore (Kir.Builder.declare_global b "g" ~size:32);
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+  Kir.Builder.if_then_else b (Reg "%p")
+    ~then_:(fun () -> ignore (Kir.Builder.load b I64 (Reg "%p")))
+    ~else_:(fun () -> Kir.Builder.store b I64 (Imm 7) (Sym "g"));
+  let v = Kir.Builder.load b I64 (Sym "g") in
+  Kir.Builder.ret b (Some v);
+  Kir.Builder.modul b
+
+let loop_module () =
+  let b = Kir.Builder.create "loopy" in
+  ignore (Kir.Builder.declare_global b "table" ~size:64);
+  ignore
+    (Kir.Builder.start_func b "walk" ~params:[ ("%n", I64) ] ~ret:(Some I64));
+  Kir.Builder.mov_to b "%acc" I64 (Imm 0);
+  Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Reg "%n") ~step:(Imm 1)
+    (fun _i ->
+      let v = Kir.Builder.load b I64 (Sym "table") in
+      let s = Kir.Builder.add b I64 (Reg "%acc") v in
+      Kir.Builder.mov_to b "%acc" I64 s);
+  Kir.Builder.ret b (Some (Reg "%acc"));
+  Kir.Builder.modul b
+
+(* a hand-guarded module: guard(args) immediately before each access,
+   without running the injection pass *)
+let manual_module ~guard_flags ~access () =
+  let b = Kir.Builder.create "manual" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  Kir.Builder.emit b
+    (Call
+       { dst = None; callee = guard_sym;
+         args = [ Reg "%p"; Imm 8; Imm guard_flags ] });
+  (match access with
+  | `Load -> ignore (Kir.Builder.load b I32 (Reg "%p"))
+  | `Store -> Kir.Builder.store b I32 (Imm 1) (Reg "%p"));
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  m.externs <- m.externs @ [ (guard_sym, 3) ];
+  m
+
+let inject m =
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  m
+
+let optimize m =
+  ignore (Passes.Guard_elim.run ~guard_symbol:guard_sym m);
+  ignore (Passes.Guard_hoist.run ~guard_symbol:guard_sym m);
+  ignore (Passes.Dce.run m);
+  m
+
+(* ---------- dataflow solver ---------- *)
+
+let test_dataflow_block_counting () =
+  (* saturating path-length domain: checks RPO iteration, joins, and
+     convergence around the loop's back edge *)
+  let m = loop_module () in
+  let f = List.hd m.funcs in
+  let cfg = Kir.Cfg.of_func f in
+  let d =
+    {
+      Analysis.Dataflow.entry = 0;
+      equal = Int.equal;
+      join = (fun ~block:_ xs -> List.fold_left max 0 xs);
+      transfer = (fun ~block:_ x -> min (x + 1) 8);
+    }
+  in
+  let s = Analysis.Dataflow.solve d cfg in
+  checkb "converged" true (s.Analysis.Dataflow.sweeps > 0);
+  Array.iteri
+    (fun i out ->
+      match out with
+      | Some v -> checkb (Printf.sprintf "block %d visited" i) true (v > 0)
+      | None -> Alcotest.fail "reachable block not solved")
+    s.Analysis.Dataflow.block_out
+
+let test_dataflow_unreachable_stays_bottom () =
+  let m = straightline_module () in
+  let f = List.hd m.funcs in
+  f.blocks <-
+    f.blocks @ [ { b_label = "island"; body = []; term = Ret None } ];
+  let cfg = Kir.Cfg.of_func f in
+  let d =
+    {
+      Analysis.Dataflow.entry = ();
+      equal = (fun () () -> true);
+      join = (fun ~block:_ _ -> ());
+      transfer = (fun ~block:_ () -> ());
+    }
+  in
+  let s = Analysis.Dataflow.solve d cfg in
+  let island = Kir.Cfg.index_of cfg "island" in
+  checkb "island unsolved" true (s.Analysis.Dataflow.block_in.(island) = None)
+
+(* ---------- certifier: positive and negative ---------- *)
+
+let test_certify_rejects_raw () =
+  match Analysis.Certify.certify (straightline_module ()) with
+  | Error msg -> checkb "mentions unguarded" true (contains msg "unguarded")
+  | Ok _ -> Alcotest.fail "unguarded module certified"
+
+let test_certify_after_injection () =
+  List.iter
+    (fun mk ->
+      let m = inject (mk ()) in
+      match Analysis.Certify.certify m with
+      | Ok (_, s) ->
+        let covered =
+          List.fold_left
+            (fun n fs -> n + fs.Analysis.Certify.fs_covered)
+            0 s.Analysis.Certify.s_funcs
+        in
+        checkb "covers accesses" true (covered > 0)
+      | Error msg -> Alcotest.fail ("injected module failed: " ^ msg))
+    [ straightline_module; diamond_module; loop_module ]
+
+let test_certify_after_optimization () =
+  List.iter
+    (fun mk ->
+      let m = optimize (inject (mk ())) in
+      match Analysis.Certify.certify m with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("optimized module failed: " ^ msg))
+    [ straightline_module; diamond_module; loop_module ]
+
+let test_certify_hoisted_loop () =
+  (* hoisting must actually fire on the loop fixture, and the hoisted
+     guard must still dominate the in-loop access for the certifier *)
+  let m = inject (loop_module ()) in
+  let before = Passes.Guard_injection.count_guards m in
+  ignore (Passes.Guard_elim.run ~guard_symbol:guard_sym m);
+  let r = Passes.Guard_hoist.run ~guard_symbol:guard_sym m in
+  checkb "hoist fired" true r.Passes.Pass.changed;
+  checkb "guard moved, not dropped" true
+    (Passes.Guard_injection.count_guards m <= before);
+  checkb "still certifies" true (Result.is_ok (Analysis.Certify.certify m))
+
+let test_certify_coverage_subsumption () =
+  (* an 8-byte rw guard covers a narrower access at the same base *)
+  checkb "load under rw guard" true
+    (Result.is_ok
+       (Analysis.Certify.certify (manual_module ~guard_flags:3 ~access:`Load ())));
+  checkb "store under rw guard" true
+    (Result.is_ok
+       (Analysis.Certify.certify
+          (manual_module ~guard_flags:3 ~access:`Store ())));
+  (* a read-only guard does not license a store *)
+  checkb "store under ro guard rejected" true
+    (Result.is_error
+       (Analysis.Certify.certify
+          (manual_module ~guard_flags:1 ~access:`Store ())))
+
+let test_certify_kill_at_opaque_call () =
+  (* an un-analyzed callee invalidates coverage: it may unmap the page *)
+  let m = manual_module ~guard_flags:3 ~access:`Load () in
+  let f = List.hd m.funcs in
+  m.externs <- m.externs @ [ ("ext", 0) ];
+  (match f.blocks with
+  | blk :: _ ->
+    blk.body <-
+      (match blk.body with
+      | guard :: rest ->
+        (guard :: [ Call { dst = None; callee = "ext"; args = [] } ]) @ rest
+      | [] -> assert false)
+  | [] -> assert false);
+  checkb "opaque call kills coverage" true
+    (Result.is_error (Analysis.Certify.certify m))
+
+(* ---------- differential property ---------- *)
+
+let gen_module =
+  QCheck.Gen.(
+    let gen_ty = oneofl [ I8; I16; I32; I64 ] in
+    let* n = int_range 1 10 in
+    let* ops = list_repeat n (tup2 gen_ty (int_bound 3)) in
+    let* with_loop = bool in
+    let b = Kir.Builder.create "gen" in
+    ignore (Kir.Builder.declare_global b "g" ~size:256);
+    ignore
+      (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+    List.iter
+      (fun (ty, kind) ->
+        match kind with
+        | 0 -> ignore (Kir.Builder.load b ty (Reg "%p"))
+        | 1 -> Kir.Builder.store b ty (Imm 5) (Sym "g")
+        | 2 ->
+          let a = Kir.Builder.gep b (Reg "%p") (Imm 4) ~scale:1 in
+          ignore (Kir.Builder.load b ty a)
+        | _ -> ignore (Kir.Builder.load b ty (Reg "%p")))
+      ops;
+    if with_loop then
+      Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Imm 8) ~step:(Imm 1)
+        (fun i ->
+          (* one invariant (hoistable) and one variant access *)
+          ignore (Kir.Builder.load b I64 (Sym "g"));
+          let a = Kir.Builder.gep b (Reg "%p") i ~scale:8 in
+          Kir.Builder.store b I64 (Imm 1) a);
+    Kir.Builder.ret b (Some (Imm 0));
+    return (Kir.Builder.modul b))
+
+let prop_certify_differential =
+  QCheck.Test.make
+    ~name:"random module certifies after injection and after optimization"
+    ~count:80 (QCheck.make gen_module) (fun m ->
+      let m = inject m in
+      let ok_injected = Result.is_ok (Analysis.Certify.certify m) in
+      let m = optimize m in
+      ok_injected
+      && Result.is_ok (Analysis.Certify.certify m)
+      && Kir.Verify.is_valid m)
+
+(* ---------- e1000e driver: certification + mutation sweep ---------- *)
+
+let compiled_driver ~optimize () =
+  let m = Nic.Driver_gen.generate ~module_scale:6 ~with_rogue:false () in
+  let pipeline =
+    if optimize then Passes.Pipeline.kop_optimized ()
+    else Passes.Pipeline.kop_default ()
+  in
+  ignore (Passes.Pass.run_pipeline_checked pipeline m);
+  m
+
+let test_driver_certifies () =
+  checkb "default pipeline" true
+    (Analysis.Certify.validate (compiled_driver ~optimize:false ()) = Ok ());
+  checkb "optimized pipeline" true
+    (Analysis.Certify.validate (compiled_driver ~optimize:true ()) = Ok ())
+
+let delete_nth_guard m n =
+  (* remove the n-th carat_guard call (module order); true if deleted *)
+  let k = ref 0 in
+  let deleted = ref false in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          blk.body <-
+            List.filter
+              (function
+                | Call { callee; _ } when callee = guard_sym ->
+                  let mine = !k = n in
+                  incr k;
+                  if mine then deleted := true;
+                  not mine
+                | _ -> true)
+              blk.body)
+        f.blocks)
+    m.funcs;
+  !deleted
+
+let test_driver_mutation_sweep () =
+  (* acceptance: deleting ANY single guard from the compiled e1000e
+     driver must flip the certifier to reject *)
+  let total =
+    Passes.Guard_injection.count_guards (compiled_driver ~optimize:true ())
+  in
+  checkb "driver has guards" true (total > 0);
+  let survivors = ref [] in
+  for n = 0 to total - 1 do
+    let m = compiled_driver ~optimize:true () in
+    checkb "mutant deleted a guard" true (delete_nth_guard m n);
+    if Result.is_ok (Analysis.Certify.certify m) then
+      survivors := n :: !survivors
+  done;
+  Alcotest.(check (list int)) "every mutant caught" [] !survivors
+
+(* ---------- certificate validation ---------- *)
+
+let test_validate_errors () =
+  let m = compiled_driver ~optimize:false () in
+  checkb "fresh cert ok" true (Analysis.Certify.validate m = Ok ());
+  (* missing *)
+  let m1 = compiled_driver ~optimize:false () in
+  m1.meta <-
+    List.filter (fun (k, _) -> k <> Passes.Attest.meta_cert) m1.meta;
+  checkb "missing" true
+    (Analysis.Certify.validate m1 = Error Analysis.Certify.Cert_missing);
+  (* stale: body changed after certification *)
+  let m2 = compiled_driver ~optimize:false () in
+  (match m2.funcs with
+  | f :: _ ->
+    f.blocks <-
+      f.blocks @ [ { b_label = "tamper"; body = []; term = Ret None } ]
+  | [] -> ());
+  (match Analysis.Certify.validate m2 with
+  | Error (Analysis.Certify.Cert_stale _) -> ()
+  | _ -> Alcotest.fail "tampered body not flagged stale");
+  (* invalid: garbage certificate *)
+  let m3 = compiled_driver ~optimize:false () in
+  meta_set m3 Passes.Attest.meta_cert "not a certificate";
+  (match Analysis.Certify.validate m3 with
+  | Error (Analysis.Certify.Cert_invalid _) -> ()
+  | _ -> Alcotest.fail "garbage cert not flagged invalid");
+  (* mismatch: digest field intact, but the census was doctored *)
+  let m4 = compiled_driver ~optimize:false () in
+  let cert = Option.get (meta_find m4 Passes.Attest.meta_cert) in
+  meta_set m4 Passes.Attest.meta_cert (cert ^ ";forged=1");
+  match Analysis.Certify.validate m4 with
+  | Error Analysis.Certify.Cert_mismatch -> ()
+  | _ -> Alcotest.fail "forged census not flagged"
+
+(* ---------- kir lints ---------- *)
+
+let codes fs = List.map (fun f -> f.Analysis.Kir_lint.code) fs
+
+let test_lint_unguarded_and_unreachable () =
+  let m = straightline_module () in
+  let f = List.hd m.funcs in
+  f.blocks <-
+    f.blocks @ [ { b_label = "island"; body = []; term = Ret None } ];
+  let fs = Analysis.Kir_lint.lint m in
+  checkb "unguarded errors" true
+    (List.mem "L-unguarded" (codes (Analysis.Kir_lint.errors fs)));
+  checkb "unreachable warned" true
+    (List.mem "L-unreachable" (codes (Analysis.Kir_lint.warnings fs)))
+
+let test_lint_clean_module () =
+  let m = inject (straightline_module ()) in
+  checki "no errors on injected module" 0
+    (List.length (Analysis.Kir_lint.errors (Analysis.Kir_lint.lint m)))
+
+let test_lint_duplicate_guard () =
+  (* duplicate back-to-back guard on the same address: second one is
+     shadowed and unused *)
+  let m = manual_module ~guard_flags:3 ~access:`Load () in
+  let f = List.hd m.funcs in
+  (match f.blocks with
+  | blk :: _ ->
+    blk.body <-
+      (match blk.body with
+      | (Call _ as g) :: rest -> g :: g :: rest
+      | _ -> assert false)
+  | [] -> assert false);
+  let fs = Analysis.Kir_lint.lint m in
+  checkb "shadowed guard flagged" true (List.mem "L-shadowed-guard" (codes fs))
+
+let test_lint_unused_guard () =
+  let b = Kir.Builder.create "unused" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  Kir.Builder.emit b
+    (Call
+       { dst = None; callee = guard_sym;
+         args = [ Reg "%p"; Imm 8; Imm 3 ] });
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  m.externs <- m.externs @ [ (guard_sym, 3) ];
+  let fs = Analysis.Kir_lint.lint m in
+  checkb "unused guard flagged" true (List.mem "L-unused-guard" (codes fs))
+
+let test_lint_callind_nocfi () =
+  let b = Kir.Builder.create "ind" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%fp", I64) ] ~ret:None);
+  Kir.Builder.emit b (Callind { dst = None; fn = Reg "%fp"; args = [] });
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  let fs = Analysis.Kir_lint.lint m in
+  checkb "nocfi flagged" true (List.mem "L-callind-nocfi" (codes fs))
+
+(* ---------- suite ---------- *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "dataflow",
+        [
+          Alcotest.test_case "loop converges" `Quick test_dataflow_block_counting;
+          Alcotest.test_case "unreachable bottom" `Quick
+            test_dataflow_unreachable_stays_bottom;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "rejects raw" `Quick test_certify_rejects_raw;
+          Alcotest.test_case "accepts injected" `Quick
+            test_certify_after_injection;
+          Alcotest.test_case "accepts optimized" `Quick
+            test_certify_after_optimization;
+          Alcotest.test_case "hoisted loop" `Quick test_certify_hoisted_loop;
+          Alcotest.test_case "coverage subsumption" `Quick
+            test_certify_coverage_subsumption;
+          Alcotest.test_case "opaque call kills" `Quick
+            test_certify_kill_at_opaque_call;
+          QCheck_alcotest.to_alcotest prop_certify_differential;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "e1000e certifies" `Quick test_driver_certifies;
+          Alcotest.test_case "mutation sweep" `Slow test_driver_mutation_sweep;
+          Alcotest.test_case "validate errors" `Quick test_validate_errors;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "unguarded+unreachable" `Quick
+            test_lint_unguarded_and_unreachable;
+          Alcotest.test_case "clean after injection" `Quick
+            test_lint_clean_module;
+          Alcotest.test_case "duplicate guard" `Quick test_lint_duplicate_guard;
+          Alcotest.test_case "unused guard" `Quick test_lint_unused_guard;
+          Alcotest.test_case "callind nocfi" `Quick test_lint_callind_nocfi;
+        ] );
+    ]

@@ -23,6 +23,7 @@ let resolve name =
 let kop_compile = resolve "kop_compile.exe"
 let policy_manager = resolve "policy_manager.exe"
 let kop_run = resolve "kop_run.exe"
+let kop_lint = resolve "kop_lint.exe"
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 
@@ -186,6 +187,75 @@ let test_policy_manager_storm () =
   (* a single CPU cannot race itself *)
   checki "rejects cpus 1" 2 (sh "%s storm %s --cpus 1" policy_manager pol)
 
+let test_policy_manager_lint () =
+  let pol = tmp "cli_lint.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  (* the canonical policy lints clean of errors *)
+  let code, out = sh_out "%s lint %s" policy_manager pol in
+  checki "clean policy passes" 0 code;
+  checkb "reports zero errors" true (contains out "0 error(s)");
+  (* prepend a wide rw region: the device window behind it is shadowed *)
+  checki "add blanket" 0
+    (sh "%s add %s --base 0x1100000000000000 --len 0x100000 --prot rw \
+         --tag dev --prepend"
+       policy_manager pol);
+  checki "add shadowed" 0
+    (sh "%s add %s --base 0x1100000000001000 --len 0x1000 --prot r- \
+         --tag inner"
+       policy_manager pol);
+  let code, out = sh_out "%s lint %s" policy_manager pol in
+  checki "shadowed rule is an error" 3 code;
+  checkb "names the rule" true (contains out "E-shadowed")
+
+let test_kop_lint_module () =
+  let raw = tmp "cli_lint_raw.kir" in
+  let ok = tmp "cli_lint_ok.kir" in
+  checki "emit raw" 0
+    (sh "%s --emit-driver --scale 1 --no-transform -o %s" kop_compile raw);
+  checki "emit compiled" 0 (sh "%s --emit-driver --scale 1 -o %s" kop_compile ok);
+  (* untransformed driver: every access is an unguarded-error *)
+  let code, out = sh_out "%s module %s" kop_lint raw in
+  checki "raw module fails" 3 code;
+  checkb "unguarded reported" true (contains out "L-unguarded");
+  (* compiled driver lints clean *)
+  let code, out = sh_out "%s module %s" kop_lint ok in
+  checki "compiled module clean" 0 code;
+  checkb "zero errors" true (contains out "0 error(s)")
+
+let test_kop_lint_cert () =
+  let drv = tmp "cli_lint_cert.kir" in
+  checki "emit compiled" 0
+    (sh "%s --emit-driver --scale 1 --optimize -o %s" kop_compile drv);
+  let code, out = sh_out "%s cert %s" kop_lint drv in
+  checki "certificate validates" 0 code;
+  checkb "says ok" true (contains out "certificate ok");
+  (* tamper with the body: the digest no longer matches *)
+  let m = Carat_kop.Kir.Parser.parse_file drv in
+  (match m.Carat_kop.Kir.Types.funcs with
+  | f :: _ ->
+    f.Carat_kop.Kir.Types.blocks <-
+      f.Carat_kop.Kir.Types.blocks
+      @ [ { Carat_kop.Kir.Types.b_label = "patch"; body = [];
+            term = Carat_kop.Kir.Types.Ret None } ]
+  | [] -> ());
+  let oc = open_out drv in
+  output_string oc (Carat_kop.Kir.Printer.to_string m);
+  close_out oc;
+  let code, out = sh_out "%s cert %s" kop_lint drv in
+  checki "tampered rejected" 3 code;
+  checkb "stale reported" true (contains out "stale")
+
+let test_kop_lint_policy () =
+  let pol = tmp "cli_lint_pol.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  checki "clean" 0 (sh "%s policy %s" kop_lint pol);
+  (* --strict turns the canonical policy's straddle warning into a failure *)
+  let code, out = sh_out "%s policy %s --strict" kop_lint pol in
+  checki "strict fails on warning" 3 code;
+  checkb "straddle reported" true (contains out "W-straddle")
+
 let test_kop_run_rejects_unsigned () =
   let drv = tmp "cli_unsigned.kir" in
   (* emit WITHOUT transform or signature *)
@@ -221,11 +291,18 @@ let () =
           Alcotest.test_case "push via ioctl" `Quick test_policy_manager_push;
           Alcotest.test_case "set-mode" `Quick test_policy_manager_set_mode;
           Alcotest.test_case "smp update storm" `Quick test_policy_manager_storm;
+          Alcotest.test_case "lint" `Quick test_policy_manager_lint;
         ] );
       ( "kop_run",
         [
           Alcotest.test_case "run and panic" `Quick test_kop_run_happy_and_panic;
           Alcotest.test_case "signature gate" `Quick test_kop_run_rejects_unsigned;
           Alcotest.test_case "smp --cpus" `Quick test_kop_run_smp;
+        ] );
+      ( "kop_lint",
+        [
+          Alcotest.test_case "module lints" `Quick test_kop_lint_module;
+          Alcotest.test_case "cert validates" `Quick test_kop_lint_cert;
+          Alcotest.test_case "policy lints" `Quick test_kop_lint_policy;
         ] );
     ]

@@ -6,8 +6,8 @@ open Carat_kop
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
-let fresh ?(require_signature = false) () =
-  Kernel.create ~require_signature Machine.Presets.r350
+let fresh ?(require_signature = false) ?(require_certificate = false) () =
+  Kernel.create ~require_signature ~require_certificate Machine.Presets.r350
 
 (* ---------- physical memory ---------- *)
 
@@ -193,6 +193,57 @@ let test_insmod_signed_ok () =
   match Kernel.insmod k m with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "signed rejected: %s" (Kernel.load_error_to_string e)
+
+let test_insmod_requires_certificate () =
+  let k = fresh ~require_certificate:true () in
+  ignore (Vm.Interp.install k);
+  Kernel.register_native k "carat_guard" (fun _ _ -> 0);
+  (* a compiled module carries a valid certificate: accepted *)
+  let m = tiny_module () in
+  ignore (Passes.Pipeline.compile m);
+  (match Kernel.insert_module k m with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "certified rejected: %s" (Kernel.load_error_to_string e));
+  (* signed but never certified (baseline pipeline): missing *)
+  let m2 = tiny_module ~name:"uncert" () in
+  ignore
+    (Passes.Pass.run_pipeline_checked (Passes.Pipeline.baseline_sign ()) m2);
+  (match Kernel.insert_module k m2 with
+  | Error (Kernel.Certificate_rejected Analysis.Certify.Cert_missing) -> ()
+  | Ok _ -> Alcotest.fail "uncertified module accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Kernel.load_error_to_string e));
+  (* tampered after certification, then re-signed: the signature is
+     fine but the certificate digest no longer matches the body *)
+  let m3 = tiny_module ~name:"stale" () in
+  ignore (Passes.Pipeline.compile m3);
+  (match m3.Kir.Types.funcs with
+  | f :: _ ->
+    f.Kir.Types.blocks <-
+      f.Kir.Types.blocks
+      @ [ { Kir.Types.b_label = "patch"; body = []; term = Kir.Types.Ret None } ]
+  | [] -> ());
+  ignore
+    (Passes.Signing.sign ~key:Passes.Pipeline.default_key ~signer:"evil" m3);
+  (match Kernel.insert_module k m3 with
+  | Error (Kernel.Certificate_rejected (Analysis.Certify.Cert_stale _)) -> ()
+  | Ok _ -> Alcotest.fail "stale certificate accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Kernel.load_error_to_string e));
+  (* same tamper, but with enforcement off: loads fine *)
+  let k2 = fresh () in
+  ignore (Vm.Interp.install k2);
+  Kernel.register_native k2 "carat_guard" (fun _ _ -> 0);
+  let m4 = tiny_module ~name:"lax" () in
+  ignore (Passes.Pipeline.compile m4);
+  m4.Kir.Types.meta <-
+    List.filter
+      (fun (key, _) -> key <> Passes.Attest.meta_cert)
+      m4.Kir.Types.meta;
+  match Kernel.insert_module k2 m4 with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "permissive kernel rejected: %s"
+      (Kernel.load_error_to_string e)
 
 let test_insmod_unresolved_import () =
   let k = fresh () in
@@ -456,6 +507,8 @@ let () =
           Alcotest.test_case "insmod basic" `Quick test_insmod_basic;
           Alcotest.test_case "unsigned rejected" `Quick test_insmod_requires_signature;
           Alcotest.test_case "signed accepted" `Quick test_insmod_signed_ok;
+          Alcotest.test_case "certificate gate" `Quick
+            test_insmod_requires_certificate;
           Alcotest.test_case "unresolved import" `Quick test_insmod_unresolved_import;
           Alcotest.test_case "symbol collision" `Quick test_insmod_symbol_collision;
           Alcotest.test_case "invalid IR" `Quick test_insmod_invalid_ir;

@@ -433,6 +433,40 @@ let test_verify_params_count_as_defs () =
     (Kir.Verify.is_valid
        { m_name = ""; globals = []; funcs = [ f ]; externs = []; meta = [] })
 
+let test_verify_many_symbols () =
+  (* regression for the O(n²) symbol resolver: a module with many
+     globals, functions and cross-calls must verify quickly and still
+     resolve every name through the hashed symbol tables *)
+  let n = 400 in
+  let b = Kir.Builder.create "many" in
+  for i = 0 to n - 1 do
+    ignore (Kir.Builder.declare_global b (Printf.sprintf "g%d" i) ~size:8)
+  done;
+  for i = 0 to n - 1 do
+    ignore
+      (Kir.Builder.start_func b (Printf.sprintf "f%d" i) ~params:[] ~ret:None);
+    ignore (Kir.Builder.load b I64 (Sym (Printf.sprintf "g%d" i)));
+    if i > 0 then
+      Kir.Builder.emit b
+        (Call
+           { dst = None; callee = Printf.sprintf "f%d" (i - 1); args = [] });
+    Kir.Builder.ret b None
+  done;
+  let m = Kir.Builder.modul b in
+  let t0 = Unix.gettimeofday () in
+  checkb "many symbols valid" true (Kir.Verify.is_valid m);
+  let dt = Unix.gettimeofday () -. t0 in
+  checkb "resolves in linearithmic time" true (dt < 2.0);
+  (* and a dangling reference among the crowd is still caught *)
+  (match m.funcs with
+  | f :: _ ->
+    f.blocks <-
+      [ { b_label = "entry";
+          body = [ Load { dst = "%v"; ty = I64; addr = Sym "nope" } ];
+          term = Ret None } ]
+  | [] -> ());
+  checkb "dangler caught" false (Kir.Verify.is_valid m)
+
 let test_cfg_basic () =
   let m = sample_module () in
   let f = Option.get (find_func m "bump") in
@@ -533,6 +567,7 @@ let () =
           Alcotest.test_case "valid module" `Quick test_verify_ok;
           Alcotest.test_case "catches defects" `Quick test_verify_catches;
           Alcotest.test_case "params are defs" `Quick test_verify_params_count_as_defs;
+          Alcotest.test_case "many symbols" `Quick test_verify_many_symbols;
         ] );
       ( "cfg",
         [

@@ -272,6 +272,40 @@ let test_attest_indirect_modes () =
   | exception Passes.Pass.Pass_failed ("attest", _) -> ()
   | _ -> Alcotest.fail "strict mode accepted indirect call")
 
+let test_attest_strict_accepts_cfi_covered () =
+  (* satellite: strict attestation accepts an indirect call exactly when a
+     cfi_guard covers it — run the cfi pass first, then re-attest strict *)
+  let m = indirect_module () in
+  ignore (Passes.Cfi_guard.run m);
+  ignore (Passes.Attest.run ~strict:true m);
+  Alcotest.(check (option string)) "none uncovered" (Some "0")
+    (meta_find m Passes.Attest.meta_indirect_uncovered);
+  (* ...and the full strict pipeline agrees, both ways *)
+  (match
+     Passes.Pipeline.compile ~guard_cfi:true ~strict:true (indirect_module ())
+   with
+  | _ -> ());
+  match Passes.Pipeline.compile ~strict:true (indirect_module ()) with
+  | exception Passes.Pass.Pass_failed ("attest", _) -> ()
+  | _ -> Alcotest.fail "strict pipeline accepted uncovered indirect call"
+
+let test_attest_strict_mismatched_cfi_target () =
+  (* a cfi_guard on the wrong operand does not count as coverage *)
+  let b = Kir.Builder.create "ind2" in
+  ignore
+    (Kir.Builder.start_func b "f" ~params:[ ("%fp", I64); ("%q", I64) ]
+       ~ret:None);
+  Kir.Builder.emit b
+    (Call
+       { dst = None; callee = Passes.Cfi_guard.guard_symbol;
+         args = [ Reg "%q" ] });
+  Kir.Builder.emit b (Callind { dst = None; fn = Reg "%fp"; args = [] });
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  m.externs <- m.externs @ [ (Passes.Cfi_guard.guard_symbol, 1) ];
+  let r = Passes.Attest.scan m in
+  checki "still uncovered" 1 (List.length r.Passes.Attest.uncovered_indirect)
+
 let test_attest_scan_report () =
   let r = Passes.Attest.scan (asm_module ()) in
   checki "asm found" 1 (List.length r.Passes.Attest.inline_asm);
@@ -430,10 +464,13 @@ let test_dce_removes_islands () =
 let test_pipeline_default () =
   let m = straightline_module () in
   let remarks = Passes.Pipeline.compile m in
-  checki "four passes" 4 (List.length remarks);
+  (* dce, attest, guard-injection, certify, signing — this binary links
+     the analysis layer, so the registered certify pass runs too *)
+  checki "five passes" 5 (List.length remarks);
   checkb "signed+verifies" true
     (Passes.Signing.verify ~key:Passes.Pipeline.default_key m = Ok ());
-  checkb "guards present" true (Passes.Guard_injection.count_guards m > 0)
+  checkb "guards present" true (Passes.Guard_injection.count_guards m > 0);
+  checkb "certificate validates" true (Analysis.Certify.validate m = Ok ())
 
 let test_pipeline_optimized_fewer_guards () =
   let m1 = straightline_module () in
@@ -487,6 +524,10 @@ let () =
           Alcotest.test_case "rejects asm" `Quick test_attest_rejects_asm;
           Alcotest.test_case "marks clean" `Quick test_attest_clean_marks_meta;
           Alcotest.test_case "indirect modes" `Quick test_attest_indirect_modes;
+          Alcotest.test_case "strict accepts cfi-covered" `Quick
+            test_attest_strict_accepts_cfi_covered;
+          Alcotest.test_case "strict needs matching target" `Quick
+            test_attest_strict_mismatched_cfi_target;
           Alcotest.test_case "scan report" `Quick test_attest_scan_report;
         ] );
       ( "signing",
