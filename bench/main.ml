@@ -845,6 +845,256 @@ let run_smpscale () =
 
 (* ------------------------------------------------------------------ *)
 
+(* selfheal: the integrity watchdog's corruption-to-detection latency,
+   the cost of running degraded (which must reproduce the guard-tier
+   ordering guardpath measures: ic hit <= shadow walk < linear walk),
+   recovery back to the full fast path, bounded repair retries, and the
+   tier-corruption campaign invariants. Writes BENCH_selfheal.json and
+   exits nonzero on any gate failure. *)
+
+type selfheal_row = {
+  se_class : string;
+  se_detect_cycles : int;  (** corruption to the detecting audit *)
+  se_degraded_level : int;
+  se_full_cpc : float;  (** sim cycles/check at the full tier *)
+  se_degraded_cpc : float;  (** sim cycles/check while degraded *)
+  se_healed_cpc : float;  (** sim cycles/check after re-promotion *)
+  se_recover_audits : int;
+  se_recovered : bool;
+  se_stale : int;
+}
+
+let selfheal_period = 5_000
+
+let selfheal_cpc engine machine =
+  let addr = Kernel.Layout.direct_map_base + 0x400 in
+  let n = 2_000 in
+  let c0 = Machine.Model.cycles machine in
+  for i = 0 to n - 1 do
+    ignore
+      (Policy.Engine.check_fast engine ~site:(i land 7) ~addr ~size:8
+         ~flags:Policy.Region.prot_read)
+  done;
+  float_of_int (Machine.Model.cycles machine - c0) /. float_of_int n
+
+let selfheal_episode ~cls ~corrupt () =
+  let kernel = Kernel.create ~require_signature:false Machine.Presets.r415 in
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Shadow ~site_cache:true
+      ~on_deny:Policy.Policy_module.Quarantine kernel
+  in
+  (* production table scale, conforming rules last, as in guardpath *)
+  Policy.Policy_module.set_policy pm (Policy.Region.kernel_only_padded 64);
+  let wd = Policy.Policy_module.enable_watchdog ~period:selfheal_period pm in
+  let ig =
+    match Policy.Policy_module.integrity pm with
+    | Some ig -> ig
+    | None -> assert false
+  in
+  let engine = Policy.Policy_module.engine pm in
+  let machine = Kernel.machine kernel in
+  Policy.Engine.set_verify engine true;
+  (* warm a user-page shadow slot (the corruption target) and the probe
+     path, then take the full-tier cost *)
+  ignore (Policy.Engine.check engine ~addr:0x4000 ~size:8 ~flags:2);
+  ignore (selfheal_cpc engine machine);
+  let full = selfheal_cpc engine machine in
+  if not (corrupt engine) then begin
+    Printf.eprintf "selfheal: FAIL: %s corruption injection refused\n" cls;
+    exit 1
+  end;
+  let c0 = Machine.Model.cycles machine in
+  let steps = ref 0 in
+  while Policy.Integrity.detections ig = 0 && !steps < 100 do
+    incr steps;
+    ignore (Kernel.Watchdog.advance wd ~cycles:1_000)
+  done;
+  let detect = Machine.Model.cycles machine - c0 in
+  let level = Policy.Integrity.tier_level ig in
+  let degraded = selfheal_cpc engine machine in
+  let a0 = Policy.Integrity.audits ig in
+  let steps = ref 0 in
+  while
+    (not (Policy.Integrity.healthy ig && Policy.Integrity.tier_level ig = 2))
+    && !steps < 100
+  do
+    incr steps;
+    ignore (Kernel.Watchdog.advance wd ~cycles:selfheal_period)
+  done;
+  let healed = selfheal_cpc engine machine in
+  {
+    se_class = cls;
+    se_detect_cycles = detect;
+    se_degraded_level = level;
+    se_full_cpc = full;
+    se_degraded_cpc = degraded;
+    se_healed_cpc = healed;
+    se_recover_audits = Policy.Integrity.audits ig - a0;
+    se_recovered =
+      Policy.Integrity.healthy ig && Policy.Integrity.tier_level ig = 2;
+    se_stale = Policy.Engine.stale_allows engine;
+  }
+
+let run_selfheal () =
+  section "selfheal: watchdog detection latency, degraded overhead, recovery";
+  let user_page = 0x4000 lsr Policy.Shadow_table.page_bits in
+  let rows =
+    [
+      selfheal_episode ~cls:"icache-corrupt"
+        ~corrupt:(fun e ->
+          Policy.Engine.corrupt_site_cache e (Policy.Engine.default_view e)
+            ~site:3 ~page:user_page ~prot:Policy.Region.prot_rw
+            ~smash_canary:true)
+        ();
+      selfheal_episode ~cls:"shadow-corrupt"
+        ~corrupt:(fun e ->
+          Policy.Engine.corrupt_shadow e ~page:user_page
+            ~prot:Policy.Region.prot_rw ~fix_checksum:false)
+        ();
+      selfheal_episode ~cls:"instance-corrupt"
+        ~corrupt:(fun e ->
+          Policy.Engine.corrupt_instance e ~base:Kernel.Layout.kernel_base
+            ~prot:0)
+        ();
+    ]
+  in
+  Printf.printf "  %-18s %12s %6s %10s %12s %10s %8s %6s\n" "class"
+    "detect cyc" "tier" "full c/c" "degraded c/c" "healed c/c" "audits"
+    "stale";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-18s %12d %6d %10.1f %12.1f %10.1f %8d %6d\n"
+        r.se_class r.se_detect_cycles r.se_degraded_level r.se_full_cpc
+        r.se_degraded_cpc r.se_healed_cpc r.se_recover_audits r.se_stale)
+    rows;
+  (* bounded retries: a repair route pinned to a no-op must abandon the
+     tier after max_retries, not flap forever *)
+  let retry_cfg = { Policy.Integrity.cooldown_audits = 1; max_retries = 2 } in
+  let abandoned =
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r415 in
+    let pm =
+      Policy.Policy_module.install ~kind:Policy.Engine.Shadow kernel
+    in
+    Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+    let eng = Policy.Policy_module.engine pm in
+    let ig = Policy.Integrity.create ~config:retry_cfg eng in
+    Policy.Integrity.set_route ig (fun _ _ -> ());
+    ignore
+      (Policy.Engine.corrupt_instance eng ~base:Kernel.Layout.kernel_base
+         ~prot:0);
+    for _ = 1 to 10 do
+      ignore (Policy.Integrity.audit ig)
+    done;
+    Policy.Integrity.abandoned ig
+  in
+  Printf.printf
+    "  pinned-failure repair: %d tier(s) abandoned after %d retries\n"
+    abandoned retry_cfg.Policy.Integrity.max_retries;
+  (* campaign slice: the three tier-corruption classes across modes *)
+  let faults = if !quick then 24 else 60 in
+  let report = Fault.Campaign.run { Fault.Campaign.faults; seed = 42 } in
+  let campaign_fails = Fault.Campaign.check report in
+  let tier_classes =
+    List.filter Fault.Inject.is_tier_corruption Fault.Inject.all_classes
+  in
+  let carat_modes =
+    [
+      Fault.Harness.Carat Policy.Policy_module.Panic;
+      Fault.Harness.Carat Policy.Policy_module.Quarantine;
+      Fault.Harness.Carat Policy.Policy_module.Audit;
+    ]
+  in
+  let sum f =
+    List.fold_left
+      (fun acc cls ->
+        List.fold_left
+          (fun acc mode -> acc + f (Fault.Campaign.cell report ~cls ~mode))
+          acc carat_modes)
+      0 tier_classes
+  in
+  let detected = sum (fun c -> c.Fault.Campaign.sh_detected) in
+  let detect_total = sum (fun c -> c.Fault.Campaign.sh_detect_total) in
+  let rebuilt = sum (fun c -> c.Fault.Campaign.sh_rebuilt) in
+  let rebuild_total = sum (fun c -> c.Fault.Campaign.sh_rebuild_total) in
+  let stale = sum (fun c -> c.Fault.Campaign.sh_stale) in
+  Printf.printf
+    "  campaign (%d faults): detected %d/%d, rebuilt %d/%d, stale %d\n"
+    faults detected detect_total rebuilt rebuild_total stale;
+  (* gates *)
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun r ->
+      if r.se_detect_cycles > 3 * selfheal_period then
+        fail "%s: detection took %d cycles (period %d)" r.se_class
+          r.se_detect_cycles selfheal_period;
+      if not r.se_recovered then fail "%s: never recovered" r.se_class;
+      if r.se_stale <> 0 then
+        fail "%s: %d stale allows" r.se_class r.se_stale)
+    rows;
+  let by cls = List.find (fun r -> r.se_class = cls) rows in
+  let ic = by "icache-corrupt" and sh = by "shadow-corrupt" in
+  (* degraded-mode cost must reproduce guardpath's tier ordering *)
+  if sh.se_degraded_cpc <= sh.se_full_cpc then
+    fail "linear fallback not costlier than the full tier (%.1f vs %.1f)"
+      sh.se_degraded_cpc sh.se_full_cpc;
+  if ic.se_degraded_cpc < ic.se_full_cpc then
+    fail "ic-off tier cheaper than ic hits (%.1f vs %.1f)" ic.se_degraded_cpc
+      ic.se_full_cpc;
+  if sh.se_degraded_cpc <= ic.se_degraded_cpc then
+    fail "linear fallback not costlier than the shadow walk (%.1f vs %.1f)"
+      sh.se_degraded_cpc ic.se_degraded_cpc;
+  if sh.se_healed_cpc >= sh.se_degraded_cpc then
+    fail "healed cost did not return below the degraded cost";
+  if sh.se_degraded_level <> 0 then
+    fail "shadow quarantine did not fall back to linear (level %d)"
+      sh.se_degraded_level;
+  if ic.se_degraded_level <> 1 then
+    fail "ic quarantine did not keep the shadow serving (level %d)"
+      ic.se_degraded_level;
+  if abandoned <> 1 then
+    fail "pinned-failure repair abandoned %d tiers, wanted 1" abandoned;
+  if detected <> detect_total then
+    fail "campaign: %d of %d corruptions undetected" (detect_total - detected)
+      detect_total;
+  if rebuilt <> rebuild_total then
+    fail "campaign: %d of %d rebuilds failed" (rebuild_total - rebuilt)
+      rebuild_total;
+  if stale <> 0 then fail "campaign: %d stale allows" stale;
+  List.iter (fun m -> fail "campaign invariant: %s" m) campaign_fails;
+  let oc = open_out "BENCH_selfheal.json" in
+  let row_json r =
+    Printf.sprintf
+      "    {\"class\": %S, \"detect_cycles\": %d, \"watchdog_period\": %d, \
+       \"degraded_tier_level\": %d, \"full_cycles_per_check\": %.1f, \
+       \"degraded_cycles_per_check\": %.1f, \"healed_cycles_per_check\": \
+       %.1f, \"recover_audits\": %d, \"recovered\": %b, \"stale_allows\": %d}"
+      r.se_class r.se_detect_cycles selfheal_period r.se_degraded_level
+      r.se_full_cpc r.se_degraded_cpc r.se_healed_cpc r.se_recover_audits
+      r.se_recovered r.se_stale
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"episodes\": [\n%s\n  ],\n\
+    \  \"bounded_retries\": {\"max_retries\": %d, \"abandoned\": %d},\n\
+    \  \"campaign\": {\"faults\": %d, \"detected\": %d, \"detect_total\": %d, \
+     \"rebuilt\": %d, \"rebuild_total\": %d, \"stale_allows\": %d, \
+     \"invariants_passed\": %b},\n\
+    \  \"gates_passed\": %b\n\
+     }\n"
+    (String.concat ",\n" (List.map row_json rows))
+    retry_cfg.Policy.Integrity.max_retries abandoned faults detected
+    detect_total rebuilt rebuild_total stale (campaign_fails = [])
+    (!failures = []);
+  close_out oc;
+  print_endline "  wrote BENCH_selfheal.json";
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "selfheal: FAIL: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let run_faults () =
   section "Fault-injection campaign: containment across enforcement modes";
   let faults =
@@ -930,6 +1180,7 @@ let all_figs =
     ("guardpath", run_guardpath);
     ("tracegate", run_tracegate);
     ("smpscale", run_smpscale);
+    ("selfheal", run_selfheal);
     ("faults", run_faults);
     ("certify", run_certify);
     ("bechamel", run_bechamel);

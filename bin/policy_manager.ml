@@ -359,6 +359,130 @@ let cmd_storm file cpus updates =
         1
       end
 
+(* Self-healing demonstration on a live simulated kernel: load the
+   policy with the full guard tiers up (shadow table + site inline
+   caches), turn on the integrity watchdog, run a clean audit through
+   the operator ioctl, then corrupt every derived tier out-of-band and
+   let the watchdog detect, degrade, rebuild, and re-promote. Exits
+   nonzero if the kernel does not heal back to the full fast path. *)
+let cmd_audit file =
+  let t = Policy.Policy_file.load file in
+  match t.Policy.Policy_file.regions with
+  | [] ->
+    Printf.eprintf "policy_manager: %s has no regions to audit\n" file;
+    1
+  | first :: _ ->
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+    let pm =
+      Policy.Policy_module.install ~kind:Policy.Engine.Shadow ~site_cache:true
+        ~on_deny:Policy.Policy_module.Audit kernel
+    in
+    Policy.Policy_module.set_policy pm t.Policy.Policy_file.regions;
+    Policy.Engine.set_default_allow
+      (Policy.Policy_module.engine pm)
+      t.Policy.Policy_file.default_allow;
+    let wd = Policy.Policy_module.enable_watchdog ~period:5_000 pm in
+    let ig =
+      match Policy.Policy_module.integrity pm with
+      | Some ig -> ig
+      | None -> assert false
+    in
+    let engine = Policy.Policy_module.engine pm in
+    Policy.Engine.set_verify engine true;
+    let clean =
+      Kernel.ioctl kernel ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_audit
+        ~arg:0
+    in
+    Printf.printf "clean audit (ioctl 18): %d corrupt tier(s)\n" clean;
+    (* wild-write each tier out-of-band, bypassing the epoch choke
+       point — exactly what the watchdog exists to catch — and let the
+       periodic audit detect, degrade, rebuild, and re-promote before
+       moving to the next tier *)
+    let page = first.Policy.Region.base lsr Policy.Shadow_table.page_bits in
+    let episode (tier, corrupt) =
+      (* warm the slot the wild write targets *)
+      ignore
+        (Policy.Engine.check engine ~addr:first.Policy.Region.base ~size:8
+           ~flags:Policy.Region.prot_read);
+      if not (corrupt ()) then
+        Printf.printf "corrupt %-16s SKIPPED (tier not live)\n" tier
+      else begin
+        let d0 = Policy.Integrity.detections ig in
+        let steps = ref 0 in
+        while
+          (not
+             (Policy.Integrity.detections ig > d0
+             && Policy.Integrity.healthy ig
+             && Policy.Integrity.tier_level ig = 2))
+          && !steps < 200
+        do
+          incr steps;
+          ignore (Kernel.Watchdog.advance wd ~cycles:1_000)
+        done;
+        Printf.printf
+          "corrupt %-16s detected by watchdog, tier rebuilt (level %d)\n" tier
+          (Policy.Integrity.tier_level ig)
+      end
+    in
+    List.iter episode
+      [
+        ( "inline cache",
+          fun () ->
+            Policy.Engine.corrupt_site_cache engine
+              (Policy.Engine.default_view engine)
+              ~site:1 ~page ~prot:Policy.Region.prot_rw ~smash_canary:true );
+        ( "shadow table",
+          fun () ->
+            Policy.Engine.corrupt_shadow engine ~page
+              ~prot:Policy.Region.prot_rw ~fix_checksum:true );
+        ( "policy instance",
+          fun () ->
+            Policy.Engine.corrupt_instance engine
+              ~base:first.Policy.Region.base
+              ~prot:
+                (if first.Policy.Region.prot = 0 then Policy.Region.prot_rw
+                 else 0) );
+      ];
+    print_newline ();
+    print_string (Policy.Integrity.render ig);
+    (* the same numbers as the selfheal ioctl block reports them *)
+    let arg = Kernel.map_user kernel ~size:64 in
+    let rc =
+      Kernel.ioctl kernel ~dev:"carat"
+        ~cmd:Policy.Policy_module.ioctl_selfheal ~arg
+    in
+    if rc = 0 then begin
+      let w i = Kernel.read kernel ~addr:(arg + (i * 8)) ~size:8 in
+      Printf.printf
+        "ioctl_selfheal: audits=%d detections=%d degradations=%d rebuilds=%d\n"
+        (w 0) (w 1) (w 2) (w 3);
+      Printf.printf
+        "                abandoned=%d tier_level=%d ic_enabled=%d healthy=%d\n"
+        (w 4) (w 5) (w 6) (w 7)
+    end;
+    let healed =
+      Policy.Integrity.healthy ig
+      && Policy.Integrity.tier_level ig = 2
+      && Policy.Integrity.detections ig >= 3
+      && Policy.Integrity.rebuilds ig >= 3
+      && Policy.Engine.stale_allows engine = 0
+    in
+    if healed then begin
+      Printf.printf
+        "OK: all tiers detected, rebuilt, and re-promoted (%d watchdog fires, \
+         0 stale allows)\n"
+        (Kernel.Watchdog.fires wd);
+      0
+    end
+    else begin
+      Printf.eprintf
+        "policy_manager: audit FAILED (healthy=%b tier_level=%d stale=%d)\n"
+        (Policy.Integrity.healthy ig)
+        (Policy.Integrity.tier_level ig)
+        (Policy.Engine.stale_allows engine);
+      3
+    end
+
 let cmd_lint file =
   let t = Policy.Policy_file.load file in
   let findings = Policy.Policy_lint.lint t in
@@ -490,6 +614,15 @@ let set_mode_cmd =
        ~doc:"set the enforcement mode (panic|quarantine|audit), live and on disk")
     Term.(const cmd_set_mode $ file_arg $ mode_arg)
 
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "load the policy with full guard tiers and the integrity watchdog, \
+          corrupt every derived tier out-of-band, and verify the kernel \
+          detects, degrades, rebuilds, and re-promotes; exit 3 if unhealed")
+    Term.(const cmd_audit $ file_arg)
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
@@ -506,5 +639,5 @@ let () =
        (Cmd.group (Cmd.info "policy_manager" ~doc)
           [
             init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd;
-            stats_cmd; trace_cmd; set_mode_cmd; storm_cmd; lint_cmd;
+            stats_cmd; trace_cmd; set_mode_cmd; storm_cmd; audit_cmd; lint_cmd;
           ]))

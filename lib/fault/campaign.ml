@@ -1,9 +1,16 @@
 (** The deterministic fault-injection campaign: [faults] seeded faults,
-    spread round-robin over the six classes, each run under the four
+    spread round-robin over the fault classes, each run under the four
     configurations (baseline, carat × panic/quarantine/audit). Every run
     is a fresh {!Harness} cell, so faults are independent; everything is
     derived from [config.seed], so the rendered report is byte-for-byte
-    reproducible. *)
+    reproducible.
+
+    Per-fault seeds come from *per-class* PRNG streams split off the
+    master: the k-th fault of a given class draws the k-th value of that
+    class's stream, regardless of how many other classes exist or where
+    they sit in the round-robin. Appending a new fault class therefore
+    leaves every existing class's seed sequence untouched — campaign
+    results for the old classes are stable across class additions. *)
 
 type config = { faults : int; seed : int }
 
@@ -21,6 +28,11 @@ type cell_stats = {
   mutable reenter_total : int;
   mutable recovered : int;
   mutable recover_total : int;
+  mutable sh_detected : int;  (** watchdog detected the tier corruption *)
+  mutable sh_detect_total : int;
+  mutable sh_rebuilt : int;  (** corrupt tier healed back to full fast path *)
+  mutable sh_rebuild_total : int;
+  mutable sh_stale : int;  (** verified stale allows (must stay 0) *)
 }
 
 let empty_stats () =
@@ -36,6 +48,11 @@ let empty_stats () =
     reenter_total = 0;
     recovered = 0;
     recover_total = 0;
+    sh_detected = 0;
+    sh_detect_total = 0;
+    sh_rebuilt = 0;
+    sh_rebuild_total = 0;
+    sh_stale = 0;
   }
 
 type report = {
@@ -77,10 +94,23 @@ let record st (o : Harness.outcome) =
     st.reenter_total <- st.reenter_total + 1;
     if ok then st.reenter_ok <- st.reenter_ok + 1
   | None -> ());
-  match o.Harness.recovered with
+  (match o.Harness.recovered with
   | Some ok ->
     st.recover_total <- st.recover_total + 1;
     if ok then st.recovered <- st.recovered + 1
+  | None -> ());
+  (match o.Harness.sh_detected with
+  | Some ok ->
+    st.sh_detect_total <- st.sh_detect_total + 1;
+    if ok then st.sh_detected <- st.sh_detected + 1
+  | None -> ());
+  (match o.Harness.sh_rebuilt with
+  | Some ok ->
+    st.sh_rebuild_total <- st.sh_rebuild_total + 1;
+    if ok then st.sh_rebuilt <- st.sh_rebuilt + 1
+  | None -> ());
+  match o.Harness.sh_stale with
+  | Some n -> st.sh_stale <- st.sh_stale + n
   | None -> ()
 
 (** Run the campaign. [on_outcome] (optional) observes every outcome,
@@ -102,11 +132,18 @@ let run ?on_outcome ?engine (config : config) : report =
   in
   let n_diags = ref 0 in
   let master = Machine.Rng.create config.seed in
+  (* one independent stream per class, split off the master in class
+     order: class k's seeds depend only on (config.seed, k), never on how
+     many classes follow it in the list *)
+  let streams =
+    List.map
+      (fun c ->
+        (c, Machine.Rng.split master ~tag:(Hashtbl.hash (Inject.cls_to_string c))))
+      classes
+  in
   for i = 0 to config.faults - 1 do
     let cls = List.nth classes (i mod List.length classes) in
-    (* per-fault seed drawn from the master stream: reordering-safe and
-       fully determined by config.seed *)
-    let fault_seed = Machine.Rng.int master 0x3FFF_FFFF in
+    let fault_seed = Machine.Rng.int (List.assoc cls streams) 0x3FFF_FFFF in
     List.iter
       (fun mode ->
         let o = Harness.run_one ?engine ~cls ~mode ~seed:fault_seed () in
@@ -139,7 +176,12 @@ let totals r ~mode =
       acc.reenter_ok <- acc.reenter_ok + st.reenter_ok;
       acc.reenter_total <- acc.reenter_total + st.reenter_total;
       acc.recovered <- acc.recovered + st.recovered;
-      acc.recover_total <- acc.recover_total + st.recover_total)
+      acc.recover_total <- acc.recover_total + st.recover_total;
+      acc.sh_detected <- acc.sh_detected + st.sh_detected;
+      acc.sh_detect_total <- acc.sh_detect_total + st.sh_detect_total;
+      acc.sh_rebuilt <- acc.sh_rebuilt + st.sh_rebuilt;
+      acc.sh_rebuild_total <- acc.sh_rebuild_total + st.sh_rebuild_total;
+      acc.sh_stale <- acc.sh_stale + st.sh_stale)
     r.classes;
   acc
 
@@ -171,6 +213,26 @@ let check (r : report) : string list =
   if quar_t.recovered <> quar_t.recover_total then
     fail "recovery failed in %d/%d cases"
       (quar_t.recover_total - quar_t.recovered) quar_t.recover_total;
+  (* self-healing invariants: every tier corruption under a carat mode
+     is detected by the watchdog, heals back to the full fast path where
+     the kernel stays alive, and never serves a verified stale allow *)
+  List.iter
+    (fun (name, t) ->
+      if t.sh_detected <> t.sh_detect_total then
+        fail "%s: tier corruption undetected in %d/%d runs" name
+          (t.sh_detect_total - t.sh_detected)
+          t.sh_detect_total;
+      if t.sh_rebuilt <> t.sh_rebuild_total then
+        fail "%s: corrupt tier not re-promoted in %d/%d runs" name
+          (t.sh_rebuild_total - t.sh_rebuilt)
+          t.sh_rebuild_total;
+      if t.sh_stale <> 0 then
+        fail "%s: %d stale allows served from corrupt tiers" name t.sh_stale)
+    [
+      ("carat/panic", panic_t);
+      ("carat/quarantine", quar_t);
+      ("carat/audit", totals r ~mode:(Harness.Carat Policy.Policy_module.Audit));
+    ];
   if base_t.injected > 0 && base_t.contained >= quar_t.contained then
     fail "baseline containment (%d) not strictly below carat (%d)"
       base_t.contained quar_t.contained;
@@ -224,6 +286,22 @@ let render (r : report) : string =
     (panic_t.rejected_at_load + quar_t.rejected_at_load
    + audit_t.rejected_at_load);
   pf "  guard denials recorded (audit)            : %d\n" audit_t.denials;
+  let sh_t = empty_stats () in
+  List.iter
+    (fun t ->
+      sh_t.sh_detected <- sh_t.sh_detected + t.sh_detected;
+      sh_t.sh_detect_total <- sh_t.sh_detect_total + t.sh_detect_total;
+      sh_t.sh_rebuilt <- sh_t.sh_rebuilt + t.sh_rebuilt;
+      sh_t.sh_rebuild_total <- sh_t.sh_rebuild_total + t.sh_rebuild_total;
+      sh_t.sh_stale <- sh_t.sh_stale + t.sh_stale)
+    [ panic_t; quar_t; audit_t ];
+  if sh_t.sh_detect_total > 0 then begin
+    pf "  tier corruption detected by watchdog      : %d/%d\n" sh_t.sh_detected
+      sh_t.sh_detect_total;
+    pf "  corrupt tier rebuilt + re-promoted        : %d/%d\n" sh_t.sh_rebuilt
+      sh_t.sh_rebuild_total;
+    pf "  stale allows served from corrupt tiers    : %d\n" sh_t.sh_stale
+  end;
   pf "  baseline containment                      : %d/%d (%.0f%%)\n"
     base_t.contained base_t.injected
     (rate base_t.contained base_t.injected);

@@ -48,6 +48,17 @@ type outcome = {
       (** last guard/lifecycle events from the cell's trace ring when the
           run ended in a deny/panic/quarantine — the operator's forensic
           view of what the module touched right before containment *)
+  sh_detected : bool option;
+      (** tier-corruption classes under carat: the integrity watchdog
+          detected the corruption before the victim's store could be
+          served from the corrupt tier *)
+  sh_rebuilt : bool option;
+      (** tier-corruption classes, kernel alive: the quarantined tier was
+          rebuilt from the authoritative copy and re-promoted to the full
+          fast path (tier level restored) *)
+  sh_stale : int option;
+      (** verified fast-path stale allows during the run (paranoid
+          cross-check; must be 0 — a corrupt tier must never answer) *)
 }
 
 (** The headline invariant: the fault did not touch a single byte outside
@@ -105,7 +116,8 @@ type cell = {
   writable : (int * int) list;  (** direct-map/stack windows, virtual *)
 }
 
-let make_cell ?(engine = Vm.Engine.Interp) ~mode () : cell =
+let make_cell ?(engine = Vm.Engine.Interp) ?(kind = Policy.Engine.Linear)
+    ?(site_cache = false) ~mode () : cell =
   let require_signature = mode <> Baseline in
   let kernel =
     Kernel.create ~phys_size ~require_signature Machine.Presets.r350
@@ -117,9 +129,7 @@ let make_cell ?(engine = Vm.Engine.Interp) ~mode () : cell =
   (* the policy module is installed in baseline cells too: its region
      table is a real in-kernel object the policy-corruption class
      targets; unguarded baselines simply never call the guard *)
-  let pm =
-    Policy.Policy_module.install ~kind:Policy.Engine.Linear ~on_deny kernel
-  in
+  let pm = Policy.Policy_module.install ~kind ~on_deny ~site_cache kernel in
   (* carat cells record a small guard-event ring so denials come with a
      forensic tail; the ring never writes simulated bytes, so the
      containment diff below is unaffected *)
@@ -171,6 +181,11 @@ let payload_addr cell ~cls ~rng =
   | Inject.Cross_cpu_race ->
     (* handled by its own two-CPU runner; never instantiated here *)
     cell.secret
+  | Inject.Shadow_corrupt | Inject.Icache_corrupt | Inject.Rcu_instance_corrupt
+    ->
+    (* tier-corruption classes aim the victim at the secret too; the
+       corruption rigs a derived tier to stale-allow that store *)
+    cell.secret + (8 * Machine.Rng.int rng (secret_size / 8))
 
 let compile_victim ~mode m =
   let pipeline =
@@ -362,6 +377,336 @@ let run_race ?engine ~(mode : mode) ~seed () : outcome =
     reenter_blocked;
     recovered;
     trace_tail;
+    sh_detected = None;
+    sh_rebuilt = None;
+    sh_stale = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* tier-corruption runners: the self-healing enforcement campaign *)
+
+(* short audit period so a corruption-to-detection window fits in a cell
+   run; production would use the watchdog default *)
+let selfheal_period = 5_000
+
+(* Shared post-enforcement bookkeeping for the corruption runners. *)
+let corruption_epilogue cell ~lm ~rng ~mode ~panicked ~entry_sym =
+  let first_fault_recorded =
+    match Kernel.panic_state cell.kernel with
+    | Some info ->
+      let is_prefix ~prefix s =
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      is_prefix ~prefix:"CARAT KOP" info.Kernel.reason
+    | None -> true
+  in
+  let quarantined = Kernel.quarantine_records cell.kernel <> [] in
+  let denied = List.length (Policy.Policy_module.violations cell.pm) in
+  let trace_tail =
+    match Policy.Policy_module.trace cell.pm with
+    | Some tr
+      when (panicked || quarantined || denied > 0) && Trace.recorded tr > 0 ->
+      List.map Trace.format_event (Trace.recent tr 4)
+    | _ -> []
+  in
+  let reenter_blocked =
+    match (lm, quarantined) with
+    | Some lm, true ->
+      let counter_addr = List.assoc Inject.counter_global lm.Kernel.lm_globals in
+      let before = Kernel.read cell.kernel ~addr:counter_addr ~size:8 in
+      let rc2 = Kernel.call_symbol cell.kernel entry_sym [||] in
+      let after = Kernel.read cell.kernel ~addr:counter_addr ~size:8 in
+      Some (rc2 = Kernel.eio && before = after)
+    | _ -> None
+  in
+  let recovered =
+    match (lm, quarantined) with
+    | Some lm, true -> (
+      match Kernel.rmmod cell.kernel lm with
+      | Error _ -> Some false
+      | Ok () -> (
+        let m' = Inject.build_repaired ~rng ~work:cell.work () in
+        compile_victim ~mode m';
+        match Kernel.insmod cell.kernel m' with
+        | Error _ -> Some false
+        | Ok _ ->
+          let rc3 = Kernel.call_symbol cell.kernel Inject.entry [||] in
+          Some (rc3 >= 0 && Kernel.panic_state cell.kernel = None)))
+    | _ -> None
+  in
+  (first_fault_recorded, quarantined, denied, trace_tail, reenter_blocked,
+   recovered)
+
+(* Tick the watchdog through enough periods for a quarantined tier to
+   finish its cooldown, rebuild, and re-promote; report whether the full
+   fast path came back. *)
+let heal_and_check ~wd ~ig ~panicked =
+  match (wd, ig) with
+  | Some wd, Some ig when not panicked ->
+    for _ = 1 to 8 do
+      ignore (Kernel.Watchdog.advance wd ~cycles:(Kernel.Watchdog.period wd + 1))
+    done;
+    Some (Policy.Integrity.healthy ig && Policy.Integrity.tier_level ig = 2)
+  | _ -> None
+
+(** The single-node tier-corruption classes ([Shadow_corrupt],
+    [Icache_corrupt]): a wild write plants a stale-allow fact for the
+    victim's payload page in a derived guard tier, bypassing the
+    epoch/commit choke point, and one watchdog period of idle time
+    elapses before the victim fires the store. Containment means the
+    corrupt tier never serves that allow: the audit quarantines it, the
+    check drops to the next-lower tier, the store is denied, and the
+    tier is rebuilt from the authoritative copy afterwards. *)
+(* The live shadow table's simulated tag array: enforcement metadata the
+   guard path legitimately refills mid-run via kernel writes. Corruption
+   cells run over the shadow tier (published before the containment
+   snapshot), so those refills must not count as module escapes — the
+   invariant judges the *module's* reach, not the kernel's own
+   bookkeeping. *)
+let shadow_metadata_window pm =
+  match Policy.Engine.live_shadow (Policy.Policy_module.engine pm) with
+  | Some s ->
+    [ (s.Policy.Shadow_table.base_vaddr, Policy.Shadow_table.shadow_entries * 8) ]
+  | None -> []
+
+let run_corruption ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () :
+    outcome =
+  let site_cache = cls = Inject.Icache_corrupt in
+  let cell = make_cell ?engine ~kind:Policy.Engine.Shadow ~site_cache ~mode () in
+  (* captured now: the instance live at snapshot time owns the tag array
+     whose refills land inside the diff window (heal republishes get
+     fresh, post-snapshot arrays) *)
+  let metadata_windows = shadow_metadata_window cell.pm in
+  let rng = Machine.Rng.create seed in
+  let target = payload_addr cell ~cls ~rng in
+  let m = Inject.build_victim ~payload:target ~rng ~work:cell.work () in
+  compile_victim ~mode m;
+  let snap =
+    Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
+      (Kernel.memory cell.kernel)
+  in
+  let loaded, load_error, lm =
+    match Kernel.insmod cell.kernel m with
+    | Ok lm -> (true, None, Some lm)
+    | Error e -> (false, Some (Kernel.load_error_to_string e), None)
+  in
+  let eng = Policy.Policy_module.engine cell.pm in
+  (* arm self-healing before the corruption lands: the authoritative
+     snapshot must predate the attack. Baseline cells stay unprotected —
+     no guards, no watchdog. *)
+  let wd =
+    if mode <> Baseline then begin
+      Policy.Engine.set_verify eng true;
+      Some (Policy.Policy_module.enable_watchdog ~period:selfheal_period cell.pm)
+    end
+    else None
+  in
+  (* the wild write proper, rigged so the victim's very next store at
+     [target] would be answered allow straight from the corrupt slot *)
+  let page = target lsr Policy.Shadow_table.page_bits in
+  (match cls with
+  | Inject.Shadow_corrupt ->
+    ignore
+      (Policy.Engine.corrupt_shadow eng ~page ~prot:Policy.Region.prot_rw
+         ~fix_checksum:(Machine.Rng.flip rng 0.5))
+  | Inject.Icache_corrupt -> (
+    match
+      Inject.payload_guard_site m ~payload_addr:target
+        ~guard_symbol:Passes.Guard_injection.guard_symbol_default
+    with
+    | Some site ->
+      ignore
+        (Policy.Engine.corrupt_site_cache eng
+           (Policy.Engine.default_view eng)
+           ~site ~page ~prot:Policy.Region.prot_rw
+           ~smash_canary:(Machine.Rng.flip rng 0.5))
+    | None -> () (* unguarded baseline module: no sites to spray *))
+  | _ -> ());
+  (* one watchdog period of idle time: the periodic audit is the
+     detector, firing between the corruption and the victim's store *)
+  (match wd with
+  | Some wd ->
+    ignore (Kernel.Watchdog.advance wd ~cycles:(Kernel.Watchdog.period wd + 1))
+  | None -> ());
+  let ig = Policy.Policy_module.integrity cell.pm in
+  let sh_detected =
+    match ig with
+    | Some ig -> Some (Policy.Integrity.detections ig > 0)
+    | None -> None
+  in
+  let rc, panicked =
+    if loaded then
+      match Kernel.call_symbol cell.kernel Inject.entry [||] with
+      | rc -> (Some rc, false)
+      | exception Kernel.Panic _ -> (None, true)
+    else (None, false)
+  in
+  let ( first_fault_recorded,
+        quarantined,
+        denied,
+        trace_tail,
+        reenter_blocked,
+        recovered ) =
+    corruption_epilogue cell ~lm ~rng ~mode ~panicked ~entry_sym:Inject.entry
+  in
+  let sh_rebuilt = heal_and_check ~wd ~ig ~panicked in
+  let sh_stale =
+    if mode <> Baseline then Some (Policy.Engine.stale_allows eng) else None
+  in
+  let escaped_bytes =
+    escaped cell.kernel ~snap
+      ~allowed:(allowed_phys cell.kernel (cell.writable @ metadata_windows))
+  in
+  {
+    cls;
+    mode;
+    seed;
+    loaded;
+    load_error;
+    rc;
+    panicked;
+    first_fault_recorded;
+    quarantined;
+    denied;
+    escaped_bytes;
+    reenter_blocked;
+    recovered;
+    trace_tail;
+    sh_detected;
+    sh_rebuilt;
+    sh_stale;
+  }
+
+(** The SMP tier-corruption class ([Rcu_instance_corrupt]): CPU 1
+    republishes the policy through the RCU route, and the corruption
+    races the publication — the freshly published instance's
+    kernel-read-only region has its permission bits flipped writable in
+    the live table before the grace period completes. The watchdog's
+    digest audit must catch the divergence and republish a clean
+    generation (again through RCU, with shootdown), so CPU 0's guarded
+    victim never lands its store at the secret. *)
+let run_rcu_corrupt ?engine ~(mode : mode) ~seed () : outcome =
+  let cell = make_cell ?engine ~mode () in
+  let rng = Machine.Rng.create seed in
+  let target = cell.secret + (8 * Machine.Rng.int rng (secret_size / 8)) in
+  let m = Inject.build_victim ~payload:target ~rng ~work:cell.work () in
+  compile_victim ~mode m;
+  let snap =
+    Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
+      (Kernel.memory cell.kernel)
+  in
+  let loaded, load_error, lm =
+    match Kernel.insmod cell.kernel m with
+    | Ok lm -> (true, None, Some lm)
+    | Error e -> (false, Some (Kernel.load_error_to_string e), None)
+  in
+  let smp =
+    Smp.System.create ~seed ~params:Machine.Presets.r350 ~cpus:2 cell.kernel
+      cell.pm
+  in
+  let eng = Policy.Policy_module.engine cell.pm in
+  let wd =
+    if mode <> Baseline then begin
+      Policy.Engine.set_verify eng true;
+      Some (Policy.Policy_module.enable_watchdog ~period:selfheal_period cell.pm)
+    end
+    else None
+  in
+  let panicked = ref false in
+  let last_rc = ref None in
+  let call sym =
+    if not !panicked then
+      match Kernel.call_symbol cell.kernel sym [||] with
+      | rc -> last_rc := Some rc
+      | exception Kernel.Panic _ -> panicked := true
+  in
+  if loaded then begin
+    (* phase 1 — CPU 1's routine policy push through the RCU route, with
+       the corruption landing on the freshly published instance while
+       CPU 0 is still between bursts *)
+    let a = ref 0 and b = ref 0 in
+    ignore
+      (Smp.System.run smp
+         [|
+           (fun () ->
+             incr a;
+             !a < 3);
+           (fun () ->
+             incr b;
+             if !b = 1 then begin
+               ignore
+                 (Policy.Policy_module.replace_policy cell.pm
+                    ~default_allow:(Policy.Engine.default_allow eng)
+                    (Policy.Engine.regions eng));
+               ignore
+                 (Policy.Engine.corrupt_instance eng
+                    ~base:Kernel.Layout.kernel_base ~prot:Policy.Region.prot_rw)
+             end;
+             !b < 2);
+         |])
+  end;
+  (* phase 2 — the watchdog period expires before the victim's burst *)
+  (match wd with
+  | Some wd ->
+    ignore (Kernel.Watchdog.advance wd ~cycles:(Kernel.Watchdog.period wd + 1))
+  | None -> ());
+  let ig = Policy.Policy_module.integrity cell.pm in
+  let sh_detected =
+    match ig with
+    | Some ig -> Some (Policy.Integrity.detections ig > 0)
+    | None -> None
+  in
+  if loaded then begin
+    (* phase 3 — CPU 0 runs the victim; its payload store targets the
+       secret the corrupt generation would have allowed *)
+    let a = ref 0 and b = ref 0 in
+    ignore
+      (Smp.System.run smp
+         [|
+           (fun () ->
+             incr a;
+             call Inject.entry;
+             (not !panicked) && !a < 2);
+           (fun () ->
+             incr b;
+             !b < 2);
+         |])
+  end;
+  let ( first_fault_recorded,
+        quarantined,
+        denied,
+        trace_tail,
+        reenter_blocked,
+        recovered ) =
+    corruption_epilogue cell ~lm ~rng ~mode ~panicked:!panicked
+      ~entry_sym:Inject.entry
+  in
+  let sh_rebuilt = heal_and_check ~wd ~ig ~panicked:!panicked in
+  let sh_stale =
+    if mode <> Baseline then Some (Policy.Engine.stale_allows eng) else None
+  in
+  let escaped_bytes =
+    escaped cell.kernel ~snap ~allowed:(allowed_phys cell.kernel cell.writable)
+  in
+  {
+    cls = Inject.Rcu_instance_corrupt;
+    mode;
+    seed;
+    loaded;
+    load_error;
+    rc = !last_rc;
+    panicked = !panicked;
+    first_fault_recorded;
+    quarantined;
+    denied;
+    escaped_bytes;
+    reenter_blocked;
+    recovered;
+    trace_tail;
+    sh_detected;
+    sh_rebuilt;
+    sh_stale;
   }
 
 (** Run one fault under one configuration and check every invariant.
@@ -370,6 +715,10 @@ let run_race ?engine ~(mode : mode) ~seed () : outcome =
     cycle-identical. *)
 let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
   if cls = Inject.Cross_cpu_race then run_race ?engine ~mode ~seed ()
+  else if cls = Inject.Rcu_instance_corrupt then
+    run_rcu_corrupt ?engine ~mode ~seed ()
+  else if cls = Inject.Shadow_corrupt || cls = Inject.Icache_corrupt then
+    run_corruption ?engine ~cls ~mode ~seed ()
   else
   let cell = make_cell ?engine ~mode () in
   let rng = Machine.Rng.create seed in
@@ -385,7 +734,8 @@ let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
       ~guard_symbol:Passes.Guard_injection.guard_symbol_default
   | Inject.Sig_truncation -> Inject.mutate_sig_truncation m
   | Inject.Wild_store | Inject.Oob_ring_index | Inject.Policy_corruption
-  | Inject.Cross_cpu_race -> ());
+  | Inject.Cross_cpu_race | Inject.Shadow_corrupt | Inject.Icache_corrupt
+  | Inject.Rcu_instance_corrupt -> ());
   let snap =
     Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
       (Kernel.memory cell.kernel)
@@ -470,6 +820,9 @@ let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
     reenter_blocked;
     recovered;
     trace_tail;
+    sh_detected = None;
+    sh_rebuilt = None;
+    sh_stale = None;
   }
 
 (* ------------------------------------------------------------------ *)

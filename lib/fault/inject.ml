@@ -31,6 +31,25 @@ type cls =
           store keeps firing from a warm guard site afterwards. Guards
           must enforce the *published* policy — a stale inline-cache
           allow after the grace period is an escape. *)
+  | Shadow_corrupt
+      (** a wild write smashing a shadow-table slot into a bogus
+          writable-page fact for the victim's target — the very next
+          guarded store would be stale-allowed straight from the corrupt
+          slot. The integrity watchdog must detect (checksum or semantic
+          cross-check), degrade to the linear fallback, deny, and
+          rebuild. *)
+  | Icache_corrupt
+      (** a wild write spraying a per-site inline-cache slot with a
+          forged (epoch, page, prot) triple for the victim's payload
+          guard site. The watchdog must detect (canary or semantic
+          cross-check), switch the caches off, deny from the tier below,
+          and re-promote after the flush. *)
+  | Rcu_instance_corrupt
+      (** the SMP variant: the freshly RCU-published policy instance is
+          corrupted (a protected region's permission bits flipped in the
+          live table) right after CPU B publishes it, racing readers on
+          CPU A. The watchdog must catch the digest divergence and
+          republish a clean generation through the RCU route. *)
 
 let all_classes =
   [
@@ -41,6 +60,9 @@ let all_classes =
     Oob_ring_index;
     Policy_corruption;
     Cross_cpu_race;
+    Shadow_corrupt;
+    Icache_corrupt;
+    Rcu_instance_corrupt;
   ]
 
 let cls_to_string = function
@@ -51,13 +73,26 @@ let cls_to_string = function
   | Oob_ring_index -> "oob-ring-index"
   | Policy_corruption -> "policy-corruption"
   | Cross_cpu_race -> "cross-cpu-race"
+  | Shadow_corrupt -> "shadow-corrupt"
+  | Icache_corrupt -> "icache-corrupt"
+  | Rcu_instance_corrupt -> "rcu-instance-corrupt"
 
 (** Does this class corrupt the pipeline after signing (so a verifying
     loader should reject the module), as opposed to attacking at run
     time? *)
 let is_pipeline_fault = function
   | Ir_tamper | Sig_truncation | Guard_deletion -> true
-  | Wild_store | Oob_ring_index | Policy_corruption | Cross_cpu_race -> false
+  | Wild_store | Oob_ring_index | Policy_corruption | Cross_cpu_race
+  | Shadow_corrupt | Icache_corrupt | Rcu_instance_corrupt ->
+    false
+
+(** Does this class corrupt the enforcement machinery itself (so the
+    self-healing watchdog, not the guard check, is the detector)? *)
+let is_tier_corruption = function
+  | Shadow_corrupt | Icache_corrupt | Rcu_instance_corrupt -> true
+  | Ir_tamper | Sig_truncation | Guard_deletion | Wild_store | Oob_ring_index
+  | Policy_corruption | Cross_cpu_race ->
+    false
 
 (* ------------------------------------------------------------------ *)
 (* victim construction *)
@@ -165,6 +200,23 @@ let mutate_guard_deletion (m : Kir.Types.modul) ~payload_addr ~guard_symbol =
         | [] -> []
       in
       blk.Kir.Types.body <- strip blk.Kir.Types.body)
+
+(** The compiler-assigned site id of the guard protecting the store at
+    [payload_addr] in a compiled (guard-injected) module — the slot the
+    inline-cache corruption class sprays. [None] on unguarded modules. *)
+let payload_guard_site (m : Kir.Types.modul) ~payload_addr ~guard_symbol =
+  let found = ref None in
+  iter_bodies m (fun blk ->
+      List.iter
+        (fun i ->
+          match i with
+          | Kir.Types.Call
+              { callee; args = [ Kir.Types.Imm a; _; _; Kir.Types.Imm site ]; _ }
+            when !found = None && callee = guard_symbol && a = payload_addr ->
+            found := Some site
+          | _ -> ())
+        blk.Kir.Types.body);
+  !found
 
 (** Truncate the signature tag, as a corrupted or spliced module image
     would present it. *)

@@ -15,6 +15,7 @@
 module Layout = Layout
 module Memory = Memory
 module Klog = Klog
+module Watchdog = Watchdog
 
 type panic_info = {
   reason : string;
@@ -138,6 +139,12 @@ exception Fault of { addr : int; size : int; what : string }
 
 (** What calls into a quarantined module return: -EIO in spirit. *)
 let eio = -5
+
+(* typed ioctl/device error codes, -E* in spirit, so device handlers can
+   reject malformed arguments distinguishably instead of a blanket -1 *)
+let einval = -22 (* malformed argument (bad flags, negative size, ...) *)
+let enotty = -25 (* unknown ioctl command for this device *)
+let erange = -34 (* argument out of the representable/supported range *)
 
 exception Quarantine_trap of loaded_module
 (** Raised by the policy module (Quarantine enforcement mode) from guard

@@ -1,0 +1,95 @@
+(** A periodic in-kernel watchdog: named health checks fired off the
+    simulated clock, the substrate the policy layer's integrity audit
+    runs on ([lib/policy/integrity.ml] registers its tier audit here).
+
+    The kernel library cannot depend on the policy layer, so the
+    watchdog is generic: checks are [unit -> int] callbacks returning
+    the number of problems found, registered by name. It is clocked
+    directly off a {!Machine.Model} (the kernel's machine; aliasing it
+    from [Kernel] would be a dependency cycle). Like
+    {!Kernsvc.Ktimer}, firing is cooperative — workloads call
+    {!run_pending} (or {!advance}) at their convenient points, and the
+    watchdog fires when the machine clock has passed its deadline,
+    charging interrupt entry/exit plus whatever the checks themselves
+    charge. Checks can also be forced immediately with {!run_now} (the
+    audit ioctl's path). *)
+
+type check = {
+  ck_name : string;
+  ck_run : unit -> int;  (** returns problems found *)
+  mutable ck_runs : int;
+  mutable ck_problems : int;
+}
+
+type t = {
+  machine : Machine.Model.t;
+  period : int;  (** cycles between firings *)
+  mutable checks : check list;  (** registration order *)
+  mutable deadline : int;
+  mutable enabled : bool;
+  mutable fires : int;  (** periodic expiries taken *)
+  mutable problems : int;  (** total problems across all checks *)
+}
+
+let default_period = 50_000
+
+(* interrupt entry/exit around a firing, same order as Ktimer's *)
+let fire_overhead_cycles = 110
+
+let create ?(period = default_period) machine =
+  if period <= 0 then invalid_arg "Watchdog.create: period <= 0";
+  {
+    machine;
+    period;
+    checks = [];
+    deadline = Machine.Model.cycles machine + period;
+    enabled = true;
+    fires = 0;
+    problems = 0;
+  }
+
+let add_check t ~name f =
+  t.checks <- t.checks @ [ { ck_name = name; ck_run = f; ck_runs = 0; ck_problems = 0 } ]
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let period t = t.period
+let fires t = t.fires
+let problems t = t.problems
+let checks t = t.checks
+
+(** Run every registered check now (no deadline test, no interrupt
+    overhead — the caller is already in a suitable context, e.g. an
+    ioctl). Returns the total problems found. *)
+let run_now t =
+  List.fold_left
+    (fun acc ck ->
+      let n = ck.ck_run () in
+      ck.ck_runs <- ck.ck_runs + 1;
+      ck.ck_problems <- ck.ck_problems + n;
+      t.problems <- t.problems + n;
+      acc + n)
+    0 t.checks
+
+(** Fire if the machine clock has passed the deadline: charge interrupt
+    entry/exit, run the checks, re-arm. Returns the problems found (0
+    when nothing fired). Catches up at most one period per call —
+    back-to-back missed periods coalesce, as a real per-CPU timer
+    softirq does. *)
+let run_pending t =
+  let machine = t.machine in
+  let now = Machine.Model.cycles machine in
+  if (not t.enabled) || t.checks = [] || now < t.deadline then 0
+  else begin
+    t.fires <- t.fires + 1;
+    Machine.Model.add_cycles machine fire_overhead_cycles;
+    let n = run_now t in
+    t.deadline <- Machine.Model.cycles machine + t.period;
+    n
+  end
+
+(** Advance the simulated clock by [cycles] (idle time between workload
+    bursts), then service any expiry. *)
+let advance t ~cycles =
+  Machine.Model.add_cycles t.machine cycles;
+  run_pending t

@@ -2,11 +2,14 @@
     {!Kernfs} so the rendered text lives in simulated kernel memory like
     any other file data (and can itself be covered by a region policy).
 
-    Two files:
+    Three files:
     - [carat/stats]: tier-invariant decision counters, per-site and
       per-region rows, fast-tier hit/miss counters, ring status;
     - [carat/trace]: the recorded guard/lifecycle event log, one line per
-      event, oldest first.
+      event, oldest first;
+    - [carat/selfheal]: the integrity layer's audit / degradation /
+      rebuild counters and per-tier health, when self-healing is
+      enabled.
 
     Like real procfs, contents are generated on open: callers go through
     {!read_stats}/{!read_trace} (or call {!refresh} then use the plain
@@ -18,15 +21,18 @@ type t = {
   pm : Policy.Policy_module.t;
   stats_ino : int;
   trace_ino : int;
+  selfheal_ino : int;
 }
 
 let stats_name = "carat/stats"
 let trace_name = "carat/trace"
+let selfheal_name = "carat/selfheal"
 
 (* file data extents are fixed-capacity; renders are truncated to fit,
    with a marker so a clipped trace is distinguishable from a short one *)
 let stats_capacity = 8192
 let trace_capacity = 65536
+let selfheal_capacity = 2048
 
 let truncate_to cap s =
   if String.length s <= cap then s
@@ -42,25 +48,34 @@ let install fs pm : t =
       pm;
       stats_ino = mk stats_name stats_capacity;
       trace_ino = mk trace_name trace_capacity;
+      selfheal_ino = mk selfheal_name selfheal_capacity;
     }
   in
   Kernfs.write_contents fs ~ino:t.stats_ino "carat: tracing not enabled\n";
   Kernfs.write_contents fs ~ino:t.trace_ino "carat: tracing not enabled\n";
+  Kernfs.write_contents fs ~ino:t.selfheal_ino
+    "carat: self-healing not enabled\n";
   t
 
 let stats_ino t = t.stats_ino
 let trace_ino t = t.trace_ino
+let selfheal_ino t = t.selfheal_ino
 
-(** Re-render both files from the policy module's current trace state. *)
+(** Re-render the files from the policy module's current state. *)
 let refresh t =
-  match Policy.Policy_module.trace t.pm with
+  (match Policy.Policy_module.trace t.pm with
   | None -> ()
   | Some tr ->
     let region_tag base = Policy.Policy_module.region_tag t.pm base in
     Kernfs.write_contents t.fs ~ino:t.stats_ino
       (truncate_to stats_capacity (Trace.render_stats ~region_tag tr));
     Kernfs.write_contents t.fs ~ino:t.trace_ino
-      (truncate_to trace_capacity (Trace.render_events tr))
+      (truncate_to trace_capacity (Trace.render_events tr)));
+  match Policy.Policy_module.integrity t.pm with
+  | None -> ()
+  | Some ig ->
+    Kernfs.write_contents t.fs ~ino:t.selfheal_ino
+      (truncate_to selfheal_capacity (Policy.Integrity.render ig))
 
 let read_stats t =
   refresh t;
@@ -69,3 +84,7 @@ let read_stats t =
 let read_trace t =
   refresh t;
   Kernfs.read_contents t.fs ~ino:t.trace_ino
+
+let read_selfheal t =
+  refresh t;
+  Kernfs.read_contents t.fs ~ino:t.selfheal_ino

@@ -44,8 +44,7 @@ let unescape s =
          else (malformed or truncated input) is kept literally — the
          function is total so the parser can reject bad input with a
          proper error instead of crashing *)
-      if i + 2 < n + 1 && s.[i] = '\\' && i + 2 <= n
-         && is_hex s.[i + 1] && is_hex s.[i + 2]
+      if i + 2 < n && s.[i] = '\\' && is_hex s.[i + 1] && is_hex s.[i + 2]
       then begin
         let code = int_of_string ("0x" ^ String.sub s (i + 1) 2) in
         Buffer.add_char buf (Char.chr code);

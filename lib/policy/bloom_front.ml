@@ -128,3 +128,6 @@ let lookup t ~addr ~size : Structure.outcome =
 
 (* the exact table behind the filter is what enforcement relies on *)
 let table_region t = Linear_table.table_region t.inner
+
+(* no integrity-auditable internals beyond the policy itself *)
+let repr _t = Structure.Opaque

@@ -88,6 +88,10 @@ type site_cache = {
   sc_epoch : int array;
   sc_page : int array;
   sc_prot : int array;
+  sc_canary : int array;
+      (** per-slot canary words, written on every fill with a value
+          derived from the slot index; a wild write spraying the cache
+          arrays clobbers them, and the integrity watchdog checks them *)
   sc_pcs : int array;  (** stable branch-site ids per slot *)
   sc_depth : int array;
       (** entries the exact walk would scan for this page — cached so an
@@ -119,6 +123,22 @@ type view = {
 type t = {
   kernel : Kernel.t;
   kind : kind;
+      (** the configured structure kind — the top of the tier lattice *)
+  mutable active_kind : kind;
+      (** the kind the *live* instance has. Normally [kind]; the
+          integrity layer lowers it while a corrupt tier is quarantined
+          (shadow → linear fallback) and restores it on re-promotion.
+          {!build_instance} builds successors of this kind. *)
+  mutable ic_on : bool;
+      (** inline-cache master switch. [true] normally; the integrity
+          layer clears it to quarantine the compiled+ic tier, forcing
+          every sited check down to the next tier. *)
+  mutable on_mutate : (unit -> unit) option;
+      (** commit hook run after every epoch bump — i.e. after every
+          legitimate policy/mode mutation. The integrity layer registers
+          a snapshot refresh here, so out-of-band corruption (which
+          bypasses this choke point) diverges from the authoritative
+          copy and is caught at the next audit. *)
   capacity : int;
   mutable instance : Structure.instance;
       (** the live policy generation; replaced wholesale by {!publish} *)
@@ -177,6 +197,9 @@ let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
   {
     kernel;
     kind;
+    active_kind = kind;
+    ic_on = true;
+    on_mutate = None;
     capacity;
     instance = make_instance kernel kind ~capacity;
     default_allow;
@@ -192,10 +215,38 @@ let create ?(kind = Linear) ?(capacity = Linear_table.default_capacity)
   }
 
 (** Invalidate every fast tier in O(1). Policy mutations call this
-    internally; the policy module also bumps it on mode ioctls. *)
-let bump_epoch t = t.epoch <- t.epoch + 1
+    internally; the policy module also bumps it on mode ioctls. Runs the
+    integrity commit hook (when registered) so the authoritative snapshot
+    tracks every legitimate mutation. *)
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  match t.on_mutate with None -> () | Some f -> f ()
 
 let epoch t = t.epoch
+let set_on_mutate t f = t.on_mutate <- f
+
+(* --- integrity/degradation control surface ------------------------- *)
+
+let active_kind t = t.active_kind
+let set_active_kind t k = t.active_kind <- k
+let ic_enabled t = t.ic_on
+let set_ic_enabled t b = t.ic_on <- b
+
+(** The live instance's shadow table, when the active structure is the
+    shadow kind — the integrity audit and the corruption fault classes
+    need the concrete slot arrays behind the packed instance. *)
+let live_shadow t =
+  match Structure.repr t.instance with
+  | Shadow_table.Shadow s -> Some s
+  | _ -> None
+
+(** The live instance's exact linear table (directly, or behind the
+    shadow front), for instance-digest corruption injection. *)
+let live_linear t =
+  match Structure.repr t.instance with
+  | Linear_table.Linear l -> Some l
+  | Shadow_table.Shadow s -> Some (Shadow_table.inner s)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* views *)
@@ -211,12 +262,15 @@ let view_set_trace v tr = v.v_trace <- tr
 let view_last_deny v = v.v_last_deny
 let view_stale_allows v = v.v_stale
 
+let canary_value i = Hashtbl.hash ("ic-canary", i)
+
 let alloc_site_cache kernel =
   {
     sc_vaddr = Kernel.kmalloc kernel ~size:(site_cache_size * 16);
     sc_epoch = Array.make site_cache_size (-1);
     sc_page = Array.make site_cache_size (-1);
     sc_prot = Array.make site_cache_size 0;
+    sc_canary = Array.init site_cache_size canary_value;
     sc_pcs = Array.init site_cache_size (fun i -> Hashtbl.hash ("site-ic", i));
     sc_depth = Array.make site_cache_size 0;
     sc_rbase = Array.make site_cache_size (-1);
@@ -349,7 +403,7 @@ let generation t = t.generation
     is charged to the calling CPU's machine, like the writer building the
     new table before publishing. *)
 let build_instance t rs : Structure.instance =
-  let inst = make_instance t.kernel t.kind ~capacity:t.capacity in
+  let inst = make_instance t.kernel t.active_kind ~capacity:t.capacity in
   List.iter
     (fun r ->
       match Structure.add inst r with
@@ -431,6 +485,11 @@ let check_sited t ~site ~addr ~size ~flags : verdict =
       ~scanned:out.Structure.scanned ~region_base:r.Region.base;
     if ok then begin
       st.allowed <- st.allowed + 1;
+      (* paranoid cross-check (host-side, free when off): a shadow-tier
+         allow must agree with the first-match walk over the region
+         mirror — a corrupt slot's synthetic region would not *)
+      if t.verify && not (reference_allows t ~addr ~size ~flags) then
+        t.cur.v_stale <- t.cur.v_stale + 1;
       Allowed (Some r)
     end
     else begin
@@ -522,6 +581,7 @@ let fill_site sc t ~i ~page =
     sc.sc_prot.(i) <- prot;
     sc.sc_depth.(i) <- depth;
     sc.sc_rbase.(i) <- rbase;
+    sc.sc_canary.(i) <- canary_value i;
     let machine = Kernel.machine t.kernel in
     (* classification arithmetic + the tag store; the walk itself was
        already charged by the exact lookup, like a TLB miss's page walk *)
@@ -536,7 +596,7 @@ let fill_site sc t ~i ~page =
 let check_fast t ~site ~addr ~size ~flags : bool =
   let cv = t.cur in
   match cv.v_site_cache with
-  | Some sc when site >= 0 && addr >= 0 && flags <> 0 ->
+  | Some sc when t.ic_on && site >= 0 && addr >= 0 && flags <> 0 ->
     let machine = Kernel.machine t.kernel in
     (* same prologue the exact path charges *)
     Machine.Model.retire machine 4;
@@ -593,3 +653,58 @@ let check_fast t ~site ~addr ~size ~flags : bool =
       ok
     end
   | _ -> check_slow t ~site ~addr ~size ~flags
+
+(* ------------------------------------------------------------------ *)
+(* corruption injection (fault campaigns)
+
+   These model a wild write from an ungoverned path (DMA, an unguarded
+   module, a kernel bug) landing in a fast tier's metadata: they mutate
+   the decode-side state the hot path actually consults, bypass the
+   epoch/commit choke point, and charge no simulated cost — the damage
+   is the environment's, not the victim module's, so the containment
+   memory diff stays clean. *)
+
+let site_slot site = site land (site_cache_size - 1)
+
+(** Plant a stale-allow fact in [view]'s inline cache for [site]: the
+    slot claims the current epoch, [page], and [prot] — so the very next
+    sited check on that page is answered from the corrupt slot without
+    any walk. [smash_canary] additionally clobbers the slot canary (the
+    blunt corruption the cheap canary check catches; a consistent forgery
+    leaves it intact and only the semantic audit catches it). Returns
+    [false] when the view has no inline cache. *)
+let corrupt_site_cache t view ~site ~page ~prot ~smash_canary =
+  match view.v_site_cache with
+  | None -> false
+  | Some sc ->
+    let i = site_slot site in
+    sc.sc_epoch.(i) <- t.epoch;
+    sc.sc_page.(i) <- page;
+    sc.sc_prot.(i) <- prot;
+    sc.sc_depth.(i) <- 1;
+    sc.sc_rbase.(i) <- -1;
+    if smash_canary then sc.sc_canary.(i) <- sc.sc_canary.(i) lxor 0xBAD;
+    true
+
+(** Corrupt the live shadow tier: the slot covering [page] is forced to
+    a bogus uniform-[prot] fact. Returns [false] when the active
+    structure has no shadow front. *)
+let corrupt_shadow t ~page ~prot ~fix_checksum =
+  match live_shadow t with
+  | None -> false
+  | Some s ->
+    let region =
+      Region.v ~tag:"corrupt" ~base:(page lsl Shadow_table.page_bits)
+        ~len:Shadow_table.page_size ~prot ()
+    in
+    Shadow_table.corrupt_slot s ~page ~region ~fix_checksum;
+    true
+
+(** Corrupt the published policy instance itself: flip the protection
+    bits of the region based at [base] in the exact table's decode
+    mirror, making the authoritative-looking walk lie. Returns [false]
+    when no such region exists or the structure keeps no linear table. *)
+let corrupt_instance t ~base ~prot =
+  match live_linear t with
+  | None -> false
+  | Some l -> Linear_table.corrupt_entry l ~base ~prot

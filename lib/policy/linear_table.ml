@@ -102,3 +102,27 @@ let lookup t ~addr ~size : Structure.outcome =
   scan 0
 
 let table_region t = Some (t.base_vaddr, t.capacity * entry_size)
+
+type Structure.repr += Linear of t
+
+let repr t = Linear t
+
+(** Fault injection: flip the protection bits of the entry whose base is
+    [base] in the decode mirror — the word the lookup's verdict actually
+    comes from, i.e. what a wild write into the region table corrupts.
+    Deliberately bypasses {!write_entry} and the engine's epoch, exactly
+    like an ungoverned store would; only the integrity digest can tell.
+    Returns [false] when no entry matches. *)
+let corrupt_entry t ~base ~prot =
+  let rec find i =
+    if i >= t.n then None
+    else if t.entries.(i).Region.base = base then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i ->
+    let r = t.entries.(i) in
+    t.entries.(i) <-
+      Region.v ~tag:r.Region.tag ~base:r.Region.base ~len:r.Region.len ~prot ();
+    true

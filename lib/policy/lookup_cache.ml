@@ -89,3 +89,6 @@ let hit_rate t =
   if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
 let table_region t = Linear_table.table_region t.inner
+
+(* no integrity-auditable internals beyond the policy itself *)
+let repr _t = Structure.Opaque

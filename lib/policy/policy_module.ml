@@ -47,6 +47,12 @@ type mutation =
   | M_set_default of bool
   | M_set_mode of on_deny
   | M_replace of Region.t list * bool  (** whole policy + default action *)
+  | M_rebuild of Region.t list * bool
+      (** self-healing rebuild: publish a fresh instance of the engine's
+          active kind built from the authoritative copy. Semantically a
+          [M_replace], but reified separately so the RCU route (and the
+          trace) can tell an operator policy push from an integrity
+          repair. *)
 
 type t = {
   kernel : Kernel.t;
@@ -57,6 +63,11 @@ type t = {
           mutations in place, keeping single-CPU runs bit-identical *)
   mutable violations : (int * int * int) list;
       (** (addr, size, flags) of denied accesses, newest first *)
+  mutable integrity : Integrity.t option;
+      (** self-healing layer; [None] (the default) keeps the engine
+          bit-identical to a pre-integrity build *)
+  mutable watchdog : Kernel.Watchdog.t option;
+      (** periodic driver for the integrity audit, created lazily *)
   (* §5 extensions *)
   mutable intrinsic_allowed : int;
       (** bitmap over the kernel's intrinsic registry; bit i set = the
@@ -96,6 +107,17 @@ let ioctl_trace_read = 17
 (* arg = user block of 8 x 8 bytes; consumes the oldest unread event and
    fills seq, cycles, kind, site, addr, size, flags, info; returns 1 when
    an event was delivered, 0 when the ring is drained *)
+(* self-healing *)
+let ioctl_audit = 18
+(* run one integrity audit cycle immediately; returns the number of
+   corrupt tiers detected, or -EINVAL when integrity is not enabled *)
+let ioctl_selfheal = 19
+(* arg = user block of 8 x 8 bytes, filled with audits, detections,
+   degradations, rebuilds, abandoned, tier_level, ic_enabled, healthy *)
+
+(* the trace ring is simulated kernel memory; cap operator-requested
+   capacities at 1 Mi events so a typo'd ioctl cannot kmalloc the moon *)
+let trace_capacity_max = 1 lsl 20
 
 let guard_symbol = Passes.Guard_injection.guard_symbol_default
 let intrinsic_guard_symbol = Passes.Intrinsic_guard.guard_symbol
@@ -249,6 +271,10 @@ let apply_in_place t (m : mutation) : int =
     Engine.set_policy t.engine rs;
     Engine.set_default_allow t.engine default_allow;
     0
+  | M_rebuild (rs, default_allow) ->
+    let inst = Engine.build_instance t.engine rs in
+    ignore (Engine.publish t.engine inst ~default_allow);
+    0
 
 (** Route a control-plane mutation: through the registered mutator (the
     SMP RCU publish path) when one is installed, in place otherwise. *)
@@ -264,15 +290,63 @@ let set_mutator t f = t.mutator <- f
 let replace_policy t ?(default_allow = false) rs =
   apply t (M_replace (rs, default_allow))
 
+(** Attach the self-healing layer (idempotent, lazy like the trace ring:
+    a run that never enables it allocates nothing and stays
+    bit-identical). Rebuild publishes are routed through the mutation
+    router, so SMP runs repair via the RCU publish path. *)
+let enable_integrity ?config t =
+  match t.integrity with
+  | Some ig -> ig
+  | None ->
+    let ig = Integrity.create ?config t.engine in
+    Integrity.set_route ig (fun rs d -> ignore (apply t (M_rebuild (rs, d))));
+    t.integrity <- Some ig;
+    ig
+
+let integrity t = t.integrity
+
+(** Attach the periodic watchdog driving the integrity audit (idempotent;
+    enables integrity if it is not on yet). Workloads tick it with
+    {!Kernel.Watchdog.run_pending}/[advance]. *)
+let enable_watchdog ?config ?period t =
+  match t.watchdog with
+  | Some wd -> wd
+  | None ->
+    let ig = enable_integrity ?config t in
+    let wd = Kernel.Watchdog.create ?period (Kernel.machine t.kernel) in
+    Kernel.Watchdog.add_check wd ~name:"carat-integrity" (fun () ->
+        Integrity.audit ig);
+    t.watchdog <- Some wd;
+    wd
+
+let watchdog t = t.watchdog
+
+(* Argument validation: malformed ioctl arguments are rejected with the
+   typed kernel error codes (-EINVAL / -ERANGE / -ENOTTY) rather than
+   silently clamped or folded into the generic -1 — a policy tool that
+   mis-encodes a region must hear about it, not install a narrower
+   region than it asked for. *)
 let handle_ioctl t _kernel ~cmd ~arg =
   if cmd = ioctl_add then begin
-    let base, len, prot = read_region_arg t ~arg in
-    if len <= 0 then -1
-    else apply t (M_add (Region.v ~tag:"ioctl" ~base ~len ~prot ()))
+    if arg < 0 then Kernel.einval
+    else begin
+      let base, len, prot = read_region_arg t ~arg in
+      if base < 0 || len <= 0 then Kernel.einval
+      else if len > max_int - base then
+        (* [base, base+len) must stay representable: a two's-complement
+           negative length read back from user memory shows up here as an
+           absurdly large positive one *)
+        Kernel.erange
+      else if prot land lnot Region.prot_rw <> 0 then Kernel.einval
+      else apply t (M_add (Region.v ~tag:"ioctl" ~base ~len ~prot ()))
+    end
   end
   else if cmd = ioctl_remove then begin
-    let base = Kernel.read t.kernel ~addr:arg ~size:8 in
-    apply t (M_remove base)
+    if arg < 0 then Kernel.einval
+    else begin
+      let base = Kernel.read t.kernel ~addr:arg ~size:8 in
+      if base < 0 then Kernel.einval else apply t (M_remove base)
+    end
   end
   else if cmd = ioctl_clear then apply t M_clear
   else if cmd = ioctl_count then Engine.count t.engine
@@ -280,13 +354,19 @@ let handle_ioctl t _kernel ~cmd ~arg =
   else if cmd = ioctl_stats_checks then (Engine.merged_stats t.engine).Engine.checks
   else if cmd = ioctl_stats_denied then (Engine.merged_stats t.engine).Engine.denied
   else if cmd = ioctl_set_intrinsics then begin
-    t.intrinsic_allowed <- arg;
-    0
+    if arg < 0 then Kernel.einval
+    else begin
+      t.intrinsic_allowed <- arg;
+      0
+    end
   end
   else if cmd = ioctl_get_intrinsics then t.intrinsic_allowed
   else if cmd = ioctl_cfi_allow then begin
-    Hashtbl.replace t.cfi_targets arg ();
-    0
+    if arg < 0 then Kernel.einval
+    else begin
+      Hashtbl.replace t.cfi_targets arg ();
+      0
+    end
   end
   else if cmd = ioctl_cfi_default then begin
     t.cfi_default_allow <- arg <> 0;
@@ -295,10 +375,12 @@ let handle_ioctl t _kernel ~cmd ~arg =
   else if cmd = ioctl_set_mode then begin
     match on_deny_of_int arg with
     | Some mode -> apply t (M_set_mode mode)
-    | None -> -1
+    | None -> Kernel.einval
   end
   else if cmd = ioctl_get_mode then on_deny_to_int t.on_deny
   else if cmd = ioctl_get_stats then begin
+    if arg < 0 then Kernel.einval
+    else begin
     let st = Engine.merged_stats t.engine in
     let tier = Engine.merged_tier t.engine in
     let recorded, dropped =
@@ -316,11 +398,16 @@ let handle_ioctl t _kernel ~cmd ~arg =
     w 6 recorded;
     w 7 dropped;
     0
+    end
   end
   else if cmd = ioctl_trace_start then begin
-    let tr = enable_trace ?capacity:(if arg > 0 then Some arg else None) t in
-    Trace.start tr;
-    0
+    if arg < 0 then Kernel.einval
+    else if arg > trace_capacity_max then Kernel.erange
+    else begin
+      let tr = enable_trace ?capacity:(if arg > 0 then Some arg else None) t in
+      Trace.start tr;
+      0
+    end
   end
   else if cmd = ioctl_trace_stop then begin
     (match Engine.trace t.engine with
@@ -329,24 +416,48 @@ let handle_ioctl t _kernel ~cmd ~arg =
     0
   end
   else if cmd = ioctl_trace_read then begin
-    match Engine.trace t.engine with
-    | None -> 0
-    | Some tr -> (
-      match Trace.read_next tr with
+    if arg < 0 then Kernel.einval
+    else
+      match Engine.trace t.engine with
       | None -> 0
-      | Some e ->
-        let w i v = Kernel.write t.kernel ~addr:(arg + (i * 8)) ~size:8 v in
-        w 0 e.Trace.seq;
-        w 1 e.Trace.cycles;
-        w 2 (Trace.kind_to_int e.Trace.kind);
-        w 3 e.Trace.site;
-        w 4 e.Trace.addr;
-        w 5 e.Trace.size;
-        w 6 e.Trace.flags;
-        w 7 e.Trace.info;
-        1)
+      | Some tr -> (
+        match Trace.read_next tr with
+        | None -> 0
+        | Some e ->
+          let w i v = Kernel.write t.kernel ~addr:(arg + (i * 8)) ~size:8 v in
+          w 0 e.Trace.seq;
+          w 1 e.Trace.cycles;
+          w 2 (Trace.kind_to_int e.Trace.kind);
+          w 3 e.Trace.site;
+          w 4 e.Trace.addr;
+          w 5 e.Trace.size;
+          w 6 e.Trace.flags;
+          w 7 e.Trace.info;
+          1)
   end
-  else -1
+  else if cmd = ioctl_audit then begin
+    match t.integrity with
+    | None -> Kernel.einval
+    | Some ig -> Integrity.audit ig
+  end
+  else if cmd = ioctl_selfheal then begin
+    if arg < 0 then Kernel.einval
+    else
+      match t.integrity with
+      | None -> Kernel.einval
+      | Some ig ->
+        let w i v = Kernel.write t.kernel ~addr:(arg + (i * 8)) ~size:8 v in
+        w 0 (Integrity.audits ig);
+        w 1 (Integrity.detections ig);
+        w 2 (Integrity.degradations ig);
+        w 3 (Integrity.rebuilds ig);
+        w 4 (Integrity.abandoned ig);
+        w 5 (Integrity.tier_level ig);
+        w 6 (if Engine.ic_enabled t.engine then 1 else 0);
+        w 7 (if Integrity.healthy ig then 1 else 0);
+        0
+  end
+  else Kernel.enotty
 
 (** Insert the policy module into [kernel]: registers [carat_guard] and
     [/dev/carat]. Must happen before any protected module is inserted
@@ -363,6 +474,8 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
       on_deny;
       mutator = None;
       violations = [];
+      integrity = None;
+      watchdog = None;
       intrinsic_allowed = 0;
       intrinsic_violations = [];
       cfi_targets = Hashtbl.create 16;

@@ -188,3 +188,6 @@ let validate t : (unit, string) result =
 
 (* nodes are individual kmalloc'd allocations; no contiguous table *)
 let table_region _t = None
+
+(* no integrity-auditable internals beyond the policy itself *)
+let repr _t = Structure.Opaque

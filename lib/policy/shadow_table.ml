@@ -48,6 +48,11 @@ type t = {
           region intersects), so shadow hits report the same
           [Structure.outcome.scanned] the wrapped walk would *)
   mutable gen : int;  (** bumped on every add/remove/clear *)
+  sums : int array;
+      (** per-slot integrity checksums over (tag, gen, state, depth),
+          refreshed on every refill — host-side metadata the integrity
+          watchdog audits; a wild write that smashes a slot without
+          recomputing its checksum is caught by {!Integrity} *)
   branch_pcs : int array;  (** per-slot stable branch-site ids *)
   mutable hits : int;
   mutable misses : int;
@@ -67,6 +72,7 @@ let create kernel ~capacity =
     state = Array.make shadow_entries Invalid;
     depths = Array.make shadow_entries 0;
     gen = 0;
+    sums = Array.make shadow_entries 0;
     branch_pcs = Array.init shadow_entries (fun i -> Hashtbl.hash ("shadow", i));
     hits = 0;
     misses = 0;
@@ -122,6 +128,17 @@ let classify_page t page : entry * int =
   in
   go 0 None (Linear_table.regions t.inner)
 
+(* Stable encoding of a slot entry for checksumming and audit
+   comparison. *)
+let entry_code = function
+  | Invalid -> (0, 0, 0, 0)
+  | Uniform (r : Region.t) -> (1, r.Region.base, r.Region.len, r.Region.prot)
+  | No_region -> (2, 0, 0, 0)
+  | Straddle -> (3, 0, 0, 0)
+
+let slot_sum t i =
+  Hashtbl.hash (t.tags.(i), t.gens.(i), entry_code t.state.(i), t.depths.(i))
+
 let exact t ~addr ~size =
   t.fallbacks <- t.fallbacks + 1;
   Linear_table.lookup t.inner ~addr ~size
@@ -163,6 +180,7 @@ let lookup t ~addr ~size : Structure.outcome =
         t.gens.(i) <- t.gen;
         t.state.(i) <- cls;
         t.depths.(i) <- depth;
+        t.sums.(i) <- slot_sum t i;
         (* the refill's visible cost: classification arithmetic plus the
            tag store (the walk itself was just charged by the inner
            lookup, exactly like a hardware TLB miss pays the page walk) *)
@@ -176,3 +194,30 @@ let table_region t = Linear_table.table_region t.inner
 
 (** Diagnostics for the guardpath bench. *)
 let stats t = (t.hits, t.misses, t.fallbacks)
+
+type Structure.repr += Shadow of t
+
+let repr t = Shadow t
+
+(** The exact structure the shadow wraps — policy truth, and the table
+    the instance-corruption fault class targets. *)
+let inner t = t.inner
+
+(** A slot is live iff it carries a page tag stamped with the current
+    generation — only live slots can answer a lookup, so only they are
+    audited. *)
+let slot_live t i = t.tags.(i) >= 0 && t.gens.(i) = t.gen
+
+(** Fault injection: smash the slot covering [page] into a bogus
+    [Uniform region] fact stamped valid for the current generation — the
+    effect of a wild write landing in the shadow array. With
+    [fix_checksum] the attacker also recomputes the slot checksum,
+    defeating the cheap integrity check and leaving only the semantic
+    cross-check against the authoritative table to catch it. *)
+let corrupt_slot t ~page ~region ~fix_checksum =
+  let i = page land (shadow_entries - 1) in
+  t.tags.(i) <- page;
+  t.gens.(i) <- t.gen;
+  t.state.(i) <- Uniform region;
+  t.depths.(i) <- 1;
+  if fix_checksum then t.sums.(i) <- slot_sum t i

@@ -116,3 +116,6 @@ let lookup t ~addr ~size : Structure.outcome =
   end
 
 let table_region t = Some (t.base_vaddr, t.capacity * entry_size)
+
+(* no integrity-auditable internals beyond the policy itself *)
+let repr _t = Structure.Opaque

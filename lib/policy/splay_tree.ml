@@ -171,3 +171,6 @@ let lookup t ~addr ~size : Structure.outcome =
 
 (* nodes are individual kmalloc'd allocations; no contiguous table *)
 let table_region _t = None
+
+(* no integrity-auditable internals beyond the policy itself *)
+let repr _t = Structure.Opaque

@@ -13,6 +13,15 @@ type outcome = {
   scanned : int;  (** entries (or nodes/probes) examined *)
 }
 
+(** Typed escape hatch from the packed {!instance}: implementations that
+    expose integrity-auditable internals (the shadow table's slot arrays,
+    the linear table's entry mirror) extend this variant with their own
+    constructor; everything else answers {!Opaque}. The integrity layer
+    uses it to reach tier metadata without widening the lookup API. *)
+type repr = ..
+
+type repr += Opaque
+
 module type S = sig
   type t
 
@@ -38,6 +47,10 @@ module type S = sig
       it keeps one — the policy data an attacker would corrupt. Node-based
       structures (trees) scatter per-insert allocations and return
       [None]. *)
+
+  val repr : t -> repr
+  (** The structure's typed self-description (see {!type:repr});
+      {!Opaque} when it exposes no auditable internals. *)
 end
 
 type instance = I : (module S with type t = 'a) * 'a -> instance
@@ -50,3 +63,4 @@ let count (I ((module M), t)) = M.count t
 let regions (I ((module M), t)) = M.regions t
 let lookup (I ((module M), t)) ~addr ~size = M.lookup t ~addr ~size
 let table_region (I ((module M), t)) = M.table_region t
+let repr (I ((module M), t)) = M.repr t

@@ -187,6 +187,12 @@ let apply t (m : Policy.Policy_module.mutation) : int =
   | M_clear -> publish_regions t [] ~default_allow:(default ())
   | M_set_default b -> publish_regions t (regions ()) ~default_allow:b
   | M_replace (rs, d) -> publish_regions t rs ~default_allow:d
+  | M_rebuild (rs, d) ->
+    (* an integrity repair is a policy publish like any other: the
+       corrupt generation stays live for readers mid-scan until the
+       grace period retires it, and every remote CPU's inline cache is
+       shot down before it can serve a stale allow *)
+    publish_regions t rs ~default_allow:d
 
 (** Route all of [pm]'s ioctl mutations through this RCU instance. *)
 let attach t = Policy.Policy_module.set_mutator t.pm (Some (apply t))

@@ -32,6 +32,12 @@ type kind =
   | Panic
   | Policy_publish  (** RCU generation swap ([info] = new generation) *)
   | Ipi_flush  (** IPI shootdown handled on this CPU ([info] = sender) *)
+  | Tier_degraded
+      (** integrity watchdog quarantined a corrupt fast tier ([info] =
+          tier code: 0 = inline cache, 1 = shadow, 2 = instance) *)
+  | Tier_rebuilt
+      (** a quarantined tier was rebuilt from the authoritative table and
+          re-promoted ([info] = tier code, as above) *)
 
 let kind_to_int = function
   | Guard_allow -> 0
@@ -47,6 +53,8 @@ let kind_to_int = function
   | Panic -> 10
   | Policy_publish -> 11
   | Ipi_flush -> 12
+  | Tier_degraded -> 13
+  | Tier_rebuilt -> 14
 
 let kind_of_int = function
   | 0 -> Guard_allow
@@ -61,6 +69,8 @@ let kind_of_int = function
   | 9 -> Module_quarantine
   | 11 -> Policy_publish
   | 12 -> Ipi_flush
+  | 13 -> Tier_degraded
+  | 14 -> Tier_rebuilt
   | _ -> Panic
 
 let kind_to_string = function
@@ -77,6 +87,8 @@ let kind_to_string = function
   | Panic -> "panic"
   | Policy_publish -> "policy-publish"
   | Ipi_flush -> "ipi-flush"
+  | Tier_degraded -> "tier-degraded"
+  | Tier_rebuilt -> "tier-rebuilt"
 
 (** A decoded event (read-path only; the ring itself stores raw ints).
     [info] is the matched region's base for guard events (-1 when no

@@ -187,6 +187,24 @@ let test_policy_manager_storm () =
   (* a single CPU cannot race itself *)
   checki "rejects cpus 1" 2 (sh "%s storm %s --cpus 1" policy_manager pol)
 
+let test_policy_manager_audit () =
+  let pol = tmp "cli_audit.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  let code, out = sh_out "%s audit %s" policy_manager pol in
+  checki "audit ok" 0 code;
+  checkb "clean audit first" true (contains out "clean audit (ioctl 18): 0");
+  checkb "every tier healed" true
+    (contains out "corrupt inline cache"
+    && contains out "corrupt shadow table"
+    && contains out "corrupt policy instance");
+  checkb "render shows the episode" true (contains out "detections 3");
+  checkb "verdict" true (contains out "OK: all tiers detected");
+  (* deterministic, like every simulated workload *)
+  let code2, out2 = sh_out "%s audit %s" policy_manager pol in
+  checki "rerun ok" 0 code2;
+  checkb "deterministic output" true (out = out2)
+
 let test_policy_manager_lint () =
   let pol = tmp "cli_lint.kop" in
   if Sys.file_exists pol then Sys.remove pol;
@@ -291,6 +309,7 @@ let () =
           Alcotest.test_case "push via ioctl" `Quick test_policy_manager_push;
           Alcotest.test_case "set-mode" `Quick test_policy_manager_set_mode;
           Alcotest.test_case "smp update storm" `Quick test_policy_manager_storm;
+          Alcotest.test_case "selfheal audit" `Quick test_policy_manager_audit;
           Alcotest.test_case "lint" `Quick test_policy_manager_lint;
         ] );
       ( "kop_run",

@@ -65,6 +65,61 @@ let test_tamper_rejected_at_load () =
   checkb "baseline loads it" true b.Fault.Harness.loaded;
   checkb "baseline lets it land" true (b.Fault.Harness.escaped_bytes > 0)
 
+(* ---------- tier-corruption outcomes (self-healing) ---------- *)
+
+let corruption_classes =
+  [
+    Fault.Inject.Shadow_corrupt;
+    Fault.Inject.Icache_corrupt;
+    Fault.Inject.Rcu_instance_corrupt;
+  ]
+
+let test_corruption_quarantine_heals () =
+  List.iter
+    (fun cls ->
+      let name = Fault.Inject.cls_to_string cls in
+      let o = Fault.Harness.run_one ~cls ~mode:quarantine ~seed:11 () in
+      checkb (name ^ " kernel alive") false o.Fault.Harness.panicked;
+      checkb (name ^ " contained") true (Fault.Harness.contained o);
+      checkb (name ^ " watchdog detected") true
+        (o.Fault.Harness.sh_detected = Some true);
+      checkb (name ^ " tier rebuilt") true
+        (o.Fault.Harness.sh_rebuilt = Some true);
+      checkb (name ^ " zero stale allows") true
+        (o.Fault.Harness.sh_stale = Some 0);
+      checkb (name ^ " re-entry blocked") true
+        (o.Fault.Harness.reenter_blocked = Some true);
+      checkb (name ^ " recovered") true
+        (o.Fault.Harness.recovered = Some true))
+    corruption_classes
+
+let test_corruption_panic_contains () =
+  List.iter
+    (fun cls ->
+      let name = Fault.Inject.cls_to_string cls in
+      let o = Fault.Harness.run_one ~cls ~mode:panic ~seed:11 () in
+      checkb (name ^ " contained") true (Fault.Harness.contained o);
+      checkb (name ^ " detected") true
+        (o.Fault.Harness.sh_detected = Some true);
+      checkb (name ^ " no stale allow") true
+        (o.Fault.Harness.sh_stale = Some 0))
+    corruption_classes
+
+let test_corruption_baseline_escapes () =
+  (* without the integrity layer the same wild writes land: the payload
+     store goes through the corrupt tier unchallenged *)
+  List.iter
+    (fun cls ->
+      let name = Fault.Inject.cls_to_string cls in
+      let o =
+        Fault.Harness.run_one ~cls ~mode:Fault.Harness.Baseline ~seed:11 ()
+      in
+      checkb (name ^ " escaped") true (o.Fault.Harness.escaped_bytes > 0);
+      checkb (name ^ " unnoticed") false o.Fault.Harness.panicked;
+      checkb (name ^ " no self-heal data") true
+        (o.Fault.Harness.sh_detected = None))
+    corruption_classes
+
 (* ---------- campaign ---------- *)
 
 let small = lazy (Fault.Campaign.run { Fault.Campaign.faults = 24; seed = 7 })
@@ -84,8 +139,17 @@ let test_campaign_matrix () =
   checki "quarantine keeps kernel up" q.Fault.Campaign.injected
     q.Fault.Campaign.alive;
   checki "baseline contains nothing" 0 b.Fault.Campaign.contained;
-  (* audit contains exactly the pipeline classes (load rejection) *)
-  checki "audit contains half" (a.Fault.Campaign.injected / 2)
+  (* audit contains exactly the pipeline classes (load rejection): every
+     runtime class's store goes through in audit mode *)
+  let audit_pipeline =
+    List.fold_left
+      (fun acc cls ->
+        if Fault.Inject.is_pipeline_fault cls then
+          acc + (Fault.Campaign.cell r ~cls ~mode:audit).Fault.Campaign.injected
+        else acc)
+      0 Fault.Inject.all_classes
+  in
+  checki "audit contains pipeline classes" audit_pipeline
     a.Fault.Campaign.contained;
   checki "every re-entry rejected" q.Fault.Campaign.reenter_total
     q.Fault.Campaign.reenter_ok;
@@ -128,6 +192,15 @@ let () =
           Alcotest.test_case "wild store / audit" `Quick test_wild_store_audit;
           Alcotest.test_case "tamper rejected at load" `Quick
             test_tamper_rejected_at_load;
+        ] );
+      ( "selfheal",
+        [
+          Alcotest.test_case "corruption quarantine heals" `Quick
+            test_corruption_quarantine_heals;
+          Alcotest.test_case "corruption panic contains" `Quick
+            test_corruption_panic_contains;
+          Alcotest.test_case "corruption baseline escapes" `Quick
+            test_corruption_baseline_escapes;
         ] );
       ( "campaign",
         [

@@ -457,6 +457,68 @@ let test_memory_diff () =
       (String.concat ";"
          (List.map (fun (o, l) -> Printf.sprintf "(%d,%d)" o l) d))
 
+(* ---------- watchdog ---------- *)
+
+let test_watchdog_fires_on_deadline () =
+  let k = fresh () in
+  let machine = Kernel.machine k in
+  let wd = Kernel.Watchdog.create ~period:1_000 machine in
+  let runs = ref 0 in
+  Kernel.Watchdog.add_check wd ~name:"probe" (fun () ->
+      incr runs;
+      0);
+  checki "period readable" 1_000 (Kernel.Watchdog.period wd);
+  (* before the deadline: nothing fires, no cost *)
+  checki "early run_pending is a no-op" 0
+    (Kernel.Watchdog.advance wd ~cycles:10);
+  checki "no fire yet" 0 (Kernel.Watchdog.fires wd);
+  checki "check not run" 0 !runs;
+  (* past the deadline: one fire, the check runs, overhead is charged *)
+  let before = Machine.Model.cycles machine in
+  ignore (Kernel.Watchdog.advance wd ~cycles:1_000);
+  checki "one fire" 1 (Kernel.Watchdog.fires wd);
+  checki "check ran once" 1 !runs;
+  checkb "interrupt overhead charged" true
+    (Machine.Model.cycles machine >= before + 1_000 + 110)
+
+let test_watchdog_coalesces_missed_periods () =
+  let k = fresh () in
+  let wd = Kernel.Watchdog.create ~period:1_000 (Kernel.machine k) in
+  let runs = ref 0 in
+  Kernel.Watchdog.add_check wd ~name:"probe" (fun () ->
+      incr runs;
+      0);
+  (* ten periods of idle time, one catch-up opportunity: a real softirq
+     coalesces back-to-back missed expiries into one *)
+  ignore (Kernel.Watchdog.advance wd ~cycles:10_000);
+  checki "one coalesced fire" 1 (Kernel.Watchdog.fires wd);
+  checki "check ran once" 1 !runs;
+  (* the deadline re-armed from now, so the next period fires again *)
+  ignore (Kernel.Watchdog.advance wd ~cycles:1_200);
+  checki "re-armed" 2 (Kernel.Watchdog.fires wd)
+
+let test_watchdog_problems_and_disable () =
+  let k = fresh () in
+  let wd = Kernel.Watchdog.create ~period:1_000 (Kernel.machine k) in
+  Kernel.Watchdog.add_check wd ~name:"broken" (fun () -> 3);
+  Kernel.Watchdog.add_check wd ~name:"fine" (fun () -> 0);
+  (* run_now skips the deadline test and sums across checks *)
+  checki "run_now totals problems" 3 (Kernel.Watchdog.run_now wd);
+  checki "accumulated" 3 (Kernel.Watchdog.problems wd);
+  checki "no periodic fire from run_now" 0 (Kernel.Watchdog.fires wd);
+  (match Kernel.Watchdog.checks wd with
+  | [ a; b ] ->
+    Alcotest.(check string) "registration order" "broken" a.Kernel.Watchdog.ck_name;
+    checki "per-check problems" 3 a.Kernel.Watchdog.ck_problems;
+    checki "clean check clean" 0 b.Kernel.Watchdog.ck_problems
+  | _ -> Alcotest.fail "two checks expected");
+  Kernel.Watchdog.disable wd;
+  checki "disabled: no fire" 0 (Kernel.Watchdog.advance wd ~cycles:5_000);
+  checki "still zero fires" 0 (Kernel.Watchdog.fires wd);
+  Kernel.Watchdog.enable wd;
+  ignore (Kernel.Watchdog.advance wd ~cycles:1);
+  checki "enabled again fires" 1 (Kernel.Watchdog.fires wd)
+
 let test_klog_ring () =
   let log = Kernel.Klog.create ~capacity:4 () in
   for i = 1 to 10 do
@@ -536,6 +598,15 @@ let () =
         ] );
       ( "quarantine",
         [ Alcotest.test_case "basics" `Quick test_quarantine_basics ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "fires on deadline" `Quick
+            test_watchdog_fires_on_deadline;
+          Alcotest.test_case "coalesces missed periods" `Quick
+            test_watchdog_coalesces_missed_periods;
+          Alcotest.test_case "problems + disable" `Quick
+            test_watchdog_problems_and_disable;
+        ] );
       ( "snapshot",
         [ Alcotest.test_case "diff ranges" `Quick test_memory_diff ] );
     ]

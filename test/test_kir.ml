@@ -237,6 +237,16 @@ let test_escape_roundtrip () =
         (Kir.Printer.unescape (Kir.Printer.escape s)))
     cases
 
+let test_unescape_truncated () =
+  (* a backslash whose escape is cut off by end-of-string must be kept
+     literally, not crash on an out-of-bounds read (regression: mutated
+     module text ending in "\a" raised Invalid_argument) *)
+  List.iter
+    (fun s -> check Alcotest.string "kept literal" s (Kir.Printer.unescape s))
+    [ "\\"; "x\\"; "x\\a"; "\\g0"; "tail\\f" ];
+  check Alcotest.string "escape at the edge still decodes" "x\xab"
+    (Kir.Printer.unescape "x\\ab")
+
 let test_parse_simple () =
   let text =
     {|module "t"
@@ -552,6 +562,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_printer_stable;
           Alcotest.test_case "meta excluded" `Quick test_printer_meta_excluded;
           Alcotest.test_case "escape round-trip" `Quick test_escape_roundtrip;
+          Alcotest.test_case "truncated escape kept literal" `Quick
+            test_unescape_truncated;
         ] );
       ( "parser",
         [

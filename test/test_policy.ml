@@ -395,11 +395,80 @@ let test_ioctl_roundtrip () =
 
 let test_ioctl_bad_region () =
   let k, _ = setup_pm () in
+  let io cmd arg = Kernel.ioctl k ~dev:"carat" ~cmd ~arg in
   let arg = Kernel.map_user k ~size:32 in
-  Kernel.write k ~addr:arg ~size:8 0xA000;
-  Kernel.write k ~addr:(arg + 8) ~size:8 0 (* zero length *);
-  checki "rejected" (-1)
-    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_add ~arg)
+  let set base len prot =
+    Kernel.write k ~addr:arg ~size:8 base;
+    Kernel.write k ~addr:(arg + 8) ~size:8 len;
+    Kernel.write k ~addr:(arg + 16) ~size:8 prot
+  in
+  set 0xA000 0 Policy.Region.prot_rw (* zero length *);
+  checki "zero-length add" Kernel.einval (io Policy.Policy_module.ioctl_add arg);
+  (* a two's-complement negative length reads back from user memory as a
+     huge positive one: the overflow check catches it as -ERANGE *)
+  set 0xA000 (-8) Policy.Region.prot_rw;
+  checki "negative length" Kernel.erange (io Policy.Policy_module.ioctl_add arg);
+  set max_int 0x100 Policy.Region.prot_rw (* base + len overflows *);
+  checki "base+len overflow" Kernel.erange
+    (io Policy.Policy_module.ioctl_add arg);
+  set 0xA000 0x100 0xF0 (* bits outside prot_rw *);
+  checki "bad prot bits" Kernel.einval (io Policy.Policy_module.ioctl_add arg);
+  checki "count unchanged" 0 (io Policy.Policy_module.ioctl_count 0)
+
+(* Each validated ioctl answers a malformed argument with the matching
+   typed error code, and an unknown command with -ENOTTY — regression
+   locks for the /dev/carat argument-validation surface. *)
+let test_ioctl_validation () =
+  let k, pm = setup_pm () in
+  let io cmd arg = Kernel.ioctl k ~dev:"carat" ~cmd ~arg in
+  let open Policy.Policy_module in
+  checki "add: bad pointer" Kernel.einval (io ioctl_add (-8));
+  checki "remove: bad pointer" Kernel.einval (io ioctl_remove (-8));
+  let arg = Kernel.map_user k ~size:32 in
+  Kernel.write k ~addr:arg ~size:8 0xDEAD000;
+  checki "remove: no such region" (-1) (io ioctl_remove arg);
+  checki "set-intrinsics: negative bitmap" Kernel.einval
+    (io ioctl_set_intrinsics (-1));
+  checki "cfi-allow: negative target" Kernel.einval (io ioctl_cfi_allow (-8));
+  checki "set-mode: unknown encoding" Kernel.einval (io ioctl_set_mode 99);
+  checki "get-stats: bad pointer" Kernel.einval (io ioctl_get_stats (-8));
+  checki "trace-start: bad capacity" Kernel.einval (io ioctl_trace_start (-1));
+  checki "trace-start: oversized ring" Kernel.erange
+    (io ioctl_trace_start (trace_capacity_max + 1));
+  checki "trace-read: bad pointer" Kernel.einval (io ioctl_trace_read (-8));
+  checki "audit: self-healing not enabled" Kernel.einval (io ioctl_audit 0);
+  checki "selfheal: self-healing not enabled" Kernel.einval (io ioctl_selfheal 0);
+  checki "unknown command" Kernel.enotty (io 999 0);
+  (* a well-formed call still goes through after the rejections *)
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  checki "valid count" 2 (io ioctl_count 0)
+
+(* The audit/selfheal ioctls once integrity is armed: the audit returns
+   the number of corrupt tiers it found, and the selfheal block reflects
+   the detection and the recovery. *)
+let test_ioctl_audit_selfheal () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  let io cmd arg = Kernel.ioctl k ~dev:"carat" ~cmd ~arg in
+  let open Policy.Policy_module in
+  ignore (enable_integrity pm);
+  checki "clean audit" 0 (io ioctl_audit 0);
+  checki "selfheal: bad pointer" Kernel.einval (io ioctl_selfheal (-8));
+  let eng = Policy.Policy_module.engine pm in
+  (* flip the kernel window's rw permission to deny-all in the live
+     table — a stale-deny corruption the digest must still catch *)
+  ignore
+    (Policy.Engine.corrupt_instance eng ~base:Kernel.Layout.kernel_base
+       ~prot:0);
+  checki "audit detects corrupt instance" 1 (io ioctl_audit 0);
+  let arg = Kernel.map_user k ~size:64 in
+  checki "selfheal block ok" 0 (io ioctl_selfheal arg);
+  let r i = Kernel.read k ~addr:(arg + (8 * i)) ~size:8 in
+  checkb "audits counted" true (r 0 >= 2);
+  checki "one detection" 1 (r 1);
+  checki "one degradation" 1 (r 2);
+  (* the degrade republished from the authoritative copy on the spot *)
+  checki "clean after heal" 0 (io ioctl_audit 0)
 
 let test_ioctl_set_default () =
   let k, pm = setup_pm () in
@@ -424,6 +493,160 @@ let test_ioctl_clear () =
   checki "clear ok" 0
     (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_clear ~arg:0);
   checki "empty" 0 (Policy.Engine.count (Policy.Policy_module.engine pm))
+
+(* ---------- self-healing integrity ---------- *)
+
+let setup_shadow_pm ?(site_cache = false) () =
+  let k = fresh () in
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Shadow ~site_cache
+      ~on_deny:Policy.Policy_module.Audit k
+  in
+  Policy.Policy_module.set_policy pm Policy.Region.kernel_only;
+  (k, pm, Policy.Policy_module.engine pm)
+
+(* A legitimate mutation goes through the epoch choke point, so the
+   authoritative snapshot follows it and audits stay clean. *)
+let test_integrity_commit_hook_tracks_mutations () =
+  let _, pm, eng = setup_shadow_pm () in
+  let ig = Policy.Policy_module.enable_integrity pm in
+  checki "clean at rest" 0 (Policy.Integrity.audit ig);
+  Policy.Policy_module.set_policy pm (Policy.Region.kernel_only_padded 8);
+  checki "clean after set_policy" 0 (Policy.Integrity.audit ig);
+  ignore
+    (Policy.Policy_module.replace_policy pm ~default_allow:false
+       Policy.Region.kernel_only);
+  checki "clean after replace" 0 (Policy.Integrity.audit ig);
+  checkb "all tiers healthy" true (Policy.Integrity.healthy ig);
+  checki "no detections from legitimate traffic" 0
+    (Policy.Integrity.detections ig);
+  ignore eng
+
+(* Without the watchdog, a corrupt shadow slot serves a stale allow: the
+   attack the self-healing layer exists to stop, demonstrated first. *)
+let test_stale_allow_without_integrity () =
+  let _, _, eng = setup_shadow_pm () in
+  Policy.Engine.set_verify eng true;
+  (* warm the slot for a user page, then smash it into a writable fact
+     with a forged checksum (the wild write) *)
+  let addr = 0x4000 in
+  let page = addr lsr Policy.Shadow_table.page_bits in
+  (match Policy.Engine.check eng ~addr ~size:8 ~flags:2 with
+  | Policy.Engine.Denied _ -> ()
+  | Policy.Engine.Allowed _ -> Alcotest.fail "user store allowed pre-corruption");
+  checkb "slot corrupted" true
+    (Policy.Engine.corrupt_shadow eng ~page ~prot:Policy.Region.prot_rw
+       ~fix_checksum:true);
+  (match Policy.Engine.check eng ~addr ~size:8 ~flags:2 with
+  | Policy.Engine.Allowed _ -> ()
+  | Policy.Engine.Denied _ -> Alcotest.fail "corrupt slot did not answer");
+  checkb "stale allow counted by paranoia" true
+    (Policy.Engine.stale_allows eng > 0)
+
+(* Checksum-detectable shadow corruption: quarantine drops the engine to
+   the linear fallback (not one check served from the corrupt table),
+   then the cooldown rebuild restores the shadow tier. *)
+let test_shadow_degrade_and_repromote () =
+  let _, pm, eng = setup_shadow_pm () in
+  let ig = Policy.Policy_module.enable_integrity pm in
+  let addr = 0x4000 in
+  let page = addr lsr Policy.Shadow_table.page_bits in
+  ignore (Policy.Engine.check eng ~addr ~size:8 ~flags:2);
+  checkb "corrupted" true
+    (Policy.Engine.corrupt_shadow eng ~page ~prot:Policy.Region.prot_rw
+       ~fix_checksum:false);
+  checki "full tier before" 2 (Policy.Integrity.tier_level ig);
+  checki "audit detects" 1 (Policy.Integrity.audit ig);
+  checki "dropped to linear fallback" 0 (Policy.Integrity.tier_level ig);
+  checkb "degraded, not healthy" false (Policy.Integrity.healthy ig);
+  (* enforcement continues from the fallback with no stale allow *)
+  Policy.Engine.set_verify eng true;
+  (match Policy.Engine.check eng ~addr ~size:8 ~flags:2 with
+  | Policy.Engine.Denied _ -> ()
+  | Policy.Engine.Allowed _ -> Alcotest.fail "degraded engine allowed the store");
+  checki "no stale allows" 0 (Policy.Engine.stale_allows eng);
+  (* cooldown (2 audits) then rebuild re-promotes the shadow tier *)
+  ignore (Policy.Integrity.audit ig);
+  ignore (Policy.Integrity.audit ig);
+  checki "restored" 2 (Policy.Integrity.tier_level ig);
+  checkb "healthy again" true (Policy.Integrity.healthy ig);
+  checkb "rebuild counted" true (Policy.Integrity.rebuilds ig > 0)
+
+(* Semantic cross-check: a corrupt slot whose checksum was forged to
+   match is still caught against the authoritative classification. *)
+let test_shadow_semantic_crosscheck () =
+  let _, pm, eng = setup_shadow_pm () in
+  let ig = Policy.Policy_module.enable_integrity pm in
+  let page = 0x4000 lsr Policy.Shadow_table.page_bits in
+  ignore (Policy.Engine.check eng ~addr:0x4000 ~size:8 ~flags:2);
+  checkb "corrupted with forged checksum" true
+    (Policy.Engine.corrupt_shadow eng ~page ~prot:Policy.Region.prot_rw
+       ~fix_checksum:true);
+  checki "semantic audit still detects" 1 (Policy.Integrity.audit ig)
+
+(* Inline-cache corruption: only the top tier is quarantined (shadow
+   keeps serving), and the flush-based rebuild re-promotes it. *)
+let test_ic_degrade_and_repromote () =
+  let _, pm, eng = setup_shadow_pm ~site_cache:true () in
+  let ig = Policy.Policy_module.enable_integrity pm in
+  let page = 0x4000 lsr Policy.Shadow_table.page_bits in
+  checkb "slot planted" true
+    (Policy.Engine.corrupt_site_cache eng
+       (Policy.Engine.default_view eng)
+       ~site:7 ~page ~prot:Policy.Region.prot_rw ~smash_canary:true);
+  checki "audit detects" 1 (Policy.Integrity.audit ig);
+  checki "caches off, shadow still serving" 1 (Policy.Integrity.tier_level ig);
+  checkb "ic master switch off" false (Policy.Engine.ic_enabled eng);
+  ignore (Policy.Integrity.audit ig);
+  ignore (Policy.Integrity.audit ig);
+  checki "caches back" 2 (Policy.Integrity.tier_level ig);
+  checkb "ic switch on" true (Policy.Engine.ic_enabled eng)
+
+(* A tier that keeps failing its rebuild re-audit is abandoned after
+   max_retries (left degraded), not re-promoted forever: the route is
+   pinned to a no-op so every repair "fails". *)
+let test_bounded_retries_then_abandon () =
+  let _, _, eng = setup_shadow_pm () in
+  let ig =
+    Policy.Integrity.create
+      ~config:{ Policy.Integrity.cooldown_audits = 1; max_retries = 2 }
+      eng
+  in
+  Policy.Integrity.set_route ig (fun _ _ -> ());
+  checkb "instance corrupted" true
+    (Policy.Engine.corrupt_instance eng ~base:Kernel.Layout.kernel_base
+       ~prot:0);
+  for _ = 1 to 6 do
+    ignore (Policy.Integrity.audit ig)
+  done;
+  checki "abandoned after bounded retries" 1 (Policy.Integrity.abandoned ig);
+  checkb "never flaps back" false (Policy.Integrity.healthy ig);
+  let audits_before = Policy.Integrity.audits ig in
+  ignore (Policy.Integrity.audit ig);
+  checki "audits continue" (audits_before + 1) (Policy.Integrity.audits ig)
+
+(* The selfheal procfs file renders live integrity state. *)
+let test_selfheal_procfs () =
+  let k, pm, eng = setup_shadow_pm () in
+  let fs = Kernsvc.Kernfs.create k in
+  let proc = Kernsvc.Procfs.install fs pm in
+  checkb "placeholder before enabling" true
+    (let s = Kernsvc.Procfs.read_selfheal proc in
+     String.length s > 0 && String.sub s 0 5 = "carat");
+  ignore (Policy.Policy_module.enable_integrity pm);
+  ignore
+    (Policy.Engine.corrupt_instance eng ~base:Kernel.Layout.kernel_base ~prot:0);
+  ignore
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_audit ~arg:0);
+  let s = Kernsvc.Procfs.read_selfheal proc in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "renders audit counters" true (contains "carat_selfheal: audits");
+  checkb "renders detection" true (contains "detections 1");
+  checkb "renders per-tier rows" true (contains "instance")
 
 (* ---------- policy files ---------- *)
 
@@ -551,8 +774,27 @@ let () =
           Alcotest.test_case "guard panics" `Quick test_guard_panics_in_panic_mode;
           Alcotest.test_case "ioctl round trip" `Quick test_ioctl_roundtrip;
           Alcotest.test_case "ioctl bad region" `Quick test_ioctl_bad_region;
+          Alcotest.test_case "ioctl validation" `Quick test_ioctl_validation;
+          Alcotest.test_case "ioctl audit+selfheal" `Quick
+            test_ioctl_audit_selfheal;
           Alcotest.test_case "ioctl set default" `Quick test_ioctl_set_default;
           Alcotest.test_case "ioctl stats" `Quick test_ioctl_stats;
           Alcotest.test_case "ioctl clear" `Quick test_ioctl_clear;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "commit hook tracks mutations" `Quick
+            test_integrity_commit_hook_tracks_mutations;
+          Alcotest.test_case "stale allow without integrity" `Quick
+            test_stale_allow_without_integrity;
+          Alcotest.test_case "shadow degrade+repromote" `Quick
+            test_shadow_degrade_and_repromote;
+          Alcotest.test_case "shadow semantic cross-check" `Quick
+            test_shadow_semantic_crosscheck;
+          Alcotest.test_case "ic degrade+repromote" `Quick
+            test_ic_degrade_and_repromote;
+          Alcotest.test_case "bounded retries then abandon" `Quick
+            test_bounded_retries_then_abandon;
+          Alcotest.test_case "selfheal procfs" `Quick test_selfheal_procfs;
         ] );
     ]

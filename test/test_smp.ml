@@ -319,6 +319,129 @@ let test_merged_drop_accounting () =
   put t1 10;
   checki "drops still sum, not race" (12 + 11) (Trace.merged_dropped ts)
 
+(* The lifecycle events of a self-healing episode (tier-degraded /
+   tier-rebuilt) survive deny floods that wrap the per-CPU rings, and the
+   merged stream keeps them in episode order with exact drop sums. *)
+let test_tier_events_survive_wraparound () =
+  let kernel = Kernel.create ~require_signature:false r350 in
+  let mk () =
+    let tr = Trace.create ~capacity:8 kernel in
+    Trace.start tr;
+    tr
+  in
+  (* cpu0 and cpu2 take the deny flood; cpu1 is where the watchdog fires *)
+  let t0 = mk () and t1 = mk () and t2 = mk () in
+  let deny tr n =
+    for i = 0 to n - 1 do
+      Trace.on_lifecycle tr Trace.Guard_deny ~info:i
+    done
+  in
+  deny t0 6;
+  Trace.on_lifecycle t1 Trace.Tier_degraded ~info:1;
+  deny t0 6;
+  deny t2 10;
+  Trace.on_lifecycle t1 Trace.Tier_rebuilt ~info:1;
+  deny t0 2;
+  checki "flood ring 0 wrapped" 6 (Trace.dropped t0);
+  checki "flood ring 2 wrapped" 2 (Trace.dropped t2);
+  checki "watchdog ring kept everything" 0 (Trace.dropped t1);
+  let ts = [ t0; t1; t2 ] in
+  checki "merged drops are the exact sum" 8 (Trace.merged_dropped ts);
+  checki "merged recorded are the exact sum" 26 (Trace.merged_recorded ts);
+  let merged = Trace.merged_events ts in
+  checki "survivors" (8 + 2 + 8) (List.length merged);
+  (* merged order is (cycles, cpu, seq) *)
+  let rec ordered = function
+    | (c1, (a : Trace.event)) :: ((c2, b) :: _ as rest) ->
+      (a.Trace.cycles < b.Trace.cycles
+      || (a.Trace.cycles = b.Trace.cycles
+         && (c1 < c2 || (c1 = c2 && a.Trace.seq < b.Trace.seq))))
+      && ordered rest
+    | _ -> true
+  in
+  checkb "merged stream strictly (cycles,cpu,seq)-ordered" true
+    (ordered merged);
+  let idx_of kind =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s missing from merged stream" (Trace.kind_to_string kind)
+      | (_, (e : Trace.event)) :: rest ->
+        if e.Trace.kind = kind then i else go (i + 1) rest
+    in
+    go 0 merged
+  in
+  let d = idx_of Trace.Tier_degraded and r = idx_of Trace.Tier_rebuilt in
+  checkb "degraded precedes rebuilt after the merge" true (d < r);
+  (* every pre-degrade deny on cpu0 was overwritten by the flood, so in
+     the merged stream the episode opener precedes every cpu0 survivor *)
+  List.iteri
+    (fun i (cpu, (e : Trace.event)) ->
+      if cpu = 0 && e.Trace.kind = Trace.Guard_deny then
+        checkb "cpu0 survivors are all post-degrade" true (i > d))
+    merged;
+  (* a reader draining the flooded ring leaves the merged totals exact *)
+  ignore (Trace.read_next t0);
+  checki "drain does not disturb the sum" 8 (Trace.merged_dropped ts)
+
+(* Corruption racing RCU publication: CPU 0 storms whole-table replaces
+   while CPU 1 corrupts the live instance out-of-band and then runs the
+   watchdog audit in the same quantum. The audit must detect, the repair
+   must ride the RCU publish path (generation moves past the storm's),
+   and the engine must end healthy with zero stale allows. *)
+let test_corruption_races_publication () =
+  let _, pm, smp = mk_system () in
+  let engine = Smp.System.engine smp in
+  let ig = Policy.Policy_module.enable_integrity pm in
+  Policy.Engine.set_verify engine true;
+  let storms = 12 in
+  let writes = ref 0 and checks = ref 0 and denies = ref 0 in
+  let corrupted = ref false and audits = ref 0 in
+  let steps =
+    [|
+      (fun () ->
+        if !writes < storms then begin
+          incr writes;
+          let t = if !writes land 1 = 0 then table_a else table_b in
+          checki "replace accepted" 0 (Policy.Policy_module.replace_policy pm t)
+        end
+        else begin
+          (* keep servicing grace periods while the heal completes *)
+          incr checks;
+          match
+            Policy.Engine.check engine ~addr:probe_addr ~size:8
+              ~flags:Policy.Region.prot_write
+          with
+          | Policy.Engine.Allowed _ -> ()
+          | Policy.Engine.Denied _ -> incr denies
+        end;
+        !checks < 40);
+      (fun () ->
+        if (not !corrupted) && !writes >= 4 then begin
+          (* wild write to the live instance, then the watchdog fires
+             before the next publication can paper over it *)
+          corrupted :=
+            Policy.Engine.corrupt_instance engine ~base:r1.Policy.Region.base
+              ~prot:0;
+          checkb "corruption landed between publications" true !corrupted;
+          checkb "audit detects the race" true (Policy.Integrity.audit ig > 0)
+        end
+        else if !corrupted then incr audits;
+        if !corrupted && !audits > 0 then ignore (Policy.Integrity.audit ig);
+        !audits < 12);
+    |]
+  in
+  ignore (Smp.System.run smp steps);
+  checki "storm fully published" storms !writes;
+  checkb "detection recorded" true (Policy.Integrity.detections ig > 0);
+  checkb "instance tier rebuilt" true (Policy.Integrity.rebuilds ig > 0);
+  checkb "healthy after the episode" true (Policy.Integrity.healthy ig);
+  checki "full tier restored" 2 (Policy.Integrity.tier_level ig);
+  (* the rebuild's publish rides the same RCU route as the storm *)
+  checkb "repair published a generation beyond the storm" true
+    (Policy.Engine.generation engine > storms);
+  checki "no stale allow during or after the episode" 0
+    (Policy.Engine.stale_allows engine);
+  checki "probes after the storm never denied" 0 !denies
+
 (* ---------- update-storm property ---------- *)
 
 (* concurrent policy updates never yield a stale allow once the grace
@@ -388,6 +511,13 @@ let () =
         [
           Alcotest.test_case "per-CPU ring drops sum exactly" `Quick
             test_merged_drop_accounting;
+          Alcotest.test_case "tier events survive wraparound" `Quick
+            test_tier_events_survive_wraparound;
+        ] );
+      ( "selfheal",
+        [
+          Alcotest.test_case "corruption races publication" `Quick
+            test_corruption_races_publication;
         ] );
       ( "storm",
         [

@@ -129,6 +129,30 @@ let test_zero_cost_when_detached () =
   checkb "recording charges the simulation" true
     (Machine.Model.cycles machine > c0)
 
+let test_tier_event_kinds_roundtrip () =
+  (* the self-healing lifecycle kinds survive the packed ring encoding
+     and render under their own names (not folded into panic) *)
+  List.iter
+    (fun (kind, code, name) ->
+      checki name code (Trace.kind_to_int kind);
+      checkb (name ^ " decodes") true (Trace.kind_of_int code = kind);
+      checks (name ^ " renders") name (Trace.kind_to_string kind))
+    [
+      (Trace.Tier_degraded, 13, "tier-degraded");
+      (Trace.Tier_rebuilt, 14, "tier-rebuilt");
+    ];
+  let k = fresh () in
+  let tr = Trace.create ~capacity:8 k in
+  Trace.start tr;
+  Trace.on_lifecycle tr Trace.Tier_degraded ~info:1;
+  Trace.on_lifecycle tr Trace.Tier_rebuilt ~info:1;
+  match Trace.events tr with
+  | [ a; b ] ->
+    checkb "degraded event" true (a.Trace.kind = Trace.Tier_degraded);
+    checkb "rebuilt event" true (b.Trace.kind = Trace.Tier_rebuilt);
+    checki "tier code rides in info" 1 a.Trace.info
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
 (* ---------- the /dev/carat observability ioctls ---------- *)
 
 let ioctl_cell () =
@@ -266,6 +290,8 @@ let () =
             test_record_path_does_not_allocate;
           Alcotest.test_case "zero simulated cost when off" `Quick
             test_zero_cost_when_detached;
+          Alcotest.test_case "tier event kinds roundtrip" `Quick
+            test_tier_event_kinds_roundtrip;
         ] );
       ( "ioctls",
         [
