@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- --quick  # reduced trial counts
 
    Figures: fig3 fig4 fig5 fig6 fig7; tables/ablations: guards,
-   ablation-policy, ablation-opt; microbenchmarks: bechamel, guardpath.
+   ablation-policy, ablation-opt; microbenchmarks: bechamel, guardpath;
+   gated suites: guardopt (the certified optimizer, writes
+   BENCH_guardopt.json), smpscale, selfheal, tracegate, certify.
    Flags: --quick, --json (guardpath writes BENCH_guardpath.json),
    --engine interp|compiled (execution engine for the fig targets). *)
 
@@ -684,6 +686,285 @@ let run_guardpath () =
 
 (* ------------------------------------------------------------------ *)
 
+(* guardopt: what each guard-optimization tier buys at run time.
+
+   For the fig3- and fig7-shaped presets (compiled engine, shadow table
+   + site inline cache, the production 64-region policy) the same seeded
+   packet workload runs under Baseline (unguarded) and Carat at --opt
+   none/basic/aggressive. The baseline run on identical seeds isolates
+   the guard-attributable cycles: attr = carat cycles/pkt - baseline
+   cycles/pkt. Context rows: the seed linear table, and the 4-CPU
+   multi-queue build. Gates: on at least one fig3/fig7 preset the
+   aggressive tier must cut dynamic guard executions >= 25% and improve
+   guard-attributable cycles/pkt >= 1.15x, with zero certifier
+   rollbacks, zero denies, and an engine-independent decision stream.
+   Writes BENCH_guardopt.json. *)
+
+type go_row = {
+  go_preset : string;
+  go_level : string;  (* "baseline" or an opt level *)
+  go_static_guards : int;
+  go_sent : int;
+  go_checks : int;
+  go_allowed : int;
+  go_denied : int;
+  go_total_cycles : int;
+  go_cycles_per_pkt : float;
+  go_checks_per_pkt : float;
+}
+
+let guardopt_cell ~preset ~machine ~stall ~structure ~site_cache ~packets
+    ~(engine : Vm.Engine.kind) level =
+  let technique, guard_opt =
+    match level with
+    | None -> (Testbed.Baseline, Passes.Pipeline.O_none)
+    | Some o -> (Testbed.Carat, o)
+  in
+  let config =
+    {
+      Testbed.default_config with
+      machine;
+      technique;
+      stall_prob = stall;
+      engine;
+      structure;
+      site_cache;
+      guard_opt;
+      policy = Policy.Region.kernel_only_padded 64;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  let mach = Testbed.machine tb in
+  ignore
+    (Testbed.run_pktgen tb
+       { Net.Pktgen.default_config with count = 200; size = 128; seed = 999 });
+  Policy.Engine.reset_stats
+    (Policy.Policy_module.engine tb.Testbed.policy_module);
+  let c0 = Machine.Model.cycles mach in
+  let r =
+    Testbed.run_pktgen tb
+      { Net.Pktgen.default_config with count = packets; size = 128; seed = 7 }
+  in
+  let c1 = Machine.Model.cycles mach in
+  let st =
+    Policy.Engine.stats (Policy.Policy_module.engine tb.Testbed.policy_module)
+  in
+  {
+    go_preset = preset;
+    go_level =
+      (match level with
+      | None -> "baseline"
+      | Some o -> Passes.Pipeline.opt_level_to_string o);
+    go_static_guards =
+      (match level with
+      | None -> 0
+      | Some _ -> Passes.Guard_injection.count_guards tb.Testbed.driver_kir);
+    go_sent = r.Net.Pktgen.sent;
+    go_checks = st.Policy.Engine.checks;
+    go_allowed = st.Policy.Engine.allowed;
+    go_denied = st.Policy.Engine.denied;
+    go_total_cycles = c1 - c0;
+    go_cycles_per_pkt = float_of_int (c1 - c0) /. float_of_int packets;
+    go_checks_per_pkt =
+      float_of_int st.Policy.Engine.checks /. float_of_int packets;
+  }
+
+let run_guardopt () =
+  section "guardopt: certified guard optimizer vs the unoptimized pipeline";
+  let packets = if !quick then 200 else 600 in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 0: the certifier gate itself — the aggressive compile must not have
+     rolled the transforms back, and must re-validate like any module
+     the loader is about to accept *)
+  let m = Nic.Driver_gen.generate ~module_scale:12 ~with_rogue:false () in
+  let remarks = Passes.Pipeline.compile ~opt:Passes.Pipeline.O_aggressive m in
+  List.iter
+    (fun (pass, (r : Passes.Pass.result)) ->
+      if pass = "guard-optimize" then
+        List.iter
+          (fun (k, v) ->
+            if k = "restored" then fail "optimizer rolled back: %s" v
+            else Printf.printf "  optimizer: %s = %s\n" k v)
+          r.Passes.Pass.remarks)
+    remarks;
+  (match Analysis.Certify.validate m with
+  | Ok () -> print_endline "  aggressive driver re-validates: yes"
+  | Error e ->
+    fail "aggressive driver certificate: %s"
+      (Analysis.Certify.validate_error_to_string e));
+  (* 1: the gate presets, all tiers under identical seeds *)
+  let levels =
+    None :: List.map (fun o -> Some o) Passes.Pipeline.all_opt_levels
+  in
+  let presets =
+    [
+      ("fig3/compiled+shadow+ic", Machine.Presets.r415, 0.0002);
+      ("fig7/compiled+shadow+ic", Machine.Presets.r350, 0.0004);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (preset, machine, stall) ->
+        List.map
+          (guardopt_cell ~preset ~machine ~stall
+             ~structure:Policy.Engine.Shadow ~site_cache:true ~packets
+             ~engine:Vm.Engine.Compiled)
+          levels)
+      presets
+  in
+  (* context: the seed linear table, where every spared check skips a
+     full region scan *)
+  let linear_rows =
+    List.map
+      (guardopt_cell ~preset:"fig3/compiled+linear"
+         ~machine:Machine.Presets.r415 ~stall:0.0002
+         ~structure:Policy.Engine.Linear ~site_cache:false ~packets
+         ~engine:Vm.Engine.Compiled)
+      [ Some Passes.Pipeline.O_none; Some Passes.Pipeline.O_aggressive ]
+  in
+  (* engine parity: the optimized module's decision stream and simulated
+     cycles must not depend on the execution engine *)
+  let parity_interp =
+    guardopt_cell ~preset:"fig3/interp+shadow+ic"
+      ~machine:Machine.Presets.r415 ~stall:0.0002
+      ~structure:Policy.Engine.Shadow ~site_cache:true ~packets
+      ~engine:Vm.Engine.Interp (Some Passes.Pipeline.O_aggressive)
+  in
+  let all_rows = rows @ linear_rows in
+  Printf.printf "\n  %-26s %-10s %7s %9s %9s %7s %11s\n" "preset" "level"
+    "static" "checks" "chk/pkt" "denied" "cycles/pkt";
+  List.iter
+    (fun g ->
+      Printf.printf "  %-26s %-10s %7d %9d %9.1f %7d %11.1f\n" g.go_preset
+        g.go_level g.go_static_guards g.go_checks g.go_checks_per_pkt
+        g.go_denied g.go_cycles_per_pkt)
+    (all_rows @ [ parity_interp ]);
+  let cell preset level =
+    List.find (fun g -> g.go_preset = preset && g.go_level = level) all_rows
+  in
+  (* decision-stream gates: nothing denied, every packet sent, every
+     check on a benign workload an allow *)
+  List.iter
+    (fun g ->
+      if g.go_denied <> 0 then
+        fail "%s/%s: %d denies on a benign workload" g.go_preset g.go_level
+          g.go_denied;
+      if g.go_sent <> packets then
+        fail "%s/%s: sent %d of %d packets" g.go_preset g.go_level g.go_sent
+          packets;
+      if g.go_checks <> g.go_allowed then
+        fail "%s/%s: checks <> allows" g.go_preset g.go_level)
+    (all_rows @ [ parity_interp ]);
+  (let c = cell "fig3/compiled+shadow+ic" "aggressive" in
+   if
+     (parity_interp.go_checks, parity_interp.go_total_cycles)
+     <> (c.go_checks, c.go_total_cycles)
+   then fail "engines disagree on the optimized module (checks or cycles)");
+  (* the optimization gates on the fig3/fig7 presets *)
+  let gate_results =
+    List.map
+      (fun (preset, _, _) ->
+        let base = cell preset "baseline" in
+        let n = cell preset "none" in
+        let a = cell preset "aggressive" in
+        let reduction =
+          1.0 -. (float_of_int a.go_checks /. float_of_int n.go_checks)
+        in
+        let attr l = l.go_cycles_per_pkt -. base.go_cycles_per_pkt in
+        let attr_improvement = attr n /. attr a in
+        Printf.printf
+          "\n  %s: checks %d -> %d (%.1f%% fewer), guard-attributable \
+           cycles/pkt %.1f -> %.1f (%.2fx)\n"
+          preset n.go_checks a.go_checks (100.0 *. reduction) (attr n)
+          (attr a) attr_improvement;
+        (preset, reduction, attr_improvement))
+      presets
+  in
+  if
+    not
+      (List.exists
+         (fun (_, red, imp) -> red >= 0.25 && imp >= 1.15)
+         gate_results)
+  then
+    fail
+      "no fig3/fig7 preset reached >=25%% check reduction and >=1.15x \
+       guard-attributable cycles/pkt";
+  (* 2: the 4-CPU multi-queue build, optimizer on vs off *)
+  let smp_cell opt =
+    let cfg =
+      {
+        Smp_testbed.default_config with
+        machine = Machine.Presets.r350;
+        cpus = 4;
+        seed = 11;
+        guard_opt = opt;
+      }
+    in
+    let tb = Smp_testbed.create ~config:cfg () in
+    let r = Smp_testbed.run_pktgen ~count:(if !quick then 200 else 600) tb in
+    let st =
+      Policy.Engine.merged_stats
+        (Policy.Policy_module.engine (Smp_testbed.policy_module tb))
+    in
+    (r, st)
+  in
+  let smp_none, smp_none_st = smp_cell Passes.Pipeline.O_none in
+  let smp_aggr, smp_aggr_st = smp_cell Passes.Pipeline.O_aggressive in
+  Printf.printf
+    "\n  smp 4-cpu (R350): checks %d -> %d, pps %.0f -> %.0f, denies %d/%d\n"
+    smp_none_st.Policy.Engine.checks smp_aggr_st.Policy.Engine.checks
+    smp_none.Smp_testbed.pps smp_aggr.Smp_testbed.pps
+    smp_none_st.Policy.Engine.denied smp_aggr_st.Policy.Engine.denied;
+  if smp_none_st.Policy.Engine.denied + smp_aggr_st.Policy.Engine.denied <> 0
+  then fail "smp rows denied on a benign workload";
+  if smp_aggr_st.Policy.Engine.checks >= smp_none_st.Policy.Engine.checks then
+    fail "smp 4-cpu: aggressive did not reduce dynamic checks";
+  if smp_none.Smp_testbed.total_sent <> smp_aggr.Smp_testbed.total_sent then
+    fail "smp 4-cpu: sent counts differ between tiers";
+  (* json artifact *)
+  let oc = open_out "BENCH_guardopt.json" in
+  let row_json g =
+    Printf.sprintf
+      "    {\"preset\": %S, \"level\": %S, \"static_guards\": %d, \"sent\": \
+       %d, \"checks\": %d, \"allowed\": %d, \"denied\": %d, \
+       \"total_cycles\": %d, \"cycles_per_packet\": %.1f, \
+       \"checks_per_packet\": %.1f}"
+      g.go_preset g.go_level g.go_static_guards g.go_sent g.go_checks
+      g.go_allowed g.go_denied g.go_total_cycles g.go_cycles_per_pkt
+      g.go_checks_per_pkt
+  in
+  let gate_json (preset, red, imp) =
+    Printf.sprintf
+      "    {\"preset\": %S, \"check_reduction\": %.3f, \
+       \"attr_cycles_improvement\": %.3f}"
+      preset red imp
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"packets\": %d,\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"engine_parity_row\": [\n%s\n  ],\n\
+    \  \"gates\": [\n%s\n  ],\n\
+    \  \"smp_4cpu\": {\"checks_none\": %d, \"checks_aggressive\": %d, \
+     \"pps_none\": %.0f, \"pps_aggressive\": %.0f},\n\
+    \  \"gates_passed\": %b\n\
+     }\n"
+    packets
+    (String.concat ",\n" (List.map row_json all_rows))
+    (row_json parity_interp)
+    (String.concat ",\n" (List.map gate_json gate_results))
+    smp_none_st.Policy.Engine.checks smp_aggr_st.Policy.Engine.checks
+    smp_none.Smp_testbed.pps smp_aggr.Smp_testbed.pps (!failures = []);
+  close_out oc;
+  print_endline "\n  wrote BENCH_guardopt.json";
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "guardopt: FAIL: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 (* smpscale: guarded-vs-unguarded send throughput at 1/2/4/8 CPUs on both
    machine presets, plus an update-storm row (concurrent policy churn via
    the RCU publish path under load). Writes BENCH_smpscale.json and
@@ -1178,6 +1459,7 @@ let all_figs =
     ("ablation-opt", run_ablation_opt);
     ("ablation-mechanism", run_mechanism);
     ("guardpath", run_guardpath);
+    ("guardopt", run_guardopt);
     ("tracegate", run_tracegate);
     ("smpscale", run_smpscale);
     ("selfheal", run_selfheal);

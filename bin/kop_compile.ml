@@ -2,7 +2,7 @@
    wrapper that runs the guard-injection pass pipeline over a module and
    signs the result.
 
-     kop_compile input.kir -o output.kir [--optimize] [--strict]
+     kop_compile input.kir -o output.kir [--opt LEVEL] [--strict]
                  [--exempt-stack] [--key KEY] [--signer NAME] [--stats]
      kop_compile --emit-driver [--scale N] [--rogue] -o e1000e.kir
 
@@ -12,9 +12,19 @@
 open Cmdliner
 open Carat_kop
 
-let compile input output optimize strict exempt_stack key signer stats
+let compile input output optimize opt strict exempt_stack key signer stats
     emit_driver scale rogue no_transform =
   try
+    let opt =
+      match opt with
+      | None -> if optimize then Passes.Pipeline.O_basic else Passes.Pipeline.O_none
+      | Some s -> (
+        match Passes.Pipeline.opt_level_of_string s with
+        | Some o -> o
+        | None ->
+          Printf.eprintf "kop_compile: unknown --opt level %S (none|basic|aggressive)\n" s;
+          exit 2)
+    in
     let m =
       if emit_driver then
         Nic.Driver_gen.generate ~module_scale:scale ~with_rogue:rogue ()
@@ -37,9 +47,7 @@ let compile input output optimize strict exempt_stack key signer stats
           { Passes.Guard_injection.default_config with exempt_stack }
         in
         let pipeline =
-          if optimize then
-            Passes.Pipeline.kop_optimized ~key ~signer ~config ~strict ()
-          else Passes.Pipeline.kop_default ~key ~signer ~config ~strict ()
+          Passes.Pipeline.kop ~key ~signer ~config ~strict ~opt ()
         in
         let remarks = Passes.Pass.run_pipeline_checked pipeline m in
         (* referencing the certifier also guarantees the analysis layer
@@ -94,7 +102,16 @@ let output =
 let optimize =
   Arg.(value & flag & info [ "optimize" ]
     ~doc:"Run the CARAT-CAKE-style guard optimizations (redundant-guard \
-          elimination and loop hoisting). The paper's compiler does not.")
+          elimination and loop hoisting). The paper's compiler does not. \
+          Shorthand for --opt basic; ignored when --opt is given.")
+
+let opt =
+  Arg.(value & opt (some string) None & info [ "opt" ] ~docv:"LEVEL"
+    ~doc:"Guard-optimization level: $(b,none) (the paper's compiler), \
+          $(b,basic) (local redundant-guard elimination + loop hoisting), \
+          or $(b,aggressive) (adds the certificate-gated optimizer: guard \
+          coalescing, loop hoist-widening and interprocedural \
+          elimination, re-certified after the transform).")
 
 let strict =
   Arg.(value & flag & info [ "strict" ]
@@ -134,7 +151,7 @@ let cmd =
   Cmd.v
     (Cmd.info "kop_compile" ~doc)
     Term.(
-      const compile $ input $ output $ optimize $ strict $ exempt_stack $ key
-      $ signer $ stats $ emit_driver $ scale $ rogue $ no_transform)
+      const compile $ input $ output $ optimize $ opt $ strict $ exempt_stack
+      $ key $ signer $ stats $ emit_driver $ scale $ rogue $ no_transform)
 
 let () = exit (Cmd.eval' cmd)

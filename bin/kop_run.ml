@@ -3,8 +3,12 @@
    the insmod-and-poke loop of kernel-module development, on the bench.
 
      kop_run module.kir --policy policy.kop --call sum_region \
-             --args 0x1100000000000000,64 [--machine r350]
+             --args 0x1100000000000000,64 [--machine r350] [--opt LEVEL]
              [--mode panic|quarantine|audit] [--no-enforce] [--log] [--stats]
+
+   --opt re-optimizes the (already guarded) module at insertion time —
+   the guard tier is a loader decision, not only a vendor one; the
+   module is re-certified and re-signed before insmod.
 
    Exit codes: 0 success, 4 kernel panic (e.g. guard violation),
    6 module quarantined (kernel still alive), 1 other errors. *)
@@ -12,8 +16,8 @@
 open Cmdliner
 open Carat_kop
 
-let run module_path policy_path call args machine_name engine_name mode_str
-    no_enforce show_log stats trace guard_trace cpus =
+let run module_path policy_path call args machine_name engine_name opt_str
+    mode_str no_enforce show_log stats trace guard_trace cpus =
   if cpus < 1 || cpus > 8 then begin
     Printf.eprintf "kop_run: --cpus expects 1..8\n";
     exit 2
@@ -33,8 +37,38 @@ let run module_path policy_path call args machine_name engine_name mode_str
         engine_name;
       exit 2
   in
+  let opt =
+    match opt_str with
+    | None -> None
+    | Some s -> (
+      match Passes.Pipeline.opt_level_of_string s with
+      | Some o -> Some o
+      | None ->
+        Printf.eprintf "kop_run: unknown --opt level %s (none|basic|aggressive)\n"
+          s;
+        exit 2)
+  in
   try
     let m = Kir.Parser.parse_file module_path in
+    (match opt with
+    | None | Some Passes.Pipeline.O_none -> ()
+    | Some opt ->
+      if
+        Kir.Types.meta_find m Passes.Guard_injection.meta_guarded
+        <> Some "true"
+      then begin
+        Printf.eprintf
+          "kop_run: --opt needs a guarded module (compile it first)\n";
+        exit 2
+      end;
+      let remarks = Passes.Pipeline.reoptimize ~opt m in
+      if stats then
+        List.iter
+          (fun (pass, r) ->
+            List.iter
+              (fun (k, v) -> Printf.eprintf "  [%s] %s = %s\n" pass k v)
+              r.Passes.Pass.remarks)
+          remarks);
     let kernel =
       Kernel.create ~require_signature:(not no_enforce)
         ~require_certificate:(not no_enforce) machine
@@ -213,6 +247,15 @@ let engine_arg =
     ~doc:"KIR execution engine: interp or compiled. Simulated cycles are \
           identical; compiled is much faster in wall-clock.")
 
+let opt_arg =
+  Arg.(value & opt (some string) None & info [ "opt" ] ~docv:"LEVEL"
+    ~doc:"Re-optimize the guarded module before insertion: none, basic \
+          (redundant-guard elimination + loop hoisting) or aggressive \
+          (certificate-gated coalescing, hoist-widening and \
+          interprocedural elimination). The module is re-certified and \
+          re-signed, so the loader's checks run against the optimized \
+          body.")
+
 let mode_arg =
   Arg.(value & opt (some string) None & info [ "mode" ] ~docv:"MODE"
     ~doc:"Enforcement on guard denial: panic, quarantine, or audit \
@@ -249,7 +292,7 @@ let cmd =
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
-      $ engine_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg $ trace_arg
-      $ guard_trace_arg $ cpus_arg)
+      $ engine_arg $ opt_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg
+      $ trace_arg $ guard_trace_arg $ cpus_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -179,7 +179,49 @@ let probe_workload pm regions =
          ~addr:0x10 ~size:8 ~flags:Policy.Region.prot_write)
   done
 
-let cmd_stats file =
+(* Driver-workload section of the stats command: compile the e1000e
+   driver at the requested guard-optimization tier, insert it into a
+   fresh simulated kernel, push traffic, and report what the tier does
+   to the dynamic check count. *)
+let driver_stats opt =
+  let config =
+    {
+      Testbed.default_config with
+      technique = Testbed.Carat;
+      guard_opt = opt;
+      site_cache = true;
+      module_scale = 6;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  let r =
+    Testbed.run_pktgen tb
+      { Net.Pktgen.default_config with count = 100; size = 128; seed = 7 }
+  in
+  let st =
+    Policy.Engine.stats (Policy.Policy_module.engine tb.Testbed.policy_module)
+  in
+  Printf.printf
+    "driver workload (--opt %s): static_guards=%d checks=%d allowed=%d \
+     denied=%d checks/pkt=%.1f\n"
+    (Passes.Pipeline.opt_level_to_string opt)
+    (Passes.Guard_injection.count_guards tb.Testbed.driver_kir)
+    st.Policy.Engine.checks st.Policy.Engine.allowed st.Policy.Engine.denied
+    (float_of_int st.Policy.Engine.checks
+    /. float_of_int (max 1 r.Net.Pktgen.sent))
+
+let cmd_stats file opt_str =
+  let opt =
+    match opt_str with
+    | None -> None
+    | Some s -> (
+      match Passes.Pipeline.opt_level_of_string s with
+      | Some o -> Some o
+      | None ->
+        Printf.eprintf
+          "policy_manager: unknown --opt level %s (none|basic|aggressive)\n" s;
+        exit 2)
+  in
   let t = Policy.Policy_file.load file in
   let kernel, pm = observability_kernel t in
   (* attach the trace ring through the operator ioctl, as a root tool
@@ -211,6 +253,11 @@ let cmd_stats file =
     let proc = Kernsvc.Procfs.install fs pm in
     print_newline ();
     print_string (Kernsvc.Procfs.read_stats proc);
+    (match opt with
+    | None -> ()
+    | Some o ->
+      print_newline ();
+      driver_stats o);
     0
   end
 
@@ -575,13 +622,19 @@ let mode_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"MODE"
     ~doc:"Enforcement on guard denial: panic, quarantine, or audit.")
 
+let opt_arg =
+  Arg.(value & opt (some string) None & info [ "opt" ] ~docv:"LEVEL"
+    ~doc:"Also compile the e1000e driver at this guard-optimization \
+          level (none, basic or aggressive), insert it, drive traffic \
+          and report the dynamic check count at that tier.")
+
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "load the policy into a simulated kernel, drive a probe workload, \
           and print guard counters via ioctl_get_stats and /proc/carat/stats")
-    Term.(const cmd_stats $ file_arg)
+    Term.(const cmd_stats $ file_arg $ opt_arg)
 
 let trace_cmd =
   Cmd.v

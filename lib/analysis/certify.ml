@@ -71,11 +71,14 @@ type summary = {
 let bool_meta m key ~default =
   match meta_find m key with Some v -> v = "true" | None -> default
 
-let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
-    (f : func) : func_summary =
+let analyze_func ?(call_effect = fun _ -> GC.opaque_effect) ~guard_symbol
+    ~exempt_stack ~guard_reads ~guard_writes (f : func) : func_summary =
   let cfg = Kir.Cfg.of_func f in
   let n = Kir.Cfg.n_blocks cfg in
   let bodies = Array.map (fun b -> Array.of_list b.body) cfg.Kir.Cfg.blocks in
+  (* induction-variable ranges: lets one widened pre-header guard prove
+     every iteration of a counted loop (see {!Range}) *)
+  let ranges = Range.analyze_func cfg (Passes.Loops.compute cfg) in
   (* function-wide instruction ids, in block-array order *)
   let iid_base = Array.make (max n 1) 0 in
   let total = ref 0 in
@@ -96,6 +99,7 @@ let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
         (fun s ->
           s = Passes.Cfi_guard.guard_symbol
           || s = Passes.Intrinsic_guard.guard_symbol);
+      call_effect;
     }
   in
   let block_transfer ~block t =
@@ -133,6 +137,7 @@ let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
       | None -> unreachable := (Kir.Cfg.block cfg b).b_label :: !unreachable
       | Some t0 ->
         let lbl = (Kir.Cfg.block cfg b).b_label in
+        let bounds = Range.bounds_at ranges ~block:b in
         let t = ref t0 in
         Array.iteri
           (fun k ins ->
@@ -148,7 +153,7 @@ let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
               in
               incr accesses;
               let sv = GC.sv_of !t.GC.env addr in
-              (match GC.covering_fact !t sv ~size ~flags with
+              (match GC.covering_fact ~bounds !t sv ~size ~flags with
               | Some cf ->
                 incr covered;
                 List.iter (fun o -> Hashtbl.replace used o ()) cf.GC.origins
@@ -174,7 +179,7 @@ let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
               match GC.parse_guard_args args with
               | Some (addr, size, flags, site) ->
                 let sv = GC.sv_of !t.GC.env addr in
-                let shadow = GC.covering_fact !t sv ~size ~flags in
+                let shadow = GC.covering_fact ~bounds !t sv ~size ~flags in
                 guards :=
                   {
                     gs_func = f.f_name;
@@ -209,6 +214,14 @@ let analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes
     fs_sweeps = sol.Dataflow.sweeps;
   }
 
+(** Does the module's signed metadata declare aggressive optimization?
+    Only then does the certifier widen its proof search with
+    interprocedural summaries — unoptimized modules keep the paper's
+    strictly intraprocedural obligations, so e.g. the mutation sweep on
+    a default-pipeline module behaves exactly as before. *)
+let interprocedural m =
+  meta_find m Passes.Guard_injection.meta_opt_level = Some "aggressive"
+
 (** Analyze every function of [m] under its recorded injection
     configuration. Raises {!Dataflow.Diverged} only for a broken domain
     — callers treat that as a refusal, never as success. *)
@@ -230,6 +243,12 @@ let analyze ?guard_symbol (m : modul) : summary =
   let guard_writes =
     bool_meta m Passes.Guard_injection.meta_guard_writes ~default:true
   in
+  let call_effect =
+    if interprocedural m then
+      let s = Summaries.compute ~guard_symbol m in
+      Summaries.effect_of s
+    else fun _ -> Guard_cover.opaque_effect
+  in
   {
     s_guard_symbol = guard_symbol;
     s_exempt_stack = exempt_stack;
@@ -237,7 +256,8 @@ let analyze ?guard_symbol (m : modul) : summary =
     s_guard_writes = guard_writes;
     s_funcs =
       List.map
-        (analyze_func ~guard_symbol ~exempt_stack ~guard_reads ~guard_writes)
+        (analyze_func ~call_effect ~guard_symbol ~exempt_stack ~guard_reads
+           ~guard_writes)
         m.funcs;
   }
 

@@ -122,12 +122,55 @@ let kill_mentioning p facts =
 
 (* -- transfer ------------------------------------------------------ *)
 
+(** What a direct call to a known function does to coverage.
+
+    [ce_kills]: the callee may mutate the policy or the memory map, so
+    all caller facts die (the conservative envelope). [ce_adds]: facts
+    the callee establishes on {e every} path to {e every} return —
+    guard checks it performed under the policy in force when it
+    returns. Each added fact is a symbolic core (over [S_sym], [S_imm],
+    [S_param] and [S_gep] only) with the callee's formal parameters
+    standing in for the arguments; the transfer function substitutes
+    the caller's argument values for them. The fully opaque call is
+    [{ ce_kills = true; ce_adds = [] }]. *)
+type call_effect = {
+  ce_kills : bool;
+  ce_adds : (sv * int * int * int) list;  (** core, lo, hi, flags *)
+  ce_params : reg list;  (** callee formals, for argument substitution *)
+}
+
+let opaque_effect = { ce_kills = true; ce_adds = []; ce_params = [] }
+
 type ctx = {
   guard_symbol : string;
   neutral : string -> bool;
       (** direct callees that provably cannot change the policy or the
           memory map (the guard family): coverage survives them *)
+  call_effect : string -> call_effect;
+      (** effect of every other direct callee; [opaque_effect] when
+          nothing is known (externs, unanalyzed modules) *)
 }
+
+(** Rewrite a summary core into the caller's value space: the callee's
+    formal parameters become the caller's argument values. [None] when
+    the core mentions a formal with no matching argument, or a symbol
+    class that does not translate. *)
+let rec subst_params ~params ~args sv =
+  match sv with
+  | S_imm _ | S_sym _ -> Some sv
+  | S_param r -> (
+    let rec pick ps vs =
+      match (ps, vs) with
+      | p :: _, v :: _ when p = r -> Some v
+      | _ :: ps, _ :: vs -> pick ps vs
+      | _ -> None
+    in
+    pick params args)
+  | S_gep (b, i, scale) -> (
+    match (subst_params ~params ~args b, subst_params ~params ~args i) with
+    | Some b, Some i -> Some (S_gep (b, i, scale))
+    | _ -> None)
+  | S_undef _ | S_def _ | S_merge _ -> None
 
 (** [addr, size, flags] with an optional trailing site id — both the
     paper's 3-argument form and this repo's 4-argument form. *)
@@ -164,8 +207,27 @@ let transfer_instr ctx ~iid (t : t) (i : instr) : t =
       add_fact core { lo = off; hi = off + size; flags; origins = [ iid ] } t
     | None -> t)
   | Call { callee; dst; _ } when ctx.neutral callee -> def_opaque ~iid dst t
-  | Call { dst; _ } | Callind { dst; _ } ->
-    def_opaque ~iid dst { t with facts = SvMap.empty }
+  | Call { callee; args; dst } -> (
+    match ctx.call_effect callee with
+    | { ce_kills = true; ce_adds = []; _ } ->
+      def_opaque ~iid dst { t with facts = SvMap.empty }
+    | { ce_kills; ce_adds; ce_params } ->
+      (* a summarized intra-module callee: optionally kill, then add
+         the facts it (re)establishes on every return path *)
+      let argvs = List.map (sv_of t.env) args in
+      let t = if ce_kills then { t with facts = SvMap.empty } else t in
+      let t = def_opaque ~iid dst t in
+      List.fold_left
+        (fun t (core, lo, hi, flags) ->
+          match subst_params ~params:ce_params ~args:argvs core with
+          | Some core ->
+            let core, shift = base_off core in
+            add_fact core
+              { lo = lo + shift; hi = hi + shift; flags; origins = [ iid ] }
+              t
+          | None -> t)
+        t ce_adds)
+  | Callind { dst; _ } -> def_opaque ~iid dst { t with facts = SvMap.empty }
   | Inline_asm _ -> { t with facts = SvMap.empty }
   | Mov { dst; src; _ } ->
     (* a copy: the destination takes the source's symbolic value, so
@@ -259,12 +321,43 @@ let join ~block = function
 (* -- queries ------------------------------------------------------- *)
 
 (** Is the access [sv]/[size]/[flags] covered? Returns the proving fact
-    so callers can credit its origin guards as used. *)
-let covering_fact t sv ~size ~flags : fact option =
+    so callers can credit its origin guards as used.
+
+    [bounds] (default: no answer) gives inclusive integer bounds for a
+    symbolic index value — {!Range.bounds_at} partially applied to the
+    access's block. With it, a variable-index access
+    [base + idx*scale] whose index is provably in [\[lo, hi\]] is
+    covered by a fact on [base] spanning the whole footprint
+    [\[lo*scale, hi*scale + size)] — how one widened pre-header guard
+    proves every iteration of a counted loop. *)
+let covering_fact ?(bounds = fun (_ : sv) -> None) t sv ~size ~flags :
+    fact option =
   let core, off = base_off sv in
-  match SvMap.find_opt core t.facts with
-  | None -> None
-  | Some l ->
-    List.find_opt
-      (fun f -> f.lo <= off && off + size <= f.hi && flags land f.flags = flags)
-      l
+  let direct =
+    match SvMap.find_opt core t.facts with
+    | None -> None
+    | Some l ->
+      List.find_opt
+        (fun f -> f.lo <= off && off + size <= f.hi && flags land f.flags = flags)
+        l
+  in
+  match direct with
+  | Some _ -> direct
+  | None -> (
+    match core with
+    | S_gep (b, idx, scale) when scale > 0 -> (
+      match bounds idx with
+      | Some (ilo, ihi) when ilo <= ihi -> (
+        let bcore, boff = base_off b in
+        let need_lo = boff + (ilo * scale) + off in
+        let need_hi = boff + (ihi * scale) + off + size in
+        match SvMap.find_opt bcore t.facts with
+        | None -> None
+        | Some l ->
+          List.find_opt
+            (fun f ->
+              f.lo <= need_lo && need_hi <= f.hi
+              && flags land f.flags = flags)
+            l)
+      | _ -> None)
+    | _ -> None)

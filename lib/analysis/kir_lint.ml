@@ -13,6 +13,10 @@
     - [L-callind-nocfi] (warning): an indirect call not covered by
       {!Passes.Cfi_guard} instrumentation — strict attestation would
       reject the module;
+    - [W-coalescable-guard] (warning): several guards in one block
+      check adjacent/overlapping bytes of the same base and would
+      merge into a single wider guard ({!Passes.Guard_coalesce}, run
+      at [--opt aggressive]);
     - [L-diverged] (error): the dataflow solver failed to stabilize. *)
 
 open Kir.Types
@@ -104,6 +108,24 @@ let lint ?guard_symbol (m : modul) : finding list =
                 "guard (%s) justifies no reachable access" (site_str g.gs_site))
           fs.fs_guards)
       s.s_funcs);
+  let flags_str f =
+    match
+      ( f land Passes.Guard_injection.flag_read <> 0,
+        f land Passes.Guard_injection.flag_write <> 0 )
+    with
+    | true, true -> "rw"
+    | true, false -> "r"
+    | false, true -> "w"
+    | false, false -> "-"
+  in
+  List.iter
+    (fun (c : Passes.Guard_coalesce.candidate) ->
+      push Warn "W-coalescable-guard" c.c_func c.c_block
+        "%d guards (%s) on %s merge into one %s check of bytes [%d,%d)"
+        c.c_count
+        (String.concat ", " (List.map site_str c.c_sites))
+        c.c_addr (flags_str c.c_flags) c.c_lo c.c_hi)
+    (Passes.Guard_coalesce.candidates ?guard_symbol m);
   let r = Passes.Attest.scan m in
   List.iter
     (fun (fi : Passes.Attest.finding) ->

@@ -1,0 +1,210 @@
+(** Interprocedural region summaries.
+
+    For every function of a module, two facts usable at its call sites:
+
+    - {b policy-purity}: the function provably performs no
+      policy-mutating operation, transitively — no indirect calls, no
+      inline asm, no calls to externs or to impure module functions;
+      only the guard family and pure module functions. A call to a
+      policy-pure function preserves the caller's coverage facts (it
+      cannot reach the policy module, so the table the caller's guards
+      checked against is still in force when it returns). Purity is a
+      greatest fixpoint: mutually recursive functions that only call
+      each other stay pure.
+
+    - {b guarantees}: coverage facts the function establishes on every
+      path to every return, expressed over its formal parameters (and
+      module symbols). These hold in the caller immediately after the
+      call returns — even for an impure callee, because facts that
+      survive to its returns postdate its last policy-mutating
+      operation by construction (the callee's own analysis kills facts
+      at such calls). Guarantees are a least fixpoint from the empty
+      summary, so they are always an under-approximation — sound to
+      assume, never complete.
+
+    This is what lets the certified optimizer (and the certifier that
+    re-checks its output) delete a caller's re-check of a range the
+    callee just guarded: e.g. [e1000e_xmit_frame]'s loads of the
+    adapter fields that [e1000e_tx_avail] already checked. *)
+
+open Kir.Types
+module GC = Guard_cover
+
+type fsum = {
+  sm_pure : bool;
+  sm_guarantees : (GC.sv * int * int * int) list;
+      (** core (over formals/symbols), lo, hi, flags *)
+  sm_params : reg list;
+}
+
+type t = {
+  guard_symbol : string;
+  tbl : (string, fsum) Hashtbl.t;
+}
+
+let default_neutral s =
+  s = Passes.Cfi_guard.guard_symbol || s = Passes.Intrinsic_guard.guard_symbol
+
+(* -- policy purity: greatest fixpoint ------------------------------ *)
+
+let compute_purity ~guard_symbol ~neutral (m : modul) :
+    (string, bool) Hashtbl.t =
+  let pure = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace pure f.f_name true) m.funcs;
+  let is_pure name = try Hashtbl.find pure name with Not_found -> false in
+  let func_ok f =
+    List.for_all
+      (fun b ->
+        List.for_all
+          (fun i ->
+            match i with
+            | Callind _ | Inline_asm _ -> false
+            | Call { callee; _ } ->
+              callee = guard_symbol || neutral callee || is_pure callee
+            | _ -> true)
+          b.body)
+      f.blocks
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if is_pure f.f_name && not (func_ok f) then begin
+          Hashtbl.replace pure f.f_name false;
+          changed := true
+        end)
+      m.funcs
+  done;
+  pure
+
+(* -- guarantees: least fixpoint ------------------------------------ *)
+
+(* a core exportable across the call boundary: built only from module
+   symbols, immediates and the function's own formals *)
+let rec exportable = function
+  | GC.S_imm _ | GC.S_sym _ | GC.S_param _ -> true
+  | GC.S_gep (b, i, _) -> exportable b && exportable i
+  | GC.S_undef _ | GC.S_def _ | GC.S_merge _ -> false
+
+(* facts holding at the end of every reachable Ret block, exported *)
+let ret_facts ~ctx (f : func) : (GC.sv * int * int * int) list =
+  let cfg = Kir.Cfg.of_func f in
+  let bodies = Array.map (fun b -> Array.of_list b.body) cfg.Kir.Cfg.blocks in
+  let n = Kir.Cfg.n_blocks cfg in
+  let iid_base = Array.make (max n 1) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i body ->
+      iid_base.(i) <- !total;
+      total := !total + Array.length body)
+    bodies;
+  let block_transfer ~block t =
+    snd
+      (Array.fold_left
+         (fun (iid, t) ins -> (iid + 1, GC.transfer_instr ctx ~iid t ins))
+         (iid_base.(block), t)
+         bodies.(block))
+  in
+  let domain =
+    {
+      Dataflow.entry = GC.entry_of_params f.params;
+      equal = GC.equal;
+      join = GC.join;
+      transfer = block_transfer;
+    }
+  in
+  match Dataflow.solve domain cfg with
+  | exception Dataflow.Diverged _ -> []
+  | sol ->
+    let rets = ref [] in
+    Array.iteri
+      (fun i out ->
+        match ((Kir.Cfg.block cfg i).term, out) with
+        | Ret _, Some t -> rets := t :: !rets
+        | _ -> ())
+      sol.Dataflow.block_out;
+    (match !rets with
+    | [] -> []
+    | t0 :: rest ->
+      let facts =
+        List.fold_left
+          (fun acc (t : GC.t) -> GC.inter_facts acc t.GC.facts)
+          t0.GC.facts rest
+      in
+      GC.SvMap.fold
+        (fun core fs acc ->
+          if exportable core then
+            List.fold_left
+              (fun acc (f : GC.fact) ->
+                (core, f.GC.lo, f.GC.hi, f.GC.flags) :: acc)
+              acc fs
+          else acc)
+        facts []
+      |> List.sort compare)
+
+(** Compute the module's summaries to fixpoint. *)
+let compute ?(guard_symbol = Passes.Guard_injection.guard_symbol_default)
+    ?(neutral = default_neutral) (m : modul) : t =
+  let pure = compute_purity ~guard_symbol ~neutral m in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tbl f.f_name
+        {
+          sm_pure = (try Hashtbl.find pure f.f_name with Not_found -> false);
+          sm_guarantees = [];
+          sm_params = List.map fst f.params;
+        })
+    m.funcs;
+  let t = { guard_symbol; tbl } in
+  let effect_of callee =
+    match Hashtbl.find_opt tbl callee with
+    | None -> GC.opaque_effect
+    | Some s ->
+      {
+        GC.ce_kills = not s.sm_pure;
+        ce_adds = s.sm_guarantees;
+        ce_params = s.sm_params;
+      }
+  in
+  let ctx = { GC.guard_symbol; neutral; call_effect = effect_of } in
+  let rounds = ref (List.length m.funcs + 2) in
+  let changed = ref true in
+  while !changed && !rounds > 0 do
+    changed := false;
+    decr rounds;
+    List.iter
+      (fun f ->
+        let s = Hashtbl.find tbl f.f_name in
+        let g = ret_facts ~ctx f in
+        if g <> s.sm_guarantees then begin
+          Hashtbl.replace tbl f.f_name { s with sm_guarantees = g };
+          changed := true
+        end)
+      m.funcs
+  done;
+  t
+
+(** The {!Guard_cover.ctx} call-effect function for this module:
+    summarized effects for module functions, fully opaque for
+    everything else. *)
+let effect_of (t : t) (callee : string) : GC.call_effect =
+  match Hashtbl.find_opt t.tbl callee with
+  | None -> GC.opaque_effect
+  | Some s ->
+    {
+      GC.ce_kills = not s.sm_pure;
+      ce_adds = s.sm_guarantees;
+      ce_params = s.sm_params;
+    }
+
+let is_pure (t : t) name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s.sm_pure
+  | None -> false
+
+let guarantees (t : t) name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s.sm_guarantees
+  | None -> []

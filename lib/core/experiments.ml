@@ -380,10 +380,8 @@ type opt_ablation = {
 let guard_optimization_ablation ?(trials = 11) ?(packets = 500) () :
     opt_ablation list =
   let machine = Machine.Presets.r350 in
-  let run label technique optimize =
-    let config =
-      { (base_config machine) with technique; optimize_guards = optimize }
-    in
+  let run label technique opt =
+    let config = { (base_config machine) with technique; guard_opt = opt } in
     let tb = Testbed.create ~config () in
     ignore
       (Testbed.run_pktgen tb
@@ -431,7 +429,8 @@ let guard_optimization_ablation ?(trials = 11) ?(packets = 500) () :
     }
   in
   [
-    run "baseline" Testbed.Baseline false;
-    run "carat (unoptimized, as in paper)" Testbed.Carat false;
-    run "carat + guard optimizations" Testbed.Carat true;
+    run "baseline" Testbed.Baseline Passes.Pipeline.O_none;
+    run "carat (unoptimized, as in paper)" Testbed.Carat Passes.Pipeline.O_none;
+    run "carat + guard optimizations" Testbed.Carat Passes.Pipeline.O_basic;
+    run "carat + certified optimizer" Testbed.Carat Passes.Pipeline.O_aggressive;
   ]

@@ -18,6 +18,7 @@ type config = {
   seed : int;
   on_deny : Policy.Policy_module.on_deny;
   site_cache : bool;
+  guard_opt : Passes.Pipeline.opt_level;
   cpus : int;
   module_scale : int;
 }
@@ -33,6 +34,7 @@ let default_config =
     seed = 1;
     on_deny = Policy.Policy_module.Panic;
     site_cache = true;
+    guard_opt = Passes.Pipeline.O_none;
     cpus = 1;
     module_scale = 12;
   }
@@ -72,7 +74,7 @@ let create ?(config = default_config) () : t =
       ~tx_queues:Nic.Regs.max_tx_queues ()
   in
   (match config.technique with
-  | Testbed.Carat -> ignore (Passes.Pipeline.compile ~optimize:false driver_kir)
+  | Testbed.Carat -> ignore (Passes.Pipeline.compile ~opt:config.guard_opt driver_kir)
   | Testbed.Baseline ->
     ignore
       (Passes.Pass.run_pipeline_checked (Passes.Pipeline.baseline_sign ())

@@ -17,7 +17,9 @@ type config = {
   seed : int;
   stall_prob : float;  (** NIC flow-control pause probability per frame *)
   on_deny : Policy.Policy_module.on_deny;
-  optimize_guards : bool;  (** use the CARAT-CAKE-style optimizing pipeline *)
+  guard_opt : Passes.Pipeline.opt_level;
+      (** guard-optimization tier: basic = CARAT-CAKE-style local
+          elimination + hoisting, aggressive = the certified optimizer *)
   module_scale : int;
   with_rogue : bool;  (** include the driver's debug peek/poke backdoor *)
   engine : Vm.Engine.kind;  (** KIR execution engine (simulated cycles are
@@ -38,7 +40,7 @@ let default_config =
     seed = 1;
     stall_prob = 0.0;
     on_deny = Policy.Policy_module.Panic;
-    optimize_guards = false;
+    guard_opt = Passes.Pipeline.O_none;
     module_scale = 12;
     with_rogue = false;
     engine = Vm.Engine.Interp;
@@ -67,7 +69,7 @@ let compile_driver config =
       ~with_rogue:config.with_rogue ()
   in
   (match config.technique with
-  | Carat -> ignore (Passes.Pipeline.compile ~optimize:config.optimize_guards m)
+  | Carat -> ignore (Passes.Pipeline.compile ~opt:config.guard_opt m)
   | Baseline ->
     ignore
       (Passes.Pass.run_pipeline_checked (Passes.Pipeline.baseline_sign ()) m));

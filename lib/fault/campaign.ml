@@ -115,8 +115,10 @@ let record st (o : Harness.outcome) =
 
 (** Run the campaign. [on_outcome] (optional) observes every outcome,
     e.g. for progress reporting; [engine] selects the KIR runner for
-    every cell (the containment matrix must not depend on it). *)
-let run ?on_outcome ?engine (config : config) : report =
+    every cell (the containment matrix must not depend on it); [opt]
+    the victim pipeline's guard-optimization tier (the matrix must not
+    depend on that either — see {!Harness.run_one}). *)
+let run ?on_outcome ?engine ?opt (config : config) : report =
   let classes = Inject.all_classes in
   let modes = Harness.all_modes in
   let r =
@@ -146,7 +148,7 @@ let run ?on_outcome ?engine (config : config) : report =
     let fault_seed = Machine.Rng.int (List.assoc cls streams) 0x3FFF_FFFF in
     List.iter
       (fun mode ->
-        let o = Harness.run_one ?engine ~cls ~mode ~seed:fault_seed () in
+        let o = Harness.run_one ?engine ?opt ~cls ~mode ~seed:fault_seed () in
         record (cell r ~cls ~mode) o;
         if o.Harness.trace_tail <> [] && !n_diags < max_diagnostics then begin
           incr n_diags;

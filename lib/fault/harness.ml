@@ -187,11 +187,11 @@ let payload_addr cell ~cls ~rng =
        corruption rigs a derived tier to stale-allow that store *)
     cell.secret + (8 * Machine.Rng.int rng (secret_size / 8))
 
-let compile_victim ~mode m =
+let compile_victim ?(opt = Passes.Pipeline.O_none) ~mode m =
   let pipeline =
     match mode with
     | Baseline -> Passes.Pipeline.baseline_sign ()
-    | Carat _ -> Passes.Pipeline.kop_default ()
+    | Carat _ -> Passes.Pipeline.kop ~opt ()
   in
   ignore (Passes.Pass.run_pipeline_checked pipeline m)
 
@@ -205,7 +205,7 @@ let compile_victim ~mode m =
     victim lands in the revoked window afterwards are escapes. Baseline
     always escapes; a guarded victim must be stopped by the exact walk
     even though its site inline cache was warm for that page. *)
-let run_race ?engine ~(mode : mode) ~seed () : outcome =
+let run_race ?engine ?opt ~(mode : mode) ~seed () : outcome =
   let cell = make_cell ?engine ~mode () in
   let rng = Machine.Rng.create seed in
   let half = work_size / 2 in
@@ -233,7 +233,7 @@ let run_race ?engine ~(mode : mode) ~seed () : outcome =
      ]
     @ tail_policy);
   let m = Inject.build_race_victim ~rng ~lo ~hi () in
-  compile_victim ~mode m;
+  compile_victim ?opt ~mode m;
   let loaded, load_error, lm =
     match Kernel.insmod cell.kernel m with
     | Ok lm -> (true, None, Some lm)
@@ -343,7 +343,7 @@ let run_race ?engine ~(mode : mode) ~seed () : outcome =
       | Error _ -> Some false
       | Ok () -> (
         let m' = Inject.build_repaired ~rng ~work:cell.work () in
-        compile_victim ~mode m';
+        compile_victim ?opt ~mode m';
         match Kernel.insmod cell.kernel m' with
         | Error _ -> Some false
         | Ok _ ->
@@ -390,7 +390,7 @@ let run_race ?engine ~(mode : mode) ~seed () : outcome =
 let selfheal_period = 5_000
 
 (* Shared post-enforcement bookkeeping for the corruption runners. *)
-let corruption_epilogue cell ~lm ~rng ~mode ~panicked ~entry_sym =
+let corruption_epilogue ?opt cell ~lm ~rng ~mode ~panicked ~entry_sym =
   let first_fault_recorded =
     match Kernel.panic_state cell.kernel with
     | Some info ->
@@ -427,7 +427,7 @@ let corruption_epilogue cell ~lm ~rng ~mode ~panicked ~entry_sym =
       | Error _ -> Some false
       | Ok () -> (
         let m' = Inject.build_repaired ~rng ~work:cell.work () in
-        compile_victim ~mode m';
+        compile_victim ?opt ~mode m';
         match Kernel.insmod cell.kernel m' with
         | Error _ -> Some false
         | Ok _ ->
@@ -470,7 +470,7 @@ let shadow_metadata_window pm =
     [ (s.Policy.Shadow_table.base_vaddr, Policy.Shadow_table.shadow_entries * 8) ]
   | None -> []
 
-let run_corruption ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () :
+let run_corruption ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () :
     outcome =
   let site_cache = cls = Inject.Icache_corrupt in
   let cell = make_cell ?engine ~kind:Policy.Engine.Shadow ~site_cache ~mode () in
@@ -481,7 +481,7 @@ let run_corruption ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () :
   let rng = Machine.Rng.create seed in
   let target = payload_addr cell ~cls ~rng in
   let m = Inject.build_victim ~payload:target ~rng ~work:cell.work () in
-  compile_victim ~mode m;
+  compile_victim ?opt ~mode m;
   let snap =
     Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
       (Kernel.memory cell.kernel)
@@ -548,7 +548,7 @@ let run_corruption ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () :
         trace_tail,
         reenter_blocked,
         recovered ) =
-    corruption_epilogue cell ~lm ~rng ~mode ~panicked ~entry_sym:Inject.entry
+    corruption_epilogue ?opt cell ~lm ~rng ~mode ~panicked ~entry_sym:Inject.entry
   in
   let sh_rebuilt = heal_and_check ~wd ~ig ~panicked in
   let sh_stale =
@@ -586,12 +586,12 @@ let run_corruption ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () :
     digest audit must catch the divergence and republish a clean
     generation (again through RCU, with shootdown), so CPU 0's guarded
     victim never lands its store at the secret. *)
-let run_rcu_corrupt ?engine ~(mode : mode) ~seed () : outcome =
+let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
   let cell = make_cell ?engine ~mode () in
   let rng = Machine.Rng.create seed in
   let target = cell.secret + (8 * Machine.Rng.int rng (secret_size / 8)) in
   let m = Inject.build_victim ~payload:target ~rng ~work:cell.work () in
-  compile_victim ~mode m;
+  compile_victim ?opt ~mode m;
   let snap =
     Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
       (Kernel.memory cell.kernel)
@@ -679,7 +679,7 @@ let run_rcu_corrupt ?engine ~(mode : mode) ~seed () : outcome =
         trace_tail,
         reenter_blocked,
         recovered ) =
-    corruption_epilogue cell ~lm ~rng ~mode ~panicked:!panicked
+    corruption_epilogue ?opt cell ~lm ~rng ~mode ~panicked:!panicked
       ~entry_sym:Inject.entry
   in
   let sh_rebuilt = heal_and_check ~wd ~ig ~panicked:!panicked in
@@ -712,20 +712,23 @@ let run_rcu_corrupt ?engine ~(mode : mode) ~seed () : outcome =
 (** Run one fault under one configuration and check every invariant.
     [engine] selects the KIR runner (default interpreter); the outcome
     must not depend on it — the compiled engine is semantics- and
-    cycle-identical. *)
-let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
-  if cls = Inject.Cross_cpu_race then run_race ?engine ~mode ~seed ()
+    cycle-identical. [opt] selects the victim pipeline's guard-
+    optimization tier (default [O_none]); the containment matrix must
+    not depend on it either — optimized guards check supersets of the
+    original bytes, so every malicious access is still caught. *)
+let run_one ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
+  if cls = Inject.Cross_cpu_race then run_race ?engine ?opt ~mode ~seed ()
   else if cls = Inject.Rcu_instance_corrupt then
-    run_rcu_corrupt ?engine ~mode ~seed ()
+    run_rcu_corrupt ?engine ?opt ~mode ~seed ()
   else if cls = Inject.Shadow_corrupt || cls = Inject.Icache_corrupt then
-    run_corruption ?engine ~cls ~mode ~seed ()
+    run_corruption ?engine ?opt ~cls ~mode ~seed ()
   else
   let cell = make_cell ?engine ~mode () in
   let rng = Machine.Rng.create seed in
   let target = payload_addr cell ~cls ~rng in
   let payload = if cls = Inject.Ir_tamper then None else Some target in
   let m = Inject.build_victim ?payload ~rng ~work:cell.work () in
-  compile_victim ~mode m;
+  compile_victim ?opt ~mode m;
   (* the fault proper: corrupt the pipeline after signing *)
   (match cls with
   | Inject.Ir_tamper -> Inject.mutate_ir_tamper m ~payload_addr:target
@@ -793,7 +796,7 @@ let run_one ?engine ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
       | Error _ -> Some false
       | Ok () -> (
         let m' = Inject.build_repaired ~rng ~work:cell.work () in
-        compile_victim ~mode m';
+        compile_victim ?opt ~mode m';
         match Kernel.insmod cell.kernel m' with
         | Error _ -> Some false
         | Ok _ ->

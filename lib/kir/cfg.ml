@@ -84,3 +84,35 @@ let unreachable_blocks g =
   let out = ref [] in
   Array.iteri (fun i b -> if not seen.(i) then out := b :: !out) g.blocks;
   List.rev !out
+
+(* -- pre-header construction --------------------------------------- *)
+
+let retarget_term ~from_l ~to_l = function
+  | Br l when l = from_l -> Br to_l
+  | Cond_br { cond; if_true; if_false } ->
+    let r l = if l = from_l then to_l else l in
+    Cond_br { cond; if_true = r if_true; if_false = r if_false }
+  | Switch { v; cases; default } ->
+    let r l = if l = from_l then to_l else l in
+    Switch { v; cases = List.map (fun (k, l) -> (k, r l)) cases; default = r default }
+  | t -> t
+
+(** Split the edges from [preds] into [target] through a fresh empty
+    block that only branches to [target] — the edge-splitting primitive
+    behind pre-header creation: called with a loop's outside
+    predecessors it yields a block that executes exactly once per loop
+    entry, where hoisted (or widened) guards can live. The new block is
+    appended to [f.blocks], so the entry block stays first; any {!t}
+    built from [f] before the call is stale afterwards. *)
+let insert_preheader (f : func) ~(target : label) ~(preds : label list)
+    ~(fresh : label) : block =
+  if List.exists (fun b -> b.b_label = fresh) f.blocks then
+    invalid_arg ("Cfg.insert_preheader: label already exists: " ^ fresh);
+  List.iter
+    (fun b ->
+      if List.mem b.b_label preds then
+        b.term <- retarget_term ~from_l:target ~to_l:fresh b.term)
+    f.blocks;
+  let pre = { b_label = fresh; body = []; term = Br target } in
+  f.blocks <- f.blocks @ [ pre ];
+  pre

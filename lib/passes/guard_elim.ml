@@ -4,11 +4,14 @@
     benchmark [abl-opt].
 
     Within a basic block, a guard call [carat_guard(a, s, fl)] is
-    redundant if an earlier guard in the same block already covered the
-    same address *value* with at least the same size and a superset of
-    the access flags, provided no non-guard call intervened (a call could
+    redundant if earlier guards in the same block already covered the
+    same address *value* with at least the same size for every access
+    kind in [fl], provided no non-guard call intervened (a call could
     reach the policy module and change the table; dropping the later
-    guard would then be unsound).
+    guard would then be unsound). Coverage is tracked per access kind:
+    a 4-byte read guard followed by a 1-byte write guard does NOT
+    license dropping a 4-byte write guard — only 1 byte was ever
+    write-checked, so the sizes must never be merged across kinds.
 
     "Same address value" is decided by local value numbering: [mov] and
     [gep] chains are resolved symbolically, so two guards whose addresses
@@ -18,7 +21,8 @@
 
 open Kir.Types
 
-type seen = { size : int; flags : int }
+(* bytes proven checked at an address value, per access kind *)
+type seen = { rsize : int; wsize : int }
 
 (* symbolic value for local value numbering *)
 type sym_value =
@@ -65,19 +69,28 @@ let run ~guard_symbol (m : modul) : Pass.result =
           { callee; args = [ addr; Imm size; Imm flags; Imm _ ]; dst = None }
         when callee = guard_symbol -> (
         let key = sym_to_key (value_of addr) in
-        match Hashtbl.find_opt seen key with
-        | Some prev when prev.size >= size && prev.flags land flags = flags ->
+        let wants_read = flags land Guard_injection.flag_read <> 0 in
+        let wants_write = flags land Guard_injection.flag_write <> 0 in
+        let prev =
+          Option.value
+            (Hashtbl.find_opt seen key)
+            ~default:{ rsize = 0; wsize = 0 }
+        in
+        if
+          ((not wants_read) || prev.rsize >= size)
+          && ((not wants_write) || prev.wsize >= size)
+        then begin
           incr removed;
           false
-        | _ ->
-          let merged =
-            match Hashtbl.find_opt seen key with
-            | Some prev ->
-              { size = max prev.size size; flags = prev.flags lor flags }
-            | None -> { size; flags }
-          in
-          Hashtbl.replace seen key merged;
-          true)
+        end
+        else begin
+          Hashtbl.replace seen key
+            {
+              rsize = (if wants_read then max prev.rsize size else prev.rsize);
+              wsize = (if wants_write then max prev.wsize size else prev.wsize);
+            };
+          true
+        end)
       | Call _ | Callind _ ->
         (* unknown call: conservatively forget guard coverage (the policy
            could have changed); value numbering stays valid *)

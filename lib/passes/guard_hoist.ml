@@ -8,7 +8,15 @@
     guard can run once there instead. Hoisting moves the guard *earlier*,
     so the policy check still precedes every guarded access; it is only
     performed when no call inside the loop could mutate the policy
-    (conservatively: no non-guard calls in the loop at all). *)
+    (conservatively: no non-guard calls in the loop at all).
+
+    The pass is idempotent: the per-loop dedupe table is seeded with the
+    guards already sitting in the preheader (whose address value still
+    holds at the loop entry), so hoisting into a preheader that already
+    checks the same (addr, size, flags) — because an earlier run moved a
+    guard there, or because the injection pass guarded a pre-loop access
+    to the same address — deletes the in-loop re-check instead of
+    stacking a duplicate. *)
 
 open Kir.Types
 
@@ -25,8 +33,18 @@ let regs_defined_in_blocks blocks =
     blocks;
   defined
 
+(* both guard forms; the trailing site id (if present) moves with the
+   call and keeps indexing the same static site after hoisting *)
+let guard_key ~guard_symbol = function
+  | Call { callee; args = [ addr; Imm size; Imm flags ]; dst = None }
+  | Call { callee; args = [ addr; Imm size; Imm flags; Imm _ ]; dst = None }
+    when callee = guard_symbol ->
+    Some (addr, size, flags)
+  | _ -> None
+
 let run ~guard_symbol (m : modul) : Pass.result =
   let hoisted = ref 0 in
+  let deduped = ref 0 in
   let process_func f =
     let cfg = Kir.Cfg.of_func f in
     let linfo = Loops.compute cfg in
@@ -53,34 +71,37 @@ let run ~guard_symbol (m : modul) : Pass.result =
               loop_blocks
           in
           if not has_foreign_call then begin
-            (* collect hoistable guards, dedupe by (addr,size,flags) *)
+            (* dedupe by (addr,size,flags), seeded with the guards already
+               in the preheader whose address value still holds at its end
+               (Imm/Sym, or a register not redefined below the guard) *)
             let moved = Hashtbl.create 8 in
+            let rec seed = function
+              | [] -> ()
+              | i :: rest ->
+                (match guard_key ~guard_symbol i with
+                | Some ((addr, _, _) as key) ->
+                  let stable =
+                    match addr with
+                    | Imm _ | Sym _ -> true
+                    | Reg r ->
+                      not (List.exists (fun j -> def_of_instr j = Some r) rest)
+                  in
+                  if stable then Hashtbl.replace moved key ()
+                | None -> ());
+                seed rest
+            in
+            seed pre.body;
             List.iter
               (fun b ->
                 let keep i =
-                  match i with
-                  (* both guard forms; the trailing site id (if present)
-                     moves with the call and keeps indexing the same
-                     static site after hoisting *)
-                  | Call
-                      {
-                        callee;
-                        args = [ addr; Imm size; Imm flags ];
-                        dst = None;
-                      }
-                  | Call
-                      {
-                        callee;
-                        args = [ addr; Imm size; Imm flags; Imm _ ];
-                        dst = None;
-                      }
-                    when callee = guard_symbol && invariant addr ->
-                    let key = (addr, size, flags) in
-                    if not (Hashtbl.mem moved key) then begin
+                  match guard_key ~guard_symbol i with
+                  | Some ((addr, _, _) as key) when invariant addr ->
+                    if Hashtbl.mem moved key then incr deduped
+                    else begin
                       Hashtbl.replace moved key ();
-                      pre.body <- pre.body @ [ i ]
+                      pre.body <- pre.body @ [ i ];
+                      incr hoisted
                     end;
-                    incr hoisted;
                     false
                   | _ -> true
                 in
@@ -92,8 +113,12 @@ let run ~guard_symbol (m : modul) : Pass.result =
   in
   List.iter process_func m.funcs;
   {
-    Pass.changed = !hoisted > 0;
-    remarks = [ ("guards_hoisted", string_of_int !hoisted) ];
+    Pass.changed = !hoisted + !deduped > 0;
+    remarks =
+      [
+        ("guards_hoisted", string_of_int !hoisted);
+        ("guards_deduped", string_of_int !deduped);
+      ];
   }
 
 let pass ?(guard_symbol = Guard_injection.guard_symbol_default) () =

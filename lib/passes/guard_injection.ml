@@ -146,6 +146,14 @@ let meta_compiler = "carat.kop.compiler"
 let meta_guard_reads = "carat.kop.guard_reads"
 let meta_guard_writes = "carat.kop.guard_writes"
 let meta_exempt_stack = "carat.kop.guard_exempt_stack"
+
+(* the guard-optimization level the module was compiled at, recorded by
+   the certified optimizer ([Analysis.Optimize]) and signed: the
+   certifier widens its analysis (interprocedural summaries, loop
+   ranges) only for modules that honestly declare aggressive
+   optimization, so unoptimized modules keep the paper's strictly
+   intraprocedural proof obligations *)
+let meta_opt_level = "carat.kop.opt"
 let compiler_version = "kop-ocaml-1.1 (kir, guard sites)"
 
 (** Arity of the guard import the pass emits (addr, size, flags, site). *)

@@ -52,6 +52,7 @@ let covered_meta_keys =
     Guard_injection.meta_guard_reads;
     Guard_injection.meta_guard_writes;
     Guard_injection.meta_exempt_stack;
+    Guard_injection.meta_opt_level;
     Guard_injection.meta_compiler;
     Attest.meta_noasm;
     Attest.meta_indirect;

@@ -240,22 +240,161 @@ let prop_certify_differential =
       && Result.is_ok (Analysis.Certify.certify m)
       && Kir.Verify.is_valid m)
 
+(* ---------- optimizer differential property ---------- *)
+
+(* Random modules, random (object-granular) policies: the aggressive
+   optimizer must preserve the observable behavior of the unoptimized
+   compile — same return value, same final memory, same allow/deny
+   verdict — while never executing more checks; and neither compile may
+   behave differently across the two execution engines. *)
+
+(* pure case data, so the same description builds two identical modules *)
+let gen_opt_case =
+  QCheck.Gen.(
+    let* n_ops = int_range 1 6 in
+    let* ops = list_repeat n_ops (tup2 (int_bound 3) (int_bound 3)) in
+    let* loop_n = int_range 2 9 in
+    let* widenable = bool in
+    let* cover_buf = bool in
+    let* buf_prot = int_range 1 3 in
+    let* cover_infra = frequency [ (3, return true); (1, return false) ] in
+    return (ops, loop_n, widenable, cover_buf, buf_prot, cover_infra))
+
+let build_opt_module (ops, loop_n, widenable) =
+  let b = Kir.Builder.create "diff" in
+  ignore (Kir.Builder.declare_global b "g" ~size:256);
+  (* a callee whose guard guarantees its parameter: interprocedural
+     elimination can spare the caller's own check *)
+  ignore (Kir.Builder.start_func b "h" ~params:[ ("%q", I64) ] ~ret:None);
+  Kir.Builder.store b I64 (Imm 0x11) (Reg "%q");
+  Kir.Builder.ret b None;
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:(Some I64));
+  Kir.Builder.mov_to b "%acc" I64 (Imm 0);
+  ignore (Kir.Builder.call b "h" [ Reg "%p" ]);
+  List.iter
+    (fun (t, kind) ->
+      let ty = List.nth [ I8; I16; I32; I64 ] t in
+      let accum v =
+        let s = Kir.Builder.add b I64 (Reg "%acc") v in
+        Kir.Builder.mov_to b "%acc" I64 s
+      in
+      match kind with
+      | 0 -> accum (Kir.Builder.load b ty (Reg "%p"))
+      | 1 -> Kir.Builder.store b ty (Imm 0x2A) (Sym "g")
+      | 2 ->
+        (* adjacent-offset access: coalescing fodder *)
+        let a = Kir.Builder.gep b (Reg "%p") (Imm 8) ~scale:1 in
+        Kir.Builder.store b ty (Imm 0x33) a
+      | _ -> accum (Kir.Builder.load b ty (Sym "g")))
+    ops;
+  (* counted loop over buf: hoist-widening fodder when the stride is
+     within the access width *)
+  Kir.Builder.for_loop b ~init:(Imm 0) ~limit:(Imm loop_n) ~step:(Imm 1)
+    (fun i ->
+      let scale = if widenable then 8 else 1 in
+      let a = Kir.Builder.gep b (Reg "%p") i ~scale in
+      Kir.Builder.store b I64 (Imm 0x44) a);
+  Kir.Builder.ret b (Some (Reg "%acc"));
+  Kir.Builder.modul b
+
+(* run [m] to completion under an object-granular policy (each
+   allocation entirely in or entirely out); audit mode, so denies are
+   recorded but execution continues and final memory is meaningful *)
+let exec_opt_case m ~engine ~cover_buf ~buf_prot ~cover_infra =
+  let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  ignore (Vm.Engine.install ~kind:engine k);
+  let pm =
+    Policy.Policy_module.install ~kind:Policy.Engine.Shadow ~site_cache:true
+      ~on_deny:Policy.Policy_module.Audit k
+  in
+  let buf = Kernel.kmalloc k ~size:256 in
+  Policy.Policy_module.set_policy pm
+    ((if cover_buf then
+        [ Policy.Region.v ~tag:"buf" ~base:buf ~len:256 ~prot:buf_prot () ]
+      else [])
+    @
+    if cover_infra then
+      [
+        Policy.Region.v ~tag:"module-area" ~base:Kernel.Layout.module_base
+          ~len:Kernel.Layout.module_area_size ~prot:Policy.Region.prot_rw ();
+      ]
+    else []);
+  (match Kernel.insmod k m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e));
+  let ret = Kernel.call_symbol k "f" [| buf |] in
+  let mem = List.init 32 (fun i -> Kernel.read k ~addr:(buf + (8 * i)) ~size:8) in
+  let st = Policy.Engine.stats (Policy.Policy_module.engine pm) in
+  ( ret,
+    mem,
+    st.Policy.Engine.checks,
+    st.Policy.Engine.allowed,
+    st.Policy.Engine.denied )
+
+let prop_optimizer_differential =
+  QCheck.Test.make
+    ~name:
+      "aggressive opt preserves return, memory, and verdict; fewer checks; \
+       engine parity"
+    ~count:20 (QCheck.make gen_opt_case)
+    (fun (ops, loop_n, widenable, cover_buf, buf_prot, cover_infra) ->
+      let run opt engine =
+        let m = build_opt_module (ops, loop_n, widenable) in
+        ignore (Passes.Pipeline.compile ~opt m);
+        exec_opt_case m ~engine ~cover_buf ~buf_prot ~cover_infra
+      in
+      let ((r_n, m_n, c_n, a_n, d_n) as none_i) =
+        run Passes.Pipeline.O_none Vm.Engine.Interp
+      in
+      let ((r_a, m_a, c_a, a_a, d_a) as aggr_i) =
+        run Passes.Pipeline.O_aggressive Vm.Engine.Interp
+      in
+      run Passes.Pipeline.O_none Vm.Engine.Compiled = none_i
+      && run Passes.Pipeline.O_aggressive Vm.Engine.Compiled = aggr_i
+      && r_n = r_a && m_n = m_a
+      && (d_n > 0) = (d_a > 0)
+      && c_a <= c_n
+      && a_n + d_n = c_n
+      && a_a + d_a = c_a)
+
 (* ---------- e1000e driver: certification + mutation sweep ---------- *)
 
-let compiled_driver ~optimize () =
+let compiled_driver_at ~opt () =
   let m = Nic.Driver_gen.generate ~module_scale:6 ~with_rogue:false () in
-  let pipeline =
-    if optimize then Passes.Pipeline.kop_optimized ()
-    else Passes.Pipeline.kop_default ()
-  in
-  ignore (Passes.Pass.run_pipeline_checked pipeline m);
+  ignore (Passes.Pipeline.compile ~opt m);
   m
+
+let compiled_driver ~optimize () =
+  compiled_driver_at
+    ~opt:(if optimize then Passes.Pipeline.O_basic else Passes.Pipeline.O_none)
+    ()
 
 let test_driver_certifies () =
   checkb "default pipeline" true
     (Analysis.Certify.validate (compiled_driver ~optimize:false ()) = Ok ());
   checkb "optimized pipeline" true
     (Analysis.Certify.validate (compiled_driver ~optimize:true ()) = Ok ())
+
+let test_driver_aggressive_certifies () =
+  (* the certified optimizer must actually fire (not roll back), shrink
+     the static guard census, and leave a module that re-validates *)
+  let m = Nic.Driver_gen.generate ~module_scale:6 ~with_rogue:false () in
+  let remarks = Passes.Pipeline.compile ~opt:Passes.Pipeline.O_aggressive m in
+  let opt_remarks =
+    match List.assoc_opt "guard-optimize" remarks with
+    | Some (r : Passes.Pass.result) -> r.Passes.Pass.remarks
+    | None -> Alcotest.fail "guard-optimize pass did not run"
+  in
+  checkb "optimizer was not rolled back" true
+    (List.assoc_opt "restored" opt_remarks = None);
+  checkb "optimizer changed something" true
+    (List.exists (fun (_, v) -> v <> "0") opt_remarks);
+  let basic = Passes.Guard_injection.count_guards (compiled_driver ~optimize:true ()) in
+  checkb "fewer static guards than basic" true
+    (Passes.Guard_injection.count_guards m < basic);
+  checkb "re-validates" true (Analysis.Certify.validate m = Ok ());
+  checkb "stamped aggressive" true
+    (meta_find m Passes.Guard_injection.meta_opt_level = Some "aggressive")
 
 let delete_nth_guard m n =
   (* remove the n-th carat_guard call (module order); true if deleted *)
@@ -294,6 +433,25 @@ let test_driver_mutation_sweep () =
       survivors := n :: !survivors
   done;
   Alcotest.(check (list int)) "every mutant caught" [] !survivors
+
+let test_driver_mutation_sweep_aggressive () =
+  (* the same sweep over the certified optimizer's output: after
+     elimination, widening, and coalescing every surviving guard is
+     load-bearing, so deleting any single one must still flip the
+     certifier to reject *)
+  let total =
+    Passes.Guard_injection.count_guards
+      (compiled_driver_at ~opt:Passes.Pipeline.O_aggressive ())
+  in
+  checkb "optimized driver has guards" true (total > 0);
+  let survivors = ref [] in
+  for n = 0 to total - 1 do
+    let m = compiled_driver_at ~opt:Passes.Pipeline.O_aggressive () in
+    checkb "mutant deleted a guard" true (delete_nth_guard m n);
+    if Result.is_ok (Analysis.Certify.certify m) then
+      survivors := n :: !survivors
+  done;
+  Alcotest.(check (list int)) "every optimized mutant caught" [] !survivors
 
 (* ---------- certificate validation ---------- *)
 
@@ -378,6 +536,47 @@ let test_lint_unused_guard () =
   let fs = Analysis.Kir_lint.lint m in
   checkb "unused guard flagged" true (List.mem "L-unused-guard" (codes fs))
 
+(* two guards over adjacent byte ranges of the same base, each backing
+   a real access; [offset] controls adjacency *)
+let adjacent_guard_module ~offset () =
+  let b = Kir.Builder.create "co" in
+  ignore (Kir.Builder.start_func b "f" ~params:[ ("%p", I64) ] ~ret:None);
+  Kir.Builder.emit b
+    (Call
+       { dst = None; callee = guard_sym; args = [ Reg "%p"; Imm 8; Imm 3 ] });
+  let q = Kir.Builder.gep b (Reg "%p") (Imm offset) ~scale:1 in
+  Kir.Builder.emit b
+    (Call { dst = None; callee = guard_sym; args = [ q; Imm 8; Imm 3 ] });
+  ignore (Kir.Builder.load b I64 (Reg "%p"));
+  ignore (Kir.Builder.load b I64 q);
+  Kir.Builder.ret b None;
+  let m = Kir.Builder.modul b in
+  m.externs <- m.externs @ [ (guard_sym, 3) ];
+  m
+
+let test_lint_coalescable_guard () =
+  let m = adjacent_guard_module ~offset:8 () in
+  let fs = Analysis.Kir_lint.lint m in
+  checkb "adjacent guards flagged" true
+    (List.mem "W-coalescable-guard" (codes fs));
+  (* warning, not error: the module is still certifiable as-is *)
+  checki "no errors" 0 (List.length (Analysis.Kir_lint.errors fs));
+  (* running the coalescer discharges the warning without losing
+     coverage *)
+  let r = Passes.Guard_coalesce.run ~guard_symbol:guard_sym m in
+  checkb "coalesce fired" true r.Passes.Pass.changed;
+  let fs' = Analysis.Kir_lint.lint m in
+  checkb "warning discharged" false
+    (List.mem "W-coalescable-guard" (codes fs'));
+  checkb "still certifies" true (Result.is_ok (Analysis.Certify.certify m))
+
+let test_lint_coalescable_needs_adjacency () =
+  (* a gap between the guarded ranges: merging would license bytes no
+     guard ever checked, so the lint must stay quiet *)
+  let m = adjacent_guard_module ~offset:32 () in
+  checkb "gapped guards not flagged" false
+    (List.mem "W-coalescable-guard" (codes (Analysis.Kir_lint.lint m)))
+
 let test_lint_callind_nocfi () =
   let b = Kir.Builder.create "ind" in
   ignore (Kir.Builder.start_func b "f" ~params:[ ("%fp", I64) ] ~ret:None);
@@ -412,10 +611,18 @@ let () =
             test_certify_kill_at_opaque_call;
           QCheck_alcotest.to_alcotest prop_certify_differential;
         ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "aggressive certifies" `Quick
+            test_driver_aggressive_certifies;
+          QCheck_alcotest.to_alcotest prop_optimizer_differential;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "e1000e certifies" `Quick test_driver_certifies;
           Alcotest.test_case "mutation sweep" `Slow test_driver_mutation_sweep;
+          Alcotest.test_case "mutation sweep (aggressive)" `Slow
+            test_driver_mutation_sweep_aggressive;
           Alcotest.test_case "validate errors" `Quick test_validate_errors;
         ] );
       ( "lint",
@@ -426,6 +633,10 @@ let () =
             test_lint_clean_module;
           Alcotest.test_case "duplicate guard" `Quick test_lint_duplicate_guard;
           Alcotest.test_case "unused guard" `Quick test_lint_unused_guard;
+          Alcotest.test_case "coalescable guard" `Quick
+            test_lint_coalescable_guard;
+          Alcotest.test_case "coalescable needs adjacency" `Quick
+            test_lint_coalescable_needs_adjacency;
           Alcotest.test_case "callind nocfi" `Quick test_lint_callind_nocfi;
         ] );
     ]

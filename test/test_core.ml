@@ -159,9 +159,9 @@ let test_mechanism_sensitivity_runs () =
 
 let test_opt_ablation_runs () =
   let rows = Experiments.guard_optimization_ablation ~trials:2 ~packets:50 () in
-  checki "three rows" 3 (List.length rows);
+  checki "four rows" 4 (List.length rows);
   (match rows with
-  | [ base; unopt; opt ] ->
+  | [ base; unopt; opt; aggr ] ->
     checki "baseline has no guards" 0 base.Experiments.static_guards;
     (* on the driver's straight-line hot path there is little to remove
        (the paper's very argument for skipping optimization); what the
@@ -170,7 +170,15 @@ let test_opt_ablation_runs () =
       (opt.Experiments.static_guards <= unopt.Experiments.static_guards);
     checkb "optimized dynamic checks not more" true
       (opt.Experiments.checks_per_packet
-      <= unopt.Experiments.checks_per_packet +. 0.01)
+      <= unopt.Experiments.checks_per_packet +. 0.01);
+    (* the certified optimizer must strictly beat the local tier on the
+       driver: coalescing and hoist-widening fire where elim/hoist alone
+       cannot *)
+    checkb "aggressive static sites fewer" true
+      (aggr.Experiments.static_guards < opt.Experiments.static_guards);
+    checkb "aggressive dynamic checks not more" true
+      (aggr.Experiments.checks_per_packet
+      <= opt.Experiments.checks_per_packet +. 0.01)
   | _ -> Alcotest.fail "unexpected shape")
 
 let () =

@@ -162,6 +162,40 @@ let test_campaign_deterministic () =
   let b = Fault.Campaign.render (Fault.Campaign.run cfg) in
   Alcotest.(check string) "byte-for-byte reproducible" a b
 
+let test_campaign_opt_parity () =
+  (* the containment matrix must not depend on the victim pipeline's
+     guard-optimization tier: optimized guards check supersets of the
+     original bytes, so every fault is caught (or rejected at load)
+     exactly as for the unoptimized compile. Denial *counts* may shrink
+     (merged checks), so compare the verdict cells, not the render. *)
+  let cfg = { Fault.Campaign.faults = 8; seed = 7 } in
+  let a = Fault.Campaign.run cfg in
+  let b = Fault.Campaign.run ~opt:Passes.Pipeline.O_aggressive cfg in
+  let project r =
+    List.concat_map
+      (fun cls ->
+        List.map
+          (fun mode ->
+            let c = Fault.Campaign.cell r ~cls ~mode in
+            ( Fault.Inject.cls_to_string cls,
+              Fault.Harness.mode_to_string mode,
+              ( c.Fault.Campaign.injected,
+                c.Fault.Campaign.contained,
+                c.Fault.Campaign.alive,
+                c.Fault.Campaign.rejected_at_load,
+                c.Fault.Campaign.quarantines ) ))
+          r.Fault.Campaign.modes)
+      r.Fault.Campaign.classes
+  in
+  checkb "optimized campaign passes its own invariants" true
+    (Fault.Campaign.passes b);
+  List.iter2
+    (fun (cls, mode, va) (_, _, vb) ->
+      if va <> vb then
+        Alcotest.failf "containment cell %s/%s differs across opt tiers" cls
+          mode)
+    (project a) (project b)
+
 let test_campaign_seed_sensitivity () =
   (* different seeds give different victims (salted stores), yet the same
      verdict — the report text differs only if counts differ, so compare
@@ -207,6 +241,7 @@ let () =
           Alcotest.test_case "invariants" `Quick test_campaign_invariants;
           Alcotest.test_case "matrix" `Quick test_campaign_matrix;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "opt-tier parity" `Slow test_campaign_opt_parity;
           Alcotest.test_case "seed sensitivity" `Quick
             test_campaign_seed_sensitivity;
         ] );

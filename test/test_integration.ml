@@ -195,7 +195,7 @@ let test_guard_count_matches_runtime_checks () =
 let test_optimized_driver_still_protected () =
   let config =
     { Testbed.default_config with technique = Testbed.Carat;
-      optimize_guards = true; with_rogue = true; module_scale = 1 }
+      guard_opt = Passes.Pipeline.O_basic; with_rogue = true; module_scale = 1 }
   in
   let tb = Testbed.create ~config () in
   let k = tb.Testbed.kernel in
@@ -205,6 +205,23 @@ let test_optimized_driver_still_protected () =
   match Kernel.call_symbol k "e1000e_debug_peek" [| user |] with
   | exception Kernel.Panic _ -> ()
   | _ -> Alcotest.fail "optimization dropped a required guard"
+
+let test_aggressive_driver_still_protected () =
+  (* the certified optimizer deletes, widens, and merges guards; the
+     rogue backdoor's wild store must still hit a surviving guard *)
+  let config =
+    { Testbed.default_config with technique = Testbed.Carat;
+      guard_opt = Passes.Pipeline.O_aggressive; with_rogue = true;
+      module_scale = 1 }
+  in
+  let tb = Testbed.create ~config () in
+  let k = tb.Testbed.kernel in
+  let r = Testbed.run_pktgen tb { Net.Pktgen.default_config with count = 20 } in
+  checki "traffic flows" 20 r.Net.Pktgen.sent;
+  let user = Kernel.map_user k ~size:64 in
+  match Kernel.call_symbol k "e1000e_debug_peek" [| user |] with
+  | exception Kernel.Panic _ -> ()
+  | _ -> Alcotest.fail "the certified optimizer dropped a required guard"
 
 let test_kir_file_round_trip_through_compile () =
   (* print -> parse -> compile -> load -> run: the .kir file workflow the
@@ -246,6 +263,7 @@ let () =
             test_quarantine_mid_send_and_recover;
           Alcotest.test_case "steady guard rate" `Quick test_guard_count_matches_runtime_checks;
           Alcotest.test_case "optimized still protected" `Quick test_optimized_driver_still_protected;
+          Alcotest.test_case "aggressive still protected" `Quick test_aggressive_driver_still_protected;
           Alcotest.test_case "kir file round trip" `Quick test_kir_file_round_trip_through_compile;
         ] );
     ]

@@ -437,6 +437,22 @@ let test_guard_hoist_invariant () =
   checkb "fewer guard sites" true (after <= before);
   checkb "still valid" true (Kir.Verify.is_valid m)
 
+let test_guard_hoist_run_twice () =
+  (* regression: re-running elim+hoist over an already-hoisted module
+     (as the loader's --opt re-optimization does) must not stack a
+     duplicate copy of each hoisted guard into the pre-header *)
+  let m = loop_func () in
+  ignore (Passes.Guard_injection.run Passes.Guard_injection.default_config m);
+  ignore (Passes.Guard_elim.run ~guard_symbol:"carat_guard" m);
+  ignore (Passes.Guard_hoist.run ~guard_symbol:"carat_guard" m);
+  let printed = Kir.Printer.to_string m in
+  ignore (Passes.Guard_elim.run ~guard_symbol:"carat_guard" m);
+  let r = Passes.Guard_hoist.run ~guard_symbol:"carat_guard" m in
+  checkb "second hoist is a no-op" false r.Passes.Pass.changed;
+  Alcotest.(check string)
+    "module byte-identical after the second run" printed
+    (Kir.Printer.to_string m)
+
 let test_guard_hoist_not_variant () =
   (* address depends on the induction variable: must not hoist *)
   let b = Kir.Builder.create "variant" in
@@ -547,6 +563,7 @@ let () =
           Alcotest.test_case "elim respects redefinition" `Quick test_guard_elim_respects_redefinition;
           Alcotest.test_case "elim flag widening" `Quick test_guard_elim_flag_widening;
           Alcotest.test_case "hoist invariant" `Quick test_guard_hoist_invariant;
+          Alcotest.test_case "hoist run twice" `Quick test_guard_hoist_run_twice;
           Alcotest.test_case "hoist leaves variant" `Quick test_guard_hoist_not_variant;
           Alcotest.test_case "dce" `Quick test_dce_removes_islands;
         ] );
