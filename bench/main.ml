@@ -1447,6 +1447,235 @@ let run_certify () =
 
 (* ------------------------------------------------------------------ *)
 
+(* polscale: multi-tenant policy domains at scale.
+
+   Three claims, gated:
+   1. lookup cost is sub-linear in the region count — a 10k-region
+      domain (interval tier) answers a guard within 10x the cost of the
+      64-region linear fast path, and cost stays near-flat as the
+      number of live domains grows 1 -> 256 (sharded shadow + per-domain
+      tables, no cross-tenant interference);
+   2. a 1k-region batched install through ioctl_install's RCU route is
+      atomic under SMP: readers observe the old or the new table, never
+      a partial batch, with zero stale allows and full retirement;
+   3. with domains unused, the guard dispatch is bit-identical to the
+      fig3/fig7 tracegate goldens — multi-tenancy costs nothing when
+      off.
+
+   Writes BENCH_polscale.json. *)
+
+type pol_row = {
+  pr_domains : int;
+  pr_regions : int;
+  pr_structure : string;
+  pr_checks : int;
+  pr_cycles_per_check : float;
+}
+
+let run_polscale () =
+  section "polscale: policy domains at scale (64 -> 10k regions, 1 -> 256 domains)";
+  let probes = if !quick then 400 else 2000 in
+  (* Per-domain disjoint two-page regions; the probe address straddles
+     the page boundary inside the region, so every check takes the
+     exact structure walk (single-page shadow slots cannot answer) and
+     the measured cost is the table's, not the cache's. *)
+  let region_of i =
+    Policy.Region.v
+      ~base:(0x100000 + (i * 0x4000))
+      ~len:0x2000 ~prot:Policy.Region.prot_rw ()
+  in
+  let probe_of i = 0x100000 + (i * 0x4000) + 0xff8 in
+  let cell ~domains ~regions =
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r415 in
+    let dm = Policy.Domain.create kernel in
+    Policy.Domain.set_verify dm true;
+    let rs = List.init regions region_of in
+    let ids =
+      List.init domains (fun _ ->
+          let d = Policy.Domain.create_domain dm in
+          let id = Policy.Domain.dom_id d in
+          let rc = Policy.Domain.install_regions dm ~domain:id rs in
+          if rc <> 0 then failwith (Printf.sprintf "polscale: install rc=%d" rc);
+          id)
+    in
+    let ids = Array.of_list ids in
+    let machine = Kernel.machine kernel in
+    let dom i = ids.(i mod Array.length ids) in
+    let check i =
+      let addr = probe_of (i * 7 mod regions) in
+      if not (Policy.Domain.check dm ~domain:(dom i) ~addr ~size:16 ~flags:3)
+      then failwith "polscale: in-policy probe denied"
+    in
+    for i = 0 to 99 do check i done (* warm *) ;
+    let c0 = Machine.Model.cycles machine in
+    for i = 0 to probes - 1 do check i done;
+    let c1 = Machine.Model.cycles machine in
+    if Policy.Domain.stale_allows dm <> 0 then
+      failwith "polscale: stale allow in sweep";
+    let d0 = match Policy.Domain.find dm ids.(0) with
+      | Some d -> d
+      | None -> assert false
+    in
+    {
+      pr_domains = domains;
+      pr_regions = regions;
+      pr_structure = Policy.Domain.dom_structure d0;
+      pr_checks = probes;
+      pr_cycles_per_check = float_of_int (c1 - c0) /. float_of_int probes;
+    }
+  in
+  (* region axis at 1 domain; domain axis at 64 regions per domain *)
+  let region_axis =
+    List.map (fun r -> cell ~domains:1 ~regions:r) [ 64; 1_000; 10_000 ]
+  in
+  let domain_axis =
+    List.map (fun d -> cell ~domains:d ~regions:64) [ 1; 16; 256 ]
+  in
+  let rows = region_axis @ List.tl domain_axis in
+  Printf.printf "  %-8s %-8s %-10s %14s\n" "domains" "regions" "structure"
+    "cycles/check";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-8d %-8d %-10s %14.1f\n" r.pr_domains r.pr_regions
+        r.pr_structure r.pr_cycles_per_check)
+    rows;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let cost ~domains ~regions =
+    (List.find (fun r -> r.pr_domains = domains && r.pr_regions = regions) rows)
+      .pr_cycles_per_check
+  in
+  (* gate 1a: sub-linear region scaling — 156x the regions, <= 10x the cost *)
+  let c64 = cost ~domains:1 ~regions:64
+  and c10k = cost ~domains:1 ~regions:10_000 in
+  let region_ratio = c10k /. c64 in
+  Printf.printf "\n  10k/64-region cost ratio (1 domain): %.2fx (gate: <= 10x)\n"
+    region_ratio;
+  if region_ratio > 10.0 then
+    fail "10k-region lookup is %.1fx the 64-region cost (> 10x: not sub-linear)"
+      region_ratio;
+  (match List.find_opt (fun r -> r.pr_regions = 10_000) rows with
+  | Some r when r.pr_structure <> "interval" ->
+    fail "10k-region domain was not promoted to the interval tier"
+  | _ -> ());
+  (* gate 1b: sub-linear domain scaling — 256x the tenants must cost
+     well under 256x. The residual growth is honest cache physics, not
+     algorithm: 256 per-domain table mirrors (~400 KB) exceed the
+     modeled D-cache while one domain's 1.5 KB stays resident, so the
+     straddling probes eat capacity misses. Domain *resolution* itself
+     is O(1) (hash index), so the curve flattens once out of cache. *)
+  let d1 = cost ~domains:1 ~regions:64
+  and d256 = cost ~domains:256 ~regions:64 in
+  let domain_ratio = d256 /. d1 in
+  Printf.printf "  256/1-domain cost ratio (64 regions): %.2fx (gate: <= 8x)\n"
+    domain_ratio;
+  if domain_ratio > 8.0 then
+    fail "256-domain lookup is %.1fx the 1-domain cost (super-cache cross-tenant interference)"
+      domain_ratio;
+  (* ---- gate 2: 1k-region batched install is atomic under SMP ---- *)
+  let batch_n = 1_000 in
+  let kernel = Kernel.create ~require_signature:false ~seed:11 Machine.Presets.r415 in
+  let pm = Policy.Policy_module.install ~capacity:2048 kernel in
+  Policy.Policy_module.set_policy pm
+    [ region_of 20_000; region_of 20_001 ] (* the pre-batch table *);
+  let smp = Smp.System.create ~seed:11 ~params:Machine.Presets.r415 ~cpus:4 kernel pm in
+  let engine = Smp.System.engine smp in
+  Policy.Engine.set_verify engine true;
+  let batch = List.init batch_n region_of in
+  let partial = ref 0 and observed = ref 0 and installed = ref false in
+  let writer () =
+    let rc = Policy.Policy_module.apply pm (Policy.Policy_module.M_install batch) in
+    if rc <> 0 then fail "SMP batched install refused (rc=%d)" rc;
+    installed := true;
+    false
+  in
+  let reader _ =
+    let ops = ref 0 in
+    fun () ->
+      incr ops;
+      incr observed;
+      let n = Policy.Engine.count engine in
+      if n <> 2 && n <> batch_n + 2 then incr partial;
+      ignore
+        (Policy.Engine.check engine ~addr:(probe_of 20_000) ~size:8 ~flags:3);
+      !ops < 40
+  in
+  let steps = Array.init 4 (fun i -> if i = 0 then writer else reader i) in
+  ignore (Smp.System.run smp steps);
+  let rstats = Smp.Rcu.stats (Smp.System.rcu smp) in
+  Printf.printf
+    "\n  SMP batched install: %d regions, %d reader observations, %d partial,      %d stale, %d/%d retired\n"
+    batch_n !observed !partial
+    (Policy.Engine.stale_allows engine)
+    rstats.Smp.Rcu.retired rstats.Smp.Rcu.publications;
+  if not !installed then fail "SMP batched install never ran";
+  if !partial <> 0 then
+    fail "%d reader(s) observed a partially-installed batch" !partial;
+  if Policy.Engine.count engine <> batch_n + 2 then
+    fail "batch not fully live after the run";
+  if Policy.Engine.stale_allows engine <> 0 then
+    fail "%d stale allows during the batched install"
+      (Policy.Engine.stale_allows engine);
+  if rstats.Smp.Rcu.publications <> 1 then
+    fail "batch took %d publications (must be exactly 1 generation swap)"
+      rstats.Smp.Rcu.publications;
+  if rstats.Smp.Rcu.retired <> rstats.Smp.Rcu.publications then
+    fail "batch generation never retired";
+  (* ---- gate 3: domains off => bit-identical to the tracegate goldens ---- *)
+  let fig3_golden = (10629208, 17400) in
+  let fig7_golden = (12538822, 17400, 731.0) in
+  let f3 =
+    guardpath_e2e ~label:"polscale/fig3" ~engine:Vm.Engine.Interp
+      ~structure:Policy.Engine.Linear ~site_cache:false ~regions:2
+      ~packets:600 ()
+  in
+  let f7 = fig7_cell ~technique:Testbed.Carat ~engine:Vm.Engine.Interp () in
+  let f3_ok = (f3.gp_total_cycles, f3.gp_guard_checks) = fig3_golden in
+  let f7_ok = f7 = fig7_golden in
+  Printf.printf "  domains-off fig3 cell: %d cycles, %d checks (golden: %b)\n"
+    f3.gp_total_cycles f3.gp_guard_checks f3_ok;
+  let c7, k7, m7 = f7 in
+  Printf.printf
+    "  domains-off fig7 cell: %d cycles, %d checks, median %.1f (golden: %b)\n"
+    c7 k7 m7 f7_ok;
+  if not f3_ok then
+    fail "1-domain (root) fig3 cell differs from the pre-domain golden";
+  if not f7_ok then
+    fail "1-domain (root) fig7 cell differs from the pre-domain golden";
+  (* ---- artifact ---- *)
+  let oc = open_out "BENCH_polscale.json" in
+  let row_json r =
+    Printf.sprintf
+      "    {\"domains\": %d, \"regions\": %d, \"structure\": %S,        \"checks\": %d, \"cycles_per_check\": %.1f}"
+      r.pr_domains r.pr_regions r.pr_structure r.pr_checks
+      r.pr_cycles_per_check
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"probes_per_cell\": %d,\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"region_cost_ratio_10k_vs_64\": %.3f,\n\
+    \  \"domain_cost_ratio_256_vs_1\": %.3f,\n\
+    \  \"smp_batch\": {\"regions\": %d, \"partial_observations\": %d,      \"stale_allows\": %d, \"publications\": %d, \"retired\": %d},\n\
+    \  \"fig3_bit_identical\": %b,\n\
+    \  \"fig7_bit_identical\": %b,\n\
+    \  \"gates_passed\": %b\n\
+     }\n"
+    probes
+    (String.concat ",\n" (List.map row_json rows))
+    region_ratio domain_ratio batch_n !partial
+    (Policy.Engine.stale_allows engine)
+    rstats.Smp.Rcu.publications rstats.Smp.Rcu.retired f3_ok f7_ok
+    (!failures = []);
+  close_out oc;
+  print_endline "  wrote BENCH_polscale.json";
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "polscale: FAIL: %s\n") !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let all_figs =
   [
     ("fig3", run_fig3);
@@ -1462,6 +1691,7 @@ let all_figs =
     ("guardopt", run_guardopt);
     ("tracegate", run_tracegate);
     ("smpscale", run_smpscale);
+    ("polscale", run_polscale);
     ("selfheal", run_selfheal);
     ("faults", run_faults);
     ("certify", run_certify);

@@ -67,9 +67,9 @@ let cmd_policy path strict =
     Printf.eprintf "kop_lint: %s\n" msg;
     1
 
-let cmd_cert path =
+let cmd_cert path expect_domain =
   with_kir path (fun m ->
-      match Analysis.Certify.validate m with
+      match Analysis.Certify.validate ?expect_domain m with
       | Ok () ->
         Printf.printf "%s: certificate ok (guard completeness re-proved)\n"
           path;
@@ -101,13 +101,23 @@ let policy_cmd =
           write-only protections, shadow-table blind spots")
     Term.(const cmd_policy $ file_arg $ strict_arg)
 
+let domain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "domain" ] ~docv:"NAME"
+        ~doc:
+          "Require the certificate to be bound to policy domain $(docv); a \
+           certificate for a different (or no) domain is rejected.")
+
 let cert_cmd =
   Cmd.v
     (Cmd.info "cert"
        ~doc:
          "validate the guard-completeness certificate embedded in a \
-          compiled module (body digest match, then full re-proof)")
-    Term.(const cmd_cert $ file_arg)
+          compiled module (body digest match, then full re-proof); with \
+          --domain, also check the domain binding")
+    Term.(const cmd_cert $ file_arg $ domain_arg)
 
 let () =
   let doc = "static analysis suite for CARAT KOP modules and policies" in

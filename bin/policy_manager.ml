@@ -28,6 +28,7 @@ let load_or_empty path =
     {
       Policy.Policy_file.default_allow = false;
       mode = Policy.Policy_module.Panic;
+      domain = "";
       regions = [];
     }
 
@@ -58,9 +59,15 @@ let cmd_add file base len prot tag prepend =
 
 let cmd_remove file base =
   let t = load_or_empty file in
-  let regions =
-    List.filter (fun r -> r.Policy.Region.base <> base) t.Policy.Policy_file.regions
+  (* first occurrence only: duplicate-base rules are legal (first match
+     wins), so removing by base must peel one rule per invocation — the
+     same semantics as the in-kernel tables and the remove ioctl *)
+  let rec drop_first = function
+    | [] -> []
+    | (r : Policy.Region.t) :: tl ->
+      if r.Policy.Region.base = base then tl else r :: drop_first tl
   in
+  let regions = drop_first t.Policy.Policy_file.regions in
   if List.length regions = List.length t.Policy.Policy_file.regions then begin
     Printf.eprintf "policy_manager: no region with base 0x%x\n" base;
     1
@@ -138,6 +145,167 @@ let cmd_push file =
     (fun i r -> Printf.printf "%2d. %s\n" i (Policy.Region.to_string r))
     (Policy.Engine.regions (Policy.Policy_module.engine pm));
   !rc
+
+(* Batched install through ioctl_install: one syscall pushes the whole
+   policy atomically — readers observe the old table or the new one,
+   never a partially-installed batch. With a `domain` directive in the
+   file (or --domain NAME) the batch lands in a freshly created policy
+   domain instead of the root table. *)
+let cmd_push_batch file domain_override =
+  let t = Policy.Policy_file.load file in
+  let domain_name =
+    match domain_override with
+    | Some d -> d
+    | None -> t.Policy.Policy_file.domain
+  in
+  let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  let pm =
+    Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit kernel
+  in
+  let ioctl cmd arg = Kernel.ioctl kernel ~dev:"carat" ~cmd ~arg in
+  let dom_id =
+    if domain_name = "" then 0
+    else
+      ioctl Policy.Policy_module.ioctl_domain_create
+        (if t.Policy.Policy_file.default_allow then 1 else 0)
+  in
+  if dom_id < 0 then begin
+    Printf.eprintf "policy_manager: domain create failed (rc=%d)\n" dom_id;
+    1
+  end
+  else begin
+    if dom_id = 0 then
+      ignore
+        (ioctl Policy.Policy_module.ioctl_set_default
+           (if t.Policy.Policy_file.default_allow then 1 else 0));
+    let regions = t.Policy.Policy_file.regions in
+    let n = List.length regions in
+    let arg = Kernel.map_user kernel ~size:(16 + (n * 24)) in
+    Kernel.write kernel ~addr:arg ~size:8 dom_id;
+    Kernel.write kernel ~addr:(arg + 8) ~size:8 n;
+    List.iteri
+      (fun i (r : Policy.Region.t) ->
+        let a = arg + 16 + (i * 24) in
+        Kernel.write kernel ~addr:a ~size:8 r.Policy.Region.base;
+        Kernel.write kernel ~addr:(a + 8) ~size:8 r.Policy.Region.len;
+        Kernel.write kernel ~addr:(a + 16) ~size:8 r.Policy.Region.prot)
+      regions;
+    let rc = ioctl Policy.Policy_module.ioctl_install arg in
+    if rc <> 0 then begin
+      Printf.eprintf "policy_manager: batched install failed (rc=%d%s)\n" rc
+        (if rc = Kernel.enospc then " -ENOSPC, whole batch rolled back"
+         else "");
+      1
+    end
+    else begin
+      if dom_id = 0 then begin
+        let count = ioctl Policy.Policy_module.ioctl_count 0 in
+        Printf.printf
+          "installed %d region(s) atomically via ioctl_install; kernel table \
+           (%d):\n"
+          n count;
+        List.iteri
+          (fun i r -> Printf.printf "%2d. %s\n" i (Policy.Region.to_string r))
+          (Policy.Engine.regions (Policy.Policy_module.engine pm))
+      end
+      else begin
+        let stat = Kernel.map_user kernel ~size:64 in
+        Kernel.write kernel ~addr:stat ~size:8 dom_id;
+        ignore (ioctl Policy.Policy_module.ioctl_domain_stats stat);
+        let w i = Kernel.read kernel ~addr:(stat + (i * 8)) ~size:8 in
+        Printf.printf
+          "installed %d region(s) atomically into domain %d (%s): regions=%d \
+           epoch=%d structure=%s\n"
+          n dom_id domain_name (w 0) (w 1)
+          (if w 5 = 1 then "interval" else "linear")
+      end;
+      0
+    end
+  end
+
+(* Multi-tenant demonstration: create N policy domains over one kernel,
+   batch-install the policy into each, probe every domain, and report
+   the per-domain counters through ioctl_domain_stats and
+   /proc/carat/domains. One scratch domain is created and destroyed to
+   exercise teardown churn. *)
+let cmd_domains file count =
+  if count < 1 || count > 256 then begin
+    Printf.eprintf "policy_manager: domains needs --count 1..256\n";
+    2
+  end
+  else
+    let t = Policy.Policy_file.load file in
+    let kernel = Kernel.create ~require_signature:false Machine.Presets.r350 in
+    let pm =
+      Policy.Policy_module.install ~on_deny:Policy.Policy_module.Audit kernel
+    in
+    let ioctl cmd arg = Kernel.ioctl kernel ~dev:"carat" ~cmd ~arg in
+    let regions = t.Policy.Policy_file.regions in
+    let n = List.length regions in
+    let arg = Kernel.map_user kernel ~size:(16 + (n * 24)) in
+    let rc = ref 0 in
+    let default_arg = if t.Policy.Policy_file.default_allow then 1 else 0 in
+    let ids =
+      List.init count (fun _ ->
+          let id = ioctl Policy.Policy_module.ioctl_domain_create default_arg in
+          if id <= 0 then rc := 1;
+          Kernel.write kernel ~addr:arg ~size:8 id;
+          Kernel.write kernel ~addr:(arg + 8) ~size:8 n;
+          List.iteri
+            (fun i (r : Policy.Region.t) ->
+              let a = arg + 16 + (i * 24) in
+              Kernel.write kernel ~addr:a ~size:8 r.Policy.Region.base;
+              Kernel.write kernel ~addr:(a + 8) ~size:8 r.Policy.Region.len;
+              Kernel.write kernel ~addr:(a + 16) ~size:8 r.Policy.Region.prot)
+            regions;
+          if ioctl Policy.Policy_module.ioctl_install arg <> 0 then rc := 1;
+          id)
+    in
+    (* teardown churn: a scratch domain must come and go without
+       disturbing the live ones *)
+    let scratch = ioctl Policy.Policy_module.ioctl_domain_create 0 in
+    if ioctl Policy.Policy_module.ioctl_domain_destroy scratch <> 0 then
+      rc := 1;
+    let live = ioctl Policy.Policy_module.ioctl_domain_count 0 in
+    if live <> count then rc := 1;
+    (match Policy.Policy_module.domains pm with
+    | None -> rc := 1
+    | Some dm ->
+      (* probe every domain so the counters are live *)
+      List.iter
+        (fun id ->
+          List.iter
+            (fun (r : Policy.Region.t) ->
+              ignore
+                (Policy.Domain.check dm ~domain:id ~addr:r.Policy.Region.base
+                   ~size:8 ~flags:Policy.Region.prot_read))
+            regions;
+          ignore
+            (Policy.Domain.check dm ~domain:id ~addr:0x10 ~size:8
+               ~flags:Policy.Region.prot_write))
+        ids);
+    Printf.printf "%d domain(s) live (1 scratch destroyed), %d region(s) each\n"
+      live n;
+    let stat = Kernel.map_user kernel ~size:64 in
+    List.iter
+      (fun id ->
+        Kernel.write kernel ~addr:stat ~size:8 id;
+        if ioctl Policy.Policy_module.ioctl_domain_stats stat <> 0 then rc := 1
+        else
+          let w i = Kernel.read kernel ~addr:(stat + (i * 8)) ~size:8 in
+          Printf.printf
+            "  dom%-3d regions=%-4d epoch=%-3d checks=%-5d allowed=%-5d \
+             denied=%-5d %s sh=%d/%d\n"
+            id (w 0) (w 1) (w 2) (w 3) (w 4)
+            (if w 5 = 1 then "interval" else "linear  ")
+            (w 6) (w 7))
+      ids;
+    (* the same numbers as the operator reads them from procfs *)
+    let fs = Kernsvc.Kernfs.create kernel in
+    let proc = Kernsvc.Procfs.install fs pm in
+    print_newline ();
+    print_string (Kernsvc.Procfs.read_domains proc);
+    !rc
 
 (* Shared setup for the observability commands: a live simulated kernel
    with the policy loaded (audit mode, so denied probes don't panic) and
@@ -618,6 +786,33 @@ let push_cmd =
   Cmd.v (Cmd.info "push" ~doc:"load the policy into a simulated kernel via ioctl")
     Term.(const cmd_push $ file_arg)
 
+let domain_override_arg =
+  Arg.(value & opt (some string) None & info [ "domain" ] ~docv:"NAME"
+    ~doc:"Install into this policy domain instead of the file's \
+          $(b,domain) directive (empty = the root table).")
+
+let push_batch_cmd =
+  Cmd.v
+    (Cmd.info "push-batch"
+       ~doc:
+         "install the whole policy in one atomic ioctl_install batch — \
+          readers see the old table or the new one, never a partial \
+          batch; honors the file's domain directive or --domain")
+    Term.(const cmd_push_batch $ file_arg $ domain_override_arg)
+
+let count_domains_arg =
+  Arg.(value & opt int 4 & info [ "count" ] ~docv:"N"
+    ~doc:"Number of policy domains to create (1..256).")
+
+let domains_cmd =
+  Cmd.v
+    (Cmd.info "domains"
+       ~doc:
+         "create N policy domains on one simulated kernel, batch-install \
+          the policy into each, probe them, and report per-domain stats \
+          via ioctl_domain_stats and /proc/carat/domains")
+    Term.(const cmd_domains $ file_arg $ count_domains_arg)
+
 let mode_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"MODE"
     ~doc:"Enforcement on guard denial: panic, quarantine, or audit.")
@@ -692,5 +887,6 @@ let () =
        (Cmd.group (Cmd.info "policy_manager" ~doc)
           [
             init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd;
-            stats_cmd; trace_cmd; set_mode_cmd; storm_cmd; audit_cmd; lint_cmd;
+            push_batch_cmd; domains_cmd; stats_cmd; trace_cmd; set_mode_cmd;
+            storm_cmd; audit_cmd; lint_cmd;
           ]))

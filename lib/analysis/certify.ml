@@ -269,7 +269,17 @@ let body_digest m =
   Printf.sprintf "%016x"
     (Passes.Signing.fnv1a64 (Kir.Printer.to_string ~with_meta:false m))
 
-let render ~digest (s : summary) =
+(** Module-metadata key naming the policy domain this module is meant to
+    run under. When present, {!certify} stamps the domain into the
+    certificate, so the proof names the policy it was derived against —
+    a certificate for one tenant's domain cannot be replayed as another
+    tenant's. Meta keys are outside {!body_digest}, so stamping the
+    domain does not invalidate the body digest. *)
+let meta_domain = "certify.domain"
+
+let set_domain m name = meta_set m meta_domain name
+
+let render ?domain ~digest (s : summary) =
   let per_func =
     List.map
       (fun fs ->
@@ -285,18 +295,20 @@ let render ~digest (s : summary) =
        "guard=" ^ s.s_guard_symbol;
        Printf.sprintf "exempt=%b" s.s_exempt_stack;
      ]
+    @ (match domain with Some d -> [ "domain=" ^ d ] | None -> [])
     @ per_func
     @ [ "verdict=certified" ])
 
-(** Prove guard completeness; [Ok (certificate, summary)] or a human-
-    readable refusal naming the first unguarded access. *)
-let certify (m : modul) : (string * summary, string) result =
+(** Prove guard completeness with [domain] taken verbatim ([None] = an
+    undomained, pre-multi-tenant certificate — the wire format is
+    unchanged when no domain is named). *)
+let certify_as ~domain (m : modul) : (string * summary, string) result =
   match analyze m with
   | exception Dataflow.Diverged why -> Error ("analysis diverged: " ^ why)
   | s -> (
     let uncov = List.concat_map (fun fs -> fs.fs_uncovered) s.s_funcs in
     match uncov with
-    | [] -> Ok (render ~digest:(body_digest m) s, s)
+    | [] -> Ok (render ?domain ~digest:(body_digest m) s, s)
     | u :: _ ->
       Error
         (Printf.sprintf
@@ -306,14 +318,30 @@ let certify (m : modul) : (string * summary, string) result =
            (access_kind_to_string u.u_kind)
            u.u_size u.u_addr u.u_func u.u_block))
 
-let certificate m = Result.map fst (certify m)
+(** Prove guard completeness; [Ok (certificate, summary)] or a human-
+    readable refusal naming the first unguarded access. The certificate
+    names [domain] when given (or the module's {!meta_domain} stamp). *)
+let certify ?domain (m : modul) : (string * summary, string) result =
+  let domain =
+    match domain with Some _ -> domain | None -> meta_find m meta_domain
+  in
+  certify_as ~domain m
 
-let stored_digest cert =
+let certificate ?domain m = Result.map fst (certify ?domain m)
+
+let stored_field prefix cert =
+  let lp = String.length prefix in
   String.split_on_char ';' cert
   |> List.find_map (fun field ->
-         if String.length field > 7 && String.sub field 0 7 = "digest=" then
-           Some (String.sub field 7 (String.length field - 7))
+         if String.length field > lp && String.sub field 0 lp = prefix then
+           Some (String.sub field lp (String.length field - lp))
          else None)
+
+let stored_digest cert = stored_field "digest=" cert
+
+(** The policy domain a certificate was proven against; [None] for
+    undomained certificates. *)
+let stored_domain cert = stored_field "domain=" cert
 
 type validate_error =
   | Cert_missing
@@ -321,6 +349,9 @@ type validate_error =
       (** module body changed after certification *)
   | Cert_invalid of string  (** re-analysis refuses the module *)
   | Cert_mismatch  (** census differs from re-analysis *)
+  | Cert_wrong_domain of { expected : string; found : string option }
+      (** the certificate was proven against a different policy domain
+          than the one the module is being loaded into *)
 
 let validate_error_to_string = function
   | Cert_missing -> "module carries no guard-completeness certificate"
@@ -330,11 +361,19 @@ let validate_error_to_string = function
       expected found
   | Cert_invalid reason -> "certificate re-validation failed: " ^ reason
   | Cert_mismatch -> "certificate census does not match re-analysis"
+  | Cert_wrong_domain { expected; found } ->
+    Printf.sprintf
+      "certificate proven against domain %s, but load targets domain %s"
+      (match found with Some d -> d | None -> "<none>")
+      expected
 
 (** Load-time re-validation: the stored certificate must exist, match
     the current body digest, and equal the freshly re-derived
-    certificate bit for bit. *)
-let validate (m : modul) : (unit, validate_error) result =
+    certificate bit for bit. Re-derivation uses the domain the stored
+    certificate names (so pre-domain certificates keep validating);
+    [expect_domain] additionally pins WHICH domain the certificate must
+    have been proven against. *)
+let validate ?expect_domain (m : modul) : (unit, validate_error) result =
   match meta_find m Passes.Attest.meta_cert with
   | None -> Error Cert_missing
   | Some stored -> (
@@ -343,10 +382,15 @@ let validate (m : modul) : (unit, validate_error) result =
     | None -> Error (Cert_invalid "certificate carries no digest field")
     | Some found when found <> expected -> Error (Cert_stale { expected; found })
     | Some _ -> (
-      match certificate m with
-      | Error reason -> Error (Cert_invalid reason)
-      | Ok fresh ->
-        if String.equal fresh stored then Ok () else Error Cert_mismatch))
+      let domain = stored_domain stored in
+      match expect_domain with
+      | Some e when domain <> Some e ->
+        Error (Cert_wrong_domain { expected = e; found = domain })
+      | _ -> (
+        match Result.map fst (certify_as ~domain m) with
+        | Error reason -> Error (Cert_invalid reason)
+        | Ok fresh ->
+          if String.equal fresh stored then Ok () else Error Cert_mismatch)))
 
 (* -- pass ---------------------------------------------------------- *)
 

@@ -144,6 +144,7 @@ let eio = -5
    reject malformed arguments distinguishably instead of a blanket -1 *)
 let einval = -22 (* malformed argument (bad flags, negative size, ...) *)
 let enotty = -25 (* unknown ioctl command for this device *)
+let enospc = -28 (* no space: policy table / domain capacity exhausted *)
 let erange = -34 (* argument out of the representable/supported range *)
 
 exception Quarantine_trap of loaded_module

@@ -9,7 +9,9 @@
       event, oldest first;
     - [carat/selfheal]: the integrity layer's audit / degradation /
       rebuild counters and per-tier health, when self-healing is
-      enabled.
+      enabled;
+    - [carat/domains]: per-domain region/epoch/decision counters and the
+      sharded shadow statistics, when policy domains are enabled.
 
     Like real procfs, contents are generated on open: callers go through
     {!read_stats}/{!read_trace} (or call {!refresh} then use the plain
@@ -22,17 +24,20 @@ type t = {
   stats_ino : int;
   trace_ino : int;
   selfheal_ino : int;
+  domains_ino : int;
 }
 
 let stats_name = "carat/stats"
 let trace_name = "carat/trace"
 let selfheal_name = "carat/selfheal"
+let domains_name = "carat/domains"
 
 (* file data extents are fixed-capacity; renders are truncated to fit,
    with a marker so a clipped trace is distinguishable from a short one *)
 let stats_capacity = 8192
 let trace_capacity = 65536
 let selfheal_capacity = 2048
+let domains_capacity = 8192
 
 let truncate_to cap s =
   if String.length s <= cap then s
@@ -49,17 +54,21 @@ let install fs pm : t =
       stats_ino = mk stats_name stats_capacity;
       trace_ino = mk trace_name trace_capacity;
       selfheal_ino = mk selfheal_name selfheal_capacity;
+      domains_ino = mk domains_name domains_capacity;
     }
   in
   Kernfs.write_contents fs ~ino:t.stats_ino "carat: tracing not enabled\n";
   Kernfs.write_contents fs ~ino:t.trace_ino "carat: tracing not enabled\n";
   Kernfs.write_contents fs ~ino:t.selfheal_ino
     "carat: self-healing not enabled\n";
+  Kernfs.write_contents fs ~ino:t.domains_ino
+    "carat: policy domains not enabled\n";
   t
 
 let stats_ino t = t.stats_ino
 let trace_ino t = t.trace_ino
 let selfheal_ino t = t.selfheal_ino
+let domains_ino t = t.domains_ino
 
 (** Re-render the files from the policy module's current state. *)
 let refresh t =
@@ -71,11 +80,16 @@ let refresh t =
       (truncate_to stats_capacity (Trace.render_stats ~region_tag tr));
     Kernfs.write_contents t.fs ~ino:t.trace_ino
       (truncate_to trace_capacity (Trace.render_events tr)));
-  match Policy.Policy_module.integrity t.pm with
+  (match Policy.Policy_module.integrity t.pm with
   | None -> ()
   | Some ig ->
     Kernfs.write_contents t.fs ~ino:t.selfheal_ino
-      (truncate_to selfheal_capacity (Policy.Integrity.render ig))
+      (truncate_to selfheal_capacity (Policy.Integrity.render ig)));
+  match Policy.Policy_module.domains t.pm with
+  | None -> ()
+  | Some dm ->
+    Kernfs.write_contents t.fs ~ino:t.domains_ino
+      (truncate_to domains_capacity (Policy.Domain.render dm))
 
 let read_stats t =
   refresh t;
@@ -88,3 +102,7 @@ let read_trace t =
 let read_selfheal t =
   refresh t;
   Kernfs.read_contents t.fs ~ino:t.selfheal_ino
+
+let read_domains t =
+  refresh t;
+  Kernfs.read_contents t.fs ~ino:t.domains_ino

@@ -38,18 +38,19 @@
     CPU only ever observes a fully-built table — never a half-written
     entry. Grace-period tracking and IPI shootdown live in [Smp.Rcu]. *)
 
-type kind = Linear | Sorted | Splay | Rbtree | Bloom | Cached | Shadow
+type kind = Linear | Sorted | Splay | Rbtree | Itree | Bloom | Cached | Shadow
 
 let kind_to_string = function
   | Linear -> "linear"
   | Sorted -> "sorted"
   | Splay -> "splay"
   | Rbtree -> "rbtree"
+  | Itree -> "interval"
   | Bloom -> "bloom+linear"
   | Cached -> "cached+linear"
   | Shadow -> "shadow+linear"
 
-let all_kinds = [ Linear; Sorted; Splay; Rbtree; Bloom; Cached; Shadow ]
+let all_kinds = [ Linear; Sorted; Splay; Rbtree; Itree; Bloom; Cached; Shadow ]
 
 (** Decision statistics. Tier-invariant: a fast-tier (inline-cache) hit
     credits the same [entries_scanned] the exact walk would have
@@ -173,6 +174,8 @@ let make_instance kernel kind ~capacity : Structure.instance =
     Structure.I ((module Splay_tree), Splay_tree.create kernel ~capacity)
   | Rbtree ->
     Structure.I ((module Rb_tree), Rb_tree.create kernel ~capacity)
+  | Itree ->
+    Structure.I ((module Interval_tree), Interval_tree.create kernel ~capacity)
   | Bloom ->
     Structure.I ((module Bloom_front), Bloom_front.create kernel ~capacity)
   | Cached ->
@@ -341,6 +344,7 @@ let set_default_allow t b =
   lifecycle t Trace.Policy_default ~info:(if b then 1 else 0)
 
 let count t = Structure.count t.instance
+let capacity t = t.capacity
 let regions t = Structure.regions t.instance
 let default_allow t = t.default_allow
 let stats t = t.default_view.v_stats

@@ -41,8 +41,7 @@ let write_entry t i (r : Region.t) =
   Kernel.write t.kernel ~addr:(a + 16) ~size:8 r.Region.prot
 
 let add t r =
-  if t.n >= t.capacity then
-    Error (Printf.sprintf "policy table full (%d regions)" t.capacity)
+  if t.n >= t.capacity then Error (Structure.capacity_error t.capacity)
   else begin
     write_entry t t.n r;
     t.entries.(t.n) <- r;
@@ -50,7 +49,13 @@ let add t r =
     Ok ()
   end
 
+(* the value parked in vacated slots: never matches any lookup and keeps
+   the kernel-memory image byte-identical to the [entries] mirror *)
+let hole = Region.v ~base:0 ~len:1 ~prot:0 ()
+
 let remove t ~base =
+  (* remove the FIRST entry whose base matches — the canonical
+     duplicate-base semantics shared by every structure kind *)
   let rec find i =
     if i >= t.n then None
     else if t.entries.(i).Region.base = base then Some i
@@ -64,6 +69,11 @@ let remove t ~base =
       write_entry t j t.entries.(j)
     done;
     t.n <- t.n - 1;
+    (* scrub the vacated slot in both the mirror and kernel memory; a
+       stale trailing entry readable via Kernel.read is exactly the kind
+       of leak a table-bounds bug would turn into a bogus allow *)
+    t.entries.(t.n) <- hole;
+    write_entry t t.n hole;
     true
 
 let clear t = t.n <- 0

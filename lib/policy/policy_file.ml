@@ -4,18 +4,22 @@
     Format, one rule per line, first match wins:
     {v
     # comment
+    domain e1000e
     default deny
     region 0x1000000000000000 0x2fffffffffffffff rw kernel-high-half
     region 0x0 0x1000000000000000 -- user-low-half
     v}
     The third field is the permission set: [rw], [r-], [-w] or [--]. The
-    trailing tag is optional. *)
+    trailing tag is optional. The optional [domain] directive names the
+    policy domain this file belongs to (multi-tenant installs); an empty
+    domain is the root policy. *)
 
 exception Parse_error of int * string
 
 type t = {
   default_allow : bool;
   mode : Policy_module.on_deny;
+  domain : string;  (** "" = the root (single-tenant) policy *)
   regions : Region.t list;
 }
 
@@ -38,6 +42,7 @@ let parse_int lineno s =
 let parse (text : string) : t =
   let default_allow = ref false in
   let mode = ref Policy_module.Panic in
+  let domain = ref "" in
   let regions = ref [] in
   List.iteri
     (fun i raw ->
@@ -58,6 +63,7 @@ let parse (text : string) : t =
         match Policy_module.on_deny_of_string m with
         | Some v -> mode := v
         | None -> raise (Parse_error (lineno, "bad enforcement mode " ^ m)))
+      | [ "domain"; d ] -> domain := d
       | "region" :: base :: len :: prot :: rest ->
         let base = parse_int lineno base in
         let len = parse_int lineno len in
@@ -67,11 +73,18 @@ let parse (text : string) : t =
         regions := Region.v ~tag ~base ~len ~prot () :: !regions
       | w :: _ -> raise (Parse_error (lineno, "unknown directive " ^ w)))
     (String.split_on_char '\n' text);
-  { default_allow = !default_allow; mode = !mode; regions = List.rev !regions }
+  {
+    default_allow = !default_allow;
+    mode = !mode;
+    domain = !domain;
+    regions = List.rev !regions;
+  }
 
 let to_string (t : t) : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "# CARAT KOP policy (first match wins)\n";
+  if t.domain <> "" then
+    Buffer.add_string buf (Printf.sprintf "domain %s\n" t.domain);
   Buffer.add_string buf
     (if t.default_allow then "default allow\n" else "default deny\n");
   Buffer.add_string buf
@@ -98,7 +111,12 @@ let save path t =
 
 (** The canonical two-region policy as a file. *)
 let kernel_only : t =
-  { default_allow = false; mode = Policy_module.Panic; regions = Region.kernel_only }
+  {
+    default_allow = false;
+    mode = Policy_module.Panic;
+    domain = "";
+    regions = Region.kernel_only;
+  }
 
 (** Apply a policy file to a live engine (regions and default only; the
     enforcement mode lives on the policy module — see {!apply_module}). *)

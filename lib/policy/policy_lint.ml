@@ -8,8 +8,11 @@
     surface each case before the policy is pushed.
 
     Codes ([E-] prefixed findings are errors, [W-] warnings):
-    - [E-capacity]: more regions than {!Linear_table.default_capacity};
-      the push ioctl would refuse the table;
+    - [E-capacity]: more regions than the target table can hold (the
+      linear table for the root policy, the interval tier's ceiling for
+      a named domain); the push/install ioctl would refuse the table;
+    - [W-fastpath]: a named domain's policy exceeds the linear fast path
+      and will be promoted to the interval tier;
     - [E-shadowed]: a region fully covered by earlier regions — it can
       never match, so its protection is dead;
     - [W-dup-base]: two regions share a base address (the later is at
@@ -64,7 +67,24 @@ let lint (t : Policy_file.t) : finding list =
   in
   let regions = Array.of_list t.Policy_file.regions in
   let n = Array.length regions in
-  if n > Linear_table.default_capacity then
+  let domained = t.Policy_file.domain <> "" in
+  (* capacity is per-domain: a root policy lives in the fixed linear
+     table, while a named domain auto-promotes to the interval tier past
+     the fast path — so the hard limit differs, and crossing the fast
+     path is worth a warning rather than an error *)
+  if domained then begin
+    if n > Domain.default_big_capacity then
+      push Err "E-capacity" (-1)
+        "%d regions exceed domain '%s' capacity (%d); the install ioctl \
+         would refuse this policy with -ENOSPC"
+        n t.Policy_file.domain Domain.default_big_capacity
+    else if n > Linear_table.default_capacity then
+      push Warn "W-fastpath" (-1)
+        "%d regions push domain '%s' past the %d-entry linear fast path; \
+         the domain will be promoted to the interval tier"
+        n t.Policy_file.domain Linear_table.default_capacity
+  end
+  else if n > Linear_table.default_capacity then
     push Err "E-capacity" (-1)
       "%d regions exceed the kernel module's table capacity (%d); the push \
        ioctl would refuse this policy"

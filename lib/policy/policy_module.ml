@@ -46,6 +46,11 @@ type mutation =
   | M_clear
   | M_set_default of bool
   | M_set_mode of on_deny
+  | M_install of Region.t list
+      (** batched install: all N regions land as ONE mutation. Under the
+          RCU route this is a single generation swap (readers see
+          old-or-new, never a prefix); the in-place route rolls the whole
+          batch back on any mid-batch failure. *)
   | M_replace of Region.t list * bool  (** whole policy + default action *)
   | M_rebuild of Region.t list * bool
       (** self-healing rebuild: publish a fresh instance of the engine's
@@ -68,6 +73,12 @@ type t = {
           bit-identical to a pre-integrity build *)
   mutable watchdog : Kernel.Watchdog.t option;
       (** periodic driver for the integrity audit, created lazily *)
+  mutable domains : Domain.t option;
+      (** multi-tenant policy domains; [None] (the default) keeps the
+          classic single-table engine path bit-identical *)
+  module_domains : (string, int) Hashtbl.t;
+      (** loaded-module name -> policy domain id; guards from a bound
+          module are checked against its domain instead of the engine *)
   (* §5 extensions *)
   mutable intrinsic_allowed : int;
       (** bitmap over the kernel's intrinsic registry; bit i set = the
@@ -114,6 +125,24 @@ let ioctl_audit = 18
 let ioctl_selfheal = 19
 (* arg = user block of 8 x 8 bytes, filled with audits, detections,
    degradations, rebuilds, abandoned, tier_level, ic_enabled, healthy *)
+(* multi-tenant policy domains *)
+let ioctl_domain_create = 20
+(* arg <> 0 = default-allow domain; returns the new domain id (> 0) *)
+let ioctl_domain_destroy = 21 (* arg = domain id *)
+let ioctl_install = 22
+(* batched atomic install. arg = user block: domain(8), count(8), then
+   count x 24-byte region records (base, len, prot). domain 0 targets
+   the engine's root policy through the mutation router (one RCU
+   generation swap under SMP); ids > 0 target that policy domain.
+   Returns 0, or a typed errno with NOTHING installed: the whole batch
+   rolls back on any mid-batch failure (-ENOSPC on capacity). *)
+let ioctl_domain_stats = 23
+(* arg = user block with the domain id at offset 0; filled with 8 x 8
+   bytes: regions, epoch, checks, allowed, denied, structure (0 =
+   linear, 1 = interval), shadow hits, shadow misses *)
+let ioctl_domain_count = 24 (* returns the number of live domains *)
+
+let install_batch_max = 4096
 
 (* the trace ring is simulated kernel memory; cap operator-requested
    capacities at 1 Mi events so a typo'd ioctl cannot kmalloc the moon *)
@@ -173,8 +202,27 @@ let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
    nothing. [site] is the compiler-assigned static guard-site id; -1 for
    legacy 3-argument callers. *)
 let guard t ~site ~addr ~size ~flags =
-  if not (Engine.check_fast t.engine ~site ~addr ~size ~flags) then
-    handle_deny t ~addr ~size ~flags (Engine.last_deny t.engine)
+  let bound_domain =
+    (* a module bound to a policy domain is checked against that domain;
+       everything else (and every run with domains off) takes the classic
+       engine path unchanged *)
+    match t.domains with
+    | None -> None
+    | Some dm -> (
+      match Kernel.current_module t.kernel with
+      | None -> None
+      | Some lm -> (
+        match Hashtbl.find_opt t.module_domains lm.Kernel.lm_name with
+        | Some id -> Some (dm, id)
+        | None -> None))
+  in
+  match bound_domain with
+  | Some (dm, domain) ->
+    if not (Domain.check dm ~domain ~addr ~size ~flags) then
+      handle_deny t ~addr ~size ~flags None
+  | None ->
+    if not (Engine.check_fast t.engine ~site ~addr ~size ~flags) then
+      handle_deny t ~addr ~size ~flags (Engine.last_deny t.engine)
 
 (** The §5 intrinsic guard: consult "a different policy table" — here a
     permission bitmap over the intrinsic registry. *)
@@ -248,7 +296,7 @@ let apply_in_place t (m : mutation) : int =
     | Error e ->
       Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Warn
         "carat ioctl add: %s" e;
-      -1)
+      if Structure.is_capacity_error e then Kernel.enospc else -1)
   | M_remove base -> if Engine.remove_region t.engine ~base then 0 else -1
   | M_clear ->
     Engine.clear t.engine;
@@ -267,6 +315,29 @@ let apply_in_place t (m : mutation) : int =
     Kernel.Klog.printk (Kernel.log t.kernel)
       "CARAT KOP enforcement mode -> %s" (on_deny_to_string mode);
     0
+  | M_install rs ->
+    let snapshot = Engine.regions t.engine in
+    if List.length snapshot + List.length rs > Engine.capacity t.engine then
+      (* the whole batch provably cannot fit: reject before mutating *)
+      Kernel.enospc
+    else begin
+      let rec go = function
+        | [] -> 0
+        | r :: rest -> (
+          match Engine.add_region t.engine r with
+          | Ok () -> go rest
+          | Error e ->
+            (* mid-batch failure: restore the pre-batch policy so the
+               caller observes all-or-nothing, matching the RCU route *)
+            Engine.set_policy t.engine snapshot;
+            Kernel.Klog.log (Kernel.log t.kernel) Kernel.Klog.Warn
+              "carat ioctl install: %s (batch of %d rolled back)" e
+              (List.length rs);
+            if Structure.is_capacity_error e then Kernel.enospc
+            else Kernel.einval)
+      in
+      go rs
+    end
   | M_replace (rs, default_allow) ->
     Engine.set_policy t.engine rs;
     Engine.set_default_allow t.engine default_allow;
@@ -320,6 +391,34 @@ let enable_watchdog ?config ?period t =
     wd
 
 let watchdog t = t.watchdog
+
+(** Attach the multi-tenant domain layer (idempotent, lazy like trace and
+    integrity: a run that never enables it allocates nothing and the
+    classic engine path stays bit-identical). *)
+let enable_domains ?fast_capacity ?big_capacity t =
+  match t.domains with
+  | Some dm -> dm
+  | None ->
+    let dm = Domain.create ?fast_capacity ?big_capacity t.kernel in
+    t.domains <- Some dm;
+    Kernel.Klog.printk (Kernel.log t.kernel)
+      "CARAT KOP policy domains enabled";
+    dm
+
+let domains t = t.domains
+
+(** Bind a loaded module (by name) to a policy domain: its guards are
+    from now on checked against that domain's policy instead of the
+    engine's root table. *)
+let bind_module_domain t ~module_name ~domain =
+  ignore (enable_domains t);
+  Hashtbl.replace t.module_domains module_name domain
+
+let unbind_module_domain t ~module_name =
+  Hashtbl.remove t.module_domains module_name
+
+let module_domain t ~module_name =
+  Hashtbl.find_opt t.module_domains module_name
 
 (* Argument validation: malformed ioctl arguments are rejected with the
    typed kernel error codes (-EINVAL / -ERANGE / -ENOTTY) rather than
@@ -435,6 +534,70 @@ let handle_ioctl t _kernel ~cmd ~arg =
           w 7 e.Trace.info;
           1)
   end
+  else if cmd = ioctl_domain_create then
+    (Domain.create_domain ~default_allow:(arg <> 0) (enable_domains t)).Domain.d_id
+  else if cmd = ioctl_domain_destroy then begin
+    if arg <= 0 then Kernel.einval
+    else
+      match t.domains with
+      | None -> Kernel.einval
+      | Some dm -> if Domain.destroy_domain dm arg then 0 else Kernel.einval
+  end
+  else if cmd = ioctl_install then begin
+    if arg < 0 then Kernel.einval
+    else begin
+      let domain = Kernel.read t.kernel ~addr:arg ~size:8 in
+      let n = Kernel.read t.kernel ~addr:(arg + 8) ~size:8 in
+      if domain < 0 || n <= 0 then Kernel.einval
+      else if n > install_batch_max then Kernel.erange
+      else begin
+        (* decode and validate the WHOLE batch before mutating anything:
+           a malformed record rejects the batch with nothing installed *)
+        let rec decode i acc =
+          if i >= n then Ok (List.rev acc)
+          else begin
+            let base, len, prot = read_region_arg t ~arg:(arg + 16 + (i * 24)) in
+            if base < 0 || len <= 0 then Error Kernel.einval
+            else if len > max_int - base then Error Kernel.erange
+            else if prot land lnot Region.prot_rw <> 0 then Error Kernel.einval
+            else decode (i + 1) (Region.v ~tag:"ioctl" ~base ~len ~prot () :: acc)
+          end
+        in
+        match decode 0 [] with
+        | Error e -> e
+        | Ok rs ->
+          if domain = 0 then apply t (M_install rs)
+          else (
+            match t.domains with
+            | None -> Kernel.einval
+            | Some dm -> Domain.install_regions dm ~domain rs)
+      end
+    end
+  end
+  else if cmd = ioctl_domain_stats then begin
+    if arg < 0 then Kernel.einval
+    else
+      match t.domains with
+      | None -> Kernel.einval
+      | Some dm -> (
+        let id = Kernel.read t.kernel ~addr:arg ~size:8 in
+        match Domain.find dm id with
+        | None -> Kernel.einval
+        | Some d ->
+          let st = Domain.dom_stats d in
+          let w i v = Kernel.write t.kernel ~addr:(arg + (i * 8)) ~size:8 v in
+          w 0 (List.length (Domain.dom_regions d));
+          w 1 (Domain.dom_epoch d);
+          w 2 st.Engine.checks;
+          w 3 st.Engine.allowed;
+          w 4 st.Engine.denied;
+          w 5 (if Domain.dom_structure d = "interval" then 1 else 0);
+          w 6 (Domain.dom_shadow_hits d);
+          w 7 (Domain.dom_shadow_misses d);
+          0)
+  end
+  else if cmd = ioctl_domain_count then
+    (match t.domains with None -> 0 | Some dm -> Domain.count dm)
   else if cmd = ioctl_audit then begin
     match t.integrity with
     | None -> Kernel.einval
@@ -476,6 +639,8 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
       violations = [];
       integrity = None;
       watchdog = None;
+      domains = None;
+      module_domains = Hashtbl.create 16;
       intrinsic_allowed = 0;
       intrinsic_violations = [];
       cfi_targets = Hashtbl.create 16;

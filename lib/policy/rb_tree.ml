@@ -101,8 +101,7 @@ let rec insert_node t (cur : node option) (nw : node) : node =
     fixup t c
 
 let add t r =
-  if t.n >= t.capacity then
-    Error (Printf.sprintf "policy table full (%d regions)" t.capacity)
+  if t.n >= t.capacity then Error (Structure.capacity_error t.capacity)
   else begin
     let vaddr = Kernel.kmalloc t.kernel ~size:node_size in
     Kernel.write t.kernel ~addr:vaddr ~size:8 r.Region.base;
@@ -133,11 +132,20 @@ let clear t =
   t.n <- 0
 
 let remove t ~base =
-  (* rebuild without the node; removals happen on the slow ioctl path *)
+  (* rebuild without the FIRST matching node (canonical duplicate-base
+     semantics); removals happen on the slow ioctl path *)
   let rs = regions t in
   if List.exists (fun r -> r.Region.base = base) rs then begin
     clear t;
-    List.iter (fun r -> if r.Region.base <> base then ignore (add t r)) rs;
+    let removed = ref false in
+    List.iter
+      (fun r ->
+        if (not !removed) && r.Region.base = base then removed := true
+        else
+          match add t r with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Rb_tree.remove rebuild: " ^ e))
+      rs;
     true
   end
   else false

@@ -39,8 +39,7 @@ let write_entry t i (r : Region.t) =
   Kernel.write t.kernel ~addr:(a + 16) ~size:8 r.Region.prot
 
 let add t (r : Region.t) =
-  if t.n >= t.capacity then
-    Error (Printf.sprintf "policy table full (%d regions)" t.capacity)
+  if t.n >= t.capacity then Error (Structure.capacity_error t.capacity)
   else begin
     let overlap = ref None in
     for i = 0 to t.n - 1 do
@@ -65,6 +64,10 @@ let add t (r : Region.t) =
       Ok ()
   end
 
+(* see Linear_table.hole: parked in vacated slots so kernel memory stays
+   byte-identical to the mirror after a removal *)
+let hole = Region.v ~base:0 ~len:1 ~prot:0 ()
+
 let remove t ~base =
   let rec find i =
     if i >= t.n then None
@@ -79,6 +82,8 @@ let remove t ~base =
       write_entry t j t.entries.(j)
     done;
     t.n <- t.n - 1;
+    t.entries.(t.n) <- hole;
+    write_entry t t.n hole;
     true
 
 let clear t = t.n <- 0

@@ -107,8 +107,7 @@ let rec insert_no_splay (t : t) (cur : node option) (n : node) :
       | Error _ as e -> e)
 
 let add t r =
-  if t.n >= t.capacity then
-    Error (Printf.sprintf "policy table full (%d regions)" t.capacity)
+  if t.n >= t.capacity then Error (Structure.capacity_error t.capacity)
   else begin
     let n = alloc_node t r in
     match insert_no_splay t t.root n with
@@ -131,15 +130,21 @@ let clear t =
   t.n <- 0
 
 let remove t ~base =
-  (* rebuild without the node; removal is rare (ioctl path), so the
-     simple O(n) approach is fine and costs are not modelled *)
+  (* rebuild without the FIRST matching node (canonical duplicate-base
+     semantics across all structures); removal is rare (ioctl path), so
+     the simple O(n) approach is fine and costs are not modelled *)
   let rs = regions t in
   if List.exists (fun r -> r.Region.base = base) rs then begin
     clear t;
+    let removed = ref false in
     List.iter
-      (fun r -> if r.Region.base <> base then ignore (add t r))
+      (fun r ->
+        if (not !removed) && r.Region.base = base then removed := true
+        else
+          match add t r with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Splay_tree.remove rebuild: " ^ e))
       rs;
-    (* add increments n; recount *)
     true
   end
   else false

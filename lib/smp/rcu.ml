@@ -149,7 +149,12 @@ let quiesce t cpu =
 
 let publish_regions t rs ~default_allow =
   match Policy.Engine.build_instance t.engine rs with
-  | exception Invalid_argument _ -> -1
+  | exception Invalid_argument msg ->
+    (* the successor never became reachable, so the live generation is
+       untouched — a failed publish (capacity or otherwise) rolls back
+       the whole mutation by construction; surface capacity exhaustion
+       as the typed -ENOSPC the ioctl contract promises *)
+    if Policy.Structure.is_capacity_error msg then Kernel.enospc else -1
   | inst ->
     let old = Policy.Engine.publish t.engine inst ~default_allow in
     t.pending <-
@@ -180,10 +185,21 @@ let apply t (m : Policy.Policy_module.mutation) : int =
   | M_remove base ->
     let rs = regions () in
     if List.exists (fun (r : Policy.Region.t) -> r.base = base) rs then
-      publish_regions t
-        (List.filter (fun (r : Policy.Region.t) -> r.base <> base) rs)
-        ~default_allow:(default ())
+      (* first occurrence only — the canonical duplicate-base semantics
+         every structure's in-place [remove] implements *)
+      let rec drop_first = function
+        | [] -> []
+        | (r : Policy.Region.t) :: rest ->
+          if r.base = base then rest else r :: drop_first rest
+      in
+      publish_regions t (drop_first rs) ~default_allow:(default ())
     else -1
+  | M_install rs ->
+    (* the batched install: one generation swap covers the whole batch,
+       so concurrent readers observe the old policy or all N new regions
+       — never a prefix. A capacity failure inside build_instance leaves
+       the live generation untouched (whole-batch rollback). *)
+    publish_regions t (regions () @ rs) ~default_allow:(default ())
   | M_clear -> publish_regions t [] ~default_allow:(default ())
   | M_set_default b -> publish_regions t (regions ()) ~default_allow:b
   | M_replace (rs, d) -> publish_regions t rs ~default_allow:d

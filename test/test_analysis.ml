@@ -488,6 +488,71 @@ let test_validate_errors () =
   | Error Analysis.Certify.Cert_mismatch -> ()
   | _ -> Alcotest.fail "forged census not flagged"
 
+
+(* ---------- per-domain certificates ---------- *)
+
+(* A certificate can be bound to the policy domain the module will run
+   under. Undomained certificates keep the old wire format and still
+   validate; a verifier that pins --domain rejects both undomained and
+   wrong-domain certificates. *)
+let test_certify_domain_binding () =
+  (* undomained: backward compatible, but fails a pinned verifier *)
+  let m = compiled_driver ~optimize:false () in
+  checkb "undomained still validates" true
+    (Analysis.Certify.validate m = Ok ());
+  (match Analysis.Certify.validate ~expect_domain:"e1000e" m with
+  | Error (Analysis.Certify.Cert_wrong_domain { expected; found }) ->
+    Alcotest.(check string) "expected" "e1000e" expected;
+    checkb "found none" true (found = None)
+  | _ -> Alcotest.fail "undomained cert passed a pinned verifier");
+  (* domain-bound: stamp the module, re-issue, validate both ways *)
+  let m2 = compiled_driver ~optimize:false () in
+  Analysis.Certify.set_domain m2 "e1000e";
+  (match Analysis.Certify.certificate m2 with
+  | Error e -> Alcotest.failf "re-certify: %s" e
+  | Ok cert ->
+    meta_set m2 Passes.Attest.meta_cert cert;
+    checkb "cert names the domain" true
+      (Analysis.Certify.stored_domain cert = Some "e1000e"));
+  checkb "domained validates" true (Analysis.Certify.validate m2 = Ok ());
+  checkb "pinned verifier accepts the right domain" true
+    (Analysis.Certify.validate ~expect_domain:"e1000e" m2 = Ok ());
+  (match Analysis.Certify.validate ~expect_domain:"ixgbe" m2 with
+  | Error (Analysis.Certify.Cert_wrong_domain { expected; found }) ->
+    Alcotest.(check string) "expected" "ixgbe" expected;
+    checkb "found the bound domain" true (found = Some "e1000e")
+  | _ -> Alcotest.fail "wrong-domain cert accepted");
+  ()
+
+let test_certify_domain_forgery () =
+  let m = compiled_driver ~optimize:false () in
+  Analysis.Certify.set_domain m "e1000e";
+  (match Analysis.Certify.certificate m with
+  | Error e -> Alcotest.failf "certify: %s" e
+  | Ok cert ->
+    meta_set m Passes.Attest.meta_cert cert;
+    (* splice the domain token by hand: domain=e1000e -> domain=ixgbe *)
+    let buf = Buffer.create (String.length cert) in
+    let src = "domain=e1000e" and dst = "domain=ixgbe" in
+    let n = String.length cert and sn = String.length src in
+    let i = ref 0 in
+    while !i < n do
+      if !i + sn <= n && String.sub cert !i sn = src then begin
+        Buffer.add_string buf dst;
+        i := !i + sn
+      end
+      else begin
+        Buffer.add_char buf cert.[!i];
+        incr i
+      end
+    done;
+    meta_set m Passes.Attest.meta_cert (Buffer.contents buf));
+  match Analysis.Certify.validate ~expect_domain:"e1000e" m with
+  | Error (Analysis.Certify.Cert_wrong_domain { found; _ }) ->
+    checkb "forged token surfaced" true (found = Some "ixgbe")
+  | Error _ -> () (* any rejection is acceptable *)
+  | Ok () -> Alcotest.fail "forged domain token accepted by pinned verifier"
+
 (* ---------- kir lints ---------- *)
 
 let codes fs = List.map (fun f -> f.Analysis.Kir_lint.code) fs
@@ -596,6 +661,13 @@ let () =
           Alcotest.test_case "loop converges" `Quick test_dataflow_block_counting;
           Alcotest.test_case "unreachable bottom" `Quick
             test_dataflow_unreachable_stays_bottom;
+        ] );
+      ( "domain-certs",
+        [
+          Alcotest.test_case "domain binding" `Quick
+            test_certify_domain_binding;
+          Alcotest.test_case "domain forgery rejected" `Quick
+            test_certify_domain_forgery;
         ] );
       ( "certify",
         [

@@ -274,6 +274,74 @@ let test_kop_lint_policy () =
   checki "strict fails on warning" 3 code;
   checkb "straddle reported" true (contains out "W-straddle")
 
+
+let test_policy_manager_push_batch () =
+  let pol = tmp "cli_policy_batch.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  let code, out = sh_out "%s push-batch %s" policy_manager pol in
+  checki "batch into root" 0 code;
+  checkb "atomic install reported" true
+    (contains out "installed 2 region(s) atomically");
+  let code, out = sh_out "%s push-batch %s --domain e1000e" policy_manager pol in
+  checki "batch into a domain" 0 code;
+  checkb "domain install reported" true (contains out "into domain 1 (e1000e)")
+
+let test_policy_manager_domains () =
+  let pol = tmp "cli_policy_doms.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  let code, out = sh_out "%s domains %s --count 3" policy_manager pol in
+  checki "domains ok" 0 code;
+  checkb "three live" true (contains out "3 domain(s) live");
+  checkb "per-domain stats rows" true (contains out "dom3");
+  checkb "procfs rendered" true (contains out "shards");
+  checki "count out of range" 2 (sh "%s domains %s --count 0" policy_manager pol)
+
+let test_policy_manager_remove_first_occurrence () =
+  let pol = tmp "cli_policy_dup.kop" in
+  if Sys.file_exists pol then Sys.remove pol;
+  checki "init" 0 (sh "%s init -o %s" policy_manager pol);
+  (* two rules at the same base: remove must peel ONE per invocation *)
+  checki "dup add" 0
+    (sh "%s add %s --base 0x7000 --len 0x100 --prot r- --tag one"
+       policy_manager pol);
+  checki "dup add 2" 0
+    (sh "%s add %s --base 0x7000 --len 0x100 --prot rw --tag two"
+       policy_manager pol);
+  checki "first remove" 0 (sh "%s remove %s --base 0x7000" policy_manager pol);
+  let code, out = sh_out "%s list %s" policy_manager pol in
+  checki "list" 0 code;
+  checkb "second rule survives" true (contains out "two");
+  checkb "first rule gone" false (contains out "one");
+  checki "second remove" 0 (sh "%s remove %s --base 0x7000" policy_manager pol);
+  checki "third remove fails" 1 (sh "%s remove %s --base 0x7000" policy_manager pol)
+
+let test_kop_lint_cert_domain () =
+  let drv = tmp "cli_lint_cert_dom.kir" in
+  checki "emit compiled" 0
+    (sh "%s --emit-driver --scale 1 --optimize -o %s" kop_compile drv);
+  (* the compiler issues an undomained certificate: a pinned verifier
+     must refuse it *)
+  let code, out = sh_out "%s cert %s --domain e1000e" kop_lint drv in
+  checki "undomained cert fails pinned check" 3 code;
+  checkb "names the mismatch" true (contains out "domain");
+  (* re-issue the certificate bound to the domain, then the pinned
+     verifier accepts it and a differently-pinned one refuses it *)
+  let m = Carat_kop.Kir.Parser.parse_file drv in
+  Carat_kop.Analysis.Certify.set_domain m "e1000e";
+  (match Carat_kop.Analysis.Certify.certificate m with
+  | Ok cert ->
+    Carat_kop.Kir.Types.meta_set m Carat_kop.Passes.Attest.meta_cert cert
+  | Error e -> Alcotest.failf "re-certify: %s" e);
+  let oc = open_out drv in
+  output_string oc (Carat_kop.Kir.Printer.to_string m);
+  close_out oc;
+  checki "bound cert passes unpinned" 0 (sh "%s cert %s" kop_lint drv);
+  checki "bound cert passes pinned" 0
+    (sh "%s cert %s --domain e1000e" kop_lint drv);
+  checki "wrong pin refused" 3 (sh "%s cert %s --domain ixgbe" kop_lint drv)
+
 let test_kop_run_rejects_unsigned () =
   let drv = tmp "cli_unsigned.kir" in
   (* emit WITHOUT transform or signature *)
@@ -311,6 +379,10 @@ let () =
           Alcotest.test_case "smp update storm" `Quick test_policy_manager_storm;
           Alcotest.test_case "selfheal audit" `Quick test_policy_manager_audit;
           Alcotest.test_case "lint" `Quick test_policy_manager_lint;
+          Alcotest.test_case "push-batch" `Quick test_policy_manager_push_batch;
+          Alcotest.test_case "domains" `Quick test_policy_manager_domains;
+          Alcotest.test_case "remove peels one" `Quick
+            test_policy_manager_remove_first_occurrence;
         ] );
       ( "kop_run",
         [
@@ -323,5 +395,6 @@ let () =
           Alcotest.test_case "module lints" `Quick test_kop_lint_module;
           Alcotest.test_case "cert validates" `Quick test_kop_lint_cert;
           Alcotest.test_case "policy lints" `Quick test_kop_lint_policy;
+          Alcotest.test_case "cert --domain" `Quick test_kop_lint_cert_domain;
         ] );
     ]

@@ -156,6 +156,7 @@ let prop_sorted_equiv = equivalence_prop Policy.Engine.Sorted
 let prop_splay_equiv = equivalence_prop Policy.Engine.Splay
 let prop_rbtree_equiv = equivalence_prop Policy.Engine.Rbtree
 let prop_cached_equiv = equivalence_prop Policy.Engine.Cached
+let prop_itree_equiv = equivalence_prop Policy.Engine.Itree
 
 (* rbtree structural invariants hold under random insertion *)
 let prop_rbtree_invariants =
@@ -655,6 +656,7 @@ let test_policy_file_roundtrip () =
     {
       Policy.Policy_file.default_allow = false;
       mode = Policy.Policy_module.Quarantine;
+      domain = "";
       regions =
         [
           region ~tag:"kernel window" ~prot:Policy.Region.prot_rw 0x1000 0x2000;
@@ -706,6 +708,7 @@ let test_policy_file_apply () =
     {
       Policy.Policy_file.default_allow = true;
       mode = Policy.Policy_module.Panic;
+      domain = "";
       regions = [ region ~prot:0 0x5000 0x1000 ];
     }
     e;
@@ -715,6 +718,490 @@ let test_policy_file_apply () =
   match Policy.Engine.check e ~addr:0x9000 ~size:8 ~flags:1 with
   | Policy.Engine.Allowed None -> ()
   | _ -> Alcotest.fail "default allow ignored"
+
+
+(* ---------- interval tree ---------- *)
+
+(* Unlike the overlap-rejecting trees, the interval tier accepts
+   overlapping and duplicate-base regions — a multi-tenant domain policy
+   is allowed to layer rules — and still answers first-match-wins by
+   insertion order. *)
+let test_itree_overlaps_and_duplicates () =
+  let k = fresh () in
+  let t = Policy.Interval_tree.create k ~capacity:16 in
+  checkb "first" true (Policy.Interval_tree.add t (region ~tag:"first" ~prot:Policy.Region.prot_read 100 100) = Ok ());
+  checkb "overlap accepted" true (Policy.Interval_tree.add t (region ~tag:"wide" 50 400) = Ok ());
+  checkb "dup base accepted" true (Policy.Interval_tree.add t (region ~tag:"dup" 100 100) = Ok ());
+  checkb "valid" true (Policy.Interval_tree.validate t = Ok ());
+  (* first match (insertion order) wins on the overlap *)
+  (match (Policy.Interval_tree.lookup t ~addr:120 ~size:4).Policy.Structure.matched with
+  | Some r -> Alcotest.(check string) "first wins" "first" r.Policy.Region.tag
+  | None -> Alcotest.fail "no match");
+  (* insertion order is preserved by regions *)
+  Alcotest.(check (list string)) "insertion order" [ "first"; "wide"; "dup" ]
+    (List.map (fun r -> r.Policy.Region.tag) (Policy.Interval_tree.regions t))
+
+let test_itree_remove_first_occurrence () =
+  let k = fresh () in
+  let t = Policy.Interval_tree.create k ~capacity:16 in
+  ignore (Policy.Interval_tree.add t (region ~tag:"first" ~prot:Policy.Region.prot_read 100 100));
+  ignore (Policy.Interval_tree.add t (region ~tag:"second" 100 100));
+  checkb "removed" true (Policy.Interval_tree.remove t ~base:100);
+  checki "one left" 1 (Policy.Interval_tree.count t);
+  (match (Policy.Interval_tree.lookup t ~addr:120 ~size:4).Policy.Structure.matched with
+  | Some r -> Alcotest.(check string) "second now wins" "second" r.Policy.Region.tag
+  | None -> Alcotest.fail "no match");
+  checkb "removed again" true (Policy.Interval_tree.remove t ~base:100);
+  checkb "empty" true (Policy.Interval_tree.remove t ~base:100 = false);
+  checkb "still valid" true (Policy.Interval_tree.validate t = Ok ())
+
+let prop_itree_invariants =
+  QCheck.Test.make ~name:"interval tree invariants" ~count:100
+    (QCheck.make gen_disjoint_regions) (fun regions ->
+      let k = fresh () in
+      let t = Policy.Interval_tree.create k ~capacity:64 in
+      List.iter (fun r -> ignore (Policy.Interval_tree.add t r)) regions;
+      Policy.Interval_tree.validate t = Ok ()
+      && Policy.Interval_tree.count t = List.length regions
+      && Policy.Interval_tree.regions t = regions)
+
+let test_itree_pruned_lookup () =
+  let k = fresh () in
+  let t = Policy.Interval_tree.create k ~capacity:64 in
+  for i = 0 to 63 do
+    ignore (Policy.Interval_tree.add t (region (i * 1000) 100))
+  done;
+  checkb "valid" true (Policy.Interval_tree.validate t = Ok ());
+  let worst = ref 0 in
+  for i = 0 to 63 do
+    let out = Policy.Interval_tree.lookup t ~addr:((i * 1000) + 50) ~size:4 in
+    checkb "found" true (out.Policy.Structure.matched <> None);
+    if out.Policy.Structure.scanned > !worst then
+      worst := out.Policy.Structure.scanned
+  done;
+  (* the maxlim augmentation prunes the stabbing descent well below a
+     full scan of the 64 disjoint regions *)
+  checkb "sub-linear descent" true (!worst < 32)
+
+(* ---------- bugfix sweep: mirrors, duplicates, capacity ---------- *)
+
+(* After a remove, the kernel-memory image of the flat tables must be
+   byte-identical to the host-side mirror — including the vacated slot,
+   which is scrubbed to the never-matching hole value. Before the fix
+   the shift left a stale copy of the last entry readable via
+   Kernel.read past the logical end of the table. *)
+let check_flat_mirror k ~vaddr regions ~scrubbed_slot =
+  let word i j = Kernel.read k ~addr:(vaddr + (i * 24) + (j * 8)) ~size:8 in
+  List.iteri
+    (fun i (r : Policy.Region.t) ->
+      checki "mirror base" r.Policy.Region.base (word i 0);
+      checki "mirror len" r.Policy.Region.len (word i 1);
+      checki "mirror prot" r.Policy.Region.prot (word i 2))
+    regions;
+  checki "scrubbed base" 0 (word scrubbed_slot 0);
+  checki "scrubbed len" 1 (word scrubbed_slot 1);
+  checki "scrubbed prot" 0 (word scrubbed_slot 2)
+
+let test_linear_mirror_consistency () =
+  let k = fresh () in
+  let t = Policy.Linear_table.create k ~capacity:8 in
+  List.iter
+    (fun r -> ignore (Policy.Linear_table.add t r))
+    [ region ~tag:"a" 100 10; region ~tag:"b" 200 10; region ~tag:"c" 300 10 ];
+  checkb "removed" true (Policy.Linear_table.remove t ~base:200);
+  match Policy.Linear_table.table_region t with
+  | None -> Alcotest.fail "linear table has no kernel extent"
+  | Some (vaddr, _) ->
+    check_flat_mirror k ~vaddr (Policy.Linear_table.regions t) ~scrubbed_slot:2
+
+let test_sorted_mirror_consistency () =
+  let k = fresh () in
+  let t = Policy.Sorted_table.create k ~capacity:8 in
+  List.iter
+    (fun r -> ignore (Policy.Sorted_table.add t r))
+    [ region ~tag:"c" 300 10; region ~tag:"a" 100 10; region ~tag:"b" 200 10 ];
+  checkb "removed" true (Policy.Sorted_table.remove t ~base:200);
+  match Policy.Sorted_table.table_region t with
+  | None -> Alcotest.fail "sorted table has no kernel extent"
+  | Some (vaddr, _) ->
+    check_flat_mirror k ~vaddr (Policy.Sorted_table.regions t) ~scrubbed_slot:2
+
+(* Differential property over random add/remove/lookup streams: every
+   structure kind must agree with the linear reference on remove
+   results, surviving count, and allow/deny verdicts — the canonical
+   remove-first-occurrence semantics across the whole structure zoo. *)
+let verdict_of inst ~addr ~size =
+  match (Policy.Structure.lookup inst ~addr ~size).Policy.Structure.matched with
+  | None -> `Deny
+  | Some r when r.Policy.Region.tag = "bloom-fastpath" -> `Fastpath
+  | Some r -> `Allow (Policy.Region.permits r ~flags:Policy.Region.prot_rw)
+
+let prop_all_kinds_remove_differential =
+  QCheck.Test.make ~name:"all kinds agree across add/remove streams"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         tup3 gen_disjoint_regions
+           (list_size (int_range 0 10) (int_range 0 1000))
+           (list_size (int_range 1 20) gen_probe)))
+    (fun (regions, removes, probes) ->
+      let bases =
+        Array.of_list (List.map (fun r -> r.Policy.Region.base) regions)
+      in
+      let run kind =
+        let k = fresh () in
+        let inst = mk_instance k kind regions in
+        let rms =
+          List.map
+            (fun i ->
+              Policy.Structure.remove inst
+                ~base:bases.(i mod Array.length bases))
+            removes
+        in
+        let vs =
+          List.map (fun (addr, size) -> verdict_of inst ~addr ~size) probes
+        in
+        (rms, Policy.Structure.count inst, vs)
+      in
+      let ref_rms, ref_n, ref_vs = run Policy.Engine.Linear in
+      List.for_all
+        (fun kind ->
+          let rms, n, vs = run kind in
+          rms = ref_rms && n = ref_n
+          && List.for_all2 (fun a b -> a = b || b = `Fastpath) ref_vs vs)
+        Policy.Engine.all_kinds)
+
+(* Duplicate-base semantics, pinned: every structure that accepts two
+   regions at the same base must remove the FIRST occurrence and let
+   the second take over the lookup. *)
+let test_duplicate_base_remove () =
+  List.iter
+    (fun kind ->
+      let k = fresh () in
+      let inst = Policy.Engine.make_instance k kind ~capacity:8 in
+      let ok r =
+        match Policy.Structure.add inst r with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "%s add: %s" (Policy.Engine.kind_to_string kind) e
+      in
+      ok (region ~tag:"first" ~prot:Policy.Region.prot_read 0x10000 0x1000);
+      ok (region ~tag:"second" 0x10000 0x1000);
+      checkb "removed" true (Policy.Structure.remove inst ~base:0x10000);
+      checki "one left" 1 (Policy.Structure.count inst);
+      match
+        (Policy.Structure.lookup inst ~addr:0x10080 ~size:8)
+          .Policy.Structure.matched
+      with
+      | Some r ->
+        Alcotest.(check string)
+          (Policy.Engine.kind_to_string kind ^ " second survives")
+          "second" r.Policy.Region.tag
+      | None ->
+        Alcotest.failf "%s: no match after remove"
+          (Policy.Engine.kind_to_string kind))
+    [
+      Policy.Engine.Linear; Policy.Engine.Itree; Policy.Engine.Bloom;
+      Policy.Engine.Cached; Policy.Engine.Shadow;
+    ]
+
+(* Every structure kind at its exact capacity boundary: n = capacity
+   fits, capacity + 1 is refused with the typed capacity error, and the
+   table recovers after a remove. *)
+let test_capacity_boundary_all_kinds () =
+  List.iter
+    (fun kind ->
+      let name = Policy.Engine.kind_to_string kind in
+      let k = fresh () in
+      let inst = Policy.Engine.make_instance k kind ~capacity:8 in
+      for i = 0 to 7 do
+        match Policy.Structure.add inst (region (1000 + (i * 1000)) 100) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s add %d: %s" name i e
+      done;
+      checki (name ^ " at capacity") 8 (Policy.Structure.count inst);
+      (match Policy.Structure.add inst (region 90_000 100) with
+      | Ok () -> Alcotest.failf "%s accepted capacity+1" name
+      | Error e ->
+        checkb (name ^ " typed capacity error") true
+          (Policy.Structure.is_capacity_error e));
+      checkb (name ^ " remove") true (Policy.Structure.remove inst ~base:1000);
+      match Policy.Structure.add inst (region 90_000 100) with
+      | Ok () -> checki (name ^ " recovered") 8 (Policy.Structure.count inst)
+      | Error e -> Alcotest.failf "%s did not recover: %s" name e)
+    Policy.Engine.all_kinds
+
+(* ---------- ENOSPC and the batched install ioctl ---------- *)
+
+let write_install_batch k ~arg ~domain regions =
+  Kernel.write k ~addr:arg ~size:8 domain;
+  Kernel.write k ~addr:(arg + 8) ~size:8 (List.length regions);
+  List.iteri
+    (fun i (r : Policy.Region.t) ->
+      let a = arg + 16 + (i * 24) in
+      Kernel.write k ~addr:a ~size:8 r.Policy.Region.base;
+      Kernel.write k ~addr:(a + 8) ~size:8 r.Policy.Region.len;
+      Kernel.write k ~addr:(a + 16) ~size:8 r.Policy.Region.prot)
+    regions
+
+let test_ioctl_add_enospc () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm (Policy.Region.kernel_only_padded 64);
+  let arg = Kernel.map_user k ~size:32 in
+  Kernel.write k ~addr:arg ~size:8 0xA000;
+  Kernel.write k ~addr:(arg + 8) ~size:8 0x100;
+  Kernel.write k ~addr:(arg + 16) ~size:8 3;
+  (* a full table answers with the typed -ENOSPC, not a generic error *)
+  checki "enospc" Kernel.enospc
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_add ~arg);
+  checki "count unchanged" 64
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_count ~arg:0)
+
+let test_ioctl_install_atomic () =
+  let k, _pm = setup_pm () in
+  let rs = [ region 0xA000 0x100; region 0xB000 0x100; region 0xC000 0x100 ] in
+  let arg = Kernel.map_user k ~size:(16 + (3 * 24)) in
+  write_install_batch k ~arg ~domain:0 rs;
+  checki "install ok" 0
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_install ~arg);
+  checki "count" 3
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_count ~arg:0);
+  checki "guard governed by the batch" 0
+    (Kernel.call_symbol k "carat_guard" [| 0xB010; 8; 1 |])
+
+(* A batch the table cannot hold (or with a malformed record) installs
+   NOTHING: old-or-new, never partial. *)
+let test_ioctl_install_rollback () =
+  let k, pm = setup_pm () in
+  Policy.Policy_module.set_policy pm (Policy.Region.kernel_only_padded 60);
+  let before = Policy.Engine.regions (Policy.Policy_module.engine pm) in
+  let rs = List.init 10 (fun i -> region (0xA0000 + (i * 0x1000)) 0x100) in
+  let arg = Kernel.map_user k ~size:(16 + (10 * 24)) in
+  write_install_batch k ~arg ~domain:0 rs;
+  checki "whole batch refused with -ENOSPC" Kernel.enospc
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_install ~arg);
+  checki "count unchanged" 60
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_count ~arg:0);
+  checkb "regions unchanged" true
+    (Policy.Engine.regions (Policy.Policy_module.engine pm) = before);
+  (* a malformed record anywhere in the batch rejects the whole batch
+     before any mutation *)
+  let bad = [ region 0xA0000 0x100; region 0xB0000 0x100 ] in
+  write_install_batch k ~arg ~domain:0 bad;
+  Kernel.write k ~addr:(arg + 16 + 24 + 8) ~size:8 0 (* record 1: zero len *);
+  checki "malformed record rejects batch" Kernel.einval
+    (Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_install ~arg);
+  checkb "still unchanged" true
+    (Policy.Engine.regions (Policy.Policy_module.engine pm) = before)
+
+let test_ioctl_install_validation () =
+  let k, _pm = setup_pm () in
+  let io cmd arg = Kernel.ioctl k ~dev:"carat" ~cmd ~arg in
+  let open Policy.Policy_module in
+  checki "bad pointer" Kernel.einval (io ioctl_install (-8));
+  let arg = Kernel.map_user k ~size:64 in
+  write_install_batch k ~arg ~domain:0 [];
+  checki "empty batch" Kernel.einval (io ioctl_install arg);
+  Kernel.write k ~addr:(arg + 8) ~size:8 (install_batch_max + 1);
+  checki "oversized batch" Kernel.erange (io ioctl_install arg);
+  write_install_batch k ~arg ~domain:(-3) [ region 0xA000 0x100 ];
+  checki "negative domain" Kernel.einval (io ioctl_install arg);
+  (* a domain id > 0 with policy domains never enabled *)
+  write_install_batch k ~arg ~domain:7 [ region 0xA000 0x100 ];
+  checki "unknown domain" Kernel.einval (io ioctl_install arg)
+
+(* ---------- policy domains ---------- *)
+
+let test_domain_create_destroy_churn () =
+  let k = fresh () in
+  let dm = Policy.Domain.create k in
+  Policy.Domain.set_verify dm true;
+  let r = region 0x10000 0x1000 in
+  let last_id = ref 0 in
+  for _ = 1 to 20 do
+    let d = Policy.Domain.create_domain dm in
+    let id = Policy.Domain.dom_id d in
+    checkb "ids never reused" true (id > !last_id);
+    last_id := id;
+    checki "install" 0 (Policy.Domain.install_regions dm ~domain:id [ r ]);
+    checkb "allowed while live" true
+      (Policy.Domain.check dm ~domain:id ~addr:0x10010 ~size:8 ~flags:1);
+    checkb "destroyed" true (Policy.Domain.destroy_domain dm id);
+    (* a destroyed domain fails closed, even with warm shadow slots *)
+    checkb "denied after destroy" false
+      (Policy.Domain.check dm ~domain:id ~addr:0x10010 ~size:8 ~flags:1)
+  done;
+  checki "no domains left" 0 (Policy.Domain.count dm);
+  checki "zero stale allows across the churn" 0
+    (Policy.Domain.stale_allows dm)
+
+let test_domain_promotion_to_interval () =
+  let k = fresh () in
+  let dm = Policy.Domain.create ~fast_capacity:4 k in
+  let d = Policy.Domain.create_domain dm in
+  let id = Policy.Domain.dom_id d in
+  let rs = List.init 6 (fun i -> region (0x10000 + (i * 0x2000)) 0x1000) in
+  checki "install past the fast path" 0
+    (Policy.Domain.install_regions dm ~domain:id rs);
+  Alcotest.(check string) "promoted" "interval" (Policy.Domain.dom_structure d);
+  checkb "promotion counted" true (Policy.Domain.promotions dm > 0);
+  checki "all regions live" 6 (List.length (Policy.Domain.dom_regions d));
+  List.iter
+    (fun (r : Policy.Region.t) ->
+      checkb "region served" true
+        (Policy.Domain.check dm ~domain:id ~addr:r.Policy.Region.base ~size:8
+           ~flags:1))
+    rs;
+  checkb "gap denied" false
+    (Policy.Domain.check dm ~domain:id ~addr:0x11800 ~size:8 ~flags:1)
+
+let test_domain_isolation () =
+  let k = fresh () in
+  let dm = Policy.Domain.create k in
+  let a = Policy.Domain.dom_id (Policy.Domain.create_domain dm ~name:"a") in
+  let b = Policy.Domain.dom_id (Policy.Domain.create_domain dm ~name:"b") in
+  checki "a install" 0
+    (Policy.Domain.install_regions dm ~domain:a [ region 0x10000 0x1000 ]);
+  checki "b install" 0
+    (Policy.Domain.install_regions dm ~domain:b [ region 0x20000 0x1000 ]);
+  checkb "a sees a" true (Policy.Domain.check dm ~domain:a ~addr:0x10010 ~size:8 ~flags:1);
+  checkb "a cannot see b" false (Policy.Domain.check dm ~domain:a ~addr:0x20010 ~size:8 ~flags:1);
+  checkb "b sees b" true (Policy.Domain.check dm ~domain:b ~addr:0x20010 ~size:8 ~flags:1);
+  checkb "b cannot see a" false (Policy.Domain.check dm ~domain:b ~addr:0x10010 ~size:8 ~flags:1)
+
+let test_domain_shadow_epoch_invalidation () =
+  let k = fresh () in
+  let dm = Policy.Domain.create k in
+  Policy.Domain.set_verify dm true;
+  let d = Policy.Domain.create_domain dm in
+  let id = Policy.Domain.dom_id d in
+  checki "install" 0
+    (Policy.Domain.install_regions dm ~domain:id [ region 0x10000 0x2000 ]);
+  checkb "cold check" true
+    (Policy.Domain.check dm ~domain:id ~addr:0x10100 ~size:8 ~flags:1);
+  checkb "warm check" true
+    (Policy.Domain.check dm ~domain:id ~addr:0x10100 ~size:8 ~flags:1);
+  checkb "shadow hit recorded" true (Policy.Domain.dom_shadow_hits d > 0);
+  let hits = Policy.Domain.dom_shadow_hits d in
+  (* a policy change bumps the epoch: the warm slot must NOT answer *)
+  checki "second install" 0
+    (Policy.Domain.install_regions dm ~domain:id [ region 0x30000 0x1000 ]);
+  checkb "still allowed after epoch bump" true
+    (Policy.Domain.check dm ~domain:id ~addr:0x10100 ~size:8 ~flags:1);
+  checki "stale slot did not serve" hits (Policy.Domain.dom_shadow_hits d);
+  checki "no stale allows" 0 (Policy.Domain.stale_allows dm)
+
+(* Whole-batch rollback at the domain layer: a batch exceeding the
+   interval tier's ceiling installs nothing. *)
+let test_domain_install_rollback () =
+  let k = fresh () in
+  let dm = Policy.Domain.create ~fast_capacity:4 ~big_capacity:8 k in
+  let d = Policy.Domain.create_domain dm in
+  let id = Policy.Domain.dom_id d in
+  let rs = List.init 5 (fun i -> region (0x10000 + (i * 0x2000)) 0x1000) in
+  checki "first batch" 0 (Policy.Domain.install_regions dm ~domain:id rs);
+  let epoch = Policy.Domain.dom_epoch d in
+  let more = List.init 5 (fun i -> region (0x40000 + (i * 0x2000)) 0x1000) in
+  checki "over-ceiling batch refused with -ENOSPC" Kernel.enospc
+    (Policy.Domain.install_regions dm ~domain:id more);
+  checki "regions unchanged" 5 (List.length (Policy.Domain.dom_regions d));
+  checki "epoch unchanged by the failed batch" epoch
+    (Policy.Domain.dom_epoch d);
+  checkb "old policy still serves" true
+    (Policy.Domain.check dm ~domain:id ~addr:0x10010 ~size:8 ~flags:1);
+  checkb "refused batch not visible" false
+    (Policy.Domain.check dm ~domain:id ~addr:0x40010 ~size:8 ~flags:1)
+
+let test_domain_ioctl_roundtrip () =
+  let k, pm = setup_pm () in
+  let io cmd arg = Kernel.ioctl k ~dev:"carat" ~cmd ~arg in
+  let open Policy.Policy_module in
+  let a = io ioctl_domain_create 0 in
+  let b = io ioctl_domain_create 1 (* default-allow *) in
+  checki "first domain id" 1 a;
+  checki "second domain id" 2 b;
+  checki "two live" 2 (io ioctl_domain_count 0);
+  let arg = Kernel.map_user k ~size:(16 + (2 * 24)) in
+  write_install_batch k ~arg ~domain:a
+    [ region 0x10000 0x1000; region 0x20000 0x1000 ];
+  checki "batch into domain" 0 (io ioctl_install arg);
+  let stat = Kernel.map_user k ~size:64 in
+  Kernel.write k ~addr:stat ~size:8 a;
+  checki "stats ok" 0 (io ioctl_domain_stats stat);
+  let w i = Kernel.read k ~addr:(stat + (i * 8)) ~size:8 in
+  checki "stats regions" 2 (w 0);
+  checki "stats structure linear" 0 (w 5);
+  (match domains pm with
+  | None -> Alcotest.fail "domains not enabled by the ioctls"
+  | Some dm ->
+    checkb "deny domain denies" false
+      (Policy.Domain.check dm ~domain:a ~addr:0x5000 ~size:8 ~flags:1);
+    checkb "default-allow domain allows" true
+      (Policy.Domain.check dm ~domain:b ~addr:0x5000 ~size:8 ~flags:1));
+  checki "destroy" 0 (io ioctl_domain_destroy b);
+  checki "destroy again" Kernel.einval (io ioctl_domain_destroy b);
+  checki "destroy root refused" Kernel.einval (io ioctl_domain_destroy 0);
+  checki "one left" 1 (io ioctl_domain_count 0);
+  Kernel.write k ~addr:stat ~size:8 b;
+  checki "stats of dead domain" Kernel.einval (io ioctl_domain_stats stat);
+  write_install_batch k ~arg ~domain:b [ region 0x10000 0x1000 ];
+  checki "install into dead domain" Kernel.einval (io ioctl_install arg)
+
+let test_domains_procfs () =
+  let k, pm = setup_pm () in
+  let fs = Kernsvc.Kernfs.create k in
+  let proc = Kernsvc.Procfs.install fs pm in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "placeholder before enabling" true
+    (contains (Kernsvc.Procfs.read_domains proc) "not enabled");
+  let id =
+    Kernel.ioctl k ~dev:"carat" ~cmd:Policy.Policy_module.ioctl_domain_create
+      ~arg:0
+  in
+  checki "created" 1 id;
+  let s = Kernsvc.Procfs.read_domains proc in
+  checkb "renders the domain row" true (contains s "dom 1");
+  checkb "renders shard geometry" true (contains s "shards")
+
+(* ---------- policy files with domains ---------- *)
+
+let test_policy_file_domain_directive () =
+  let t =
+    Policy.Policy_file.parse
+      "domain e1000e\ndefault deny\nregion 0x1000 0x100 rw\n"
+  in
+  Alcotest.(check string) "parsed" "e1000e" t.Policy.Policy_file.domain;
+  let text = Policy.Policy_file.to_string t in
+  let t2 = Policy.Policy_file.parse text in
+  Alcotest.(check string) "round trip" "e1000e" t2.Policy.Policy_file.domain;
+  Alcotest.(check string) "root policy has no domain" ""
+    Policy.Policy_file.kernel_only.Policy.Policy_file.domain
+
+let test_policy_lint_domain_capacity () =
+  let rs = List.init 65 (fun i -> region (i * 0x2000) 0x1000) in
+  let base =
+    {
+      Policy.Policy_file.default_allow = false;
+      mode = Policy.Policy_module.Panic;
+      domain = "";
+      regions = rs;
+    }
+  in
+  let codes t =
+    List.map (fun f -> f.Policy.Policy_lint.code) (Policy.Policy_lint.lint t)
+  in
+  (* root policy: 65 regions overflow the fixed linear table — an error *)
+  checkb "root overflows" true (List.mem "E-capacity" (codes base));
+  (* the same table in a named domain merely promotes to the interval
+     tier — a warning, not an error *)
+  let domained = { base with Policy.Policy_file.domain = "net0" } in
+  let cs = codes domained in
+  checkb "domained is a promotion warning" true (List.mem "W-fastpath" cs);
+  checkb "domained is not an error" false (List.mem "E-capacity" cs)
 
 let () =
   Alcotest.run "policy"
@@ -740,6 +1227,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_splay_equiv;
           QCheck_alcotest.to_alcotest prop_rbtree_equiv;
           QCheck_alcotest.to_alcotest prop_cached_equiv;
+          QCheck_alcotest.to_alcotest prop_itree_equiv;
           QCheck_alcotest.to_alcotest prop_rbtree_invariants;
           Alcotest.test_case "rbtree rejects overlap" `Quick test_rbtree_rejects_overlap;
           Alcotest.test_case "rbtree log depth" `Quick test_rbtree_logarithmic_scan;
@@ -780,6 +1268,55 @@ let () =
           Alcotest.test_case "ioctl set default" `Quick test_ioctl_set_default;
           Alcotest.test_case "ioctl stats" `Quick test_ioctl_stats;
           Alcotest.test_case "ioctl clear" `Quick test_ioctl_clear;
+        ] );
+      ( "interval-tree",
+        [
+          Alcotest.test_case "overlaps and duplicates" `Quick
+            test_itree_overlaps_and_duplicates;
+          Alcotest.test_case "remove first occurrence" `Quick
+            test_itree_remove_first_occurrence;
+          QCheck_alcotest.to_alcotest prop_itree_invariants;
+          Alcotest.test_case "pruned lookup" `Quick test_itree_pruned_lookup;
+        ] );
+      ( "bugfix-sweep",
+        [
+          Alcotest.test_case "linear mirror consistency" `Quick
+            test_linear_mirror_consistency;
+          Alcotest.test_case "sorted mirror consistency" `Quick
+            test_sorted_mirror_consistency;
+          QCheck_alcotest.to_alcotest prop_all_kinds_remove_differential;
+          Alcotest.test_case "duplicate-base remove" `Quick
+            test_duplicate_base_remove;
+          Alcotest.test_case "capacity boundary, all kinds" `Quick
+            test_capacity_boundary_all_kinds;
+        ] );
+      ( "batched-install",
+        [
+          Alcotest.test_case "ioctl add enospc" `Quick test_ioctl_add_enospc;
+          Alcotest.test_case "install atomic" `Quick test_ioctl_install_atomic;
+          Alcotest.test_case "install rollback" `Quick
+            test_ioctl_install_rollback;
+          Alcotest.test_case "install validation" `Quick
+            test_ioctl_install_validation;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "create/destroy churn" `Quick
+            test_domain_create_destroy_churn;
+          Alcotest.test_case "promotion to interval" `Quick
+            test_domain_promotion_to_interval;
+          Alcotest.test_case "isolation" `Quick test_domain_isolation;
+          Alcotest.test_case "shadow epoch invalidation" `Quick
+            test_domain_shadow_epoch_invalidation;
+          Alcotest.test_case "install rollback" `Quick
+            test_domain_install_rollback;
+          Alcotest.test_case "ioctl round trip" `Quick
+            test_domain_ioctl_roundtrip;
+          Alcotest.test_case "procfs" `Quick test_domains_procfs;
+          Alcotest.test_case "policy-file domain directive" `Quick
+            test_policy_file_domain_directive;
+          Alcotest.test_case "lint domain capacity" `Quick
+            test_policy_lint_domain_capacity;
         ] );
       ( "integrity",
         [

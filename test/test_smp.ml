@@ -480,6 +480,151 @@ let test_smp_throughput_scales () =
   checkb "4 CPUs beat 2" true (p4 > p2);
   checkb "4-CPU efficiency at least 70%" true (p4 /. (4.0 *. p1) >= 0.70)
 
+
+(* ---------- batched install under SMP ---------- *)
+
+(* ioctl_install's whole batch rides ONE RCU generation swap: a reader
+   mid-storm observes the old table or old+batch, never a partial
+   prefix. The visible region count is the observable. *)
+let test_rcu_install_batch_atomic () =
+  let _, pm, smp = mk_system () in
+  let engine = Smp.System.engine smp in
+  Policy.Engine.set_verify engine true;
+  let batch =
+    List.init 8 (fun i ->
+        Policy.Region.v ~base:(0x40000 + (i * 0x1000)) ~len:0x100
+          ~prot:Policy.Region.prot_rw ())
+  in
+  let installed = ref false and partial = ref 0 and checks = ref 0 in
+  let steps =
+    [|
+      (fun () ->
+        checki "batch accepted" 0
+          (Policy.Policy_module.apply pm
+             (Policy.Policy_module.M_install batch));
+        installed := true;
+        false);
+      (fun () ->
+        incr checks;
+        let n = Policy.Engine.count engine in
+        if n <> 2 && n <> 10 then incr partial;
+        (* the probe stays allowed across the install *)
+        (match
+           Policy.Engine.check engine ~addr:probe_addr ~size:8
+             ~flags:Policy.Region.prot_write
+         with
+        | Policy.Engine.Allowed _ -> ()
+        | Policy.Engine.Denied _ -> Alcotest.fail "probe denied mid-install");
+        !checks < 40);
+    |]
+  in
+  ignore (Smp.System.run smp steps);
+  checkb "install ran" true !installed;
+  checki "no partially-visible batch" 0 !partial;
+  checki "batch fully live" 10 (Policy.Engine.count engine);
+  checki "no stale allows" 0 (Policy.Engine.stale_allows engine);
+  let rs = Smp.Rcu.stats (Smp.System.rcu smp) in
+  checki "whole batch was one publication" 1 rs.Smp.Rcu.publications
+
+(* A batch that cannot fit publishes NOTHING through the RCU route. *)
+let test_rcu_install_batch_rollback () =
+  let _, pm, smp = mk_system () in
+  let engine = Smp.System.engine smp in
+  let big =
+    List.init 63 (fun i ->
+        Policy.Region.v ~base:(0x100000 + (i * 0x1000)) ~len:0x100
+          ~prot:Policy.Region.prot_rw ())
+  in
+  ignore smp;
+  checki "over-capacity batch refused with -ENOSPC" Kernel.enospc
+    (Policy.Policy_module.apply pm (Policy.Policy_module.M_install big));
+  checki "nothing installed" 2 (Policy.Engine.count engine);
+  checki "no publication for the refused batch" 0
+    (Smp.Rcu.stats (Smp.System.rcu smp)).Smp.Rcu.publications
+
+(* ---------- multi-domain churn under SMP ---------- *)
+
+(* One CPU churns per-domain policies (install / remove / teardown)
+   while the other CPUs hammer Domain.check across several domains with
+   paranoid verification on: zero stale allows, and destroyed domains
+   fail closed from every CPU. *)
+let test_multidomain_churn_no_stale () =
+  let kernel = Kernel.create ~require_signature:false ~seed:11 r350 in
+  let pm = Policy.Policy_module.install kernel in
+  let smp = Smp.System.create ~seed:11 ~params:r350 ~cpus:4 kernel pm in
+  let dm = Policy.Policy_module.enable_domains pm in
+  Policy.Domain.set_verify dm true;
+  let doms =
+    Array.init 3 (fun i ->
+        let d =
+          Policy.Domain.create_domain dm ~name:(Printf.sprintf "tenant%d" i)
+        in
+        let id = Policy.Domain.dom_id d in
+        checki "seed install" 0
+          (Policy.Domain.install_regions dm ~domain:id
+             [
+               Policy.Region.v
+                 ~base:(0x10000 * (i + 1))
+                 ~len:0x1000 ~prot:Policy.Region.prot_rw ();
+             ]);
+        id)
+  in
+  let writer_ops = ref 0 in
+  let writer () =
+    incr writer_ops;
+    let id = doms.(!writer_ops mod 3) in
+    (match !writer_ops mod 3 with
+    | 0 ->
+      ignore
+        (Policy.Domain.install_regions dm ~domain:id
+           [
+             Policy.Region.v
+               ~base:(0x100000 + (!writer_ops * 0x1000))
+               ~len:0x100 ~prot:Policy.Region.prot_rw ();
+           ])
+    | 1 ->
+      ignore
+        (Policy.Domain.remove_region dm ~domain:id
+         ~base:(0x100000 + ((!writer_ops - 1) * 0x1000)))
+    | _ ->
+      (* teardown/recreate churn on a scratch domain *)
+      let d = Policy.Domain.create_domain dm in
+      ignore (Policy.Domain.destroy_domain dm (Policy.Domain.dom_id d)));
+    !writer_ops < 30
+  in
+  let reader i =
+    let ops = ref 0 in
+    fun () ->
+      incr ops;
+      let id = doms.(!ops mod 3) in
+      let want = !ops mod 3 = i mod 3 in
+      ignore want;
+      ignore
+        (Policy.Domain.check dm ~domain:id
+           ~addr:(0x10000 * ((!ops mod 3) + 1))
+           ~size:8 ~flags:1);
+      (* cross-domain probe must stay denied *)
+      Alcotest.(check bool)
+        "cross-domain denied" false
+        (Policy.Domain.check dm ~domain:id ~addr:0x9000 ~size:8 ~flags:1);
+      !ops < 60
+  in
+  let steps =
+    Array.init 4 (fun i -> if i = 0 then writer else reader i)
+  in
+  ignore (Smp.System.run smp steps);
+  checki "zero stale allows across domain churn" 0
+    (Policy.Domain.stale_allows dm);
+  checki "three tenants still live" 3 (Policy.Domain.count dm);
+  (* every tenant's base region survived the churn *)
+  Array.iteri
+    (fun i id ->
+      checkb "tenant region live" true
+        (Policy.Domain.check dm ~domain:id
+           ~addr:(0x10000 * (i + 1))
+           ~size:8 ~flags:1))
+    doms
+
 let () =
   Alcotest.run "smp"
     [
@@ -518,6 +663,18 @@ let () =
         [
           Alcotest.test_case "corruption races publication" `Quick
             test_corruption_races_publication;
+        ] );
+      ( "batched-install",
+        [
+          Alcotest.test_case "batch is one RCU generation" `Quick
+            test_rcu_install_batch_atomic;
+          Alcotest.test_case "refused batch publishes nothing" `Quick
+            test_rcu_install_batch_rollback;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "multi-domain churn, zero stale" `Quick
+            test_multidomain_churn_no_stale;
         ] );
       ( "storm",
         [
