@@ -16,8 +16,54 @@
 open Cmdliner
 open Carat_kop
 
+(* --duplex: no module file — bring up the full-duplex testbed (RSS-steered
+   NAPI receive plus pktgen transmit on every CPU) against a
+   driver-generated module and report throughput and tail latency, the
+   pktgen+netperf smoke run of real NIC bring-up. *)
+let run_duplex ~machine ~cpus ~no_enforce ~stats =
+  let config =
+    {
+      Smp_testbed.default_config with
+      machine;
+      cpus;
+      rx_queues = cpus;
+      technique = (if no_enforce then Testbed.Baseline else Testbed.Carat);
+      seed = 7;
+    }
+  in
+  let tb = Smp_testbed.create ~config () in
+  let r = Smp_testbed.run_traffic ~count:200 tb in
+  let cdf = Stats.Cdf.of_samples r.Smp_testbed.d_latencies in
+  Printf.printf "full-duplex %s, %d CPU(s), %d RSS RX queue(s)\n"
+    (Testbed.technique_to_string config.Smp_testbed.technique)
+    cpus cpus;
+  Array.iter
+    (fun c ->
+      Printf.printf "  cpu%d: tx %4d (%9.0f pps)  rx %4d (%9.0f pps)\n"
+        c.Smp_testbed.dc_cpu c.Smp_testbed.dc_sent c.Smp_testbed.dc_tx_pps
+        c.Smp_testbed.dc_rx_frames c.Smp_testbed.dc_rx_pps)
+    r.Smp_testbed.d_per_cpu;
+  Printf.printf "  total: tx %.0f pps  rx %.0f pps (%d frames, %d dropped)\n"
+    r.Smp_testbed.d_tx_pps r.Smp_testbed.d_rx_pps r.Smp_testbed.d_rx_frames
+    r.Smp_testbed.d_rx_dropped;
+  Printf.printf "  latency: p50 %.0f  p99 %.0f  p999 %.0f cycles\n"
+    (Stats.Cdf.quantile cdf 0.5)
+    (Stats.Cdf.quantile cdf 0.99)
+    (Stats.Cdf.quantile cdf 0.999);
+  if stats then
+    Printf.printf
+      "  napi: %d irqs, %d polls, %d budget-exhausted, %d timer kicks\n"
+      r.Smp_testbed.d_rx_irqs r.Smp_testbed.d_rx_polls
+      r.Smp_testbed.d_budget_exhausted r.Smp_testbed.d_timer_kicks;
+  if r.Smp_testbed.d_stale_allows <> 0 then begin
+    Printf.eprintf "kop_run: %d stale allows during the duplex run\n"
+      r.Smp_testbed.d_stale_allows;
+    1
+  end
+  else 0
+
 let run module_path policy_path call args machine_name engine_name opt_str
-    mode_str no_enforce show_log stats trace guard_trace cpus =
+    mode_str no_enforce show_log stats trace guard_trace cpus duplex =
   if cpus < 1 || cpus > 8 then begin
     Printf.eprintf "kop_run: --cpus expects 1..8\n";
     exit 2
@@ -47,6 +93,14 @@ let run module_path policy_path call args machine_name engine_name opt_str
         Printf.eprintf "kop_run: unknown --opt level %s (none|basic|aggressive)\n"
           s;
         exit 2)
+  in
+  if duplex then exit (run_duplex ~machine ~cpus ~no_enforce ~stats);
+  let module_path =
+    match module_path with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "kop_run: MODULE.kir is required unless --duplex\n";
+      exit 2
   in
   try
     let m = Kir.Parser.parse_file module_path in
@@ -228,7 +282,8 @@ let run module_path policy_path call args machine_name engine_name opt_str
     1
 
 let module_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODULE.kir")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"MODULE.kir"
+    ~doc:"KIR module to insert. Required unless $(b,--duplex) is given.")
 
 let policy_arg =
   Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"POLICY.kop")
@@ -287,12 +342,22 @@ let cpus_arg =
           caches. N=1 is the classic single-CPU path, bit-identical to \
           previous releases.")
 
+let duplex_arg =
+  Arg.(value & flag & info [ "duplex" ]
+    ~doc:"Skip module insertion and run the full-duplex testbed instead: \
+          RSS-steered NAPI receive plus pktgen transmit on every CPU (see \
+          $(b,--cpus)), heavy-tailed offered load, reporting per-CPU and \
+          total throughput with p50/p99/p999 arrival-to-delivery latency. \
+          $(b,--no-enforce) runs the unguarded baseline driver; \
+          $(b,--stats) adds the NAPI loop counters. Exits 1 if any stale \
+          allow is observed.")
+
 let cmd =
   let doc = "insert a KIR module into a simulated CARAT KOP kernel and call it" in
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
       $ engine_arg $ opt_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg
-      $ trace_arg $ guard_trace_arg $ cpus_arg)
+      $ trace_arg $ guard_trace_arg $ cpus_arg $ duplex_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -429,6 +429,33 @@ let cmd_stats file opt_str =
     0
   end
 
+let cmd_netstats cpus =
+  if cpus < 1 || cpus > 8 then begin
+    Printf.eprintf "policy_manager: --cpus expects 1..8\n";
+    exit 2
+  end;
+  let config =
+    { Smp_testbed.default_config with cpus; rx_queues = cpus; seed = 13 }
+  in
+  let tb = Smp_testbed.create ~config () in
+  (* a short duplex workload with mid-run policy churn, so the counters
+     the operator reads reflect guarded RX under RCU updates *)
+  let r = Smp_testbed.run_traffic ~count:150 ~churn:31 tb in
+  let rx =
+    match Smp_testbed.rx tb with Some rx -> rx | None -> assert false
+  in
+  let fs = Kernsvc.Kernfs.create (Smp_testbed.kernel tb) in
+  let proc = Kernsvc.Procfs.install fs (Smp_testbed.policy_module tb) in
+  Kernsvc.Procfs.set_net_render proc (fun () -> Net.Rx.render rx);
+  print_string (Kernsvc.Procfs.read_net proc);
+  Printf.printf
+    "\nduplex: tx %.0f pps, rx %.0f pps, %d frames, %d dropped, %d \
+     publications, %d stale allows\n"
+    r.Smp_testbed.d_tx_pps r.Smp_testbed.d_rx_pps r.Smp_testbed.d_rx_frames
+    r.Smp_testbed.d_rx_dropped r.Smp_testbed.d_publications
+    r.Smp_testbed.d_stale_allows;
+  if r.Smp_testbed.d_stale_allows <> 0 then 1 else 0
+
 let cmd_trace file =
   let t = Policy.Policy_file.load file in
   let kernel, pm = observability_kernel t in
@@ -839,6 +866,19 @@ let trace_cmd =
           and drain them via ioctl_trace_read")
     Term.(const cmd_trace $ file_arg)
 
+let netstats_cpus_arg =
+  Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N"
+    ~doc:"Simulated CPUs; each owns one RSS-steered RX queue (1..8).")
+
+let netstats_cmd =
+  Cmd.v
+    (Cmd.info "netstats"
+       ~doc:
+         "run a short full-duplex workload (RSS-steered NAPI receive, \
+          pktgen transmit, mid-run policy churn) and print the operator's \
+          /proc/carat/net view of the RX queues; exit 1 on any stale allow")
+    Term.(const cmd_netstats $ netstats_cpus_arg)
+
 let cpus_storm_arg =
   Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N"
     ~doc:"Number of simulated CPUs (2..8).")
@@ -887,6 +927,6 @@ let () =
        (Cmd.group (Cmd.info "policy_manager" ~doc)
           [
             init_cmd; add_cmd; remove_cmd; list_cmd; check_cmd; push_cmd;
-            push_batch_cmd; domains_cmd; stats_cmd; trace_cmd; set_mode_cmd;
-            storm_cmd; audit_cmd; lint_cmd;
+            push_batch_cmd; domains_cmd; stats_cmd; trace_cmd; netstats_cmd;
+            set_mode_cmd; storm_cmd; audit_cmd; lint_cmd;
           ]))

@@ -112,6 +112,10 @@ type cell = {
   secret : int;
   ring : int;
   canary : int;
+  rx_ring : int;
+      (** an RX descriptor ring the NAPI softirq path walks; deny for
+          modules (no policy region covers it) — the [Rx_ring_corrupt]
+          target *)
   table : (int * int) option;
   writable : (int * int) list;  (** direct-map/stack windows, virtual *)
 }
@@ -139,12 +143,21 @@ let make_cell ?(engine = Vm.Engine.Interp) ?(kind = Policy.Engine.Linear)
   let ring = Kernel.kmalloc kernel ~size:(ring_entries * desc_size) in
   let canary = Kernel.kmalloc kernel ~size:512 in
   let work = Kernel.kmalloc kernel ~size:work_size in
+  (* allocated after the originals so every pre-existing class keeps its
+     exact addresses (and fault streams) *)
+  let rx_ring = Kernel.kmalloc kernel ~size:(ring_entries * desc_size) in
   (* give the protected objects recognizable contents *)
   for i = 0 to (secret_size / 8) - 1 do
     Kernel.write kernel ~addr:(secret + (8 * i)) ~size:8 0x5EC2E7
   done;
   for i = 0 to 63 do
     Kernel.write kernel ~addr:(canary + (8 * i)) ~size:8 0xCA9A27
+  done;
+  (* RX descriptors carry plausible buffer pointers (into the canary):
+     redirecting one is exactly the arbitrary-DMA-write setup *)
+  for i = 0 to ring_entries - 1 do
+    Kernel.write kernel ~addr:(rx_ring + (i * desc_size)) ~size:8
+      (canary + (i * 16))
   done;
   let stack = Vm.Interp.stack_region vm in
   let writable = [ (work, work_size); (ring, ring_entries * desc_size); stack ] in
@@ -162,7 +175,7 @@ let make_cell ?(engine = Vm.Engine.Interp) ?(kind = Policy.Engine.Linear)
       v ~tag:"user-deny" ~base:0x1000 ~len:Kernel.Layout.kernel_base ~prot:0 ();
     ];
   let table = Policy.Engine.table_region (Policy.Policy_module.engine pm) in
-  { kernel; vm; pm; work; secret; ring; canary; table; writable }
+  { kernel; vm; pm; work; secret; ring; canary; rx_ring; table; writable }
 
 (* the malicious store's destination for a given class, seeded *)
 let payload_addr cell ~cls ~rng =
@@ -186,6 +199,10 @@ let payload_addr cell ~cls ~rng =
     (* tier-corruption classes aim the victim at the secret too; the
        corruption rigs a derived tier to stale-allow that store *)
     cell.secret + (8 * Machine.Rng.int rng (secret_size / 8))
+  | Inject.Rx_ring_corrupt ->
+    (* a descriptor's buffer-pointer field: the softirq path's ring
+       memory, which no policy region grants to modules *)
+    cell.rx_ring + (Machine.Rng.int rng ring_entries * desc_size)
 
 let compile_victim ?(opt = Passes.Pipeline.O_none) ~mode m =
   let pipeline =
@@ -738,7 +755,7 @@ let run_one ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
   | Inject.Sig_truncation -> Inject.mutate_sig_truncation m
   | Inject.Wild_store | Inject.Oob_ring_index | Inject.Policy_corruption
   | Inject.Cross_cpu_race | Inject.Shadow_corrupt | Inject.Icache_corrupt
-  | Inject.Rcu_instance_corrupt -> ());
+  | Inject.Rcu_instance_corrupt | Inject.Rx_ring_corrupt -> ());
   let snap =
     Kernel.Memory.snapshot ~len:(Kernel.phys_used cell.kernel)
       (Kernel.memory cell.kernel)

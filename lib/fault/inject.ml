@@ -50,7 +50,17 @@ type cls =
           live table) right after CPU B publishes it, racing readers on
           CPU A. The watchdog must catch the digest divergence and
           republish a clean generation through the RCU route. *)
+  | Rx_ring_corrupt
+      (** the interrupt-path attack: a module store aimed at an RX
+          descriptor ring — the memory the NAPI poll loop walks in
+          softirq context. Redirecting a descriptor's buffer pointer
+          turns the device's next unguarded DMA write into an arbitrary
+          kernel write; the guard on the module's store is the only
+          thing in the way. *)
 
+(* [Rx_ring_corrupt] is appended last: campaign per-class PRNG streams
+   are split by class name, but the class rotation is positional, so
+   appending preserves every existing class's fault sequence. *)
 let all_classes =
   [
     Ir_tamper;
@@ -63,6 +73,7 @@ let all_classes =
     Shadow_corrupt;
     Icache_corrupt;
     Rcu_instance_corrupt;
+    Rx_ring_corrupt;
   ]
 
 let cls_to_string = function
@@ -76,6 +87,7 @@ let cls_to_string = function
   | Shadow_corrupt -> "shadow-corrupt"
   | Icache_corrupt -> "icache-corrupt"
   | Rcu_instance_corrupt -> "rcu-instance-corrupt"
+  | Rx_ring_corrupt -> "rx-ring-corrupt"
 
 (** Does this class corrupt the pipeline after signing (so a verifying
     loader should reject the module), as opposed to attacking at run
@@ -83,7 +95,8 @@ let cls_to_string = function
 let is_pipeline_fault = function
   | Ir_tamper | Sig_truncation | Guard_deletion -> true
   | Wild_store | Oob_ring_index | Policy_corruption | Cross_cpu_race
-  | Shadow_corrupt | Icache_corrupt | Rcu_instance_corrupt ->
+  | Shadow_corrupt | Icache_corrupt | Rcu_instance_corrupt | Rx_ring_corrupt
+    ->
     false
 
 (** Does this class corrupt the enforcement machinery itself (so the
@@ -91,7 +104,7 @@ let is_pipeline_fault = function
 let is_tier_corruption = function
   | Shadow_corrupt | Icache_corrupt | Rcu_instance_corrupt -> true
   | Ir_tamper | Sig_truncation | Guard_deletion | Wild_store | Oob_ring_index
-  | Policy_corruption | Cross_cpu_race ->
+  | Policy_corruption | Cross_cpu_race | Rx_ring_corrupt ->
     false
 
 (* ------------------------------------------------------------------ *)

@@ -11,7 +11,11 @@
       rebuild counters and per-tier health, when self-healing is
       enabled;
     - [carat/domains]: per-domain region/epoch/decision counters and the
-      sharded shadow statistics, when policy domains are enabled.
+      sharded shadow statistics, when policy domains are enabled;
+    - [carat/net]: per-RX-queue delivery/drop counters and NAPI loop
+      accounting, when the full-duplex RX path is enabled (the renderer
+      is injected by the owner of the RX state via {!set_net_render},
+      keeping this library free of a net dependency).
 
     Like real procfs, contents are generated on open: callers go through
     {!read_stats}/{!read_trace} (or call {!refresh} then use the plain
@@ -25,12 +29,15 @@ type t = {
   trace_ino : int;
   selfheal_ino : int;
   domains_ino : int;
+  net_ino : int;
+  mutable net_render : (unit -> string) option;
 }
 
 let stats_name = "carat/stats"
 let trace_name = "carat/trace"
 let selfheal_name = "carat/selfheal"
 let domains_name = "carat/domains"
+let net_name = "carat/net"
 
 (* file data extents are fixed-capacity; renders are truncated to fit,
    with a marker so a clipped trace is distinguishable from a short one *)
@@ -38,6 +45,7 @@ let stats_capacity = 8192
 let trace_capacity = 65536
 let selfheal_capacity = 2048
 let domains_capacity = 8192
+let net_capacity = 8192
 
 let truncate_to cap s =
   if String.length s <= cap then s
@@ -55,6 +63,8 @@ let install fs pm : t =
       trace_ino = mk trace_name trace_capacity;
       selfheal_ino = mk selfheal_name selfheal_capacity;
       domains_ino = mk domains_name domains_capacity;
+      net_ino = mk net_name net_capacity;
+      net_render = None;
     }
   in
   Kernfs.write_contents fs ~ino:t.stats_ino "carat: tracing not enabled\n";
@@ -63,12 +73,18 @@ let install fs pm : t =
     "carat: self-healing not enabled\n";
   Kernfs.write_contents fs ~ino:t.domains_ino
     "carat: policy domains not enabled\n";
+  Kernfs.write_contents fs ~ino:t.net_ino "carat: RX path not enabled\n";
   t
 
 let stats_ino t = t.stats_ino
 let trace_ino t = t.trace_ino
 let selfheal_ino t = t.selfheal_ino
 let domains_ino t = t.domains_ino
+let net_ino t = t.net_ino
+
+(** Attach the RX-stats renderer (e.g. [Net.Rx.render] partially
+    applied); [carat/net] re-renders through it on every refresh. *)
+let set_net_render t f = t.net_render <- Some f
 
 (** Re-render the files from the policy module's current state. *)
 let refresh t =
@@ -85,11 +101,16 @@ let refresh t =
   | Some ig ->
     Kernfs.write_contents t.fs ~ino:t.selfheal_ino
       (truncate_to selfheal_capacity (Policy.Integrity.render ig)));
-  match Policy.Policy_module.domains t.pm with
+  (match Policy.Policy_module.domains t.pm with
   | None -> ()
   | Some dm ->
     Kernfs.write_contents t.fs ~ino:t.domains_ino
-      (truncate_to domains_capacity (Policy.Domain.render dm))
+      (truncate_to domains_capacity (Policy.Domain.render dm)));
+  match t.net_render with
+  | None -> ()
+  | Some render ->
+    Kernfs.write_contents t.fs ~ino:t.net_ino
+      (truncate_to net_capacity (render ()))
 
 let read_stats t =
   refresh t;
@@ -106,3 +127,7 @@ let read_selfheal t =
 let read_domains t =
   refresh t;
   Kernfs.read_contents t.fs ~ino:t.domains_ino
+
+let read_net t =
+  refresh t;
+  Kernfs.read_contents t.fs ~ino:t.net_ino

@@ -1,0 +1,96 @@
+(** Seeded heavy-tailed traffic generator: the "millions of users"
+    workload shape, scaled down to thousands of concurrent flows.
+
+    Three distributions, all driven by one {!Machine.Rng} stream so a
+    run is reproducible from its seed:
+    - **flow popularity** is Zipf-ish: drawing [u^3 * flows] concentrates
+      arrivals on a small hot set while the long tail of flows still
+      appears (a few heavy users, many light ones);
+    - **frame sizes** are bounded Pareto: mostly small frames with a
+      heavy tail out to the 1500-byte MTU, the classic internet-mix
+      shape;
+    - **arrivals** are bursty: with probability [burst_prob] an arrival
+      opens a back-to-back burst of up to [burst_max] frames from the
+      same flow (a user's request fanning into a packet train).
+
+    Each flow carries a stable hash assigned at creation; RSS steering
+    ([Device.rx_inject ~hash]) uses it, so a flow's frames always land
+    on the same RX queue — the ordering contract real RSS provides. *)
+
+type arrival = {
+  flow : int;
+  hash : int;  (** the flow's stable RSS hash *)
+  size : int;  (** frame size, [Frame.min_size] .. [Frame.max_size] *)
+}
+
+type t = {
+  rng : Machine.Rng.t;
+  hashes : int array;  (** per-flow stable hash *)
+  alpha : float;  (** Pareto shape; smaller = heavier tail *)
+  burst_prob : float;
+  burst_max : int;
+  mutable burst_flow : int;  (** flow of the in-progress burst, or -1 *)
+  mutable burst_left : int;
+  mutable generated : int;
+}
+
+let create ?(flows = 4096) ?(alpha = 1.3) ?(burst_prob = 0.08)
+    ?(burst_max = 12) ~seed () =
+  assert (flows > 0);
+  let rng = Machine.Rng.create seed in
+  {
+    rng;
+    (* hash derived from a split stream so adding arrival-draw changes
+       never reshuffles flow->queue placement *)
+    hashes =
+      (let hrng = Machine.Rng.split rng ~tag:0x5511 in
+       Array.init flows (fun _ -> Machine.Rng.int hrng (1 lsl 30)));
+    alpha;
+    burst_prob;
+    burst_max = max 1 burst_max;
+    burst_flow = -1;
+    burst_left = 0;
+    generated = 0;
+  }
+
+let flows t = Array.length t.hashes
+
+(* bounded-Pareto frame size *)
+let draw_size t =
+  let u = Machine.Rng.float t.rng in
+  let u = if u >= 0.999999 then 0.999999 else u in
+  let x =
+    float_of_int Frame.min_size *. ((1.0 -. u) ** (-1.0 /. t.alpha))
+  in
+  max Frame.min_size (min Frame.max_size (int_of_float x))
+
+(* Zipf-ish flow pick: cube of a uniform concentrates on low indices *)
+let draw_flow t =
+  let u = Machine.Rng.float t.rng in
+  let i = int_of_float (u *. u *. u *. float_of_int (flows t)) in
+  min (flows t - 1) i
+
+(** The next arrival in the schedule. *)
+let next t =
+  let flow =
+    if t.burst_left > 0 then begin
+      t.burst_left <- t.burst_left - 1;
+      t.burst_flow
+    end
+    else begin
+      let f = draw_flow t in
+      if Machine.Rng.flip t.rng t.burst_prob then begin
+        t.burst_flow <- f;
+        t.burst_left <- 1 + Machine.Rng.int t.rng t.burst_max
+      end;
+      f
+    end
+  in
+  t.generated <- t.generated + 1;
+  { flow; hash = t.hashes.(flow); size = draw_size t }
+
+let generated t = t.generated
+
+(** Build the wire payload for an arrival ([seq] tags the frame for
+    end-to-end identity checks). *)
+let payload arrival ~seq = Frame.build ~seq ~size:arrival.size ()

@@ -40,6 +40,42 @@ type txq = {
   mutable q_bytes : int;
 }
 
+(** One RX descriptor ring (queue). Queue 0 is the classic single-queue
+    receiver (its registers are the classic RDBAL/RDLEN/RDH/RDT and its
+    delivery cause is the shared ICR RXT0 bit); queues 1+ complete to a
+    per-queue latch like the TX side. *)
+type rxq = {
+  mutable r_base : int;  (** virtual (direct-map) ring address *)
+  mutable r_entries : int;
+  mutable r_rdh : int;  (** next slot the device fills *)
+  mutable r_rdt : int;  (** first slot NOT available to the device *)
+  mutable r_coalesce : int;
+      (** interrupt coalescing: frames delivered per latched RX cause
+          (RDTR-slot register); <= 1 latches on every frame *)
+  mutable r_unack : int;  (** frames delivered since the last cause *)
+  mutable r_masked : bool;
+      (** NAPI mask latch: while set, the delivery cause still
+          accumulates but {!rxq_irq_pending} reports nothing *)
+  mutable r_irq : bool;  (** per-queue RX cause latch *)
+  mutable r_frames : int;
+  mutable r_bytes : int;
+  mutable r_dropped : int;
+  r_stamps : int Queue.t;
+      (** arrival cycle of each delivered-but-unclaimed frame, for
+          per-packet latency measurement by the harness *)
+}
+
+(** A write to an RX tail register with a value outside the ring. The
+    real hardware's behaviour here is undefined; the old model silently
+    wrapped the value with [mod], which hid driver bugs. The device now
+    rejects the write (the tail is unchanged) and latches the fault so
+    the harness can assert on it. *)
+type rdt_error = { rdt_queue : int; rdt_value : int; rdt_entries : int }
+
+let rdt_error_to_string e =
+  Printf.sprintf "RDT write %d out of range on queue %d (ring has %d slots)"
+    e.rdt_value e.rdt_queue e.rdt_entries
+
 type t = {
   kernel : Kernel.t;
   name : string;
@@ -50,13 +86,12 @@ type t = {
   mutable busy_until : int;  (** device cycle at which the wire frees up *)
   mutable link_up : bool;
   (* RX state *)
-  mutable rx_ring_base : int;
-  mutable rx_ring_entries : int;
-  mutable rdh : int;  (** next slot the device fills *)
-  mutable rdt : int;  (** first slot NOT available to the device *)
-  mutable rx_frames : int;
-  mutable rx_bytes : int;
-  mutable rx_dropped : int;
+  rxqs : rxq array;  (** [Regs.max_rx_queues] rings; index 0 = classic *)
+  mutable rss_queues : int;
+      (** RSS fan-out (MRQC): number of rings flows hash across;
+          <= 1 means steering off, everything lands on queue 0 *)
+  mutable last_rdt_error : rdt_error option;
+  mutable rdt_rejects : int;
   (* stall (flow-control pause) process *)
   mutable stall_prob : float;  (** per-frame probability of a pause *)
   mutable stall_cycles : int;
@@ -190,6 +225,18 @@ let txq_of_off off =
   end
   else None
 
+(* RX queue register blocks: [Regs.rdbal + q * Regs.rxq_stride]. The
+   returned sub-offset is rdbal-relative so it compares against the
+   classic register names directly (queue 0's block IS the classic
+   registers). *)
+let rxq_of_off off =
+  if off >= Regs.rdbal && off < Regs.rdbal + (Regs.max_rx_queues * Regs.rxq_stride)
+  then begin
+    let q = (off - Regs.rdbal) / Regs.rxq_stride in
+    Some (q, off - Regs.rdbal - (q * Regs.rxq_stride))
+  end
+  else None
+
 let handle_read t off size =
   ignore size;
   match txq_of_off off with
@@ -202,17 +249,27 @@ let handle_read t off size =
     else if sub = Regs.tdt then q.q_tdt
     else reg_read t off
   | None ->
-    if off = Regs.rdh then t.rdh
-    else if off = Regs.rdt then t.rdt
-    else if off = Regs.status then
-      reg_read t Regs.status lor (if t.link_up then Regs.status_lu else 0)
-    else if off = Regs.icr then begin
-      (* read-to-clear *)
-      let v = reg_read t Regs.icr in
-      reg_write t Regs.icr 0;
-      v
-    end
-    else reg_read t off
+    (match rxq_of_off off with
+    | Some (qi, sub) ->
+      let r = t.rxqs.(qi) in
+      if sub = Regs.rdh - Regs.rdbal then r.r_rdh
+      else if sub = Regs.rdt - Regs.rdbal then r.r_rdt
+      else if sub = Regs.rxq_rdtr_off then r.r_coalesce
+      else if sub = Regs.rxq_mask_off then if r.r_masked then 1 else 0
+      else if sub = Regs.rxq_frames_off then r.r_frames
+      else if sub = Regs.rxq_bytes_off then r.r_bytes
+      else if sub = Regs.rxq_dropped_off then r.r_dropped
+      else reg_read t off
+    | None ->
+      if off = Regs.status then
+        reg_read t Regs.status lor (if t.link_up then Regs.status_lu else 0)
+      else if off = Regs.icr then begin
+        (* read-to-clear *)
+        let v = reg_read t Regs.icr in
+        reg_write t Regs.icr 0;
+        v
+      end
+      else reg_read t off)
 
 let reset_txq q =
   q.q_base <- 0;
@@ -221,6 +278,17 @@ let reset_txq q =
   q.q_tdt <- 0;
   q.q_post <- [||];
   q.q_irq <- false
+
+let reset_rxq r =
+  r.r_base <- 0;
+  r.r_entries <- 0;
+  r.r_rdh <- 0;
+  r.r_rdt <- 0;
+  r.r_coalesce <- 1;
+  r.r_unack <- 0;
+  r.r_masked <- false;
+  r.r_irq <- false;
+  Queue.clear r.r_stamps
 
 let handle_write t off size v =
   ignore size;
@@ -257,30 +325,59 @@ let handle_write t off size v =
     end
     else reg_write t off v
   | None ->
-    if off = Regs.rdbal then begin
-      reg_write t off v;
-      t.rx_ring_base <- v
-    end
-    else if off = Regs.rdlen then begin
-      reg_write t off v;
-      t.rx_ring_entries <- v / Regs.desc_size
-    end
-    else if off = Regs.rdh then begin
-      t.rdh <- v;
-      reg_write t off v
-    end
-    else if off = Regs.rdt then begin
-      if t.rx_ring_entries > 0 then t.rdt <- v mod t.rx_ring_entries
-      else t.rdt <- v;
-      reg_write t off t.rdt
-    end
-    else if off = Regs.ctrl && v land Regs.ctrl_rst <> 0 then begin
-      (* device reset *)
-      Hashtbl.reset t.regs;
-      Array.iter reset_txq t.txqs;
-      t.busy_until <- 0
-    end
-    else reg_write t off v
+    (match rxq_of_off off with
+    | Some (qi, sub) ->
+      let r = t.rxqs.(qi) in
+      if sub = 0 (* rdbal *) then begin
+        reg_write t off v;
+        r.r_base <- v
+      end
+      else if sub = Regs.rdlen - Regs.rdbal then begin
+        reg_write t off v;
+        r.r_entries <- v / Regs.desc_size
+      end
+      else if sub = Regs.rdh - Regs.rdbal then begin
+        r.r_rdh <- v;
+        reg_write t off v
+      end
+      else if sub = Regs.rdt - Regs.rdbal then begin
+        (* typed out-of-range rejection: the tail must name a ring slot
+           (or 0 on an unconfigured ring); anything else is a driver bug
+           the device refuses rather than wrapping into silent corruption *)
+        if v >= 0 && (if r.r_entries > 0 then v < r.r_entries else v = 0)
+        then begin
+          r.r_rdt <- v;
+          reg_write t off v
+        end
+        else begin
+          t.last_rdt_error <-
+            Some { rdt_queue = qi; rdt_value = v; rdt_entries = r.r_entries };
+          t.rdt_rejects <- t.rdt_rejects + 1
+        end
+      end
+      else if sub = Regs.rxq_rdtr_off then begin
+        r.r_coalesce <- max 1 v;
+        reg_write t off r.r_coalesce
+      end
+      else if sub = Regs.rxq_mask_off then begin
+        r.r_masked <- v <> 0;
+        reg_write t off v
+      end
+      else reg_write t off v
+    | None ->
+      if off = Regs.mrqc then begin
+        reg_write t off v;
+        t.rss_queues <- max 0 (min v Regs.max_rx_queues)
+      end
+      else if off = Regs.ctrl && v land Regs.ctrl_rst <> 0 then begin
+        (* device reset *)
+        Hashtbl.reset t.regs;
+        Array.iter reset_txq t.txqs;
+        Array.iter reset_rxq t.rxqs;
+        t.rss_queues <- 0;
+        t.busy_until <- 0
+      end
+      else reg_write t off v)
 
 (** Create the device and map its BAR; returns the device. The driver
     learns the BAR's virtual base from [mmio_base]. *)
@@ -306,13 +403,25 @@ let create ?(name = "e1000e-sim") ?(stall_prob = 0.0)
             });
       busy_until = 0;
       link_up = true;
-      rx_ring_base = 0;
-      rx_ring_entries = 0;
-      rdh = 0;
-      rdt = 0;
-      rx_frames = 0;
-      rx_bytes = 0;
-      rx_dropped = 0;
+      rxqs =
+        Array.init Regs.max_rx_queues (fun _ ->
+            {
+              r_base = 0;
+              r_entries = 0;
+              r_rdh = 0;
+              r_rdt = 0;
+              r_coalesce = 1;
+              r_unack = 0;
+              r_masked = false;
+              r_irq = false;
+              r_frames = 0;
+              r_bytes = 0;
+              r_dropped = 0;
+              r_stamps = Queue.create ();
+            });
+      rss_queues = 0;
+      last_rdt_error = None;
+      rdt_rejects = 0;
       stall_prob;
       stall_cycles;
       rng = Machine.Rng.create seed;
@@ -366,27 +475,49 @@ let set_link t up = t.link_up <- up
 (* ------------------------------------------------------------------ *)
 (* receive side *)
 
-let rx_configured t =
-  t.rx_ring_base <> 0 && t.rx_ring_entries > 0
+let rxq_configured ?(q = 0) t =
+  let r = t.rxqs.(q) in
+  r.r_base <> 0 && r.r_entries > 0
   && reg_read t Regs.rctl land Regs.rctl_en <> 0
 
-(** Deliver an incoming frame from the (simulated) wire: DMA the payload
-    into the next posted receive buffer, write back length and
-    DD|EOP status, advance RDH and latch an RX interrupt cause. Frames
-    arriving with no buffer available are dropped, like hardware without
-    flow control. Returns true if delivered. *)
-let rx_inject t (data : string) : bool =
-  if (not (rx_configured t)) || not t.link_up then begin
-    t.rx_dropped <- t.rx_dropped + 1;
+let rx_configured t = rxq_configured ~q:0 t
+
+(* Latch queue [qi]'s RX cause: the per-queue latch always, plus the
+   shared ICR bit for queue 0 so the classic (non-NAPI) interrupt path
+   keeps working unchanged. *)
+let latch_rx_cause t qi bit =
+  let r = t.rxqs.(qi) in
+  r.r_irq <- true;
+  if qi = 0 then reg_write t Regs.icr (reg_read t Regs.icr lor bit)
+
+(** Deliver an incoming frame from the (simulated) wire into queue [qi]:
+    DMA the payload into the next posted receive buffer, write back
+    length and DD|EOP status, advance RDH and — once the coalescing
+    threshold is met — latch an RX interrupt cause. Frames arriving with
+    no buffer available are dropped and latch RXO (receiver overrun),
+    like hardware without flow control. Returns true if delivered.
+
+    [stamp] overrides the arrival timestamp recorded for the frame's
+    latency accounting. Under SMP every CPU's clock is a private domain;
+    latency is only meaningful measured on one clock, so the caller
+    should stamp with the cycle counter of the CPU that owns the target
+    queue's NAPI loop (the same clock {!Rx.poll_once} claims against).
+    Defaults to the current machine's clock — correct single-CPU and for
+    a CPU injecting into its own queue. *)
+let rx_inject_q ?stamp t qi (data : string) : bool =
+  let r = t.rxqs.(qi) in
+  if (not (rxq_configured ~q:qi t)) || not t.link_up then begin
+    r.r_dropped <- r.r_dropped + 1;
     false
   end
-  else if t.rdh = t.rdt then begin
-    (* no buffers posted *)
-    t.rx_dropped <- t.rx_dropped + 1;
+  else if r.r_rdh = r.r_rdt then begin
+    (* no buffers posted: receiver overrun *)
+    r.r_dropped <- r.r_dropped + 1;
+    latch_rx_cause t qi Regs.icr_rxo;
     false
   end
   else begin
-    let desc = t.rx_ring_base + (t.rdh * Regs.desc_size) in
+    let desc = r.r_base + (r.r_rdh * Regs.desc_size) in
     let buf =
       Kernel.dma_read t.kernel ~addr:(desc + Regs.rxd_addr_off) ~size:8
     in
@@ -395,15 +526,68 @@ let rx_inject t (data : string) : bool =
     Kernel.dma_write t.kernel ~addr:(desc + Regs.rxd_len_off) ~size:2 len;
     Kernel.dma_write t.kernel ~addr:(desc + Regs.rxd_sta_off) ~size:1
       (Regs.sta_dd lor Regs.sta_eop);
-    t.rdh <- (t.rdh + 1) mod t.rx_ring_entries;
-    t.rx_frames <- t.rx_frames + 1;
-    t.rx_bytes <- t.rx_bytes + len;
-    reg_write t Regs.icr (reg_read t Regs.icr lor Regs.icr_rxt0);
+    r.r_rdh <- (r.r_rdh + 1) mod r.r_entries;
+    r.r_frames <- r.r_frames + 1;
+    r.r_bytes <- r.r_bytes + len;
+    Queue.push (match stamp with Some s -> s | None -> now t) r.r_stamps;
+    r.r_unack <- r.r_unack + 1;
+    if r.r_unack >= max 1 r.r_coalesce then begin
+      r.r_unack <- 0;
+      latch_rx_cause t qi Regs.icr_rxt0
+    end;
     true
   end
 
-let rx_frames t = t.rx_frames
-let rx_dropped t = t.rx_dropped
+(** The RX queue RSS would steer a frame with this flow hash onto: with
+    RSS programmed (MRQC > 1), [hash mod rss_queues]; otherwise the
+    classic queue 0. Exposed so SMP callers can stamp arrivals with the
+    owning CPU's clock before injecting. *)
+let rx_queue_for t ~hash =
+  if t.rss_queues > 1 then abs hash mod t.rss_queues else 0
+
+(** Steer a frame by its flow hash (see {!rx_queue_for}); [stamp] as in
+    {!rx_inject_q}. *)
+let rx_inject ?(hash = 0) ?stamp t (data : string) : bool =
+  rx_inject_q ?stamp t (rx_queue_for t ~hash) data
+
+(** Per-queue RX cause latch, respecting the queue's NAPI mask: a masked
+    queue keeps accumulating causes but reports none (the poll loop owns
+    it). Queue 0's cause is ALSO visible through the legacy ICR for the
+    classic driver. *)
+let rxq_irq_pending t ~q =
+  let r = t.rxqs.(q) in
+  r.r_irq && not r.r_masked
+
+let ack_rxq_irq t ~q = t.rxqs.(q).r_irq <- false
+
+(** Fire the coalescing delay timer for queue [q]: if frames are waiting
+    below the packet-count threshold, latch the cause anyway so a quiet
+    tail is never stranded. Returns true if a cause was latched. *)
+let rx_fire_timer t ~q =
+  let r = t.rxqs.(q) in
+  if r.r_unack > 0 then begin
+    r.r_unack <- 0;
+    latch_rx_cause t q Regs.icr_rxt0;
+    true
+  end
+  else false
+
+(** Pop up to [n] arrival stamps (cycle of DMA delivery) from queue
+    [q] — one per frame the driver just consumed, oldest first. *)
+let rx_take_stamps t ~q n =
+  let r = t.rxqs.(q) in
+  let k = min n (Queue.length r.r_stamps) in
+  Array.init k (fun _ -> Queue.pop r.r_stamps)
+
+let rxq_frames t ~q = t.rxqs.(q).r_frames
+let rxq_bytes t ~q = t.rxqs.(q).r_bytes
+let rxq_dropped t ~q = t.rxqs.(q).r_dropped
+let rx_frames t = Array.fold_left (fun a r -> a + r.r_frames) 0 t.rxqs
+let rx_bytes t = Array.fold_left (fun a r -> a + r.r_bytes) 0 t.rxqs
+let rx_dropped t = Array.fold_left (fun a r -> a + r.r_dropped) 0 t.rxqs
+let rss_queues t = t.rss_queues
+let last_rdt_error t = t.last_rdt_error
+let rdt_rejects t = t.rdt_rejects
 
 (** Free descriptor slots of queue [q] as the device sees them right
     now. *)

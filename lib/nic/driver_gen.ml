@@ -746,12 +746,232 @@ let gen_get_stats_mq b =
   Builder.position_at b other;
   Builder.ret b (Some (Imm (-1)))
 
+(* ------------------------------------------------------------------ *)
+(* multi-queue RX (RSS-steered rings, NAPI polling)
+
+   Per-queue RX adapter state lives in the [adapter_rxq] global, one
+   64-byte block per queue, mirroring [adapter_mq]; queue [q]'s device
+   registers sit at the classic RX offsets plus [q * Regs.rxq_stride].
+   Emitted only for [rx_queues > 0] builds so the default module stays
+   byte-identical. *)
+
+let rxmq_stride = 64
+let rxmqf_ring = 0
+let rxmqf_entries = 8
+let rxmqf_next = 16
+let rxmqf_packets = 24
+let rxmqf_bytes = 32
+let rxmqf_bufsz = 40
+
+(* base of queue %q's RX adapter block *)
+let rxmq_base b =
+  Builder.gep b (Sym "adapter_rxq") (Reg "%q") ~scale:rxmq_stride
+
+(* queue %q's register offset for classic RX register [reg] *)
+let rxmq_reg b reg =
+  let skew = Builder.mul b I64 (Reg "%q") (Imm Regs.rxq_stride) in
+  Builder.add b I64 skew (Imm reg)
+
+let gen_setup_rx_queue b =
+  (* e1000e_setup_rx_queue(q, entries, bufsz): per-queue analogue of
+     e1000e_setup_rx — allocate ring + buffers, program queue q's block,
+     hand the device all but one slot, enable the (global) receiver. *)
+  ignore
+    (Builder.start_func b "e1000e_setup_rx_queue"
+       ~params:[ ("%q", I64); ("%entries", I64); ("%bufsz", I64) ]
+       ~ret:(Some I64));
+  let qb = rxmq_base b in
+  let ring_bytes = Builder.mul b I64 (Reg "%entries") (Imm Regs.desc_size) in
+  let ring =
+    match Builder.call b "kmalloc" [ ring_bytes ] with
+    | Some v -> v
+    | None -> assert false
+  in
+  mq_store b qb rxmqf_ring ring;
+  mq_store b qb rxmqf_entries (Reg "%entries");
+  mq_store b qb rxmqf_next (Imm 0);
+  mq_store b qb rxmqf_packets (Imm 0);
+  mq_store b qb rxmqf_bytes (Imm 0);
+  mq_store b qb rxmqf_bufsz (Reg "%bufsz");
+  Builder.for_loop b ~init:(Imm 0) ~limit:(Reg "%entries") ~step:(Imm 1)
+    (fun i ->
+      let buf =
+        match Builder.call b "kmalloc" [ Reg "%bufsz" ] with
+        | Some v -> v
+        | None -> assert false
+      in
+      let d = Builder.gep b ring i ~scale:Regs.desc_size in
+      Builder.store b I64 buf d;
+      let sta = Builder.gep b d (Imm Regs.rxd_sta_off) ~scale:1 in
+      Builder.store b I8 (Imm 0) sta);
+  Builder.call_unit b "e1000e_io_write" [ rxmq_reg b Regs.rdbal; ring ];
+  Builder.call_unit b "e1000e_io_write" [ rxmq_reg b Regs.rdlen; ring_bytes ];
+  Builder.call_unit b "e1000e_io_write" [ rxmq_reg b Regs.rdh; Imm 0 ];
+  let last = Builder.sub b I64 (Reg "%entries") (Imm 1) in
+  Builder.call_unit b "e1000e_io_write" [ rxmq_reg b Regs.rdt; last ];
+  Builder.call_unit b "e1000e_io_write" [ Imm Regs.rctl; Imm Regs.rctl_en ];
+  Builder.ret b (Some (Imm 0))
+
+let gen_rx_coalesce b =
+  (* e1000e_rx_coalesce(q, frames): program queue q's interrupt
+     coalescing threshold (frames per asserted cause; 1 = per-frame). *)
+  ignore
+    (Builder.start_func b "e1000e_rx_coalesce"
+       ~params:[ ("%q", I64); ("%frames", I64) ]
+       ~ret:None);
+  Builder.call_unit b "e1000e_io_write"
+    [ rxmq_reg b (Regs.rdbal + Regs.rxq_rdtr_off); Reg "%frames" ];
+  Builder.ret b None
+
+let gen_rx_mask b =
+  (* e1000e_rx_disable/enable(q): the NAPI mask dance — the handler
+     masks its queue before scheduling the poll loop, the poll loop
+     re-enables when it goes idle. *)
+  ignore
+    (Builder.start_func b "e1000e_rx_disable" ~params:[ ("%q", I64) ]
+       ~ret:None);
+  Builder.call_unit b "e1000e_io_write"
+    [ rxmq_reg b (Regs.rdbal + Regs.rxq_mask_off); Imm 1 ];
+  Builder.ret b None;
+  ignore
+    (Builder.start_func b "e1000e_rx_enable" ~params:[ ("%q", I64) ]
+       ~ret:None);
+  Builder.call_unit b "e1000e_io_write"
+    [ rxmq_reg b (Regs.rdbal + Regs.rxq_mask_off); Imm 0 ];
+  Builder.ret b None
+
+let gen_setup_rss b =
+  (* e1000e_setup_rss(queues): program the RSS fan-out. *)
+  ignore
+    (Builder.start_func b "e1000e_setup_rss" ~params:[ ("%queues", I64) ]
+       ~ret:None);
+  Builder.call_unit b "e1000e_io_write" [ Imm Regs.mrqc; Reg "%queues" ];
+  Builder.ret b None
+
+let gen_napi_poll b =
+  (* e1000e_napi_poll(q, budget) -> frames processed. The softirq half
+     of the RX path: consume DD|EOP descriptors from queue q's ring,
+     sniff the EtherType (a guarded read of DMA'd payload), account,
+     recycle the slot and publish it back through the RDT doorbell. *)
+  ignore
+    (Builder.start_func b "e1000e_napi_poll"
+       ~params:[ ("%q", I64); ("%budget", I64) ]
+       ~ret:(Some I64));
+  let qb = rxmq_base b in
+  let ring = mq_load b qb rxmqf_ring in
+  let entries = mq_load b qb rxmqf_entries in
+  let mask = Builder.sub b I64 entries (Imm 1) in
+  let next0 = mq_load b qb rxmqf_next in
+  Builder.mov_to b "%rxnext" I64 next0;
+  Builder.mov_to b r_count I64 (Imm 0);
+  let head = Builder.new_block b ~hint:"napi_head" () in
+  let chk = Builder.new_block b ~hint:"napi_chk" () in
+  let work = Builder.new_block b ~hint:"napi_work" () in
+  let done_ = Builder.new_block b ~hint:"napi_done" () in
+  Builder.br b head;
+  Builder.position_at b head;
+  let more = Builder.icmp b Slt I64 (Reg r_count) (Reg "%budget") in
+  Builder.cond_br b more ~if_true:chk ~if_false:done_;
+  Builder.position_at b chk;
+  let desc = Builder.gep b ring (Reg "%rxnext") ~scale:Regs.desc_size in
+  let sta_addr = Builder.gep b desc (Imm Regs.rxd_sta_off) ~scale:1 in
+  let sta = Builder.load b I8 sta_addr in
+  let dd = Builder.and_ b I64 sta (Imm (Regs.sta_dd lor Regs.sta_eop)) in
+  let ready =
+    Builder.icmp b Eq I64 dd (Imm (Regs.sta_dd lor Regs.sta_eop))
+  in
+  Builder.cond_br b ready ~if_true:work ~if_false:done_;
+  Builder.position_at b work;
+  let len_addr = Builder.gep b desc (Imm Regs.rxd_len_off) ~scale:1 in
+  let len = Builder.load b I16 len_addr in
+  let buf = Builder.load b I64 desc in
+  let et_addr = Builder.gep b buf (Imm 12) ~scale:1 in
+  let _ethertype = Builder.load b I16 et_addr in
+  let pk = mq_load b qb rxmqf_packets in
+  let pk1 = Builder.add b I64 pk (Imm 1) in
+  mq_store b qb rxmqf_packets pk1;
+  let by = mq_load b qb rxmqf_bytes in
+  let by1 = Builder.add b I64 by len in
+  mq_store b qb rxmqf_bytes by1;
+  (* recycle: clear status, publish the slot back to the device *)
+  Builder.store b I8 (Imm 0) sta_addr;
+  Builder.call_unit b "e1000e_io_write"
+    [ rxmq_reg b Regs.rdt; Reg "%rxnext" ];
+  let nx = Builder.add b I64 (Reg "%rxnext") (Imm 1) in
+  let nxm = Builder.and_ b I64 nx mask in
+  Builder.mov_to b "%rxnext" I64 nxm;
+  let c1 = Builder.add b I64 (Reg r_count) (Imm 1) in
+  Builder.mov_to b r_count I64 c1;
+  Builder.br b head;
+  Builder.position_at b done_;
+  mq_store b qb rxmqf_next (Reg "%rxnext");
+  Builder.ret b (Some (Reg r_count))
+
+let gen_rx_stats_mq b =
+  (* e1000e_rx_stats_mq(q, which): 0 = driver frames, 1 = driver bytes,
+     2 = device frames, 3 = device bytes, 4 = device dropped (the RXO
+     overflow count the old driver silently swallowed). *)
+  ignore
+    (Builder.start_func b "e1000e_rx_stats_mq"
+       ~params:[ ("%q", I64); ("%which", I64) ]
+       ~ret:(Some I64));
+  let qb = rxmq_base b in
+  let pkts = Builder.new_block b ~hint:"rxst_pkts" () in
+  let bytes = Builder.new_block b ~hint:"rxst_bytes" () in
+  let dframes = Builder.new_block b ~hint:"rxst_dframes" () in
+  let dbytes = Builder.new_block b ~hint:"rxst_dbytes" () in
+  let ddrop = Builder.new_block b ~hint:"rxst_ddrop" () in
+  let other = Builder.new_block b ~hint:"rxst_other" () in
+  Builder.switch b (Reg "%which")
+    [ (0, pkts); (1, bytes); (2, dframes); (3, dbytes); (4, ddrop) ]
+    ~default:other;
+  Builder.position_at b pkts;
+  let v = mq_load b qb rxmqf_packets in
+  Builder.ret b (Some v);
+  Builder.position_at b bytes;
+  let v = mq_load b qb rxmqf_bytes in
+  Builder.ret b (Some v);
+  Builder.position_at b dframes;
+  let v =
+    match
+      Builder.call b "e1000e_io_read"
+        [ rxmq_reg b (Regs.rdbal + Regs.rxq_frames_off) ]
+    with
+    | Some v -> v
+    | None -> assert false
+  in
+  Builder.ret b (Some v);
+  Builder.position_at b dbytes;
+  let v =
+    match
+      Builder.call b "e1000e_io_read"
+        [ rxmq_reg b (Regs.rdbal + Regs.rxq_bytes_off) ]
+    with
+    | Some v -> v
+    | None -> assert false
+  in
+  Builder.ret b (Some v);
+  Builder.position_at b ddrop;
+  let v =
+    match
+      Builder.call b "e1000e_io_read"
+        [ rxmq_reg b (Regs.rdbal + Regs.rxq_dropped_off) ]
+    with
+    | Some v -> v
+    | None -> assert false
+  in
+  Builder.ret b (Some v);
+  Builder.position_at b other;
+  Builder.ret b (Some (Imm (-1)))
+
 (** Generate a fresh, un-transformed driver module. [tx_queues > 1]
     additionally emits the multi-queue TX entry points (setup/xmit/
-    clean/irq per queue) and their [adapter_mq] state; the default is
-    byte-identical to the classic single-queue driver. *)
-let generate ?(module_scale = 12) ?(with_rogue = false) ?(tx_queues = 1) () :
-    modul =
+    clean/irq per queue) and their [adapter_mq] state; [rx_queues > 0]
+    emits the RSS/NAPI RX entry points (per-queue setup/poll/coalesce/
+    mask, RSS programming, RX stats) and their [adapter_rxq] state. The
+    default is byte-identical to the classic single-queue driver. *)
+let generate ?(module_scale = 12) ?(with_rogue = false) ?(tx_queues = 1)
+    ?(rx_queues = 0) () : modul =
   let b = Builder.create "e1000e" in
   declare_kernel_api b;
   ignore (Builder.declare_global b "adapter" ~size:adapter_size);
@@ -789,6 +1009,17 @@ let generate ?(module_scale = 12) ?(with_rogue = false) ?(tx_queues = 1) () :
     gen_xmit_mq b;
     gen_irq_handler_mq b;
     gen_get_stats_mq b
+  end;
+  if rx_queues > 0 then begin
+    ignore
+      (Builder.declare_global b "adapter_rxq"
+         ~size:(Regs.max_rx_queues * rxmq_stride));
+    gen_setup_rx_queue b;
+    gen_rx_coalesce b;
+    gen_rx_mask b;
+    gen_setup_rss b;
+    gen_napi_poll b;
+    gen_rx_stats_mq b
   end;
   if with_rogue then gen_rogue_peek b;
   gen_cold_padding b ~scale:module_scale;

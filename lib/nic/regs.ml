@@ -30,6 +30,40 @@ let rdbah = 0x2804
 let rdlen = 0x2808
 let rdh = 0x2810
 let rdt = 0x2818
+
+(* Multi-queue RX: queue [q]'s register block sits at [rdbal + q *
+   rxq_stride], mirroring the TX convention; queue 0's block is exactly
+   the classic single-queue registers above. The RX blocks end at 0x3000,
+   well below the TX blocks at [tdbal]. Sub-offsets within a block beyond
+   the classic five are per-queue extras: the RDTR-position interrupt
+   coalescing threshold (frames per RXT0 assertion), an RX interrupt mask
+   latch (the per-queue analogue of IMS/IMC for NAPI's
+   mask-poll-re-enable cycle), and read-only delivery/drop counters the
+   driver surfaces through its stats entry points. *)
+let rxq_stride = 0x100
+let max_rx_queues = 8
+let rdbal_q q = rdbal + (q * rxq_stride)
+let rdlen_q q = rdlen + (q * rxq_stride)
+let rdh_q q = rdh + (q * rxq_stride)
+let rdt_q q = rdt + (q * rxq_stride)
+
+(* block-relative sub-offsets of the per-queue extras *)
+let rxq_rdtr_off = 0x20 (* coalescing: frames per interrupt (RDTR slot) *)
+let rxq_mask_off = 0x28 (* 1 = RX interrupt masked (NAPI polling) *)
+let rxq_frames_off = 0x30 (* device: frames delivered into this ring *)
+let rxq_bytes_off = 0x38 (* device: bytes delivered into this ring *)
+let rxq_dropped_off = 0x40 (* device: frames dropped (no buffer/RXO) *)
+let rdtr_q q = rdbal + (q * rxq_stride) + rxq_rdtr_off
+let rxmask_q q = rdbal + (q * rxq_stride) + rxq_mask_off
+let rxq_frames_reg q = rdbal + (q * rxq_stride) + rxq_frames_off
+let rxq_bytes_reg q = rdbal + (q * rxq_stride) + rxq_bytes_off
+let rxq_dropped_reg q = rdbal + (q * rxq_stride) + rxq_dropped_off
+
+(* RSS: the MRQC-position register; the written value is the number of
+   RX queues incoming flows are hashed across (0/1 = steering off,
+   everything lands on queue 0). *)
+let mrqc = 0x5818
+
 let scratch = 0x5B00 (* diagnostic scratch register (self-test) *)
 
 (* CTRL bits *)
@@ -44,6 +78,7 @@ let tctl_en = 1 lsl 1
 (* ICR bits *)
 let icr_txdw = 1 lsl 0 (* transmit descriptor written back *)
 let icr_lsc = 1 lsl 2 (* link status change *)
+let icr_rxo = 1 lsl 6 (* receiver overrun: frame dropped, ring full *)
 let icr_rxt0 = 1 lsl 7 (* receiver timer: frames delivered *)
 
 (* RCTL bits *)

@@ -38,6 +38,12 @@ type kind =
   | Tier_rebuilt
       (** a quarantined tier was rebuilt from the authoritative table and
           re-promoted ([info] = tier code, as above) *)
+  | Rx_irq
+      (** RX interrupt taken: the handler masked its queue and scheduled
+          the poll loop ([info] = queue) *)
+  | Rx_poll
+      (** one NAPI poll pass completed ([info] = queue, [size] = frames
+          consumed, [flags] = 1 if the budget was exhausted) *)
 
 let kind_to_int = function
   | Guard_allow -> 0
@@ -55,6 +61,8 @@ let kind_to_int = function
   | Ipi_flush -> 12
   | Tier_degraded -> 13
   | Tier_rebuilt -> 14
+  | Rx_irq -> 15
+  | Rx_poll -> 16
 
 let kind_of_int = function
   | 0 -> Guard_allow
@@ -71,6 +79,8 @@ let kind_of_int = function
   | 12 -> Ipi_flush
   | 13 -> Tier_degraded
   | 14 -> Tier_rebuilt
+  | 15 -> Rx_irq
+  | 16 -> Rx_poll
   | _ -> Panic
 
 let kind_to_string = function
@@ -89,6 +99,8 @@ let kind_to_string = function
   | Ipi_flush -> "ipi-flush"
   | Tier_degraded -> "tier-degraded"
   | Tier_rebuilt -> "tier-rebuilt"
+  | Rx_irq -> "rx-irq"
+  | Rx_poll -> "rx-poll"
 
 (** A decoded event (read-path only; the ring itself stores raw ints).
     [info] is the matched region's base for guard events (-1 when no
@@ -274,10 +286,10 @@ let on_fast_miss t ~site =
   t.sites.s_fast_misses.(i) <- t.sites.s_fast_misses.(i) + 1
 
 (** Lifecycle event (policy mutation, mode change, module load/
-    quarantine, panic). *)
-let on_lifecycle t kind ~info =
-  if t.recording then
-    append t ~kind ~site:(-1) ~addr:0 ~size:0 ~flags:0 ~info
+    quarantine, panic, RX irq/poll). [size]/[flags] carry small
+    event-specific payloads (e.g. frames consumed by an RX poll pass). *)
+let on_lifecycle ?(size = 0) ?(flags = 0) t kind ~info =
+  if t.recording then append t ~kind ~site:(-1) ~addr:0 ~size ~flags ~info
 
 (* --- the read path -------------------------------------------------- *)
 

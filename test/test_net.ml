@@ -167,6 +167,113 @@ let test_pktgen_degrades_on_quarantine () =
   checki "latency array matches" 0 (Array.length r.Net.Pktgen.latencies);
   checkb "kernel alive" true (Kernel.panic_state k = None)
 
+(* ---------- NAPI receive ---------- *)
+
+let setup_napi ?(queues = 2) ?(ring = 16) ?(budget = 32) ?(coalesce = 1)
+    ?(timer_passes = 4) () =
+  let k = Kernel.create ~require_signature:false Machine.Presets.r350 in
+  ignore (Vm.Interp.install k);
+  let dev = Nic.Device.create k in
+  (match Kernel.insmod k (Nic.Driver_gen.generate ~rx_queues:queues ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "insmod: %s" (Kernel.load_error_to_string e));
+  let stack = Net.Netstack.create k dev in
+  Net.Netstack.bring_up stack ~ring_entries:64;
+  let rx = Net.Rx.create ~budget ~coalesce ~timer_passes k dev ~queues in
+  Net.Rx.bring_up rx ~ring_entries:ring ~bufsz:2048;
+  (k, dev, rx)
+
+let test_napi_budget_exhaustion_and_rearm () =
+  let _, dev, rx = setup_napi ~budget:4 ~coalesce:1 () in
+  for i = 0 to 9 do
+    ignore (Nic.Device.rx_inject ~hash:0 dev (Net.Frame.build ~seq:i ~size:64 ()))
+  done;
+  (* pass 1: take the irq (masking the queue), consume a budget's worth *)
+  checki "first pass consumes the budget" 4 (Net.Rx.service rx ~q:0);
+  checki "one interrupt" 1 (Net.Rx.irqs rx ~q:0);
+  (* passes 2-3: still scheduled, no new interrupt while masked *)
+  checki "second pass" 4 (Net.Rx.service rx ~q:0);
+  checki "third pass drains the rest" 2 (Net.Rx.service rx ~q:0);
+  checki "still one interrupt" 1 (Net.Rx.irqs rx ~q:0);
+  checki "two exhausted passes" 2 (Net.Rx.budget_exhausted rx ~q:0);
+  checki "one re-arm" 1 (Net.Rx.rearms rx ~q:0);
+  checki "all frames through" 10 (Net.Rx.frames rx ~q:0);
+  (* re-armed: the next frame raises a fresh interrupt *)
+  ignore (Nic.Device.rx_inject ~hash:0 dev (Net.Frame.build ~seq:10 ~size:64 ()));
+  checki "consumed after re-arm" 1 (Net.Rx.service rx ~q:0);
+  checki "second interrupt" 2 (Net.Rx.irqs rx ~q:0)
+
+let test_napi_coalescing_timer_kick () =
+  let _, dev, rx = setup_napi ~coalesce:4 ~timer_passes:2 () in
+  (* two frames stay below the 4-frame coalescing threshold: no cause *)
+  for i = 0 to 1 do
+    ignore (Nic.Device.rx_inject ~hash:0 dev (Net.Frame.build ~seq:i ~size:64 ()))
+  done;
+  checki "no irq below threshold" 0 (Net.Rx.service rx ~q:0);
+  (* the second idle pass fires the delay timer; the third delivers *)
+  checki "timer pass" 0 (Net.Rx.service rx ~q:0);
+  checki "tail batch delivered" 2 (Net.Rx.service rx ~q:0);
+  checki "one timer kick" 1 (Net.Rx.timer_kicks rx ~q:0);
+  checki "one interrupt" 1 (Net.Rx.irqs rx ~q:0)
+
+let prop_rx_dma_byte_identity =
+  let k, dev, rx = setup_napi ~queues:2 ~ring:16 () in
+  let adapter_rxq = Option.get (Kernel.symbol_address k "adapter_rxq") in
+  QCheck.Test.make ~name:"RX payloads survive DMA byte-identically" ~count:60
+    QCheck.(triple (int_bound 0xFFFFFF) (int_range 64 1500) (int_bound 1000))
+    (fun (seq, size, hash) ->
+      let frame = Net.Frame.build ~seq ~size () in
+      let q = Nic.Device.rx_queue_for dev ~hash in
+      let qb = adapter_rxq + (q * 64) in
+      let ring = Kernel.read k ~addr:qb ~size:8 in
+      let next = Kernel.read k ~addr:(qb + 16) ~size:8 in
+      let ok = Nic.Device.rx_inject ~hash dev frame in
+      (* the frame lands in the buffer of the driver's next descriptor *)
+      let buf =
+        Kernel.read k ~addr:(ring + (next * Nic.Regs.desc_size)) ~size:8
+      in
+      let got = Kernel.read_string k ~addr:buf ~len:size in
+      ignore (Net.Rx.flush rx ~q : int);
+      ok && got = frame)
+
+let test_deny_policy_blocks_rx () =
+  (* the other half of the DMA property: with write permission on the
+     kernel half revoked, the guarded driver cannot walk its own RX ring
+     — the module quarantines and zero frames are delivered *)
+  let config =
+    {
+      Smp_testbed.default_config with
+      cpus = 1;
+      rx_queues = 1;
+      rx_coalesce = 1;
+      on_deny = Policy.Policy_module.Quarantine;
+      seed = 5;
+    }
+  in
+  let tb = Smp_testbed.create ~config () in
+  let dev = Smp_testbed.device tb in
+  let rx = Option.get (Smp_testbed.rx tb) in
+  ignore (Nic.Device.rx_inject dev (Net.Frame.build ~seq:0 ~size:64 ()));
+  checki "delivered while allowed" 1 (Net.Rx.service rx ~q:0);
+  let ro =
+    [
+      Policy.Region.v ~tag:"kernel-ro" ~base:Kernel.Layout.kernel_base
+        ~len:0x2FFF_FFFF_FFFF_FFFF ~prot:Policy.Region.prot_read ();
+      Policy.Region.v ~tag:"user-low-half" ~base:0x0
+        ~len:Kernel.Layout.kernel_base ~prot:0 ();
+    ]
+  in
+  Policy.Policy_module.set_policy (Smp_testbed.policy_module tb) ro;
+  for i = 1 to 5 do
+    ignore (Nic.Device.rx_inject dev (Net.Frame.build ~seq:i ~size:64 ()))
+  done;
+  ignore (Net.Rx.service rx ~q:0 : int);
+  ignore (Net.Rx.service rx ~q:0 : int);
+  checki "zero frames after revocation" 1 (Net.Rx.frames rx ~q:0);
+  checkb "driver quarantined" true
+    (Kernel.quarantine_records (Smp_testbed.kernel tb) <> []);
+  checkb "kernel alive" true (Kernel.panic_state (Smp_testbed.kernel tb) = None)
+
 (* ---------- pktgen ---------- *)
 
 let test_pktgen_counts () =
@@ -266,6 +373,16 @@ let () =
             test_sendmsg_quarantined_driver;
           Alcotest.test_case "pktgen degrades" `Quick
             test_pktgen_degrades_on_quarantine;
+        ] );
+      ( "napi",
+        [
+          Alcotest.test_case "budget exhaustion and re-arm" `Quick
+            test_napi_budget_exhaustion_and_rearm;
+          Alcotest.test_case "coalescing timer kick" `Quick
+            test_napi_coalescing_timer_kick;
+          QCheck_alcotest.to_alcotest prop_rx_dma_byte_identity;
+          Alcotest.test_case "deny policy blocks rx" `Quick
+            test_deny_policy_blocks_rx;
         ] );
       ( "pktgen",
         [
