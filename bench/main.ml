@@ -26,6 +26,7 @@ let quick = ref false
 let fault_trials = ref None
 let json = ref false
 let engine = ref Vm.Engine.Interp
+let fault_sanitize = ref false
 
 let trials () = if !quick then 9 else 41
 let packets () = if !quick then 150 else 600
@@ -1384,7 +1385,8 @@ let run_faults () =
     | None -> if !quick then 60 else Fault.Campaign.default_config.faults
   in
   let report =
-    Fault.Campaign.run { Fault.Campaign.default_config with faults }
+    Fault.Campaign.run ~sanitize:!fault_sanitize
+      { Fault.Campaign.default_config with faults }
   in
   print_string (Fault.Campaign.render report);
   if not (Fault.Campaign.passes report) then exit 1
@@ -1917,6 +1919,205 @@ let run_traffic () =
 
 (* ------------------------------------------------------------------ *)
 
+(* san: the memory sanitizer's pay-for-what-you-use contract and its
+   detection gates.
+
+   Gate 1 — off is free: fig3/fig7-shaped cells with the sanitizer off
+   must stay bit-identical to the tracegate goldens (same cycles, same
+   guard checks); with it on, the guard decisions are unchanged and the
+   cycle overhead is bounded.
+   Gate 2 — at-access attribution: the sanitize fault campaign must
+   report every memory-corruption class at the faulting access with
+   allocation attribution under carat/panic, and the race detector must
+   flag every seeded cross-CPU race.
+   Gate 3 — the happens-before fixture suite: the clean RCU / NAPI /
+   rebuild workloads stay silent, the seeded fixtures are flagged.
+   Gate 4 — Alloc_lint: the seeded double-free and use-after-free are
+   caught and the driver-scale KIR lints with zero errors.
+   Writes BENCH_san.json and exits nonzero on any gate failure. *)
+
+(* fig7_cell with the sanitizer enabled on the cell's kernel: same
+   seeds, same packet counts; returns the sanitize-on cycle count plus
+   the decision counters that must not move *)
+let san_fig7_cell () =
+  let config =
+    {
+      Testbed.default_config with
+      machine = Machine.Presets.r350;
+      technique = Testbed.Carat;
+      stall_prob = 0.0004;
+      engine = Vm.Engine.Interp;
+    }
+  in
+  let tb = Testbed.create ~config () in
+  Kernel.enable_sanitizer tb.Testbed.kernel;
+  let machine = Testbed.machine tb in
+  ignore
+    (Testbed.run_pktgen tb
+       { Net.Pktgen.default_config with count = 200; size = 128; seed = 999 });
+  Policy.Engine.reset_stats (Policy.Policy_module.engine tb.Testbed.policy_module);
+  let c0 = Machine.Model.cycles machine in
+  ignore
+    (Testbed.run_pktgen tb
+       { Net.Pktgen.default_config with count = 600; size = 128; seed = 5 });
+  let c1 = Machine.Model.cycles machine in
+  let st =
+    Policy.Engine.stats (Policy.Policy_module.engine tb.Testbed.policy_module)
+  in
+  (c1 - c0, st.Policy.Engine.checks, st.Policy.Engine.denied,
+   Kernel.san_report_count tb.Testbed.kernel)
+
+(* the seeded Alloc_lint fixtures: a must-double-free and a
+   must-use-after-free (the UAF pointer is null-checked so the only
+   findings are the seeded errors) *)
+let build_alloc_bugs () =
+  let b = Kir.Builder.create "allocbugs" in
+  let open Kir.Types in
+  ignore (Kir.Builder.start_func b "df" ~params:[] ~ret:None);
+  (match Kir.Builder.call b "kmalloc" [ Imm 64 ] with
+  | Some p ->
+    Kir.Builder.call_unit b "kfree" [ p ];
+    Kir.Builder.call_unit b "kfree" [ p ]
+  | None -> ());
+  Kir.Builder.ret b None;
+  ignore (Kir.Builder.start_func b "uaf" ~params:[] ~ret:(Some I64));
+  (match Kir.Builder.call b "kmalloc" [ Imm 64 ] with
+  | Some p ->
+    ignore (Kir.Builder.icmp b Eq I64 p (Imm 0));
+    Kir.Builder.call_unit b "kfree" [ p ];
+    let v = Kir.Builder.load b I64 p in
+    Kir.Builder.ret b (Some v)
+  | None -> Kir.Builder.ret b None);
+  Kir.Builder.modul b
+
+let run_san () =
+  section "san: sanitizer pay-for-what-you-use, at-access attribution, races";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* ---- gate 1: sanitizer off => bit-identical to the goldens ---- *)
+  let fig3_golden = (10629208, 17400) in
+  let fig7_golden = (12538822, 17400, 731.0) in
+  let f3 =
+    guardpath_e2e ~label:"fig3/san-off" ~engine:Vm.Engine.Interp
+      ~structure:Policy.Engine.Linear ~site_cache:false ~regions:2
+      ~packets:600 ()
+  in
+  let c7, k7, m7 = fig7_cell ~technique:Testbed.Carat ~engine:Vm.Engine.Interp () in
+  let f3_ok = (f3.gp_total_cycles, f3.gp_guard_checks) = fig3_golden in
+  let f7_ok = (c7, k7, m7) = fig7_golden in
+  Printf.printf "  san-off fig3 cell: %d cycles, %d checks (golden: %b)\n"
+    f3.gp_total_cycles f3.gp_guard_checks f3_ok;
+  Printf.printf
+    "  san-off fig7 cell: %d cycles, %d checks, median %.1f (golden: %b)\n" c7
+    k7 m7 f7_ok;
+  if not f3_ok then
+    fail "sanitizer-off fig3 cell differs from the pre-sanitizer golden";
+  if not f7_ok then
+    fail "sanitizer-off fig7 cell differs from the pre-sanitizer golden";
+  let sc7, sk7, sd7, s_reports = san_fig7_cell () in
+  let overhead = float_of_int (sc7 - c7) /. float_of_int c7 in
+  Printf.printf
+    "  san-on  fig7 cell: %d cycles (+%.1f%%), %d checks, %d denied, %d \
+     reports\n"
+    sc7 (100.0 *. overhead) sk7 sd7 s_reports;
+  if sk7 <> k7 then fail "sanitizer on changed the guard-check count";
+  if sd7 <> 0 then fail "sanitizer on changed guard decisions (denies)";
+  if s_reports <> 0 then fail "clean fig7 run produced sanitizer reports";
+  if sc7 <= c7 then fail "sanitizer on charged no shadow-check cycles";
+  if overhead > 0.5 then
+    fail "sanitizer overhead %.1f%% above the 50%% bound" (100.0 *. overhead);
+  (* ---- gate 2: the sanitize campaign's at-access attribution ---- *)
+  (* faults are round-robined across the classes, so at least one full
+     round keeps every at-access gate non-vacuous *)
+  let nclasses = List.length Fault.Inject.all_classes in
+  let faults =
+    match !fault_trials with
+    | Some n -> max n nclasses
+    | None -> if !quick then nclasses else 2 * nclasses
+  in
+  let report =
+    Fault.Campaign.run ~sanitize:true
+      { Fault.Campaign.default_config with faults }
+  in
+  print_string (Fault.Campaign.render report);
+  let camp_fails = Fault.Campaign.check report in
+  List.iter (fun m -> fail "campaign: %s" m) camp_fails;
+  let panic = Fault.Harness.Carat Policy.Policy_module.Panic in
+  List.iter
+    (fun cls ->
+      if (Fault.Campaign.cell report ~cls ~mode:panic).Fault.Campaign.injected = 0
+      then
+        fail "campaign: %s got no injections (at-access gate vacuous)"
+          (Fault.Inject.cls_to_string cls))
+    Fault.Inject.all_classes;
+  let panic_t = Fault.Campaign.totals report ~mode:panic in
+  (* ---- gate 3: the race-detector fixture suite ---- *)
+  let suites = Race_suites.all () in
+  print_string (Race_suites.render suites);
+  if not (Race_suites.pass suites) then fail "race fixture suite failed";
+  (* ---- gate 4: Alloc_lint seeded bugs + clean driver-scale KIR ---- *)
+  let bugs = Analysis.Alloc_lint.lint (build_alloc_bugs ()) in
+  let has code =
+    List.exists (fun f -> f.Analysis.Kir_lint.code = code) bugs
+  in
+  Printf.printf "  alloc-lint seeded fixture: %d finding(s)\n"
+    (List.length bugs);
+  List.iter
+    (fun f -> Printf.printf "    %s\n" (Analysis.Kir_lint.finding_to_string f))
+    bugs;
+  if not (has "L-double-free") then
+    fail "alloc lint missed the seeded double-free";
+  if not (has "L-use-after-free") then
+    fail "alloc lint missed the seeded use-after-free";
+  let driver =
+    Nic.Driver_gen.generate ~module_scale:12 ~rx_queues:2
+      ~tx_queues:Nic.Regs.max_tx_queues ()
+  in
+  let driver_findings = Analysis.Alloc_lint.lint driver in
+  let driver_errs = Analysis.Kir_lint.errors driver_findings in
+  Printf.printf "  alloc-lint driver-scale KIR: %d error(s), %d warning(s)\n"
+    (List.length driver_errs)
+    (List.length (Analysis.Kir_lint.warnings driver_findings));
+  if driver_errs <> [] then
+    fail "alloc lint false positives on the clean driver KIR";
+  (* ---- artifact ---- *)
+  let suite_json v =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"expect_races\": %b, \"reports\": %d, \
+       \"pass\": %b}"
+      v.Race_suites.v_name v.Race_suites.v_expect_races
+      v.Race_suites.v_reports v.Race_suites.v_pass
+  in
+  let oc = open_out "BENCH_san.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"fig3_bit_identical\": %b,\n\
+    \  \"fig7_bit_identical\": %b,\n\
+    \  \"san_on_overhead\": %.4f,\n\
+    \  \"campaign_faults_per_cell\": %d,\n\
+    \  \"campaign_san_hits\": %d,\n\
+    \  \"campaign_san_total\": %d,\n\
+    \  \"campaign_race_hits\": %d,\n\
+    \  \"campaign_race_total\": %d,\n\
+    \  \"race_suites\": [\n%s\n  ],\n\
+    \  \"alloc_lint_seeded_findings\": %d,\n\
+    \  \"alloc_lint_driver_errors\": %d,\n\
+    \  \"gates_passed\": %b\n\
+     }\n"
+    f3_ok f7_ok overhead faults panic_t.Fault.Campaign.san_hits
+    panic_t.Fault.Campaign.san_total panic_t.Fault.Campaign.race_hits
+    panic_t.Fault.Campaign.race_total
+    (String.concat ",\n" (List.map suite_json suites))
+    (List.length bugs) (List.length driver_errs) (!failures = []);
+  close_out oc;
+  print_endline "  wrote BENCH_san.json";
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "san: FAIL: %s\n") (List.rev !failures);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let all_figs =
   [
     ("fig3", run_fig3);
@@ -1936,6 +2137,7 @@ let all_figs =
     ("traffic", run_traffic);
     ("selfheal", run_selfheal);
     ("faults", run_faults);
+    ("san", run_san);
     ("certify", run_certify);
     ("bechamel", run_bechamel);
   ]
@@ -1955,6 +2157,9 @@ let () =
       | None ->
         Printf.eprintf "--engine expects interp or compiled, got %s\n" e;
         exit 1);
+      parse rest
+    | "--sanitize" :: rest ->
+      fault_sanitize := true;
       parse rest
     | "--trials" :: n :: rest ->
       (match int_of_string_opt n with

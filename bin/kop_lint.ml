@@ -10,9 +10,16 @@
      kop_lint cert FILE.kir       — validate the embedded
                                     guard-completeness certificate of a
                                     compiled module (digest + re-proof)
+     kop_lint san FILE.kir        — allocation-lifetime dataflow lints:
+                                    double-free, use-after-free,
+                                    leak-on-exit, unchecked kmalloc
+     kop_lint race                — run the happens-before detector's
+                                    fixture suite (clean suites silent,
+                                    seeded races flagged)
 
-   Exit codes: 0 clean (warnings allowed), 3 errors found, 1 bad input,
-   2 usage. Pass --strict to also fail on warnings. *)
+   Exit codes are uniform across every subcommand: 0 clean (warnings
+   allowed), 3 errors found, 1 bad input, 2 usage. Pass --strict to
+   promote warnings to errors (exit 3) everywhere. *)
 
 open Cmdliner
 open Carat_kop
@@ -67,17 +74,38 @@ let cmd_policy path strict =
     Printf.eprintf "kop_lint: %s\n" msg;
     1
 
-let cmd_cert path expect_domain =
+let cmd_cert path expect_domain strict =
   with_kir path (fun m ->
       match Analysis.Certify.validate ?expect_domain m with
       | Ok () ->
         Printf.printf "%s: certificate ok (guard completeness re-proved)\n"
           path;
+        (* certificate validation emits no warnings; --strict is accepted
+           for exit-code uniformity across subcommands *)
+        ignore (strict : bool);
         0
       | Error e ->
         Printf.printf "%s: certificate REJECTED: %s\n" path
           (Analysis.Certify.validate_error_to_string e);
         3)
+
+let cmd_san path strict =
+  with_kir path (fun m ->
+      let findings = Analysis.Alloc_lint.lint m in
+      List.iter
+        (fun f -> print_endline (Analysis.Kir_lint.finding_to_string f))
+        findings;
+      verdict ~strict ~what:"alloc" path
+        (Analysis.Kir_lint.errors findings)
+        (Analysis.Kir_lint.warnings findings))
+
+let cmd_race strict =
+  let vs = Race_suites.all () in
+  print_string (Race_suites.render vs);
+  (* suite failures are errors; there is no warning severity here, so
+     --strict changes nothing (accepted for uniformity) *)
+  ignore (strict : bool);
+  if Race_suites.pass vs then 0 else 3
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -117,8 +145,30 @@ let cert_cmd =
          "validate the guard-completeness certificate embedded in a \
           compiled module (body digest match, then full re-proof); with \
           --domain, also check the domain binding")
-    Term.(const cmd_cert $ file_arg $ domain_arg)
+    Term.(const cmd_cert $ file_arg $ domain_arg $ strict_arg)
+
+let san_cmd =
+  Cmd.v
+    (Cmd.info "san"
+       ~doc:
+         "allocation-lifetime dataflow lints over a KIR module: \
+          double-free and use-after-free (errors), leak-on-exit and \
+          kmalloc results dereferenced without a null check (warnings)")
+    Term.(const cmd_san $ file_arg $ strict_arg)
+
+let race_cmd =
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "run the happens-before race-detector fixture suite: the clean \
+          RCU/NAPI/rebuild workloads must stay silent and the seeded \
+          stale-window and corruption fixtures must be flagged")
+    Term.(const cmd_race $ strict_arg)
 
 let () =
   let doc = "static analysis suite for CARAT KOP modules and policies" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "kop_lint" ~doc) [ module_cmd; policy_cmd; cert_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "kop_lint" ~doc)
+          [ module_cmd; policy_cmd; cert_cmd; san_cmd; race_cmd ]))

@@ -63,7 +63,7 @@ let run_duplex ~machine ~cpus ~no_enforce ~stats =
   else 0
 
 let run module_path policy_path call args machine_name engine_name opt_str
-    mode_str no_enforce show_log stats trace guard_trace cpus duplex =
+    mode_str no_enforce show_log stats trace guard_trace cpus duplex sanitize =
   if cpus < 1 || cpus > 8 then begin
     Printf.eprintf "kop_run: --cpus expects 1..8\n";
     exit 2
@@ -127,6 +127,8 @@ let run module_path policy_path call args machine_name engine_name opt_str
       Kernel.create ~require_signature:(not no_enforce)
         ~require_certificate:(not no_enforce) machine
     in
+    (* before any kmalloc, so every allocation gets redzones + shadow *)
+    if sanitize then Kernel.enable_sanitizer kernel;
     let vm = Vm.Engine.install ~kind:engine kernel in
     if trace > 0 then begin
       let remaining = ref trace in
@@ -193,6 +195,8 @@ let run module_path policy_path call args machine_name engine_name opt_str
           Printf.eprintf "cycles: %d\n"
             (Machine.Model.cycles (Kernel.machine kernel))
         end;
+        if sanitize && Kernel.san_report_count kernel > 0 then
+          Printf.eprintf "%s" (Kernel.san_render kernel);
         dump_log ();
         code
       in
@@ -352,12 +356,23 @@ let duplex_arg =
           $(b,--stats) adds the NAPI loop counters. Exits 1 if any stale \
           allow is observed.")
 
+let sanitize_arg =
+  Arg.(value & flag & info [ "sanitize" ]
+    ~doc:"Enable the kernel memory sanitizer: redzones and an \
+          alloc/free-state shadow on every kmalloc/kfree, so \
+          out-of-bounds, use-after-free and redzone hits from module \
+          code are reported at the faulting access with allocation \
+          attribution (reports go to stderr after the run and to \
+          /proc/carat/san). Off by default; when off, decisions and \
+          cycle counts are bit-identical to a build without the \
+          sanitizer.")
+
 let cmd =
   let doc = "insert a KIR module into a simulated CARAT KOP kernel and call it" in
   Cmd.v (Cmd.info "kop_run" ~doc)
     Term.(
       const run $ module_arg $ policy_arg $ call_arg $ args_arg $ machine_arg
       $ engine_arg $ opt_arg $ mode_arg $ no_enforce $ log_arg $ stats_arg
-      $ trace_arg $ guard_trace_arg $ cpus_arg $ duplex_arg)
+      $ trace_arg $ guard_trace_arg $ cpus_arg $ duplex_arg $ sanitize_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,280 @@
+(** Static allocation-lifetime lints over KIR, as a forward dataflow on
+    {!Dataflow}. The abstract state tracks which allocation sites each
+    virtual register may carry (propagated through [Mov]/[Gep]/pointer
+    arithmetic) and a per-site lifetime status with the must-info join
+    [Allocated ⊔ Freed = Top] — a site whose status merges to [Top] is
+    never reported, so path-insensitive uncertainty cannot produce a
+    false double-free or use-after-free.
+
+    Findings (as {!Kir_lint.finding}s, so the CLI plumbing is shared):
+
+    - [L-double-free] (error): kfree of a pointer that is freed on every
+      path reaching the call;
+    - [L-use-after-free] (error): load/store through a pointer freed on
+      every path reaching the access;
+    - [L-leak-on-exit] (warning): a function returns while an allocation
+      it made is still live and never escaped (stored to memory, passed
+      to a call, or returned);
+    - [W-unchecked-alloc] (warning): a kmalloc result dereferenced
+      without any null check ([icmp] against 0) anywhere in the
+      function. *)
+
+open Kir.Types
+
+module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+type status = Allocated | Freed | Top
+
+type fact = {
+  regs : ISet.t SMap.t;  (** register -> allocation sites it may carry *)
+  sites : status IMap.t;  (** site -> lifetime status; absent = bottom *)
+}
+
+let empty_fact = { regs = SMap.empty; sites = IMap.empty }
+
+let join_status a b = if a = b then a else Top
+
+let join_fact a b =
+  {
+    regs =
+      SMap.union (fun _ s1 s2 -> Some (ISet.union s1 s2)) a.regs b.regs;
+    sites = IMap.union (fun _ s1 s2 -> Some (join_status s1 s2)) a.sites b.sites;
+  }
+
+let equal_fact a b =
+  SMap.equal ISet.equal a.regs b.regs && IMap.equal ( = ) a.sites b.sites
+
+type site_info = {
+  si_id : int;
+  si_block : string;
+  si_ord : int;  (** ordinal among the function's allocation calls *)
+}
+
+let describe si =
+  if si.si_ord = 0 then Printf.sprintf "allocation in block %s" si.si_block
+  else Printf.sprintf "allocation #%d in block %s" (si.si_ord + 1) si.si_block
+
+(* Observation callbacks fired during the post-fixpoint replay pass; the
+   solver itself runs with [None] so repeated sweeps report nothing. *)
+type 'a observer = {
+  ob_double_free : site_info -> block:string -> unit;
+  ob_uaf : site_info -> block:string -> write:bool -> unit;
+  ob_escape : int -> unit;
+  ob_check : int -> unit;
+  ob_deref : int -> block:string -> unit;
+  ob_ret : block:string -> status IMap.t -> unit;
+}
+
+let analyze_func ~alloc_symbol ~free_symbol push (f : func) =
+  let cfg = Kir.Cfg.of_func f in
+  (* enumerate allocation sites: one per [alloc_symbol] call *)
+  let site_at : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let infos = ref [] in
+  let nsites = ref 0 in
+  Array.iteri
+    (fun bi (b : block) ->
+      List.iteri
+        (fun ii i ->
+          match i with
+          | Call { callee; _ } when callee = alloc_symbol ->
+            let id = !nsites in
+            incr nsites;
+            Hashtbl.replace site_at (bi, ii) id;
+            infos := { si_id = id; si_block = b.b_label; si_ord = id } :: !infos
+          | _ -> ())
+        b.body)
+    cfg.Kir.Cfg.blocks;
+  let info id = List.find (fun s -> s.si_id = id) !infos in
+  let sites_of regs v =
+    match v with
+    | Reg r -> ( match SMap.find_opt r regs with Some s -> s | None -> ISet.empty)
+    | Imm _ | Sym _ -> ISet.empty
+  in
+  let transfer ?observe ~block fact =
+    let b = cfg.Kir.Cfg.blocks.(block) in
+    let fact = ref fact in
+    let set_reg dst s =
+      { !fact with regs = (if ISet.is_empty s then SMap.remove dst !fact.regs
+                           else SMap.add dst s !fact.regs) }
+    in
+    let status id = IMap.find_opt id !fact.sites in
+    let on_deref v ~write =
+      ISet.iter
+        (fun id ->
+          (match observe with
+          | Some ob ->
+            ob.ob_deref id ~block:b.b_label;
+            if status id = Some Freed then
+              ob.ob_uaf (info id) ~block:b.b_label ~write
+          | None -> ()))
+        (sites_of !fact.regs v)
+    in
+    let on_escape v =
+      match observe with
+      | Some ob -> ISet.iter ob.ob_escape (sites_of !fact.regs v)
+      | None -> ()
+    in
+    List.iteri
+      (fun ii i ->
+        match i with
+        | Call { dst; callee; args = _ } when callee = alloc_symbol ->
+          let id = Hashtbl.find site_at (block, ii) in
+          fact := { !fact with sites = IMap.add id Allocated !fact.sites };
+          (match dst with
+          | Some d -> fact := set_reg d (ISet.singleton id)
+          | None -> ())
+        | Call { dst; callee; args } when callee = free_symbol ->
+          let freed =
+            List.fold_left
+              (fun acc v -> ISet.union acc (sites_of !fact.regs v))
+              ISet.empty args
+          in
+          ISet.iter
+            (fun id ->
+              (match observe with
+              | Some ob when status id = Some Freed ->
+                ob.ob_double_free (info id) ~block:b.b_label
+              | _ -> ());
+              (* strong update only when the pointer is unambiguous *)
+              let st =
+                if ISet.cardinal freed = 1 then Freed
+                else
+                  match status id with
+                  | Some s -> join_status s Freed
+                  | None -> Freed
+              in
+              fact := { !fact with sites = IMap.add id st !fact.sites })
+            freed;
+          (match dst with Some d -> fact := set_reg d ISet.empty | None -> ())
+        | Call { dst; args; _ } | Callind { dst; args; _ }
+        | Intrinsic { dst; args; _ } ->
+          List.iter on_escape args;
+          (match dst with Some d -> fact := set_reg d ISet.empty | None -> ())
+        | Load { dst; addr; _ } ->
+          on_deref addr ~write:false;
+          fact := set_reg dst ISet.empty
+        | Store { v; addr; _ } ->
+          on_deref addr ~write:true;
+          on_escape v
+        | Mov { dst; src; _ } -> fact := set_reg dst (sites_of !fact.regs src)
+        | Gep { dst; base; _ } -> fact := set_reg dst (sites_of !fact.regs base)
+        | Binop { dst; a; b = b'; _ } ->
+          (* pointer arithmetic: the result may still point into the
+             allocation either operand carries *)
+          fact :=
+            set_reg dst
+              (ISet.union (sites_of !fact.regs a) (sites_of !fact.regs b'))
+        | Select { dst; if_true; if_false; _ } ->
+          fact :=
+            set_reg dst
+              (ISet.union
+                 (sites_of !fact.regs if_true)
+                 (sites_of !fact.regs if_false))
+        | Icmp { dst; a; b = b'; _ } ->
+          let checked =
+            match (a, b') with
+            | v, Imm 0 | Imm 0, v -> sites_of !fact.regs v
+            | _ -> ISet.empty
+          in
+          (match observe with
+          | Some ob -> ISet.iter ob.ob_check checked
+          | None -> ());
+          fact := set_reg dst ISet.empty
+        | Alloca { dst; _ } -> fact := set_reg dst ISet.empty
+        | Inline_asm _ -> ())
+      b.body;
+    (match (b.term, observe) with
+    | Ret v, Some ob ->
+      (match v with Some v -> on_escape v | None -> ());
+      ob.ob_ret ~block:b.b_label !fact.sites
+    | _ -> ());
+    !fact
+  in
+  let domain =
+    {
+      Dataflow.entry = empty_fact;
+      equal = equal_fact;
+      join =
+        (fun ~block:_ -> function
+          | [] -> empty_fact
+          | f :: fs -> List.fold_left join_fact f fs);
+      transfer = (fun ~block fact -> transfer ~block fact);
+    }
+  in
+  match Dataflow.solve domain cfg with
+  | exception Dataflow.Diverged why ->
+    push Kir_lint.Err "L-diverged" f.f_name ""
+      (Printf.sprintf "allocation dataflow diverged: %s" why)
+  | sol ->
+    let escaped = ref ISet.empty in
+    let checked = ref ISet.empty in
+    let derefs = ref IMap.empty in
+    let rets = ref [] in
+    let ob =
+      {
+        ob_double_free =
+          (fun si ~block ->
+            push Kir_lint.Err "L-double-free" f.f_name block
+              (Printf.sprintf "%s of %s is freed on every path reaching it"
+                 free_symbol (describe si)));
+        ob_uaf =
+          (fun si ~block ~write ->
+            push Kir_lint.Err "L-use-after-free" f.f_name block
+              (Printf.sprintf "%s through %s, freed on every path reaching it"
+                 (if write then "store" else "load")
+                 (describe si)));
+        ob_escape = (fun id -> escaped := ISet.add id !escaped);
+        ob_check = (fun id -> checked := ISet.add id !checked);
+        ob_deref =
+          (fun id ~block ->
+            if not (IMap.mem id !derefs) then
+              derefs := IMap.add id block !derefs);
+        ob_ret = (fun ~block sites -> rets := (block, sites) :: !rets);
+      }
+    in
+    Array.iteri
+      (fun bi in_fact ->
+        match in_fact with
+        | Some fact -> ignore (transfer ~observe:ob ~block:bi fact)
+        | None -> ())
+      sol.Dataflow.block_in;
+    (* leaks: still must-allocated at some return, never escaped *)
+    let leaked = ref ISet.empty in
+    List.iter
+      (fun (blk, sites) ->
+        IMap.iter
+          (fun id st ->
+            if
+              st = Allocated
+              && (not (ISet.mem id !escaped))
+              && not (ISet.mem id !leaked)
+            then begin
+              leaked := ISet.add id !leaked;
+              push Kir_lint.Warn "L-leak-on-exit" f.f_name blk
+                (Printf.sprintf
+                   "%s is still live at return and never escapes"
+                   (describe (info id)))
+            end)
+          sites)
+      (List.rev !rets);
+    (* dereferenced but never null-checked anywhere in the function *)
+    IMap.iter
+      (fun id blk ->
+        if not (ISet.mem id !checked) then
+          push Kir_lint.Warn "W-unchecked-alloc" f.f_name blk
+            (Printf.sprintf
+               "%s result (%s) dereferenced without a null check"
+               alloc_symbol
+               (describe (info id))))
+      !derefs
+
+let lint ?(alloc_symbol = "kmalloc") ?(free_symbol = "kfree") (m : modul) :
+    Kir_lint.finding list =
+  let out = ref [] in
+  let push severity code in_func in_block message =
+    out := { Kir_lint.severity; code; in_func; in_block; message } :: !out
+  in
+  List.iter (analyze_func ~alloc_symbol ~free_symbol push) m.funcs;
+  List.rev !out

@@ -48,9 +48,11 @@ module Nic = Nic
 module Net = Net
 module Fault = Fault
 module Smp = Smp
+module Sanitizer = Sanitizer
 module Stats = Stats
 module Testbed = Testbed
 module Smp_testbed = Smp_testbed
+module Race_suites = Race_suites
 module Experiments = Experiments
 
 (** Version of this reproduction. *)

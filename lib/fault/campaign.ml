@@ -33,6 +33,11 @@ type cell_stats = {
   mutable sh_rebuilt : int;  (** corrupt tier healed back to full fast path *)
   mutable sh_rebuild_total : int;
   mutable sh_stale : int;  (** verified stale allows (must stay 0) *)
+  mutable san_hits : int;
+      (** sanitize runs where a report named the faulting access *)
+  mutable san_total : int;
+  mutable race_hits : int;  (** sanitize SMP runs the detector flagged *)
+  mutable race_total : int;
 }
 
 let empty_stats () =
@@ -53,10 +58,15 @@ let empty_stats () =
     sh_rebuilt = 0;
     sh_rebuild_total = 0;
     sh_stale = 0;
+    san_hits = 0;
+    san_total = 0;
+    race_hits = 0;
+    race_total = 0;
   }
 
 type report = {
   config : config;
+  sanitized : bool;  (** cells ran with the sanitizer + race detector on *)
   classes : Inject.cls list;
   modes : Harness.mode list;
   cells : cell_stats array array;  (** indexed class × mode *)
@@ -109,8 +119,18 @@ let record st (o : Harness.outcome) =
     st.sh_rebuild_total <- st.sh_rebuild_total + 1;
     if ok then st.sh_rebuilt <- st.sh_rebuilt + 1
   | None -> ());
-  match o.Harness.sh_stale with
+  (match o.Harness.sh_stale with
   | Some n -> st.sh_stale <- st.sh_stale + n
+  | None -> ());
+  (match o.Harness.san_at_access with
+  | Some ok ->
+    st.san_total <- st.san_total + 1;
+    if ok then st.san_hits <- st.san_hits + 1
+  | None -> ());
+  match o.Harness.race_reports with
+  | Some n ->
+    st.race_total <- st.race_total + 1;
+    if n > 0 then st.race_hits <- st.race_hits + 1
   | None -> ()
 
 (** Run the campaign. [on_outcome] (optional) observes every outcome,
@@ -118,12 +138,13 @@ let record st (o : Harness.outcome) =
     every cell (the containment matrix must not depend on it); [opt]
     the victim pipeline's guard-optimization tier (the matrix must not
     depend on that either — see {!Harness.run_one}). *)
-let run ?on_outcome ?engine ?opt (config : config) : report =
+let run ?on_outcome ?engine ?opt ?(sanitize = false) (config : config) : report =
   let classes = Inject.all_classes in
   let modes = Harness.all_modes in
   let r =
     {
       config;
+      sanitized = sanitize;
       classes;
       modes;
       cells =
@@ -148,7 +169,7 @@ let run ?on_outcome ?engine ?opt (config : config) : report =
     let fault_seed = Machine.Rng.int (List.assoc cls streams) 0x3FFF_FFFF in
     List.iter
       (fun mode ->
-        let o = Harness.run_one ?engine ?opt ~cls ~mode ~seed:fault_seed () in
+        let o = Harness.run_one ?engine ?opt ~sanitize ~cls ~mode ~seed:fault_seed () in
         record (cell r ~cls ~mode) o;
         if o.Harness.trace_tail <> [] && !n_diags < max_diagnostics then begin
           incr n_diags;
@@ -183,7 +204,11 @@ let totals r ~mode =
       acc.sh_detect_total <- acc.sh_detect_total + st.sh_detect_total;
       acc.sh_rebuilt <- acc.sh_rebuilt + st.sh_rebuilt;
       acc.sh_rebuild_total <- acc.sh_rebuild_total + st.sh_rebuild_total;
-      acc.sh_stale <- acc.sh_stale + st.sh_stale)
+      acc.sh_stale <- acc.sh_stale + st.sh_stale;
+      acc.san_hits <- acc.san_hits + st.san_hits;
+      acc.san_total <- acc.san_total + st.san_total;
+      acc.race_hits <- acc.race_hits + st.race_hits;
+      acc.race_total <- acc.race_total + st.race_total)
     r.classes;
   acc
 
@@ -238,6 +263,32 @@ let check (r : report) : string list =
   if base_t.injected > 0 && base_t.contained >= quar_t.contained then
     fail "baseline containment (%d) not strictly below carat (%d)"
       base_t.contained quar_t.contained;
+  (* sanitizer invariants: with the sanitizer on, every memory-corruption
+     fault class is caught *at the faulting access* — a report naming the
+     target address with allocation attribution — under carat/panic, and
+     the happens-before detector flags every seeded cross-CPU race *)
+  if r.sanitized then begin
+    let panic = Harness.Carat Policy.Policy_module.Panic in
+    List.iter
+      (fun cls ->
+        let st = cell r ~cls ~mode:panic in
+        if st.injected > 0 && st.san_hits <> st.injected then
+          fail "%s: only %d/%d runs attributed at the faulting access"
+            (Inject.cls_to_string cls) st.san_hits st.injected)
+      [
+        Inject.Wild_store;
+        Inject.Oob_ring_index;
+        Inject.Policy_corruption;
+        Inject.Shadow_corrupt;
+        Inject.Icache_corrupt;
+        Inject.Rcu_instance_corrupt;
+        Inject.Rx_ring_corrupt;
+      ];
+    let race = cell r ~cls:Inject.Cross_cpu_race ~mode:panic in
+    if race.injected > 0 && race.race_hits <> race.race_total then
+      fail "cross_cpu_race: detector flagged only %d/%d runs" race.race_hits
+        race.race_total
+  end;
   List.rev !fails
 
 let passes r = check r = []
@@ -303,6 +354,20 @@ let render (r : report) : string =
     pf "  corrupt tier rebuilt + re-promoted        : %d/%d\n" sh_t.sh_rebuilt
       sh_t.sh_rebuild_total;
     pf "  stale allows served from corrupt tiers    : %d\n" sh_t.sh_stale
+  end;
+  if r.sanitized then begin
+    let san_t = empty_stats () in
+    List.iter
+      (fun t ->
+        san_t.san_hits <- san_t.san_hits + t.san_hits;
+        san_t.san_total <- san_t.san_total + t.san_total;
+        san_t.race_hits <- san_t.race_hits + t.race_hits;
+        san_t.race_total <- san_t.race_total + t.race_total)
+      [ panic_t; quar_t; audit_t ];
+    pf "  sanitizer reports at the faulting access  : %d/%d\n" san_t.san_hits
+      san_t.san_total;
+    pf "  cross-CPU races flagged by the detector   : %d/%d\n" san_t.race_hits
+      san_t.race_total
   end;
   pf "  baseline containment                      : %d/%d (%.0f%%)\n"
     base_t.contained base_t.injected

@@ -59,6 +59,17 @@ type outcome = {
   sh_stale : int option;
       (** verified fast-path stale allows during the run (paranoid
           cross-check; must be 0 — a corrupt tier must never answer) *)
+  san_reports : int;
+      (** sanitizer reports recorded (always 0 with the sanitizer off) *)
+  san_at_access : bool option;
+      (** sanitize only: some sanitizer report names the faulting access
+          address and carries an allocation attribution — the corruption
+          was caught *at the access*, not by the end-of-run snapshot
+          diff *)
+  san_attribution : string option;
+      (** the at-access report's allocation attribution, when present *)
+  race_reports : int option;
+      (** SMP cells under sanitize: happens-before detector reports *)
 }
 
 (** The headline invariant: the fault did not touch a single byte outside
@@ -121,11 +132,14 @@ type cell = {
 }
 
 let make_cell ?(engine = Vm.Engine.Interp) ?(kind = Policy.Engine.Linear)
-    ?(site_cache = false) ~mode () : cell =
+    ?(site_cache = false) ?(sanitize = false) ~mode () : cell =
   let require_signature = mode <> Baseline in
   let kernel =
     Kernel.create ~phys_size ~require_signature Machine.Presets.r350
   in
+  (* before any allocation, so redzones and shadow marks cover the whole
+     heap the cell builds below *)
+  if sanitize then Kernel.enable_sanitizer kernel;
   let vm = Vm.Engine.install ~kind:engine kernel in
   let on_deny =
     match mode with Baseline -> Policy.Policy_module.Audit | Carat m -> m
@@ -139,13 +153,17 @@ let make_cell ?(engine = Vm.Engine.Interp) ?(kind = Policy.Engine.Linear)
      containment diff below is unaffected *)
   if mode <> Baseline then
     Trace.start (Policy.Policy_module.enable_trace ~capacity:64 pm);
-  let secret = Kernel.kmalloc kernel ~size:secret_size in
-  let ring = Kernel.kmalloc kernel ~size:(ring_entries * desc_size) in
-  let canary = Kernel.kmalloc kernel ~size:512 in
-  let work = Kernel.kmalloc kernel ~size:work_size in
+  let secret = Kernel.kmalloc ~tag:"secret" kernel ~size:secret_size in
+  let ring =
+    Kernel.kmalloc ~tag:"tx-ring" kernel ~size:(ring_entries * desc_size)
+  in
+  let canary = Kernel.kmalloc ~tag:"canary" kernel ~size:512 in
+  let work = Kernel.kmalloc ~tag:"victim-work" kernel ~size:work_size in
   (* allocated after the originals so every pre-existing class keeps its
      exact addresses (and fault streams) *)
-  let rx_ring = Kernel.kmalloc kernel ~size:(ring_entries * desc_size) in
+  let rx_ring =
+    Kernel.kmalloc ~tag:"rx-ring" kernel ~size:(ring_entries * desc_size)
+  in
   (* give the protected objects recognizable contents *)
   for i = 0 to (secret_size / 8) - 1 do
     Kernel.write kernel ~addr:(secret + (8 * i)) ~size:8 0x5EC2E7
@@ -212,6 +230,23 @@ let compile_victim ?(opt = Passes.Pipeline.O_none) ~mode m =
   in
   ignore (Passes.Pass.run_pipeline_checked pipeline m)
 
+(* At-access evidence from the sanitizer: a recorded report whose address
+   falls inside [lo, hi) and carries an allocation attribution. Returns
+   (report count, at-access hit, attribution). *)
+let san_fields kernel ~lo ~hi =
+  if not (Kernel.sanitizer_enabled kernel) then (0, None, None)
+  else
+    let hit =
+      List.find_opt
+        (fun (r : Kernel.san_report) ->
+          r.Kernel.sr_addr >= lo && r.Kernel.sr_addr < hi
+          && r.Kernel.sr_attribution <> None)
+        (Kernel.san_reports kernel)
+    in
+    ( Kernel.san_report_count kernel,
+      Some (hit <> None),
+      match hit with Some r -> r.Kernel.sr_attribution | None -> None )
+
 (* ------------------------------------------------------------------ *)
 
 (** The cross-CPU race: CPU 0 runs the victim whose [victim_late] entry
@@ -222,8 +257,8 @@ let compile_victim ?(opt = Passes.Pipeline.O_none) ~mode m =
     victim lands in the revoked window afterwards are escapes. Baseline
     always escapes; a guarded victim must be stopped by the exact walk
     even though its site inline cache was warm for that page. *)
-let run_race ?engine ?opt ~(mode : mode) ~seed () : outcome =
-  let cell = make_cell ?engine ~mode () in
+let run_race ?engine ?opt ?(sanitize = false) ~(mode : mode) ~seed () : outcome =
+  let cell = make_cell ?engine ~sanitize ~mode () in
   let rng = Machine.Rng.create seed in
   let half = work_size / 2 in
   let lo = cell.work and hi = cell.work + half in
@@ -261,6 +296,9 @@ let run_race ?engine ?opt ~(mode : mode) ~seed () : outcome =
   let smp =
     Smp.System.create ~seed ~params:Machine.Presets.r350 ~cpus:2 cell.kernel
       cell.pm
+  in
+  let det =
+    if sanitize then Some (Smp.System.enable_race_detector smp) else None
   in
   let panicked = ref false in
   let last_rc = ref None in
@@ -379,6 +417,11 @@ let run_race ?engine ?opt ~(mode : mode) ~seed () : outcome =
              Vm.Interp.stack_region cell.vm;
            ])
   in
+  (* the faulting window is the revoked upper half: a sanitizer deny
+     report or a detector stale-window hit there is at-access evidence *)
+  let san_reports, san_at_access, san_attribution =
+    san_fields cell.kernel ~lo:hi ~hi:(hi + half)
+  in
   {
     cls = Inject.Cross_cpu_race;
     mode;
@@ -397,6 +440,10 @@ let run_race ?engine ?opt ~(mode : mode) ~seed () : outcome =
     sh_detected = None;
     sh_rebuilt = None;
     sh_stale = None;
+    san_reports;
+    san_at_access;
+    san_attribution;
+    race_reports = Option.map Sanitizer.Race.report_count det;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -487,10 +534,12 @@ let shadow_metadata_window pm =
     [ (s.Policy.Shadow_table.base_vaddr, Policy.Shadow_table.shadow_entries * 8) ]
   | None -> []
 
-let run_corruption ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () :
-    outcome =
+let run_corruption ?engine ?opt ?(sanitize = false) ~(cls : Inject.cls)
+    ~(mode : mode) ~seed () : outcome =
   let site_cache = cls = Inject.Icache_corrupt in
-  let cell = make_cell ?engine ~kind:Policy.Engine.Shadow ~site_cache ~mode () in
+  let cell =
+    make_cell ?engine ~kind:Policy.Engine.Shadow ~site_cache ~sanitize ~mode ()
+  in
   (* captured now: the instance live at snapshot time owns the tag array
      whose refills land inside the diff window (heal republishes get
      fresh, post-snapshot arrays) *)
@@ -575,6 +624,9 @@ let run_corruption ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () :
     escaped cell.kernel ~snap
       ~allowed:(allowed_phys cell.kernel (cell.writable @ metadata_windows))
   in
+  let san_reports, san_at_access, san_attribution =
+    san_fields cell.kernel ~lo:target ~hi:(target + 8)
+  in
   {
     cls;
     mode;
@@ -593,6 +645,10 @@ let run_corruption ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () :
     sh_detected;
     sh_rebuilt;
     sh_stale;
+    san_reports;
+    san_at_access;
+    san_attribution;
+    race_reports = None;
   }
 
 (** The SMP tier-corruption class ([Rcu_instance_corrupt]): CPU 1
@@ -603,8 +659,9 @@ let run_corruption ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () :
     digest audit must catch the divergence and republish a clean
     generation (again through RCU, with shootdown), so CPU 0's guarded
     victim never lands its store at the secret. *)
-let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
-  let cell = make_cell ?engine ~mode () in
+let run_rcu_corrupt ?engine ?opt ?(sanitize = false) ~(mode : mode) ~seed () :
+    outcome =
+  let cell = make_cell ?engine ~sanitize ~mode () in
   let rng = Machine.Rng.create seed in
   let target = cell.secret + (8 * Machine.Rng.int rng (secret_size / 8)) in
   let m = Inject.build_victim ~payload:target ~rng ~work:cell.work () in
@@ -621,6 +678,9 @@ let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
   let smp =
     Smp.System.create ~seed ~params:Machine.Presets.r350 ~cpus:2 cell.kernel
       cell.pm
+  in
+  let det =
+    if sanitize then Some (Smp.System.enable_race_detector smp) else None
   in
   let eng = Policy.Policy_module.engine cell.pm in
   let wd =
@@ -658,7 +718,15 @@ let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
                     (Policy.Engine.regions eng));
                ignore
                  (Policy.Engine.corrupt_instance eng
-                    ~base:Kernel.Layout.kernel_base ~prot:Policy.Region.prot_rw)
+                    ~base:Kernel.Layout.kernel_base ~prot:Policy.Region.prot_rw);
+               (* the corruption is an unsynchronized (detached) interval
+                  write over the freshly published table: any guard scan
+                  of it before the heal republishes is a flagged race *)
+               match (det, Policy.Engine.table_region eng) with
+               | Some d, Some (base, len) ->
+                 Sanitizer.Race.async_write d ~lo:base ~hi:(base + len)
+                   ~site:"instance-corruption"
+               | _ -> ()
              end;
              !b < 2);
          |])
@@ -706,6 +774,9 @@ let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
   let escaped_bytes =
     escaped cell.kernel ~snap ~allowed:(allowed_phys cell.kernel cell.writable)
   in
+  let san_reports, san_at_access, san_attribution =
+    san_fields cell.kernel ~lo:target ~hi:(target + 8)
+  in
   {
     cls = Inject.Rcu_instance_corrupt;
     mode;
@@ -724,6 +795,10 @@ let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
     sh_detected;
     sh_rebuilt;
     sh_stale;
+    san_reports;
+    san_at_access;
+    san_attribution;
+    race_reports = Option.map Sanitizer.Race.report_count det;
   }
 
 (** Run one fault under one configuration and check every invariant.
@@ -733,14 +808,16 @@ let run_rcu_corrupt ?engine ?opt ~(mode : mode) ~seed () : outcome =
     optimization tier (default [O_none]); the containment matrix must
     not depend on it either — optimized guards check supersets of the
     original bytes, so every malicious access is still caught. *)
-let run_one ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
-  if cls = Inject.Cross_cpu_race then run_race ?engine ?opt ~mode ~seed ()
+let run_one ?engine ?opt ?(sanitize = false) ~(cls : Inject.cls) ~(mode : mode)
+    ~seed () : outcome =
+  if cls = Inject.Cross_cpu_race then
+    run_race ?engine ?opt ~sanitize ~mode ~seed ()
   else if cls = Inject.Rcu_instance_corrupt then
-    run_rcu_corrupt ?engine ?opt ~mode ~seed ()
+    run_rcu_corrupt ?engine ?opt ~sanitize ~mode ~seed ()
   else if cls = Inject.Shadow_corrupt || cls = Inject.Icache_corrupt then
-    run_corruption ?engine ?opt ~cls ~mode ~seed ()
+    run_corruption ?engine ?opt ~sanitize ~cls ~mode ~seed ()
   else
-  let cell = make_cell ?engine ~mode () in
+  let cell = make_cell ?engine ~sanitize ~mode () in
   let rng = Machine.Rng.create seed in
   let target = payload_addr cell ~cls ~rng in
   let payload = if cls = Inject.Ir_tamper then None else Some target in
@@ -825,6 +902,9 @@ let run_one ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
     escaped cell.kernel ~snap
       ~allowed:(allowed_phys cell.kernel cell.writable)
   in
+  let san_reports, san_at_access, san_attribution =
+    san_fields cell.kernel ~lo:target ~hi:(target + 8)
+  in
   {
     cls;
     mode;
@@ -843,6 +923,10 @@ let run_one ?engine ?opt ~(cls : Inject.cls) ~(mode : mode) ~seed () : outcome =
     sh_detected = None;
     sh_rebuilt = None;
     sh_stale = None;
+    san_reports;
+    san_at_access;
+    san_attribution;
+    race_reports = None;
   }
 
 (* ------------------------------------------------------------------ *)

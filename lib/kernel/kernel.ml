@@ -115,6 +115,31 @@ and t = {
   (* privileged machine state reachable only through intrinsics *)
   msrs : (int, int) Hashtbl.t;
   mutable irqs_enabled : bool;
+  (* heap sanitizer state. Allocation *tracking* is always on (cheap
+     host-side bookkeeping, no simulated cost) so any report can name
+     the allocation an address belongs to; redzones, freed-state poison,
+     quarantined reuse and per-access shadow checks only engage once
+     {!enable_sanitizer} flips [sanitize] *)
+  shadow : Sanitizer.Shadow.t;
+  mutable sanitize : bool;
+  mutable kfree_list : (int * int) list;
+      (** reclaimable raw heap blocks (virt base, len), newest first *)
+  mutable san_reports : san_report list;  (** newest first, capped *)
+  mutable san_count : int;
+  mutable access_probe : (addr:int -> size:int -> write:bool -> unit) option;
+      (** observation-only hook on module-context reads/writes; charges
+          no simulated cycles (the SMP race detector taps it) *)
+}
+
+and san_report = {
+  sr_kind : string;  (** "oob" | "uaf" | "double-free" | "invalid-free" | "deny" *)
+  sr_addr : int;
+  sr_size : int;
+  sr_write : bool;
+  sr_module : string option;  (** faulting module, when one was current *)
+  sr_attribution : string option;
+      (** the owning/nearest allocation, human-readable, with offset *)
+  sr_site : string;  (** the faulting context's description *)
 }
 
 type load_error =
@@ -210,9 +235,80 @@ let translate t addr size :
       | None -> `Fault)
   end
 
+(* --------------------------------------------------------------- *)
+(* heap sanitizer: report plumbing and the per-access shadow check *)
+
+(** Simulated cost of one shadow lookup on a checked access — the
+    KASAN-style pay-for-what-you-use overhead, charged only while the
+    sanitizer is enabled. *)
+let san_check_cycles = 7
+
+let san_site t =
+  match t.current_module with Some lm -> lm.lm_name | None -> "kernel"
+
+let format_san_report r =
+  Printf.sprintf "kasan[%s]: %s of %d bytes at 0x%x by %s%s" r.sr_kind
+    (if r.sr_write then "write" else "read")
+    r.sr_size r.sr_addr
+    (match r.sr_module with Some m -> "module " ^ m | None -> r.sr_site)
+    (match r.sr_attribution with Some a -> " -> " ^ a | None -> "")
+
+let record_san ?alloc t ~kind ~addr ~size ~write =
+  let attribution =
+    match alloc with
+    | Some (a, off) ->
+      Some
+        (Printf.sprintf "%s, offset %d" (Sanitizer.Shadow.describe a) off)
+    | None -> (
+      match Sanitizer.Shadow.attribute t.shadow addr with
+      | Some (a, off) ->
+        Some
+          (Printf.sprintf "%s, offset %d" (Sanitizer.Shadow.describe a) off)
+      | None -> None)
+  in
+  let r =
+    {
+      sr_kind = kind;
+      sr_addr = addr;
+      sr_size = size;
+      sr_write = write;
+      sr_module = Option.map (fun lm -> lm.lm_name) t.current_module;
+      sr_attribution = attribution;
+      sr_site = san_site t;
+    }
+  in
+  t.san_count <- t.san_count + 1;
+  if List.length t.san_reports < 128 then begin
+    t.san_reports <- r :: t.san_reports;
+    Klog.log t.log Klog.Err "KASAN-KOP: %s" (format_san_report r)
+  end
+
+(** The at-access hook shared by {!read} and {!write}: feed the
+    observation probe (race detection; free) and, with the sanitizer on,
+    charge the shadow-lookup cost and report any redzone / freed-memory
+    hit *at the faulting access*, with allocation attribution. Reports
+    never alter the access's outcome — detection is KASAN-style
+    report-and-continue; enforcement stays the guard's job. *)
+let san_access t ~addr ~size ~write =
+  (match t.access_probe with
+  | Some f when t.current_module <> None -> f ~addr ~size ~write
+  | _ -> ());
+  if t.sanitize then begin
+    Machine.Model.add_cycles t.machine san_check_cycles;
+    match Sanitizer.Shadow.check t.shadow ~addr ~size with
+    | Some (Sanitizer.Shadow.Out_of_bounds a) ->
+      record_san t ~kind:"oob" ~addr ~size ~write
+        ~alloc:(a, addr - a.Sanitizer.Shadow.base)
+    | Some (Sanitizer.Shadow.Use_after_free a) ->
+      record_san t ~kind:"uaf" ~addr ~size ~write
+        ~alloc:(a, addr - a.Sanitizer.Shadow.base)
+    | None -> ()
+  end
+
 (** Read simulated memory at a virtual address, charging machine cost.
     This is the path taken by all CPU-side accesses, guarded or not. *)
 let read t ~addr ~size =
+  san_access t ~addr ~size ~write:false;
   match translate t addr size with
   | `Phys p ->
     Machine.Model.load t.machine addr size;
@@ -223,6 +319,7 @@ let read t ~addr ~size =
   | `Fault -> raise (Fault { addr; size; what = "read" })
 
 let write t ~addr ~size v =
+  san_access t ~addr ~size ~write:true;
   match translate t addr size with
   | `Phys p ->
     Machine.Model.store t.machine addr size;
@@ -273,9 +370,78 @@ let kmalloc_phys t ~size =
   p
 
 (** Allocate kernel heap memory; returns the direct-map virtual address
-    (as Linux's kmalloc does). *)
-let kmalloc t ~size =
-  Layout.direct_map_of_phys (kmalloc_phys t ~size)
+    (as Linux's kmalloc does). Every allocation is tracked in the shadow
+    allocation table (attribution for sanitizer reports); [tag] names
+    the object in those reports. Blocks reclaimed by {!kfree} are reused
+    first-fit — the historical bump-only workloads never call kfree, so
+    their layout is untouched. With the sanitizer enabled the block
+    grows a redzone on each side and the returned pointer stays 64-byte
+    aligned. *)
+let kmalloc ?(tag = "") t ~size =
+  let rz = if t.sanitize then Sanitizer.Shadow.redzone else 0 in
+  (* the raw extent a reused block must cover; when bumping fresh memory
+     without redzones we advance by [size] exactly, preserving the
+     classic allocator's pointer sequence bit-for-bit *)
+  let extent = (2 * rz) + align_up size 64 in
+  let raw =
+    let rec take acc = function
+      | (b, l) :: rest when l >= extent ->
+        t.kfree_list <- List.rev_append acc rest;
+        if l - extent >= 64 then
+          t.kfree_list <- (b + extent, l - extent) :: t.kfree_list;
+        Some b
+      | x :: rest -> take (x :: acc) rest
+      | [] -> None
+    in
+    match take [] t.kfree_list with
+    | Some b -> b
+    | None ->
+      let bump = if rz = 0 then size else extent in
+      Layout.direct_map_of_phys (kmalloc_phys t ~size:bump)
+  in
+  let base = raw + rz in
+  ignore
+    (Sanitizer.Shadow.track_alloc t.shadow ~base ~size ~lo_rz:rz ~hi_rz:rz
+       ~tag ~site:(san_site t)
+      : Sanitizer.Shadow.alloc);
+  base
+
+type free_error =
+  | Free_double of string  (** the block was already freed; describes it *)
+  | Free_invalid  (** never an allocation base (or an interior pointer) *)
+
+let free_error_to_string = function
+  | Free_double d -> "double free of " ^ d
+  | Free_invalid -> "invalid free (never a live allocation)"
+
+(** Free a {!kmalloc} block. Double frees and never-allocated (or
+    interior-pointer) frees are *typed* errors, mirroring the ioctl
+    layer's -EINVAL/-ERANGE discipline, instead of silent corruption:
+    the heap state is untouched and the caller learns which. With the
+    sanitizer on the block is poisoned and parked in the reuse
+    quarantine; otherwise it returns to the free list immediately. *)
+let kfree t ~addr : (unit, free_error) result =
+  match Sanitizer.Shadow.free t.shadow ~addr ~site:(san_site t) with
+  | Ok (_freed, reclaimed) ->
+    t.kfree_list <- reclaimed @ t.kfree_list;
+    Ok ()
+  | Error (Sanitizer.Shadow.Double_free a) ->
+    if t.sanitize then
+      record_san t ~kind:"double-free" ~addr ~size:a.Sanitizer.Shadow.size
+        ~write:true ~alloc:(a, 0);
+    Klog.log t.log Klog.Warn "kfree: double free of 0x%x (%s)" addr
+      (Sanitizer.Shadow.describe a);
+    Error (Free_double (Sanitizer.Shadow.describe a))
+  | Error (Sanitizer.Shadow.Invalid_free interior) ->
+    if t.sanitize then
+      record_san t ~kind:"invalid-free" ~addr ~size:0 ~write:true
+        ?alloc:(Option.map (fun a -> (a, addr - a.Sanitizer.Shadow.base)) interior);
+    Klog.log t.log Klog.Warn "kfree: invalid free of 0x%x%s" addr
+      (match interior with
+      | Some a ->
+        Printf.sprintf " (interior pointer into %s)" (Sanitizer.Shadow.describe a)
+      | None -> "");
+    Error Free_invalid
 
 (** Map [size] bytes into the module area, backed by fresh physical
     memory; returns the module-area virtual address. *)
@@ -772,6 +938,14 @@ let install_core_natives t =
       match args with
       | [| size |] -> kmalloc t ~size
       | _ -> panic t "kmalloc: bad arguments");
+  register_native t "kfree" (fun t args ->
+      match args with
+      | [| addr |] -> (
+        match kfree t ~addr with
+        | Ok () -> 0
+        | Error (Free_double _) -> eio
+        | Error Free_invalid -> einval)
+      | _ -> panic t "kfree: bad arguments");
   register_native t "spin_lock" (fun t _args ->
       (match t.current_module with
       | Some lm -> lm.lm_locks_held <- lm.lm_locks_held + 1
@@ -831,6 +1005,12 @@ let create ?(phys_size = 64 * 1024 * 1024) ?(require_signature = true)
       last_mapping = { map_virt = -1; map_size = 0; map_phys = 0 };
       msrs = Hashtbl.create 16;
       irqs_enabled = true;
+      shadow = Sanitizer.Shadow.create ();
+      sanitize = false;
+      kfree_list = [];
+      san_reports = [];
+      san_count = 0;
+      access_probe = None;
     }
   in
   install_core_natives t;
@@ -855,3 +1035,54 @@ let phys_used t = t.kmalloc_next
 let current_module t = t.current_module
 let panic_state t = t.panicked
 let loaded_modules t = t.modules
+
+(* --------------------------------------------------------------- *)
+(* sanitizer surface *)
+
+(** Switch on the KASAN-style heap sanitizer: shadow marking for every
+    subsequent kmalloc/kfree, redzones, delayed-reuse quarantine, and
+    per-access shadow checks (each costing {!san_check_cycles}).
+    Idempotent; allocations made before the switch stay unmarked (they
+    are still attributable — tracking is always on). *)
+let enable_sanitizer t =
+  if not t.sanitize then begin
+    t.sanitize <- true;
+    Sanitizer.Shadow.set_marking t.shadow true;
+    Klog.printk t.log "KASAN-KOP: kernel heap sanitizer enabled"
+  end
+
+let sanitizer_enabled t = t.sanitize
+let shadow t = t.shadow
+
+(** Observation-only hook on module-context memory accesses; the SMP
+    layer installs the race detector's probe here. Charges nothing. *)
+let set_access_probe t f = t.access_probe <- f
+
+let san_reports t = List.rev t.san_reports
+let san_report_count t = t.san_count
+
+(** Attribute a guard denial to the heap object it targeted — called by
+    the policy module so every denied access carries "which allocation,
+    what offset" in the sanitizer report stream. No-op when the
+    sanitizer is off (the deny is still enforced as always). *)
+let san_note_deny t ~addr ~size ~write =
+  if t.sanitize then record_san t ~kind:"deny" ~addr ~size ~write
+
+(** /proc/carat/san body: sanitizer state, heap counters, and the recent
+    report tail. *)
+let san_render t =
+  let b = Buffer.create 256 in
+  let sh = t.shadow in
+  Printf.bprintf b "sanitizer: %s\n" (if t.sanitize then "on" else "off");
+  Printf.bprintf b
+    "heap: %d allocs, %d frees, %d live bytes, quarantine %d blocks (%d bytes)\n"
+    (Sanitizer.Shadow.allocations sh)
+    (Sanitizer.Shadow.frees sh)
+    (Sanitizer.Shadow.live_bytes sh)
+    (Sanitizer.Shadow.quarantine_depth sh)
+    (Sanitizer.Shadow.quarantine_bytes sh);
+  Printf.bprintf b "reports: %d\n" t.san_count;
+  List.iter
+    (fun r -> Printf.bprintf b "%s\n" (format_san_report r))
+    (san_reports t);
+  Buffer.contents b

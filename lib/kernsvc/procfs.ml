@@ -15,7 +15,10 @@
     - [carat/net]: per-RX-queue delivery/drop counters and NAPI loop
       accounting, when the full-duplex RX path is enabled (the renderer
       is injected by the owner of the RX state via {!set_net_render},
-      keeping this library free of a net dependency).
+      keeping this library free of a net dependency);
+    - [carat/san]: the memory sanitizer's report log (out-of-bounds,
+      use-after-free and policy-denied accesses with allocation
+      attribution), when the sanitizer is enabled on the kernel.
 
     Like real procfs, contents are generated on open: callers go through
     {!read_stats}/{!read_trace} (or call {!refresh} then use the plain
@@ -30,6 +33,7 @@ type t = {
   selfheal_ino : int;
   domains_ino : int;
   net_ino : int;
+  san_ino : int;
   mutable net_render : (unit -> string) option;
 }
 
@@ -38,6 +42,7 @@ let trace_name = "carat/trace"
 let selfheal_name = "carat/selfheal"
 let domains_name = "carat/domains"
 let net_name = "carat/net"
+let san_name = "carat/san"
 
 (* file data extents are fixed-capacity; renders are truncated to fit,
    with a marker so a clipped trace is distinguishable from a short one *)
@@ -46,6 +51,7 @@ let trace_capacity = 65536
 let selfheal_capacity = 2048
 let domains_capacity = 8192
 let net_capacity = 8192
+let san_capacity = 16384
 
 let truncate_to cap s =
   if String.length s <= cap then s
@@ -64,6 +70,7 @@ let install fs pm : t =
       selfheal_ino = mk selfheal_name selfheal_capacity;
       domains_ino = mk domains_name domains_capacity;
       net_ino = mk net_name net_capacity;
+      san_ino = mk san_name san_capacity;
       net_render = None;
     }
   in
@@ -74,6 +81,7 @@ let install fs pm : t =
   Kernfs.write_contents fs ~ino:t.domains_ino
     "carat: policy domains not enabled\n";
   Kernfs.write_contents fs ~ino:t.net_ino "carat: RX path not enabled\n";
+  Kernfs.write_contents fs ~ino:t.san_ino "carat: sanitizer not enabled\n";
   t
 
 let stats_ino t = t.stats_ino
@@ -81,6 +89,7 @@ let trace_ino t = t.trace_ino
 let selfheal_ino t = t.selfheal_ino
 let domains_ino t = t.domains_ino
 let net_ino t = t.net_ino
+let san_ino t = t.san_ino
 
 (** Attach the RX-stats renderer (e.g. [Net.Rx.render] partially
     applied); [carat/net] re-renders through it on every refresh. *)
@@ -106,11 +115,15 @@ let refresh t =
   | Some dm ->
     Kernfs.write_contents t.fs ~ino:t.domains_ino
       (truncate_to domains_capacity (Policy.Domain.render dm)));
-  match t.net_render with
+  (match t.net_render with
   | None -> ()
   | Some render ->
     Kernfs.write_contents t.fs ~ino:t.net_ino
-      (truncate_to net_capacity (render ()))
+      (truncate_to net_capacity (render ())));
+  let kernel = t.fs.Kernfs.kernel in
+  if Kernel.sanitizer_enabled kernel then
+    Kernfs.write_contents t.fs ~ino:t.san_ino
+      (truncate_to san_capacity (Kernel.san_render kernel))
 
 let read_stats t =
   refresh t;
@@ -131,3 +144,7 @@ let read_domains t =
 let read_net t =
   refresh t;
   Kernfs.read_contents t.fs ~ino:t.net_ino
+
+let read_san t =
+  refresh t;
+  Kernfs.read_contents t.fs ~ino:t.san_ino

@@ -88,6 +88,10 @@ type t = {
       (** allow-list of indirect-call target addresses *)
   mutable cfi_default_allow : bool;
   mutable cfi_violations : int list;  (** denied target addresses *)
+  mutable guard_probe :
+    (site:int -> addr:int -> size:int -> flags:int -> unit) option;
+      (** observation hook fired on every guard invocation (race
+          detector's table-scan read); [None] by default *)
 }
 
 let device_name = "carat"
@@ -186,6 +190,10 @@ let enforce t ~what =
 
 let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
   t.violations <- (addr, size, flags) :: t.violations;
+  (* let the sanitizer attribute the denied address to a heap allocation
+     before enforcement (which may panic) unwinds *)
+  Kernel.san_note_deny t.kernel ~addr ~size
+    ~write:(flags land Region.prot_write <> 0);
   let what =
     if flags land Region.prot_write <> 0 then "write" else "read"
   in
@@ -202,6 +210,9 @@ let handle_deny t ~addr ~size ~flags (matched : Region.t option) =
    nothing. [site] is the compiler-assigned static guard-site id; -1 for
    legacy 3-argument callers. *)
 let guard t ~site ~addr ~size ~flags =
+  (match t.guard_probe with
+  | Some f -> f ~site ~addr ~size ~flags
+  | None -> ());
   let bound_domain =
     (* a module bound to a policy domain is checked against that domain;
        everything else (and every run with domains off) takes the classic
@@ -354,6 +365,10 @@ let apply t m = match t.mutator with Some f -> f m | None -> apply_in_place t m
 (** Install/remove the mutation router. The SMP layer registers the RCU
     publish path here; [None] restores the in-place default. *)
 let set_mutator t f = t.mutator <- f
+
+(** Install/remove the guard observation probe (pure observation: the
+    guard's decision and cycle charging are unchanged). *)
+let set_guard_probe t f = t.guard_probe <- f
 
 (** Replace the whole policy (regions + default action) as one mutation.
     Under the RCU route this is a single generation swap — readers see
@@ -648,6 +663,7 @@ let install ?(kind = Engine.Linear) ?(capacity = Linear_table.default_capacity)
          one keeps today's behaviour for indirect calls *)
       cfi_default_allow = true;
       cfi_violations = [];
+      guard_probe = None;
     }
   in
   (* the guard's whole invocation — call included — is off the critical

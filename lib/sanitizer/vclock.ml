@@ -1,0 +1,30 @@
+(** Plain vector clocks over a fixed component count. Component [i] is
+    logical time on actor [i]; [leq a b] is the happens-before test
+    "everything [a] knew, [b] knows". Used by {!Race} with one component
+    per CPU plus one detached component for injected (unsynchronized)
+    writers. *)
+
+type t = int array
+
+let create n : t = Array.make n 0
+let copy (t : t) : t = Array.copy t
+let tick (t : t) i = t.(i) <- t.(i) + 1
+let get (t : t) i = t.(i)
+
+(** [join a b] folds [b] into [a] in place (a := a ⊔ b). *)
+let join (a : t) (b : t) =
+  for i = 0 to Array.length a - 1 do
+    if b.(i) > a.(i) then a.(i) <- b.(i)
+  done
+
+(** [leq a b]: did the state snapshot [a] happen before (or equal) [b]?
+    True iff every component of [a] is <= the matching one in [b]. *)
+let leq (a : t) (b : t) =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let to_string (t : t) =
+  "<"
+  ^ String.concat "," (Array.to_list (Array.map string_of_int t))
+  ^ ">"

@@ -60,6 +60,9 @@ type t = {
   mutable pending : pending list;  (** newest first *)
   mutable qcount : int;  (** global quiescent-event counter *)
   stats : stats;
+  mutable race : Sanitizer.Race.t option;
+      (** happens-before detector; publish/IPI/quiesce/retire emit their
+          sync edges and interval events here when attached *)
 }
 
 let create ~pm cpus =
@@ -80,11 +83,63 @@ let create ~pm cpus =
         grace_quiescents = 0;
         max_pending = 0;
       };
+    race = None;
   }
 
 let stats t = t.stats
 let pending_generations t = List.length t.pending
 let set_current t cpu = t.current <- cpu
+let set_race t det = t.race <- det
+
+(* --------------------------------------------------------------- *)
+(* race-detector sync edges and revocation bookkeeping.
+
+   The publication token orders writer and flushers: publish releases
+   it, every IPI service acquires it. Each quiescent point releases a
+   per-CPU grace token; retirement acquires them all, so the reclaim of
+   an old generation's table is ordered after every reader's last scan
+   of it. Write-grant coverage *lost* across a publish becomes a
+   revocation window: module stores landing there from another CPU have
+   no happens-before path to the revocation and are flagged. *)
+
+let pub_token = "rcu:pub"
+let grace_token cpu = "rcu:q" ^ string_of_int cpu
+
+(* [base, limit) ranges a region list grants write access to *)
+let write_ranges rs =
+  List.filter_map
+    (fun (r : Policy.Region.t) ->
+      if r.prot land Policy.Region.prot_write <> 0 then
+        Some (r.base, r.base + r.len)
+      else None)
+    rs
+
+(* portions of [lo, hi) not covered by any range in [covers] *)
+let rec subtract (lo, hi) covers =
+  if lo >= hi then []
+  else
+    match
+      List.filter (fun (clo, chi) -> clo < hi && lo < chi) covers
+    with
+    | [] -> [ (lo, hi) ]
+    | (clo, chi) :: _ ->
+      subtract (lo, min hi clo) covers @ subtract (max lo chi, hi) covers
+
+let note_publish t ~old_regions ~new_regions =
+  match t.race with
+  | None -> ()
+  | Some det ->
+    let old_w = write_ranges old_regions and new_w = write_ranges new_regions in
+    (* coverage lost: revocation windows *)
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (lo, hi) -> Sanitizer.Race.revoke det ~lo ~hi ~site:"rcu-publish")
+          (subtract r new_w))
+      old_w;
+    (* coverage (re)granted: clears any stale windows over it *)
+    List.iter (fun (lo, hi) -> Sanitizer.Race.grant det ~lo ~hi) new_w;
+    Sanitizer.Race.release det pub_token
 
 (** Flag an IPI on every CPU but the sender. Back-to-back publishes
     coalesce on a still-pending flag, as real shootdowns do. *)
@@ -119,6 +174,10 @@ let service_ipi t cpu =
     c.ipi_cycles <- c.ipi_cycles + spent;
     t.stats.ipis_taken <- t.stats.ipis_taken + 1;
     t.stats.ipi_cycles <- t.stats.ipi_cycles + spent;
+    (* the flush is the acquire side of the publication edge *)
+    (match t.race with
+    | Some det -> Sanitizer.Race.acquire det pub_token
+    | None -> ());
     Policy.Engine.lifecycle t.engine Trace.Ipi_flush ~info:c.ipi_from
   end
 
@@ -129,6 +188,9 @@ let quiesce t cpu =
   t.qcount <- t.qcount + 1;
   let c = t.cpus.(cpu) in
   c.Cpu.q_gen <- Policy.Engine.generation t.engine;
+  (match t.race with
+  | Some det -> Sanitizer.Race.release det (grace_token cpu)
+  | None -> ());
   match t.pending with
   | [] -> ()
   | _ ->
@@ -139,15 +201,30 @@ let quiesce t cpu =
       List.partition (fun p -> p.p_gen > min_gen) t.pending
     in
     t.pending <- keep;
+    (* grace complete: the reclaimer is ordered after every CPU's last
+       quiescent point, so the retire-time interval write over the old
+       table must come out race-free — the detector proves it *)
+    (match (t.race, retire) with
+    | Some det, _ :: _ ->
+      Array.iteri (fun i _ -> Sanitizer.Race.acquire det (grace_token i)) t.cpus
+    | _ -> ());
     List.iter
       (fun p ->
-        ignore p.p_inst;
+        (match t.race with
+        | Some det -> (
+          match Policy.Structure.table_region p.p_inst with
+          | Some (base, len) ->
+            Sanitizer.Race.sync_write det ~lo:base ~hi:(base + len)
+              ~site:"rcu-retire"
+          | None -> ())
+        | None -> ());
         t.stats.retired <- t.stats.retired + 1;
         t.stats.grace_quiescents <-
           t.stats.grace_quiescents + (t.qcount - p.p_birth))
       retire
 
 let publish_regions t rs ~default_allow =
+  let old_regions = Policy.Engine.regions t.engine in
   match Policy.Engine.build_instance t.engine rs with
   | exception Invalid_argument msg ->
     (* the successor never became reachable, so the live generation is
@@ -157,6 +234,7 @@ let publish_regions t rs ~default_allow =
     if Policy.Structure.is_capacity_error msg then Kernel.enospc else -1
   | inst ->
     let old = Policy.Engine.publish t.engine inst ~default_allow in
+    note_publish t ~old_regions ~new_regions:rs;
     t.pending <-
       {
         p_gen = Policy.Engine.generation t.engine;
@@ -179,7 +257,12 @@ let apply t (m : Policy.Policy_module.mutation) : int =
   match m with
   | M_set_mode _ ->
     let rc = Policy.Policy_module.apply_in_place t.pm m in
-    if rc = 0 then shootdown t;
+    if rc = 0 then begin
+      (match t.race with
+      | Some det -> Sanitizer.Race.release det pub_token
+      | None -> ());
+      shootdown t
+    end;
     rc
   | M_add r -> publish_regions t (regions () @ [ r ]) ~default_allow:(default ())
   | M_remove base ->

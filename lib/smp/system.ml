@@ -16,6 +16,7 @@ type t = {
   cpus : Cpu.t array;
   rcu : Rcu.t;
   seed : int;
+  mutable race : Sanitizer.Race.t option;
 }
 
 let create ~seed ~params ~cpus:n kernel pm =
@@ -32,12 +33,60 @@ let create ~seed ~params ~cpus:n kernel pm =
      system on the in-place mutation path keeps it bit-identical to the
      classic simulation. *)
   if n > 1 then Rcu.attach rcu;
-  { kernel; engine; pm; cpus; rcu; seed }
+  { kernel; engine; pm; cpus; rcu; seed; race = None }
 
 let cpus t = t.cpus
 let ncpus t = Array.length t.cpus
 let rcu t = t.rcu
 let engine t = t.engine
+let race t = t.race
+
+(** Attach the happens-before race detector: per-CPU vector clocks with
+    sync edges from the scheduler's context switches and the RCU
+    publish/IPI/grace machinery, a module-access probe on the kernel's
+    read/write path, and a guard-path probe recording each policy-table
+    scan. Observation only — no simulated cycles are charged, so an
+    instrumented run's decisions and figures are unchanged. Idempotent;
+    returns the detector. *)
+let enable_race_detector t =
+  match t.race with
+  | Some det -> det
+  | None ->
+    let det = Sanitizer.Race.create ~cpus:(ncpus t) in
+    t.race <- Some det;
+    Rcu.set_race t.rcu (Some det);
+    Kernel.set_access_probe t.kernel
+      (Some
+         (fun ~addr ~size ~write ->
+           let site =
+             match Kernel.current_module t.kernel with
+             | Some lm -> lm.Kernel.lm_name
+             | None -> "kernel"
+           in
+           Sanitizer.Race.module_access det ~addr ~size ~write ~site));
+    Policy.Policy_module.set_guard_probe t.pm
+      (Some
+         (fun ~site:_ ~addr ~size ~flags ->
+           (* the guard's table scan is a ranged read of the live policy
+              structure *)
+           (match Policy.Engine.table_region t.engine with
+           | Some (base, len) ->
+             Sanitizer.Race.range_read det ~lo:base ~hi:(base + len)
+               ~site:"guard-table-scan"
+           | None -> ());
+           (* and the guarded access itself is a module access — checked
+              here, at the guard, so even a store the policy *denies* is
+              visible to the detector (detection at the faulting access,
+              not only for accesses that execute) *)
+           let site =
+             match Kernel.current_module t.kernel with
+             | Some lm -> lm.Kernel.lm_name
+             | None -> "kernel"
+           in
+           Sanitizer.Race.module_access det ~addr ~size
+             ~write:(flags land Policy.Region.prot_write <> 0)
+             ~site));
+    det
 
 (** Give every CPU its own trace ring (ftrace-style per-CPU buffers).
     Returns the rings in CPU order; merge with {!Trace.merged_events}
@@ -61,6 +110,11 @@ let hooks t =
       (fun i ->
         Cpu.make_current t.cpus.(i) t.kernel t.engine;
         Rcu.set_current t.rcu i;
+        (* the detector's context-switch edge must precede the IPI
+           service so the publication acquire lands on the new CPU *)
+        (match t.race with
+        | Some det -> Sanitizer.Race.switch_to det i
+        | None -> ());
         Rcu.service_ipi t.rcu i);
     on_quiescent = (fun i -> Rcu.quiesce t.rcu i);
   }

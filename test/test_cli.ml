@@ -362,6 +362,68 @@ let test_kop_run_rejects_unsigned () =
   in
   checki "permissive mode" 0 code
 
+let write_kir path m =
+  let oc = open_out path in
+  output_string oc (Carat_kop.Kir.Printer.to_string m);
+  close_out oc
+
+(* satellite: the exit-code contract is uniform across subcommands —
+   0 clean (warnings allowed), 3 errors (or --strict + warnings),
+   1 bad input *)
+let test_kop_lint_san_matrix () =
+  let open Carat_kop in
+  let b = Kir.Builder.create "sanfix" in
+  ignore (Kir.Builder.start_func b "df" ~params:[] ~ret:None);
+  (match Kir.Builder.call b "kmalloc" [ Kir.Types.Imm 64 ] with
+  | Some p ->
+    Kir.Builder.call_unit b "kfree" [ p ];
+    Kir.Builder.call_unit b "kfree" [ p ]
+  | None -> ());
+  Kir.Builder.ret b None;
+  let buggy = tmp "cli_san_buggy.kir" in
+  write_kir buggy (Kir.Builder.modul b);
+  let code, out = sh_out "%s san %s" kop_lint buggy in
+  checki "seeded double free exits 3" 3 code;
+  checkb "finding named" true (contains out "L-double-free");
+  (* warnings only: clean exit, promoted to errors by --strict *)
+  let b = Kir.Builder.create "warnfix" in
+  ignore (Kir.Builder.start_func b "leak" ~params:[] ~ret:None);
+  (match Kir.Builder.call b "kmalloc" [ Kir.Types.Imm 32 ] with
+  | Some p ->
+    ignore (Kir.Builder.icmp b Kir.Types.Eq Kir.Types.I64 p (Kir.Types.Imm 0))
+  | None -> ());
+  Kir.Builder.ret b None;
+  let warn = tmp "cli_san_warn.kir" in
+  write_kir warn (Kir.Builder.modul b);
+  let code, out = sh_out "%s san %s" kop_lint warn in
+  checki "warnings alone pass" 0 code;
+  checkb "leak warned" true (contains out "L-leak-on-exit");
+  checki "--strict promotes warnings" 3 (sh "%s san %s --strict" kop_lint warn);
+  (* the generated driver must lint error-free at scale *)
+  let drv = tmp "cli_san_drv.kir" in
+  checki "emit driver" 0 (sh "%s --emit-driver --scale 1 -o %s" kop_compile drv);
+  checki "driver error-free" 0 (sh "%s san %s" kop_lint drv);
+  (* unparseable input is 1, like every other subcommand *)
+  let junk = tmp "cli_san_junk.kir" in
+  let oc = open_out junk in
+  output_string oc "this is not kir\n";
+  close_out oc;
+  checki "parse failure exits 1" 1 (sh "%s san %s" kop_lint junk)
+
+let test_kop_lint_race () =
+  let code, out = sh_out "%s race" kop_lint in
+  checki "fixture suite passes" 0 code;
+  checkb "clean suites listed" true (contains out "clean-rcu-storm");
+  checkb "seeded fixture listed" true (contains out "seeded-stale-window");
+  checkb "verdict line" true (contains out "5/5 passed");
+  checki "--strict accepted" 0 (sh "%s race --strict" kop_lint)
+
+let test_kop_run_sanitize () =
+  let drv = tmp "cli_sanrun.kir" in
+  checki "emit driver" 0 (sh "%s --emit-driver --scale 1 -o %s" kop_compile drv);
+  checki "sanitized run stays clean" 0
+    (sh "%s %s --sanitize --call e1000e_eeprom_read --args 1" kop_run drv)
+
 let () =
   Alcotest.run "cli"
     [
@@ -389,6 +451,7 @@ let () =
           Alcotest.test_case "run and panic" `Quick test_kop_run_happy_and_panic;
           Alcotest.test_case "signature gate" `Quick test_kop_run_rejects_unsigned;
           Alcotest.test_case "smp --cpus" `Quick test_kop_run_smp;
+          Alcotest.test_case "--sanitize" `Quick test_kop_run_sanitize;
         ] );
       ( "kop_lint",
         [
@@ -396,5 +459,7 @@ let () =
           Alcotest.test_case "cert validates" `Quick test_kop_lint_cert;
           Alcotest.test_case "policy lints" `Quick test_kop_lint_policy;
           Alcotest.test_case "cert --domain" `Quick test_kop_lint_cert_domain;
+          Alcotest.test_case "san exit codes" `Quick test_kop_lint_san_matrix;
+          Alcotest.test_case "race suite" `Quick test_kop_lint_race;
         ] );
     ]
